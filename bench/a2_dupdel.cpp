@@ -1,0 +1,85 @@
+// A2 (ablation) — the duplicate+delete channel: why retransmission is about
+// liveness, not capacity.
+//
+// On a pure dup channel, send-once is optimal (F1): the channel replays.
+// Once the channel can ALSO suppress transmissions (dup+del), the single
+// copy may never go live, and the send-once protocol loses liveness with
+// probability that grows with |X|; the retransmitting variant is immune.
+// Capacity is unchanged — the same alpha(m) family, the same receiver —
+// illustrating the paper's split between what the bound governs (|𝒳|) and
+// what retransmission buys (recovery).
+#include <iostream>
+
+#include "analysis/histogram.hpp"
+#include "analysis/table.hpp"
+#include "channel/dupdel_channel.hpp"
+#include "common.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace stpx;
+using namespace stpx::bench;
+
+stp::SystemSpec dupdel_spec(int m, bool retransmit, double suppress) {
+  stp::SystemSpec spec;
+  spec.protocols = [m, retransmit] {
+    return retransmit ? proto::make_repfree_del(m)
+                      : proto::make_repfree_dup(m);
+  };
+  spec.channel = [suppress](std::uint64_t seed) {
+    return std::make_unique<channel::DupDelChannel>(suppress, seed);
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 60000;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << analysis::heading(
+      "A2 (ablation): dup+del channel — send-once vs retransmit");
+
+  const std::size_t kTrials = 40;
+  analysis::Table table({"suppress p", "|X|", "send-once completion",
+                         "retransmit completion"});
+  analysis::BarSeries bars;
+  bars.title = "send-once completion rate by |X| (p = 0.3)";
+  bool shape = true;
+  for (double p : {0.1, 0.3}) {
+    for (int n : {2, 4, 8}) {
+      const seq::Sequence x = iota_sequence(n);
+      std::size_t once_ok = 0, retx_ok = 0;
+      for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
+        const auto once = stp::run_one(dupdel_spec(n, false, p), x, seed);
+        const auto retx = stp::run_one(dupdel_spec(n, true, p), x, seed);
+        shape = shape && once.safety_ok && retx.safety_ok;
+        if (once.completed) ++once_ok;
+        if (retx.completed) ++retx_ok;
+      }
+      const double once_rate =
+          static_cast<double>(once_ok) / static_cast<double>(kTrials);
+      const double retx_rate =
+          static_cast<double>(retx_ok) / static_cast<double>(kTrials);
+      shape = shape && retx_rate == 1.0;
+      if (p == 0.3) {
+        bars.bars.emplace_back("|X|=" + std::to_string(n), once_rate * 100);
+        shape = shape && once_rate < 1.0;
+      }
+      table.add_row({fixed(p, 1), std::to_string(n), fixed(once_rate, 2),
+                     fixed(retx_rate, 2)});
+    }
+  }
+  std::cout << table.to_ascii();
+  std::cout << "\n" << analysis::render_bars(bars);
+
+  std::cout << "\nexpected: suppression starves send-once increasingly with "
+               "|X|; retransmission is immune; safety untouched either "
+               "way.\n"
+            << "measured: " << (shape ? "CONFIRMED" : "NOT CONFIRMED")
+            << "\n";
+  return shape ? 0 : 1;
+}

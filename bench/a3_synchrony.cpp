@@ -1,0 +1,102 @@
+// A3 (ablation) — what the alpha(m) wall is made of: asynchrony and
+// reordering, not loss.
+//
+// The paper's §1 contrasts its channels with the early synchronous models
+// ([AUY79], [AUWY82]) where a lost transmission is detected immediately.
+// On such a link, stop-and-wait with |M^S| = |D| and ZERO receiver->sender
+// messages carries EVERY sequence over D — repetitions, any length — even
+// at 40% loss.  The same alphabet on the paper's reordering channels caps
+// the family at alpha(|D|).  Side by side:
+//
+//   channel assumptions        alphabet   supported family
+//   sync + detectable loss     d          all of D*            (this bench)
+//   async reorder + dup        d          alpha(d)  [T2/T3]
+//   async reorder + del        d          alpha(d), bounded    [T4/T5]
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "channel/sync_channel.hpp"
+#include "common.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace stpx;
+  using namespace stpx::bench;
+
+  std::cout << analysis::heading(
+      "A3 (ablation): synchronous detectable loss vs the paper's channels");
+
+  bool ok = true;
+
+  // Part 1: the sync protocol carries every word of length <= 4 over a
+  // 2-symbol domain — 31 sequences, far beyond alpha(2) = 5 — plus long
+  // repetition-heavy inputs under heavy loss.
+  analysis::Table table({"family", "|X| (family size)", "alpha(d) cap",
+                         "loss", "trials", "failures"});
+  {
+    const int d = 2;
+    const seq::Family family = seq::all_words_up_to(d, 4);
+    for (double loss : {0.0, 0.4}) {
+      stp::SystemSpec spec;
+      spec.protocols = [d] { return proto::make_sync_stop_wait(d); };
+      spec.channel = [loss](std::uint64_t seed) {
+        return std::make_unique<channel::SyncLossChannel>(loss, seed);
+      };
+      spec.scheduler = [](std::uint64_t seed) {
+        return std::make_unique<channel::FairRandomScheduler>(seed);
+      };
+      spec.engine.max_steps = 200000;
+      const auto result = stp::sweep_family(spec, family, seed_range(700, 3));
+      ok = ok && result.all_ok();
+      table.add_row({"all words over D, len<=4",
+                     std::to_string(family.size()),
+                     std::to_string(*seq::alpha_u64(d)), fixed(loss, 1),
+                     std::to_string(result.trials),
+                     std::to_string(result.safety_failures +
+                                    result.incomplete)});
+    }
+  }
+  // A long repetition-heavy stress input.
+  {
+    const int d = 3;
+    seq::Sequence x;
+    for (int i = 0; i < 100; ++i) x.push_back(i % 2);  // 0101... over d=3
+    stp::SystemSpec spec;
+    spec.protocols = [d] { return proto::make_sync_stop_wait(d); };
+    spec.channel = [](std::uint64_t seed) {
+      return std::make_unique<channel::SyncLossChannel>(0.3, seed);
+    };
+    spec.scheduler = [](std::uint64_t seed) {
+      return std::make_unique<channel::FairRandomScheduler>(seed);
+    };
+    spec.engine.max_steps = 400000;
+    const auto result = stp::sweep_input(spec, x, seed_range(710, 5));
+    ok = ok && result.all_ok();
+    table.add_row({"0101... x100 over d=3", "1 (length 100)",
+                   std::to_string(*seq::alpha_u64(d)), "0.3",
+                   std::to_string(result.trials),
+                   std::to_string(result.safety_failures +
+                                  result.incomplete)});
+  }
+  std::cout << table.to_ascii();
+
+  // Part 2: the same alphabet on the paper's channel cannot even be GIVEN
+  // the bigger family — the encoding pigeonhole refuses.
+  const auto enc =
+      seq::try_build_encoding(seq::all_words_up_to(2, 4), 2);
+  std::cout << "\nthe same 31-sequence family on a reordering channel with "
+               "|M^S| = 2:\n  prefix-monotone encoding exists? "
+            << (enc.has_value() ? "YES (bug!)" : "no — alpha(2) = 5 is the cap")
+            << "\n";
+  ok = ok && !enc.has_value();
+
+  std::cout << "\npaper (§1): synchronous detectable-loss channels make STP "
+               "easy; the bounds here are about reordering asynchrony.\n"
+            << "measured: "
+            << (ok ? "CONFIRMED — 0 failures for all of D* on the sync "
+                     "link; the alpha cap is a property of the channel, "
+                     "not the alphabet"
+                   : "NOT CONFIRMED")
+            << "\n";
+  return ok ? 0 : 1;
+}

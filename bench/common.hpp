@@ -1,0 +1,126 @@
+// Shared helpers for the bench binaries: canonical system specs, the
+// overfull (alpha(m)+1) encoding table the impossibility experiments need,
+// and small formatting conveniences.
+#pragma once
+
+#include <memory>
+
+#include "channel/del_channel.hpp"
+#include "channel/dup_channel.hpp"
+#include "channel/fifo_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "proto/encoded.hpp"
+#include "proto/suite.hpp"
+#include "seq/alpha.hpp"
+#include "seq/repetition_free.hpp"
+#include "stp/runner.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::bench {
+
+inline stp::SystemSpec repfree_dup_spec(int m, double delivery_weight = 2.0) {
+  stp::SystemSpec spec;
+  spec.protocols = [m] { return proto::make_repfree_dup(m); };
+  spec.channel = [](std::uint64_t) {
+    return std::make_unique<channel::DupChannel>();
+  };
+  spec.scheduler = [delivery_weight](std::uint64_t seed) {
+    channel::FairRandomConfig cfg;
+    cfg.seed = seed;
+    cfg.delivery_weight = delivery_weight;
+    return std::make_unique<channel::FairRandomScheduler>(cfg);
+  };
+  spec.engine.max_steps = 500000;
+  return spec;
+}
+
+inline stp::SystemSpec repfree_del_spec(int m, double loss) {
+  stp::SystemSpec spec;
+  spec.protocols = [m] { return proto::make_repfree_del(m); };
+  spec.channel = [loss](std::uint64_t seed) {
+    return std::make_unique<channel::DelChannel>(loss, seed);
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 500000;
+  return spec;
+}
+
+/// The canonical valid encoding for the full repetition-free family.
+inline proto::EncodingTable canonical_table(int m) {
+  auto enc = seq::try_build_encoding(seq::canonical_repetition_free(m), m);
+  STPX_EXPECT(enc.has_value(), "canonical encoding must exist");
+  return std::make_shared<const seq::Encoding>(std::move(*enc));
+}
+
+/// The canonical encoding plus the extra input <0 0>.  By the pigeonhole no
+/// valid word exists for it; we give it the word of the longest existing
+/// entry starting with symbol 0, producing exactly the collision Theorem 1
+/// predicts.  Requires m >= 1.
+inline proto::EncodingTable overfull_table(int m) {
+  auto enc = seq::try_build_encoding(seq::canonical_repetition_free(m), m);
+  STPX_EXPECT(enc.has_value(), "canonical encoding must exist");
+  std::size_t donor = SIZE_MAX;
+  std::size_t donor_len = 0;
+  for (std::size_t i = 0; i < enc->inputs.size(); ++i) {
+    if (!enc->inputs[i].empty() && enc->inputs[i][0] == 0 &&
+        enc->inputs[i].size() >= donor_len) {
+      donor = i;
+      donor_len = enc->inputs[i].size();
+    }
+  }
+  STPX_EXPECT(donor != SIZE_MAX, "no donor entry starting with 0");
+  enc->inputs.push_back(seq::Sequence{0, 0});
+  enc->words.push_back(enc->words[donor]);
+  return std::make_shared<const seq::Encoding>(std::move(*enc));
+}
+
+/// System spec around an encoding table.  knowledge=false -> greedy
+/// receiver; del_mode -> deletion channel + retransmission.
+inline stp::SystemSpec encoded_spec(proto::EncodingTable table,
+                                    bool knowledge, bool del_mode) {
+  stp::SystemSpec spec;
+  spec.protocols = [table, knowledge, del_mode] {
+    proto::ProtocolPair pair;
+    pair.sender = std::make_unique<proto::EncodedSender>(table, del_mode);
+    if (knowledge) {
+      pair.receiver =
+          std::make_unique<proto::KnowledgeReceiver>(table, del_mode);
+    } else {
+      pair.receiver =
+          std::make_unique<proto::GreedyReceiver>(table, del_mode);
+    }
+    return pair;
+  };
+  if (del_mode) {
+    spec.channel = [](std::uint64_t seed) {
+      return std::make_unique<channel::DelChannel>(0.0, seed);
+    };
+  } else {
+    spec.channel = [](std::uint64_t) {
+      return std::make_unique<channel::DupChannel>();
+    };
+  }
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 200000;
+  return spec;
+}
+
+/// 0,1,...,n-1 — the canonical long repetition-free input.
+inline seq::Sequence iota_sequence(int n) {
+  seq::Sequence x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = i;
+  return x;
+}
+
+inline std::vector<std::uint64_t> seed_range(std::uint64_t first,
+                                             std::size_t count) {
+  std::vector<std::uint64_t> seeds(count);
+  for (std::size_t i = 0; i < count; ++i) seeds[i] = first + i;
+  return seeds;
+}
+
+}  // namespace stpx::bench

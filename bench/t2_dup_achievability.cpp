@@ -1,0 +1,58 @@
+// T2 — achievability for 𝒳-STP(dup) (end of §3).
+//
+// The paper's protocol solves 𝒳-STP(dup) for the full repetition-free
+// family (|𝒳| = alpha(m)) over a channel that reorders and duplicates.
+// We sweep EVERY member of the family for m = 1..5 under several
+// adversarially-seeded fair schedules (the deliverable set never shrinks,
+// so stale messages are redelivered constantly) and verify 100% safety and
+// liveness, reporting cost statistics.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "knowledge/explorer.hpp"
+#include "seq/family.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace stpx;
+  using namespace stpx::bench;
+
+  std::cout << analysis::heading(
+      "T2: repfree protocol solves X-STP(dup) at |X| = alpha(m)");
+
+  analysis::Table table({"m", "|X| = alpha(m)", "trials", "safety fails",
+                         "liveness fails", "avg steps", "msgs/trial"});
+  bool all_ok = true;
+  for (int m = 1; m <= 5; ++m) {
+    const seq::Family family = seq::canonical_repetition_free(m);
+    const auto seeds = seed_range(100, 3);
+    const auto result =
+        stp::sweep_family(repfree_dup_spec(m), family, seeds);
+    all_ok = all_ok && result.all_ok();
+    table.add_row({std::to_string(m), std::to_string(family.size()),
+                   std::to_string(result.trials),
+                   std::to_string(result.safety_failures),
+                   std::to_string(result.incomplete),
+                   fixed(result.avg_steps(), 1),
+                   fixed(result.msgs_per_trial(), 1)});
+  }
+  std::cout << table.to_ascii();
+
+  // Beyond sampling: small-model certainty.  Enumerate EVERY schedule up to
+  // depth 8 for m = 2 and confirm no reachable state violates safety.
+  const auto verdict = knowledge::exhaustive_safety(
+      repfree_dup_spec(2), seq::canonical_repetition_free(2),
+      {.max_depth = 8, .max_points = 1000000});
+  std::cout << "\nexhaustive check (m=2, all schedules to depth 8): "
+            << verdict.points_checked << " reachable states, "
+            << (verdict.violation_found ? "VIOLATION FOUND" : "all safe")
+            << "\n";
+  all_ok = all_ok && !verdict.violation_found;
+
+  std::cout << "\npaper: every X in the alpha(m)-sized family is delivered "
+               "safely despite reordering+duplication.\n"
+            << "measured: " << (all_ok ? "CONFIRMED (0 failures)" : "FAILED")
+            << "\n";
+  return all_ok ? 0 : 1;
+}

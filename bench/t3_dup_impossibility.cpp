@@ -1,0 +1,113 @@
+// T3 — impossibility for 𝒳-STP(dup) beyond alpha(m) (Theorem 1).
+//
+// Two executable forms of the theorem, for m = 1..3 with |𝒳| = alpha(m)+1:
+//
+//  (a) Combinatorial: the greedy trie embedding — which succeeds for every
+//      family of size alpha(m) that fits — provably cannot produce a valid
+//      prefix-monotone repetition-free encoding; the checker exhibits the
+//      forced collision.
+//
+//  (b) Operational: hand the colliding table to the encoded protocol and
+//      let the attack synthesizer construct the adversarial schedule.  The
+//      greedy (committal) receiver is driven into a safety violation; the
+//      knowledge (non-committal) receiver is starved — a decisive-stall
+//      pair of runs it cannot tell apart.  Either way the protocol fails,
+//      exactly as the theorem demands.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "stp/attack.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace stpx;
+  using namespace stpx::bench;
+
+  std::cout << analysis::heading(
+      "T3: X-STP(dup) unsolvable at |X| = alpha(m) + 1 (Theorem 1)");
+
+  std::cout << "(a) combinatorial pigeonhole:\n";
+  analysis::Table pigeon({"m", "alpha(m)", "|X|", "valid encoding exists",
+                          "forced collision"});
+  bool combinatorial_ok = true;
+  for (int m = 1; m <= 4; ++m) {
+    const seq::Family beyond = seq::beyond_alpha(m);
+    const auto enc = seq::try_build_encoding(beyond, m);
+    const bool impossible = !enc.has_value();
+    combinatorial_ok = combinatorial_ok && impossible;
+    // Show the collision the pigeonhole forces on the canonical+1 table.
+    const auto table = overfull_table(m);
+    const auto violation = seq::find_violation(*table);
+    pigeon.add_row({std::to_string(m),
+                    std::to_string(*seq::alpha_u64(m)),
+                    std::to_string(beyond.size()),
+                    impossible ? "no" : "YES (bug)",
+                    violation ? violation->describe(*table) : "-"});
+  }
+  std::cout << pigeon.to_ascii();
+
+  std::cout << "\n(b) synthesized attacks against the encoded protocol:\n";
+  analysis::Table attacks({"m", "receiver", "verdict", "witness pair",
+                           "rounds"});
+  const stp::AttackBudget budget{.skeleton_steps = 100000,
+                                 .mirror_rounds = 2000,
+                                 .stall_rounds = 32};
+  bool operational_ok = true;
+  for (int m = 1; m <= 3; ++m) {
+    const auto table = overfull_table(m);
+    const seq::Family family{seq::Domain{m}, table->inputs};
+    for (const bool knowledge : {false, true}) {
+      const auto r = stp::find_attack(
+          encoded_spec(table, knowledge, /*del=*/false), family, budget);
+      operational_ok = operational_ok && r.found();
+      std::string pair = seq::to_string(r.x_a);
+      if (r.kind == stp::AttackResult::Kind::kSafetyViolation ||
+          r.kind == stp::AttackResult::Kind::kDecisiveStall) {
+        pair += " / " + seq::to_string(r.x_b);
+      }
+      attacks.add_row({std::to_string(m),
+                       knowledge ? "knowledge" : "greedy",
+                       stp::to_cstr(r.kind), pair,
+                       std::to_string(r.rounds)});
+    }
+  }
+  std::cout << attacks.to_ascii();
+
+  // (c) bounded model checking of the mirrored pair space: for m = 2 the
+  // colliding pair is exhaustively exploitable (greedy) / provably safe but
+  // starvable (knowledge) within the horizon.
+  {
+    const auto table = overfull_table(2);
+    const auto greedy_mc = stp::exhaustive_mirror_search(
+        encoded_spec(table, false, false), {0, 1}, {0, 0}, 12, 300000);
+    const auto knowing_mc = stp::exhaustive_mirror_search(
+        encoded_spec(table, true, false), {0, 1}, {0, 0}, 10, 500000);
+    std::cout << "\n(c) exhaustive mirrored-pair model checking (m=2, pair "
+                 "<0 1>/<0 0>):\n"
+              << "    greedy receiver: "
+              << (greedy_mc.violation_found
+                      ? "violation reachable (" +
+                            std::to_string(greedy_mc.states_explored) +
+                            " states)"
+                      : "NO VIOLATION (unexpected)")
+              << "\n    knowledge receiver: "
+              << (!knowing_mc.violation_found
+                      ? "no reachable safety violation — starvation is its "
+                        "only failure mode"
+                      : "VIOLATION (unexpected)")
+              << "\n";
+    operational_ok = operational_ok && greedy_mc.violation_found &&
+                     !knowing_mc.violation_found;
+  }
+
+  const bool ok = combinatorial_ok && operational_ok;
+  std::cout << "\npaper: no protocol (even non-uniform) solves X-STP(dup) "
+               "with |X| > alpha(m).\n"
+            << "measured: "
+            << (ok ? "CONFIRMED — every encoding collides and every attack "
+                     "found a witness"
+                   : "NOT CONFIRMED")
+            << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+// T5 — impossibility for bounded 𝒳-STP(del) beyond alpha(m) (Theorem 2).
+//
+// Part 1 tabulates the proof's copy-count schedule: delta_m = c and
+// delta_l = delta_{l+1} * (1 + c*(m-l)*alpha(m-l)), where c = sum_{i<=beta}
+// f(i) bounds the steps of one "efficient extension".  The explosive growth
+// of delta_0 shows why the deletion case needs so much more bookkeeping
+// than the duplication case — the adversary must bank copies before
+// spending them — while remaining finite, which is all the proof needs.
+//
+// Part 2 runs the same operational attack as T3 on a *deletion* channel
+// against the retransmitting (bounded-style) encoded protocol: the witness
+// pairs appear all the same, confirming that retransmission does not buy
+// capacity, only boundedness.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "stp/attack.hpp"
+#include "util/biguint.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+/// delta_l for l = 0..m, exactly.
+std::vector<stpx::BigUint> delta_schedule(int m, std::uint64_t c) {
+  std::vector<stpx::BigUint> delta(static_cast<std::size_t>(m) + 1);
+  delta[static_cast<std::size_t>(m)] = stpx::BigUint(c);
+  for (int l = m - 1; l >= 0; --l) {
+    stpx::BigUint factor(c);
+    factor *= static_cast<std::uint64_t>(m - l);
+    factor *= *stpx::seq::alpha_u64(m - l);
+    factor += 1;
+    delta[static_cast<std::size_t>(l)] =
+        delta[static_cast<std::size_t>(l + 1)] * factor;
+  }
+  return delta;
+}
+
+}  // namespace
+
+int main() {
+  using namespace stpx;
+  using namespace stpx::bench;
+
+  std::cout << analysis::heading(
+      "T5: no bounded solution to X-STP(del) at |X| = alpha(m)+1 "
+      "(Theorem 2)");
+
+  // c = sum_{i<=beta} f(i).  T4 measured a constant per-item bound; we take
+  // f(i) = 16 and beta = m+1 (the canonical+1 family is identified by its
+  // (m+1)-prefix: the extra <0 0> differs from every repetition-free member
+  // within 2 symbols, and members differ within m).
+  std::cout << "(a) the proof's copy-count schedule delta_l "
+               "(f(i) = 16, beta = m+1, c = 16*(m+1)):\n";
+  analysis::Table deltas({"m", "c", "delta_m", "delta_1", "delta_0"});
+  for (int m = 1; m <= 4; ++m) {
+    const std::uint64_t c = 16 * (static_cast<std::uint64_t>(m) + 1);
+    const auto delta = delta_schedule(m, c);
+    deltas.add_row({std::to_string(m), std::to_string(c),
+                    delta[static_cast<std::size_t>(m)].to_decimal(),
+                    delta[1].to_decimal(), delta[0].to_decimal()});
+  }
+  std::cout << deltas.to_ascii();
+
+  std::cout << "\n(b) synthesized attacks on the deletion channel "
+               "(retransmitting protocol):\n";
+  analysis::Table attacks({"m", "receiver", "verdict", "witness pair",
+                           "rounds"});
+  const stp::AttackBudget budget{.skeleton_steps = 100000,
+                                 .mirror_rounds = 3000,
+                                 .stall_rounds = 32};
+  bool all_found = true;
+  for (int m = 1; m <= 3; ++m) {
+    const auto table = overfull_table(m);
+    const seq::Family family{seq::Domain{m}, table->inputs};
+    for (const bool knowledge : {false, true}) {
+      const auto r = stp::find_attack(
+          encoded_spec(table, knowledge, /*del=*/true), family, budget);
+      all_found = all_found && r.found();
+      std::string pair = seq::to_string(r.x_a);
+      if (r.kind == stp::AttackResult::Kind::kSafetyViolation ||
+          r.kind == stp::AttackResult::Kind::kDecisiveStall) {
+        pair += " / " + seq::to_string(r.x_b);
+      }
+      attacks.add_row({std::to_string(m),
+                       knowledge ? "knowledge" : "greedy",
+                       stp::to_cstr(r.kind), pair,
+                       std::to_string(r.rounds)});
+    }
+  }
+  std::cout << attacks.to_ascii();
+
+  std::cout << "\npaper: boundedness + finite alphabet caps |X| at alpha(m) "
+               "even when the channel only deletes.\n"
+            << "measured: "
+            << (all_found ? "CONFIRMED — every configuration produced a "
+                            "safety or liveness witness"
+                          : "NOT CONFIRMED")
+            << "\n";
+  return all_found ? 0 : 1;
+}

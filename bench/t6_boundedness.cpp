@@ -1,0 +1,95 @@
+// T6 — weak boundedness is not boundedness (§5).
+//
+// The §5 hybrid (ABP fast path + whole-sequence recovery on timeout) is
+// weakly bounded: along fault-free runs each t_i follows its predecessor
+// within a constant.  But after a single fault its recovery replays the
+// whole input, so the time to the next t_i grows with |X| — it satisfies
+// [LMF88]'s weak boundedness while failing the paper's Definition 2.  The
+// bounded repfree protocol recovers from the same fault in O(1).
+//
+// Protocol per row: one fault (all in-flight messages deleted) injected
+// after 2 items are delivered; we report steps from the fault to the next
+// write and to completion, as |X| doubles.
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "stp/fault.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace stpx;
+using namespace stpx::bench;
+
+stp::SystemSpec hybrid_spec(int m, int timeout) {
+  stp::SystemSpec spec;
+  spec.protocols = [m, timeout] { return proto::make_hybrid(m, timeout); };
+  spec.channel = [](std::uint64_t) {
+    return std::make_unique<channel::FifoChannel>();
+  };
+  spec.scheduler = [](std::uint64_t) {
+    return std::make_unique<channel::RoundRobinScheduler>();
+  };
+  spec.engine.max_steps = 2000000;
+  return spec;
+}
+
+seq::Sequence repeating_sequence(int n, int m) {
+  seq::Sequence x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = i % m;
+  return x;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << analysis::heading(
+      "T6: weakly bounded vs bounded — single-fault recovery (§5)");
+
+  analysis::Table table({"|X|", "hybrid: next write", "hybrid: finish",
+                         "repfree-del: next write", "repfree-del: finish"});
+  std::vector<double> xs, hybrid_next, repfree_next;
+  bool ok = true;
+  for (int n : {8, 16, 32, 64, 128}) {
+    const auto hyb = stp::measure_fault_recovery(
+        hybrid_spec(3, 12), repeating_sequence(n, 3),
+        {.fault_after_writes = 2}, 1);
+    const auto rep = stp::measure_fault_recovery(
+        repfree_del_spec(n, 0.0), iota_sequence(n),
+        {.fault_after_writes = 2}, 1);
+    ok = ok && hyb.fault_injected && hyb.completed && rep.fault_injected &&
+         rep.completed;
+    xs.push_back(n);
+    hybrid_next.push_back(static_cast<double>(hyb.recovery_steps));
+    repfree_next.push_back(static_cast<double>(rep.recovery_steps));
+    table.add_row({std::to_string(n), std::to_string(hyb.recovery_steps),
+                   std::to_string(hyb.steps_to_completion),
+                   std::to_string(rep.recovery_steps),
+                   std::to_string(rep.steps_to_completion)});
+  }
+  std::cout << table.to_ascii();
+
+  // The §5 quantity is the time from the fault to the NEXT t_i — i.e. the
+  // next output write.  The hybrid must replay the whole sequence before
+  // the receiver can write anything new, so this gap alone grows with |X|;
+  // the "finish" columns grow for both protocols trivially (more items
+  // remain) and are shown only for context.
+  const double hybrid_slope = analysis::linear_slope(xs, hybrid_next);
+  const double repfree_slope = analysis::linear_slope(xs, repfree_next);
+  std::cout << "\nnext-write-after-fault slope vs |X|: hybrid "
+            << fixed(hybrid_slope, 2) << " steps/item (grows), repfree "
+            << fixed(repfree_slope, 3) << " steps/item (flat)\n";
+
+  const bool shape = hybrid_slope > 1.0 && repfree_slope < 0.5 &&
+                     hybrid_next.back() > hybrid_next.front() * 4;
+  std::cout << "\npaper: the §5 protocol is weakly bounded yet never fully "
+               "recovers from one fault; a bounded protocol does.\n"
+            << "measured: "
+            << (ok && shape ? "CONFIRMED — hybrid recovery scales with |X|, "
+                              "bounded recovery is constant"
+                            : "NOT CONFIRMED")
+            << "\n";
+  return ok && shape ? 0 : 1;
+}

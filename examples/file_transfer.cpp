@@ -1,0 +1,132 @@
+// Scenario: transfer a "file" over a lossy, reordering channel, comparing
+// the paper's finite-alphabet bounded protocol against classic
+// unbounded-header engineering (Selective Repeat, Stenning).
+//
+// The interesting wrinkle is the paper's bound itself: the repetition-free
+// protocol can only carry repetition-free sequences, so arbitrary file bytes
+// must be made repetition-free first.  We use position tagging — item_i =
+// i * 256 + byte_i — which blows the domain (and hence the message alphabet)
+// up linearly with the file size.  That is not an implementation artifact:
+// Theorem 2 says ANY bounded finite-alphabet protocol for all byte files of
+// length n needs alpha(m) >= 256^n, i.e. the alphabet must grow.  The
+// unbounded-header baselines smuggle the same growth into their sequence
+// numbers instead.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "channel/del_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "proto/suite.hpp"
+#include "stp/runner.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace stpx;
+
+/// Deterministic pseudo-file.
+std::vector<int> make_file(std::size_t bytes, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> data(bytes);
+  for (auto& b : data) b = static_cast<int>(rng.below(256));
+  return data;
+}
+
+/// Position-tag the bytes so the sequence is repetition-free.
+seq::Sequence position_tagged(const std::vector<int>& file) {
+  seq::Sequence x;
+  x.reserve(file.size());
+  for (std::size_t i = 0; i < file.size(); ++i) {
+    x.push_back(static_cast<seq::DataItem>(i * 256 + file[i]));
+  }
+  return x;
+}
+
+/// Plain byte items (repetitions allowed) for the baselines.
+seq::Sequence plain(const std::vector<int>& file) {
+  return {file.begin(), file.end()};
+}
+
+struct Row {
+  std::string protocol;
+  std::string alphabet;
+  stp::SweepResult result;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t kFileBytes = 64;
+  const double kLoss = 0.25;
+  const auto file = make_file(kFileBytes, 7);
+  const std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5};
+
+  const int tagged_domain = static_cast<int>(kFileBytes) * 256;
+
+  auto scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  auto lossy_channel = [kLoss](std::uint64_t seed) {
+    return std::make_unique<channel::DelChannel>(kLoss, seed);
+  };
+
+  std::vector<Row> rows;
+
+  {
+    stp::SystemSpec spec;
+    spec.protocols = [tagged_domain] {
+      return proto::make_repfree_del(tagged_domain);
+    };
+    spec.channel = lossy_channel;
+    spec.scheduler = scheduler;
+    spec.engine.max_steps = 2000000;
+    rows.push_back({"repfree-del (paper)",
+                    "|M^S| = " + std::to_string(tagged_domain),
+                    stp::sweep_input(spec, position_tagged(file), seeds)});
+  }
+  {
+    stp::SystemSpec spec;
+    spec.protocols = [] { return proto::make_selective_repeat(256, 8); };
+    spec.channel = lossy_channel;
+    spec.scheduler = scheduler;
+    spec.engine.max_steps = 2000000;
+    rows.push_back({"selective-repeat W=8", "unbounded headers",
+                    stp::sweep_input(spec, plain(file), seeds)});
+  }
+  {
+    stp::SystemSpec spec;
+    spec.protocols = [] { return proto::make_stenning(256); };
+    spec.channel = lossy_channel;
+    spec.scheduler = scheduler;
+    spec.engine.max_steps = 2000000;
+    rows.push_back({"stenning", "unbounded headers",
+                    stp::sweep_input(spec, plain(file), seeds)});
+  }
+
+  std::cout << "file transfer over reorder+delete channel, loss=" << kLoss
+            << ", file=" << kFileBytes << " bytes, " << seeds.size()
+            << " trials\n";
+  analysis::Table table({"protocol", "alphabet", "ok", "avg steps",
+                         "msgs/trial", "msgs/byte"});
+  for (const Row& row : rows) {
+    const auto& r = row.result;
+    table.add_row(
+        {row.protocol, row.alphabet, r.all_ok() ? "yes" : "NO",
+         stpx::fixed(r.avg_steps(), 0), stpx::fixed(r.msgs_per_trial(), 0),
+         stpx::fixed(r.msgs_per_trial() / static_cast<double>(kFileBytes),
+                     1)});
+  }
+  std::cout << table.to_ascii();
+
+  std::cout
+      << "\nNote the trade: the paper's protocol pays with alphabet size\n"
+         "(finite but file-length-dependent), the baselines pay with\n"
+         "unbounded sequence-number headers.  Theorems 1 and 2 say there is\n"
+         "no third option: a fixed finite alphabet caps the supported\n"
+         "inputs at alpha(m).\n";
+  for (const Row& row : rows) {
+    if (!row.result.all_ok()) return 1;
+  }
+  return 0;
+}

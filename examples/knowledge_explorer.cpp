@@ -1,0 +1,103 @@
+// Scenario: the knowledge machinery of §2, visualized on a tiny system.
+//
+// We enumerate every reachable point of the repetition-free protocol over
+// the full canonical family for m = 2, group points into ~_R equivalence
+// classes (complete-history indistinguishability), evaluate K_R(x_i), replay
+// one concrete run to extract its t_i learning times, and exhibit a
+// dup-decisive tuple (Definition 1) — the object at the heart of the
+// impossibility proof.
+#include <iostream>
+
+#include "channel/dup_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "knowledge/explorer.hpp"
+#include "proto/suite.hpp"
+#include "seq/repetition_free.hpp"
+
+int main() {
+  using namespace stpx;
+
+  const int m = 2;
+  stp::SystemSpec spec;
+  spec.protocols = [m] { return proto::make_repfree_dup(m); };
+  spec.channel = [](std::uint64_t) {
+    return std::make_unique<channel::DupChannel>();
+  };
+  spec.scheduler = [](std::uint64_t) {
+    return std::make_unique<channel::RoundRobinScheduler>();
+  };
+  spec.engine.max_steps = 100000;
+
+  const seq::Family family = seq::canonical_repetition_free(m);
+  std::cout << "system: repfree-dup protocol, m = " << m << ", family 𝒳 = {";
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    std::cout << (i ? ", " : "") << seq::to_string(family.members[i]);
+  }
+  std::cout << "}\n\nexploring all runs to depth 8...\n";
+
+  const auto ex = knowledge::explore(spec, family,
+                                     {.max_depth = 8, .max_points = 500000});
+  std::cout << "  reachable points: " << ex.points.size()
+            << "   ~_R classes: " << ex.by_r_history.size()
+            << (ex.truncated ? "   (horizon-truncated)" : "") << "\n";
+
+  // --- knowledge at selected points -------------------------------------
+  std::cout << "\nknowledge snapshots (point = run-of-input @ depth):\n";
+  std::size_t shown = 0;
+  for (const auto& p : ex.points) {
+    if (p.output.empty() && p.depth > 0) continue;  // show interesting ones
+    if (shown >= 8) break;
+    const auto& x = ex.family.members[p.input_index];
+    std::cout << "  run " << seq::to_string(x) << " @ " << p.depth
+              << ": Y = " << seq::to_string(p.output)
+              << ", R knows x_1..x_" << knowledge::receiver_known_prefix(ex, p)
+              << ", ~_R class size "
+              << ex.by_r_history.at(p.r_key).size() << "\n";
+    ++shown;
+  }
+
+  // --- t_i along a concrete run ------------------------------------------
+  stp::SystemSpec traced = spec;
+  traced.engine.record_trace = true;
+  traced.engine.record_histories = true;
+  const seq::Sequence x{1, 0};
+  const sim::RunResult run = stp::run_one(traced, x, 0);
+  const auto big_ex = knowledge::explore(
+      spec, family,
+      {.max_depth = run.stats.steps + 1, .max_points = 2000000});
+  const auto times = knowledge::learn_times(big_ex, run);
+  std::cout << "\nlearning times along the run of " << seq::to_string(x)
+            << " (" << run.stats.steps << " steps):\n";
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    std::cout << "  t_" << (i + 1) << " = ";
+    if (times[i]) {
+      std::cout << *times[i];
+    } else {
+      std::cout << "beyond exploration horizon";
+    }
+    std::cout << "  (item " << x[i] << ")\n";
+  }
+
+  // --- a dup-decisive tuple ----------------------------------------------
+  const auto tuple = knowledge::find_dup_decisive(ex, 2, 1);
+  std::cout << "\ndup-decisive tuple (Definition 1) with |M| >= 1:\n";
+  if (tuple) {
+    std::cout << "  M = {";
+    for (std::size_t i = 0; i < tuple->messages.size(); ++i) {
+      std::cout << (i ? ", " : "") << tuple->messages[i];
+    }
+    std::cout << "}, points:\n";
+    for (std::size_t idx : tuple->point_indices) {
+      const auto& p = ex.points[idx];
+      std::cout << "    run " << seq::to_string(ex.family.members[p.input_index])
+                << " @ depth " << p.depth << " (Y = "
+                << seq::to_string(p.output) << ")\n";
+    }
+    std::cout << "  R cannot tell these runs apart although their inputs\n"
+                 "  differ and message(s) M are already in flight — the\n"
+                 "  exact configuration the induction of Lemma 2 builds.\n";
+  } else {
+    std::cout << "  none within horizon\n";
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: transmit a repetition-free sequence over a channel that
+// reorders and duplicates messages, with the paper's alpha(m)-tight
+// protocol, and watch every step.
+//
+//   $ ./quickstart
+//
+// The channel here is maximally annoying: once a message is sent, the
+// scheduler can (and does) deliver stale copies of it forever.  The
+// protocol stays correct because the receiver ignores any message it has
+// seen before, and the paper proves you cannot support a single additional
+// input sequence beyond the alpha(m) repetition-free ones.
+#include <iostream>
+
+#include "channel/dup_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "proto/suite.hpp"
+#include "seq/alpha.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace stpx;
+
+  const int m = 5;                      // domain and message alphabet size
+  const seq::Sequence input{3, 0, 4, 1, 2};  // repetition-free over {0..4}
+
+  std::cout << "Sequence Transmission Problem quickstart\n"
+            << "  domain size m        = " << m << "\n"
+            << "  alpha(m) (max |X|)   = " << *seq::alpha_u64(m) << "\n"
+            << "  input X              = " << seq::to_string(input) << "\n\n";
+
+  proto::ProtocolPair pair = proto::make_repfree_dup(m);
+  sim::EngineConfig cfg;
+  cfg.max_steps = 10000;
+  cfg.record_trace = true;
+
+  sim::Engine engine(std::move(pair.sender), std::move(pair.receiver),
+                     std::make_unique<channel::DupChannel>(),
+                     std::make_unique<channel::FairRandomScheduler>(
+                         std::uint64_t{2026}),
+                     cfg);
+  const sim::RunResult result = engine.run(input);
+
+  std::cout << "run finished: steps=" << result.stats.steps
+            << " sent(S->R)=" << result.stats.sent[0]
+            << " delivered(S->R)=" << result.stats.delivered[0]
+            << " (every extra delivery is a duplicate the protocol shrugged "
+               "off)\n\n";
+
+  std::cout << "first 30 trace events:\n";
+  std::size_t shown = 0;
+  for (const auto& ev : result.trace) {
+    if (shown++ >= 30) break;
+    std::cout << "  " << to_string(ev) << "\n";
+  }
+
+  std::cout << "\noutput Y = " << seq::to_string(result.output) << "\n"
+            << "safety   = " << (result.safety_ok ? "OK" : "VIOLATED") << "\n"
+            << "complete = " << (result.completed ? "yes" : "no") << "\n";
+  return result.safety_ok && result.completed ? 0 : 1;
+}

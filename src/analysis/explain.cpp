@@ -1,0 +1,85 @@
+#include "analysis/explain.hpp"
+
+#include <sstream>
+
+#include "seq/types.hpp"
+
+namespace stpx::analysis {
+
+std::optional<ViolationForensics> explain_violation(
+    const sim::RunResult& run) {
+  if (run.safety_ok || run.trace.empty()) return std::nullopt;
+
+  ViolationForensics f;
+
+  // Walk the trace reconstructing Y until the first bad write.
+  std::size_t written = 0;
+  std::optional<std::uint64_t> last_delivery_step;
+  std::optional<sim::MsgId> last_delivery_msg;
+  bool found = false;
+  for (const sim::TraceEvent& ev : run.trace) {
+    if (ev.action.kind == sim::ActionKind::kDeliverToReceiver) {
+      last_delivery_step = ev.step;
+      last_delivery_msg = ev.action.msg;
+    }
+    for (seq::DataItem d : ev.writes) {
+      const bool bad =
+          written >= run.input.size() || run.input[written] != d;
+      if (bad) {
+        f.violation_step = ev.step;
+        f.wrong_position = written;
+        f.wrote = d;
+        if (written < run.input.size()) f.expected = run.input[written];
+        f.culprit_message = last_delivery_msg;
+        f.culprit_delivered_at = last_delivery_step;
+        found = true;
+        break;
+      }
+      ++written;
+    }
+    if (found) break;
+  }
+  if (!found) return std::nullopt;  // flag set but trace too short?
+
+  // Provenance of the culprit: its first send.
+  if (f.culprit_message) {
+    for (const sim::TraceEvent& ev : run.trace) {
+      if (ev.step > *f.culprit_delivered_at) break;
+      if (ev.action.kind == sim::ActionKind::kSenderStep && ev.did_send &&
+          ev.sent == *f.culprit_message) {
+        f.culprit_first_sent_at = ev.step;
+        break;
+      }
+    }
+    if (f.culprit_first_sent_at) {
+      f.staleness = *f.culprit_delivered_at - *f.culprit_first_sent_at;
+    }
+  }
+  return f;
+}
+
+std::string narrate(const ViolationForensics& f, const sim::RunResult& run) {
+  std::ostringstream os;
+  os << "safety broke at step " << f.violation_step << ": the receiver wrote "
+     << f.wrote << " at position " << f.wrong_position;
+  if (f.expected) {
+    os << " where the input has " << *f.expected;
+  } else {
+    os << ", past the end of the input";
+  }
+  os << " (X = " << seq::to_string(run.input)
+     << ", Y so far = " << seq::to_string(run.output) << ").";
+  if (f.culprit_message) {
+    os << "  The write followed the delivery of message "
+       << *f.culprit_message << " at step " << *f.culprit_delivered_at;
+    if (f.culprit_first_sent_at) {
+      os << ", a message first sent at step " << *f.culprit_first_sent_at
+         << " — " << *f.staleness
+         << " steps stale when the channel finally served it";
+    }
+    os << ".";
+  }
+  return os.str();
+}
+
+}  // namespace stpx::analysis

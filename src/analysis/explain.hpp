@@ -1,0 +1,36 @@
+// Run forensics: turn a violating or stalled RunResult into a short
+// human-readable narrative — which write broke safety, which delivered
+// message caused it, when that message was sent, and how stale it was.
+// Used by protocol_lab and the attack examples; handy whenever the safety
+// checker fires and a human needs to see why.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace stpx::analysis {
+
+struct ViolationForensics {
+  std::uint64_t violation_step = 0;      // the receiver step that wrote wrong
+  std::size_t wrong_position = 0;        // index in Y of the first bad item
+  seq::DataItem wrote = 0;               // what was written
+  std::optional<seq::DataItem> expected; // X at that position (nullopt: past end)
+  /// The last message delivered to the receiver before the bad write.
+  std::optional<sim::MsgId> culprit_message;
+  std::optional<std::uint64_t> culprit_delivered_at;
+  std::optional<std::uint64_t> culprit_first_sent_at;
+  /// Steps between the culprit's first send and its fatal delivery.
+  std::optional<std::uint64_t> staleness;
+};
+
+/// Analyse a run recorded with record_trace whose safety_ok is false.
+/// Returns nullopt if the run was safe or the trace is missing.
+std::optional<ViolationForensics> explain_violation(
+    const sim::RunResult& run);
+
+/// One-paragraph narrative rendering.
+std::string narrate(const ViolationForensics& f, const sim::RunResult& run);
+
+}  // namespace stpx::analysis

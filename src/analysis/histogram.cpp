@@ -1,0 +1,69 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/expect.hpp"
+#include "util/strings.hpp"
+
+namespace stpx::analysis {
+
+std::string render_bars(const BarSeries& series) {
+  STPX_EXPECT(series.width > 0, "render_bars: width must be positive");
+  std::ostringstream os;
+  if (!series.title.empty()) os << series.title << "\n";
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : series.bars) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  for (const auto& [label, value] : series.bars) {
+    const int len =
+        max_value <= 0.0
+            ? 0
+            : static_cast<int>(std::lround(value / max_value *
+                                           series.width));
+    os << "  " << pad_right(label, label_width) << "  "
+       << std::string(static_cast<std::size_t>(len), '#')
+       << std::string(static_cast<std::size_t>(series.width - len) + 2, ' ')
+       << fixed(value, 1) << "\n";
+  }
+  return os.str();
+}
+
+std::string render_histogram(const std::string& title,
+                             const std::vector<double>& sample, int buckets,
+                             int width) {
+  STPX_EXPECT(buckets > 0, "render_histogram: need at least one bucket");
+  BarSeries series;
+  series.title = title;
+  series.width = width;
+  if (sample.empty()) {
+    series.bars.emplace_back("(empty)", 0.0);
+    return render_bars(series);
+  }
+  const auto [lo_it, hi_it] = std::minmax_element(sample.begin(),
+                                                  sample.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::vector<std::size_t> counts(static_cast<std::size_t>(buckets), 0);
+  for (double v : sample) {
+    auto b = static_cast<std::size_t>((v - lo) / span *
+                                      static_cast<double>(buckets));
+    if (b >= counts.size()) b = counts.size() - 1;
+    ++counts[b];
+  }
+  for (int b = 0; b < buckets; ++b) {
+    const double left = lo + span * b / buckets;
+    const double right = lo + span * (b + 1) / buckets;
+    series.bars.emplace_back(
+        "[" + fixed(left, 1) + ", " + fixed(right, 1) + ")",
+        static_cast<double>(counts[static_cast<std::size_t>(b)]));
+  }
+  return render_bars(series);
+}
+
+}  // namespace stpx::analysis

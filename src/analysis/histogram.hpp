@@ -1,0 +1,30 @@
+// ASCII histograms and bar series for the F-figures: render a numeric
+// series as horizontal bars so the "figure shape" is visible in plain
+// bench output (and in EXPERIMENTS.md) without a plotting stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stpx::analysis {
+
+struct BarSeries {
+  std::string title;
+  /// (label, value) pairs, rendered in order.
+  std::vector<std::pair<std::string, double>> bars;
+  /// Character width of the longest bar.
+  int width = 50;
+};
+
+/// Render the series as right-scaled horizontal bars, e.g.
+///   |X|=16   ########                 123
+///   |X|=32   ################         246
+std::string render_bars(const BarSeries& series);
+
+/// Bucket a sample into `buckets` equal-width bins over [min, max] and
+/// render the distribution.
+std::string render_histogram(const std::string& title,
+                             const std::vector<double>& sample, int buckets,
+                             int width = 50);
+
+}  // namespace stpx::analysis

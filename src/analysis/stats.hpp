@@ -1,0 +1,41 @@
+// Summary statistics shared by the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace stpx::analysis {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double stddev = 0.0;
+};
+
+/// Summarize a sample (empty input yields an all-zero summary).
+Summary summarize(std::vector<double> values);
+
+/// Convenience overload for integer samples.
+Summary summarize_u64(const std::vector<std::uint64_t>& values);
+
+/// Least-squares slope of y over x (0 if fewer than two points).  Used to
+/// test growth claims like "recovery time grows linearly with |X|".
+double linear_slope(const std::vector<double>& x,
+                    const std::vector<double>& y);
+
+/// Wilson score interval for a binomial proportion — the honest error bar
+/// for the failure rates measured by the statistical benches (E1, A1, A2).
+/// `z` is the normal quantile (1.96 ≈ 95%).  Well-behaved at p = 0 and
+/// p = 1, unlike the naive normal interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z = 1.96);
+
+}  // namespace stpx::analysis

@@ -1,0 +1,34 @@
+// Aligned ASCII tables + CSV, used by every bench binary so all experiment
+// output has one consistent shape.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stpx::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned, boxed, human-readable rendering.
+  std::string to_ascii() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section heading the benches use between tables.
+std::string heading(const std::string& title);
+
+}  // namespace stpx::analysis

@@ -1,0 +1,79 @@
+#include "channel/del_channel.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::channel {
+
+DelChannel::DelChannel(double loss_prob, std::uint64_t seed)
+    : loss_prob_(loss_prob), rng_(seed) {
+  STPX_EXPECT(loss_prob >= 0.0 && loss_prob <= 1.0,
+              "DelChannel: loss_prob out of [0,1]");
+}
+
+void DelChannel::reset() {
+  pending_[0].clear();
+  pending_[1].clear();
+}
+
+void DelChannel::send(sim::Dir dir, sim::MsgId msg) {
+  if (loss_prob_ > 0.0 && rng_.chance(loss_prob_)) {
+    return;  // the adversary deletes this copy at once
+  }
+  ++bag(dir)[msg];
+}
+
+std::vector<sim::MsgId> DelChannel::deliverable(sim::Dir dir) const {
+  std::vector<sim::MsgId> out;
+  out.reserve(bag(dir).size());
+  for (const auto& [msg, count] : bag(dir)) {
+    if (count > 0) out.push_back(msg);
+  }
+  return out;
+}
+
+std::uint64_t DelChannel::copies(sim::Dir dir, sim::MsgId msg) const {
+  auto it = bag(dir).find(msg);
+  return it == bag(dir).end() ? 0 : it->second;
+}
+
+void DelChannel::remove_copy(sim::Dir dir, sim::MsgId msg, const char* what) {
+  auto it = bag(dir).find(msg);
+  STPX_EXPECT(it != bag(dir).end() && it->second > 0,
+              std::string("DelChannel::") + what + ": no copy in flight");
+  if (--it->second == 0) bag(dir).erase(it);
+}
+
+void DelChannel::deliver(sim::Dir dir, sim::MsgId msg) {
+  remove_copy(dir, msg, "deliver");
+}
+
+void DelChannel::drop(sim::Dir dir, sim::MsgId msg) {
+  remove_copy(dir, msg, "drop");
+}
+
+std::uint64_t DelChannel::drop_everything() {
+  std::uint64_t dropped = 0;
+  for (auto& dir_bag : pending_) {
+    for (const auto& [msg, count] : dir_bag) {
+      (void)msg;
+      dropped += count;
+    }
+    dir_bag.clear();
+  }
+  return dropped;
+}
+
+std::uint64_t DelChannel::in_flight(sim::Dir dir) const {
+  std::uint64_t total = 0;
+  for (const auto& [msg, count] : bag(dir)) {
+    (void)msg;
+    total += count;
+  }
+  return total;
+}
+
+std::unique_ptr<sim::IChannel> DelChannel::clone() const {
+  return std::make_unique<DelChannel>(*this);
+}
+
+}  // namespace stpx::channel

@@ -1,0 +1,35 @@
+#include "channel/dup_channel.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::channel {
+
+void DupChannel::reset() {
+  ever_sent_[0].clear();
+  ever_sent_[1].clear();
+}
+
+void DupChannel::send(sim::Dir dir, sim::MsgId msg) { bag(dir).insert(msg); }
+
+std::vector<sim::MsgId> DupChannel::deliverable(sim::Dir dir) const {
+  return {bag(dir).begin(), bag(dir).end()};
+}
+
+std::uint64_t DupChannel::copies(sim::Dir dir, sim::MsgId msg) const {
+  return bag(dir).count(msg) ? 1 : 0;
+}
+
+void DupChannel::deliver(sim::Dir dir, sim::MsgId msg) {
+  STPX_EXPECT(copies(dir, msg) > 0, "DupChannel::deliver: message never sent");
+  // A dup channel never forgets: the message stays deliverable.
+}
+
+void DupChannel::drop(sim::Dir, sim::MsgId) {
+  STPX_EXPECT(false, "DupChannel cannot drop messages (Property 1c)");
+}
+
+std::unique_ptr<sim::IChannel> DupChannel::clone() const {
+  return std::make_unique<DupChannel>(*this);
+}
+
+}  // namespace stpx::channel

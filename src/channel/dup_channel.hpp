@@ -1,0 +1,40 @@
+// The reordering + duplicating channel of 𝒳-STP(dup) (paper §2.2, §3).
+//
+// Environment state per direction is the *set* of messages ever sent: once a
+// message has been sent, the channel may deliver an unbounded number of
+// copies of it, at any time, forever.  deliver() therefore does not consume
+// anything, and deletion is impossible (Property 1c: every sent message is
+// eventually delivered at least as often as sent — trivially satisfiable
+// here since the set never shrinks).
+#pragma once
+
+#include <set>
+
+#include "sim/channel_iface.hpp"
+
+namespace stpx::channel {
+
+class DupChannel final : public sim::IChannel {
+ public:
+  void reset() override;
+  void send(sim::Dir dir, sim::MsgId msg) override;
+  std::vector<sim::MsgId> deliverable(sim::Dir dir) const override;
+  std::uint64_t copies(sim::Dir dir, sim::MsgId msg) const override;
+  void deliver(sim::Dir dir, sim::MsgId msg) override;
+  bool can_drop() const override { return false; }
+  void drop(sim::Dir dir, sim::MsgId msg) override;
+  std::unique_ptr<sim::IChannel> clone() const override;
+  std::string name() const override { return "dup-channel"; }
+
+ private:
+  const std::set<sim::MsgId>& bag(sim::Dir dir) const {
+    return ever_sent_[static_cast<std::size_t>(dir)];
+  }
+  std::set<sim::MsgId>& bag(sim::Dir dir) {
+    return ever_sent_[static_cast<std::size_t>(dir)];
+  }
+
+  std::set<sim::MsgId> ever_sent_[2];
+};
+
+}  // namespace stpx::channel

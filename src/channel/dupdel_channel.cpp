@@ -1,0 +1,66 @@
+#include "channel/dupdel_channel.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::channel {
+
+DupDelChannel::DupDelChannel(double suppress_prob, std::uint64_t seed)
+    : suppress_prob_(suppress_prob), rng_(seed) {
+  STPX_EXPECT(suppress_prob >= 0.0 && suppress_prob <= 1.0,
+              "DupDelChannel: suppress_prob out of [0,1]");
+}
+
+void DupDelChannel::reset() {
+  live_[0].clear();
+  live_[1].clear();
+}
+
+void DupDelChannel::send(sim::Dir dir, sim::MsgId msg) {
+  const bool suppressed =
+      suppress_prob_ > 0.0 && rng_.chance(suppress_prob_);
+  auto [it, inserted] = bag(dir).emplace(msg, !suppressed);
+  if (!inserted && !suppressed) it->second = true;  // re-send revives the id
+}
+
+std::vector<sim::MsgId> DupDelChannel::deliverable(sim::Dir dir) const {
+  std::vector<sim::MsgId> out;
+  for (const auto& [msg, live] : bag(dir)) {
+    if (live) out.push_back(msg);
+  }
+  return out;
+}
+
+std::uint64_t DupDelChannel::copies(sim::Dir dir, sim::MsgId msg) const {
+  const auto it = bag(dir).find(msg);
+  return it != bag(dir).end() && it->second ? 1 : 0;
+}
+
+void DupDelChannel::deliver(sim::Dir dir, sim::MsgId msg) {
+  STPX_EXPECT(copies(dir, msg) > 0, "DupDelChannel::deliver: not live");
+  // Duplication: delivery never consumes; the id stays live.
+}
+
+void DupDelChannel::drop(sim::Dir dir, sim::MsgId msg) {
+  STPX_EXPECT(copies(dir, msg) > 0, "DupDelChannel::drop: not live");
+  bag(dir)[msg] = false;
+}
+
+std::uint64_t DupDelChannel::drop_everything() {
+  std::uint64_t dropped = 0;
+  for (auto& dir_bag : live_) {
+    for (auto& [msg, live] : dir_bag) {
+      (void)msg;
+      if (live) {
+        live = false;
+        ++dropped;
+      }
+    }
+  }
+  return dropped;
+}
+
+std::unique_ptr<sim::IChannel> DupDelChannel::clone() const {
+  return std::make_unique<DupDelChannel>(*this);
+}
+
+}  // namespace stpx::channel

@@ -1,0 +1,59 @@
+// The reorder + duplicate + delete channel.
+//
+// [AFWZ89] (cited in §1) shows 𝒳-STP is unsolvable when the channel can
+// both duplicate and reorder, *for uncountable 𝒳*; with countable 𝒳 the
+// interesting boundary is liveness: a message may be replayed forever OR
+// suppressed forever, so a sender that transmits a message only once (the
+// optimal move on a pure dup channel) can starve the receiver.
+//
+// Semantics: per direction, every message id is in one of three states —
+// never-sent, suppressed (deleted: all copies gone, replays impossible
+// until re-sent), or live (deliverable arbitrarily many times).  At send
+// time the adversary may suppress the transmission with probability
+// `suppress_prob`; a later re-send of the same id can succeed and make the
+// id live.  With suppress_prob = 0 this degenerates to DupChannel; with
+// re-sends it models "each transmission independently lost or amplified".
+#pragma once
+
+#include <map>
+
+#include "sim/channel_iface.hpp"
+#include "util/rng.hpp"
+
+namespace stpx::channel {
+
+class DupDelChannel final : public sim::IChannel {
+ public:
+  DupDelChannel() = default;
+  DupDelChannel(double suppress_prob, std::uint64_t seed);
+
+  void reset() override;
+  void send(sim::Dir dir, sim::MsgId msg) override;
+  std::vector<sim::MsgId> deliverable(sim::Dir dir) const override;
+  std::uint64_t copies(sim::Dir dir, sim::MsgId msg) const override;
+  void deliver(sim::Dir dir, sim::MsgId msg) override;
+  bool can_drop() const override { return true; }
+  /// Drop = suppress a live id (deletes "all copies" at once — on a
+  /// duplicating channel partial deletion is meaningless).
+  void drop(sim::Dir dir, sim::MsgId msg) override;
+  std::unique_ptr<sim::IChannel> clone() const override;
+  std::string name() const override { return "dupdel-channel"; }
+
+  /// Fault injection: suppress every live id in both directions.
+  std::uint64_t drop_everything();
+
+ private:
+  const std::map<sim::MsgId, bool>& bag(sim::Dir dir) const {
+    return live_[static_cast<std::size_t>(dir)];
+  }
+  std::map<sim::MsgId, bool>& bag(sim::Dir dir) {
+    return live_[static_cast<std::size_t>(dir)];
+  }
+
+  // id -> live?  (present+false = suppressed, absent = never sent)
+  std::map<sim::MsgId, bool> live_[2];
+  double suppress_prob_ = 0.0;
+  Rng rng_{0};
+};
+
+}  // namespace stpx::channel

@@ -1,0 +1,60 @@
+#include "channel/fifo_channel.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace stpx::channel {
+
+FifoChannel::FifoChannel(double loss_prob, double dup_prob,
+                         std::uint64_t seed)
+    : loss_prob_(loss_prob), dup_prob_(dup_prob), rng_(seed) {
+  STPX_EXPECT(loss_prob >= 0.0 && loss_prob <= 1.0,
+              "FifoChannel: loss_prob out of [0,1]");
+  STPX_EXPECT(dup_prob >= 0.0 && dup_prob <= 1.0,
+              "FifoChannel: dup_prob out of [0,1]");
+}
+
+void FifoChannel::reset() {
+  queues_[0].clear();
+  queues_[1].clear();
+}
+
+void FifoChannel::send(sim::Dir dir, sim::MsgId msg) {
+  if (loss_prob_ > 0.0 && rng_.chance(loss_prob_)) return;
+  queue(dir).push_back(msg);
+  if (dup_prob_ > 0.0 && rng_.chance(dup_prob_)) queue(dir).push_back(msg);
+}
+
+std::vector<sim::MsgId> FifoChannel::deliverable(sim::Dir dir) const {
+  if (queue(dir).empty()) return {};
+  return {queue(dir).front()};
+}
+
+std::uint64_t FifoChannel::copies(sim::Dir dir, sim::MsgId msg) const {
+  // Only the head is deliverable, so at most one "copy" is visible.
+  return (!queue(dir).empty() && queue(dir).front() == msg) ? 1 : 0;
+}
+
+void FifoChannel::deliver(sim::Dir dir, sim::MsgId msg) {
+  STPX_EXPECT(copies(dir, msg) > 0, "FifoChannel::deliver: not at head");
+  queue(dir).pop_front();
+}
+
+void FifoChannel::drop(sim::Dir dir, sim::MsgId msg) {
+  STPX_EXPECT(copies(dir, msg) > 0, "FifoChannel::drop: not at head");
+  queue(dir).pop_front();
+}
+
+std::uint64_t FifoChannel::drop_everything() {
+  const std::uint64_t total = queues_[0].size() + queues_[1].size();
+  queues_[0].clear();
+  queues_[1].clear();
+  return total;
+}
+
+std::unique_ptr<sim::IChannel> FifoChannel::clone() const {
+  return std::make_unique<FifoChannel>(*this);
+}
+
+}  // namespace stpx::channel

@@ -1,0 +1,53 @@
+// Order-preserving channel with optional loss and duplication.
+//
+// Outside the paper's reordering regime: used by baselines that assume FIFO
+// links (the Alternating Bit Protocol, and the §5 hybrid construction whose
+// first phase is ABP).  Loss deletes a sent copy with probability
+// `loss_prob`; duplication enqueues a second copy with probability
+// `dup_prob`.  Only the head of the queue is deliverable.
+#pragma once
+
+#include <deque>
+
+#include "sim/channel_iface.hpp"
+#include "util/rng.hpp"
+
+namespace stpx::channel {
+
+class FifoChannel final : public sim::IChannel {
+ public:
+  FifoChannel() = default;
+  FifoChannel(double loss_prob, double dup_prob, std::uint64_t seed);
+
+  void reset() override;
+  void send(sim::Dir dir, sim::MsgId msg) override;
+  std::vector<sim::MsgId> deliverable(sim::Dir dir) const override;
+  std::uint64_t copies(sim::Dir dir, sim::MsgId msg) const override;
+  void deliver(sim::Dir dir, sim::MsgId msg) override;
+  bool can_drop() const override { return true; }
+  void drop(sim::Dir dir, sim::MsgId msg) override;
+  std::unique_ptr<sim::IChannel> clone() const override;
+  std::string name() const override { return "fifo-channel"; }
+
+  /// Fault injection: clear both queues; returns copies deleted.
+  std::uint64_t drop_everything();
+
+  std::size_t queue_length(sim::Dir dir) const {
+    return queue(dir).size();
+  }
+
+ private:
+  const std::deque<sim::MsgId>& queue(sim::Dir dir) const {
+    return queues_[static_cast<std::size_t>(dir)];
+  }
+  std::deque<sim::MsgId>& queue(sim::Dir dir) {
+    return queues_[static_cast<std::size_t>(dir)];
+  }
+
+  std::deque<sim::MsgId> queues_[2];
+  double loss_prob_ = 0.0;
+  double dup_prob_ = 0.0;
+  Rng rng_{0};
+};
+
+}  // namespace stpx::channel

@@ -1,0 +1,146 @@
+#include "channel/schedulers.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::channel {
+
+using sim::Action;
+using sim::ActionKind;
+using sim::SchedView;
+
+// ---------------------------------------------------------------- random --
+
+FairRandomScheduler::FairRandomScheduler(FairRandomConfig config)
+    : config_(config), rng_(config.seed) {
+  STPX_EXPECT(config.sender_weight >= 0 && config.receiver_weight >= 0 &&
+                  config.delivery_weight >= 0,
+              "FairRandomScheduler: negative weight");
+  STPX_EXPECT(config.sender_weight + config.receiver_weight +
+                      config.delivery_weight > 0,
+              "FairRandomScheduler: all weights zero");
+}
+
+void FairRandomScheduler::reset() {
+  rng_.reseed(config_.seed);
+  since_sender_ = 0;
+  since_receiver_ = 0;
+}
+
+Action FairRandomScheduler::choose(const SchedView& view) {
+  // Anti-starvation overrides keep both processes stepping.
+  if (since_sender_ >= config_.starvation_limit) {
+    since_sender_ = 0;
+    ++since_receiver_;
+    return Action{ActionKind::kSenderStep, -1};
+  }
+  if (since_receiver_ >= config_.starvation_limit) {
+    since_receiver_ = 0;
+    ++since_sender_;
+    return Action{ActionKind::kReceiverStep, -1};
+  }
+
+  const bool any_delivery = !view.deliverable_to_receiver.empty() ||
+                            !view.deliverable_to_sender.empty();
+  const double dw = any_delivery ? config_.delivery_weight : 0.0;
+  const double total = config_.sender_weight + config_.receiver_weight + dw;
+  const double u =
+      static_cast<double>(rng_() >> 11) * 0x1.0p-53 * total;
+
+  Action out;
+  if (u < config_.sender_weight) {
+    out = Action{ActionKind::kSenderStep, -1};
+  } else if (u < config_.sender_weight + config_.receiver_weight) {
+    out = Action{ActionKind::kReceiverStep, -1};
+  } else {
+    // Pick uniformly among all deliverable messages, both directions.
+    const std::size_t nr = view.deliverable_to_receiver.size();
+    const std::size_t ns = view.deliverable_to_sender.size();
+    const std::size_t idx = static_cast<std::size_t>(rng_.below(nr + ns));
+    if (idx < nr) {
+      out = Action{ActionKind::kDeliverToReceiver,
+                   view.deliverable_to_receiver[idx]};
+    } else {
+      out = Action{ActionKind::kDeliverToSender,
+                   view.deliverable_to_sender[idx - nr]};
+    }
+  }
+
+  if (out.kind == ActionKind::kSenderStep) {
+    since_sender_ = 0;
+    ++since_receiver_;
+  } else if (out.kind == ActionKind::kReceiverStep) {
+    since_receiver_ = 0;
+    ++since_sender_;
+  } else {
+    ++since_sender_;
+    ++since_receiver_;
+  }
+  return out;
+}
+
+std::unique_ptr<sim::IScheduler> FairRandomScheduler::clone() const {
+  return std::make_unique<FairRandomScheduler>(*this);
+}
+
+// ----------------------------------------------------------- round robin --
+
+void RoundRobinScheduler::reset() {
+  phase_ = 0;
+  rotate_r_ = 0;
+  rotate_s_ = 0;
+}
+
+Action RoundRobinScheduler::choose(const SchedView& view) {
+  // Four-phase rotation; delivery phases fall through to the next phase when
+  // nothing is deliverable in that direction.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint64_t phase = phase_ % 4;
+    ++phase_;
+    switch (phase) {
+      case 0:
+        return Action{ActionKind::kSenderStep, -1};
+      case 1:
+        if (!view.deliverable_to_receiver.empty()) {
+          const auto& v = view.deliverable_to_receiver;
+          return Action{ActionKind::kDeliverToReceiver,
+                        v[rotate_r_++ % v.size()]};
+        }
+        break;
+      case 2:
+        return Action{ActionKind::kReceiverStep, -1};
+      case 3:
+        if (!view.deliverable_to_sender.empty()) {
+          const auto& v = view.deliverable_to_sender;
+          return Action{ActionKind::kDeliverToSender,
+                        v[rotate_s_++ % v.size()]};
+        }
+        break;
+    }
+  }
+  return Action{ActionKind::kSenderStep, -1};
+}
+
+std::unique_ptr<sim::IScheduler> RoundRobinScheduler::clone() const {
+  return std::make_unique<RoundRobinScheduler>(*this);
+}
+
+// -------------------------------------------------------------- scripted --
+
+ScriptedScheduler::ScriptedScheduler(std::vector<sim::Action> script)
+    : script_(std::move(script)) {}
+
+void ScriptedScheduler::reset() {
+  next_ = 0;
+  fallback_.reset();
+}
+
+Action ScriptedScheduler::choose(const SchedView& view) {
+  if (next_ < script_.size()) return script_[next_++];
+  return fallback_.choose(view);
+}
+
+std::unique_ptr<sim::IScheduler> ScriptedScheduler::clone() const {
+  return std::make_unique<ScriptedScheduler>(*this);
+}
+
+}  // namespace stpx::channel

@@ -1,0 +1,78 @@
+// Scheduler implementations.
+//
+// * FairRandomScheduler — seeded randomized "nature": both processes step
+//   regularly and every deliverable message keeps getting chances, so fair
+//   runs (in the paper's sense) occur with probability 1 as the step budget
+//   grows.  Starvation is additionally prevented by aging: an action
+//   category unchosen for too long is forced.
+// * RoundRobinScheduler — deterministic S-step / deliver→R / R-step /
+//   deliver→S rotation; a maximally benign channel for smoke tests.
+// * ScriptedScheduler — replays a fixed action list (the adversary of a
+//   synthesized attack, or a recorded run); falls back to round-robin when
+//   the script is exhausted.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/scheduler_iface.hpp"
+#include "util/rng.hpp"
+
+namespace stpx::channel {
+
+struct FairRandomConfig {
+  std::uint64_t seed = 1;
+  /// Relative weights of the action categories.
+  double sender_weight = 1.0;
+  double receiver_weight = 1.0;
+  double delivery_weight = 2.0;
+  /// Force a process step if it has not run for this many steps.
+  std::uint64_t starvation_limit = 64;
+};
+
+class FairRandomScheduler final : public sim::IScheduler {
+ public:
+  explicit FairRandomScheduler(FairRandomConfig config);
+  explicit FairRandomScheduler(std::uint64_t seed)
+      : FairRandomScheduler(FairRandomConfig{.seed = seed}) {}
+
+  void reset() override;
+  sim::Action choose(const sim::SchedView& view) override;
+  std::unique_ptr<sim::IScheduler> clone() const override;
+  std::string name() const override { return "fair-random"; }
+
+ private:
+  FairRandomConfig config_;
+  Rng rng_;
+  std::uint64_t since_sender_ = 0;
+  std::uint64_t since_receiver_ = 0;
+};
+
+class RoundRobinScheduler final : public sim::IScheduler {
+ public:
+  void reset() override;
+  sim::Action choose(const sim::SchedView& view) override;
+  std::unique_ptr<sim::IScheduler> clone() const override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  std::uint64_t phase_ = 0;
+  std::size_t rotate_r_ = 0;  // rotating pick within deliverable sets
+  std::size_t rotate_s_ = 0;
+};
+
+class ScriptedScheduler final : public sim::IScheduler {
+ public:
+  explicit ScriptedScheduler(std::vector<sim::Action> script);
+
+  void reset() override;
+  sim::Action choose(const sim::SchedView& view) override;
+  std::unique_ptr<sim::IScheduler> clone() const override;
+  std::string name() const override { return "scripted"; }
+
+ private:
+  std::vector<sim::Action> script_;
+  std::size_t next_ = 0;
+  RoundRobinScheduler fallback_;
+};
+
+}  // namespace stpx::channel

@@ -1,0 +1,58 @@
+#include "channel/sync_channel.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::channel {
+
+SyncLossChannel::SyncLossChannel(double loss_prob, std::uint64_t seed)
+    : loss_prob_(loss_prob), rng_(seed) {
+  STPX_EXPECT(loss_prob >= 0.0 && loss_prob <= 1.0,
+              "SyncLossChannel: loss_prob out of [0,1]");
+}
+
+void SyncLossChannel::reset() {
+  queues_[0].clear();
+  queues_[1].clear();
+}
+
+void SyncLossChannel::send(sim::Dir dir, sim::MsgId msg) {
+  if (dir == sim::Dir::kSenderToReceiver) {
+    // Each data transmission gets an environment verdict, delivered to the
+    // sender through the reverse direction.
+    if (loss_prob_ > 0.0 && rng_.chance(loss_prob_)) {
+      queue(sim::Dir::kReceiverToSender).push_back(kSyncNack);
+      return;
+    }
+    queue(dir).push_back(msg);
+    queue(sim::Dir::kReceiverToSender).push_back(kSyncAck);
+    return;
+  }
+  // Receiver->sender traffic (unused by the sync protocol) is a plain
+  // lossless FIFO so verdict tokens and acks cannot be confused.
+  queue(dir).push_back(msg);
+}
+
+std::vector<sim::MsgId> SyncLossChannel::deliverable(sim::Dir dir) const {
+  if (queue(dir).empty()) return {};
+  return {queue(dir).front()};
+}
+
+std::uint64_t SyncLossChannel::copies(sim::Dir dir, sim::MsgId msg) const {
+  return (!queue(dir).empty() && queue(dir).front() == msg) ? 1 : 0;
+}
+
+void SyncLossChannel::deliver(sim::Dir dir, sim::MsgId msg) {
+  STPX_EXPECT(copies(dir, msg) > 0, "SyncLossChannel::deliver: not at head");
+  queue(dir).pop_front();
+}
+
+void SyncLossChannel::drop(sim::Dir, sim::MsgId) {
+  STPX_EXPECT(false,
+              "SyncLossChannel: loss happens only at send time (detected)");
+}
+
+std::unique_ptr<sim::IChannel> SyncLossChannel::clone() const {
+  return std::make_unique<SyncLossChannel>(*this);
+}
+
+}  // namespace stpx::channel

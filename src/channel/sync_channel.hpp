@@ -1,0 +1,57 @@
+// The synchronous, detectable-loss link of the early protocol literature
+// ([AUY79], [AUWY82] — the paper's §1 contrast class).
+//
+// In that model a transmission either arrives or its loss is DETECTED by
+// the sender; nothing is reordered or duplicated.  We realize detection as
+// an environment-generated verdict token per transmission: each send
+// either enqueues the message (FIFO) and an ACK token, or drops it and
+// enqueues a NACK token.  Verdict tokens travel the reverse direction and
+// are delivered like any message (the sender learns each transmission's
+// fate, in order).
+//
+// The point of carrying this channel at all: with detectability and order,
+// STP for ALL sequences needs |M^S| = |D| and no receiver->sender messages
+// whatsoever (see proto::SyncStopAndWait) — it is the paper's *asynchronous
+// reordering* assumptions that create the alpha(m) wall (ablation A3).
+#pragma once
+
+#include <deque>
+
+#include "sim/channel_iface.hpp"
+#include "util/rng.hpp"
+
+namespace stpx::channel {
+
+/// Environment verdict tokens (outside any protocol alphabet).
+inline constexpr sim::MsgId kSyncAck = 1 << 20;
+inline constexpr sim::MsgId kSyncNack = (1 << 20) + 1;
+
+class SyncLossChannel final : public sim::IChannel {
+ public:
+  SyncLossChannel() = default;
+  SyncLossChannel(double loss_prob, std::uint64_t seed);
+
+  void reset() override;
+  void send(sim::Dir dir, sim::MsgId msg) override;
+  std::vector<sim::MsgId> deliverable(sim::Dir dir) const override;
+  std::uint64_t copies(sim::Dir dir, sim::MsgId msg) const override;
+  void deliver(sim::Dir dir, sim::MsgId msg) override;
+  bool can_drop() const override { return false; }  // loss is policy-only
+  void drop(sim::Dir dir, sim::MsgId msg) override;
+  std::unique_ptr<sim::IChannel> clone() const override;
+  std::string name() const override { return "sync-loss-channel"; }
+
+ private:
+  const std::deque<sim::MsgId>& queue(sim::Dir dir) const {
+    return queues_[static_cast<std::size_t>(dir)];
+  }
+  std::deque<sim::MsgId>& queue(sim::Dir dir) {
+    return queues_[static_cast<std::size_t>(dir)];
+  }
+
+  std::deque<sim::MsgId> queues_[2];
+  double loss_prob_ = 0.0;
+  Rng rng_{0};
+};
+
+}  // namespace stpx::channel

@@ -1,0 +1,704 @@
+#include "knowledge/explorer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "sim/trace.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::knowledge {
+
+using sim::Action;
+using sim::ActionKind;
+using sim::Dir;
+
+namespace {
+
+/// Distinct S->R messages sent so far, read off the sender's history.
+std::vector<sim::MsgId> distinct_sends(const sim::LocalHistory& s_hist) {
+  std::set<sim::MsgId> seen;
+  for (const sim::LocalEvent& ev : s_hist) {
+    if (ev.kind == sim::LocalEvent::Kind::kStep && ev.sent >= 0) {
+      seen.insert(ev.sent);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+/// Merge key: deterministic protocols + history-determined channels mean a
+/// global state is (input, S history, R history).
+std::string state_key(std::size_t input_index, const sim::Engine& e) {
+  return std::to_string(input_index) + '|' +
+         sim::history_key(e.sender_history()) + '|' +
+         sim::history_key(e.receiver_history());
+}
+
+/// All actions applicable at the current state of `e`.
+std::vector<Action> legal_actions(const sim::Engine& e) {
+  std::vector<Action> out;
+  out.push_back({ActionKind::kSenderStep, -1});
+  out.push_back({ActionKind::kReceiverStep, -1});
+  for (sim::MsgId m : e.channel().deliverable(Dir::kSenderToReceiver)) {
+    out.push_back({ActionKind::kDeliverToReceiver, m});
+  }
+  for (sim::MsgId m : e.channel().deliverable(Dir::kReceiverToSender)) {
+    out.push_back({ActionKind::kDeliverToSender, m});
+  }
+  return out;
+}
+
+}  // namespace
+
+Exploration explore(const stp::SystemSpec& spec, const seq::Family& family,
+                    const ExploreConfig& config) {
+  Exploration ex;
+  ex.family = family;
+
+  stp::SystemSpec local = spec;
+  local.engine.record_histories = true;
+  local.engine.stop_when_complete = false;
+  // The explorer drives actions itself; give the engine ample headroom.
+  local.engine.max_steps = config.max_depth + 1;
+
+  struct Node {
+    std::unique_ptr<sim::Engine> engine;
+    std::size_t input_index;
+    std::uint64_t depth;
+  };
+
+  std::deque<Node> frontier;
+  std::set<std::string> visited;
+
+  auto record = [&ex](const Node& node) {
+    ExploredPoint p;
+    p.input_index = node.input_index;
+    p.depth = node.depth;
+    p.output = node.engine->output();
+    p.r_key = sim::history_key(node.engine->receiver_history());
+    p.s_key = sim::history_key(node.engine->sender_history());
+    p.sent_to_receiver = distinct_sends(node.engine->sender_history());
+    for (sim::MsgId m :
+         node.engine->channel().deliverable(Dir::kSenderToReceiver)) {
+      p.deliverable_r.emplace_back(
+          m, node.engine->channel().copies(Dir::kSenderToReceiver, m));
+    }
+    p.safety_ok = node.engine->safety_ok();
+    ex.by_r_history[p.r_key].push_back(ex.points.size());
+    ex.by_s_history[p.s_key].push_back(ex.points.size());
+    ex.points.push_back(std::move(p));
+  };
+
+  for (std::size_t idx = 0; idx < family.members.size(); ++idx) {
+    auto engine = std::make_unique<sim::Engine>(stp::make_engine(local, 0));
+    engine->begin(family.members[idx]);
+    Node node{std::move(engine), idx, 0};
+    const std::string key = state_key(idx, *node.engine);
+    if (visited.insert(key).second) {
+      record(node);
+      frontier.push_back(std::move(node));
+    }
+  }
+
+  while (!frontier.empty()) {
+    if (ex.points.size() >= config.max_points) {
+      ex.truncated = true;
+      break;
+    }
+    Node node = std::move(frontier.front());
+    frontier.pop_front();
+    if (node.depth >= config.max_depth) {
+      ex.truncated = true;  // unexplored successors exist past the horizon
+      continue;
+    }
+    for (const Action& a : legal_actions(*node.engine)) {
+      auto child = node.engine->clone();
+      child->apply(a);
+      const std::string key = state_key(node.input_index, *child);
+      if (!visited.insert(key).second) continue;
+      Node next{std::move(child), node.input_index, node.depth + 1};
+      record(next);
+      if (ex.points.size() >= config.max_points) {
+        ex.truncated = true;
+        break;
+      }
+      frontier.push_back(std::move(next));
+    }
+  }
+  if (!frontier.empty()) ex.truncated = true;
+
+  return ex;
+}
+
+ExhaustiveVerdict exhaustive_safety(const stp::SystemSpec& spec,
+                                    const seq::Family& family,
+                                    const ExploreConfig& config) {
+  const Exploration ex = explore(spec, family, config);
+  ExhaustiveVerdict verdict;
+  verdict.points_checked = ex.points.size();
+  verdict.exhausted = !ex.truncated;
+  for (const ExploredPoint& p : ex.points) {
+    if (!p.safety_ok) {
+      verdict.violation_found = true;
+      verdict.input_index = p.input_index;
+      verdict.violating_output = p.output;
+      break;
+    }
+  }
+  return verdict;
+}
+
+namespace {
+
+/// Message ids a process has received, read off its history.
+std::set<sim::MsgId> distinct_receipts(const sim::LocalHistory& hist) {
+  std::set<sim::MsgId> seen;
+  for (const sim::LocalEvent& ev : hist) {
+    if (ev.kind == sim::LocalEvent::Kind::kRecv) seen.insert(ev.received);
+  }
+  return seen;
+}
+
+/// Bounded information-quiescence check (see exhaustive_deadlock's doc).
+/// Probes are bounded at 64 process steps; receivers are assumed
+/// insensitive to duplicate deliveries of already-received ids (true of
+/// every receiver in this repository — they all dedupe or re-ack
+/// idempotently).
+bool information_quiescent(const sim::Engine& e) {
+  constexpr int kProbeSteps = 64;
+
+  // 1. Every deliverable message must already have been received once by
+  // its addressee — otherwise delivering it is new information.
+  const auto r_seen = distinct_receipts(e.receiver_history());
+  for (sim::MsgId m : e.channel().deliverable(Dir::kSenderToReceiver)) {
+    if (!r_seen.count(m)) return false;
+  }
+  const auto s_seen = distinct_receipts(e.sender_history());
+  for (sim::MsgId m : e.channel().deliverable(Dir::kReceiverToSender)) {
+    if (!s_seen.count(m)) return false;
+  }
+
+  // 2. Probe the sender: can it ever emit a message id it has not already
+  // sent (timers included, up to the probe bound)?
+  {
+    auto probe = e.clone();
+    std::set<sim::MsgId> sent;
+    for (const sim::LocalEvent& ev : probe->sender_history()) {
+      if (ev.kind == sim::LocalEvent::Kind::kStep && ev.sent >= 0) {
+        sent.insert(ev.sent);
+      }
+    }
+    for (int i = 0; i < kProbeSteps; ++i) {
+      probe->apply(Action{ActionKind::kSenderStep, -1});
+      const sim::LocalEvent& last = probe->sender_history().back();
+      if (last.sent >= 0 && !sent.count(last.sent)) return false;
+    }
+  }
+
+  // 3. Probe the receiver: left alone, does it ever write or say anything
+  // new?
+  {
+    auto probe = e.clone();
+    std::set<sim::MsgId> sent;
+    for (const sim::LocalEvent& ev : probe->receiver_history()) {
+      if (ev.kind == sim::LocalEvent::Kind::kStep && ev.sent >= 0) {
+        sent.insert(ev.sent);
+      }
+    }
+    const std::size_t writes_before = probe->output().size();
+    for (int i = 0; i < kProbeSteps; ++i) {
+      probe->apply(Action{ActionKind::kReceiverStep, -1});
+      if (probe->output().size() != writes_before) return false;
+      const sim::LocalEvent& last = probe->receiver_history().back();
+      if (last.sent >= 0 && !sent.count(last.sent)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+DeadlockVerdict exhaustive_deadlock(const stp::SystemSpec& spec,
+                                    const seq::Family& family,
+                                    const ExploreConfig& config) {
+  // A fresh BFS (rather than reusing explore()) because quiescence needs
+  // live engines to probe.
+  stp::SystemSpec local = spec;
+  local.engine.record_histories = true;
+  local.engine.stop_when_complete = false;
+  local.engine.max_steps = config.max_depth + 128;  // probe headroom
+
+  struct Node {
+    std::unique_ptr<sim::Engine> engine;
+    std::size_t input_index;
+    std::uint64_t depth;
+  };
+
+  DeadlockVerdict verdict;
+  verdict.exhausted = true;
+  std::deque<Node> frontier;
+  std::set<std::string> visited;
+
+  for (std::size_t idx = 0; idx < family.members.size(); ++idx) {
+    auto engine = std::make_unique<sim::Engine>(stp::make_engine(local, 0));
+    engine->begin(family.members[idx]);
+    const std::string key = state_key(idx, *engine);
+    if (visited.insert(key).second) {
+      frontier.push_back({std::move(engine), idx, 0});
+    }
+  }
+
+  while (!frontier.empty()) {
+    Node node = std::move(frontier.front());
+    frontier.pop_front();
+    if (++verdict.points_checked > config.max_points) {
+      verdict.exhausted = false;
+      break;
+    }
+    if (!node.engine->completed() &&
+        information_quiescent(*node.engine)) {
+      verdict.deadlock_found = true;
+      verdict.input_index = node.input_index;
+      verdict.stuck_output = node.engine->output();
+      return verdict;
+    }
+    if (node.depth >= config.max_depth) {
+      verdict.exhausted = false;
+      continue;
+    }
+    for (const Action& a : legal_actions(*node.engine)) {
+      auto child = node.engine->clone();
+      child->apply(a);
+      const std::string key = state_key(node.input_index, *child);
+      if (!visited.insert(key).second) continue;
+      frontier.push_back({std::move(child), node.input_index,
+                          node.depth + 1});
+    }
+  }
+  return verdict;
+}
+
+std::optional<seq::DataItem> receiver_knows_item(const Exploration& ex,
+                                                 const ExploredPoint& point,
+                                                 std::size_t i) {
+  const auto it = ex.by_r_history.find(point.r_key);
+  STPX_EXPECT(it != ex.by_r_history.end(),
+              "receiver_knows_item: point not from this exploration");
+  std::optional<seq::DataItem> value;
+  for (std::size_t idx : it->second) {
+    const seq::Sequence& x =
+        ex.family.members[ex.points[idx].input_index];
+    if (i >= x.size()) return std::nullopt;  // some twin lacks item i
+    if (!value) {
+      value = x[i];
+    } else if (*value != x[i]) {
+      return std::nullopt;  // twins disagree: R does not know
+    }
+  }
+  return value;
+}
+
+std::size_t receiver_known_prefix(const Exploration& ex,
+                                  const ExploredPoint& point) {
+  std::size_t known = 0;
+  while (receiver_knows_item(ex, point, known).has_value()) ++known;
+  return known;
+}
+
+std::size_t sender_known_written(const Exploration& ex,
+                                 const ExploredPoint& point) {
+  const auto it = ex.by_s_history.find(point.s_key);
+  STPX_EXPECT(it != ex.by_s_history.end(),
+              "sender_known_written: point not from this exploration");
+  std::size_t known = SIZE_MAX;
+  for (std::size_t idx : it->second) {
+    known = std::min(known, ex.points[idx].output.size());
+  }
+  return known == SIZE_MAX ? 0 : known;
+}
+
+bool sender_knows_receiver_knows(const Exploration& ex,
+                                 const ExploredPoint& point, std::size_t i) {
+  const auto it = ex.by_s_history.find(point.s_key);
+  STPX_EXPECT(it != ex.by_s_history.end(),
+              "sender_knows_receiver_knows: point not from this exploration");
+  for (std::size_t idx : it->second) {
+    if (receiver_known_prefix(ex, ex.points[idx]) < i + 1) return false;
+  }
+  return true;
+}
+
+PointPred knows(Process p, PointPred phi) {
+  return [p, phi = std::move(phi)](const Exploration& ex,
+                                   const ExploredPoint& point) {
+    const auto& classes =
+        p == Process::kReceiver ? ex.by_r_history : ex.by_s_history;
+    const std::string& key =
+        p == Process::kReceiver ? point.r_key : point.s_key;
+    const auto it = classes.find(key);
+    STPX_EXPECT(it != classes.end(),
+                "knows: point not from this exploration");
+    for (std::size_t idx : it->second) {
+      if (!phi(ex, ex.points[idx])) return false;
+    }
+    return true;
+  };
+}
+
+PointPred fact_item_is(std::size_t i, seq::DataItem d) {
+  return [i, d](const Exploration& ex, const ExploredPoint& point) {
+    const seq::Sequence& x = ex.family.members[point.input_index];
+    return i < x.size() && x[i] == d;
+  };
+}
+
+PointPred fact_written_at_least(std::size_t n) {
+  return [n](const Exploration&, const ExploredPoint& point) {
+    return point.output.size() >= n;
+  };
+}
+
+std::size_t knowledge_chain_depth(const Exploration& ex,
+                                  const ExploredPoint& point, std::size_t i,
+                                  std::size_t max_depth) {
+  const seq::Sequence& x = ex.family.members[point.input_index];
+  if (i >= x.size()) return 0;
+  // The base fact is x_i = (its value in this run); rungs alternate R, S.
+  PointPred rung = fact_item_is(i, x[i]);
+  std::size_t depth = 0;
+  while (depth < max_depth) {
+    rung = knows(depth % 2 == 0 ? Process::kReceiver : Process::kSender,
+                 std::move(rung));
+    if (!rung(ex, point)) return depth;
+    ++depth;
+  }
+  return depth;
+}
+
+std::vector<std::optional<std::uint64_t>> learn_times(
+    const Exploration& ex, const sim::RunResult& run) {
+  STPX_EXPECT(!run.trace.empty() || run.stats.steps == 0,
+              "learn_times: run must be recorded with record_trace");
+  std::vector<std::optional<std::uint64_t>> times(run.input.size(),
+                                                  std::nullopt);
+  // Replay: maintain the receiver-history prefix step by step and query the
+  // ~_R class at each point.
+  sim::LocalHistory r_hist;
+  std::size_t best_known = 0;
+
+  auto note_knowledge = [&](std::uint64_t step) -> bool {
+    const auto it = ex.by_r_history.find(sim::history_key(r_hist));
+    if (it == ex.by_r_history.end()) return false;  // past the horizon
+    const ExploredPoint& rep = ex.points[it->second.front()];
+    const std::size_t known = receiver_known_prefix(ex, rep);
+    for (std::size_t i = best_known; i < known && i < times.size(); ++i) {
+      times[i] = step;
+    }
+    best_known = std::max(best_known, known);
+    return true;
+  };
+
+  if (!note_knowledge(0)) return times;
+  for (const sim::TraceEvent& ev : run.trace) {
+    switch (ev.action.kind) {
+      case ActionKind::kReceiverStep: {
+        sim::LocalEvent le;
+        le.kind = sim::LocalEvent::Kind::kStep;
+        le.sent = ev.did_send ? ev.sent : -1;
+        le.writes = ev.writes;
+        r_hist.push_back(std::move(le));
+        break;
+      }
+      case ActionKind::kDeliverToReceiver: {
+        sim::LocalEvent le;
+        le.kind = sim::LocalEvent::Kind::kRecv;
+        le.received = ev.action.msg;
+        r_hist.push_back(std::move(le));
+        break;
+      }
+      default:
+        continue;  // receiver-invisible actions cannot change its knowledge
+    }
+    if (!note_knowledge(ev.step + 1)) break;
+  }
+  return times;
+}
+
+namespace {
+
+/// Receiver-invisible steps allowed between two consecutive matched target
+/// events.  The search only needs enough slack to *enable* the next event
+/// (a few sender steps and ack deliveries); it never has to reproduce the
+/// original run's idle time, so a small constant suffices and keeps the
+/// incompatible-input searches from wandering.
+constexpr std::uint64_t kGapSlack = 48;
+
+/// Can a run of `x` reach a point with receiver history exactly `target`?
+/// Depth-first with the receiver-visible action tried first, so witnesses
+/// for compatible inputs are found in roughly |target| steps.
+bool input_reaches_view(const stp::SystemSpec& spec, const seq::Sequence& x,
+                        const sim::LocalHistory& target,
+                        std::uint64_t max_steps, std::size_t max_states,
+                        bool& exhaustive) {
+  stp::SystemSpec local = spec;
+  local.engine.record_histories = true;
+  local.engine.stop_when_complete = false;
+  local.engine.max_steps = max_steps + 1;
+
+  struct Node {
+    std::unique_ptr<sim::Engine> engine;
+    std::size_t r_pos;       // events of `target` already matched
+    std::uint64_t gap;       // invisible steps since the last match
+  };
+
+  auto root = std::make_unique<sim::Engine>(stp::make_engine(local, 0));
+  root->begin(x);
+  if (target.empty()) return true;
+
+  std::vector<Node> stack;
+  std::set<std::string> visited;
+  std::size_t states = 0;
+  stack.push_back({std::move(root), 0, 0});
+
+  while (!stack.empty()) {
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    if (++states > max_states || node.engine->steps() >= max_steps) {
+      exhaustive = false;
+      continue;
+    }
+
+    // Build the candidate actions; the matching receiver-visible event is
+    // pushed LAST so the depth-first pop tries it first.
+    std::vector<Action> actions;
+    if (node.gap < kGapSlack) {
+      actions.push_back({ActionKind::kSenderStep, -1});
+      for (sim::MsgId ack :
+           node.engine->channel().deliverable(Dir::kReceiverToSender)) {
+        actions.push_back({ActionKind::kDeliverToSender, ack});
+      }
+    } else {
+      exhaustive = false;  // gap pruning makes the verdict approximate
+    }
+    const sim::LocalEvent& want = target[node.r_pos];
+    if (want.kind == sim::LocalEvent::Kind::kStep) {
+      actions.push_back({ActionKind::kReceiverStep, -1});
+    } else if (node.engine->channel().copies(Dir::kSenderToReceiver,
+                                             want.received) > 0) {
+      actions.push_back({ActionKind::kDeliverToReceiver, want.received});
+    }
+
+    for (const Action& a : actions) {
+      auto child = node.engine->clone();
+      child->apply(a);
+      std::size_t r_pos = node.r_pos;
+      std::uint64_t gap = node.gap + 1;
+      const bool receiver_visible = a.kind == ActionKind::kReceiverStep ||
+                                    a.kind == ActionKind::kDeliverToReceiver;
+      if (receiver_visible) {
+        // The receiver is deterministic, but verify the produced event
+        // really matches the target (defensive against protocol surprises,
+        // e.g. a step that also wrote items the target lacks).
+        if (child->receiver_history().back() != want) continue;
+        ++r_pos;
+        gap = 0;
+        if (r_pos == target.size()) return true;
+      }
+      const std::string key =
+          sim::history_key(child->sender_history()) + '#' +
+          std::to_string(r_pos);
+      if (!visited.insert(key).second) continue;
+      stack.push_back({std::move(child), r_pos, gap});
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+CompatibilityResult compatible_inputs(const stp::SystemSpec& spec,
+                                      const seq::Family& family,
+                                      const sim::LocalHistory& target,
+                                      std::uint64_t max_steps,
+                                      std::size_t max_states) {
+  CompatibilityResult out;
+  out.compatible.resize(family.members.size(), false);
+  for (std::size_t i = 0; i < family.members.size(); ++i) {
+    bool exhaustive = true;
+    out.compatible[i] = input_reaches_view(
+        spec, family.members[i], target, max_steps, max_states, exhaustive);
+    out.exhaustive = out.exhaustive && exhaustive;
+  }
+  return out;
+}
+
+std::vector<std::optional<std::uint64_t>> learn_times_targeted(
+    const stp::SystemSpec& spec, const seq::Family& family,
+    const sim::RunResult& run, std::uint64_t max_steps,
+    std::size_t max_states) {
+  std::vector<std::optional<std::uint64_t>> times(run.input.size(),
+                                                  std::nullopt);
+  sim::LocalHistory r_hist;
+  std::size_t best_known = 0;
+  // Compatibility is monotone: an input ruled out by a view prefix stays
+  // ruled out by every extension, so dead inputs are never re-searched.
+  std::vector<bool> alive(family.members.size(), true);
+
+  auto known_prefix_now = [&]() -> std::size_t {
+    for (std::size_t i = 0; i < family.members.size(); ++i) {
+      if (!alive[i]) continue;
+      bool exhaustive = true;
+      alive[i] = input_reaches_view(spec, family.members[i], r_hist,
+                                    max_steps, max_states, exhaustive);
+    }
+    std::size_t known = 0;
+    for (;; ++known) {
+      std::optional<seq::DataItem> agreed;
+      bool all_agree = true;
+      bool any = false;
+      for (std::size_t i = 0; i < family.members.size(); ++i) {
+        if (!alive[i]) continue;
+        any = true;
+        const seq::Sequence& x = family.members[i];
+        if (known >= x.size()) {
+          all_agree = false;
+          break;
+        }
+        if (!agreed) {
+          agreed = x[known];
+        } else if (*agreed != x[known]) {
+          all_agree = false;
+          break;
+        }
+      }
+      if (!any || !all_agree) break;
+    }
+    return known;
+  };
+
+  auto note = [&](std::uint64_t step) {
+    const std::size_t known = known_prefix_now();
+    for (std::size_t i = best_known; i < known && i < times.size(); ++i) {
+      times[i] = step;
+    }
+    best_known = std::max(best_known, known);
+  };
+
+  note(0);
+  for (const sim::TraceEvent& ev : run.trace) {
+    if (best_known >= times.size()) break;
+    bool is_receive = false;
+    switch (ev.action.kind) {
+      case ActionKind::kReceiverStep: {
+        sim::LocalEvent le;
+        le.kind = sim::LocalEvent::Kind::kStep;
+        le.sent = ev.did_send ? ev.sent : -1;
+        le.writes = ev.writes;
+        r_hist.push_back(std::move(le));
+        break;
+      }
+      case ActionKind::kDeliverToReceiver: {
+        sim::LocalEvent le;
+        le.kind = sim::LocalEvent::Kind::kRecv;
+        le.received = ev.action.msg;
+        r_hist.push_back(std::move(le));
+        is_receive = true;
+        break;
+      }
+      default:
+        continue;
+    }
+    // R's own steps are deterministic — every input compatible before the
+    // step can mirror it, so knowledge only changes on receives.
+    if (is_receive) note(ev.step + 1);
+  }
+  return times;
+}
+
+namespace {
+
+/// Shared engine behind the two decisive-tuple finders: scan each ~_R class
+/// for points over distinct inputs whose per-point qualifying message sets
+/// share at least `min_messages` messages.
+template <typename QualifyingSet>
+std::optional<DecisiveTuple> find_decisive(const Exploration& ex,
+                                           std::size_t min_points,
+                                           std::size_t min_messages,
+                                           QualifyingSet qualifying) {
+  std::optional<DecisiveTuple> best;
+  for (const auto& [key, indices] : ex.by_r_history) {
+    (void)key;
+    // Per input, the class may contain many points (different sender/
+    // channel progress under the same receiver view); Definition 1/3 lets
+    // us pick any one, so pick the point with the largest qualifying set —
+    // for the protocols here these sets grow monotonically with sender
+    // progress, so max-size maximizes the final intersection.
+    std::map<std::size_t, std::size_t> by_input;
+    for (std::size_t idx : indices) {
+      auto [it, inserted] = by_input.emplace(ex.points[idx].input_index, idx);
+      if (!inserted &&
+          qualifying(ex.points[idx]).size() >
+              qualifying(ex.points[it->second]).size()) {
+        it->second = idx;
+      }
+    }
+    if (by_input.size() < min_points) continue;
+    std::vector<sim::MsgId> common;
+    bool first = true;
+    for (const auto& [input, idx] : by_input) {
+      (void)input;
+      const std::vector<sim::MsgId> mine = qualifying(ex.points[idx]);
+      if (first) {
+        common = mine;
+        first = false;
+      } else {
+        std::vector<sim::MsgId> merged;
+        std::set_intersection(common.begin(), common.end(), mine.begin(),
+                              mine.end(), std::back_inserter(merged));
+        common = std::move(merged);
+      }
+      if (common.size() < min_messages) break;
+    }
+    if (common.size() < min_messages) continue;
+    DecisiveTuple tuple;
+    for (const auto& [input, idx] : by_input) {
+      (void)input;
+      tuple.point_indices.push_back(idx);
+    }
+    tuple.messages = common;
+    if (!best || tuple.messages.size() > best->messages.size() ||
+        (tuple.messages.size() == best->messages.size() &&
+         tuple.point_indices.size() > best->point_indices.size())) {
+      best = std::move(tuple);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<DecisiveTuple> find_dup_decisive(const Exploration& ex,
+                                               std::size_t min_points,
+                                               std::size_t min_messages) {
+  return find_decisive(ex, min_points, min_messages,
+                       [](const ExploredPoint& p) {
+                         return p.sent_to_receiver;  // already sorted
+                       });
+}
+
+std::optional<DecisiveTuple> find_del_decisive(const Exploration& ex,
+                                               std::size_t min_points,
+                                               std::size_t min_messages,
+                                               std::uint64_t copies) {
+  return find_decisive(ex, min_points, min_messages,
+                       [copies](const ExploredPoint& p) {
+                         std::vector<sim::MsgId> out;
+                         for (const auto& [msg, count] : p.deliverable_r) {
+                           if (count >= copies) out.push_back(msg);
+                         }
+                         std::sort(out.begin(), out.end());
+                         return out;
+                       });
+}
+
+}  // namespace stpx::knowledge

@@ -1,0 +1,222 @@
+// The knowledge layer (paper §2.2–§2.4), made executable.
+//
+// A system is the set of runs of (P_S, P_R, channel) over a *family* 𝒳 of
+// inputs.  We enumerate its reachable points by breadth-first exploration of
+// every scheduler choice, for every input, up to a depth bound.  Because the
+// protocols are deterministic functions of their complete local histories,
+// a global state is fully determined by (input, sender history, receiver
+// history); points with equal keys are merged, which keeps the tree an
+// acyclic DAG of states rather than an exponential forest of schedules.
+//
+// On top of the exploration we evaluate the paper's epistemic vocabulary:
+//   * ~_R  — two points are receiver-indistinguishable iff their receiver
+//     histories are equal (complete history interpretation, §2.3);
+//   * K_R(x_i = d) — holds at a point iff every explored point with the
+//     same receiver history has x_i = d (true K_R up to the exploration
+//     horizon; callers must treat "knows" as "knows within horizon");
+//   * t_i — the first time along a concrete run at which R knows items
+//     1..i (§2.4), recovered by replaying the run against the index;
+//   * dup-decisive tuples (Definition 1) — sets of ≥k mutually
+//     R-indistinguishable points over distinct inputs, all preceded by the
+//     sending of a common message set M.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "stp/runner.hpp"
+
+namespace stpx::knowledge {
+
+struct ExploreConfig {
+  std::uint64_t max_depth = 10;     // global steps from the initial state
+  std::size_t max_points = 200000;  // hard cap on explored states
+};
+
+/// One reachable global state (merged over schedules).
+struct ExploredPoint {
+  std::size_t input_index = 0;  // which family member this run reads
+  std::uint64_t depth = 0;      // minimal number of steps to reach it
+  seq::Sequence output;         // Y at this point
+  std::string r_key;            // receiver history key (the ~_R class id)
+  std::string s_key;            // sender history key (the ~_S class id)
+  std::vector<sim::MsgId> sent_to_receiver;  // distinct S->R msgs sent
+  /// The paper's dlvrble_R vector at this point: (message, copies) pairs
+  /// with copies > 0.  On a dup channel copies is 1 for anything ever sent.
+  std::vector<std::pair<sim::MsgId, std::uint64_t>> deliverable_r;
+  bool safety_ok = true;
+};
+
+struct Exploration {
+  seq::Family family;
+  std::vector<ExploredPoint> points;
+  /// ~_R classes: receiver-history key -> indices into `points`.
+  std::map<std::string, std::vector<std::size_t>> by_r_history;
+  /// ~_S classes: sender-history key -> indices into `points`.
+  std::map<std::string, std::vector<std::size_t>> by_s_history;
+  bool truncated = false;  // hit max_points or max_depth with frontier left
+};
+
+/// Enumerate all reachable points of the system over `family`.
+Exploration explore(const stp::SystemSpec& spec, const seq::Family& family,
+                    const ExploreConfig& config);
+
+/// K_R(x_i) at `point`: does R know the value of input item `i` (0-based)?
+/// If yes, returns the value; if no (some ~_R-equivalent point disagrees or
+/// lacks item i), returns nullopt.  Exact up to the exploration horizon.
+std::optional<seq::DataItem> receiver_knows_item(const Exploration& ex,
+                                                 const ExploredPoint& point,
+                                                 std::size_t i);
+
+/// Number of leading items R knows at `point` (the largest i such that
+/// K_R(x_1) ∧ ... ∧ K_R(x_i) holds).
+std::size_t receiver_known_prefix(const Exploration& ex,
+                                  const ExploredPoint& point);
+
+// ---- the epistemic hierarchy on the sender side --------------------------
+//
+// The paper evaluates K_R; the same machinery gives K_S and the *nested*
+// modality K_S K_R — "the sender knows that the receiver knows" — which is
+// exactly what an acknowledgement transports: after R receives x_i, K_R(x_i)
+// holds; only after S receives the ack does K_S K_R(x_i) hold.  (It is the
+// first two rungs of the common-knowledge ladder that unreliable channels
+// famously cannot finish climbing.)
+
+/// Largest n such that K_S(|Y| >= n): in every ~_S-equivalent point the
+/// receiver has written at least n items.
+std::size_t sender_known_written(const Exploration& ex,
+                                 const ExploredPoint& point);
+
+/// K_S K_R(x_i): in every ~_S-equivalent point, the receiver knows item i.
+bool sender_knows_receiver_knows(const Exploration& ex,
+                                 const ExploredPoint& point, std::size_t i);
+
+// ---- arbitrary nesting ----------------------------------------------------
+
+enum class Process { kSender, kReceiver };
+
+/// A fact evaluated at a point of the exploration.
+using PointPred =
+    std::function<bool(const Exploration&, const ExploredPoint&)>;
+
+/// The modal operator K_p φ as a predicate transformer: (K_p φ)(q) holds
+/// iff φ holds at every point ~_p-indistinguishable from q.  Composable to
+/// any depth: knows(S, knows(R, φ)), knows(R, knows(S, knows(R, φ))), ...
+PointPred knows(Process p, PointPred phi);
+
+/// The atom "x_i = d in this run" (for building nested facts about data).
+PointPred fact_item_is(std::size_t i, seq::DataItem d);
+
+/// The atom "R has written at least n items".
+PointPred fact_written_at_least(std::size_t n);
+
+/// Depth of the alternating knowledge chain about item i's value that holds
+/// at `point`, starting from the receiver:
+///   1 = K_R(x_i), 2 = K_S K_R(x_i), 3 = K_R K_S K_R(x_i), ...
+/// capped at `max_depth` (each rung costs one more pass over the classes).
+/// This is the ladder toward common knowledge that unreliable channels can
+/// climb only one message at a time — and never finish.
+std::size_t knowledge_chain_depth(const Exploration& ex,
+                                  const ExploredPoint& point, std::size_t i,
+                                  std::size_t max_depth);
+
+/// The paper's t_i along a concrete run: replay `run` (which must have been
+/// recorded with histories) against the exploration and return, for each i
+/// in [1, |X|], the first step at which R knows items 1..i.  nullopt where
+/// the run leaves the exploration horizon before learning.
+std::vector<std::optional<std::uint64_t>> learn_times(
+    const Exploration& ex, const sim::RunResult& run);
+
+/// Exhaustive bounded-depth safety verification: enumerate EVERY schedule
+/// (not a random sample) up to `max_depth` steps for every family member
+/// and report any reachable safety violation.  Complements the randomized
+/// sweeps in stp::sweep_family with small-model certainty.
+struct ExhaustiveVerdict {
+  bool violation_found = false;
+  std::size_t input_index = 0;     // of the first violating point
+  seq::Sequence violating_output;  // its Y
+  std::size_t points_checked = 0;
+  bool exhausted = false;  // explored every point within the horizon
+};
+
+ExhaustiveVerdict exhaustive_safety(const stp::SystemSpec& spec,
+                                    const seq::Family& family,
+                                    const ExploreConfig& config);
+
+/// Exhaustive *information deadlock* detection — the liveness complement.
+///
+/// A point is information-quiescent when no action can produce anything the
+/// receiver has not already absorbed: the sender's next step sends nothing
+/// (or only re-sends ids already sent), and every deliverable message in
+/// either direction has been received by its addressee at least once.  From
+/// such a point the receiver's knowledge can never grow (redeliveries of
+/// known ids do not change any protocol state), so a quiescent point with
+/// an incomplete output is a certified liveness violation — the operational
+/// closure of a decisive stall (Lemma 1's conclusion, machine-checked).
+struct DeadlockVerdict {
+  bool deadlock_found = false;
+  std::size_t input_index = 0;
+  seq::Sequence stuck_output;  // Y at the deadlocked point
+  std::size_t points_checked = 0;
+  bool exhausted = false;
+};
+
+DeadlockVerdict exhaustive_deadlock(const stp::SystemSpec& spec,
+                                    const seq::Family& family,
+                                    const ExploreConfig& config);
+
+/// Targeted compatibility: can a run over family member `i` reach a point
+/// whose receiver history equals `target`?  This evaluates K_R at one
+/// specific ~_R class without enumerating the whole run tree: the receiver
+/// is deterministic given its history, so branching is confined to the
+/// sender's side (its steps and ack deliveries), which the search dedups on
+/// (sender history, receiver position).
+struct CompatibilityResult {
+  std::vector<bool> compatible;  // per family member
+  bool exhaustive = true;        // false if any search hit its budget
+};
+
+CompatibilityResult compatible_inputs(const stp::SystemSpec& spec,
+                                      const seq::Family& family,
+                                      const sim::LocalHistory& target,
+                                      std::uint64_t max_steps,
+                                      std::size_t max_states);
+
+/// The paper's t_i along a concrete run, computed with the targeted search
+/// (tractable for runs far deeper than explore() can reach).  For each i in
+/// [1, |X|]: the first step at which every input compatible with R's view
+/// agrees on items 1..i.  nullopt where the budget was exhausted before
+/// knowledge was established.
+std::vector<std::optional<std::uint64_t>> learn_times_targeted(
+    const stp::SystemSpec& spec, const seq::Family& family,
+    const sim::RunResult& run, std::uint64_t max_steps,
+    std::size_t max_states);
+
+/// A dup-decisive tuple (Definition 1): point indices with mutually distinct
+/// inputs, pairwise ~_R, and a common set M of messages sent before each.
+struct DecisiveTuple {
+  std::vector<std::size_t> point_indices;
+  std::vector<sim::MsgId> messages;  // M
+};
+
+/// Find a dup-decisive tuple with at least `min_points` points over distinct
+/// inputs and |M| >= min_messages.  Returns the one maximizing |M| then
+/// point count.
+std::optional<DecisiveTuple> find_dup_decisive(const Exploration& ex,
+                                               std::size_t min_points,
+                                               std::size_t min_messages);
+
+/// Find a del-decisive tuple (Definition 3): like the dup version, but each
+/// message of M must have at least `copies` undelivered copies in flight at
+/// every point of the tuple (the counter n that the deletion-case induction
+/// spends at rate c per extension).
+std::optional<DecisiveTuple> find_del_decisive(const Exploration& ex,
+                                               std::size_t min_points,
+                                               std::size_t min_messages,
+                                               std::uint64_t copies);
+
+}  // namespace stpx::knowledge

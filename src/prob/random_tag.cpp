@@ -1,0 +1,126 @@
+#include "prob/random_tag.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::prob {
+
+// ---------------------------------------------------------------- sender --
+
+TaggedSender::TaggedSender(int domain_size, int tag_bits, TagPolicy policy,
+                           std::uint64_t seed, bool retransmit)
+    : domain_size_(domain_size),
+      tag_bits_(tag_bits),
+      policy_(policy),
+      rng_(seed),
+      retransmit_(retransmit) {
+  STPX_EXPECT(domain_size >= 1, "TaggedSender: domain must be non-empty");
+  STPX_EXPECT(tag_bits >= 0 && tag_bits <= 20,
+              "TaggedSender: tag_bits out of sane range");
+}
+
+void TaggedSender::start(const seq::Sequence& x) {
+  STPX_EXPECT(seq::in_domain(x, seq::Domain{domain_size_}),
+              "TaggedSender: input outside domain");
+  const std::uint64_t tags = std::uint64_t{1} << tag_bits_;
+  word_.clear();
+  word_.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::uint64_t tag = policy_ == TagPolicy::kRandom
+                                  ? rng_.below(tags)
+                                  : i % tags;
+    word_.push_back(static_cast<sim::MsgId>(tag) * domain_size_ + x[i]);
+  }
+  next_ = 0;
+  sent_current_ = false;
+}
+
+sim::SenderEffect TaggedSender::on_step() {
+  if (next_ >= word_.size()) return {};
+  if (!retransmit_ && sent_current_) return {};
+  sent_current_ = true;
+  return sim::SenderEffect{.send = word_[next_]};
+}
+
+void TaggedSender::on_deliver(sim::MsgId msg) {
+  // Echo acknowledgement of the current tagged message.  A *stale* echo of
+  // an identical earlier (tag, item) pair is indistinguishable — that is
+  // precisely the probabilistic failure mode.
+  if (next_ < word_.size() && msg == word_[next_]) {
+    ++next_;
+    sent_current_ = false;
+  }
+}
+
+std::unique_ptr<sim::ISender> TaggedSender::clone() const {
+  return std::make_unique<TaggedSender>(*this);
+}
+
+// -------------------------------------------------------------- receiver --
+
+TaggedReceiver::TaggedReceiver(int domain_size, int tag_bits, bool reack)
+    : domain_size_(domain_size), tag_bits_(tag_bits), reack_(reack) {
+  STPX_EXPECT(domain_size >= 1, "TaggedReceiver: domain must be non-empty");
+  STPX_EXPECT(tag_bits >= 0 && tag_bits <= 20,
+              "TaggedReceiver: tag_bits out of sane range");
+}
+
+void TaggedReceiver::start() {
+  seen_.assign(static_cast<std::size_t>(alphabet_size()), false);
+  pending_acks_.clear();
+  last_ack_.reset();
+  pending_writes_.clear();
+}
+
+sim::ReceiverEffect TaggedReceiver::on_step() {
+  sim::ReceiverEffect eff;
+  eff.writes = std::move(pending_writes_);
+  pending_writes_.clear();
+  if (!pending_acks_.empty()) {
+    eff.send = pending_acks_.front();
+    pending_acks_.erase(pending_acks_.begin());
+  } else if (reack_ && last_ack_) {
+    eff.send = *last_ack_;
+  }
+  return eff;
+}
+
+void TaggedReceiver::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0 && msg < alphabet_size(),
+              "TaggedReceiver: message outside M^S");
+  const auto idx = static_cast<std::size_t>(msg);
+  if (seen_[idx]) return;  // duplicate or replay — or a tag collision
+  seen_[idx] = true;
+  pending_writes_.push_back(static_cast<seq::DataItem>(msg % domain_size_));
+  pending_acks_.push_back(msg);
+  last_ack_ = msg;
+}
+
+std::unique_ptr<sim::IReceiver> TaggedReceiver::clone() const {
+  return std::make_unique<TaggedReceiver>(*this);
+}
+
+// -------------------------------------------------------------- factories --
+
+proto::ProtocolPair make_tagged_dup(int domain_size, int tag_bits,
+                                    TagPolicy policy, std::uint64_t seed) {
+  return {std::make_unique<TaggedSender>(domain_size, tag_bits, policy, seed,
+                                         /*retransmit=*/false),
+          std::make_unique<TaggedReceiver>(domain_size, tag_bits,
+                                           /*reack=*/false)};
+}
+
+proto::ProtocolPair make_tagged_del(int domain_size, int tag_bits,
+                                    TagPolicy policy, std::uint64_t seed) {
+  return {std::make_unique<TaggedSender>(domain_size, tag_bits, policy, seed,
+                                         /*retransmit=*/true),
+          std::make_unique<TaggedReceiver>(domain_size, tag_bits,
+                                           /*reack=*/true)};
+}
+
+double collision_upper_bound(std::size_t length, int tag_bits) {
+  const double pairs =
+      static_cast<double>(length) * static_cast<double>(length - 1) / 2.0;
+  return pairs / static_cast<double>(std::uint64_t{1} << tag_bits);
+}
+
+}  // namespace stpx::prob

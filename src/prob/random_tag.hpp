@@ -1,0 +1,108 @@
+// Probabilistic STP — the paper's §6 future-work direction, implemented.
+//
+//   "it is conceivable that we sometimes can be satisfied with 'solutions'
+//    to 𝒳-STP with |𝒳| > alpha(m) that, although having the possibility of
+//    failure, present an acceptably low probability of failure."
+//
+// The construction: to carry an ARBITRARY sequence over domain D (|D| = d —
+// repetitions allowed, so |𝒳| = d^L >> alpha(m) for length-L inputs), the
+// sender tags each position with a fresh random k-bit tag and transmits
+// (tag_i, x_i) with the repetition-free discipline over the enlarged
+// alphabet M^S = {0 .. d*2^k - 1}.  The receiver writes the item of every
+// *new* message and echoes it as the acknowledgement — it is exactly the
+// paper's protocol run on the tagged alphabet.
+//
+// Failure mode: if two positions draw the same (tag, item) pair, the
+// channel can replay the first copy as the second, the receiver ignores it
+// as a duplicate, the stale echoed ack releases the sender, and the output
+// skips an item — a genuine safety violation.  Per-pair collision
+// probability is 2^-k when the items already match, so
+//
+//     P(failure) <= C(L,2) * 2^-k         (union bound; birthday regime)
+//
+// decaying exponentially in the tag width while the alphabet grows only
+// linearly in 2^k.  Theorems 1/2 say epsilon = 0 is impossible at this
+// |𝒳|; this module measures how cheaply epsilon > 0 can be bought.
+//
+// A deterministic ablation is included: tags assigned round-robin
+// (position mod 2^k).  Same alphabet, but any input repeating an item at
+// distance exactly 2^k fails with certainty — randomization buys
+// worst-case smoothing, not just average-case.
+#pragma once
+
+#include "proto/suite.hpp"
+#include "util/rng.hpp"
+
+namespace stpx::prob {
+
+/// How position tags are assigned.
+enum class TagPolicy {
+  kRandom,      // fresh k-bit tag per position (seeded, reproducible)
+  kRoundRobin,  // tag = position mod 2^k (deterministic ablation)
+};
+
+class TaggedSender final : public sim::ISender {
+ public:
+  /// domain_size = |D|; tag_bits = k; retransmit selects del-channel mode.
+  TaggedSender(int domain_size, int tag_bits, TagPolicy policy,
+               std::uint64_t seed, bool retransmit);
+
+  void start(const seq::Sequence& x) override;
+  sim::SenderEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override {
+    return domain_size_ * (1 << tag_bits_);
+  }
+  std::unique_ptr<sim::ISender> clone() const override;
+  std::string name() const override { return "tagged-sender"; }
+
+  /// The tagged word chosen for the current input (for tests/diagnosis).
+  const std::vector<sim::MsgId>& word() const { return word_; }
+
+ private:
+  int domain_size_;
+  int tag_bits_;
+  TagPolicy policy_;
+  Rng rng_;
+  bool retransmit_;
+  std::vector<sim::MsgId> word_;
+  std::size_t next_ = 0;
+  bool sent_current_ = false;
+};
+
+class TaggedReceiver final : public sim::IReceiver {
+ public:
+  TaggedReceiver(int domain_size, int tag_bits, bool reack);
+
+  void start() override;
+  sim::ReceiverEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override {
+    return domain_size_ * (1 << tag_bits_);
+  }
+  std::unique_ptr<sim::IReceiver> clone() const override;
+  std::string name() const override { return "tagged-receiver"; }
+
+ private:
+  int domain_size_;
+  int tag_bits_;
+  bool reack_;
+  std::vector<bool> seen_;
+  std::vector<sim::MsgId> pending_acks_;
+  std::optional<sim::MsgId> last_ack_;
+  std::vector<seq::DataItem> pending_writes_;
+};
+
+/// Dup-channel pair (send-once).  `seed` drives the tag draws.
+proto::ProtocolPair make_tagged_dup(int domain_size, int tag_bits,
+                                    TagPolicy policy, std::uint64_t seed);
+
+/// Del-channel pair (retransmit + re-ack).
+proto::ProtocolPair make_tagged_del(int domain_size, int tag_bits,
+                                    TagPolicy policy, std::uint64_t seed);
+
+/// Union-bound failure estimate C(L,2) * 2^-k (an upper bound; the true
+/// rate also requires the colliding positions to carry equal items).
+double collision_upper_bound(std::size_t length, int tag_bits);
+
+}  // namespace stpx::prob

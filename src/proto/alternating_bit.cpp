@@ -1,0 +1,74 @@
+#include "proto/alternating_bit.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::proto {
+
+AbpSender::AbpSender(int domain_size) : domain_size_(domain_size) {
+  STPX_EXPECT(domain_size >= 1, "AbpSender: domain must be non-empty");
+}
+
+void AbpSender::start(const seq::Sequence& x) {
+  STPX_EXPECT(seq::in_domain(x, seq::Domain{domain_size_}),
+              "AbpSender: input outside domain");
+  x_ = x;
+  next_ = 0;
+  bit_ = 0;
+}
+
+sim::SenderEffect AbpSender::on_step() {
+  if (next_ >= x_.size()) return {};
+  // Retransmit the current (bit, item) every step until acknowledged.
+  return sim::SenderEffect{
+      .send = sim::MsgId{bit_ * domain_size_ + x_[next_]}};
+}
+
+void AbpSender::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg == 0 || msg == 1, "AbpSender: ack outside M^R");
+  if (next_ < x_.size() && msg == bit_) {
+    ++next_;
+    bit_ ^= 1;
+  }
+}
+
+std::unique_ptr<sim::ISender> AbpSender::clone() const {
+  return std::make_unique<AbpSender>(*this);
+}
+
+AbpReceiver::AbpReceiver(int domain_size) : domain_size_(domain_size) {
+  STPX_EXPECT(domain_size >= 1, "AbpReceiver: domain must be non-empty");
+}
+
+void AbpReceiver::start() {
+  expected_bit_ = 0;
+  ack_bit_.reset();
+  pending_writes_.clear();
+}
+
+sim::ReceiverEffect AbpReceiver::on_step() {
+  sim::ReceiverEffect eff;
+  eff.writes = std::move(pending_writes_);
+  pending_writes_.clear();
+  if (ack_bit_) eff.send = sim::MsgId{*ack_bit_};
+  return eff;
+}
+
+void AbpReceiver::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0 && msg < 2 * domain_size_,
+              "AbpReceiver: message outside M^S");
+  const int bit = static_cast<int>(msg) / domain_size_;
+  const auto item = static_cast<seq::DataItem>(msg % domain_size_);
+  if (bit == expected_bit_) {
+    pending_writes_.push_back(item);
+    expected_bit_ ^= 1;
+  }
+  // Ack the bit we just saw (a duplicate gets its old bit re-acked, which is
+  // exactly what unsticks a sender whose previous ack was lost).
+  ack_bit_ = bit;
+}
+
+std::unique_ptr<sim::IReceiver> AbpReceiver::clone() const {
+  return std::make_unique<AbpReceiver>(*this);
+}
+
+}  // namespace stpx::proto

@@ -1,0 +1,58 @@
+// The Alternating Bit Protocol [BSW69], the classic data-link baseline the
+// paper's §5 hybrid builds on.
+//
+// Assumes a FIFO channel that may lose or duplicate but NOT reorder.  The
+// sender stamps each data item with a one-bit sequence number and retransmits
+// until the matching ack arrives; the receiver writes an item when its bit
+// matches the expected bit and (re-)acknowledges the last bit it saw.
+//
+// Message encodings over finite alphabets:
+//   S -> R : bit * |D| + item            (|M^S| = 2|D|)
+//   R -> S : bit                         (|M^R| = 2)
+#pragma once
+
+#include <optional>
+
+#include "sim/process.hpp"
+
+namespace stpx::proto {
+
+class AbpSender final : public sim::ISender {
+ public:
+  explicit AbpSender(int domain_size);
+
+  void start(const seq::Sequence& x) override;
+  sim::SenderEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return 2 * domain_size_; }
+  std::unique_ptr<sim::ISender> clone() const override;
+  std::string name() const override { return "abp-sender"; }
+
+  std::size_t acked() const { return next_; }
+
+ private:
+  int domain_size_;
+  seq::Sequence x_;
+  std::size_t next_ = 0;
+  int bit_ = 0;
+};
+
+class AbpReceiver final : public sim::IReceiver {
+ public:
+  explicit AbpReceiver(int domain_size);
+
+  void start() override;
+  sim::ReceiverEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return 2; }
+  std::unique_ptr<sim::IReceiver> clone() const override;
+  std::string name() const override { return "abp-receiver"; }
+
+ private:
+  int domain_size_;
+  int expected_bit_ = 0;
+  std::optional<int> ack_bit_;  // last data bit seen; re-acked every step
+  std::vector<seq::DataItem> pending_writes_;
+};
+
+}  // namespace stpx::proto

@@ -1,0 +1,158 @@
+#include "proto/block.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::proto {
+
+namespace {
+
+/// d^b, validated small enough to embed in MsgId comfortably.
+std::int64_t power(int d, int b) {
+  std::int64_t out = 1;
+  for (int i = 0; i < b; ++i) {
+    out *= d;
+    STPX_EXPECT(out <= (std::int64_t{1} << 40), "block space too large");
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- sender --
+
+BlockSender::BlockSender(int domain_size, int block_size, int max_len)
+    : domain_size_(domain_size),
+      block_size_(block_size),
+      max_len_(max_len) {
+  STPX_EXPECT(domain_size >= 1, "BlockSender: domain must be non-empty");
+  STPX_EXPECT(block_size >= 1, "BlockSender: block size must be positive");
+  STPX_EXPECT(max_len >= 0, "BlockSender: negative max length");
+  (void)power(domain_size_, block_size_);  // validate
+}
+
+int BlockSender::alphabet_size() const {
+  return static_cast<int>(2 * power(domain_size_, block_size_)) + max_len_ +
+         1;
+}
+
+void BlockSender::start(const seq::Sequence& x) {
+  STPX_EXPECT(seq::in_domain(x, seq::Domain{domain_size_}),
+              "BlockSender: input outside domain");
+  STPX_EXPECT(x.size() <= static_cast<std::size_t>(max_len_),
+              "BlockSender: input longer than max_len");
+  x_ = x;
+  header_acked_ = false;
+  next_block_ = 0;
+  block_count_ = (x.size() + static_cast<std::size_t>(block_size_) - 1) /
+                 static_cast<std::size_t>(block_size_);
+}
+
+sim::MsgId BlockSender::block_message(std::size_t block_index) const {
+  const std::int64_t space = power(domain_size_, block_size_);
+  std::int64_t content = 0;
+  std::int64_t digit = 1;
+  for (int j = 0; j < block_size_; ++j) {
+    const std::size_t pos =
+        block_index * static_cast<std::size_t>(block_size_) +
+        static_cast<std::size_t>(j);
+    const seq::DataItem item = pos < x_.size() ? x_[pos] : 0;  // padding
+    content += digit * item;
+    digit *= domain_size_;
+  }
+  const std::int64_t bit = static_cast<std::int64_t>(block_index % 2);
+  return bit * space + content;
+}
+
+sim::SenderEffect BlockSender::on_step() {
+  if (!header_acked_) {
+    // Header: announce |X| so the receiver knows where the padding starts.
+    const std::int64_t space = power(domain_size_, block_size_);
+    return sim::SenderEffect{
+        .send = 2 * space + static_cast<sim::MsgId>(x_.size())};
+  }
+  if (next_block_ >= block_count_) return {};
+  return sim::SenderEffect{.send = block_message(next_block_)};
+}
+
+void BlockSender::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0 && msg < 3, "BlockSender: ack outside M^R");
+  if (msg == 2) {
+    header_acked_ = true;
+    return;
+  }
+  if (header_acked_ && next_block_ < block_count_ &&
+      msg == static_cast<sim::MsgId>(next_block_ % 2)) {
+    ++next_block_;
+  }
+}
+
+std::unique_ptr<sim::ISender> BlockSender::clone() const {
+  return std::make_unique<BlockSender>(*this);
+}
+
+// -------------------------------------------------------------- receiver --
+
+BlockReceiver::BlockReceiver(int domain_size, int block_size, int max_len)
+    : domain_size_(domain_size),
+      block_size_(block_size),
+      max_len_(max_len) {
+  STPX_EXPECT(domain_size >= 1, "BlockReceiver: domain must be non-empty");
+  STPX_EXPECT(block_size >= 1, "BlockReceiver: block size must be positive");
+  STPX_EXPECT(max_len >= 0, "BlockReceiver: negative max length");
+  (void)power(domain_size_, block_size_);
+}
+
+void BlockReceiver::start() {
+  expected_len_ = -1;
+  expected_bit_ = 0;
+  received_items_ = 0;
+  write_queue_.clear();
+  pending_acks_.clear();
+}
+
+sim::ReceiverEffect BlockReceiver::on_step() {
+  sim::ReceiverEffect eff;
+  // The §2.4 point: the model writes ONE item per step, however many a
+  // message conveyed — knowledge runs ahead of the output tape.
+  if (!write_queue_.empty()) {
+    eff.writes.push_back(write_queue_.front());
+    write_queue_.erase(write_queue_.begin());
+  }
+  if (!pending_acks_.empty()) {
+    eff.send = pending_acks_.front();
+    pending_acks_.erase(pending_acks_.begin());
+  }
+  return eff;
+}
+
+void BlockReceiver::on_deliver(sim::MsgId msg) {
+  const std::int64_t space = power(domain_size_, block_size_);
+  STPX_EXPECT(msg >= 0 && msg <= 2 * space + max_len_,
+              "BlockReceiver: message outside M^S");
+  if (msg >= 2 * space) {
+    // Header.
+    if (expected_len_ < 0) expected_len_ = msg - 2 * space;
+    pending_acks_.push_back(2);
+    return;
+  }
+  const int bit = static_cast<int>(msg / space);
+  std::int64_t content = msg % space;
+  pending_acks_.push_back(sim::MsgId{bit});
+  if (expected_len_ < 0 || bit != expected_bit_) return;  // stale block
+  // Decode the block; accept only the non-padding positions.
+  for (int j = 0; j < block_size_; ++j) {
+    const auto item = static_cast<seq::DataItem>(content % domain_size_);
+    content /= domain_size_;
+    if (static_cast<std::int64_t>(received_items_) < expected_len_) {
+      write_queue_.push_back(item);
+      ++received_items_;
+    }
+  }
+  expected_bit_ ^= 1;
+}
+
+std::unique_ptr<sim::IReceiver> BlockReceiver::clone() const {
+  return std::make_unique<BlockReceiver>(*this);
+}
+
+}  // namespace stpx::proto

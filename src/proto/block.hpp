@@ -1,0 +1,74 @@
+// Block transfer: one message carries several data items (§2.4's remark).
+//
+// The paper motivates defining t_i via knowledge rather than writes with
+// exactly this protocol shape: "S can send R a single message which informs
+// R the values of several data items, and there is no way R can write them
+// at the same step."  Here each message encodes a block of `block_size`
+// items; the receiver learns the whole block at the delivery instant but
+// drains its writes ONE PER STEP, so knowledge strictly precedes writing —
+// measurable with the knowledge layer (see F4/F5 and the tests).
+//
+// Encodings (stop-and-wait per block, alternating block bit for dedup):
+//   S -> R : bit * (d^b) + (block contents in base d), padded with item 0;
+//            a final-length field is not needed because the sender also
+//            alternates the bit and the receiver counts arrivals: the LAST
+//            block may carry fewer real items, so the sender prepends the
+//            sequence length in a HEADER block of one item (length encoded
+//            in unary across... no — kept simple: the header message id
+//            space 2*d^b..2*d^b+L_max encodes |X| directly, bounding the
+//            supported lengths by alphabet choice, exactly the finite-
+//            alphabet trade the paper is about).
+//   R -> S : 0/1 block-bit acks, 2 = header ack        (|M^R| = 3)
+#pragma once
+
+#include "sim/process.hpp"
+
+namespace stpx::proto {
+
+class BlockSender final : public sim::ISender {
+ public:
+  /// Supports inputs with |X| <= max_len over {0..d-1}, b items per block.
+  BlockSender(int domain_size, int block_size, int max_len);
+
+  void start(const seq::Sequence& x) override;
+  sim::SenderEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override;
+  std::unique_ptr<sim::ISender> clone() const override;
+  std::string name() const override { return "block-sender"; }
+
+ private:
+  sim::MsgId block_message(std::size_t block_index) const;
+
+  int domain_size_;
+  int block_size_;
+  int max_len_;
+  seq::Sequence x_;
+  bool header_acked_ = false;
+  std::size_t next_block_ = 0;
+  std::size_t block_count_ = 0;
+};
+
+class BlockReceiver final : public sim::IReceiver {
+ public:
+  BlockReceiver(int domain_size, int block_size, int max_len);
+
+  void start() override;
+  sim::ReceiverEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return 3; }
+  std::unique_ptr<sim::IReceiver> clone() const override;
+  std::string name() const override { return "block-receiver"; }
+
+ private:
+  int domain_size_;
+  int block_size_;
+  int max_len_;
+  std::int64_t expected_len_ = -1;  // from the header; -1 = unknown
+  int expected_bit_ = 0;
+  std::size_t received_items_ = 0;  // accepted into the write queue
+  std::vector<seq::DataItem> write_queue_;  // drained ONE per step
+  std::vector<sim::MsgId> pending_acks_;
+};
+
+}  // namespace stpx::proto

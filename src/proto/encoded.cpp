@@ -1,0 +1,206 @@
+#include "proto/encoded.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace stpx::proto {
+
+namespace {
+
+/// Index of `x` in the encoding table; throws if absent.
+std::size_t table_index(const seq::Encoding& table, const seq::Sequence& x) {
+  for (std::size_t i = 0; i < table.inputs.size(); ++i) {
+    if (table.inputs[i] == x) return i;
+  }
+  STPX_EXPECT(false, "encoding table has no entry for input " +
+                         seq::to_string(x));
+  return 0;  // unreachable
+}
+
+bool word_extends(const seq::MsgWord& prefix, const seq::MsgWord& word) {
+  if (prefix.size() > word.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), word.begin());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- sender --
+
+EncodedSender::EncodedSender(EncodingTable table, bool retransmit)
+    : table_(std::move(table)), retransmit_(retransmit) {
+  STPX_EXPECT(table_ != nullptr, "EncodedSender: null table");
+  STPX_EXPECT(table_->alphabet_size >= 1, "EncodedSender: empty alphabet");
+}
+
+void EncodedSender::start(const seq::Sequence& x) {
+  word_ = table_->words[table_index(*table_, x)];
+  next_ = 0;
+  sent_current_ = false;
+}
+
+sim::SenderEffect EncodedSender::on_step() {
+  if (next_ >= word_.size()) return {};
+  if (!retransmit_ && sent_current_) return {};
+  sent_current_ = true;
+  return sim::SenderEffect{.send = sim::MsgId{word_[next_]}};
+}
+
+void EncodedSender::on_deliver(sim::MsgId msg) {
+  if (next_ < word_.size() && msg == sim::MsgId{word_[next_]}) {
+    ++next_;
+    sent_current_ = false;
+  }
+}
+
+std::unique_ptr<sim::ISender> EncodedSender::clone() const {
+  return std::make_unique<EncodedSender>(*this);
+}
+
+// ---------------------------------------------------- knowledge receiver --
+
+KnowledgeReceiver::KnowledgeReceiver(EncodingTable table, bool reack)
+    : table_(std::move(table)), reack_(reack) {
+  STPX_EXPECT(table_ != nullptr, "KnowledgeReceiver: null table");
+}
+
+void KnowledgeReceiver::start() {
+  seen_.assign(static_cast<std::size_t>(table_->alphabet_size), false);
+  received_.clear();
+  written_ = 0;
+  pending_writes_.clear();
+  pending_acks_.clear();
+  last_ack_.reset();
+}
+
+void KnowledgeReceiver::recompute_knowledge() {
+  // Candidates: inputs whose word extends (or equals) what we have received.
+  // R knows x_j = d iff every candidate defines position j and agrees it is
+  // d.  (An input shorter than j+1 that is itself a candidate means "the
+  // sequence may already have ended", so nothing further is known... unless
+  // the candidate's word is a *strict* prefix — it still vetoes.)
+  const std::size_t already =
+      written_ + pending_writes_.size();
+  for (std::size_t j = already;; ++j) {
+    std::optional<seq::DataItem> agreed;
+    bool all_agree = true;
+    bool any_candidate = false;
+    for (std::size_t i = 0; i < table_->inputs.size(); ++i) {
+      if (!word_extends(received_, table_->words[i])) continue;
+      any_candidate = true;
+      const seq::Sequence& x = table_->inputs[i];
+      if (j >= x.size()) {
+        all_agree = false;  // this candidate says the sequence ended
+        break;
+      }
+      if (!agreed) {
+        agreed = x[j];
+      } else if (*agreed != x[j]) {
+        all_agree = false;
+        break;
+      }
+    }
+    if (!any_candidate || !all_agree || !agreed) break;
+    pending_writes_.push_back(*agreed);
+  }
+}
+
+sim::ReceiverEffect KnowledgeReceiver::on_step() {
+  sim::ReceiverEffect eff;
+  eff.writes = std::move(pending_writes_);
+  pending_writes_.clear();
+  written_ += eff.writes.size();
+  if (!pending_acks_.empty()) {
+    eff.send = pending_acks_.front();
+    pending_acks_.erase(pending_acks_.begin());
+  } else if (reack_ && last_ack_) {
+    eff.send = *last_ack_;
+  }
+  return eff;
+}
+
+void KnowledgeReceiver::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0 && msg < table_->alphabet_size,
+              "KnowledgeReceiver: message outside M^S");
+  const auto idx = static_cast<std::size_t>(msg);
+  if (seen_[idx]) return;
+  seen_[idx] = true;
+  received_.push_back(static_cast<int>(msg));
+  pending_acks_.push_back(msg);
+  last_ack_ = msg;
+  recompute_knowledge();
+}
+
+std::unique_ptr<sim::IReceiver> KnowledgeReceiver::clone() const {
+  return std::make_unique<KnowledgeReceiver>(*this);
+}
+
+// ------------------------------------------------------- greedy receiver --
+
+GreedyReceiver::GreedyReceiver(EncodingTable table, bool reack)
+    : table_(std::move(table)), reack_(reack) {
+  STPX_EXPECT(table_ != nullptr, "GreedyReceiver: null table");
+}
+
+void GreedyReceiver::start() {
+  seen_.assign(static_cast<std::size_t>(table_->alphabet_size), false);
+  received_.clear();
+  written_ = 0;
+  pending_writes_.clear();
+  pending_acks_.clear();
+  last_ack_.reset();
+}
+
+void GreedyReceiver::recompute_guess() {
+  // Commit to the first candidate whose word the received word is a prefix
+  // of, and optimistically write as far as the received word "pays for":
+  // after k received symbols of a |w|-symbol word for an n-item input, write
+  // floor(n * k / max(|w|,1)) items.  (Any committal rule works for the
+  // experiment; this one makes steady progress and is deterministic.)
+  for (std::size_t i = 0; i < table_->inputs.size(); ++i) {
+    if (!word_extends(received_, table_->words[i])) continue;
+    const seq::Sequence& x = table_->inputs[i];
+    const std::size_t wlen = std::max<std::size_t>(table_->words[i].size(), 1);
+    const std::size_t target =
+        table_->words[i].empty()
+            ? x.size()
+            : x.size() * received_.size() / wlen;
+    const std::size_t already = written_ + pending_writes_.size();
+    for (std::size_t j = already; j < target && j < x.size(); ++j) {
+      pending_writes_.push_back(x[j]);
+    }
+    return;
+  }
+}
+
+sim::ReceiverEffect GreedyReceiver::on_step() {
+  sim::ReceiverEffect eff;
+  eff.writes = std::move(pending_writes_);
+  pending_writes_.clear();
+  written_ += eff.writes.size();
+  if (!pending_acks_.empty()) {
+    eff.send = pending_acks_.front();
+    pending_acks_.erase(pending_acks_.begin());
+  } else if (reack_ && last_ack_) {
+    eff.send = *last_ack_;
+  }
+  return eff;
+}
+
+void GreedyReceiver::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0 && msg < table_->alphabet_size,
+              "GreedyReceiver: message outside M^S");
+  const auto idx = static_cast<std::size_t>(msg);
+  if (seen_[idx]) return;
+  seen_[idx] = true;
+  received_.push_back(static_cast<int>(msg));
+  pending_acks_.push_back(msg);
+  last_ack_ = msg;
+  recompute_guess();
+}
+
+std::unique_ptr<sim::IReceiver> GreedyReceiver::clone() const {
+  return std::make_unique<GreedyReceiver>(*this);
+}
+
+}  // namespace stpx::proto

@@ -1,0 +1,108 @@
+// Generic encoding-driven protocols (the operational form of §3's
+// necessary-condition argument).
+//
+// The paper argues that, over a dup channel, any solution effectively maps
+// each input X to a repetition-free message word μ(X), sent in order with
+// stop-and-wait acknowledgements.  This module implements exactly that
+// protocol *for an arbitrary candidate encoding table*, so the impossibility
+// experiments can hand it a table with |𝒳| > alpha(m) and watch the paper's
+// prediction come true:
+//
+//   * EncodedSender     — transmits μ(X) symbol by symbol, stop-and-wait
+//                         (non-uniform: it knows X, hence μ(X), up front).
+//   * KnowledgeReceiver — the epistemically optimal receiver: it writes item
+//                         j only when EVERY input whose word extends the
+//                         received word agrees on item j (this is literally
+//                         K_R(x_j) evaluated over the encoding).  It can
+//                         never violate safety; with a bad encoding it
+//                         *stalls* — the liveness half of Theorem 1.
+//   * GreedyReceiver    — commits to the first (table-order) input whose
+//                         word extends the received word and writes its
+//                         items optimistically.  With a bad encoding the
+//                         adversary steers it into writing a wrong item —
+//                         the safety half of Theorem 1.
+//
+// Message alphabets: M^S = M^R = {0..m-1} (acks echo the symbol).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "seq/encoding.hpp"
+#include "sim/process.hpp"
+
+namespace stpx::proto {
+
+/// Immutable shared view of an encoding table.
+using EncodingTable = std::shared_ptr<const seq::Encoding>;
+
+class EncodedSender final : public sim::ISender {
+ public:
+  /// `retransmit` selects del-channel behaviour (resend until acked).
+  EncodedSender(EncodingTable table, bool retransmit);
+
+  void start(const seq::Sequence& x) override;
+  sim::SenderEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return table_->alphabet_size; }
+  std::unique_ptr<sim::ISender> clone() const override;
+  std::string name() const override { return "encoded-sender"; }
+
+ private:
+  EncodingTable table_;
+  bool retransmit_;
+  seq::MsgWord word_;          // μ(X) for the current input
+  std::size_t next_ = 0;       // symbols acknowledged so far
+  bool sent_current_ = false;  // send-once bookkeeping (dup mode)
+};
+
+class KnowledgeReceiver final : public sim::IReceiver {
+ public:
+  /// `reack` selects del-channel behaviour (re-acknowledge every step).
+  KnowledgeReceiver(EncodingTable table, bool reack);
+
+  void start() override;
+  sim::ReceiverEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return table_->alphabet_size; }
+  std::unique_ptr<sim::IReceiver> clone() const override;
+  std::string name() const override { return "knowledge-receiver"; }
+
+ private:
+  void recompute_knowledge();
+
+  EncodingTable table_;
+  bool reack_;
+  std::vector<bool> seen_;
+  seq::MsgWord received_;  // new messages, in first-receipt order
+  std::size_t written_ = 0;
+  std::vector<seq::DataItem> pending_writes_;
+  std::vector<sim::MsgId> pending_acks_;
+  std::optional<sim::MsgId> last_ack_;
+};
+
+class GreedyReceiver final : public sim::IReceiver {
+ public:
+  GreedyReceiver(EncodingTable table, bool reack);
+
+  void start() override;
+  sim::ReceiverEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return table_->alphabet_size; }
+  std::unique_ptr<sim::IReceiver> clone() const override;
+  std::string name() const override { return "greedy-receiver"; }
+
+ private:
+  void recompute_guess();
+
+  EncodingTable table_;
+  bool reack_;
+  std::vector<bool> seen_;
+  seq::MsgWord received_;
+  std::size_t written_ = 0;
+  std::vector<seq::DataItem> pending_writes_;
+  std::vector<sim::MsgId> pending_acks_;
+  std::optional<sim::MsgId> last_ack_;
+};
+
+}  // namespace stpx::proto

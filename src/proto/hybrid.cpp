@@ -1,0 +1,181 @@
+#include "proto/hybrid.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace stpx::proto {
+
+// ---------------------------------------------------------------- sender --
+
+HybridSender::HybridSender(int domain_size, int timeout)
+    : domain_size_(domain_size), timeout_(timeout) {
+  STPX_EXPECT(domain_size >= 1, "HybridSender: domain must be non-empty");
+  STPX_EXPECT(timeout >= 1, "HybridSender: timeout must be positive");
+}
+
+void HybridSender::start(const seq::Sequence& x) {
+  STPX_EXPECT(seq::in_domain(x, seq::Domain{domain_size_}),
+              "HybridSender: input outside domain");
+  x_ = x;
+  next_ = 0;
+  bit_ = 0;
+  steps_since_progress_ = 0;
+  sent_current_ = false;
+  rev_idx_ = -1;
+  rev_bit_ = 0;
+  phase_ = x_.empty() ? HybridPhase::kDone : HybridPhase::kAbp;
+}
+
+sim::SenderEffect HybridSender::on_step() {
+  switch (phase_) {
+    case HybridPhase::kAbp: {
+      if (next_ >= x_.size()) {
+        phase_ = HybridPhase::kDone;
+        return {};
+      }
+      if (++steps_since_progress_ > timeout_) {
+        // Fault detected: abandon ABP and fall back to the whole-sequence
+        // reverse transfer on a disjoint alphabet.
+        phase_ = HybridPhase::kReverse;
+        rev_idx_ = static_cast<std::int64_t>(x_.size()) - 1;
+        rev_bit_ = 0;
+        return on_step();
+      }
+      // Send-once-and-wait: the fast path does NOT retransmit — a lost
+      // message is what hands control to the recovery path, which is the
+      // whole point of the §5 construction.  (A retransmitting fast path
+      // would absorb single faults itself and the fallback, whose
+      // unboundedness §5 criticizes, would never be exercised.)
+      if (sent_current_) return {};
+      sent_current_ = true;
+      return sim::SenderEffect{
+          .send = sim::MsgId{bit_ * domain_size_ + x_[next_]}};
+    }
+    case HybridPhase::kReverse: {
+      if (rev_idx_ < 0) {
+        phase_ = HybridPhase::kEnd;
+        return on_step();
+      }
+      return sim::SenderEffect{
+          .send = sim::MsgId{2 * domain_size_ + rev_bit_ * domain_size_ +
+                             x_[static_cast<std::size_t>(rev_idx_)]}};
+    }
+    case HybridPhase::kEnd:
+      return sim::SenderEffect{.send = sim::MsgId{4 * domain_size_}};
+    case HybridPhase::kDone:
+      return {};
+  }
+  return {};
+}
+
+void HybridSender::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0 && msg < 5, "HybridSender: ack outside M^R");
+  switch (phase_) {
+    case HybridPhase::kAbp:
+      if ((msg == 0 || msg == 1) && next_ < x_.size() && msg == bit_) {
+        ++next_;
+        bit_ ^= 1;
+        steps_since_progress_ = 0;
+        sent_current_ = false;
+        if (next_ >= x_.size()) phase_ = HybridPhase::kDone;
+      }
+      break;
+    case HybridPhase::kReverse:
+      if ((msg == 2 || msg == 3) && msg - 2 == rev_bit_) {
+        --rev_idx_;
+        rev_bit_ ^= 1;
+        if (rev_idx_ < 0) phase_ = HybridPhase::kEnd;
+      }
+      break;
+    case HybridPhase::kEnd:
+      if (msg == 4) phase_ = HybridPhase::kDone;
+      break;
+    case HybridPhase::kDone:
+      break;  // stale acks after completion are harmless
+  }
+}
+
+std::unique_ptr<sim::ISender> HybridSender::clone() const {
+  return std::make_unique<HybridSender>(*this);
+}
+
+// -------------------------------------------------------------- receiver --
+
+HybridReceiver::HybridReceiver(int domain_size) : domain_size_(domain_size) {
+  STPX_EXPECT(domain_size >= 1, "HybridReceiver: domain must be non-empty");
+}
+
+void HybridReceiver::start() {
+  phase_ = HybridPhase::kAbp;
+  expected_bit_ = 0;
+  written_count_ = 0;
+  expected_rev_bit_ = 0;
+  rev_buffer_.clear();
+  finalized_ = false;
+  pending_acks_.clear();
+  pending_writes_.clear();
+}
+
+sim::ReceiverEffect HybridReceiver::on_step() {
+  sim::ReceiverEffect eff;
+  eff.writes = std::move(pending_writes_);
+  pending_writes_.clear();
+  if (!pending_acks_.empty()) {
+    eff.send = pending_acks_.front();
+    pending_acks_.erase(pending_acks_.begin());
+  }
+  return eff;
+}
+
+void HybridReceiver::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0 && msg <= 4 * domain_size_,
+              "HybridReceiver: message outside M^S");
+  if (msg < 2 * domain_size_) {
+    // ABP data.  Once we have switched to the recovery path, stale fast-path
+    // messages are ignored (the paper's variant resumes ABP here; see the
+    // header for why we complete recovery instead).
+    if (phase_ != HybridPhase::kAbp) return;
+    const int bit = static_cast<int>(msg) / domain_size_;
+    const auto item = static_cast<seq::DataItem>(msg % domain_size_);
+    if (bit == expected_bit_) {
+      pending_writes_.push_back(item);
+      ++written_count_;
+      expected_bit_ ^= 1;
+    }
+    pending_acks_.push_back(sim::MsgId{bit});
+    return;
+  }
+  if (msg < 4 * domain_size_) {
+    // Reverse-transfer data: switch to recovery on first sight.
+    if (phase_ == HybridPhase::kAbp) phase_ = HybridPhase::kReverse;
+    if (finalized_) return;
+    const int bit = static_cast<int>(msg - 2 * domain_size_) / domain_size_;
+    const auto item = static_cast<seq::DataItem>(msg % domain_size_);
+    if (phase_ == HybridPhase::kReverse && bit == expected_rev_bit_) {
+      rev_buffer_.push_back(item);
+      expected_rev_bit_ ^= 1;
+    }
+    pending_acks_.push_back(sim::MsgId{2 + bit});
+    return;
+  }
+  // END marker: the reverse buffer now holds all of X, back to front.
+  if (!finalized_) {
+    finalized_ = true;
+    phase_ = HybridPhase::kDone;
+    seq::Sequence full(rev_buffer_.rbegin(), rev_buffer_.rend());
+    STPX_EXPECT(written_count_ <= full.size(),
+                "HybridReceiver: prefix longer than reconstructed sequence");
+    for (std::size_t i = written_count_; i < full.size(); ++i) {
+      pending_writes_.push_back(full[i]);
+    }
+    written_count_ = full.size();
+  }
+  pending_acks_.push_back(sim::MsgId{4});
+}
+
+std::unique_ptr<sim::IReceiver> HybridReceiver::clone() const {
+  return std::make_unique<HybridReceiver>(*this);
+}
+
+}  // namespace stpx::proto

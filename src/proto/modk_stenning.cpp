@@ -1,0 +1,77 @@
+#include "proto/modk_stenning.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::proto {
+
+ModKStenningSender::ModKStenningSender(int domain_size, int modulus)
+    : domain_size_(domain_size), modulus_(modulus) {
+  STPX_EXPECT(domain_size >= 1, "ModKStenningSender: empty domain");
+  STPX_EXPECT(modulus >= 2, "ModKStenningSender: modulus must be >= 2");
+}
+
+void ModKStenningSender::start(const seq::Sequence& x) {
+  STPX_EXPECT(seq::in_domain(x, seq::Domain{domain_size_}),
+              "ModKStenningSender: input outside domain");
+  x_ = x;
+  next_ = 0;
+}
+
+sim::SenderEffect ModKStenningSender::on_step() {
+  if (next_ >= x_.size()) return {};
+  const auto tag = static_cast<sim::MsgId>(next_ % static_cast<std::size_t>(modulus_));
+  return sim::SenderEffect{.send = tag * domain_size_ + x_[next_]};
+}
+
+void ModKStenningSender::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0 && msg < modulus_, "ModKStenningSender: bad ack");
+  // Ack carries (items written) mod K.  We advance when it names the tag
+  // after ours — which is ambiguous once counts wrap: the well-known hole.
+  if (next_ < x_.size() &&
+      msg == static_cast<sim::MsgId>((next_ + 1) %
+                                     static_cast<std::size_t>(modulus_))) {
+    ++next_;
+  }
+}
+
+std::unique_ptr<sim::ISender> ModKStenningSender::clone() const {
+  return std::make_unique<ModKStenningSender>(*this);
+}
+
+ModKStenningReceiver::ModKStenningReceiver(int domain_size, int modulus)
+    : domain_size_(domain_size), modulus_(modulus) {
+  STPX_EXPECT(domain_size >= 1, "ModKStenningReceiver: empty domain");
+  STPX_EXPECT(modulus >= 2, "ModKStenningReceiver: modulus must be >= 2");
+}
+
+void ModKStenningReceiver::start() {
+  written_ = 0;
+  pending_writes_.clear();
+}
+
+sim::ReceiverEffect ModKStenningReceiver::on_step() {
+  sim::ReceiverEffect eff;
+  eff.writes = std::move(pending_writes_);
+  pending_writes_.clear();
+  written_ += static_cast<std::int64_t>(eff.writes.size());
+  eff.send = sim::MsgId{written_ % modulus_};
+  return eff;
+}
+
+void ModKStenningReceiver::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0 && msg < modulus_ * domain_size_,
+              "ModKStenningReceiver: bad message");
+  const std::int64_t tag = msg / domain_size_;
+  const auto item = static_cast<seq::DataItem>(msg % domain_size_);
+  const std::int64_t frontier =
+      written_ + static_cast<std::int64_t>(pending_writes_.size());
+  // Accept when the tag matches the expected index mod K — on a reordering
+  // channel a stale wrapped message passes this test and corrupts Y.
+  if (tag == frontier % modulus_) pending_writes_.push_back(item);
+}
+
+std::unique_ptr<sim::IReceiver> ModKStenningReceiver::clone() const {
+  return std::make_unique<ModKStenningReceiver>(*this);
+}
+
+}  // namespace stpx::proto

@@ -1,0 +1,60 @@
+// Stenning's protocol with sequence numbers reduced mod K — the classic
+// "finite headers" engineering shortcut, included as a cautionary ablation.
+//
+// With K distinct tags the alphabet is finite (K*|D| data messages, K
+// acks), so by Theorem 1/2 it cannot solve STP for all sequences: on a
+// reordering channel a stale message whose tag has wrapped around is
+// indistinguishable from the current one, and the receiver writes a wrong
+// item.  On a FIFO channel (no reordering) mod-2 tags suffice — that is
+// exactly the Alternating Bit Protocol.  The test suite demonstrates both
+// sides; the attack experiments show the wraparound being found
+// automatically.
+//
+// Encodings:
+//   S -> R : (seqno mod K) * |D| + item     (|M^S| = K|D|)
+//   R -> S : number of items written mod K  (|M^R| = K; cumulative-style)
+#pragma once
+
+#include "sim/process.hpp"
+
+namespace stpx::proto {
+
+class ModKStenningSender final : public sim::ISender {
+ public:
+  ModKStenningSender(int domain_size, int modulus);
+
+  void start(const seq::Sequence& x) override;
+  sim::SenderEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return modulus_ * domain_size_; }
+  std::unique_ptr<sim::ISender> clone() const override;
+  std::string name() const override { return "modk-stenning-sender"; }
+
+  std::size_t acked() const { return next_; }
+
+ private:
+  int domain_size_;
+  int modulus_;
+  seq::Sequence x_;
+  std::size_t next_ = 0;  // first unacknowledged index
+};
+
+class ModKStenningReceiver final : public sim::IReceiver {
+ public:
+  ModKStenningReceiver(int domain_size, int modulus);
+
+  void start() override;
+  sim::ReceiverEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return modulus_; }
+  std::unique_ptr<sim::IReceiver> clone() const override;
+  std::string name() const override { return "modk-stenning-receiver"; }
+
+ private:
+  int domain_size_;
+  int modulus_;
+  std::int64_t written_ = 0;
+  std::vector<seq::DataItem> pending_writes_;
+};
+
+}  // namespace stpx::proto

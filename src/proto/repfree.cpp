@@ -1,0 +1,103 @@
+#include "proto/repfree.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::proto {
+
+// ---------------------------------------------------------------- sender --
+
+RepFreeSender::RepFreeSender(int domain_size, RepFreeMode mode)
+    : domain_size_(domain_size), mode_(mode) {
+  STPX_EXPECT(domain_size >= 1, "RepFreeSender: domain must be non-empty");
+}
+
+void RepFreeSender::start(const seq::Sequence& x) {
+  STPX_EXPECT(seq::repetition_free(x),
+              "RepFreeSender: input must be repetition-free (outside 𝒳)");
+  STPX_EXPECT(seq::in_domain(x, seq::Domain{domain_size_}),
+              "RepFreeSender: input outside domain");
+  x_ = x;
+  next_ = 0;
+  sent_current_ = false;
+}
+
+sim::SenderEffect RepFreeSender::on_step() {
+  if (next_ >= x_.size()) return {};  // everything acknowledged
+  if (mode_ == RepFreeMode::kDup && sent_current_) {
+    // Dup channel: the first copy is replayable forever; sending another
+    // identical message would change nothing.
+    return {};
+  }
+  sent_current_ = true;
+  return sim::SenderEffect{.send = sim::MsgId{x_[next_]}};
+}
+
+void RepFreeSender::on_deliver(sim::MsgId msg) {
+  // Only the acknowledgement of the *current* item advances the protocol;
+  // acks of earlier items (replayed or reordered) are stale and ignored —
+  // repetition-freedom makes the comparison unambiguous.
+  if (next_ < x_.size() && msg == sim::MsgId{x_[next_]}) {
+    ++next_;
+    sent_current_ = false;
+  }
+}
+
+std::unique_ptr<sim::ISender> RepFreeSender::clone() const {
+  return std::make_unique<RepFreeSender>(*this);
+}
+
+std::string RepFreeSender::name() const {
+  return mode_ == RepFreeMode::kDup ? "repfree-dup-sender"
+                                    : "repfree-del-sender";
+}
+
+// -------------------------------------------------------------- receiver --
+
+RepFreeReceiver::RepFreeReceiver(int domain_size, RepFreeMode mode)
+    : domain_size_(domain_size), mode_(mode) {
+  STPX_EXPECT(domain_size >= 1, "RepFreeReceiver: domain must be non-empty");
+}
+
+void RepFreeReceiver::start() {
+  seen_.assign(static_cast<std::size_t>(domain_size_), false);
+  pending_writes_.clear();
+  pending_acks_.clear();
+  last_ack_.reset();
+}
+
+sim::ReceiverEffect RepFreeReceiver::on_step() {
+  sim::ReceiverEffect eff;
+  eff.writes = std::move(pending_writes_);
+  pending_writes_.clear();
+  if (!pending_acks_.empty()) {
+    eff.send = pending_acks_.front();
+    pending_acks_.erase(pending_acks_.begin());
+  } else if (mode_ == RepFreeMode::kDel && last_ack_) {
+    // Deletion channel: the ack may have been deleted; keep re-acking the
+    // most recently written item until the sender moves on.
+    eff.send = *last_ack_;
+  }
+  return eff;
+}
+
+void RepFreeReceiver::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0 && msg < domain_size_,
+              "RepFreeReceiver: message outside M^S");
+  const auto idx = static_cast<std::size_t>(msg);
+  if (seen_[idx]) return;  // an old message, replayed or reordered: ignore
+  seen_[idx] = true;
+  pending_writes_.push_back(static_cast<seq::DataItem>(msg));
+  pending_acks_.push_back(msg);
+  last_ack_ = msg;
+}
+
+std::unique_ptr<sim::IReceiver> RepFreeReceiver::clone() const {
+  return std::make_unique<RepFreeReceiver>(*this);
+}
+
+std::string RepFreeReceiver::name() const {
+  return mode_ == RepFreeMode::kDup ? "repfree-dup-receiver"
+                                    : "repfree-del-receiver";
+}
+
+}  // namespace stpx::proto

@@ -1,0 +1,81 @@
+// The paper's tight-bound protocol (end of §3 and §4).
+//
+// Domain D = M^S = M^R = {0..m-1}; the allowable set 𝒳 is the repetition-free
+// sequences over D (|𝒳| = alpha(m), matching the upper bound exactly).
+//
+//   S sends the data items in sequence and waits for the appropriate
+//   acknowledgement for each.  R awaits the arrival of some *new* message
+//   (different from every previously received one); it then writes the new
+//   data item and sends the appropriate acknowledgement.  Reordering is dealt
+//   with by ignoring previously received messages.
+//
+// Duplication mode (X-STP(dup)): each message/ack is sent once — the channel
+// itself replays them forever (Property 1c guarantees delivery), so
+// retransmission buys nothing.
+//
+// Deletion mode (X-STP(del)): the channel may delete copies, so S retransmits
+// the current unacknowledged item on every step and R re-acknowledges its
+// most recently written item on every step.  This is the paper's "easily
+// modified ... bounded solution": from any point, one S-send, one delivery,
+// one R-step, one ack-send, one ack-delivery and one S-step suffice for the
+// next item — a constant f(i), independent of history.
+//
+// Both modes are finite-state, as the paper notes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/process.hpp"
+
+namespace stpx::proto {
+
+/// Retransmission behaviour selects which channel family the pair targets.
+enum class RepFreeMode {
+  kDup,  // send-once: for reorder+duplicate channels
+  kDel,  // retransmit: for reorder+delete channels
+};
+
+class RepFreeSender final : public sim::ISender {
+ public:
+  RepFreeSender(int domain_size, RepFreeMode mode);
+
+  void start(const seq::Sequence& x) override;
+  sim::SenderEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return domain_size_; }
+  std::unique_ptr<sim::ISender> clone() const override;
+  std::string name() const override;
+
+  /// Items acknowledged so far (progress indicator for experiments).
+  std::size_t acked() const { return next_; }
+
+ private:
+  int domain_size_;
+  RepFreeMode mode_;
+  seq::Sequence x_;
+  std::size_t next_ = 0;       // index of the item currently in flight
+  bool sent_current_ = false;  // dup mode: current item already sent once
+};
+
+class RepFreeReceiver final : public sim::IReceiver {
+ public:
+  RepFreeReceiver(int domain_size, RepFreeMode mode);
+
+  void start() override;
+  sim::ReceiverEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return domain_size_; }
+  std::unique_ptr<sim::IReceiver> clone() const override;
+  std::string name() const override;
+
+ private:
+  int domain_size_;
+  RepFreeMode mode_;
+  std::vector<bool> seen_;
+  std::vector<seq::DataItem> pending_writes_;
+  std::vector<sim::MsgId> pending_acks_;
+  std::optional<sim::MsgId> last_ack_;  // del mode: re-ack target
+};
+
+}  // namespace stpx::proto

@@ -1,0 +1,143 @@
+#include "proto/sliding_window.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace stpx::proto {
+
+// ------------------------------------------------------------- go-back-n --
+
+GoBackNSender::GoBackNSender(int domain_size, int window)
+    : domain_size_(domain_size), window_(static_cast<std::size_t>(window)) {
+  STPX_EXPECT(domain_size >= 1, "GoBackNSender: domain must be non-empty");
+  STPX_EXPECT(window >= 1, "GoBackNSender: window must be positive");
+}
+
+void GoBackNSender::start(const seq::Sequence& x) {
+  STPX_EXPECT(seq::in_domain(x, seq::Domain{domain_size_}),
+              "GoBackNSender: input outside domain");
+  x_ = x;
+  base_ = 0;
+  rotate_ = 0;
+}
+
+sim::SenderEffect GoBackNSender::on_step() {
+  if (base_ >= x_.size()) return {};
+  const std::size_t limit = std::min(base_ + window_, x_.size());
+  // Rotate through the window so every outstanding item keeps being
+  // retransmitted (a deletion channel can eat any individual copy).
+  const std::size_t idx = base_ + (rotate_++ % (limit - base_));
+  const auto seqno = static_cast<sim::MsgId>(idx);
+  return sim::SenderEffect{.send = seqno * domain_size_ + x_[idx]};
+}
+
+void GoBackNSender::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0, "GoBackNSender: malformed ack");
+  const auto count = static_cast<std::size_t>(msg);  // cumulative: items written
+  if (count > base_) {
+    base_ = count;
+    rotate_ = 0;
+  }
+}
+
+std::unique_ptr<sim::ISender> GoBackNSender::clone() const {
+  return std::make_unique<GoBackNSender>(*this);
+}
+
+// ------------------------------------------------------ selective repeat --
+
+SelectiveRepeatSender::SelectiveRepeatSender(int domain_size, int window)
+    : domain_size_(domain_size), window_(static_cast<std::size_t>(window)) {
+  STPX_EXPECT(domain_size >= 1,
+              "SelectiveRepeatSender: domain must be non-empty");
+  STPX_EXPECT(window >= 1, "SelectiveRepeatSender: window must be positive");
+}
+
+void SelectiveRepeatSender::start(const seq::Sequence& x) {
+  STPX_EXPECT(seq::in_domain(x, seq::Domain{domain_size_}),
+              "SelectiveRepeatSender: input outside domain");
+  x_ = x;
+  base_ = 0;
+  acked_.clear();
+  rotate_ = 0;
+}
+
+sim::SenderEffect SelectiveRepeatSender::on_step() {
+  if (base_ >= x_.size()) return {};
+  const std::size_t limit = std::min(base_ + window_, x_.size());
+  // Collect unacked indices in the window; retransmit round-robin.
+  std::vector<std::size_t> outstanding;
+  for (std::size_t i = base_; i < limit; ++i) {
+    if (acked_.find(i) == acked_.end()) outstanding.push_back(i);
+  }
+  if (outstanding.empty()) return {};
+  const std::size_t idx = outstanding[rotate_++ % outstanding.size()];
+  const auto seqno = static_cast<sim::MsgId>(idx);
+  return sim::SenderEffect{.send = seqno * domain_size_ + x_[idx]};
+}
+
+void SelectiveRepeatSender::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0, "SelectiveRepeatSender: malformed ack");
+  acked_.insert(static_cast<std::size_t>(msg));
+  while (base_ < x_.size() && acked_.count(base_)) ++base_;
+}
+
+std::unique_ptr<sim::ISender> SelectiveRepeatSender::clone() const {
+  return std::make_unique<SelectiveRepeatSender>(*this);
+}
+
+SelectiveRepeatReceiver::SelectiveRepeatReceiver(int domain_size, int window)
+    : domain_size_(domain_size), window_(static_cast<std::size_t>(window)) {
+  STPX_EXPECT(domain_size >= 1,
+              "SelectiveRepeatReceiver: domain must be non-empty");
+  STPX_EXPECT(window >= 1, "SelectiveRepeatReceiver: window must be positive");
+}
+
+void SelectiveRepeatReceiver::start() {
+  written_ = 0;
+  buffer_.clear();
+  pending_acks_.clear();
+  pending_writes_.clear();
+}
+
+sim::ReceiverEffect SelectiveRepeatReceiver::on_step() {
+  sim::ReceiverEffect eff;
+  eff.writes = std::move(pending_writes_);
+  pending_writes_.clear();
+  written_ += static_cast<std::int64_t>(eff.writes.size());
+  if (!pending_acks_.empty()) {
+    eff.send = pending_acks_.front();
+    pending_acks_.erase(pending_acks_.begin());
+  }
+  return eff;
+}
+
+void SelectiveRepeatReceiver::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0, "SelectiveRepeatReceiver: malformed message");
+  const std::int64_t seqno = msg / domain_size_;
+  const auto item = static_cast<seq::DataItem>(msg % domain_size_);
+  const std::int64_t frontier =
+      written_ + static_cast<std::int64_t>(pending_writes_.size());
+  // Every arrival is (re-)acknowledged — the sender may be retransmitting
+  // because our previous ack was deleted.
+  pending_acks_.push_back(sim::MsgId{seqno});
+  if (seqno < frontier) return;  // duplicate of something already accepted
+  if (seqno >= frontier + static_cast<std::int64_t>(window_)) return;
+  buffer_.emplace(seqno, item);  // no-op if already buffered
+  // Drain the contiguous run into pending writes.
+  auto it = buffer_.find(written_ +
+                         static_cast<std::int64_t>(pending_writes_.size()));
+  while (it != buffer_.end()) {
+    pending_writes_.push_back(it->second);
+    buffer_.erase(it);
+    it = buffer_.find(written_ +
+                      static_cast<std::int64_t>(pending_writes_.size()));
+  }
+}
+
+std::unique_ptr<sim::IReceiver> SelectiveRepeatReceiver::clone() const {
+  return std::make_unique<SelectiveRepeatReceiver>(*this);
+}
+
+}  // namespace stpx::proto

@@ -1,0 +1,86 @@
+// Sliding-window baselines with unbounded sequence numbers.
+//
+// Go-Back-N pipelines W in-flight items with cumulative acks (receiver
+// accepts only in-order delivery, like Stenning's); Selective Repeat buffers
+// out-of-order arrivals within the window and acknowledges each item
+// individually.  Both tolerate reordering, duplication, and deletion — at
+// the cost of unbounded headers, the resource the paper's bounds forbid.
+// They serve as the "what finite alphabets give up" baselines in F2.
+//
+// Encodings (unbounded ids):
+//   S -> R : seqno * |D| + item
+//   R -> S : Go-Back-N: cumulative count of items written;
+//            Selective Repeat: the individual seqno being acknowledged.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "sim/process.hpp"
+
+namespace stpx::proto {
+
+class GoBackNSender final : public sim::ISender {
+ public:
+  GoBackNSender(int domain_size, int window);
+
+  void start(const seq::Sequence& x) override;
+  sim::SenderEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return sim::kUnboundedAlphabet; }
+  std::unique_ptr<sim::ISender> clone() const override;
+  std::string name() const override { return "go-back-n-sender"; }
+
+  std::size_t acked() const { return base_; }
+
+ private:
+  int domain_size_;
+  std::size_t window_;
+  seq::Sequence x_;
+  std::size_t base_ = 0;    // first unacknowledged index
+  std::size_t rotate_ = 0;  // round-robin cursor within the window
+};
+
+class SelectiveRepeatSender final : public sim::ISender {
+ public:
+  SelectiveRepeatSender(int domain_size, int window);
+
+  void start(const seq::Sequence& x) override;
+  sim::SenderEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return sim::kUnboundedAlphabet; }
+  std::unique_ptr<sim::ISender> clone() const override;
+  std::string name() const override { return "selective-repeat-sender"; }
+
+  std::size_t acked_count() const { return acked_.size(); }
+
+ private:
+  int domain_size_;
+  std::size_t window_;
+  seq::Sequence x_;
+  std::size_t base_ = 0;  // first unacknowledged index
+  std::set<std::size_t> acked_;
+  std::size_t rotate_ = 0;
+};
+
+class SelectiveRepeatReceiver final : public sim::IReceiver {
+ public:
+  SelectiveRepeatReceiver(int domain_size, int window);
+
+  void start() override;
+  sim::ReceiverEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return sim::kUnboundedAlphabet; }
+  std::unique_ptr<sim::IReceiver> clone() const override;
+  std::string name() const override { return "selective-repeat-receiver"; }
+
+ private:
+  int domain_size_;
+  std::size_t window_;
+  std::int64_t written_ = 0;  // emitted writes
+  std::map<std::int64_t, seq::DataItem> buffer_;
+  std::vector<sim::MsgId> pending_acks_;
+  std::vector<seq::DataItem> pending_writes_;
+};
+
+}  // namespace stpx::proto

@@ -1,0 +1,74 @@
+#include "proto/stenning.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::proto {
+
+StenningSender::StenningSender(int domain_size) : domain_size_(domain_size) {
+  STPX_EXPECT(domain_size >= 1, "StenningSender: domain must be non-empty");
+}
+
+void StenningSender::start(const seq::Sequence& x) {
+  STPX_EXPECT(seq::in_domain(x, seq::Domain{domain_size_}),
+              "StenningSender: input outside domain");
+  x_ = x;
+  next_ = 0;
+}
+
+sim::SenderEffect StenningSender::on_step() {
+  if (next_ >= x_.size()) return {};
+  // Stop-and-wait with retransmission: keep sending (next_, x[next_]).
+  const auto seqno = static_cast<sim::MsgId>(next_);
+  return sim::SenderEffect{.send = seqno * domain_size_ + x_[next_]};
+}
+
+void StenningSender::on_deliver(sim::MsgId msg) {
+  // msg encodes ack(k) = k + 1, a cumulative ack for items [0, k].
+  const std::int64_t written_count = msg;  // = k + 1
+  STPX_EXPECT(written_count >= 0, "StenningSender: malformed ack");
+  if (static_cast<std::size_t>(written_count) > next_) {
+    next_ = static_cast<std::size_t>(written_count);
+  }
+}
+
+std::unique_ptr<sim::ISender> StenningSender::clone() const {
+  return std::make_unique<StenningSender>(*this);
+}
+
+StenningReceiver::StenningReceiver(int domain_size)
+    : domain_size_(domain_size) {
+  STPX_EXPECT(domain_size >= 1, "StenningReceiver: domain must be non-empty");
+}
+
+void StenningReceiver::start() {
+  written_ = 0;
+  pending_writes_.clear();
+}
+
+sim::ReceiverEffect StenningReceiver::on_step() {
+  sim::ReceiverEffect eff;
+  eff.writes = std::move(pending_writes_);
+  pending_writes_.clear();
+  written_ += static_cast<std::int64_t>(eff.writes.size());
+  // Cumulative ack of everything written so far (idempotent; re-sent every
+  // step so deletions cannot wedge the sender).
+  eff.send = sim::MsgId{written_};
+  return eff;
+}
+
+void StenningReceiver::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0, "StenningReceiver: malformed message");
+  const std::int64_t seqno = msg / domain_size_;
+  const auto item = static_cast<seq::DataItem>(msg % domain_size_);
+  // Accept exactly the next expected item; written_ counts emitted writes
+  // and pending_writes_ holds in-order arrivals since the last step.
+  if (seqno == written_ + static_cast<std::int64_t>(pending_writes_.size())) {
+    pending_writes_.push_back(item);
+  }
+}
+
+std::unique_ptr<sim::IReceiver> StenningReceiver::clone() const {
+  return std::make_unique<StenningReceiver>(*this);
+}
+
+}  // namespace stpx::proto

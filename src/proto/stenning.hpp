@@ -1,0 +1,59 @@
+// Stenning's data transfer protocol [Ste76] — the unbounded-header baseline.
+//
+// Every data message carries its full sequence number, so the protocol works
+// over channels that reorder, duplicate, AND delete — but its message
+// alphabet is infinite, which is exactly the resource the paper's theorems
+// forbid.  Including it makes the trade-off measurable: unbounded headers
+// buy unrestricted 𝒳 (any sequence over any domain), finite alphabets cap
+// |𝒳| at alpha(m).
+//
+// Encodings (unbounded ids):
+//   S -> R : seqno * |D| + item
+//   R -> S : seqno of the highest item written so far (cumulative ack),
+//            or -2 when nothing is written yet ("ack of -1", offset to keep
+//            ids distinct from data).  We simply encode ack(k) as k, with
+//            k = -1 allowed... but MsgId -1 is reserved, so ack(k) = k + 1
+//            (ack ids are in a different direction, no clash with data).
+#pragma once
+
+#include "sim/process.hpp"
+
+namespace stpx::proto {
+
+class StenningSender final : public sim::ISender {
+ public:
+  explicit StenningSender(int domain_size);
+
+  void start(const seq::Sequence& x) override;
+  sim::SenderEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return sim::kUnboundedAlphabet; }
+  std::unique_ptr<sim::ISender> clone() const override;
+  std::string name() const override { return "stenning-sender"; }
+
+  std::size_t acked() const { return next_; }
+
+ private:
+  int domain_size_;
+  seq::Sequence x_;
+  std::size_t next_ = 0;  // first unacknowledged index
+};
+
+class StenningReceiver final : public sim::IReceiver {
+ public:
+  explicit StenningReceiver(int domain_size);
+
+  void start() override;
+  sim::ReceiverEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return sim::kUnboundedAlphabet; }
+  std::unique_ptr<sim::IReceiver> clone() const override;
+  std::string name() const override { return "stenning-receiver"; }
+
+ private:
+  int domain_size_;
+  std::int64_t written_ = 0;  // count of items written (= next expected seqno)
+  std::vector<seq::DataItem> pending_writes_;
+};
+
+}  // namespace stpx::proto

@@ -1,0 +1,62 @@
+#include "proto/suite.hpp"
+
+namespace stpx::proto {
+
+ProtocolPair make_repfree_dup(int domain_size) {
+  return {std::make_unique<RepFreeSender>(domain_size, RepFreeMode::kDup),
+          std::make_unique<RepFreeReceiver>(domain_size, RepFreeMode::kDup)};
+}
+
+ProtocolPair make_repfree_del(int domain_size) {
+  return {std::make_unique<RepFreeSender>(domain_size, RepFreeMode::kDel),
+          std::make_unique<RepFreeReceiver>(domain_size, RepFreeMode::kDel)};
+}
+
+ProtocolPair make_repfree_flood(int domain_size) {
+  // Del-mode sender floods retransmissions; dup-mode receiver acks once per
+  // item (the ack is replayable forever on a dup channel anyway).
+  return {std::make_unique<RepFreeSender>(domain_size, RepFreeMode::kDel),
+          std::make_unique<RepFreeReceiver>(domain_size, RepFreeMode::kDup)};
+}
+
+ProtocolPair make_abp(int domain_size) {
+  return {std::make_unique<AbpSender>(domain_size),
+          std::make_unique<AbpReceiver>(domain_size)};
+}
+
+ProtocolPair make_stenning(int domain_size) {
+  return {std::make_unique<StenningSender>(domain_size),
+          std::make_unique<StenningReceiver>(domain_size)};
+}
+
+ProtocolPair make_modk_stenning(int domain_size, int modulus) {
+  return {std::make_unique<ModKStenningSender>(domain_size, modulus),
+          std::make_unique<ModKStenningReceiver>(domain_size, modulus)};
+}
+
+ProtocolPair make_go_back_n(int domain_size, int window) {
+  return {std::make_unique<GoBackNSender>(domain_size, window),
+          std::make_unique<StenningReceiver>(domain_size)};
+}
+
+ProtocolPair make_selective_repeat(int domain_size, int window) {
+  return {std::make_unique<SelectiveRepeatSender>(domain_size, window),
+          std::make_unique<SelectiveRepeatReceiver>(domain_size, window)};
+}
+
+ProtocolPair make_sync_stop_wait(int domain_size) {
+  return {std::make_unique<SyncStopWaitSender>(domain_size),
+          std::make_unique<SyncStopWaitReceiver>(domain_size)};
+}
+
+ProtocolPair make_block(int domain_size, int block_size, int max_len) {
+  return {std::make_unique<BlockSender>(domain_size, block_size, max_len),
+          std::make_unique<BlockReceiver>(domain_size, block_size, max_len)};
+}
+
+ProtocolPair make_hybrid(int domain_size, int timeout) {
+  return {std::make_unique<HybridSender>(domain_size, timeout),
+          std::make_unique<HybridReceiver>(domain_size)};
+}
+
+}  // namespace stpx::proto

@@ -1,0 +1,70 @@
+// Convenience factories producing matched (sender, receiver) pairs.
+//
+// Each factory documents which channel family the pair is designed for;
+// running a pair on a hostile channel it was not designed for is a valid
+// experiment (that is how the kernel's safety checker earns its keep), but
+// the correctness claims below hold only on the stated family.
+#pragma once
+
+#include <memory>
+
+#include "proto/alternating_bit.hpp"
+#include "proto/block.hpp"
+#include "proto/hybrid.hpp"
+#include "proto/modk_stenning.hpp"
+#include "proto/repfree.hpp"
+#include "proto/sliding_window.hpp"
+#include "proto/stenning.hpp"
+#include "proto/sync_stop_wait.hpp"
+
+namespace stpx::proto {
+
+struct ProtocolPair {
+  std::unique_ptr<sim::ISender> sender;
+  std::unique_ptr<sim::IReceiver> receiver;
+};
+
+/// Paper's α(m) protocol for reorder+duplicate channels (send-once).
+ProtocolPair make_repfree_dup(int domain_size);
+
+/// Paper's bounded α(m) protocol for reorder+delete channels (retransmit).
+ProtocolPair make_repfree_del(int domain_size);
+
+/// A deliberately wasteful variant for the F1 overhead ablation: identical
+/// receiver, but the sender retransmits on every step even on a dup channel
+/// where one copy would do.
+ProtocolPair make_repfree_flood(int domain_size);
+
+/// Alternating Bit Protocol — FIFO channels with loss/duplication only.
+ProtocolPair make_abp(int domain_size);
+
+/// Stenning's protocol — any channel; unbounded headers.
+ProtocolPair make_stenning(int domain_size);
+
+/// Stenning with mod-K tags — finite alphabet (K|D| + K messages); correct
+/// on FIFO channels, provably (and demonstrably) broken under reordering
+/// for long enough inputs: the ablation that shows Theorem 1/2 biting a
+/// classic design.
+ProtocolPair make_modk_stenning(int domain_size, int modulus);
+
+/// Go-Back-N — any channel; unbounded headers, cumulative acks.
+/// (Reuses the Stenning receiver: in-order accept + cumulative ack.)
+ProtocolPair make_go_back_n(int domain_size, int window);
+
+/// Selective Repeat — any channel; unbounded headers, per-item acks.
+ProtocolPair make_selective_repeat(int domain_size, int window);
+
+/// §5 hybrid: ABP fast path + whole-sequence recovery; FIFO channels.
+ProtocolPair make_hybrid(int domain_size, int timeout);
+
+/// Stop-and-wait over the synchronous detectable-loss link ([AUY79]
+/// contrast class): all sequences over D, |M^S| = |D|, zero receiver
+/// messages.  Requires channel::SyncLossChannel.
+ProtocolPair make_sync_stop_wait(int domain_size);
+
+/// Block transfer (§2.4 remark): each message carries `block_size` items,
+/// writes drain one per step — knowledge strictly precedes writing.  FIFO
+/// channels (and loss/duplication); inputs up to max_len items.
+ProtocolPair make_block(int domain_size, int block_size, int max_len);
+
+}  // namespace stpx::proto

@@ -1,0 +1,66 @@
+#include "proto/sync_stop_wait.hpp"
+
+#include "channel/sync_channel.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::proto {
+
+SyncStopWaitSender::SyncStopWaitSender(int domain_size)
+    : domain_size_(domain_size) {
+  STPX_EXPECT(domain_size >= 1, "SyncStopWaitSender: empty domain");
+}
+
+void SyncStopWaitSender::start(const seq::Sequence& x) {
+  STPX_EXPECT(seq::in_domain(x, seq::Domain{domain_size_}),
+              "SyncStopWaitSender: input outside domain");
+  x_ = x;
+  next_ = 0;
+  awaiting_verdict_ = false;
+}
+
+sim::SenderEffect SyncStopWaitSender::on_step() {
+  if (awaiting_verdict_ || next_ >= x_.size()) return {};
+  awaiting_verdict_ = true;
+  return sim::SenderEffect{.send = sim::MsgId{x_[next_]}};
+}
+
+void SyncStopWaitSender::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg == channel::kSyncAck || msg == channel::kSyncNack,
+              "SyncStopWaitSender: expected an environment verdict token");
+  STPX_EXPECT(awaiting_verdict_,
+              "SyncStopWaitSender: verdict without an outstanding send");
+  awaiting_verdict_ = false;
+  if (msg == channel::kSyncAck) ++next_;  // NACK: resend on the next step
+}
+
+std::unique_ptr<sim::ISender> SyncStopWaitSender::clone() const {
+  return std::make_unique<SyncStopWaitSender>(*this);
+}
+
+SyncStopWaitReceiver::SyncStopWaitReceiver(int domain_size)
+    : domain_size_(domain_size) {
+  STPX_EXPECT(domain_size >= 1, "SyncStopWaitReceiver: empty domain");
+}
+
+void SyncStopWaitReceiver::start() { pending_writes_.clear(); }
+
+sim::ReceiverEffect SyncStopWaitReceiver::on_step() {
+  sim::ReceiverEffect eff;
+  eff.writes = std::move(pending_writes_);
+  pending_writes_.clear();
+  return eff;
+}
+
+void SyncStopWaitReceiver::on_deliver(sim::MsgId msg) {
+  STPX_EXPECT(msg >= 0 && msg < domain_size_,
+              "SyncStopWaitReceiver: message outside M^S");
+  // Order + no duplication + verdict-gated sending mean every arrival is
+  // exactly the next item.
+  pending_writes_.push_back(static_cast<seq::DataItem>(msg));
+}
+
+std::unique_ptr<sim::IReceiver> SyncStopWaitReceiver::clone() const {
+  return std::make_unique<SyncStopWaitReceiver>(*this);
+}
+
+}  // namespace stpx::proto

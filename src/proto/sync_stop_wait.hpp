@@ -1,0 +1,54 @@
+// Stop-and-wait over the synchronous, detectable-loss link (§1's contrast
+// class: [AUY79], [AUWY82]).
+//
+// With loss detection and order, the whole difficulty of STP evaporates:
+// the sender transmits each item as itself, waits for the environment's
+// per-transmission verdict (kSyncAck / kSyncNack), and resends on NACK; the
+// receiver writes every arrival.  ALL sequences over D are carried —
+// repetitions included — with |M^S| = |D| and the receiver never sending a
+// single message.  Against the paper's channels the same alphabet supports
+// at most alpha(|D|) sequences (Theorems 1/2): the alpha(m) wall is the
+// price of asynchrony and reordering, not of loss (ablation A3).
+#pragma once
+
+#include "sim/process.hpp"
+
+namespace stpx::proto {
+
+class SyncStopWaitSender final : public sim::ISender {
+ public:
+  explicit SyncStopWaitSender(int domain_size);
+
+  void start(const seq::Sequence& x) override;
+  sim::SenderEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return domain_size_; }
+  std::unique_ptr<sim::ISender> clone() const override;
+  std::string name() const override { return "sync-stopwait-sender"; }
+
+ private:
+  int domain_size_;
+  seq::Sequence x_;
+  std::size_t next_ = 0;
+  bool awaiting_verdict_ = false;
+};
+
+class SyncStopWaitReceiver final : public sim::IReceiver {
+ public:
+  explicit SyncStopWaitReceiver(int domain_size);
+
+  void start() override;
+  sim::ReceiverEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  /// Sends nothing; a 1-message alphabet keeps the engine's send check
+  /// trivially satisfied if a future variant ever acks.
+  int alphabet_size() const override { return 1; }
+  std::unique_ptr<sim::IReceiver> clone() const override;
+  std::string name() const override { return "sync-stopwait-receiver"; }
+
+ private:
+  int domain_size_;
+  std::vector<seq::DataItem> pending_writes_;
+};
+
+}  // namespace stpx::proto

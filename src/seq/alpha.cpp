@@ -1,0 +1,72 @@
+#include "seq/alpha.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::seq {
+
+namespace {
+
+/// a*b with overflow detection.
+std::optional<std::uint64_t> checked_mul(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::uint64_t> checked_add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> falling_factorial_u64(int m, int k) {
+  STPX_EXPECT(m >= 0 && k >= 0, "falling_factorial_u64: negative argument");
+  if (k > m) return 0;
+  std::uint64_t acc = 1;
+  for (int i = 0; i < k; ++i) {
+    auto next = checked_mul(acc, static_cast<std::uint64_t>(m - i));
+    if (!next) return std::nullopt;
+    acc = *next;
+  }
+  return acc;
+}
+
+std::optional<std::uint64_t> alpha_u64(int m) {
+  STPX_EXPECT(m >= 0, "alpha_u64: negative m");
+  std::uint64_t acc = 0;
+  for (int k = 0; k <= m; ++k) {
+    auto term = falling_factorial_u64(m, k);
+    if (!term) return std::nullopt;
+    auto sum = checked_add(acc, *term);
+    if (!sum) return std::nullopt;
+    acc = *sum;
+  }
+  return acc;
+}
+
+std::optional<std::uint64_t> alpha_recurrence_u64(int m) {
+  STPX_EXPECT(m >= 0, "alpha_recurrence_u64: negative m");
+  std::uint64_t acc = 1;  // alpha(0) = 1: just the empty sequence.
+  for (int i = 1; i <= m; ++i) {
+    auto prod = checked_mul(acc, static_cast<std::uint64_t>(i));
+    if (!prod) return std::nullopt;
+    auto sum = checked_add(*prod, 1);
+    if (!sum) return std::nullopt;
+    acc = *sum;
+  }
+  return acc;
+}
+
+BigUint alpha_big(int m) {
+  STPX_EXPECT(m >= 0, "alpha_big: negative m");
+  BigUint acc(1);
+  for (int i = 1; i <= m; ++i) {
+    acc *= static_cast<std::uint64_t>(i);
+    acc += 1;
+  }
+  return acc;
+}
+
+}  // namespace stpx::seq

@@ -1,0 +1,37 @@
+// The paper's central combinatorial quantity:
+//
+//     alpha(m) = m! * sum_{k=0}^{m} 1/k!
+//
+// i.e. the number of repetition-free sequences (including the empty one)
+// over an alphabet of m symbols.  Theorems 1 and 2 show alpha(|M^S|) is a
+// tight bound on |X| for X-STP(dup) and for bounded X-STP(del).
+//
+// Three independent computations are provided so the T1 table can
+// cross-check them: the closed form, the recurrence alpha(m) = 1 + m *
+// alpha(m-1), and (in repetition_free.hpp) exhaustive enumeration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/biguint.hpp"
+
+namespace stpx::seq {
+
+/// alpha(m) via the closed form, in 64 bits.  Returns nullopt on overflow
+/// (first overflows at m = 21).
+std::optional<std::uint64_t> alpha_u64(int m);
+
+/// alpha(m) via the recurrence alpha(m) = 1 + m * alpha(m-1), alpha(0) = 1,
+/// in 64 bits.  Returns nullopt on overflow.
+std::optional<std::uint64_t> alpha_recurrence_u64(int m);
+
+/// alpha(m) exactly, for any m >= 0.
+BigUint alpha_big(int m);
+
+/// Number of repetition-free sequences of length exactly k over m symbols:
+/// m! / (m-k)! = m * (m-1) * ... * (m-k+1).  Returns nullopt on overflow or
+/// if k > m (in which case the count is zero and 0 is returned, not nullopt).
+std::optional<std::uint64_t> falling_factorial_u64(int m, int k);
+
+}  // namespace stpx::seq

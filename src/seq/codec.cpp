@@ -1,0 +1,71 @@
+#include "seq/codec.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::seq {
+
+Sequence position_tag(const std::vector<int>& data, int radix) {
+  STPX_EXPECT(radix >= 1, "position_tag: radix must be positive");
+  Sequence x;
+  x.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    STPX_EXPECT(data[i] >= 0 && data[i] < radix,
+                "position_tag: value out of radix range");
+    x.push_back(static_cast<DataItem>(i * static_cast<std::size_t>(radix) +
+                                      static_cast<std::size_t>(data[i])));
+  }
+  return x;
+}
+
+std::optional<std::vector<int>> position_untag(const Sequence& x, int radix) {
+  if (radix < 1) return std::nullopt;
+  std::vector<int> data;
+  data.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < 0) return std::nullopt;
+    const auto pos = static_cast<std::size_t>(x[i]) /
+                     static_cast<std::size_t>(radix);
+    const int value = static_cast<int>(static_cast<std::size_t>(x[i]) %
+                                       static_cast<std::size_t>(radix));
+    if (pos != i) return std::nullopt;
+    data.push_back(value);
+  }
+  return data;
+}
+
+int position_tag_domain(std::size_t length, int radix) {
+  STPX_EXPECT(radix >= 1, "position_tag_domain: radix must be positive");
+  return static_cast<int>(length) * radix;
+}
+
+std::optional<Sequence> counter_tag(const std::vector<int>& data, int radix) {
+  if (radix < 1) return std::nullopt;
+  if (data.size() > static_cast<std::size_t>(radix)) return std::nullopt;
+  Sequence x;
+  x.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] < 0 || data[i] >= radix) return std::nullopt;
+    // counter digit i guarantees repetition-freedom (each item has a
+    // distinct counter field); value rides in the low digit.
+    x.push_back(static_cast<DataItem>(
+        static_cast<int>(i) * radix + data[i]));
+  }
+  return x;
+}
+
+std::optional<std::vector<int>> counter_untag(const Sequence& x, int radix) {
+  if (radix < 1) return std::nullopt;
+  if (x.size() > static_cast<std::size_t>(radix)) return std::nullopt;
+  std::vector<int> data;
+  data.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < 0) return std::nullopt;
+    const int counter = static_cast<int>(x[i]) / radix;
+    const int value = static_cast<int>(x[i]) % radix;
+    if (counter != static_cast<int>(i)) return std::nullopt;
+    data.push_back(value);
+  }
+  return data;
+}
+
+}  // namespace stpx::seq

@@ -1,0 +1,43 @@
+// Codecs between arbitrary data streams and the repetition-free sequences
+// the paper's protocols carry.
+//
+// alpha(m) bounds WHICH sequences a finite alphabet can carry, not how much
+// raw data: any byte stream embeds into a repetition-free sequence by
+// position tagging (item_i = i * radix + byte_i), at the cost of a domain —
+// and hence message alphabet — that grows linearly with the stream length.
+// This is the honest trade the paper's theorems force, and the examples and
+// benches use it to run real payloads through the bounded protocols.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "seq/types.hpp"
+
+namespace stpx::seq {
+
+/// Encode `data` (values in [0, radix)) as the repetition-free sequence
+/// item_i = i * radix + data_i.  Domain size needed: data.size() * radix.
+Sequence position_tag(const std::vector<int>& data, int radix);
+
+/// Inverse of position_tag.  Returns nullopt if `x` is not a well-formed
+/// tagged sequence for this radix (wrong positions or out-of-range values).
+std::optional<std::vector<int>> position_untag(const Sequence& x, int radix);
+
+/// Domain size position_tag requires for `length` items of this radix.
+int position_tag_domain(std::size_t length, int radix);
+
+/// Encode `data` by delta-chaining into a repetition-free sequence over a
+/// domain of size radix * (radix + 1): item_i = prev_item's low digit and
+/// the current value combined, guaranteeing adjacent distinctness and
+/// global repetition-freedom via a rolling counter.  More compact than
+/// position tagging when repeated *adjacent* values are the main problem
+/// but still linear in the worst case; provided mainly as a second codec
+/// for tests.  Returns nullopt if data is too long for the radix
+/// (length > radix).
+std::optional<Sequence> counter_tag(const std::vector<int>& data, int radix);
+
+/// Inverse of counter_tag.
+std::optional<std::vector<int>> counter_untag(const Sequence& x, int radix);
+
+}  // namespace stpx::seq

@@ -1,0 +1,194 @@
+#include "seq/encoding.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "seq/alpha.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::seq {
+
+namespace {
+
+bool word_is_prefix(const MsgWord& p, const MsgWord& w) {
+  if (p.size() > w.size()) return false;
+  return std::equal(p.begin(), p.end(), w.begin());
+}
+
+bool word_repetition_free(const MsgWord& w) {
+  MsgWord sorted = w;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+std::string word_str(const MsgWord& w) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << w[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+std::string EncodingViolation::describe(const Encoding& enc) const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kRepetition:
+      os << "word " << word_str(enc.words[first]) << " for input "
+         << to_string(enc.inputs[first]) << " repeats a message";
+      break;
+    case Kind::kOutOfAlphabet:
+      os << "word " << word_str(enc.words[first]) << " for input "
+         << to_string(enc.inputs[first]) << " uses a symbol outside M^S";
+      break;
+    case Kind::kDuplicateWord:
+      os << "inputs " << to_string(enc.inputs[first]) << " and "
+         << to_string(enc.inputs[second]) << " share word "
+         << word_str(enc.words[first]);
+      break;
+    case Kind::kPrefixConflict:
+      os << "word " << word_str(enc.words[first]) << " (for "
+         << to_string(enc.inputs[first]) << ") is a prefix of word "
+         << word_str(enc.words[second]) << " (for "
+         << to_string(enc.inputs[second]) << ") but the inputs are not "
+         << "prefix-ordered";
+      break;
+  }
+  return os.str();
+}
+
+std::optional<EncodingViolation> find_violation(const Encoding& enc) {
+  STPX_EXPECT(enc.inputs.size() == enc.words.size(),
+              "find_violation: inputs/words size mismatch");
+  using Kind = EncodingViolation::Kind;
+  for (std::size_t i = 0; i < enc.words.size(); ++i) {
+    for (int sym : enc.words[i]) {
+      if (sym < 0 || sym >= enc.alphabet_size) {
+        return EncodingViolation{Kind::kOutOfAlphabet, i, 0};
+      }
+    }
+    if (!word_repetition_free(enc.words[i])) {
+      return EncodingViolation{Kind::kRepetition, i, 0};
+    }
+  }
+  for (std::size_t i = 0; i < enc.words.size(); ++i) {
+    for (std::size_t j = 0; j < enc.words.size(); ++j) {
+      if (i == j) continue;
+      if (enc.words[i] == enc.words[j]) {
+        if (enc.inputs[i] != enc.inputs[j] && i < j) {
+          return EncodingViolation{Kind::kDuplicateWord, i, j};
+        }
+        continue;
+      }
+      if (word_is_prefix(enc.words[i], enc.words[j]) &&
+          !is_prefix(enc.inputs[i], enc.inputs[j])) {
+        return EncodingViolation{Kind::kPrefixConflict, i, j};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Prefix trie over the family; `member_index` marks which node terminates
+/// which family member (SIZE_MAX if none).
+struct TrieNode {
+  std::map<DataItem, std::unique_ptr<TrieNode>> children;
+  std::size_t member_index = SIZE_MAX;
+};
+
+/// Assign message symbols along trie edges so that each root-to-node path is
+/// repetition-free.  A node at depth d has only m-d unused symbols, so the
+/// embedding fails iff some node has more children than symbols remain (or a
+/// path exceeds depth m).
+bool embed(const TrieNode& node, int m, std::vector<bool>& used_on_path,
+           MsgWord& path, Encoding& out) {
+  if (node.member_index != SIZE_MAX) {
+    out.words[node.member_index] = path;
+  }
+  if (node.children.empty()) return true;
+  // Collect unused symbols; children each need a distinct one.
+  std::vector<int> avail;
+  for (int s = 0; s < m; ++s) {
+    if (!used_on_path[static_cast<std::size_t>(s)]) avail.push_back(s);
+  }
+  if (node.children.size() > avail.size()) return false;
+  std::size_t next = 0;
+  for (const auto& [item, child] : node.children) {
+    (void)item;
+    const int sym = avail[next++];
+    used_on_path[static_cast<std::size_t>(sym)] = true;
+    path.push_back(sym);
+    const bool ok = embed(*child, m, used_on_path, path, out);
+    path.pop_back();
+    used_on_path[static_cast<std::size_t>(sym)] = false;
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Encoding> try_build_encoding(const Family& family, int m) {
+  STPX_EXPECT(m >= 0, "try_build_encoding: negative m");
+  STPX_EXPECT(mutually_distinct(family),
+              "try_build_encoding: family members must be distinct");
+  // Fast pigeonhole: more members than repetition-free words can exist.
+  const BigUint limit = alpha_big(m);
+  if (BigUint(family.size()) > limit) return std::nullopt;
+
+  TrieNode root;
+  for (std::size_t i = 0; i < family.members.size(); ++i) {
+    TrieNode* node = &root;
+    for (DataItem d : family.members[i]) {
+      auto it = node->children.find(d);
+      if (it == node->children.end()) {
+        it = node->children.emplace(d, std::make_unique<TrieNode>()).first;
+      }
+      node = it->second.get();
+    }
+    node->member_index = i;
+  }
+
+  Encoding enc;
+  enc.alphabet_size = m;
+  enc.inputs = family.members;
+  enc.words.resize(family.members.size());
+  std::vector<bool> used(static_cast<std::size_t>(m), false);
+  MsgWord path;
+  if (!embed(root, m, used, path, enc)) return std::nullopt;
+  // The construction guarantees validity; check anyway — cheap insurance.
+  STPX_EXPECT(!find_violation(enc).has_value(),
+              "try_build_encoding: construction produced invalid encoding");
+  return enc;
+}
+
+std::vector<std::size_t> largest_embeddable_subfamily(const Family& family,
+                                                      int m) {
+  STPX_EXPECT(m >= 0, "largest_embeddable_subfamily: negative m");
+  STPX_EXPECT(mutually_distinct(family),
+              "largest_embeddable_subfamily: family members must be distinct");
+  // Greedy: keep a member iff the kept set still embeds.  Quadratic in the
+  // family size times the embedding cost — fine at experiment scales, and
+  // monotone (dropping a member never hurts later ones).
+  std::vector<std::size_t> kept;
+  Family trial{family.domain, {}};
+  for (std::size_t i = 0; i < family.members.size(); ++i) {
+    trial.members.push_back(family.members[i]);
+    if (try_build_encoding(trial, m).has_value()) {
+      kept.push_back(i);
+    } else {
+      trial.members.pop_back();
+    }
+  }
+  return kept;
+}
+
+}  // namespace stpx::seq

@@ -1,0 +1,74 @@
+// Prefix-monotone repetition-free encodings (end of §3 of the paper).
+//
+// The paper observes that any solution to 𝒳-STP(dup) must, in effect, map
+// each input sequence X ∈ 𝒳 to a message word μ(X) over M^S such that
+//   (E1) μ(X) is repetition-free (a repeated message buys nothing: the
+//        channel can replay the first copy forever), and
+//   (E2) μ(X₁) is a prefix of μ(X₂) only when X₁ is a prefix of X₂
+//        (prefix-monotonicity; otherwise the receiver, having seen μ(X₁),
+//        cannot distinguish "done with X₁" from "midway through X₂").
+// Since only alpha(m) repetition-free words exist, |𝒳| ≤ alpha(m) follows by
+// pigeonhole.  This module makes that argument executable:
+//   * validity checking of a candidate encoding with a concrete witness of
+//     the violated condition,
+//   * a greedy trie-embedding constructor that builds a valid encoding
+//     whenever one exists along the natural prefix structure,
+//   * the pigeonhole: any candidate for |𝒳| > alpha(m) is provably invalid,
+//     and we return the offending pair.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "seq/family.hpp"
+#include "seq/types.hpp"
+
+namespace stpx::seq {
+
+/// A message word over the sender alphabet M^S = {0..m-1}.
+using MsgWord = std::vector<int>;
+
+/// A candidate encoding μ: parallel arrays, inputs[i] ↦ words[i].
+struct Encoding {
+  int alphabet_size = 0;  // m = |M^S|
+  std::vector<Sequence> inputs;
+  std::vector<MsgWord> words;
+};
+
+/// Why an encoding is invalid, with a concrete witness.
+struct EncodingViolation {
+  enum class Kind {
+    kRepetition,       // words[first] repeats a message (violates E1)
+    kOutOfAlphabet,    // words[first] uses a symbol outside {0..m-1}
+    kDuplicateWord,    // words[first] == words[second], inputs differ
+    kPrefixConflict,   // words[first] prefix of words[second] but
+                       // inputs[first] not prefix of inputs[second]
+  };
+  Kind kind;
+  std::size_t first = 0;
+  std::size_t second = 0;  // meaningful for kDuplicateWord/kPrefixConflict
+
+  std::string describe(const Encoding& enc) const;
+};
+
+/// Check E1/E2; nullopt means the encoding is valid.
+std::optional<EncodingViolation> find_violation(const Encoding& enc);
+
+/// Greedily build a valid encoding for the family by embedding its prefix
+/// trie into the repetition-free word tree over m symbols (a node at depth d
+/// has m-d unused symbols for its children).  Returns nullopt when the
+/// embedding fails — in particular it always fails when |family| > alpha(m),
+/// which is the executable form of the paper's pigeonhole.
+std::optional<Encoding> try_build_encoding(const Family& family, int m);
+
+/// When a family does not fit, which part of it can still be served?
+/// Greedily selects a maximal embeddable subfamily (members kept in their
+/// given priority order; each is retained iff the trie of the kept set
+/// still embeds into the repetition-free word tree over m symbols).  The
+/// result always admits a valid encoding; by Theorem 1 its size is at most
+/// alpha(m).  Returns the indices of the kept members.
+std::vector<std::size_t> largest_embeddable_subfamily(const Family& family,
+                                                      int m);
+
+}  // namespace stpx::seq

@@ -1,0 +1,81 @@
+#include "seq/family.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "seq/repetition_free.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::seq {
+
+bool mutually_distinct(const Family& fam) {
+  std::set<Sequence> seen(fam.members.begin(), fam.members.end());
+  return seen.size() == fam.members.size();
+}
+
+bool prefix_closed(const Family& fam) {
+  std::set<Sequence> seen(fam.members.begin(), fam.members.end());
+  for (const Sequence& x : fam.members) {
+    Sequence prefix;
+    for (DataItem d : x) {
+      if (seen.find(prefix) == seen.end()) return false;
+      prefix.push_back(d);
+    }
+  }
+  return true;
+}
+
+Family canonical_repetition_free(int m) {
+  return Family{Domain{m}, all_repetition_free(m)};
+}
+
+Family beyond_alpha(int m) {
+  STPX_EXPECT(m >= 1, "beyond_alpha: requires m >= 1");
+  Family fam = canonical_repetition_free(m);
+  fam.members.push_back(Sequence{0, 0});
+  return fam;
+}
+
+Family all_words_up_to(int m, int max_len) {
+  STPX_EXPECT(m >= 1 && max_len >= 0, "all_words_up_to: bad arguments");
+  Family fam{Domain{m}, {Sequence{}}};
+  std::vector<Sequence> frontier{Sequence{}};
+  for (int len = 1; len <= max_len; ++len) {
+    std::vector<Sequence> next;
+    next.reserve(frontier.size() * static_cast<std::size_t>(m));
+    for (const Sequence& w : frontier) {
+      for (DataItem d = 0; d < m; ++d) {
+        Sequence ext = w;
+        ext.push_back(d);
+        next.push_back(ext);
+      }
+    }
+    fam.members.insert(fam.members.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  return fam;
+}
+
+Family random_family(int m, std::size_t count, int max_len, Rng& rng) {
+  STPX_EXPECT(m >= 1 && max_len >= 0, "random_family: bad arguments");
+  // Space size: sum_{k<=max_len} m^k; refuse if obviously too small.
+  long double space = 0;
+  long double pw = 1;
+  for (int k = 0; k <= max_len; ++k) {
+    space += pw;
+    pw *= m;
+  }
+  STPX_EXPECT(static_cast<long double>(count) <= space,
+              "random_family: not enough distinct sequences in space");
+  std::set<Sequence> seen;
+  Family fam{Domain{m}, {}};
+  while (fam.members.size() < count) {
+    const int len = static_cast<int>(rng.range(0, max_len));
+    Sequence x(static_cast<std::size_t>(len));
+    for (auto& d : x) d = static_cast<DataItem>(rng.below(static_cast<std::uint64_t>(m)));
+    if (seen.insert(x).second) fam.members.push_back(std::move(x));
+  }
+  return fam;
+}
+
+}  // namespace stpx::seq

@@ -1,0 +1,52 @@
+// Generators for allowable-sequence families (the paper's sets 𝒳).
+//
+// A family is just a vector of mutually distinct sequences over a domain.
+// The theorems compare |𝒳| against alpha(m), so experiments need families of
+// controlled size and structure: the canonical repetition-free family (the
+// achievable case), that family plus one extra sequence (the impossible
+// case), all words of bounded length, and random families for property
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/types.hpp"
+#include "util/rng.hpp"
+
+namespace stpx::seq {
+
+/// A set 𝒳 of allowable input sequences over a common domain.
+struct Family {
+  Domain domain;
+  std::vector<Sequence> members;
+
+  std::size_t size() const { return members.size(); }
+};
+
+/// True iff all members are mutually distinct (as required of 𝒳 in the
+/// impossibility arguments).
+bool mutually_distinct(const Family& fam);
+
+/// True iff the family is prefix-closed (every prefix of a member is a
+/// member).
+bool prefix_closed(const Family& fam);
+
+/// The canonical achievable family: all repetition-free sequences over a
+/// domain of size m.  |members| = alpha(m).
+Family canonical_repetition_free(int m);
+
+/// The canonical family plus one sequence with a repetition (the shortest
+/// one, <0 0>), giving |𝒳| = alpha(m) + 1 — the threshold at which Theorems
+/// 1 and 2 apply.  Requires m >= 1.
+Family beyond_alpha(int m);
+
+/// All words over {0..m-1} of length at most `max_len` (size = sum m^k).
+Family all_words_up_to(int m, int max_len);
+
+/// `count` distinct random sequences over {0..m-1} with lengths in
+/// [0, max_len].  Throws if the space is too small to supply `count`
+/// distinct sequences.
+Family random_family(int m, std::size_t count, int max_len, Rng& rng);
+
+}  // namespace stpx::seq

@@ -1,0 +1,111 @@
+#include "seq/repetition_free.hpp"
+
+#include <algorithm>
+
+#include "seq/alpha.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::seq {
+
+namespace {
+
+void generate_of_length(int m, int k, Sequence& prefix,
+                        std::vector<bool>& used,
+                        std::vector<Sequence>& out) {
+  if (static_cast<int>(prefix.size()) == k) {
+    out.push_back(prefix);
+    return;
+  }
+  for (DataItem d = 0; d < m; ++d) {
+    if (used[static_cast<std::size_t>(d)]) continue;
+    used[static_cast<std::size_t>(d)] = true;
+    prefix.push_back(d);
+    generate_of_length(m, k, prefix, used, out);
+    prefix.pop_back();
+    used[static_cast<std::size_t>(d)] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<Sequence> repetition_free_of_length(int m, int k) {
+  STPX_EXPECT(m >= 0 && k >= 0, "repetition_free_of_length: negative args");
+  std::vector<Sequence> out;
+  if (k > m) return out;
+  Sequence prefix;
+  std::vector<bool> used(static_cast<std::size_t>(m), false);
+  generate_of_length(m, k, prefix, used, out);
+  return out;
+}
+
+std::vector<Sequence> all_repetition_free(int m) {
+  STPX_EXPECT(m >= 0, "all_repetition_free: negative m");
+  std::vector<Sequence> out;
+  for (int k = 0; k <= m; ++k) {
+    auto level = repetition_free_of_length(m, k);
+    out.insert(out.end(), level.begin(), level.end());
+  }
+  return out;
+}
+
+std::uint64_t rank_repetition_free(const Sequence& x, int m) {
+  STPX_EXPECT(repetition_free(x), "rank_repetition_free: has repetitions");
+  STPX_EXPECT(in_domain(x, Domain{m}), "rank_repetition_free: out of domain");
+  const int k = static_cast<int>(x.size());
+  // Sequences shorter than k all precede x in shortlex order.
+  std::uint64_t rank = 0;
+  for (int j = 0; j < k; ++j) {
+    auto count = falling_factorial_u64(m, j);
+    STPX_EXPECT(count.has_value(), "rank_repetition_free: overflow");
+    rank += *count;
+  }
+  // Lexicographic rank within length k.
+  std::vector<bool> used(static_cast<std::size_t>(m), false);
+  for (int i = 0; i < k; ++i) {
+    // Symbols smaller than x[i] that are still unused each head a subtree of
+    // ff(m - i - 1, k - i - 1) completions.
+    std::uint64_t smaller_unused = 0;
+    for (DataItem d = 0; d < x[static_cast<std::size_t>(i)]; ++d) {
+      if (!used[static_cast<std::size_t>(d)]) ++smaller_unused;
+    }
+    auto subtree = falling_factorial_u64(m - i - 1, k - i - 1);
+    STPX_EXPECT(subtree.has_value(), "rank_repetition_free: overflow");
+    rank += smaller_unused * *subtree;
+    used[static_cast<std::size_t>(x[static_cast<std::size_t>(i)])] = true;
+  }
+  return rank;
+}
+
+Sequence unrank_repetition_free(std::uint64_t rank, int m) {
+  STPX_EXPECT(m >= 0, "unrank_repetition_free: negative m");
+  // Find the length band the rank falls into.
+  int k = 0;
+  while (true) {
+    STPX_EXPECT(k <= m, "unrank_repetition_free: rank out of range");
+    auto count = falling_factorial_u64(m, k);
+    STPX_EXPECT(count.has_value(), "unrank_repetition_free: overflow");
+    if (rank < *count) break;
+    rank -= *count;
+    ++k;
+  }
+  Sequence x;
+  std::vector<bool> used(static_cast<std::size_t>(m), false);
+  for (int i = 0; i < k; ++i) {
+    auto subtree = falling_factorial_u64(m - i - 1, k - i - 1);
+    STPX_EXPECT(subtree.has_value(), "unrank_repetition_free: overflow");
+    std::uint64_t idx = rank / *subtree;  // index among unused symbols
+    rank %= *subtree;
+    for (DataItem d = 0; d < m; ++d) {
+      if (used[static_cast<std::size_t>(d)]) continue;
+      if (idx == 0) {
+        x.push_back(d);
+        used[static_cast<std::size_t>(d)] = true;
+        break;
+      }
+      --idx;
+    }
+  }
+  return x;
+}
+
+}  // namespace stpx::seq

@@ -1,0 +1,38 @@
+// Enumeration and ranking of repetition-free sequences.
+//
+// A repetition-free sequence over an m-symbol alphabet has length at most m;
+// there are exactly alpha(m) of them (including the empty sequence).  The
+// paper's achievable protocols transmit precisely these sequences, and its
+// impossibility proofs hinge on their count, so we provide:
+//   * exhaustive enumeration in shortlex order,
+//   * a rank/unrank bijection [0, alpha(m)) <-> sequences,
+// which together give the third, independent computation of alpha(m) used by
+// the T1 cross-check.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "seq/types.hpp"
+
+namespace stpx::seq {
+
+/// All repetition-free sequences over {0..m-1} in shortlex order (by length,
+/// then lexicographically).  Size is alpha(m); m must be small enough that
+/// alpha(m) fits in memory (m <= 10 is ~10M sequences; keep m <= 8 in tests).
+std::vector<Sequence> all_repetition_free(int m);
+
+/// All repetition-free sequences of length exactly k over {0..m-1}, in
+/// lexicographic order.
+std::vector<Sequence> repetition_free_of_length(int m, int k);
+
+/// Shortlex rank of a repetition-free sequence over {0..m-1}; inverse of
+/// unrank_repetition_free.  Precondition: x is repetition-free and in domain.
+std::uint64_t rank_repetition_free(const Sequence& x, int m);
+
+/// The repetition-free sequence over {0..m-1} with the given shortlex rank.
+/// Precondition: rank < alpha(m) (which must fit in u64, i.e. m <= 20).
+Sequence unrank_repetition_free(std::uint64_t rank, int m);
+
+}  // namespace stpx::seq

@@ -1,0 +1,39 @@
+#include "seq/types.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace stpx::seq {
+
+bool is_prefix(const Sequence& p, const Sequence& x) {
+  if (p.size() > x.size()) return false;
+  return std::equal(p.begin(), p.end(), x.begin());
+}
+
+bool prefix_incomparable(const Sequence& a, const Sequence& b) {
+  return !is_prefix(a, b) && !is_prefix(b, a);
+}
+
+bool repetition_free(const Sequence& x) {
+  Sequence sorted = x;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+bool in_domain(const Sequence& x, const Domain& dom) {
+  return std::all_of(x.begin(), x.end(),
+                     [&dom](DataItem d) { return dom.contains(d); });
+}
+
+std::string to_string(const Sequence& x) {
+  std::ostringstream os;
+  os << '<';
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << x[i];
+  }
+  os << '>';
+  return os.str();
+}
+
+}  // namespace stpx::seq

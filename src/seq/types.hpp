@@ -1,0 +1,43 @@
+// Core sequence vocabulary for the Sequence Transmission Problem.
+//
+// Data items are drawn from a finite domain D = {0, ..., size-1}.  An input
+// sequence X is a finite word over D.  (The paper also treats infinite X;
+// operationally we always work with finite prefixes, which is where every
+// bound in the paper is exercised.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stpx::seq {
+
+/// A data item: an index into the domain D.
+using DataItem = std::int32_t;
+
+/// A finite data sequence.
+using Sequence = std::vector<DataItem>;
+
+/// The finite domain D the input sequences range over.
+struct Domain {
+  int size = 0;
+
+  bool contains(DataItem d) const { return d >= 0 && d < size; }
+};
+
+/// True iff `p` is a (not necessarily proper) prefix of `x`.
+bool is_prefix(const Sequence& p, const Sequence& x);
+
+/// True iff neither sequence is a prefix of the other.
+bool prefix_incomparable(const Sequence& a, const Sequence& b);
+
+/// True iff no data item occurs twice in `x`.
+bool repetition_free(const Sequence& x);
+
+/// True iff every item of `x` lies in `dom`.
+bool in_domain(const Sequence& x, const Domain& dom);
+
+/// Render like "<2 0 1>"; the empty sequence renders as "<>".
+std::string to_string(const Sequence& x);
+
+}  // namespace stpx::seq

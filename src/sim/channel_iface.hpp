@@ -1,0 +1,57 @@
+// Channel (environment) interface.
+//
+// The environment's local state s_E tracks, per direction and message id,
+// what is deliverable (the paper's dlvrble vectors).  Concrete channels give
+// this different semantics:
+//   * dup channel  — a *set*: once sent, a message is deliverable forever
+//     (arbitrarily many copies); deliver() does not consume.
+//   * del channel  — a *multiset*: sent-minus-delivered copy counts;
+//     deliver() consumes a copy, drop() deletes one (the adversary's move).
+//   * FIFO channels — order-preserving queues for baselines (ABP) that
+//     assume no reordering.
+// Reordering needs no mechanism anywhere: which deliverable message arrives
+// next is simply the scheduler's choice.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace stpx::sim {
+
+class IChannel {
+ public:
+  virtual ~IChannel() = default;
+
+  /// Reset to the empty initial state.
+  virtual void reset() = 0;
+
+  /// A message is placed on the channel (counts as "sent" this step).
+  virtual void send(Dir dir, MsgId msg) = 0;
+
+  /// Distinct message ids currently deliverable in `dir` (each listed once,
+  /// regardless of copy count).  For FIFO channels: the head only.
+  virtual std::vector<MsgId> deliverable(Dir dir) const = 0;
+
+  /// Copies of `msg` currently deliverable in `dir` (the dlvrble vector).
+  /// Dup channels report 1 for any ever-sent message.
+  virtual std::uint64_t copies(Dir dir, MsgId msg) const = 0;
+
+  /// Deliver one copy of `msg` in `dir`.  Precondition: copies() > 0.
+  virtual void deliver(Dir dir, MsgId msg) = 0;
+
+  /// Whether this channel semantics permits deletion.
+  virtual bool can_drop() const = 0;
+
+  /// Delete one copy of `msg` in `dir` (adversary move / fault injection).
+  /// Precondition: can_drop() and copies() > 0.
+  virtual void drop(Dir dir, MsgId msg) = 0;
+
+  virtual std::unique_ptr<IChannel> clone() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace stpx::sim

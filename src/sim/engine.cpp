@@ -1,0 +1,213 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace stpx::sim {
+
+namespace {
+
+std::size_t dir_index(Dir d) { return static_cast<std::size_t>(d); }
+
+/// Validate a message id against a finite alphabet (no-op for unbounded).
+void check_alphabet(MsgId msg, int alphabet, const char* who) {
+  if (alphabet == kUnboundedAlphabet) return;
+  STPX_EXPECT(msg >= 0 && msg < alphabet,
+              std::string(who) + " sent a message outside its alphabet");
+}
+
+}  // namespace
+
+Engine::Engine(std::unique_ptr<ISender> sender,
+               std::unique_ptr<IReceiver> receiver,
+               std::unique_ptr<IChannel> channel,
+               std::unique_ptr<IScheduler> scheduler, EngineConfig config)
+    : sender_(std::move(sender)),
+      receiver_(std::move(receiver)),
+      channel_(std::move(channel)),
+      scheduler_(std::move(scheduler)),
+      config_(config) {
+  STPX_EXPECT(sender_ && receiver_ && channel_ && scheduler_,
+              "Engine: null component");
+}
+
+Engine::Engine(const Engine& other)
+    : sender_(other.sender_->clone()),
+      receiver_(other.receiver_->clone()),
+      channel_(other.channel_->clone()),
+      scheduler_(other.scheduler_->clone()),
+      config_(other.config_),
+      x_(other.x_),
+      y_(other.y_),
+      safety_ok_(other.safety_ok_),
+      first_violation_step_(other.first_violation_step_),
+      stats_(other.stats_),
+      trace_(other.trace_),
+      receiver_hist_(other.receiver_hist_),
+      sender_hist_(other.sender_hist_),
+      begun_(other.begun_) {}
+
+void Engine::begin(const seq::Sequence& x) {
+  x_ = x;
+  y_.clear();
+  safety_ok_ = true;
+  first_violation_step_ = 0;
+  stats_ = RunStats{};
+  trace_.clear();
+  receiver_hist_.clear();
+  sender_hist_.clear();
+  channel_->reset();
+  scheduler_->reset();
+  sender_->start(x);
+  receiver_->start();
+  begun_ = true;
+}
+
+SchedView Engine::view() const {
+  STPX_EXPECT(begun_, "Engine: begin() not called");
+  SchedView v;
+  v.step = stats_.steps;
+  v.deliverable_to_receiver = channel_->deliverable(Dir::kSenderToReceiver);
+  v.deliverable_to_sender = channel_->deliverable(Dir::kReceiverToSender);
+  v.items_written = y_.size();
+  v.items_total = x_.size();
+  return v;
+}
+
+bool Engine::legal(const Action& a) const {
+  switch (a.kind) {
+    case ActionKind::kSenderStep:
+    case ActionKind::kReceiverStep:
+      return true;
+    case ActionKind::kDeliverToReceiver:
+      return channel_->copies(Dir::kSenderToReceiver, a.msg) > 0;
+    case ActionKind::kDeliverToSender:
+      return channel_->copies(Dir::kReceiverToSender, a.msg) > 0;
+  }
+  return false;
+}
+
+void Engine::note_send(Dir dir, MsgId msg) {
+  channel_->send(dir, msg);
+  ++stats_.sent[dir_index(dir)];
+}
+
+void Engine::apply(const Action& a) {
+  STPX_EXPECT(begun_, "Engine: begin() not called");
+  STPX_EXPECT(legal(a), "Engine: illegal action " + to_string(a));
+
+  TraceEvent ev;
+  ev.step = stats_.steps;
+  ev.action = a;
+
+  switch (a.kind) {
+    case ActionKind::kSenderStep: {
+      SenderEffect eff = sender_->on_step();
+      if (eff.send) {
+        check_alphabet(*eff.send, sender_->alphabet_size(), "sender");
+        note_send(Dir::kSenderToReceiver, *eff.send);
+        ev.did_send = true;
+        ev.sent = *eff.send;
+      }
+      if (config_.record_histories) {
+        LocalEvent le;
+        le.kind = LocalEvent::Kind::kStep;
+        le.sent = eff.send.value_or(-1);
+        sender_hist_.push_back(std::move(le));
+      }
+      break;
+    }
+    case ActionKind::kReceiverStep: {
+      ReceiverEffect eff = receiver_->on_step();
+      if (eff.send) {
+        check_alphabet(*eff.send, receiver_->alphabet_size(), "receiver");
+        note_send(Dir::kReceiverToSender, *eff.send);
+        ev.did_send = true;
+        ev.sent = *eff.send;
+      }
+      for (seq::DataItem d : eff.writes) {
+        const std::size_t pos = y_.size();
+        y_.push_back(d);
+        stats_.write_step.push_back(stats_.steps);
+        // Online safety check: Y must stay a prefix of X.
+        if (safety_ok_ && (pos >= x_.size() || x_[pos] != d)) {
+          safety_ok_ = false;
+          first_violation_step_ = stats_.steps;
+        }
+      }
+      ev.writes = eff.writes;
+      if (config_.record_histories) {
+        LocalEvent le;
+        le.kind = LocalEvent::Kind::kStep;
+        le.sent = eff.send.value_or(-1);
+        le.writes = std::move(eff.writes);
+        receiver_hist_.push_back(std::move(le));
+      }
+      break;
+    }
+    case ActionKind::kDeliverToReceiver: {
+      channel_->deliver(Dir::kSenderToReceiver, a.msg);
+      ++stats_.delivered[dir_index(Dir::kSenderToReceiver)];
+      receiver_->on_deliver(a.msg);
+      if (config_.record_histories) {
+        LocalEvent le;
+        le.kind = LocalEvent::Kind::kRecv;
+        le.received = a.msg;
+        receiver_hist_.push_back(std::move(le));
+      }
+      break;
+    }
+    case ActionKind::kDeliverToSender: {
+      channel_->deliver(Dir::kReceiverToSender, a.msg);
+      ++stats_.delivered[dir_index(Dir::kReceiverToSender)];
+      sender_->on_deliver(a.msg);
+      if (config_.record_histories) {
+        LocalEvent le;
+        le.kind = LocalEvent::Kind::kRecv;
+        le.received = a.msg;
+        sender_hist_.push_back(std::move(le));
+      }
+      break;
+    }
+  }
+
+  if (config_.record_trace) trace_.push_back(std::move(ev));
+  ++stats_.steps;
+}
+
+Action Engine::step_once() {
+  const Action a = scheduler_->choose(view());
+  apply(a);
+  return a;
+}
+
+void Engine::run_to_completion() {
+  while (stats_.steps < config_.max_steps) {
+    if (!safety_ok_) break;
+    if (config_.stop_when_complete && completed()) break;
+    step_once();
+  }
+}
+
+RunResult Engine::run(const seq::Sequence& x) {
+  begin(x);
+  run_to_completion();
+  return result();
+}
+
+RunResult Engine::result() const {
+  RunResult r;
+  r.input = x_;
+  r.output = y_;
+  r.safety_ok = safety_ok_;
+  r.first_violation_step = first_violation_step_;
+  r.completed = completed();
+  r.stats = stats_;
+  r.trace = trace_;
+  r.receiver_history = receiver_hist_;
+  r.sender_history = sender_hist_;
+  return r;
+}
+
+}  // namespace stpx::sim

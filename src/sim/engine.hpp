@@ -1,0 +1,125 @@
+// The lock-step simulation engine.
+//
+// Wires a sender protocol, receiver protocol, channel, and scheduler into
+// the paper's run model: each step applies exactly one action; messages sent
+// in a step become deliverable only in later steps; the output tape Y is
+// checked against the prefix-safety property online.
+//
+// Two usage modes:
+//   * run(x)           — drive the scheduler until completion / violation /
+//                        step cap; the normal mode for experiments;
+//   * begin/apply      — externally controlled stepping, used by the attack
+//                        synthesizer and the knowledge explorer to branch
+//                        runs (Engine is deep-copyable via clone()).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "sim/channel_iface.hpp"
+#include "sim/process.hpp"
+#include "sim/scheduler_iface.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace stpx::sim {
+
+struct EngineConfig {
+  std::uint64_t max_steps = 200000;
+  bool record_trace = false;
+  bool record_histories = false;
+  /// Stop run() as soon as Y == X.
+  bool stop_when_complete = true;
+};
+
+struct RunStats {
+  std::uint64_t steps = 0;
+  std::uint64_t sent[2] = {0, 0};       // indexed by Dir
+  std::uint64_t delivered[2] = {0, 0};  // indexed by Dir
+  /// Step index at which output item i was written.
+  std::vector<std::uint64_t> write_step;
+};
+
+struct RunResult {
+  seq::Sequence input;
+  seq::Sequence output;
+  bool safety_ok = true;
+  std::uint64_t first_violation_step = 0;
+  bool completed = false;  // output == input
+  RunStats stats;
+  std::vector<TraceEvent> trace;            // if record_trace
+  LocalHistory receiver_history;            // if record_histories
+  LocalHistory sender_history;              // if record_histories
+};
+
+class Engine {
+ public:
+  Engine(std::unique_ptr<ISender> sender, std::unique_ptr<IReceiver> receiver,
+         std::unique_ptr<IChannel> channel,
+         std::unique_ptr<IScheduler> scheduler, EngineConfig config);
+
+  Engine(const Engine& other);
+  Engine& operator=(const Engine&) = delete;
+
+  /// Reset everything and install input sequence `x`.
+  void begin(const seq::Sequence& x);
+
+  /// Current scheduler view (legal deliveries etc.).
+  SchedView view() const;
+
+  /// True iff `a` is applicable now (deliveries must name a deliverable
+  /// message).
+  bool legal(const Action& a) const;
+
+  /// Apply one action.  Precondition: legal(a).
+  void apply(const Action& a);
+
+  /// Ask the scheduler for an action and apply it.  Returns the action.
+  Action step_once();
+
+  /// Drive to completion / violation / cap from the current state.
+  void run_to_completion();
+
+  /// begin(x) then run_to_completion() then result().
+  RunResult run(const seq::Sequence& x);
+
+  /// Snapshot of the run so far.
+  RunResult result() const;
+
+  // --- fine-grained accessors for the analysis layers -------------------
+  const seq::Sequence& input() const { return x_; }
+  const seq::Sequence& output() const { return y_; }
+  bool safety_ok() const { return safety_ok_; }
+  bool completed() const { return y_ == x_; }
+  std::uint64_t steps() const { return stats_.steps; }
+  const IChannel& channel() const { return *channel_; }
+  IChannel& channel() { return *channel_; }
+  const LocalHistory& receiver_history() const { return receiver_hist_; }
+  const LocalHistory& sender_history() const { return sender_hist_; }
+  const EngineConfig& config() const { return config_; }
+
+  std::unique_ptr<Engine> clone() const {
+    return std::make_unique<Engine>(*this);
+  }
+
+ private:
+  void note_send(Dir dir, MsgId msg);
+
+  std::unique_ptr<ISender> sender_;
+  std::unique_ptr<IReceiver> receiver_;
+  std::unique_ptr<IChannel> channel_;
+  std::unique_ptr<IScheduler> scheduler_;
+  EngineConfig config_;
+
+  seq::Sequence x_;
+  seq::Sequence y_;
+  bool safety_ok_ = true;
+  std::uint64_t first_violation_step_ = 0;
+  RunStats stats_;
+  std::vector<TraceEvent> trace_;
+  LocalHistory receiver_hist_;
+  LocalHistory sender_hist_;
+  bool begun_ = false;
+};
+
+}  // namespace stpx::sim

@@ -1,0 +1,63 @@
+// Protocol interfaces: the sender protocol P_S and receiver protocol P_R.
+//
+// Protocols are deterministic state machines driven by the engine.  The
+// sender receives the whole input sequence up front — this deliberately
+// grants the *non-uniform* power the paper's impossibility theorems allow
+// ("P_{S,X} can have all of X built into its code"); uniform protocols
+// simply don't exploit it.  Protocols must be cloneable so the knowledge
+// explorer and attack synthesizer can branch runs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace stpx::sim {
+
+/// Sentinel for alphabet_size(): the protocol uses unbounded headers (a
+/// baseline outside the paper's finite-alphabet regime).
+inline constexpr int kUnboundedAlphabet = -1;
+
+class ISender {
+ public:
+  virtual ~ISender() = default;
+
+  /// Begin a run with input sequence `x`.  Must fully reset prior state.
+  virtual void start(const seq::Sequence& x) = 0;
+
+  /// Called when the scheduler grants the sender a step.
+  virtual SenderEffect on_step() = 0;
+
+  /// Called when the channel delivers message `msg` (from M^R) to the sender.
+  virtual void on_deliver(MsgId msg) = 0;
+
+  /// |M^S|, or kUnboundedAlphabet for unbounded-header baselines.
+  virtual int alphabet_size() const = 0;
+
+  virtual std::unique_ptr<ISender> clone() const = 0;
+  virtual std::string name() const = 0;
+};
+
+class IReceiver {
+ public:
+  virtual ~IReceiver() = default;
+
+  /// Begin a run.  The receiver learns nothing about X here (Property 1a:
+  /// all initial receiver states are equal).
+  virtual void start() = 0;
+
+  /// Called when the scheduler grants the receiver a step.
+  virtual ReceiverEffect on_step() = 0;
+
+  /// Called when the channel delivers message `msg` (from M^S).
+  virtual void on_deliver(MsgId msg) = 0;
+
+  /// |M^R|, or kUnboundedAlphabet for unbounded-header baselines.
+  virtual int alphabet_size() const = 0;
+
+  virtual std::unique_ptr<IReceiver> clone() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace stpx::sim

@@ -1,0 +1,71 @@
+#include "sim/replay.hpp"
+
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace stpx::sim {
+
+std::vector<Action> script_from_trace(const std::vector<TraceEvent>& trace) {
+  std::vector<Action> script;
+  script.reserve(trace.size());
+  for (const TraceEvent& ev : trace) script.push_back(ev.action);
+  return script;
+}
+
+std::string script_to_text(const std::vector<Action>& script) {
+  std::ostringstream os;
+  for (const Action& a : script) {
+    switch (a.kind) {
+      case ActionKind::kSenderStep:
+        os << "S\n";
+        break;
+      case ActionKind::kReceiverStep:
+        os << "R\n";
+        break;
+      case ActionKind::kDeliverToReceiver:
+        os << "D>R " << a.msg << "\n";
+        break;
+      case ActionKind::kDeliverToSender:
+        os << "D>S " << a.msg << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+std::vector<Action> script_from_text(const std::string& text) {
+  std::vector<Action> script;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string op;
+    ls >> op;
+    Action a;
+    if (op == "S") {
+      a.kind = ActionKind::kSenderStep;
+    } else if (op == "R") {
+      a.kind = ActionKind::kReceiverStep;
+    } else if (op == "D>R" || op == "D>S") {
+      a.kind = op == "D>R" ? ActionKind::kDeliverToReceiver
+                           : ActionKind::kDeliverToSender;
+      MsgId msg = -1;
+      ls >> msg;
+      STPX_EXPECT(!ls.fail(),
+                  "script_from_text: missing message id at line " +
+                      std::to_string(line_no));
+      a.msg = msg;
+    } else {
+      STPX_EXPECT(false, "script_from_text: unknown op '" + op +
+                             "' at line " + std::to_string(line_no));
+    }
+    script.push_back(a);
+  }
+  return script;
+}
+
+}  // namespace stpx::sim

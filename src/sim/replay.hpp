@@ -1,0 +1,23 @@
+// Run <-> script conversion: extract the action script of a recorded run so
+// it can be replayed deterministically (through ScriptedScheduler or direct
+// Engine::apply), serialized for bug reports, or minimized by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace stpx::sim {
+
+/// The action sequence of a recorded trace.
+std::vector<Action> script_from_trace(const std::vector<TraceEvent>& trace);
+
+/// One-line-per-action text form, e.g. "S\nR\nD>R 3\nD>S 0\n".
+std::string script_to_text(const std::vector<Action>& script);
+
+/// Inverse of script_to_text; throws ContractError on malformed input.
+std::vector<Action> script_from_text(const std::string& text);
+
+}  // namespace stpx::sim

@@ -1,0 +1,44 @@
+// Scheduler interface: the single funnel for all nondeterminism.
+//
+// Every step, the engine asks the scheduler to pick one action given a view
+// of what is currently possible.  Fair randomized schedulers model "nature";
+// scripted and search-driven schedulers model the adversary of the
+// impossibility proofs.  Determinism of (protocols, channel, scheduler)
+// makes every run exactly replayable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace stpx::sim {
+
+/// What the scheduler can see when choosing the next action.  (It may see
+/// everything — the adversary in the paper is omniscient about the channel.)
+struct SchedView {
+  std::uint64_t step = 0;
+  /// Distinct deliverable message ids, per direction.
+  std::vector<MsgId> deliverable_to_receiver;
+  std::vector<MsgId> deliverable_to_sender;
+  /// Progress signals (used by fairness heuristics / stopping rules).
+  std::size_t items_written = 0;
+  std::size_t items_total = 0;
+};
+
+class IScheduler {
+ public:
+  virtual ~IScheduler() = default;
+
+  virtual void reset() = 0;
+
+  /// Choose the next action.  Delivery choices must name a message listed in
+  /// the view; the engine validates and rejects anything else.
+  virtual Action choose(const SchedView& view) = 0;
+
+  virtual std::unique_ptr<IScheduler> clone() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace stpx::sim

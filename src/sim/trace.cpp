@@ -1,0 +1,38 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace stpx::sim {
+
+std::string to_string(const TraceEvent& ev) {
+  std::ostringstream os;
+  os << "#" << ev.step << ' ' << to_string(ev.action);
+  if (ev.did_send) os << " sent=" << ev.sent;
+  if (!ev.writes.empty()) {
+    os << " wrote=";
+    for (std::size_t i = 0; i < ev.writes.size(); ++i) {
+      if (i > 0) os << ',';
+      os << ev.writes[i];
+    }
+  }
+  return os.str();
+}
+
+std::string history_key(const LocalHistory& h) {
+  std::ostringstream os;
+  for (const LocalEvent& e : h) {
+    if (e.kind == LocalEvent::Kind::kStep) {
+      os << 's' << e.sent;
+      if (!e.writes.empty()) {
+        os << 'w';
+        for (seq::DataItem d : e.writes) os << d << ',';
+      }
+    } else {
+      os << 'r' << e.received;
+    }
+    os << ';';
+  }
+  return os.str();
+}
+
+}  // namespace stpx::sim

@@ -1,0 +1,55 @@
+// Run traces and complete-history local states.
+//
+// The engine can record two views of a run:
+//   * the global trace — one TraceEvent per step, enough to replay or print
+//     the run;
+//   * per-process local histories — the *complete history interpretation* of
+//     the paper (§2.3): a process's local state is the sequence of events it
+//     itself has observed (its own steps, what it sent/wrote, what it
+//     received).  Two points are ~_p-indistinguishable iff the local
+//     histories of p are equal; this is the exact relation the knowledge
+//     layer and the attack synthesizer use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace stpx::sim {
+
+/// One step of the global trace.
+struct TraceEvent {
+  std::uint64_t step = 0;
+  Action action;
+  /// Message sent during this step, if any (valid for process steps).
+  bool did_send = false;
+  MsgId sent = -1;
+  /// Items written by the receiver during this step, if any.
+  std::vector<seq::DataItem> writes;
+};
+
+std::string to_string(const TraceEvent& ev);
+
+/// One event in a process's local history.
+struct LocalEvent {
+  enum class Kind : std::uint8_t { kStep, kRecv };
+  Kind kind = Kind::kStep;
+  /// For kStep: message sent this step (-1 if none).
+  MsgId sent = -1;
+  /// For kRecv: the delivered message.
+  MsgId received = -1;
+  /// For receiver kStep: items written this step.
+  std::vector<seq::DataItem> writes;
+
+  friend bool operator==(const LocalEvent&, const LocalEvent&) = default;
+};
+
+/// A process's complete local history; equality = indistinguishability ~_p.
+using LocalHistory = std::vector<LocalEvent>;
+
+/// Stable string key for a history (for hashing / grouping points by ~_p).
+std::string history_key(const LocalHistory& h);
+
+}  // namespace stpx::sim

@@ -1,0 +1,17 @@
+#include "sim/types.hpp"
+
+#include <sstream>
+
+namespace stpx::sim {
+
+std::string to_string(const Action& a) {
+  std::ostringstream os;
+  os << to_cstr(a.kind);
+  if (a.kind == ActionKind::kDeliverToReceiver ||
+      a.kind == ActionKind::kDeliverToSender) {
+    os << " msg=" << a.msg;
+  }
+  return os.str();
+}
+
+}  // namespace stpx::sim

@@ -1,0 +1,78 @@
+// Vocabulary of the simulation model (paper §2.2).
+//
+// A global state is (s_E, s_S, s_R).  A run is a sequence of global states;
+// each transition is exactly one *action*: a sender step, a receiver step,
+// or the delivery of one message to one process.  Messages are never
+// delivered in the step they are sent, and at most one message is delivered
+// per step — both assumptions taken directly from the paper (it notes all
+// results hold without them; the engine enforces them for fidelity).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "seq/types.hpp"
+
+namespace stpx::sim {
+
+/// A message identifier.  For the paper's finite-alphabet channels this is an
+/// index into M^S or M^R (two copies of the same id are indistinguishable —
+/// that is the whole point).  Baseline protocols with unbounded headers
+/// (Stenning, sliding window) encode their full message content into the id.
+using MsgId = std::int64_t;
+
+/// Direction of travel on the bidirectional link.
+enum class Dir : std::uint8_t {
+  kSenderToReceiver = 0,
+  kReceiverToSender = 1,
+};
+
+constexpr const char* to_cstr(Dir d) {
+  return d == Dir::kSenderToReceiver ? "S->R" : "R->S";
+}
+
+/// Which of the four action kinds a step performs.
+enum class ActionKind : std::uint8_t {
+  kSenderStep,
+  kReceiverStep,
+  kDeliverToReceiver,
+  kDeliverToSender,
+};
+
+constexpr const char* to_cstr(ActionKind k) {
+  switch (k) {
+    case ActionKind::kSenderStep: return "S-step";
+    case ActionKind::kReceiverStep: return "R-step";
+    case ActionKind::kDeliverToReceiver: return "deliver->R";
+    case ActionKind::kDeliverToSender: return "deliver->S";
+  }
+  return "?";
+}
+
+/// One scheduler decision.  `msg` is meaningful only for deliveries.
+struct Action {
+  ActionKind kind = ActionKind::kSenderStep;
+  MsgId msg = -1;
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+std::string to_string(const Action& a);
+
+/// What the sender does in one of its steps.
+struct SenderEffect {
+  std::optional<MsgId> send;  // at most one message per step
+};
+
+/// What the receiver does in one of its steps.  `writes` are appended to the
+/// output tape Y (the model writes one item per step; allowing a short burst
+/// loses nothing and simplifies protocols that learn several items at once —
+/// cf. the paper's discussion of why t_i is defined via knowledge).
+struct ReceiverEffect {
+  std::optional<MsgId> send;
+  std::vector<seq::DataItem> writes;
+};
+
+}  // namespace stpx::sim

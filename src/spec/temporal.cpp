@@ -1,0 +1,249 @@
+#include "spec/temporal.hpp"
+
+#include <algorithm>
+
+#include "seq/types.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::spec {
+
+std::vector<Snapshot> snapshots_of(const sim::RunResult& run) {
+  STPX_EXPECT(run.stats.steps == run.trace.size(),
+              "snapshots_of: run must be recorded with record_trace");
+  std::vector<Snapshot> out;
+  out.reserve(run.trace.size() + 1);
+
+  Snapshot cur;
+  cur.step = 0;
+  cur.input = &run.input;
+  out.push_back(cur);
+
+  std::size_t written = 0;
+  for (const sim::TraceEvent& ev : run.trace) {
+    cur.step = ev.step + 1;
+    cur.last_action = ev.action;
+    const auto dir_index = [](sim::ActionKind k) {
+      return (k == sim::ActionKind::kSenderStep ||
+              k == sim::ActionKind::kDeliverToReceiver)
+                 ? 0
+                 : 1;
+    };
+    if (ev.did_send) ++cur.sent[dir_index(ev.action.kind)];
+    if (ev.action.kind == sim::ActionKind::kDeliverToReceiver) {
+      ++cur.delivered[0];
+    } else if (ev.action.kind == sim::ActionKind::kDeliverToSender) {
+      ++cur.delivered[1];
+    }
+    for (seq::DataItem d : ev.writes) {
+      cur.output.push_back(d);
+      ++written;
+    }
+    out.push_back(cur);
+  }
+  STPX_EXPECT(written == run.output.size(),
+              "snapshots_of: trace does not reconstruct the output tape");
+  return out;
+}
+
+// ----------------------------------------------------------------- nodes --
+
+struct Formula::Node {
+  enum class Kind {
+    kAtom,
+    kPositional,
+    kNot,
+    kAnd,
+    kOr,
+    kNext,
+    kAlways,
+    kEventually,
+    kUntil,
+  };
+  Kind kind = Kind::kAtom;
+  Pred pred;
+  std::function<bool(const std::vector<Snapshot>&, std::size_t)> pos_pred;
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+
+  bool holds(const std::vector<Snapshot>& t, std::size_t pos) const {
+    switch (kind) {
+      case Kind::kAtom:
+        return pred(t[pos]);
+      case Kind::kPositional:
+        return pos_pred(t, pos);
+      case Kind::kNot:
+        return !left->holds(t, pos);
+      case Kind::kAnd:
+        return left->holds(t, pos) && right->holds(t, pos);
+      case Kind::kOr:
+        return left->holds(t, pos) || right->holds(t, pos);
+      case Kind::kNext:
+        return pos + 1 < t.size() && left->holds(t, pos + 1);
+      case Kind::kAlways:
+        for (std::size_t i = pos; i < t.size(); ++i) {
+          if (!left->holds(t, i)) return false;
+        }
+        return true;
+      case Kind::kEventually:
+        for (std::size_t i = pos; i < t.size(); ++i) {
+          if (left->holds(t, i)) return true;
+        }
+        return false;
+      case Kind::kUntil:
+        for (std::size_t j = pos; j < t.size(); ++j) {
+          if (right->holds(t, j)) return true;
+          if (!left->holds(t, j)) return false;
+        }
+        return false;  // strong until: b must occur
+    }
+    return false;
+  }
+};
+
+Formula::Formula(std::shared_ptr<const Node> node, std::string label)
+    : node_(std::move(node)), label_(std::move(label)) {}
+
+Formula Formula::atom(std::string label, Pred p) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kAtom;
+  n->pred = std::move(p);
+  return Formula(n, std::move(label));
+}
+
+Formula Formula::positional(
+    std::string label,
+    std::function<bool(const std::vector<Snapshot>&, std::size_t)> p) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kPositional;
+  n->pos_pred = std::move(p);
+  return Formula(n, std::move(label));
+}
+
+Formula Formula::negation(Formula f) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kNot;
+  n->left = f.node_;
+  return Formula(n, "!(" + f.label_ + ")");
+}
+
+Formula Formula::conjunction(Formula a, Formula b) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kAnd;
+  n->left = a.node_;
+  n->right = b.node_;
+  return Formula(n, "(" + a.label_ + " && " + b.label_ + ")");
+}
+
+Formula Formula::disjunction(Formula a, Formula b) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kOr;
+  n->left = a.node_;
+  n->right = b.node_;
+  return Formula(n, "(" + a.label_ + " || " + b.label_ + ")");
+}
+
+Formula Formula::implies(Formula a, Formula b) {
+  Formula f = disjunction(negation(a), std::move(b));
+  return f;
+}
+
+Formula Formula::always(Formula f) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kAlways;
+  n->left = f.node_;
+  return Formula(n, "G(" + f.label_ + ")");
+}
+
+Formula Formula::eventually(Formula f) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kEventually;
+  n->left = f.node_;
+  return Formula(n, "F(" + f.label_ + ")");
+}
+
+Formula Formula::next(Formula f) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kNext;
+  n->left = f.node_;
+  return Formula(n, "X(" + f.label_ + ")");
+}
+
+Formula Formula::until(Formula a, Formula b) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kUntil;
+  n->left = a.node_;
+  n->right = b.node_;
+  return Formula(n, "(" + a.label_ + " U " + b.label_ + ")");
+}
+
+Formula Formula::stable(Formula f) {
+  Formula inner = implies(f, always(f));
+  Formula out = always(std::move(inner));
+  return out;
+}
+
+bool Formula::holds_at(const std::vector<Snapshot>& trace,
+                       std::size_t pos) const {
+  STPX_EXPECT(pos < trace.size(), "Formula::holds_at: position out of range");
+  return node_->holds(trace, pos);
+}
+
+CheckResult Formula::check(const std::vector<Snapshot>& trace) const {
+  CheckResult result;
+  STPX_EXPECT(!trace.empty(), "Formula::check: empty snapshot sequence");
+  if (node_->holds(trace, 0)) return result;
+  result.holds = false;
+  result.detail = label_;
+  // Witness: for an Always-rooted formula the informative position is the
+  // first step where the *obligation under the G* breaks (a G that fails
+  // anywhere also fails at 0, which tells the reader nothing).  For other
+  // roots, report the earliest position where the formula itself fails.
+  const Node* scan = node_.get();
+  if (scan->kind == Node::Kind::kAlways) scan = scan->left.get();
+  for (std::size_t pos = 0; pos < trace.size(); ++pos) {
+    if (!scan->holds(trace, pos)) {
+      result.witness = pos;
+      break;
+    }
+  }
+  return result;
+}
+
+// --------------------------------------------------------------- canned ---
+
+Formula prefix_safety() {
+  return Formula::always(Formula::atom("Y prefix of X", [](const Snapshot& s) {
+    return seq::is_prefix(s.output, *s.input);
+  }));
+}
+
+Formula eventually_delivers(std::size_t n) {
+  return Formula::eventually(
+      Formula::atom("|Y| >= " + std::to_string(n), [n](const Snapshot& s) {
+        return s.output.size() >= n;
+      }));
+}
+
+Formula eventually_complete() {
+  return Formula::eventually(Formula::atom("Y == X", [](const Snapshot& s) {
+    return s.output == *s.input;
+  }));
+}
+
+Formula output_monotone() {
+  return Formula::always(Formula::positional(
+      "Y extends previous Y",
+      [](const std::vector<Snapshot>& t, std::size_t pos) {
+        if (pos == 0) return true;
+        return seq::is_prefix(t[pos - 1].output, t[pos].output);
+      }));
+}
+
+Formula delivery_conservation() {
+  return Formula::always(
+      Formula::atom("delivered <= sent", [](const Snapshot& s) {
+        return s.delivered[0] <= s.sent[0] && s.delivered[1] <= s.sent[1];
+      }));
+}
+
+}  // namespace stpx::spec

@@ -1,0 +1,114 @@
+// Finite-trace temporal properties over recorded runs.
+//
+// The paper states its requirements temporally — Safety is "at any time, Y
+// is a prefix of X" (an Always), F-Liveness is "for every i there exists a
+// time with |Y| >= i" (an Eventually), and knowledge stability is "once
+// K_R(x_i) holds it holds forever" (Always(p -> Always p)).  This module
+// provides a small LTL-style combinator set evaluated over the snapshot
+// sequence of a recorded run, with *witness positions* on failure so a
+// violated property points at the offending step.
+//
+// Finite-trace semantics: Always(p) requires p at every snapshot;
+// Eventually(p) requires p at some snapshot; Next(p) at the last snapshot
+// is false (strong next); Until(a, b) requires b to occur within the trace
+// with a holding up to that point.  These match how the engine's step cap
+// truncates runs: liveness verdicts are "within the observed horizon",
+// exactly like everywhere else in this repository.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace stpx::spec {
+
+/// The state visible to predicates at step t (after t actions).
+struct Snapshot {
+  std::uint64_t step = 0;        // index in [0, trace.size()]
+  seq::Sequence output;          // Y after this many steps
+  const seq::Sequence* input = nullptr;  // X (shared)
+  std::uint64_t sent[2] = {0, 0};
+  std::uint64_t delivered[2] = {0, 0};
+  /// Action that produced this snapshot (nullopt for the initial one).
+  std::optional<sim::Action> last_action;
+};
+
+/// Reconstruct the snapshot sequence of a run recorded with record_trace.
+/// Produces trace.size() + 1 snapshots (initial state included).
+std::vector<Snapshot> snapshots_of(const sim::RunResult& run);
+
+using Pred = std::function<bool(const Snapshot&)>;
+
+/// Evaluation outcome; on failure `witness` is the snapshot index where the
+/// formula was decided false.
+struct CheckResult {
+  bool holds = true;
+  std::size_t witness = 0;
+  std::string detail;
+};
+
+/// A temporal formula (immutable, freely copyable).
+class Formula {
+ public:
+  /// Atomic predicate (labelled for diagnostics).
+  static Formula atom(std::string label, Pred p);
+
+  /// Atomic predicate with access to the whole trace and the current
+  /// position — for relations between consecutive snapshots (monotonicity
+  /// and the like).
+  static Formula positional(
+      std::string label,
+      std::function<bool(const std::vector<Snapshot>&, std::size_t)> p);
+
+  static Formula negation(Formula f);
+  static Formula conjunction(Formula a, Formula b);
+  static Formula disjunction(Formula a, Formula b);
+  static Formula implies(Formula a, Formula b);
+
+  static Formula always(Formula f);      // G f
+  static Formula eventually(Formula f);  // F f
+  static Formula next(Formula f);        // X f (strong)
+  static Formula until(Formula a, Formula b);  // a U b (strong)
+
+  /// Once f holds it holds forever: G(f -> G f).
+  static Formula stable(Formula f);
+
+  /// Evaluate at position `pos` of the snapshot sequence.
+  bool holds_at(const std::vector<Snapshot>& trace, std::size_t pos) const;
+
+  /// Evaluate at the start, with a witness on failure.
+  CheckResult check(const std::vector<Snapshot>& trace) const;
+
+  const std::string& describe() const { return label_; }
+
+ private:
+  struct Node;
+  explicit Formula(std::shared_ptr<const Node> node, std::string label);
+
+  std::shared_ptr<const Node> node_;
+  std::string label_;
+};
+
+// ---- canned formulas for the paper's requirements -----------------------
+
+/// Safety: at any time, Y is a prefix of X.
+Formula prefix_safety();
+
+/// |Y| >= n eventually (one conjunct of F-liveness).
+Formula eventually_delivers(std::size_t n);
+
+/// Full liveness within the horizon: eventually |Y| == |X|.
+Formula eventually_complete();
+
+/// Output never shrinks (monotone tape).
+Formula output_monotone();
+
+/// Conservation: per direction, deliveries never exceed sends.  Only valid
+/// for non-duplicating channels.
+Formula delivery_conservation();
+
+}  // namespace stpx::spec

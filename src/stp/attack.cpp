@@ -1,0 +1,385 @@
+#include "stp/attack.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "sim/trace.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::stp {
+
+using sim::Action;
+using sim::ActionKind;
+using sim::Dir;
+
+const char* to_cstr(AttackResult::Kind kind) {
+  switch (kind) {
+    case AttackResult::Kind::kSafetyViolation: return "safety-violation";
+    case AttackResult::Kind::kDecisiveStall: return "decisive-stall";
+    case AttackResult::Kind::kLivenessStall: return "liveness-stall";
+    case AttackResult::Kind::kNone: return "none";
+  }
+  return "?";
+}
+
+Skeleton extract_skeleton(const SystemSpec& spec, const seq::Sequence& x,
+                          std::uint64_t budget_steps) {
+  SystemSpec local = spec;
+  local.engine.record_trace = true;
+  local.engine.max_steps = budget_steps;
+  const sim::RunResult r = run_one(local, x, /*seed=*/0);
+
+  Skeleton out;
+  out.completed = r.completed && r.safety_ok;
+  out.safety_ok = r.safety_ok;
+  std::set<sim::MsgId> seen;
+  for (const sim::TraceEvent& ev : r.trace) {
+    if (ev.action.kind == ActionKind::kSenderStep && ev.did_send &&
+        seen.insert(ev.sent).second) {
+      out.word.push_back(static_cast<int>(ev.sent));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Sorted set of distinct S->R messages ever *sent* in an engine's run.
+/// For a dup channel deliverable() is exactly the ever-sent set; for a del
+/// channel we track it from outside via the engine's trace-free stats — so
+/// instead we maintain it incrementally in the driver (below) by observing
+/// sender steps.
+struct MirrorState {
+  std::set<sim::MsgId> sent_a, sent_b;  // S->R messages ever sent, per run
+};
+
+/// One mirrored round.  Returns a progress signature.
+std::string mirror_round(sim::Engine& ea, sim::Engine& eb, MirrorState& st) {
+  // 1. Step both senders (invisible to R).
+  auto step_sender = [](sim::Engine& e, std::set<sim::MsgId>& sent) {
+    // Observe what the sender emits by diffing the channel through apply.
+    const std::uint64_t before = e.result().stats.sent[0];
+    e.apply(Action{ActionKind::kSenderStep, -1});
+    if (e.result().stats.sent[0] > before) {
+      // The just-sent message is deliverable (or at least was sent); find it
+      // by scanning deliverable ids not yet recorded, falling back to any.
+      for (sim::MsgId m : e.channel().deliverable(Dir::kSenderToReceiver)) {
+        sent.insert(m);
+      }
+    }
+  };
+  step_sender(ea, st.sent_a);
+  step_sender(eb, st.sent_b);
+
+  // 2. Deliver every message available in BOTH runs to R (same order).
+  std::vector<sim::MsgId> da =
+      ea.channel().deliverable(Dir::kSenderToReceiver);
+  std::vector<sim::MsgId> db =
+      eb.channel().deliverable(Dir::kSenderToReceiver);
+  std::vector<sim::MsgId> common;
+  std::set_intersection(da.begin(), da.end(), db.begin(), db.end(),
+                        std::back_inserter(common));
+  for (sim::MsgId m : common) {
+    if (ea.channel().copies(Dir::kSenderToReceiver, m) == 0) continue;
+    if (eb.channel().copies(Dir::kSenderToReceiver, m) == 0) continue;
+    ea.apply(Action{ActionKind::kDeliverToReceiver, m});
+    eb.apply(Action{ActionKind::kDeliverToReceiver, m});
+  }
+
+  // 3. Step R in lockstep.
+  ea.apply(Action{ActionKind::kReceiverStep, -1});
+  eb.apply(Action{ActionKind::kReceiverStep, -1});
+
+  // 4. Deliver all acks to each sender independently (R cannot see this).
+  auto flush_acks = [](sim::Engine& e) {
+    for (sim::MsgId m : e.channel().deliverable(Dir::kReceiverToSender)) {
+      if (e.channel().copies(Dir::kReceiverToSender, m) > 0) {
+        e.apply(Action{ActionKind::kDeliverToSender, m});
+      }
+    }
+  };
+  flush_acks(ea);
+  flush_acks(eb);
+
+  // Progress signature: new *information* only — outputs and the distinct
+  // message sets.  Mechanical retransmissions and re-acks (del-mode
+  // protocols repeat them forever) are not progress.
+  std::ostringstream sig;
+  sig << ea.output().size() << ':' << eb.output().size() << ':'
+      << st.sent_a.size() << ':' << st.sent_b.size();
+  return sig.str();
+}
+
+}  // namespace
+
+AttackResult mirror_attack_pair(const SystemSpec& spec,
+                                const seq::Sequence& x_a,
+                                const seq::Sequence& x_b,
+                                const AttackBudget& budget) {
+  SystemSpec local = spec;
+  local.engine.record_histories = true;
+  local.engine.stop_when_complete = false;
+  // Generous cap: the driver applies a handful of actions per round.
+  local.engine.max_steps =
+      budget.mirror_rounds * 64 + local.engine.max_steps;
+
+  sim::Engine ea = make_engine(local, /*seed=*/0);
+  sim::Engine eb = make_engine(local, /*seed=*/0);
+  ea.begin(x_a);
+  eb.begin(x_b);
+
+  MirrorState st;
+  AttackResult out;
+  out.x_a = x_a;
+  out.x_b = x_b;
+
+  std::string last_sig;
+  std::uint64_t stall = 0;
+  for (std::uint64_t round = 0; round < budget.mirror_rounds; ++round) {
+    const std::string sig = mirror_round(ea, eb, st);
+    out.rounds = round + 1;
+
+    // The receiver's views must be identical by construction.
+    STPX_EXPECT(
+        sim::history_key(ea.receiver_history()) ==
+            sim::history_key(eb.receiver_history()),
+        "mirror_attack_pair: receiver views diverged (driver bug)");
+
+    if (!ea.safety_ok() || !eb.safety_ok()) {
+      out.kind = AttackResult::Kind::kSafetyViolation;
+      out.y_a = ea.output();
+      out.y_b = eb.output();
+      std::ostringstream os;
+      os << "receiver, seeing identical histories, wrote "
+         << seq::to_string(!ea.safety_ok() ? ea.output() : eb.output())
+         << " — not a prefix of "
+         << seq::to_string(!ea.safety_ok() ? x_a : x_b);
+      out.detail = os.str();
+      return out;
+    }
+
+    if (sig == last_sig) {
+      if (++stall >= budget.stall_rounds) break;
+    } else {
+      stall = 0;
+      last_sig = sig;
+    }
+  }
+
+  out.y_a = ea.output();
+  out.y_b = eb.output();
+
+  const bool incomplete = !ea.completed() || !eb.completed();
+  const bool subset_ab =
+      std::includes(st.sent_b.begin(), st.sent_b.end(), st.sent_a.begin(),
+                    st.sent_a.end()) ||
+      std::includes(st.sent_a.begin(), st.sent_a.end(), st.sent_b.begin(),
+                    st.sent_b.end());
+  if (stall >= budget.stall_rounds && incomplete &&
+      ea.output() == eb.output() && subset_ab) {
+    out.kind = AttackResult::Kind::kDecisiveStall;
+    std::ostringstream os;
+    os << "quiescent decisive pair: R cannot tell the runs apart (equal "
+       << "histories), outputs both " << seq::to_string(ea.output())
+       << ", inputs differ, and the stalled sender has sent nothing its "
+       << "twin did not; by Lemma 1 no fair continuation can deliver the "
+       << "missing items without first breaking safety";
+    out.detail = os.str();
+    return out;
+  }
+
+  out.kind = AttackResult::Kind::kNone;
+  out.detail = "pair not exploitable within budget";
+  return out;
+}
+
+ExhaustiveMirrorResult exhaustive_mirror_search(const SystemSpec& spec,
+                                                const seq::Sequence& x_a,
+                                                const seq::Sequence& x_b,
+                                                std::uint64_t max_depth,
+                                                std::size_t max_states) {
+  SystemSpec local = spec;
+  local.engine.record_histories = true;
+  local.engine.stop_when_complete = false;
+  local.engine.max_steps = max_depth * 2 + 8;
+
+  struct Node {
+    std::unique_ptr<sim::Engine> ea, eb;
+    std::uint64_t depth;
+  };
+
+  auto key_of = [](const Node& n) {
+    // Receiver views are identical by construction, so one copy suffices.
+    return sim::history_key(n.ea->sender_history()) + '|' +
+           sim::history_key(n.eb->sender_history()) + '|' +
+           sim::history_key(n.ea->receiver_history());
+  };
+
+  ExhaustiveMirrorResult result;
+  Node root;
+  root.ea = std::make_unique<sim::Engine>(make_engine(local, 0));
+  root.eb = std::make_unique<sim::Engine>(make_engine(local, 0));
+  root.ea->begin(x_a);
+  root.eb->begin(x_b);
+  root.depth = 0;
+
+  std::deque<Node> frontier;
+  std::set<std::string> visited;
+  visited.insert(key_of(root));
+  frontier.push_back(std::move(root));
+  result.exhausted = true;
+
+  while (!frontier.empty()) {
+    Node node = std::move(frontier.front());
+    frontier.pop_front();
+    if (++result.states_explored > max_states) {
+      result.exhausted = false;
+      break;
+    }
+    if (!node.ea->safety_ok() || !node.eb->safety_ok()) {
+      result.violation_found = true;
+      result.y_at_violation = node.ea->safety_ok() ? node.eb->output()
+                                                   : node.ea->output();
+      return result;
+    }
+    if (node.depth >= max_depth) {
+      result.exhausted = false;  // deeper schedules exist
+      continue;
+    }
+
+    // Successor moves.  Receiver-invisible moves touch one engine;
+    // receiver-visible moves are mirrored into both.
+    struct Move {
+      enum class Kind { kStepA, kStepB, kAckA, kAckB, kMirrorR, kMirrorDel };
+      Kind kind;
+      sim::MsgId msg = -1;
+    };
+    std::vector<Move> moves;
+    moves.push_back({Move::Kind::kStepA, -1});
+    moves.push_back({Move::Kind::kStepB, -1});
+    for (sim::MsgId ack :
+         node.ea->channel().deliverable(Dir::kReceiverToSender)) {
+      moves.push_back({Move::Kind::kAckA, ack});
+    }
+    for (sim::MsgId ack :
+         node.eb->channel().deliverable(Dir::kReceiverToSender)) {
+      moves.push_back({Move::Kind::kAckB, ack});
+    }
+    moves.push_back({Move::Kind::kMirrorR, -1});
+    {
+      std::vector<sim::MsgId> da =
+          node.ea->channel().deliverable(Dir::kSenderToReceiver);
+      std::vector<sim::MsgId> db =
+          node.eb->channel().deliverable(Dir::kSenderToReceiver);
+      std::vector<sim::MsgId> common;
+      std::set_intersection(da.begin(), da.end(), db.begin(), db.end(),
+                            std::back_inserter(common));
+      for (sim::MsgId m : common) {
+        moves.push_back({Move::Kind::kMirrorDel, m});
+      }
+    }
+
+    for (const Move& mv : moves) {
+      Node child;
+      child.ea = node.ea->clone();
+      child.eb = node.eb->clone();
+      child.depth = node.depth + 1;
+      switch (mv.kind) {
+        case Move::Kind::kStepA:
+          child.ea->apply(Action{ActionKind::kSenderStep, -1});
+          break;
+        case Move::Kind::kStepB:
+          child.eb->apply(Action{ActionKind::kSenderStep, -1});
+          break;
+        case Move::Kind::kAckA:
+          child.ea->apply(Action{ActionKind::kDeliverToSender, mv.msg});
+          break;
+        case Move::Kind::kAckB:
+          child.eb->apply(Action{ActionKind::kDeliverToSender, mv.msg});
+          break;
+        case Move::Kind::kMirrorR:
+          child.ea->apply(Action{ActionKind::kReceiverStep, -1});
+          child.eb->apply(Action{ActionKind::kReceiverStep, -1});
+          break;
+        case Move::Kind::kMirrorDel:
+          child.ea->apply(Action{ActionKind::kDeliverToReceiver, mv.msg});
+          child.eb->apply(Action{ActionKind::kDeliverToReceiver, mv.msg});
+          break;
+      }
+      if (!visited.insert(key_of(child)).second) continue;
+      frontier.push_back(std::move(child));
+    }
+  }
+  return result;
+}
+
+AttackResult find_attack(const SystemSpec& spec, const seq::Family& family,
+                         const AttackBudget& budget) {
+  // Phase 1: skeletons.  A benign-run safety violation is an immediate
+  // witness; a benign-run stall is a liveness witness of last resort (the
+  // mirror phase may still find the stronger, two-run decisive witness).
+  std::vector<Skeleton> skeletons;
+  skeletons.reserve(family.members.size());
+  std::optional<std::size_t> stalled_input;
+  for (std::size_t i = 0; i < family.members.size(); ++i) {
+    Skeleton sk =
+        extract_skeleton(spec, family.members[i], budget.skeleton_steps);
+    if (!sk.safety_ok) {
+      AttackResult out;
+      out.kind = AttackResult::Kind::kSafetyViolation;
+      out.x_a = family.members[i];
+      out.detail = "protocol writes a wrong item even on a benign schedule";
+      return out;
+    }
+    if (!sk.completed && !stalled_input) stalled_input = i;
+    skeletons.push_back(std::move(sk));
+  }
+
+  // Phase 2: candidate pairs by pigeonhole — identical words first, then
+  // prefix-related words.
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  for (std::size_t i = 0; i < skeletons.size(); ++i) {
+    for (std::size_t j = i + 1; j < skeletons.size(); ++j) {
+      if (skeletons[i].word == skeletons[j].word) {
+        candidates.emplace_back(i, j);
+      }
+    }
+  }
+  auto is_word_prefix = [](const seq::MsgWord& p, const seq::MsgWord& w) {
+    return p.size() <= w.size() &&
+           std::equal(p.begin(), p.end(), w.begin());
+  };
+  for (std::size_t i = 0; i < skeletons.size(); ++i) {
+    for (std::size_t j = 0; j < skeletons.size(); ++j) {
+      if (i == j || skeletons[i].word == skeletons[j].word) continue;
+      if (is_word_prefix(skeletons[i].word, skeletons[j].word) &&
+          !seq::is_prefix(family.members[i], family.members[j])) {
+        candidates.emplace_back(std::min(i, j), std::max(i, j));
+      }
+    }
+  }
+
+  // Phase 3: mirror attacks, strongest witness wins.
+  AttackResult best;
+  for (const auto& [i, j] : candidates) {
+    const AttackResult r = mirror_attack_pair(spec, family.members[i],
+                                              family.members[j], budget);
+    if (r.kind == AttackResult::Kind::kSafetyViolation) return r;
+    if (r.kind == AttackResult::Kind::kDecisiveStall &&
+        best.kind == AttackResult::Kind::kNone) {
+      best = r;
+    }
+  }
+  if (best.kind == AttackResult::Kind::kNone && stalled_input) {
+    best.kind = AttackResult::Kind::kLivenessStall;
+    best.x_a = family.members[*stalled_input];
+    best.detail = "input cannot be transmitted even on a benign schedule "
+                  "within the step budget";
+  }
+  return best;
+}
+
+}  // namespace stpx::stp

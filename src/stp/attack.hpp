@@ -1,0 +1,109 @@
+// Attack synthesis: the executable form of the impossibility theorems.
+//
+// Theorem 1 (and its deletion twin, Theorem 2) say that once |𝒳| exceeds
+// alpha(m), *every* protocol — even one that knows its input in advance —
+// has runs violating safety or liveness.  The proof builds, by induction,
+// pairs of runs over distinct inputs that the receiver cannot tell apart
+// (the decisive tuples).  This module makes the construction concrete for
+// a given protocol implementation:
+//
+//  1. *Skeleton extraction.*  Run each input X benignly and record the
+//     sequence of distinct S→R messages first sent — the protocol's de
+//     facto encoding word μ(X).  Words are repetition-free, so at most
+//     alpha(m) distinct ones exist; with |𝒳| > alpha(m) some two inputs
+//     collide (pigeonhole), or some input cannot even finish benignly.
+//
+//  2. *Mirror driving.*  For a colliding pair (X_a, X_b), co-simulate the
+//     two systems while giving the receiver an IDENTICAL view: deliver only
+//     messages available in both runs, step R in lockstep, and let each
+//     sender receive its own acks (invisible to R).  Every action is legal
+//     in both runs, so both traces are genuine runs of the protocol.  The
+//     receiver, unable to distinguish, writes the same output Y in both:
+//       * if Y stops being a prefix of X_a or of X_b → SAFETY violation,
+//         with the exact schedule recorded;
+//       * if both runs quiesce with equal outputs, distinct inputs, and the
+//         stalled run's sender has sent nothing the twin did not also send
+//         → a live DECISIVE STALL: the operational image of the paper's
+//         dup-decisive tuple {(r_a,t), (r_b,t)} with M = all sent messages;
+//         by Lemma 1 no fair continuation can deliver the missing items
+//         without first breaking the indistinguishability — i.e., liveness
+//         is unachievable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "seq/encoding.hpp"
+#include "stp/runner.hpp"
+
+namespace stpx::stp {
+
+struct AttackBudget {
+  std::uint64_t skeleton_steps = 50000;  // per-input benign run budget
+  std::uint64_t mirror_rounds = 2000;    // co-simulation rounds per pair
+  std::uint64_t stall_rounds = 32;       // quiescent rounds before verdict
+};
+
+/// The protocol's observable encoding of one input.
+struct Skeleton {
+  seq::MsgWord word;  // distinct S->R messages in first-send order
+  bool completed = false;
+  bool safety_ok = true;  // did the benign run stay safe?
+};
+
+/// Benignly run `x` and extract its skeleton.
+Skeleton extract_skeleton(const SystemSpec& spec, const seq::Sequence& x,
+                          std::uint64_t budget_steps);
+
+struct AttackResult {
+  enum class Kind {
+    kSafetyViolation,  // concrete run writes a wrong item
+    kDecisiveStall,    // dup/del-decisive pair: liveness unachievable
+    kLivenessStall,    // a single input cannot finish even benignly
+    kNone,             // budget exhausted without a witness
+  };
+  Kind kind = Kind::kNone;
+  seq::Sequence x_a, x_b;  // witness inputs (x_b empty for kLivenessStall)
+  seq::Sequence y_a, y_b;  // outputs at the end of the attack
+  std::uint64_t rounds = 0;
+  std::string detail;
+
+  bool found() const { return kind != Kind::kNone; }
+};
+
+const char* to_cstr(AttackResult::Kind kind);
+
+/// Co-simulate one pair with mirrored receiver views.
+AttackResult mirror_attack_pair(const SystemSpec& spec,
+                                const seq::Sequence& x_a,
+                                const seq::Sequence& x_b,
+                                const AttackBudget& budget);
+
+/// Full synthesis over a family: skeletons → pigeonhole candidates →
+/// mirror attacks.  Returns the strongest witness found (safety violation
+/// preferred over decisive stall over liveness stall).
+AttackResult find_attack(const SystemSpec& spec, const seq::Family& family,
+                         const AttackBudget& budget);
+
+/// Bounded-exhaustive mirror search: enumerate EVERY mirrored schedule of
+/// the pair (all interleavings of sender steps, ack deliveries, and
+/// receiver-view events kept identical across the two runs) up to
+/// `max_depth` actions.  Unlike the greedy mirror driver this is a proof
+/// procedure: if it exhausts the space without a violation, no mirrored
+/// schedule of that depth can break safety for this pair — the
+/// model-checking complement to the synthesizer's witness search.
+struct ExhaustiveMirrorResult {
+  bool violation_found = false;
+  seq::Sequence y_at_violation;   // receiver output when safety broke
+  std::size_t states_explored = 0;
+  bool exhausted = false;  // full space covered within the budgets
+};
+
+ExhaustiveMirrorResult exhaustive_mirror_search(const SystemSpec& spec,
+                                                const seq::Sequence& x_a,
+                                                const seq::Sequence& x_b,
+                                                std::uint64_t max_depth,
+                                                std::size_t max_states);
+
+}  // namespace stpx::stp

@@ -1,0 +1,53 @@
+#include "stp/boundedness.hpp"
+
+#include <algorithm>
+
+namespace stpx::stp {
+
+std::vector<std::uint64_t> write_gaps(const sim::RunResult& r) {
+  std::vector<std::uint64_t> gaps;
+  gaps.reserve(r.stats.write_step.size());
+  std::uint64_t prev = 0;
+  for (std::uint64_t step : r.stats.write_step) {
+    gaps.push_back(step - prev);
+    prev = step;
+  }
+  return gaps;
+}
+
+GapProfile measure_gaps(const SystemSpec& spec, const seq::Sequence& x,
+                        const std::vector<std::uint64_t>& seeds) {
+  GapProfile profile;
+  std::uint64_t gap_sum = 0;
+  std::size_t gap_count = 0;
+  for (std::uint64_t seed : seeds) {
+    const sim::RunResult r = run_one(spec, x, seed);
+    ++profile.runs;
+    if (!r.safety_ok || !r.completed) {
+      ++profile.failed_runs;
+      continue;
+    }
+    const auto gaps = write_gaps(r);
+    if (gaps.size() > profile.max_gap.size()) {
+      profile.max_gap.resize(gaps.size(), 0);
+    }
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+      profile.max_gap[i] = std::max(profile.max_gap[i], gaps[i]);
+      profile.overall_max = std::max(profile.overall_max, gaps[i]);
+      gap_sum += gaps[i];
+      ++gap_count;
+    }
+  }
+  profile.overall_mean =
+      gap_count == 0 ? 0.0
+                     : static_cast<double>(gap_sum) /
+                           static_cast<double>(gap_count);
+  return profile;
+}
+
+bool constant_bounded(const GapProfile& profile, std::uint64_t bound) {
+  return std::all_of(profile.max_gap.begin(), profile.max_gap.end(),
+                     [bound](std::uint64_t g) { return g <= bound; });
+}
+
+}  // namespace stpx::stp

@@ -1,0 +1,41 @@
+// Empirical boundedness measurement (paper Definition 2 and §5).
+//
+// Definition 2 asks: from any point past t_{i-1}, is there an extension in
+// which R learns item i within f(i) steps, using no pre-point messages?  We
+// measure the operational shadow of this: the distribution of *learning
+// gaps* (steps between consecutive output writes) across runs, and — via
+// stp/fault.hpp — the recovery gap after all in-flight state is destroyed.
+// A bounded protocol shows gaps independent of i and of |X|; the §5 hybrid's
+// post-fault gap grows with |X|.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stp/runner.hpp"
+
+namespace stpx::stp {
+
+/// Per-index gap statistics over a set of runs.
+struct GapProfile {
+  /// max over runs of (write_step[i] - write_step[i-1]), indexed by i
+  /// (gap[0] = steps to the first write).
+  std::vector<std::uint64_t> max_gap;
+  std::uint64_t overall_max = 0;
+  double overall_mean = 0.0;
+  std::size_t runs = 0;
+  std::size_t failed_runs = 0;  // incomplete or unsafe: excluded from gaps
+};
+
+/// Extract the gaps of one completed run.
+std::vector<std::uint64_t> write_gaps(const sim::RunResult& r);
+
+/// Measure gaps for `x` across `seeds` trials under `spec`.
+GapProfile measure_gaps(const SystemSpec& spec, const seq::Sequence& x,
+                        const std::vector<std::uint64_t>& seeds);
+
+/// Verdict helper: does the profile look f-bounded by a *constant*?  True
+/// iff every per-index max gap is at most `bound`.
+bool constant_bounded(const GapProfile& profile, std::uint64_t bound);
+
+}  // namespace stpx::stp

@@ -1,0 +1,62 @@
+#include "stp/fairness.hpp"
+
+#include <map>
+
+namespace stpx::stp {
+
+FairnessProfile measure_fairness(const SystemSpec& spec,
+                                 const seq::Sequence& x,
+                                 const std::vector<std::uint64_t>& seeds) {
+  using sim::ActionKind;
+
+  FairnessProfile profile;
+  std::vector<double> latencies[2];
+
+  SystemSpec local = spec;
+  local.engine.record_trace = true;
+
+  for (std::uint64_t seed : seeds) {
+    const sim::RunResult run = run_one(local, x, seed);
+    ++profile.runs;
+
+    // Delivery latency: for each direction, remember the earliest
+    // outstanding send step per message id; a delivery of that id closes
+    // the oldest one (FIFO pairing is the natural reading for latency).
+    std::map<sim::MsgId, std::vector<std::uint64_t>> outstanding[2];
+    std::uint64_t last_sender_step = 0, last_receiver_step = 0;
+
+    for (const sim::TraceEvent& ev : run.trace) {
+      switch (ev.action.kind) {
+        case ActionKind::kSenderStep:
+          profile.max_sender_gap = std::max(profile.max_sender_gap,
+                                            ev.step - last_sender_step);
+          last_sender_step = ev.step;
+          if (ev.did_send) outstanding[0][ev.sent].push_back(ev.step);
+          break;
+        case ActionKind::kReceiverStep:
+          profile.max_receiver_gap = std::max(profile.max_receiver_gap,
+                                              ev.step - last_receiver_step);
+          last_receiver_step = ev.step;
+          if (ev.did_send) outstanding[1][ev.sent].push_back(ev.step);
+          break;
+        case ActionKind::kDeliverToReceiver:
+        case ActionKind::kDeliverToSender: {
+          const int dir =
+              ev.action.kind == ActionKind::kDeliverToReceiver ? 0 : 1;
+          auto it = outstanding[dir].find(ev.action.msg);
+          if (it != outstanding[dir].end() && !it->second.empty()) {
+            latencies[dir].push_back(
+                static_cast<double>(ev.step - it->second.front()));
+            it->second.erase(it->second.begin());
+          }
+          break;
+        }
+      }
+    }
+  }
+  profile.delivery_latency[0] = analysis::summarize(std::move(latencies[0]));
+  profile.delivery_latency[1] = analysis::summarize(std::move(latencies[1]));
+  return profile;
+}
+
+}  // namespace stpx::stp

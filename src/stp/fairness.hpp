@@ -1,0 +1,38 @@
+// Scheduler fairness measurement (the operational side of §2.4's ℱ).
+//
+// The impossibility proofs need only Property 2 (every prefix extends to a
+// fair run); the *achievability* results need actual fair runs, which our
+// experiments realize with seeded randomized schedulers.  This module
+// quantifies how fair they really are:
+//
+//   * delivery latency — steps between a message's send and a delivery of
+//     that id (per direction): fair schedulers keep the tail bounded;
+//   * process starvation — longest gap between consecutive steps of the
+//     same process: the FairRandomScheduler's aging override caps this at
+//     its starvation_limit, which we verify empirically.
+//
+// These numbers also calibrate experiment budgets: a liveness verdict within
+// `max_steps` is only meaningful when max_steps dwarfs the latency tail.
+#pragma once
+
+#include "analysis/stats.hpp"
+#include "stp/runner.hpp"
+
+namespace stpx::stp {
+
+struct FairnessProfile {
+  /// Send→first-subsequent-delivery-of-that-id gaps, per direction.
+  analysis::Summary delivery_latency[2];
+  /// Longest run of steps during which a process was never scheduled.
+  std::uint64_t max_sender_gap = 0;
+  std::uint64_t max_receiver_gap = 0;
+  std::size_t runs = 0;
+};
+
+/// Measure fairness over `seeds` runs of input `x` (runs are recorded with
+/// traces internally; the spec's record flags are overridden).
+FairnessProfile measure_fairness(const SystemSpec& spec,
+                                 const seq::Sequence& x,
+                                 const std::vector<std::uint64_t>& seeds);
+
+}  // namespace stpx::stp

@@ -1,0 +1,73 @@
+#include "stp/fault.hpp"
+
+#include "channel/del_channel.hpp"
+#include "channel/fifo_channel.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::stp {
+
+namespace {
+
+/// Drop every in-flight copy, whatever concrete channel is installed.
+std::uint64_t drop_everything(sim::IChannel& ch) {
+  if (auto* del = dynamic_cast<channel::DelChannel*>(&ch)) {
+    return del->drop_everything();
+  }
+  if (auto* fifo = dynamic_cast<channel::FifoChannel*>(&ch)) {
+    return fifo->drop_everything();
+  }
+  STPX_EXPECT(false, "measure_fault_recovery: channel '" + ch.name() +
+                         "' cannot drop in-flight messages");
+  return 0;  // unreachable
+}
+
+}  // namespace
+
+FaultRecovery measure_fault_recovery(const SystemSpec& spec,
+                                     const seq::Sequence& x,
+                                     const FaultExperiment& fx,
+                                     std::uint64_t seed) {
+  sim::Engine engine = make_engine(spec, seed);
+  engine.begin(x);
+
+  FaultRecovery out;
+
+  // Phase 1: run until the trigger point.
+  while (engine.steps() < engine.config().max_steps && !engine.completed()) {
+    if (engine.output().size() >= fx.fault_after_writes) break;
+    engine.step_once();
+  }
+  if (engine.completed() || engine.output().size() < fx.fault_after_writes) {
+    // Finished (or stalled) before the fault could fire; report as-is.
+    out.completed = engine.completed();
+    return out;
+  }
+
+  // Inject: delete everything currently in flight.
+  out.fault_injected = true;
+  out.fault_step = engine.steps();
+  out.copies_dropped = drop_everything(engine.channel());
+
+  // Phase 2: run on, watching for the next write and for completion.
+  const std::size_t writes_at_fault = engine.output().size();
+  while (engine.steps() < engine.config().max_steps && engine.safety_ok()) {
+    if (!out.recovered && engine.output().size() > writes_at_fault) {
+      out.recovered = true;
+      out.recovery_steps = engine.steps() - out.fault_step;
+    }
+    if (engine.completed()) break;
+    engine.step_once();
+  }
+  // A run can complete exactly at the cap; account for the final state.
+  if (!out.recovered && engine.output().size() > writes_at_fault) {
+    out.recovered = true;
+    out.recovery_steps = engine.steps() - out.fault_step;
+  }
+  out.completed = engine.completed();
+  if (out.completed) {
+    out.steps_to_completion = engine.steps() - out.fault_step;
+  }
+  return out;
+}
+
+}  // namespace stpx::stp

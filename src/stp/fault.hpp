@@ -1,0 +1,43 @@
+// Fault injection and recovery measurement (the instrument behind T6/F3).
+//
+// A "fault" here is the §5 scenario: at a chosen moment every in-flight
+// message, in both directions, is deleted.  We then measure how many steps
+// the system needs to make its next visible progress (the next output
+// write) and to finish the whole transfer.  A *bounded* protocol (paper
+// Definition 2) recovers in O(1) steps regardless of history; the §5
+// weakly-bounded hybrid needs Θ(|X|).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "stp/runner.hpp"
+
+namespace stpx::stp {
+
+struct FaultExperiment {
+  /// Inject the fault when this many items have been written.
+  std::size_t fault_after_writes = 1;
+  /// Give up if the run does not finish within engine.max_steps.
+};
+
+struct FaultRecovery {
+  bool fault_injected = false;
+  std::uint64_t fault_step = 0;       // global step of the injection
+  std::uint64_t copies_dropped = 0;   // in-flight messages deleted
+  bool recovered = false;             // another item was eventually written
+  std::uint64_t recovery_steps = 0;   // steps from fault to next write
+  bool completed = false;             // whole sequence delivered
+  std::uint64_t steps_to_completion = 0;  // steps from fault to completion
+};
+
+/// Run `x` through `spec`, injecting a drop-everything fault once
+/// `fault_after_writes` items are out, then measure recovery.  The channel
+/// built by the spec must be a DelChannel or FifoChannel (anything with a
+/// drop-everything capability); otherwise this throws.
+FaultRecovery measure_fault_recovery(const SystemSpec& spec,
+                                     const seq::Sequence& x,
+                                     const FaultExperiment& fx,
+                                     std::uint64_t seed);
+
+}  // namespace stpx::stp

@@ -1,0 +1,67 @@
+#include "stp/runner.hpp"
+
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace stpx::stp {
+
+sim::Engine make_engine(const SystemSpec& spec, std::uint64_t seed) {
+  STPX_EXPECT(spec.protocols && spec.channel && spec.scheduler,
+              "SystemSpec: missing component factory");
+  proto::ProtocolPair pair = spec.protocols();
+  return sim::Engine(std::move(pair.sender), std::move(pair.receiver),
+                     spec.channel(seed), spec.scheduler(seed), spec.engine);
+}
+
+sim::RunResult run_one(const SystemSpec& spec, const seq::Sequence& x,
+                       std::uint64_t seed) {
+  return make_engine(spec, seed).run(x);
+}
+
+namespace {
+
+void accumulate(SweepResult& agg, const sim::RunResult& r,
+                const seq::Sequence& x, std::uint64_t seed) {
+  ++agg.trials;
+  agg.total_steps += r.stats.steps;
+  agg.total_msgs_sent += r.stats.sent[0] + r.stats.sent[1];
+  agg.total_msgs_delivered += r.stats.delivered[0] + r.stats.delivered[1];
+  if (!r.safety_ok) {
+    ++agg.safety_failures;
+    std::ostringstream os;
+    os << "safety violated at step " << r.first_violation_step << ": wrote "
+       << seq::to_string(r.output) << " for input " << seq::to_string(x);
+    agg.failures.push_back({x, seed, true, os.str()});
+  } else if (!r.completed) {
+    ++agg.incomplete;
+    std::ostringstream os;
+    os << "incomplete after " << r.stats.steps << " steps: wrote "
+       << seq::to_string(r.output) << " of " << seq::to_string(x);
+    agg.failures.push_back({x, seed, false, os.str()});
+  }
+}
+
+}  // namespace
+
+SweepResult sweep_family(const SystemSpec& spec, const seq::Family& family,
+                         const std::vector<std::uint64_t>& seeds) {
+  SweepResult agg;
+  for (const seq::Sequence& x : family.members) {
+    for (std::uint64_t seed : seeds) {
+      accumulate(agg, run_one(spec, x, seed), x, seed);
+    }
+  }
+  return agg;
+}
+
+SweepResult sweep_input(const SystemSpec& spec, const seq::Sequence& x,
+                        const std::vector<std::uint64_t>& seeds) {
+  SweepResult agg;
+  for (std::uint64_t seed : seeds) {
+    accumulate(agg, run_one(spec, x, seed), x, seed);
+  }
+  return agg;
+}
+
+}  // namespace stpx::stp

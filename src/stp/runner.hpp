@@ -1,0 +1,75 @@
+// Experiment runner: wire a protocol pair, channel, and scheduler into the
+// engine and sweep whole sequence families, aggregating safety/liveness
+// verdicts and cost statistics.
+//
+// Everything is factory-based so a sweep can build a fresh, independently
+// seeded system per (input, trial) without shared mutable state.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "proto/suite.hpp"
+#include "seq/family.hpp"
+#include "sim/engine.hpp"
+
+namespace stpx::stp {
+
+/// Builders for the four components of a system.  Scheduler and channel
+/// builders receive a trial seed so randomized components are reproducible.
+struct SystemSpec {
+  std::function<proto::ProtocolPair()> protocols;
+  std::function<std::unique_ptr<sim::IChannel>(std::uint64_t seed)> channel;
+  std::function<std::unique_ptr<sim::IScheduler>(std::uint64_t seed)>
+      scheduler;
+  sim::EngineConfig engine;
+};
+
+/// Build an engine for one trial.
+sim::Engine make_engine(const SystemSpec& spec, std::uint64_t seed);
+
+/// Run one (input, seed) trial.
+sim::RunResult run_one(const SystemSpec& spec, const seq::Sequence& x,
+                       std::uint64_t seed);
+
+/// One failed trial, kept for diagnosis.
+struct TrialFailure {
+  seq::Sequence input;
+  std::uint64_t seed = 0;
+  bool safety = false;  // true: safety violation; false: incomplete (liveness)
+  std::string detail;
+};
+
+/// Aggregate verdict over a family sweep.
+struct SweepResult {
+  std::size_t trials = 0;
+  std::size_t safety_failures = 0;
+  std::size_t incomplete = 0;  // liveness failures within the step budget
+  std::uint64_t total_steps = 0;
+  std::uint64_t total_msgs_sent = 0;
+  std::uint64_t total_msgs_delivered = 0;
+  std::vector<TrialFailure> failures;
+
+  bool all_ok() const { return safety_failures == 0 && incomplete == 0; }
+  double avg_steps() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(total_steps) /
+                             static_cast<double>(trials);
+  }
+  double msgs_per_trial() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(total_msgs_sent) /
+                             static_cast<double>(trials);
+  }
+};
+
+/// Run every member of `family` once per seed in `seeds`.
+SweepResult sweep_family(const SystemSpec& spec, const seq::Family& family,
+                         const std::vector<std::uint64_t>& seeds);
+
+/// Run a single input once per seed (convenience for cost experiments).
+SweepResult sweep_input(const SystemSpec& spec, const seq::Sequence& x,
+                        const std::vector<std::uint64_t>& seeds);
+
+}  // namespace stpx::stp

@@ -1,0 +1,99 @@
+#include "stp/validate.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace stpx::stp {
+
+namespace {
+
+using sim::ActionKind;
+using sim::Dir;
+
+std::string describe_msg(Dir dir, sim::MsgId msg) {
+  std::ostringstream os;
+  os << to_cstr(dir) << " msg=" << msg;
+  return os.str();
+}
+
+}  // namespace
+
+ValidationReport validate_trace(const sim::RunResult& run,
+                                bool dup_semantics) {
+  ValidationReport report;
+  auto flag = [&report](std::uint64_t step, const char* rule,
+                        std::string detail) {
+    report.issues.push_back({step, rule, std::move(detail)});
+  };
+
+  // Per (dir, msg): step of first send, send count, delivery count.
+  struct MsgState {
+    bool ever_sent = false;
+    std::uint64_t first_send_step = 0;
+    std::uint64_t sends = 0;
+    std::uint64_t deliveries = 0;
+  };
+  std::map<std::pair<int, sim::MsgId>, MsgState> ledger;
+  std::vector<seq::DataItem> written_by_steps;
+
+  std::uint64_t expected_step = run.trace.empty() ? 0 : run.trace[0].step;
+  for (const sim::TraceEvent& ev : run.trace) {
+    // V4: consecutive single-action steps.
+    if (ev.step != expected_step) {
+      flag(ev.step, "V4",
+           "non-consecutive step (expected " +
+               std::to_string(expected_step) + ")");
+      expected_step = ev.step;
+    }
+    ++expected_step;
+
+    const bool is_delivery = ev.action.kind == ActionKind::kDeliverToReceiver ||
+                             ev.action.kind == ActionKind::kDeliverToSender;
+    const Dir dir = (ev.action.kind == ActionKind::kDeliverToReceiver ||
+                     ev.action.kind == ActionKind::kSenderStep)
+                        ? Dir::kSenderToReceiver
+                        : Dir::kReceiverToSender;
+
+    if (ev.did_send) {
+      auto& st = ledger[{static_cast<int>(dir), ev.sent}];
+      if (!st.ever_sent) {
+        st.ever_sent = true;
+        st.first_send_step = ev.step;
+      }
+      ++st.sends;
+    }
+
+    if (is_delivery) {
+      auto& st = ledger[{static_cast<int>(dir), ev.action.msg}];
+      if (!st.ever_sent) {
+        flag(ev.step, "V1",
+             "delivery of never-sent " + describe_msg(dir, ev.action.msg));
+      } else if (st.first_send_step == ev.step) {
+        flag(ev.step, "V2",
+             "same-step delivery of " + describe_msg(dir, ev.action.msg));
+      }
+      ++st.deliveries;
+      if (!dup_semantics && st.deliveries > st.sends) {
+        flag(ev.step, "V3",
+             "over-delivery of " + describe_msg(dir, ev.action.msg) + " (" +
+                 std::to_string(st.deliveries) + " > " +
+                 std::to_string(st.sends) + ")");
+      }
+    }
+
+    if (!ev.writes.empty() &&
+        ev.action.kind != ActionKind::kReceiverStep) {
+      flag(ev.step, "V5", "output written outside a receiver step");
+    }
+    for (seq::DataItem d : ev.writes) written_by_steps.push_back(d);
+  }
+
+  // V5 (second half): the recorded output equals the concatenated writes.
+  if (written_by_steps != run.output) {
+    flag(run.stats.steps, "V5",
+         "trace writes do not reconstruct the output tape");
+  }
+  return report;
+}
+
+}  // namespace stpx::stp

@@ -1,0 +1,44 @@
+// Trace validators: check that a recorded run obeys the model's
+// conservation laws (paper §2.2 and Property 1).
+//
+// The engine enforces these operationally, but the validators re-derive
+// them from the *trace alone*, so they double as an independent audit of
+// the kernel (property tests run them over every protocol/channel pair)
+// and as a debugging aid for externally supplied schedules:
+//
+//   V1  no creation    — every delivery is preceded by a send of the same
+//                        message in the same direction;
+//   V2  no same-step   — a message is never delivered in the step where it
+//                        was first sent;
+//   V3  conservation   — per (direction, message): deliveries never exceed
+//                        sends (dup channels are exempt: one send funds any
+//                        number of deliveries);
+//   V4  one action     — trace steps are consecutive and each step is a
+//                        single action;
+//   V5  output source  — every item written appears in a receiver step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace stpx::stp {
+
+struct ValidationIssue {
+  std::uint64_t step = 0;
+  std::string rule;  // "V1".."V5"
+  std::string detail;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  bool ok() const { return issues.empty(); }
+};
+
+/// Validate a run recorded with record_trace.  `dup_semantics` exempts the
+/// trace from V3 (a dup channel legitimately over-delivers).
+ValidationReport validate_trace(const sim::RunResult& run,
+                                bool dup_semantics);
+
+}  // namespace stpx::stp

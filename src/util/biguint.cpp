@@ -1,0 +1,127 @@
+#include "util/biguint.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/expect.hpp"
+
+namespace stpx {
+
+BigUint::BigUint(std::uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(value));
+    const std::uint32_t high = static_cast<std::uint32_t>(value >> 32);
+    if (high != 0) limbs_.push_back(high);
+  }
+}
+
+BigUint BigUint::from_decimal(const std::string& digits) {
+  STPX_EXPECT(!digits.empty(), "BigUint::from_decimal: empty string");
+  BigUint out;
+  for (char c : digits) {
+    STPX_EXPECT(std::isdigit(static_cast<unsigned char>(c)),
+                "BigUint::from_decimal: non-digit character");
+    out *= 10u;
+    out += static_cast<std::uint64_t>(c - '0');
+  }
+  return out;
+}
+
+std::uint64_t BigUint::to_u64() const {
+  STPX_EXPECT(fits_u64(), "BigUint::to_u64: value exceeds 64 bits");
+  std::uint64_t v = 0;
+  if (limbs_.size() >= 1) v |= limbs_[0];
+  if (limbs_.size() >= 2) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+std::uint32_t BigUint::div_small(std::uint32_t divisor) {
+  STPX_EXPECT(divisor != 0, "BigUint::div_small: divide by zero");
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    const std::uint64_t cur = (rem << 32) | limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  trim();
+  return static_cast<std::uint32_t>(rem);
+}
+
+std::string BigUint::to_decimal() const {
+  if (is_zero()) return "0";
+  BigUint tmp = *this;
+  std::string out;
+  while (!tmp.is_zero()) {
+    // Peel 9 digits at a time to reduce division count.
+    std::uint32_t chunk = tmp.div_small(1000000000u);
+    for (int d = 0; d < 9; ++d) {
+      out.push_back(static_cast<char>('0' + chunk % 10));
+      chunk /= 10;
+    }
+  }
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+BigUint& BigUint::operator+=(const BigUint& rhs) {
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry + limbs_[i];
+    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return *this;
+}
+
+BigUint& BigUint::operator+=(std::uint64_t rhs) { return *this += BigUint(rhs); }
+
+BigUint& BigUint::operator*=(const BigUint& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<std::uint32_t> out(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(limbs_[i]) * rhs.limbs_[j] +
+          out[i + j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + rhs.limbs_.size();
+    while (carry != 0) {
+      const std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+BigUint& BigUint::operator*=(std::uint64_t rhs) { return *this *= BigUint(rhs); }
+
+bool operator<(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size();
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i];
+  }
+  return false;
+}
+
+}  // namespace stpx

@@ -1,0 +1,81 @@
+// Minimal arbitrary-precision unsigned integer.
+//
+// stpx needs exact values of alpha(m) = m! * sum(1/k!) for the T1 table;
+// alpha(21) already overflows 64 bits, so a tiny big-int keeps the numbers
+// honest.  Only the operations the library needs are provided: addition,
+// multiplication by BigUint and by machine words, comparison, decimal I/O.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stpx {
+
+/// Arbitrary-precision unsigned integer stored little-endian in 32-bit limbs.
+/// Invariant: no trailing zero limbs; zero is represented by an empty vector.
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(std::uint64_t value);
+
+  /// Parse a non-empty decimal string of digits.  Throws ContractError on
+  /// malformed input.
+  static BigUint from_decimal(const std::string& digits);
+
+  bool is_zero() const { return limbs_.empty(); }
+
+  /// Value as u64 if it fits; throws ContractError otherwise.
+  std::uint64_t to_u64() const;
+
+  /// True iff the value fits in 64 bits.
+  bool fits_u64() const { return limbs_.size() <= 2; }
+
+  std::string to_decimal() const;
+
+  BigUint& operator+=(const BigUint& rhs);
+  BigUint& operator+=(std::uint64_t rhs);
+  BigUint& operator*=(const BigUint& rhs);
+  BigUint& operator*=(std::uint64_t rhs);
+
+  friend BigUint operator+(BigUint lhs, const BigUint& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend BigUint operator*(BigUint lhs, const BigUint& rhs) {
+    lhs *= rhs;
+    return lhs;
+  }
+  friend BigUint operator*(BigUint lhs, std::uint64_t rhs) {
+    lhs *= rhs;
+    return lhs;
+  }
+  friend BigUint operator+(BigUint lhs, std::uint64_t rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+
+  friend bool operator==(const BigUint& a, const BigUint& b) {
+    return a.limbs_ == b.limbs_;
+  }
+  friend bool operator!=(const BigUint& a, const BigUint& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const BigUint& a, const BigUint& b);
+  friend bool operator<=(const BigUint& a, const BigUint& b) {
+    return !(b < a);
+  }
+  friend bool operator>(const BigUint& a, const BigUint& b) { return b < a; }
+  friend bool operator>=(const BigUint& a, const BigUint& b) {
+    return !(a < b);
+  }
+
+ private:
+  void trim();
+  /// Divide in place by a small divisor, returning the remainder.
+  std::uint32_t div_small(std::uint32_t divisor);
+
+  std::vector<std::uint32_t> limbs_;
+};
+
+}  // namespace stpx

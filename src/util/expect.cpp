@@ -1,0 +1,15 @@
+#include "util/expect.hpp"
+
+#include <sstream>
+
+namespace stpx {
+
+void contract_failure(const char* expr, const char* file, int line,
+                      const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+
+}  // namespace stpx

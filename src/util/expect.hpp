@@ -1,0 +1,30 @@
+// Lightweight contract checking for stpx.
+//
+// STPX_EXPECT is used for preconditions on public APIs and internal
+// invariants.  Violations throw stpx::ContractError so tests can assert on
+// them; they are never compiled out, because the library's whole purpose is
+// checking correctness properties of protocols.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stpx {
+
+/// Thrown when a precondition or invariant of the library is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void contract_failure(const char* expr, const char* file,
+                                   int line, const std::string& msg);
+
+}  // namespace stpx
+
+#define STPX_EXPECT(cond, msg)                                      \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::stpx::contract_failure(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                               \
+  } while (false)

@@ -1,0 +1,9 @@
+#include "util/rng.hpp"
+
+// Rng is header-only; this translation unit exists so the library has a
+// stable archive member and the header's contracts get compiled once.
+namespace stpx {
+namespace {
+[[maybe_unused]] void touch() { Rng r(1); (void)r(); }
+}  // namespace
+}  // namespace stpx

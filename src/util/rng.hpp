@@ -1,0 +1,114 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All randomness in stpx flows through Rng so that every simulated run is
+// exactly reproducible from a 64-bit seed.  The generator is xoshiro256**,
+// seeded via splitmix64 (the construction recommended by its authors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace stpx {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDDEADBEEFCAFEULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be positive.
+  std::uint64_t below(std::uint64_t bound) {
+    STPX_EXPECT(bound > 0, "Rng::below requires positive bound");
+    if (bound == 1) return 0;
+    // Unbiased rejection sampling over the tightest power-of-two mask.
+    const std::uint64_t mask =
+        ~std::uint64_t{0} >> __builtin_clzll(bound - 1);
+    while (true) {
+      const std::uint64_t x = (*this)() & mask;
+      if (x < bound) return x;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    STPX_EXPECT(lo <= hi, "Rng::range requires lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    // 53 high bits give a uniform double in [0,1).
+    const double u =
+        static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    return u < p;
+  }
+
+  /// Uniformly chosen index into a non-empty container.
+  template <typename Container>
+  std::size_t index_into(const Container& c) {
+    STPX_EXPECT(!c.empty(), "Rng::index_into requires non-empty container");
+    return static_cast<std::size_t>(below(c.size()));
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index_into(v)];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[static_cast<std::size_t>(below(i))]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-trial seeding).
+  Rng split() { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace stpx

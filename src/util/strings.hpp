@@ -1,0 +1,26 @@
+// Small string formatting helpers shared across stpx.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stpx {
+
+/// Join the elements of `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Render an integer vector like "[3, 1, 4]".
+std::string brackets(const std::vector<int>& values);
+
+/// Left-pad `s` to `width` with spaces (no-op if already wider).
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pad `s` to `width` with spaces (no-op if already wider).
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Fixed-point rendering of a double with `digits` decimal places.
+std::string fixed(double value, int digits);
+
+}  // namespace stpx

@@ -1,0 +1,273 @@
+// Tests for the analysis helpers: summary statistics, regression slope, and
+// table rendering.
+#include <gtest/gtest.h>
+
+#include "analysis/explain.hpp"
+#include "analysis/histogram.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "channel/del_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "proto/suite.hpp"
+#include "stp/runner.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::analysis {
+namespace {
+
+TEST(Stats, EmptySampleAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Stats, SingleValue) {
+  const Summary s = summarize({42.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.p50, 42.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, KnownSample) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(Stats, PercentilesInterpolate) {
+  const Summary s = summarize({0, 10});
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+  EXPECT_DOUBLE_EQ(s.p95, 9.5);
+}
+
+TEST(Stats, UnsortedInputHandled) {
+  const Summary s = summarize({5, 1, 4, 2, 3});
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+}
+
+TEST(Stats, U64Overload) {
+  const Summary s = summarize_u64({10, 20, 30});
+  EXPECT_DOUBLE_EQ(s.mean, 20.0);
+}
+
+TEST(Stats, LinearSlopeExact) {
+  EXPECT_DOUBLE_EQ(linear_slope({1, 2, 3}, {2, 4, 6}), 2.0);
+  EXPECT_DOUBLE_EQ(linear_slope({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(Stats, LinearSlopeDegenerate) {
+  EXPECT_EQ(linear_slope({}, {}), 0.0);
+  EXPECT_EQ(linear_slope({1}, {1}), 0.0);
+  EXPECT_EQ(linear_slope({2, 2}, {1, 9}), 0.0);  // vertical: undefined -> 0
+}
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t({"m", "alpha(m)"});
+  t.add_row({"3", "16"});
+  t.add_row({"10", "9864101"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("| m  | alpha(m) |"), std::string::npos);
+  EXPECT_NE(out.find("| 10 | 9864101  |"), std::string::npos);
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.add_row({"x,y", "he said \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, EmptyTableStillRenders) {
+  Table t({"solo"});
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_FALSE(t.to_ascii().empty());
+  EXPECT_EQ(t.to_csv(), "solo\n");
+}
+
+TEST(Table, HeadingFormat) {
+  EXPECT_EQ(heading("T1"), "\n== T1 ==\n");
+}
+
+TEST(Histogram, BarsScaleToMax) {
+  BarSeries s;
+  s.title = "demo";
+  s.width = 10;
+  s.bars = {{"a", 5.0}, {"b", 10.0}, {"c", 0.0}};
+  const std::string out = render_bars(s);
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // b: full width
+  EXPECT_NE(out.find("#####"), std::string::npos);       // a: half width
+  // c renders with zero hashes but still shows its value.
+  EXPECT_NE(out.find("0.0"), std::string::npos);
+}
+
+TEST(Histogram, AllZeroSeriesRenders) {
+  BarSeries s;
+  s.bars = {{"x", 0.0}, {"y", 0.0}};
+  EXPECT_FALSE(render_bars(s).empty());
+}
+
+TEST(Histogram, RejectsBadWidth) {
+  BarSeries s;
+  s.width = 0;
+  EXPECT_THROW(render_bars(s), ContractError);
+}
+
+TEST(Histogram, BucketsCoverRange) {
+  const std::string out =
+      render_histogram("h", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5, 20);
+  EXPECT_NE(out.find("[0.0, 1.8)"), std::string::npos);
+  EXPECT_NE(out.find("2.0"), std::string::npos);  // each bucket holds 2
+}
+
+TEST(Histogram, EmptySampleHandled) {
+  EXPECT_NE(render_histogram("h", {}, 4).find("(empty)"),
+            std::string::npos);
+}
+
+TEST(Histogram, SingleValueSample) {
+  // Degenerate span must not divide by zero.
+  EXPECT_FALSE(render_histogram("h", {3.0, 3.0, 3.0}, 3).empty());
+}
+
+TEST(Stats, WilsonIntervalBasics) {
+  // Zero trials: the vacuous [0, 1].
+  const auto empty = wilson_interval(0, 0);
+  EXPECT_EQ(empty.lo, 0.0);
+  EXPECT_EQ(empty.hi, 1.0);
+  // 0/100: lower bound (numerically) 0, upper bound small but positive.
+  const auto none = wilson_interval(0, 100);
+  EXPECT_NEAR(none.lo, 0.0, 1e-12);
+  EXPECT_GT(none.hi, 0.0);
+  EXPECT_LT(none.hi, 0.05);
+  // 100/100: mirror image.
+  const auto all = wilson_interval(100, 100);
+  EXPECT_NEAR(all.hi, 1.0, 1e-12);
+  EXPECT_GT(all.lo, 0.95);
+  // 50/100 at 95%: roughly ±0.1, containing the point estimate.
+  const auto half = wilson_interval(50, 100);
+  EXPECT_LT(half.lo, 0.5);
+  EXPECT_GT(half.hi, 0.5);
+  EXPECT_NEAR(half.hi - half.lo, 0.194, 0.01);
+}
+
+TEST(Stats, WilsonIntervalShrinksWithTrials) {
+  const auto small = wilson_interval(5, 10);
+  const auto big = wilson_interval(500, 1000);
+  EXPECT_LT(big.hi - big.lo, small.hi - small.lo);
+}
+
+// --------------------------------------------------------------- explain --
+
+TEST(Explain, SafeRunYieldsNothing) {
+  sim::RunResult run;
+  run.safety_ok = true;
+  EXPECT_FALSE(explain_violation(run).has_value());
+}
+
+TEST(Explain, HandBuiltViolationFullyAttributed) {
+  sim::RunResult run;
+  run.input = {7, 8};
+  run.output = {7, 9};
+  run.safety_ok = false;
+  // step 0: S sends msg 9; step 1: deliver 9 to R; step 2: R writes 7 (ok);
+  // step 3: deliver 9 again; step 4: R writes 9 (violation at position 1).
+  sim::TraceEvent send;
+  send.step = 0;
+  send.action = {sim::ActionKind::kSenderStep, -1};
+  send.did_send = true;
+  send.sent = 9;
+  sim::TraceEvent d1;
+  d1.step = 1;
+  d1.action = {sim::ActionKind::kDeliverToReceiver, 9};
+  sim::TraceEvent w1;
+  w1.step = 2;
+  w1.action = {sim::ActionKind::kReceiverStep, -1};
+  w1.writes = {7};
+  sim::TraceEvent d2 = d1;
+  d2.step = 3;
+  sim::TraceEvent w2;
+  w2.step = 4;
+  w2.action = {sim::ActionKind::kReceiverStep, -1};
+  w2.writes = {9};
+  run.trace = {send, d1, w1, d2, w2};
+
+  const auto f = explain_violation(run);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->violation_step, 4u);
+  EXPECT_EQ(f->wrong_position, 1u);
+  EXPECT_EQ(f->wrote, 9);
+  ASSERT_TRUE(f->expected.has_value());
+  EXPECT_EQ(*f->expected, 8);
+  EXPECT_EQ(f->culprit_message, 9);
+  EXPECT_EQ(f->culprit_delivered_at, 3u);
+  EXPECT_EQ(f->culprit_first_sent_at, 0u);
+  EXPECT_EQ(f->staleness, 3u);
+  const std::string story = narrate(*f, run);
+  EXPECT_NE(story.find("position 1"), std::string::npos);
+  EXPECT_NE(story.find("3 steps stale"), std::string::npos);
+}
+
+TEST(Explain, RealModKViolationAttributed) {
+  // End-to-end: mod-2 Stenning under reordering; the forensics must point
+  // at a genuinely stale message.
+  stp::SystemSpec spec;
+  spec.protocols = [] { return proto::make_modk_stenning(2, 2); };
+  spec.channel = [](std::uint64_t) {
+    return std::make_unique<channel::DelChannel>();
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 60000;
+  spec.engine.record_trace = true;
+
+  const seq::Sequence x{0, 1, 1, 0, 0, 1, 1, 0, 1, 1, 0, 0};
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const sim::RunResult run = stp::run_one(spec, x, seed);
+    if (run.safety_ok) continue;
+    const auto f = explain_violation(run);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->violation_step, run.first_violation_step);
+    ASSERT_TRUE(f->culprit_message.has_value());
+    ASSERT_TRUE(f->staleness.has_value());
+    EXPECT_GT(*f->staleness, 0u);  // the wraparound needs a stale copy
+    EXPECT_FALSE(narrate(*f, run).empty());
+    return;
+  }
+  FAIL() << "no violating seed found";
+}
+
+TEST(Explain, PastEndWriteNarrated) {
+  sim::RunResult run;
+  run.input = {5};
+  run.output = {5, 5};
+  run.safety_ok = false;
+  sim::TraceEvent w;
+  w.step = 0;
+  w.action = {sim::ActionKind::kReceiverStep, -1};
+  w.writes = {5, 5};
+  run.trace = {w};
+  const auto f = explain_violation(run);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_FALSE(f->expected.has_value());
+  EXPECT_NE(narrate(*f, run).find("past the end"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stpx::analysis

@@ -1,0 +1,435 @@
+// Tests for channel semantics (dup set, del multiset, FIFO) and scheduler
+// behaviour (fairness, determinism, scripting) — the operational encodings
+// of the paper's environment Properties 1a–1c.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "channel/del_channel.hpp"
+#include "channel/dup_channel.hpp"
+#include "channel/dupdel_channel.hpp"
+#include "channel/fifo_channel.hpp"
+#include "channel/sync_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::channel {
+namespace {
+
+using sim::Action;
+using sim::ActionKind;
+using sim::Dir;
+using sim::SchedView;
+
+constexpr Dir kSR = Dir::kSenderToReceiver;
+constexpr Dir kRS = Dir::kReceiverToSender;
+
+// ---------------------------------------------------------------- dup ----
+
+TEST(DupChannel, SentMessageStaysDeliverableForever) {
+  DupChannel ch;
+  ch.send(kSR, 3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ch.copies(kSR, 3), 1u);
+    ch.deliver(kSR, 3);  // delivery never consumes
+  }
+  EXPECT_EQ(ch.copies(kSR, 3), 1u);
+}
+
+TEST(DupChannel, ResendingIsIdempotent) {
+  DupChannel ch;
+  ch.send(kSR, 5);
+  ch.send(kSR, 5);
+  EXPECT_EQ(ch.deliverable(kSR), std::vector<sim::MsgId>{5});
+}
+
+TEST(DupChannel, DirectionsAreIndependent) {
+  DupChannel ch;
+  ch.send(kSR, 1);
+  ch.send(kRS, 2);
+  EXPECT_EQ(ch.copies(kSR, 1), 1u);
+  EXPECT_EQ(ch.copies(kSR, 2), 0u);
+  EXPECT_EQ(ch.copies(kRS, 2), 1u);
+  EXPECT_EQ(ch.copies(kRS, 1), 0u);
+}
+
+TEST(DupChannel, CannotDrop) {
+  DupChannel ch;
+  ch.send(kSR, 1);
+  EXPECT_FALSE(ch.can_drop());
+  EXPECT_THROW(ch.drop(kSR, 1), ContractError);
+}
+
+TEST(DupChannel, DeliverUnsentThrows) {
+  DupChannel ch;
+  EXPECT_THROW(ch.deliver(kSR, 9), ContractError);
+}
+
+TEST(DupChannel, ResetForgetsEverything) {
+  DupChannel ch;
+  ch.send(kSR, 1);
+  ch.reset();
+  EXPECT_TRUE(ch.deliverable(kSR).empty());
+}
+
+TEST(DupChannel, CloneIsDeep) {
+  DupChannel ch;
+  ch.send(kSR, 1);
+  auto copy = ch.clone();
+  copy->send(kSR, 2);
+  EXPECT_EQ(ch.deliverable(kSR).size(), 1u);
+  EXPECT_EQ(copy->deliverable(kSR).size(), 2u);
+}
+
+// ---------------------------------------------------------------- del ----
+
+TEST(DelChannel, DeliveryConsumesCopies) {
+  DelChannel ch;
+  ch.send(kSR, 4);
+  ch.send(kSR, 4);
+  EXPECT_EQ(ch.copies(kSR, 4), 2u);
+  ch.deliver(kSR, 4);
+  EXPECT_EQ(ch.copies(kSR, 4), 1u);
+  ch.deliver(kSR, 4);
+  EXPECT_EQ(ch.copies(kSR, 4), 0u);
+  EXPECT_THROW(ch.deliver(kSR, 4), ContractError);
+}
+
+TEST(DelChannel, DropConsumesCopies) {
+  DelChannel ch;
+  ch.send(kSR, 7);
+  EXPECT_TRUE(ch.can_drop());
+  ch.drop(kSR, 7);
+  EXPECT_EQ(ch.copies(kSR, 7), 0u);
+  EXPECT_THROW(ch.drop(kSR, 7), ContractError);
+}
+
+TEST(DelChannel, ConservationInvariant) {
+  // sent == delivered + dropped + in_flight, per direction.
+  DelChannel ch;
+  std::uint64_t sent = 0, delivered = 0, dropped = 0;
+  Rng rng(53);
+  for (int i = 0; i < 1000; ++i) {
+    const int op = static_cast<int>(rng.range(0, 2));
+    if (op == 0) {
+      ch.send(kSR, static_cast<sim::MsgId>(rng.range(0, 3)));
+      ++sent;
+    } else {
+      const auto avail = ch.deliverable(kSR);
+      if (avail.empty()) continue;
+      const sim::MsgId m = rng.pick(avail);
+      if (op == 1) {
+        ch.deliver(kSR, m);
+        ++delivered;
+      } else {
+        ch.drop(kSR, m);
+        ++dropped;
+      }
+    }
+    EXPECT_EQ(sent, delivered + dropped + ch.in_flight(kSR));
+  }
+}
+
+TEST(DelChannel, LossPolicyDeletesStatistically) {
+  DelChannel ch(0.5, /*seed=*/61);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) ch.send(kSR, 0);
+  const double arrived = static_cast<double>(ch.copies(kSR, 0)) / n;
+  EXPECT_NEAR(arrived, 0.5, 0.03);
+}
+
+TEST(DelChannel, LossProbValidation) {
+  EXPECT_THROW(DelChannel(-0.1, 1), ContractError);
+  EXPECT_THROW(DelChannel(1.1, 1), ContractError);
+}
+
+TEST(DelChannel, DropEverythingClearsBothDirections) {
+  DelChannel ch;
+  ch.send(kSR, 1);
+  ch.send(kSR, 1);
+  ch.send(kRS, 2);
+  EXPECT_EQ(ch.drop_everything(), 3u);
+  EXPECT_EQ(ch.in_flight(kSR), 0u);
+  EXPECT_EQ(ch.in_flight(kRS), 0u);
+}
+
+TEST(DelChannel, DeliverableListsDistinctIds) {
+  DelChannel ch;
+  ch.send(kSR, 2);
+  ch.send(kSR, 2);
+  ch.send(kSR, 5);
+  const auto d = ch.deliverable(kSR);
+  EXPECT_EQ(d, (std::vector<sim::MsgId>{2, 5}));
+}
+
+// ---------------------------------------------------------------- fifo ---
+
+TEST(FifoChannel, PreservesOrder) {
+  FifoChannel ch;
+  ch.send(kSR, 1);
+  ch.send(kSR, 2);
+  ch.send(kSR, 3);
+  EXPECT_EQ(ch.deliverable(kSR), std::vector<sim::MsgId>{1});
+  ch.deliver(kSR, 1);
+  EXPECT_EQ(ch.deliverable(kSR), std::vector<sim::MsgId>{2});
+  ch.deliver(kSR, 2);
+  ch.deliver(kSR, 3);
+  EXPECT_TRUE(ch.deliverable(kSR).empty());
+}
+
+TEST(FifoChannel, OnlyHeadDeliverable) {
+  FifoChannel ch;
+  ch.send(kSR, 1);
+  ch.send(kSR, 2);
+  EXPECT_EQ(ch.copies(kSR, 2), 0u);
+  EXPECT_THROW(ch.deliver(kSR, 2), ContractError);
+}
+
+TEST(FifoChannel, DropRemovesHead) {
+  FifoChannel ch;
+  ch.send(kSR, 1);
+  ch.send(kSR, 2);
+  ch.drop(kSR, 1);
+  EXPECT_EQ(ch.deliverable(kSR), std::vector<sim::MsgId>{2});
+}
+
+TEST(FifoChannel, LossAndDupPolicies) {
+  FifoChannel lossy(1.0, 0.0, 1);
+  lossy.send(kSR, 1);
+  EXPECT_TRUE(lossy.deliverable(kSR).empty());
+
+  FifoChannel duppy(0.0, 1.0, 1);
+  duppy.send(kSR, 1);
+  EXPECT_EQ(duppy.queue_length(kSR), 2u);
+}
+
+// --------------------------------------------------------------- dupdel --
+
+TEST(DupDelChannel, LiveIdReplayableForever) {
+  DupDelChannel ch;
+  ch.send(kSR, 3);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ch.copies(kSR, 3), 1u);
+    ch.deliver(kSR, 3);
+  }
+}
+
+TEST(DupDelChannel, DropSuppressesUntilResend) {
+  DupDelChannel ch;
+  ch.send(kSR, 3);
+  ch.drop(kSR, 3);
+  EXPECT_EQ(ch.copies(kSR, 3), 0u);
+  EXPECT_THROW(ch.deliver(kSR, 3), ContractError);
+  // A re-send revives the id.
+  ch.send(kSR, 3);
+  EXPECT_EQ(ch.copies(kSR, 3), 1u);
+}
+
+TEST(DupDelChannel, SuppressionPolicyStatistical) {
+  DupDelChannel ch(1.0, /*seed=*/5);  // suppress everything
+  ch.send(kSR, 1);
+  EXPECT_TRUE(ch.deliverable(kSR).empty());
+
+  DupDelChannel open(0.0, /*seed=*/5);
+  open.send(kSR, 1);
+  EXPECT_EQ(open.deliverable(kSR), std::vector<sim::MsgId>{1});
+}
+
+TEST(DupDelChannel, ResendCanReviveSuppressedSend) {
+  // With p = 0.5 and many re-sends, the id must eventually go live.
+  DupDelChannel ch(0.5, /*seed=*/11);
+  for (int i = 0; i < 64 && ch.copies(kSR, 9) == 0; ++i) ch.send(kSR, 9);
+  EXPECT_EQ(ch.copies(kSR, 9), 1u);
+}
+
+TEST(DupDelChannel, DropEverythingSuppressesAllLive) {
+  DupDelChannel ch;
+  ch.send(kSR, 1);
+  ch.send(kSR, 2);
+  ch.send(kRS, 3);
+  EXPECT_EQ(ch.drop_everything(), 3u);
+  EXPECT_TRUE(ch.deliverable(kSR).empty());
+  EXPECT_TRUE(ch.deliverable(kRS).empty());
+}
+
+TEST(DupDelChannel, ValidatesSuppressProb) {
+  EXPECT_THROW(DupDelChannel(1.5, 1), ContractError);
+}
+
+// ----------------------------------------------------------------- sync ---
+
+TEST(SyncLossChannel, SuccessfulSendYieldsMessageAndAckToken) {
+  SyncLossChannel ch;  // loss 0
+  ch.send(kSR, 5);
+  EXPECT_EQ(ch.deliverable(kSR), std::vector<sim::MsgId>{5});
+  EXPECT_EQ(ch.deliverable(kRS), std::vector<sim::MsgId>{kSyncAck});
+}
+
+TEST(SyncLossChannel, LostSendYieldsNackOnly) {
+  SyncLossChannel ch(1.0, /*seed=*/3);  // lose everything
+  ch.send(kSR, 5);
+  EXPECT_TRUE(ch.deliverable(kSR).empty());
+  EXPECT_EQ(ch.deliverable(kRS), std::vector<sim::MsgId>{kSyncNack});
+}
+
+TEST(SyncLossChannel, VerdictsArriveInSendOrder) {
+  SyncLossChannel ch;
+  ch.send(kSR, 1);
+  ch.send(kSR, 2);
+  EXPECT_EQ(ch.deliverable(kRS), std::vector<sim::MsgId>{kSyncAck});
+  ch.deliver(kRS, kSyncAck);
+  EXPECT_EQ(ch.deliverable(kRS), std::vector<sim::MsgId>{kSyncAck});
+  // Data stays FIFO.
+  ch.deliver(kSR, 1);
+  EXPECT_EQ(ch.deliverable(kSR), std::vector<sim::MsgId>{2});
+}
+
+TEST(SyncLossChannel, CannotDropExplicitly) {
+  SyncLossChannel ch;
+  ch.send(kSR, 1);
+  EXPECT_FALSE(ch.can_drop());
+  EXPECT_THROW(ch.drop(kSR, 1), ContractError);
+}
+
+TEST(SyncLossChannel, ReverseDirectionIsPlainFifo) {
+  SyncLossChannel ch(1.0, 7);  // even with full loss policy...
+  ch.send(kRS, 9);             // ...R->S traffic passes untouched
+  EXPECT_EQ(ch.deliverable(kRS), std::vector<sim::MsgId>{9});
+}
+
+// ----------------------------------------------------------- schedulers --
+
+SchedView view_with(std::vector<sim::MsgId> to_r,
+                    std::vector<sim::MsgId> to_s) {
+  SchedView v;
+  v.deliverable_to_receiver = std::move(to_r);
+  v.deliverable_to_sender = std::move(to_s);
+  return v;
+}
+
+TEST(FairRandomScheduler, OnlyChoosesLegalDeliveries) {
+  FairRandomScheduler sched(std::uint64_t{71});
+  for (int i = 0; i < 2000; ++i) {
+    const Action a = sched.choose(view_with({3, 4}, {9}));
+    switch (a.kind) {
+      case ActionKind::kDeliverToReceiver:
+        EXPECT_TRUE(a.msg == 3 || a.msg == 4);
+        break;
+      case ActionKind::kDeliverToSender:
+        EXPECT_EQ(a.msg, 9);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(FairRandomScheduler, NoDeliveryWhenNothingDeliverable) {
+  FairRandomScheduler sched(std::uint64_t{73});
+  for (int i = 0; i < 500; ++i) {
+    const Action a = sched.choose(view_with({}, {}));
+    EXPECT_TRUE(a.kind == ActionKind::kSenderStep ||
+                a.kind == ActionKind::kReceiverStep);
+  }
+}
+
+TEST(FairRandomScheduler, EveryCategoryChosenEventually) {
+  FairRandomScheduler sched(std::uint64_t{79});
+  std::map<ActionKind, int> counts;
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[sched.choose(view_with({1}, {2})).kind];
+  }
+  EXPECT_GT(counts[ActionKind::kSenderStep], 0);
+  EXPECT_GT(counts[ActionKind::kReceiverStep], 0);
+  EXPECT_GT(counts[ActionKind::kDeliverToReceiver], 0);
+  EXPECT_GT(counts[ActionKind::kDeliverToSender], 0);
+}
+
+TEST(FairRandomScheduler, StarvationLimitForcesProcessSteps) {
+  FairRandomConfig cfg;
+  cfg.seed = 83;
+  cfg.sender_weight = 0.0;  // never *randomly* picks the sender...
+  cfg.receiver_weight = 1.0;
+  cfg.delivery_weight = 1.0;
+  cfg.starvation_limit = 16;
+  FairRandomScheduler sched(cfg);
+  int sender_steps = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (sched.choose(view_with({1}, {})).kind == ActionKind::kSenderStep) {
+      ++sender_steps;
+    }
+  }
+  // ...but the aging override still guarantees them.
+  EXPECT_GT(sender_steps, 500 / 20);
+}
+
+TEST(FairRandomScheduler, RejectsBadWeights) {
+  FairRandomConfig cfg;
+  cfg.sender_weight = -1.0;
+  EXPECT_THROW(FairRandomScheduler{cfg}, ContractError);
+  FairRandomConfig zeros;
+  zeros.sender_weight = zeros.receiver_weight = zeros.delivery_weight = 0.0;
+  EXPECT_THROW(FairRandomScheduler{zeros}, ContractError);
+}
+
+TEST(FairRandomScheduler, ResetRestoresDeterminism) {
+  FairRandomScheduler sched(std::uint64_t{89});
+  std::vector<Action> first;
+  for (int i = 0; i < 50; ++i) first.push_back(sched.choose(view_with({1}, {2})));
+  sched.reset();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sched.choose(view_with({1}, {2})), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RoundRobinScheduler, CyclesThroughAllPhases) {
+  RoundRobinScheduler sched;
+  const auto v = view_with({5}, {6});
+  EXPECT_EQ(sched.choose(v).kind, ActionKind::kSenderStep);
+  EXPECT_EQ(sched.choose(v).kind, ActionKind::kDeliverToReceiver);
+  EXPECT_EQ(sched.choose(v).kind, ActionKind::kReceiverStep);
+  EXPECT_EQ(sched.choose(v).kind, ActionKind::kDeliverToSender);
+  EXPECT_EQ(sched.choose(v).kind, ActionKind::kSenderStep);
+}
+
+TEST(RoundRobinScheduler, SkipsEmptyDeliveryPhases) {
+  RoundRobinScheduler sched;
+  const auto v = view_with({}, {});
+  EXPECT_EQ(sched.choose(v).kind, ActionKind::kSenderStep);
+  EXPECT_EQ(sched.choose(v).kind, ActionKind::kReceiverStep);
+  EXPECT_EQ(sched.choose(v).kind, ActionKind::kSenderStep);
+}
+
+TEST(RoundRobinScheduler, RotatesWithinDeliverableSet) {
+  RoundRobinScheduler sched;
+  const auto v = view_with({1, 2, 3}, {});
+  std::map<sim::MsgId, int> delivered;
+  for (int i = 0; i < 12; ++i) {
+    const Action a = sched.choose(v);
+    if (a.kind == ActionKind::kDeliverToReceiver) ++delivered[a.msg];
+  }
+  EXPECT_EQ(delivered.size(), 3u);  // all three get turns
+}
+
+TEST(ScriptedScheduler, ReplaysThenFallsBack) {
+  std::vector<Action> script{{ActionKind::kReceiverStep, -1},
+                             {ActionKind::kReceiverStep, -1}};
+  ScriptedScheduler sched(script);
+  const auto v = view_with({}, {});
+  EXPECT_EQ(sched.choose(v).kind, ActionKind::kReceiverStep);
+  EXPECT_EQ(sched.choose(v).kind, ActionKind::kReceiverStep);
+  // Script exhausted: falls back to round-robin.
+  EXPECT_EQ(sched.choose(v).kind, ActionKind::kSenderStep);
+}
+
+TEST(ScriptedScheduler, ResetRewindsScript) {
+  std::vector<Action> script{{ActionKind::kReceiverStep, -1}};
+  ScriptedScheduler sched(script);
+  const auto v = view_with({}, {});
+  EXPECT_EQ(sched.choose(v).kind, ActionKind::kReceiverStep);
+  sched.reset();
+  EXPECT_EQ(sched.choose(v).kind, ActionKind::kReceiverStep);
+}
+
+}  // namespace
+}  // namespace stpx::channel

@@ -1,0 +1,182 @@
+// Channel conformance: interface laws every IChannel implementation must
+// satisfy, run against all four channels through one parameterized suite.
+//
+//   C1 fresh/reset channels are empty;
+//   C2 deliverable() lists exactly the ids with copies() > 0, sorted-ish
+//      (each id once);
+//   C3 deliver() requires copies() > 0 and never *increases* the count;
+//   C4 drop() requires can_drop() and copies() > 0;
+//   C5 clone() is a deep, independent copy;
+//   C6 directions are independent;
+//   C7 sending never reduces what is deliverable (for policy-free
+//      configurations).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "channel/del_channel.hpp"
+#include "channel/dup_channel.hpp"
+#include "channel/dupdel_channel.hpp"
+#include "channel/fifo_channel.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace stpx::channel {
+namespace {
+
+using sim::Dir;
+
+struct ChannelCase {
+  std::string name;
+  std::function<std::unique_ptr<sim::IChannel>()> make;  // policy-free
+  bool fifo;  // only the head is deliverable
+};
+
+std::vector<ChannelCase> cases() {
+  return {
+      {"dup", [] { return std::make_unique<DupChannel>(); }, false},
+      {"del", [] { return std::make_unique<DelChannel>(); }, false},
+      {"dupdel", [] { return std::make_unique<DupDelChannel>(); }, false},
+      {"fifo", [] { return std::make_unique<FifoChannel>(); }, true},
+  };
+}
+
+class ChannelConformance : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  std::unique_ptr<sim::IChannel> make() { return cases()[GetParam()].make(); }
+  bool fifo() const { return cases()[GetParam()].fifo; }
+};
+
+TEST_P(ChannelConformance, C1_FreshAndResetAreEmpty) {
+  auto ch = make();
+  EXPECT_TRUE(ch->deliverable(Dir::kSenderToReceiver).empty());
+  EXPECT_TRUE(ch->deliverable(Dir::kReceiverToSender).empty());
+  ch->send(Dir::kSenderToReceiver, 1);
+  ch->reset();
+  EXPECT_TRUE(ch->deliverable(Dir::kSenderToReceiver).empty());
+  EXPECT_EQ(ch->copies(Dir::kSenderToReceiver, 1), 0u);
+}
+
+TEST_P(ChannelConformance, C2_DeliverableMatchesCopies) {
+  auto ch = make();
+  ch->send(Dir::kSenderToReceiver, 3);
+  ch->send(Dir::kSenderToReceiver, 3);
+  ch->send(Dir::kSenderToReceiver, 7);
+  const auto list = ch->deliverable(Dir::kSenderToReceiver);
+  std::set<sim::MsgId> listed(list.begin(), list.end());
+  EXPECT_EQ(listed.size(), list.size()) << "duplicate ids in deliverable()";
+  for (sim::MsgId id : listed) {
+    EXPECT_GT(ch->copies(Dir::kSenderToReceiver, id), 0u);
+  }
+  // Everything with copies > 0 among the ids we used must be listed —
+  // except on FIFO channels, where only the head is exposed.
+  if (!fifo()) {
+    EXPECT_TRUE(listed.count(3));
+    EXPECT_TRUE(listed.count(7));
+  } else {
+    EXPECT_EQ(list.size(), 1u);
+  }
+}
+
+TEST_P(ChannelConformance, C3_DeliverRequiresCopiesAndNeverCreates) {
+  auto ch = make();
+  EXPECT_THROW(ch->deliver(Dir::kSenderToReceiver, 5), ContractError);
+  ch->send(Dir::kSenderToReceiver, 5);
+  const auto before = ch->copies(Dir::kSenderToReceiver, 5);
+  ASSERT_GT(before, 0u);
+  ch->deliver(Dir::kSenderToReceiver, 5);
+  EXPECT_LE(ch->copies(Dir::kSenderToReceiver, 5), before);
+}
+
+TEST_P(ChannelConformance, C4_DropDiscipline) {
+  auto ch = make();
+  if (!ch->can_drop()) {
+    ch->send(Dir::kSenderToReceiver, 2);
+    EXPECT_THROW(ch->drop(Dir::kSenderToReceiver, 2), ContractError);
+    return;
+  }
+  EXPECT_THROW(ch->drop(Dir::kSenderToReceiver, 2), ContractError);
+  ch->send(Dir::kSenderToReceiver, 2);
+  ch->drop(Dir::kSenderToReceiver, 2);
+  EXPECT_EQ(ch->copies(Dir::kSenderToReceiver, 2), 0u);
+}
+
+TEST_P(ChannelConformance, C5_CloneIsDeep) {
+  auto ch = make();
+  ch->send(Dir::kSenderToReceiver, 1);
+  auto copy = ch->clone();
+  copy->send(Dir::kSenderToReceiver, 9);
+  // New id in the clone is invisible in the original.
+  EXPECT_EQ(ch->copies(Dir::kSenderToReceiver, 9), 0u);
+  EXPECT_GT(copy->copies(Dir::kSenderToReceiver, 9) +
+                (fifo() ? 1u : 0u),  // FIFO: 9 is behind the head
+            0u);
+  // Mutating the original does not touch the clone.
+  if (ch->copies(Dir::kSenderToReceiver, 1) > 0) {
+    ch->deliver(Dir::kSenderToReceiver, 1);
+  }
+  EXPECT_GT(copy->copies(Dir::kSenderToReceiver, 1), 0u);
+}
+
+TEST_P(ChannelConformance, C6_DirectionsIndependent) {
+  auto ch = make();
+  ch->send(Dir::kSenderToReceiver, 4);
+  EXPECT_EQ(ch->copies(Dir::kReceiverToSender, 4), 0u);
+  ch->send(Dir::kReceiverToSender, 6);
+  EXPECT_EQ(ch->copies(Dir::kSenderToReceiver, 6), 0u);
+  EXPECT_GT(ch->copies(Dir::kReceiverToSender, 6), 0u);
+}
+
+TEST_P(ChannelConformance, C7_SendNeverShrinksDeliverable) {
+  auto ch = make();
+  Rng rng(3 + GetParam());
+  std::size_t prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    ch->send(Dir::kSenderToReceiver,
+             static_cast<sim::MsgId>(rng.below(5)));
+    const auto now = ch->deliverable(Dir::kSenderToReceiver).size();
+    if (!fifo()) {
+      EXPECT_GE(now, prev) << "send removed deliverable ids";
+    } else {
+      EXPECT_GE(now, std::min<std::size_t>(prev, 1));
+    }
+    prev = now;
+  }
+}
+
+TEST_P(ChannelConformance, FuzzNeverViolatesInternalContracts) {
+  // Random legal operation soup: nothing may throw, and copies()/
+  // deliverable() must stay mutually consistent throughout.
+  auto ch = make();
+  Rng rng(99 + GetParam());
+  for (int i = 0; i < 3000; ++i) {
+    const Dir dir = rng.chance(0.5) ? Dir::kSenderToReceiver
+                                    : Dir::kReceiverToSender;
+    const int op = static_cast<int>(rng.range(0, 2));
+    if (op == 0) {
+      ch->send(dir, static_cast<sim::MsgId>(rng.below(6)));
+    } else {
+      const auto avail = ch->deliverable(dir);
+      if (avail.empty()) continue;
+      const sim::MsgId id = rng.pick(avail);
+      ASSERT_GT(ch->copies(dir, id), 0u);
+      if (op == 1) {
+        ch->deliver(dir, id);
+      } else if (ch->can_drop()) {
+        ch->drop(dir, id);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChannels, ChannelConformance,
+    ::testing::Range<std::size_t>(0, cases().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return cases()[info.param].name;
+    });
+
+}  // namespace
+}  // namespace stpx::channel

@@ -1,0 +1,512 @@
+// Tests for the knowledge layer: exploration soundness, Property 1a,
+// K_R evaluation, knowledge stability, t_i extraction, and decisive-tuple
+// discovery (Definition 1).
+#include <gtest/gtest.h>
+
+#include "channel/del_channel.hpp"
+#include "channel/dup_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "knowledge/explorer.hpp"
+#include "proto/encoded.hpp"
+#include "proto/suite.hpp"
+#include "seq/encoding.hpp"
+#include "seq/repetition_free.hpp"
+
+namespace stpx::knowledge {
+namespace {
+
+stp::SystemSpec repfree_dup_spec(int m) {
+  stp::SystemSpec spec;
+  spec.protocols = [m] { return proto::make_repfree_dup(m); };
+  spec.channel = [](std::uint64_t) {
+    return std::make_unique<channel::DupChannel>();
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 100000;
+  return spec;
+}
+
+Exploration explore_canonical(int m, std::uint64_t depth,
+                              std::size_t max_points = 300000) {
+  return explore(repfree_dup_spec(m), seq::canonical_repetition_free(m),
+                 {.max_depth = depth, .max_points = max_points});
+}
+
+TEST(Explorer, ProducesPointsForEveryInput) {
+  const auto ex = explore_canonical(2, 4);
+  ASSERT_FALSE(ex.points.empty());
+  std::set<std::size_t> inputs_seen;
+  for (const auto& p : ex.points) inputs_seen.insert(p.input_index);
+  EXPECT_EQ(inputs_seen.size(), ex.family.size());  // alpha(2) = 5 inputs
+}
+
+TEST(Explorer, InitialStatesAreReceiverIndistinguishable) {
+  // Property 1a: R's local state is identical in all initial global states,
+  // so all depth-0 points must share one ~_R class.
+  const auto ex = explore_canonical(2, 3);
+  std::set<std::string> initial_keys;
+  for (const auto& p : ex.points) {
+    if (p.depth == 0) initial_keys.insert(p.r_key);
+  }
+  EXPECT_EQ(initial_keys.size(), 1u);
+}
+
+TEST(Explorer, ReceiverKnowsNothingInitially) {
+  const auto ex = explore_canonical(2, 3);
+  for (const auto& p : ex.points) {
+    if (p.depth != 0) continue;
+    // The family contains <> and inputs disagreeing at item 0.
+    EXPECT_FALSE(receiver_knows_item(ex, p, 0).has_value());
+    EXPECT_EQ(receiver_known_prefix(ex, p), 0u);
+    break;
+  }
+}
+
+TEST(Explorer, KnowledgeAppearsAfterDelivery) {
+  // Depth 3 suffices for: S-step (send x0), deliver to R, R-step.  After R
+  // receives message d, every explored twin has x0 = d.
+  const auto ex = explore_canonical(2, 6);
+  bool some_point_knows = false;
+  for (const auto& p : ex.points) {
+    const auto known = receiver_knows_item(ex, p, 0);
+    if (known.has_value()) {
+      some_point_knows = true;
+      // Knowledge must be *correct*: the value matches this run's input.
+      const seq::Sequence& x = ex.family.members[p.input_index];
+      ASSERT_FALSE(x.empty());
+      EXPECT_EQ(*known, x[0]);
+    }
+  }
+  EXPECT_TRUE(some_point_knows);
+}
+
+TEST(Explorer, KnowledgeImpliesOutputConsistency) {
+  // Safety-side sanity: everything R has written must already be known.
+  const auto ex = explore_canonical(2, 6);
+  for (const auto& p : ex.points) {
+    EXPECT_TRUE(p.safety_ok);
+    EXPECT_GE(receiver_known_prefix(ex, p), p.output.size())
+        << "receiver wrote an item it does not know";
+  }
+}
+
+TEST(Explorer, SentSetsGrowMonotonically) {
+  const auto ex = explore_canonical(2, 5);
+  // Weak but useful: the initial points have empty sent sets.
+  for (const auto& p : ex.points) {
+    if (p.depth == 0) EXPECT_TRUE(p.sent_to_receiver.empty());
+  }
+}
+
+TEST(Explorer, TruncationFlagHonest) {
+  // A tiny cap must report truncation; a deep-enough exploration of a tiny
+  // family must not.
+  const auto tiny = explore(repfree_dup_spec(1),
+                            seq::canonical_repetition_free(1),
+                            {.max_depth = 3, .max_points = 4});
+  EXPECT_TRUE(tiny.truncated);
+}
+
+TEST(Explorer, LearnTimesMonotoneAndComplete) {
+  // Record a real run, replay it against the exploration, and check the
+  // t_i sequence: defined for every i (run completes within horizon),
+  // non-decreasing, and consistent with stability.
+  const int m = 2;
+  auto spec = repfree_dup_spec(m);
+  spec.engine.record_trace = true;
+  spec.engine.record_histories = true;
+  spec.scheduler = [](std::uint64_t) {
+    return std::make_unique<channel::RoundRobinScheduler>();
+  };
+  const seq::Sequence x{1, 0};
+  const sim::RunResult run = stp::run_one(spec, x, 0);
+  ASSERT_TRUE(run.completed);
+
+  // Depth must cover the full run.
+  const auto ex = explore(spec, seq::canonical_repetition_free(m),
+                          {.max_depth = run.stats.steps + 1,
+                           .max_points = 500000});
+  const auto times = learn_times(ex, run);
+  ASSERT_EQ(times.size(), x.size());
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    ASSERT_TRUE(times[i].has_value()) << "t_" << (i + 1) << " undefined";
+    EXPECT_GE(*times[i], prev);
+    prev = *times[i];
+  }
+  // R cannot know item 1 before it knows item 0 (prefix knowledge).
+  EXPECT_LE(*times[0], *times[1]);
+}
+
+TEST(Explorer, DecisiveTupleWithEmptyMessageSetAtStart) {
+  // All initial points: mutually ~_R, distinct inputs, M = {} — a trivial
+  // dup-decisive tuple of size alpha(2) = 5.
+  const auto ex = explore_canonical(2, 2);
+  const auto tuple = find_dup_decisive(ex, 5, 0);
+  ASSERT_TRUE(tuple.has_value());
+  EXPECT_GE(tuple->point_indices.size(), 5u);
+  EXPECT_TRUE(tuple->messages.empty());
+}
+
+TEST(Explorer, DecisiveTupleWithOneBurnedMessage) {
+  // After S sends its first message but before any delivery, R still sees
+  // nothing, so runs of <0 ...> and <0> (both send message 0) plus any
+  // other input whose first send is 0... at minimum the pair {<0>, <0 1>}
+  // forms a dup-decisive tuple with M = {0} (Definition 1 with ell = 1).
+  const auto ex = explore_canonical(2, 4);
+  const auto tuple = find_dup_decisive(ex, 2, 1);
+  ASSERT_TRUE(tuple.has_value());
+  EXPECT_GE(tuple->point_indices.size(), 2u);
+  ASSERT_EQ(tuple->messages.size(), 1u);
+  // All points in the tuple really did send that message.
+  for (std::size_t idx : tuple->point_indices) {
+    const auto& sent = ex.points[idx].sent_to_receiver;
+    EXPECT_TRUE(std::find(sent.begin(), sent.end(), tuple->messages[0]) !=
+                sent.end());
+  }
+  // And their inputs are mutually distinct.
+  std::set<seq::Sequence> inputs;
+  for (std::size_t idx : tuple->point_indices) {
+    inputs.insert(ex.family.members[ex.points[idx].input_index]);
+  }
+  EXPECT_EQ(inputs.size(), tuple->point_indices.size());
+}
+
+TEST(Explorer, NoFullAlphabetDecisiveTupleForValidProtocol) {
+  // Theorem 1's proof drives the construction to |M| = m only when
+  // |X| > alpha(m).  For the exactly-alpha(m) canonical family the protocol
+  // is correct, so no ~_R class with distinct inputs should have burned the
+  // whole alphabet *and* still be indistinguishable... at shallow depth.
+  // (At m = 2 the full-alphabet tuple would need both messages sent in two
+  // runs with different inputs and identical R views: sending message 1
+  // requires an ack of message 0, which R only produces after receiving 0 —
+  // after which runs of <0> and <1> are distinguishable.)
+  const auto ex = explore_canonical(2, 8);
+  const auto tuple = find_dup_decisive(ex, 2, 2);
+  if (tuple.has_value()) {
+    // If one exists, the inputs must at least be prefix-comparable (no
+    // safety threat) — check and report.
+    ASSERT_EQ(tuple->point_indices.size(), 2u);
+    const auto& xa =
+        ex.family.members[ex.points[tuple->point_indices[0]].input_index];
+    const auto& xb =
+        ex.family.members[ex.points[tuple->point_indices[1]].input_index];
+    EXPECT_FALSE(seq::prefix_incomparable(xa, xb))
+        << "prefix-incomparable full-alphabet decisive tuple found for a "
+           "correct protocol: " << seq::to_string(xa) << " vs "
+        << seq::to_string(xb);
+  }
+}
+
+stp::SystemSpec repfree_del_spec(int m) {
+  stp::SystemSpec spec;
+  spec.protocols = [m] { return proto::make_repfree_del(m); };
+  spec.channel = [](std::uint64_t) {
+    return std::make_unique<channel::DelChannel>();
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 100000;
+  return spec;
+}
+
+TEST(DelDecisive, RequiresActualCopiesInFlight) {
+  // On the deletion channel, after S sends its one copy of message 0 in two
+  // runs with distinct inputs and nothing is delivered, the pair is
+  // del-decisive with n = 1...
+  const auto ex = explore(repfree_del_spec(2),
+                          seq::canonical_repetition_free(2),
+                          {.max_depth = 4, .max_points = 300000});
+  const auto one_copy = find_del_decisive(ex, 2, 1, 1);
+  ASSERT_TRUE(one_copy.has_value());
+  EXPECT_EQ(one_copy->messages.size(), 1u);
+  // ...and with retransmission, even n = 2 copies are bankable in depth 4
+  // (two sender steps both sending message 0).
+  const auto two_copies = find_del_decisive(ex, 2, 1, 2);
+  ASSERT_TRUE(two_copies.has_value());
+  // But n = 5 copies cannot exist within 4 steps.
+  EXPECT_FALSE(find_del_decisive(ex, 2, 1, 5).has_value());
+}
+
+TEST(DelDecisive, DeliveredCopiesNoLongerCount) {
+  // The dup-decisive finder counts *ever sent*; the del finder must count
+  // sent-minus-delivered.  At any point where R has received message 0, the
+  // copy is consumed, so a del-decisive tuple over {<0>, <0 1>} with the
+  // message still in flight must sit strictly before the delivery.
+  const auto ex = explore(repfree_del_spec(2),
+                          seq::canonical_repetition_free(2),
+                          {.max_depth = 5, .max_points = 300000});
+  const auto tuple = find_del_decisive(ex, 2, 1, 1);
+  ASSERT_TRUE(tuple.has_value());
+  for (std::size_t idx : tuple->point_indices) {
+    // No point in the tuple can have an output yet: writing requires
+    // receiving, and receiving consumes the only copy while also splitting
+    // the ~_R class by input.
+    EXPECT_TRUE(ex.points[idx].output.empty());
+  }
+}
+
+// ------------------------------------------------------- sender knowledge --
+
+TEST(SenderKnowledge, InitiallyKnowsNothingAboutWrites) {
+  const auto ex = explore_canonical(2, 4);
+  for (const auto& p : ex.points) {
+    if (p.depth != 0) continue;
+    EXPECT_EQ(sender_known_written(ex, p), 0u);
+    EXPECT_FALSE(sender_knows_receiver_knows(ex, p, 0));
+  }
+}
+
+TEST(SenderKnowledge, AckDeliveryCreatesNestedKnowledge) {
+  // Explore deep enough for: S send, deliver, R write+ack, ack deliver.
+  const auto ex = explore_canonical(2, 6);
+  bool some_nested = false;
+  for (const auto& p : ex.points) {
+    if (sender_knows_receiver_knows(ex, p, 0)) {
+      some_nested = true;
+      // Nested knowledge implies plain receiver knowledge at every ~_S twin
+      // — in particular at p itself.
+      EXPECT_GE(receiver_known_prefix(ex, p), 1u);
+      // And the sender must know at least one write happened.
+      EXPECT_GE(sender_known_written(ex, p), 1u);
+    }
+  }
+  EXPECT_TRUE(some_nested);
+}
+
+TEST(SenderKnowledge, HierarchyNeverInverts) {
+  // K_S K_R(x_i) -> K_R(x_i) at every explored point (S knowing that R
+  // knows is strictly stronger than R knowing).
+  const auto ex = explore_canonical(2, 6);
+  for (const auto& p : ex.points) {
+    std::size_t nested = 0;
+    while (nested < 2 && sender_knows_receiver_knows(ex, p, nested)) {
+      ++nested;
+    }
+    EXPECT_LE(nested, receiver_known_prefix(ex, p));
+  }
+}
+
+TEST(NestedKnowledge, KnowsOperatorComposesCorrectly) {
+  const auto ex = explore_canonical(2, 6);
+  // knows(R, fact) must agree with receiver_knows_item on every point.
+  for (const auto& p : ex.points) {
+    const seq::Sequence& x = ex.family.members[p.input_index];
+    if (x.empty()) continue;
+    const auto kr = knows(Process::kReceiver, fact_item_is(0, x[0]));
+    EXPECT_EQ(kr(ex, p), receiver_knows_item(ex, p, 0).has_value());
+  }
+}
+
+TEST(NestedKnowledge, ChainDepthMatchesPrimitives) {
+  const auto ex = explore_canonical(2, 6);
+  for (const auto& p : ex.points) {
+    const std::size_t chain = knowledge_chain_depth(ex, p, 0, 2);
+    const bool kr = receiver_knows_item(ex, p, 0).has_value();
+    const bool ksr = sender_knows_receiver_knows(ex, p, 0);
+    EXPECT_EQ(chain >= 1, kr);
+    EXPECT_EQ(chain >= 2, kr && ksr);
+  }
+}
+
+TEST(NestedKnowledge, FactWrittenAtLeast) {
+  const auto ex = explore_canonical(2, 5);
+  for (const auto& p : ex.points) {
+    EXPECT_TRUE(fact_written_at_least(0)(ex, p));
+    EXPECT_EQ(fact_written_at_least(1)(ex, p), p.output.size() >= 1);
+    // K_S(written >= n) must agree with sender_known_written.
+    const auto ks1 =
+        knows(Process::kSender, fact_written_at_least(1))(ex, p);
+    EXPECT_EQ(ks1, sender_known_written(ex, p) >= 1);
+  }
+}
+
+TEST(NestedKnowledge, ChainNeverExceedsMessageCount) {
+  // Each rung of the chain needs at least one more delivered message, so
+  // within depth d of the run tree the chain is bounded by d.
+  const auto ex = explore_canonical(2, 6);
+  for (const auto& p : ex.points) {
+    const std::size_t chain = knowledge_chain_depth(ex, p, 0, 4);
+    EXPECT_LE(chain, p.depth);
+  }
+}
+
+TEST(SenderKnowledge, SenderClassesPartitionPoints) {
+  const auto ex = explore_canonical(2, 4);
+  std::size_t total = 0;
+  for (const auto& [key, indices] : ex.by_s_history) {
+    (void)key;
+    total += indices.size();
+  }
+  EXPECT_EQ(total, ex.points.size());
+}
+
+// ------------------------------------------------------------- exhaustive --
+
+TEST(ExhaustiveSafety, CorrectProtocolCleanToHorizon) {
+  // Small-model certainty for T2: EVERY schedule up to depth 8 keeps every
+  // canonical input safe.
+  const auto verdict = exhaustive_safety(
+      repfree_dup_spec(2), seq::canonical_repetition_free(2),
+      {.max_depth = 8, .max_points = 500000});
+  EXPECT_FALSE(verdict.violation_found);
+  EXPECT_GT(verdict.points_checked, 1000u);
+}
+
+TEST(ExhaustiveSafety, FindsWraparoundViolationInModKStenning) {
+  // mod-2 Stenning on a reordering channel: exhaustive search finds the
+  // wraparound corruption no matter how rare it is under random schedules.
+  stp::SystemSpec spec;
+  spec.protocols = [] { return proto::make_modk_stenning(2, 2); };
+  spec.channel = [](std::uint64_t) {
+    return std::make_unique<channel::DelChannel>();
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 100000;
+
+  const seq::Family family{seq::Domain{2}, {seq::Sequence{0, 1, 1}}};
+  const auto verdict = exhaustive_safety(
+      spec, family, {.max_depth = 14, .max_points = 3000000});
+  EXPECT_TRUE(verdict.violation_found);
+  if (verdict.violation_found) {
+    // The violating output must disagree with X = <0 1 1> at some position.
+    EXPECT_FALSE(seq::is_prefix(verdict.violating_output,
+                                family.members[0]));
+  }
+}
+
+// --------------------------------------------------------------- deadlock --
+
+TEST(Deadlock, CorrectProtocolHasNoneWithinHorizon) {
+  const auto verdict = exhaustive_deadlock(
+      repfree_dup_spec(2), seq::canonical_repetition_free(2),
+      {.max_depth = 8, .max_points = 100000});
+  EXPECT_FALSE(verdict.deadlock_found);
+  EXPECT_GT(verdict.points_checked, 100u);
+}
+
+TEST(Deadlock, OverfullKnowledgeReceiverCertifiablyStarves) {
+  // The decisive-stall of T3, upgraded to a certificate: with the colliding
+  // table, some reachable state of the <0 0> run is information-quiescent
+  // and incomplete — no continuation can ever deliver the missing item.
+  auto enc = seq::try_build_encoding(seq::canonical_repetition_free(2), 2);
+  ASSERT_TRUE(enc.has_value());
+  std::size_t donor = SIZE_MAX;
+  for (std::size_t i = 0; i < enc->inputs.size(); ++i) {
+    if (enc->inputs[i].size() == 2 && enc->inputs[i][0] == 0) donor = i;
+  }
+  enc->inputs.push_back(seq::Sequence{0, 0});
+  enc->words.push_back(enc->words[donor]);
+  auto table = std::make_shared<const seq::Encoding>(std::move(*enc));
+
+  stp::SystemSpec spec;
+  spec.protocols = [table] {
+    proto::ProtocolPair pair;
+    pair.sender = std::make_unique<proto::EncodedSender>(table, false);
+    pair.receiver = std::make_unique<proto::KnowledgeReceiver>(table, false);
+    return pair;
+  };
+  spec.channel = [](std::uint64_t) {
+    return std::make_unique<channel::DupChannel>();
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 100000;
+
+  const seq::Family just_the_victim{seq::Domain{2}, {seq::Sequence{0, 0}}};
+  const auto verdict = exhaustive_deadlock(
+      spec, just_the_victim, {.max_depth = 12, .max_points = 300000});
+  EXPECT_TRUE(verdict.deadlock_found);
+  if (verdict.deadlock_found) {
+    // Stuck strictly short of the input.
+    EXPECT_LT(verdict.stuck_output.size(), 2u);
+  }
+}
+
+// -------------------------------------------------- targeted compatibility --
+
+TEST(Targeted, EmptyViewCompatibleWithEverything) {
+  const auto spec = repfree_dup_spec(2);
+  const auto family = seq::canonical_repetition_free(2);
+  const auto r = compatible_inputs(spec, family, {}, 100, 10000);
+  EXPECT_TRUE(r.exhaustive);
+  for (bool c : r.compatible) EXPECT_TRUE(c);
+}
+
+TEST(Targeted, ViewAfterReceivingZeroExcludesMismatchedInputs) {
+  // R's view: received message 0.  Compatible inputs are exactly those
+  // whose first item is 0 — <0> and <0 1> — since the repfree sender's
+  // first send is its first item.
+  const auto spec = repfree_dup_spec(2);
+  const auto family = seq::canonical_repetition_free(2);
+  sim::LocalHistory view;
+  view.push_back(
+      sim::LocalEvent{sim::LocalEvent::Kind::kRecv, -1, 0, {}});
+  const auto r = compatible_inputs(spec, family, view, 200, 20000);
+  ASSERT_EQ(r.compatible.size(), family.size());
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    const auto& x = family.members[i];
+    const bool starts_with_zero = !x.empty() && x[0] == 0;
+    EXPECT_EQ(r.compatible[i], starts_with_zero)
+        << seq::to_string(x);
+  }
+}
+
+TEST(Targeted, LearnTimesMatchExplorationMethod) {
+  // The targeted evaluator must agree with the exhaustive one on a run both
+  // can handle.
+  const int m = 2;
+  auto spec = repfree_dup_spec(m);
+  spec.engine.record_trace = true;
+  spec.engine.record_histories = true;
+  spec.scheduler = [](std::uint64_t) {
+    return std::make_unique<channel::RoundRobinScheduler>();
+  };
+  const seq::Sequence x{1, 0};
+  const sim::RunResult run = stp::run_one(spec, x, 0);
+  ASSERT_TRUE(run.completed);
+
+  const auto family = seq::canonical_repetition_free(m);
+  const auto ex = explore(spec, family,
+                          {.max_depth = run.stats.steps + 1,
+                           .max_points = 1000000});
+  const auto exhaustive = learn_times(ex, run);
+  const auto targeted = learn_times_targeted(
+      spec, family, run, run.stats.steps * 3 + 50, 50000);
+  ASSERT_EQ(exhaustive.size(), targeted.size());
+  for (std::size_t i = 0; i < exhaustive.size(); ++i) {
+    ASSERT_TRUE(exhaustive[i].has_value());
+    ASSERT_TRUE(targeted[i].has_value());
+    EXPECT_EQ(*exhaustive[i], *targeted[i]) << "t_" << (i + 1);
+  }
+}
+
+TEST(Targeted, ScalesToRunsBeyondExplorationHorizon) {
+  // A deep run (m = 3 under a fair scheduler) is far beyond what explore()
+  // can enumerate; the targeted method must still produce full learn times.
+  const int m = 3;
+  auto spec = repfree_dup_spec(m);
+  spec.engine.record_trace = true;
+  spec.engine.record_histories = true;
+  const seq::Sequence x{2, 0, 1};
+  const sim::RunResult run = stp::run_one(spec, x, 3);
+  ASSERT_TRUE(run.completed);
+  const auto family = seq::canonical_repetition_free(m);
+  const auto times = learn_times_targeted(spec, family, run,
+                                          run.stats.steps * 3 + 50, 200000);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    ASSERT_TRUE(times[i].has_value()) << "t_" << (i + 1);
+    EXPECT_GE(*times[i], prev);
+    prev = *times[i];
+  }
+}
+
+}  // namespace
+}  // namespace stpx::knowledge

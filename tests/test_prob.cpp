@@ -1,0 +1,143 @@
+// Tests for the probabilistic extension (§6 future work): tagged protocols
+// carrying arbitrary sequences with small error probability.
+#include <gtest/gtest.h>
+
+#include "channel/del_channel.hpp"
+#include "channel/dup_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "prob/random_tag.hpp"
+#include "sim/engine.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::prob {
+namespace {
+
+sim::RunResult run_pair(proto::ProtocolPair pair,
+                        std::unique_ptr<sim::IChannel> ch,
+                        std::uint64_t sched_seed, const seq::Sequence& x,
+                        std::uint64_t max_steps = 200000) {
+  sim::EngineConfig cfg;
+  cfg.max_steps = max_steps;
+  sim::Engine e(std::move(pair.sender), std::move(pair.receiver),
+                std::move(ch),
+                std::make_unique<channel::FairRandomScheduler>(sched_seed),
+                cfg);
+  return e.run(x);
+}
+
+TEST(Tagged, CarriesRepeatedItemsOnDupChannel) {
+  // <0 0 0> is far outside the repetition-free family; with enough tag bits
+  // it goes through (tags distinct with high probability).
+  const seq::Sequence x{0, 0, 0, 1, 1, 0};
+  const auto r = run_pair(make_tagged_dup(2, 10, TagPolicy::kRandom, 7),
+                          std::make_unique<channel::DupChannel>(), 11, x);
+  EXPECT_TRUE(r.safety_ok);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.output, x);
+}
+
+TEST(Tagged, CarriesRepeatedItemsOnDelChannelWithLoss) {
+  const seq::Sequence x{2, 2, 1, 0, 0, 0, 2, 1};
+  for (std::uint64_t seed : {31ULL, 32ULL}) {
+    const auto r = run_pair(
+        make_tagged_del(3, 10, TagPolicy::kRandom, seed),
+        std::make_unique<channel::DelChannel>(0.3, seed), seed, x, 400000);
+    ASSERT_TRUE(r.safety_ok && r.completed) << "seed=" << seed;
+  }
+}
+
+TEST(Tagged, WordReflectsTagsAndItems) {
+  TaggedSender sender(3, 4, TagPolicy::kRoundRobin, 0, false);
+  sender.start({1, 2, 1});
+  ASSERT_EQ(sender.word().size(), 3u);
+  // Round-robin tags: 0, 1, 2 -> msgs 0*3+1, 1*3+2, 2*3+1.
+  EXPECT_EQ(sender.word()[0], 1);
+  EXPECT_EQ(sender.word()[1], 5);
+  EXPECT_EQ(sender.word()[2], 7);
+}
+
+TEST(Tagged, ZeroTagBitsDegeneratesToRepFree) {
+  // k = 0: one tag, so only repetition-free inputs survive — a repeated
+  // item collides with itself deterministically.
+  const seq::Sequence ok{0, 1, 2};
+  const auto good = run_pair(make_tagged_dup(3, 0, TagPolicy::kRandom, 1),
+                             std::make_unique<channel::DupChannel>(), 3, ok);
+  EXPECT_TRUE(good.safety_ok && good.completed);
+
+  const seq::Sequence bad{0, 0};
+  const auto broken =
+      run_pair(make_tagged_dup(3, 0, TagPolicy::kRandom, 1),
+               std::make_unique<channel::DupChannel>(), 3, bad, 20000);
+  EXPECT_FALSE(broken.completed);  // second 0 is indistinguishable
+}
+
+TEST(Tagged, RoundRobinFailsDeterministicallyAtWrapDistance) {
+  // Items equal at distance exactly 2^k share (tag, item): guaranteed
+  // failure — the ablation showing randomization buys worst-case smoothing.
+  const int k = 2;  // 4 tags
+  seq::Sequence x(9, seq::DataItem{0});  // same item everywhere; 9 > 2^k
+  const auto r = run_pair(make_tagged_dup(2, k, TagPolicy::kRoundRobin, 1),
+                          std::make_unique<channel::DupChannel>(), 5, x,
+                          30000);
+  EXPECT_FALSE(r.completed && r.safety_ok);
+
+  // Random tags with plenty of bits succeed on the same input w.h.p.
+  const auto rnd = run_pair(make_tagged_dup(2, 12, TagPolicy::kRandom, 2),
+                            std::make_unique<channel::DupChannel>(), 5, x);
+  EXPECT_TRUE(rnd.completed && rnd.safety_ok);
+}
+
+TEST(Tagged, ErrorRateDecaysWithTagBits) {
+  // Empirical birthday curve: transfer failure rate over random inputs
+  // falls as k grows.  (Failure = safety violation or non-completion.)
+  const int d = 2;
+  const std::size_t L = 16;
+  Rng input_rng(101);
+  auto failure_rate = [&](int k) {
+    int failures = 0;
+    const int trials = 60;
+    for (int t = 0; t < trials; ++t) {
+      seq::Sequence x(L);
+      for (auto& v : x) v = static_cast<seq::DataItem>(input_rng.below(d));
+      const auto r = run_pair(
+          make_tagged_dup(d, k, TagPolicy::kRandom,
+                          static_cast<std::uint64_t>(t) + 1),
+          std::make_unique<channel::DupChannel>(),
+          static_cast<std::uint64_t>(t) + 1000, x, 60000);
+      if (!r.safety_ok || !r.completed) ++failures;
+    }
+    return static_cast<double>(failures) / trials;
+  };
+  const double at_3 = failure_rate(3);
+  const double at_8 = failure_rate(8);
+  // Expected rates ~ (equal-item pairs)/2^k: near-certain at k = 3 for 16
+  // positions over a binary domain, ~0.2 at k = 8.
+  EXPECT_GT(at_3, 0.5);
+  EXPECT_LT(at_8, 0.45);
+  EXPECT_LT(at_8, at_3);
+}
+
+TEST(Tagged, UnionBoundFormula) {
+  EXPECT_DOUBLE_EQ(collision_upper_bound(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(collision_upper_bound(16, 4), 120.0 / 16.0);
+  EXPECT_LT(collision_upper_bound(16, 12), 0.03);
+}
+
+TEST(Tagged, ValidatesParameters) {
+  EXPECT_THROW(TaggedSender(0, 4, TagPolicy::kRandom, 1, false),
+               ContractError);
+  EXPECT_THROW(TaggedSender(2, 30, TagPolicy::kRandom, 1, false),
+               ContractError);
+  EXPECT_THROW(TaggedReceiver(2, -1, false), ContractError);
+}
+
+TEST(Tagged, SeedsAreReproducible) {
+  TaggedSender a(3, 8, TagPolicy::kRandom, 42, false);
+  TaggedSender b(3, 8, TagPolicy::kRandom, 42, false);
+  a.start({0, 1, 0, 2});
+  b.start({0, 1, 0, 2});
+  EXPECT_EQ(a.word(), b.word());
+}
+
+}  // namespace
+}  // namespace stpx::prob

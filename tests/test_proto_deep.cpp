@@ -1,0 +1,366 @@
+// Deep per-protocol edge cases: scripted schedules driving each protocol
+// through its tricky corners — stale acks, duplicate floods, window
+// boundaries, phase transitions, restarts.
+#include <gtest/gtest.h>
+
+#include "channel/del_channel.hpp"
+#include "channel/dup_channel.hpp"
+#include "channel/fifo_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "proto/suite.hpp"
+#include "seq/repetition_free.hpp"
+#include "sim/engine.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::proto {
+namespace {
+
+using sim::Action;
+using sim::ActionKind;
+
+constexpr Action kS{ActionKind::kSenderStep, -1};
+constexpr Action kR{ActionKind::kReceiverStep, -1};
+Action dR(sim::MsgId m) { return {ActionKind::kDeliverToReceiver, m}; }
+Action dS(sim::MsgId m) { return {ActionKind::kDeliverToSender, m}; }
+
+sim::Engine engine_with(ProtocolPair pair, std::unique_ptr<sim::IChannel> ch,
+                        std::uint64_t max_steps = 50000) {
+  sim::EngineConfig cfg;
+  cfg.max_steps = max_steps;
+  return sim::Engine(std::move(pair.sender), std::move(pair.receiver),
+                     std::move(ch),
+                     std::make_unique<channel::RoundRobinScheduler>(), cfg);
+}
+
+// ---------------------------------------------------------------- repfree --
+
+TEST(RepFreeDeep, StaleAckReplayDoesNotSkipItems) {
+  // Drive manually on a dup channel: deliver the FIRST ack again later; the
+  // sender must not advance past the second item on it.
+  auto e = engine_with(make_repfree_dup(3), std::make_unique<channel::DupChannel>());
+  e.begin({0, 1, 2});
+  e.apply(kS);        // sends 0
+  e.apply(dR(0));
+  e.apply(kR);        // writes 0, acks 0
+  e.apply(dS(0));     // sender advances to item 1
+  e.apply(kS);        // sends 1
+  e.apply(dS(0));     // STALE ack replay — must be ignored
+  e.apply(kS);        // sender step: still waiting on ack(1), sends nothing new
+  EXPECT_EQ(e.output(), seq::Sequence{0});
+  e.apply(dR(1));
+  e.apply(kR);
+  e.apply(dS(1));
+  e.apply(kS);  // sends 2
+  e.apply(dR(2));
+  e.apply(kR);
+  EXPECT_TRUE(e.safety_ok());
+  EXPECT_EQ(e.output(), (seq::Sequence{0, 1, 2}));
+}
+
+TEST(RepFreeDeep, DuplicateDataFloodIgnored) {
+  auto e = engine_with(make_repfree_dup(2), std::make_unique<channel::DupChannel>());
+  e.begin({1, 0});
+  e.apply(kS);  // sends 1
+  for (int i = 0; i < 10; ++i) e.apply(dR(1));  // flood
+  e.apply(kR);
+  EXPECT_EQ(e.output(), seq::Sequence{1});  // exactly one write
+  EXPECT_TRUE(e.safety_ok());
+}
+
+TEST(RepFreeDeep, RestartFullyResetsState) {
+  auto pair = make_repfree_del(4);
+  sim::EngineConfig cfg;
+  cfg.max_steps = 50000;
+  sim::Engine e(std::move(pair.sender), std::move(pair.receiver),
+                std::make_unique<channel::DelChannel>(),
+                std::make_unique<channel::FairRandomScheduler>(
+                    std::uint64_t{5}),
+                cfg);
+  const auto first = e.run({0, 1, 2});
+  ASSERT_TRUE(first.completed);
+  // Re-begin with a different sequence: no residue from the first run.
+  const auto second = e.run({3, 2, 1, 0});
+  EXPECT_TRUE(second.completed);
+  EXPECT_TRUE(second.safety_ok);
+  EXPECT_EQ(second.output, (seq::Sequence{3, 2, 1, 0}));
+}
+
+TEST(RepFreeDeep, FullDomainLengthSequence) {
+  // The longest member of the canonical family: a permutation of all m
+  // items.
+  const int m = 10;
+  seq::Sequence x;
+  for (int i = m - 1; i >= 0; --i) x.push_back(i);
+  auto e = engine_with(make_repfree_del(m),
+                       std::make_unique<channel::DelChannel>());
+  const auto r = e.run(x);
+  EXPECT_TRUE(r.completed && r.safety_ok);
+}
+
+TEST(RepFreeDeep, ReceiverRejectsOutOfAlphabetMessage) {
+  RepFreeReceiver r(3, RepFreeMode::kDup);
+  r.start();
+  EXPECT_THROW(r.on_deliver(3), ContractError);
+  EXPECT_THROW(r.on_deliver(-1), ContractError);
+}
+
+// ---------------------------------------------------------------- windows --
+
+TEST(WindowDeep, GoBackNWindowOneIsStopAndWait) {
+  // W = 1 degenerates to Stenning-style stop-and-wait: at most one distinct
+  // outstanding data message at a time.
+  auto e = engine_with(make_go_back_n(2, 1),
+                       std::make_unique<channel::DelChannel>());
+  e.begin({0, 1, 0});
+  e.apply(kS);
+  e.apply(kS);
+  e.apply(kS);
+  // All three sends must be copies of seqno 0's message (id 0*2+0 = 0).
+  EXPECT_EQ(e.channel().copies(sim::Dir::kSenderToReceiver, 0), 3u);
+  EXPECT_TRUE(e.channel().deliverable(sim::Dir::kSenderToReceiver).size() == 1);
+}
+
+TEST(WindowDeep, SelectiveRepeatBuffersOutOfOrderWithinWindow) {
+  auto e = engine_with(make_selective_repeat(2, 4),
+                       std::make_unique<channel::DelChannel>());
+  e.begin({0, 1, 1, 0});
+  // Round-robin sender cycles through the window; collect two distinct
+  // messages then deliver them out of order.
+  e.apply(kS);  // seq 0
+  e.apply(kS);  // seq 1
+  const auto avail = e.channel().deliverable(sim::Dir::kSenderToReceiver);
+  ASSERT_EQ(avail.size(), 2u);
+  // Deliver seq 1 first: buffered, not written.
+  e.apply(dR(avail[1]));
+  e.apply(kR);
+  EXPECT_TRUE(e.output().empty());
+  // Now seq 0: both drain in order.
+  e.apply(dR(avail[0]));
+  e.apply(kR);
+  EXPECT_EQ(e.output(), (seq::Sequence{0, 1}));
+  EXPECT_TRUE(e.safety_ok());
+}
+
+TEST(WindowDeep, SelectiveRepeatRejectsBeyondWindow) {
+  SelectiveRepeatReceiver r(2, 2);
+  r.start();
+  // Window is [0, 2): seqno 5 must be discarded (still acked though).
+  r.on_deliver(5 * 2 + 1);
+  const auto eff = r.on_step();
+  EXPECT_TRUE(eff.writes.empty());
+  ASSERT_TRUE(eff.send.has_value());
+  EXPECT_EQ(*eff.send, 5);  // the ack is still sent (sender may need it)
+}
+
+TEST(WindowDeep, CumulativeAckReleasesWholeWindow) {
+  GoBackNSender s(2, 4);
+  s.start({0, 1, 0, 1, 0});
+  // Ack "3 items written" must advance base straight to 3.
+  s.on_deliver(3);
+  EXPECT_EQ(s.acked(), 3u);
+  // A stale smaller ack must not regress it.
+  s.on_deliver(1);
+  EXPECT_EQ(s.acked(), 3u);
+}
+
+TEST(WindowDeep, WindowValidation) {
+  EXPECT_THROW(GoBackNSender(2, 0), ContractError);
+  EXPECT_THROW(SelectiveRepeatSender(2, -1), ContractError);
+  EXPECT_THROW(SelectiveRepeatReceiver(0, 2), ContractError);
+}
+
+// ----------------------------------------------------------------- hybrid --
+
+TEST(HybridDeep, PhaseTransitionsOnTimeout) {
+  auto pair = make_hybrid(2, /*timeout=*/3);
+  auto* sender = dynamic_cast<HybridSender*>(pair.sender.get());
+  ASSERT_NE(sender, nullptr);
+  auto e = engine_with(std::move(pair), std::make_unique<channel::FifoChannel>());
+  e.begin({0, 1});
+  EXPECT_EQ(sender->phase(), HybridPhase::kAbp);
+  // Starve the sender of acks: step it past the timeout.
+  for (int i = 0; i < 6; ++i) e.apply(kS);
+  EXPECT_EQ(sender->phase(), HybridPhase::kReverse);
+}
+
+TEST(HybridDeep, EndMarkerIsIdempotent) {
+  HybridReceiver r(2);
+  r.start();
+  // Deliver reverse items for X = <0 1>: arrives 1 (bit 0) then 0 (bit 1).
+  r.on_deliver(2 * 2 + 0 * 2 + 1);  // reverse, bit 0, item 1
+  r.on_deliver(2 * 2 + 1 * 2 + 0);  // reverse, bit 1, item 0
+  r.on_deliver(4 * 2);              // END
+  auto eff = r.on_step();
+  EXPECT_EQ(eff.writes, (std::vector<seq::DataItem>{0, 1}));
+  // Duplicate END: no double writes.
+  r.on_deliver(4 * 2);
+  eff = r.on_step();
+  EXPECT_TRUE(eff.writes.empty());
+}
+
+TEST(HybridDeep, StaleAbpDataIgnoredDuringRecovery) {
+  HybridReceiver r(2);
+  r.start();
+  r.on_deliver(2 * 2 + 0 * 2 + 1);  // reverse item -> switches to recovery
+  EXPECT_EQ(r.phase(), HybridPhase::kReverse);
+  // A stale fast-path message must not produce a write now.
+  r.on_deliver(0 * 2 + 0);  // ABP bit 0, item 0
+  const auto eff = r.on_step();
+  EXPECT_TRUE(eff.writes.empty());
+}
+
+TEST(HybridDeep, SurvivesMultipleFaults) {
+  // Two total-loss faults: one during ABP, one during the reverse transfer.
+  auto pair = make_hybrid(3, 8);
+  sim::EngineConfig cfg;
+  cfg.max_steps = 400000;
+  sim::Engine e(std::move(pair.sender), std::move(pair.receiver),
+                std::make_unique<channel::FifoChannel>(),
+                std::make_unique<channel::RoundRobinScheduler>(), cfg);
+  const seq::Sequence x{0, 1, 2, 0, 1, 2, 0, 1};
+  e.begin(x);
+  while (e.output().size() < 2 && e.steps() < cfg.max_steps) e.step_once();
+  dynamic_cast<channel::FifoChannel&>(e.channel()).drop_everything();
+  for (int i = 0; i < 60; ++i) e.step_once();  // into the recovery phase
+  dynamic_cast<channel::FifoChannel&>(e.channel()).drop_everything();
+  e.run_to_completion();
+  EXPECT_TRUE(e.completed());
+  EXPECT_TRUE(e.safety_ok());
+}
+
+TEST(HybridDeep, SingleItemSequence) {
+  auto e = engine_with(make_hybrid(2, 8),
+                       std::make_unique<channel::FifoChannel>());
+  const auto r = e.run({1});
+  EXPECT_TRUE(r.completed && r.safety_ok);
+}
+
+// ------------------------------------------------------------------ block --
+
+TEST(BlockDeep, TransfersWholeSequenceOnFifo) {
+  auto e = engine_with(make_block(3, 2, 16),
+                       std::make_unique<channel::FifoChannel>());
+  const seq::Sequence x{2, 0, 1, 1, 0, 2, 2};  // odd length: padded block
+  const auto r = e.run(x);
+  EXPECT_TRUE(r.completed && r.safety_ok);
+  EXPECT_EQ(r.output, x);
+}
+
+TEST(BlockDeep, SurvivesLossAndDuplicationOnFifo) {
+  for (std::uint64_t seed : {301ULL, 302ULL, 303ULL}) {
+    auto pair = make_block(2, 3, 12);
+    sim::EngineConfig cfg;
+    cfg.max_steps = 200000;
+    sim::Engine e(std::move(pair.sender), std::move(pair.receiver),
+                  std::make_unique<channel::FifoChannel>(0.25, 0.25, seed),
+                  std::make_unique<channel::FairRandomScheduler>(seed), cfg);
+    const auto r = e.run({0, 1, 1, 0, 1, 0, 0});
+    ASSERT_TRUE(r.safety_ok && r.completed) << "seed=" << seed;
+  }
+}
+
+TEST(BlockDeep, WritesDrainOnePerStep) {
+  // The §2.4 point, observable: a delivered block conveys several items but
+  // the output tape advances one item per receiver step.
+  auto e = engine_with(make_block(2, 3, 6),
+                       std::make_unique<channel::FifoChannel>());
+  e.begin({1, 0, 1});
+  // Header handshake.
+  e.apply(kS);
+  e.apply(dR(2 * 8 + 3));  // header: |X| = 3
+  e.apply(kR);             // acks header
+  e.apply(dS(2));
+  // One block carries all three items.
+  e.apply(kS);
+  const auto avail = e.channel().deliverable(sim::Dir::kSenderToReceiver);
+  ASSERT_EQ(avail.size(), 1u);
+  e.apply(dR(avail[0]));
+  // Drain: exactly one write per receiver step.
+  e.apply(kR);
+  EXPECT_EQ(e.output().size(), 1u);
+  e.apply(kR);
+  EXPECT_EQ(e.output().size(), 2u);
+  e.apply(kR);
+  EXPECT_EQ(e.output(), (seq::Sequence{1, 0, 1}));
+  EXPECT_TRUE(e.safety_ok());
+}
+
+TEST(BlockDeep, EmptyAndMaxLengthInputs) {
+  auto e1 = engine_with(make_block(2, 2, 8),
+                        std::make_unique<channel::FifoChannel>());
+  EXPECT_TRUE(e1.run({}).completed);
+
+  seq::Sequence full(8, seq::DataItem{1});
+  auto e2 = engine_with(make_block(2, 2, 8),
+                        std::make_unique<channel::FifoChannel>());
+  const auto r = e2.run(full);
+  EXPECT_TRUE(r.completed && r.safety_ok);
+}
+
+TEST(BlockDeep, RejectsOversizeInput) {
+  BlockSender s(2, 2, 4);
+  EXPECT_THROW(s.start({0, 0, 0, 0, 0}), ContractError);
+}
+
+TEST(BlockDeep, PaddingNeverWritten) {
+  // |X| = 1 with block size 4: three padding items must not reach Y.
+  auto e = engine_with(make_block(2, 4, 4),
+                       std::make_unique<channel::FifoChannel>());
+  const auto r = e.run({1});
+  EXPECT_TRUE(r.completed && r.safety_ok);
+  EXPECT_EQ(r.output, seq::Sequence{1});
+}
+
+// ------------------------------------------------------------- stenning ---
+
+TEST(StenningDeep, AckOfFutureNeverHappensButStaleAcksHarmless) {
+  StenningSender s(2);
+  s.start({0, 1});
+  s.on_deliver(0);  // "zero items written": no-op
+  EXPECT_EQ(s.acked(), 0u);
+  s.on_deliver(2);  // both written
+  EXPECT_EQ(s.acked(), 2u);
+  s.on_deliver(1);  // stale: no regress
+  EXPECT_EQ(s.acked(), 2u);
+}
+
+TEST(StenningDeep, ReceiverIgnoresGapsAndDuplicates) {
+  StenningReceiver r(2);
+  r.start();
+  r.on_deliver(1 * 2 + 1);  // seq 1 before seq 0: gap, dropped
+  auto eff = r.on_step();
+  EXPECT_TRUE(eff.writes.empty());
+  r.on_deliver(0 * 2 + 0);  // seq 0
+  r.on_deliver(0 * 2 + 0);  // duplicate of seq 0
+  eff = r.on_step();
+  EXPECT_EQ(eff.writes, (std::vector<seq::DataItem>{0}));
+}
+
+// ----------------------------------------------------------------- abp ----
+
+TEST(AbpDeep, DuplicateDataReAcksOldBit) {
+  AbpReceiver r(2);
+  r.start();
+  r.on_deliver(0 * 2 + 1);  // bit 0, item 1: accepted
+  auto eff = r.on_step();
+  EXPECT_EQ(eff.writes, (std::vector<seq::DataItem>{1}));
+  EXPECT_EQ(eff.send, sim::MsgId{0});
+  // A duplicate of bit 0 must re-ack bit 0 (not advance).
+  r.on_deliver(0 * 2 + 1);
+  eff = r.on_step();
+  EXPECT_TRUE(eff.writes.empty());
+  EXPECT_EQ(eff.send, sim::MsgId{0});
+}
+
+TEST(AbpDeep, SenderIgnoresWrongBitAck) {
+  AbpSender s(2);
+  s.start({1, 0});
+  (void)s.on_step();
+  s.on_deliver(1);  // wrong bit
+  EXPECT_EQ(s.acked(), 0u);
+  s.on_deliver(0);  // right bit
+  EXPECT_EQ(s.acked(), 1u);
+}
+
+}  // namespace
+}  // namespace stpx::proto

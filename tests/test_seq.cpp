@@ -1,0 +1,441 @@
+// Unit and property tests for stpx/seq: the alpha function (three
+// independent computations), repetition-free enumeration and ranking, family
+// generators, and the prefix-monotone encoding machinery of §3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "seq/alpha.hpp"
+#include "seq/codec.hpp"
+#include "seq/encoding.hpp"
+#include "seq/family.hpp"
+#include "seq/repetition_free.hpp"
+#include "seq/types.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace stpx::seq {
+namespace {
+
+// ---------------------------------------------------------------- types --
+
+TEST(SeqTypes, PrefixBasics) {
+  EXPECT_TRUE(is_prefix({}, {}));
+  EXPECT_TRUE(is_prefix({}, {1, 2}));
+  EXPECT_TRUE(is_prefix({1}, {1, 2}));
+  EXPECT_TRUE(is_prefix({1, 2}, {1, 2}));
+  EXPECT_FALSE(is_prefix({2}, {1, 2}));
+  EXPECT_FALSE(is_prefix({1, 2, 3}, {1, 2}));
+}
+
+TEST(SeqTypes, PrefixIncomparable) {
+  EXPECT_FALSE(prefix_incomparable({}, {1}));
+  EXPECT_FALSE(prefix_incomparable({1, 2}, {1}));
+  EXPECT_TRUE(prefix_incomparable({1, 2}, {1, 3}));
+  EXPECT_TRUE(prefix_incomparable({0}, {1}));
+}
+
+TEST(SeqTypes, RepetitionFree) {
+  EXPECT_TRUE(repetition_free({}));
+  EXPECT_TRUE(repetition_free({3}));
+  EXPECT_TRUE(repetition_free({3, 1, 4}));
+  EXPECT_FALSE(repetition_free({3, 1, 3}));
+  EXPECT_FALSE(repetition_free({0, 0}));
+}
+
+TEST(SeqTypes, DomainMembership) {
+  const Domain d{3};
+  EXPECT_TRUE(in_domain({0, 1, 2}, d));
+  EXPECT_FALSE(in_domain({0, 3}, d));
+  EXPECT_FALSE(in_domain({-1}, d));
+  EXPECT_TRUE(in_domain({}, d));
+}
+
+TEST(SeqTypes, ToString) {
+  EXPECT_EQ(to_string({}), "<>");
+  EXPECT_EQ(to_string({2, 0, 1}), "<2 0 1>");
+}
+
+// ---------------------------------------------------------------- alpha --
+
+TEST(Alpha, SmallKnownValues) {
+  // alpha(m) = 1, 2, 5, 16, 65, 326, 1957, ... (OEIS A000522)
+  const std::uint64_t expected[] = {1, 2, 5, 16, 65, 326, 1957, 13700, 109601};
+  for (int m = 0; m <= 8; ++m) {
+    EXPECT_EQ(alpha_u64(m).value(), expected[m]) << "m=" << m;
+  }
+}
+
+TEST(Alpha, ClosedFormMatchesRecurrence) {
+  for (int m = 0; m <= 20; ++m) {
+    EXPECT_EQ(alpha_u64(m), alpha_recurrence_u64(m)) << "m=" << m;
+  }
+}
+
+TEST(Alpha, BigMatchesU64WhereBothDefined) {
+  for (int m = 0; m <= 20; ++m) {
+    const auto narrow = alpha_u64(m);
+    ASSERT_TRUE(narrow.has_value()) << "m=" << m;
+    EXPECT_EQ(alpha_big(m).to_u64(), *narrow) << "m=" << m;
+  }
+}
+
+TEST(Alpha, U64OverflowsAtTwentyOne) {
+  EXPECT_TRUE(alpha_u64(20).has_value());
+  EXPECT_FALSE(alpha_u64(21).has_value());
+  EXPECT_FALSE(alpha_recurrence_u64(21).has_value());
+  // The big-int version keeps going.
+  EXPECT_FALSE(alpha_big(21).fits_u64());
+  EXPECT_GT(alpha_big(21), alpha_big(20));
+}
+
+TEST(Alpha, EqualsFloorOfETimesFactorial) {
+  // alpha(m) = floor(e * m!) for m >= 1: e*m! = alpha(m) + sum_{k>m} m!/k!
+  // and the tail is strictly less than 1.  (A classic identity for OEIS
+  // A000522; long double precision covers m <= 15.)
+  long double factorial = 1.0L;
+  for (int m = 1; m <= 15; ++m) {
+    factorial *= m;
+    const auto expected = static_cast<std::uint64_t>(
+        std::floor(2.718281828459045235360287L * factorial));
+    EXPECT_EQ(alpha_u64(m).value(), expected) << "m=" << m;
+  }
+}
+
+TEST(Alpha, MatchesEnumerationCount) {
+  for (int m = 0; m <= 7; ++m) {
+    EXPECT_EQ(all_repetition_free(m).size(), alpha_u64(m).value())
+        << "m=" << m;
+  }
+}
+
+TEST(Alpha, FallingFactorial) {
+  EXPECT_EQ(falling_factorial_u64(5, 0).value(), 1u);
+  EXPECT_EQ(falling_factorial_u64(5, 2).value(), 20u);
+  EXPECT_EQ(falling_factorial_u64(5, 5).value(), 120u);
+  EXPECT_EQ(falling_factorial_u64(3, 4).value(), 0u);  // k > m: count is 0
+  EXPECT_FALSE(falling_factorial_u64(30, 30).has_value());  // overflow
+}
+
+// ---------------------------------------------------- repetition-free enum --
+
+TEST(RepFree, AllSequencesAreRepetitionFreeAndDistinct) {
+  const auto all = all_repetition_free(5);
+  std::set<Sequence> seen;
+  for (const auto& x : all) {
+    EXPECT_TRUE(repetition_free(x));
+    EXPECT_TRUE(in_domain(x, Domain{5}));
+    EXPECT_TRUE(seen.insert(x).second) << "duplicate " << to_string(x);
+  }
+}
+
+TEST(RepFree, ShortlexOrder) {
+  const auto all = all_repetition_free(4);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const auto& a = all[i - 1];
+    const auto& b = all[i];
+    const bool ordered =
+        a.size() < b.size() || (a.size() == b.size() && a < b);
+    EXPECT_TRUE(ordered) << to_string(a) << " !< " << to_string(b);
+  }
+}
+
+TEST(RepFree, LengthBandSizes) {
+  for (int m = 0; m <= 6; ++m) {
+    for (int k = 0; k <= m + 1; ++k) {
+      EXPECT_EQ(repetition_free_of_length(m, k).size(),
+                falling_factorial_u64(m, k).value())
+          << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(RepFree, RankUnrankRoundTrip) {
+  for (int m = 0; m <= 6; ++m) {
+    const auto all = all_repetition_free(m);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(rank_repetition_free(all[i], m), i);
+      EXPECT_EQ(unrank_repetition_free(i, m), all[i]);
+    }
+  }
+}
+
+TEST(RepFree, UnrankLargeM) {
+  // Spot-check rank/unrank at m = 12 without enumerating alpha(12) words.
+  Rng rng(37);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t rank = rng.below(alpha_u64(12).value());
+    const Sequence x = unrank_repetition_free(rank, 12);
+    EXPECT_TRUE(repetition_free(x));
+    EXPECT_EQ(rank_repetition_free(x, 12), rank);
+  }
+}
+
+TEST(RepFree, RankRejectsRepetitions) {
+  EXPECT_THROW(rank_repetition_free({0, 0}, 3), ContractError);
+  EXPECT_THROW(rank_repetition_free({0, 5}, 3), ContractError);
+}
+
+// -------------------------------------------------------------- families --
+
+TEST(Family, CanonicalHasAlphaMembers) {
+  for (int m = 0; m <= 6; ++m) {
+    const Family fam = canonical_repetition_free(m);
+    EXPECT_EQ(fam.size(), alpha_u64(m).value());
+    EXPECT_TRUE(mutually_distinct(fam));
+    EXPECT_TRUE(prefix_closed(fam));
+  }
+}
+
+TEST(Family, BeyondAlphaAddsOne) {
+  const Family fam = beyond_alpha(3);
+  EXPECT_EQ(fam.size(), alpha_u64(3).value() + 1);
+  EXPECT_TRUE(mutually_distinct(fam));
+  // The extra member <0 0> has a repetition, so it is outside the canonical
+  // set but still over the same domain.
+  EXPECT_TRUE(in_domain(fam.members.back(), fam.domain));
+  EXPECT_FALSE(repetition_free(fam.members.back()));
+}
+
+TEST(Family, AllWordsCount) {
+  // sum_{k<=3} 2^k = 15
+  EXPECT_EQ(all_words_up_to(2, 3).size(), 15u);
+  EXPECT_TRUE(mutually_distinct(all_words_up_to(2, 3)));
+  EXPECT_TRUE(prefix_closed(all_words_up_to(2, 3)));
+}
+
+TEST(Family, RandomFamilyDistinctAndSized) {
+  Rng rng(41);
+  const Family fam = random_family(3, 40, 5, rng);
+  EXPECT_EQ(fam.size(), 40u);
+  EXPECT_TRUE(mutually_distinct(fam));
+  for (const auto& x : fam.members) {
+    EXPECT_TRUE(in_domain(x, fam.domain));
+    EXPECT_LE(x.size(), 5u);
+  }
+}
+
+TEST(Family, RandomFamilyRefusesImpossibleCount) {
+  Rng rng(43);
+  // Only 3 sequences exist with m=1, max_len=2: <>, <0>, <0 0>.
+  EXPECT_THROW(random_family(1, 10, 2, rng), ContractError);
+}
+
+TEST(Family, PrefixClosedDetectsGap) {
+  Family fam{Domain{2}, {Sequence{}, Sequence{0, 1}}};  // missing <0>
+  EXPECT_FALSE(prefix_closed(fam));
+}
+
+// -------------------------------------------------------------- encoding --
+
+TEST(Encoding, IdentityEncodingOfCanonicalFamilyIsValid) {
+  const int m = 4;
+  const Family fam = canonical_repetition_free(m);
+  Encoding enc;
+  enc.alphabet_size = m;
+  enc.inputs = fam.members;
+  for (const auto& x : fam.members) {
+    enc.words.emplace_back(x.begin(), x.end());
+  }
+  EXPECT_FALSE(find_violation(enc).has_value());
+}
+
+TEST(Encoding, DetectsRepetition) {
+  Encoding enc;
+  enc.alphabet_size = 3;
+  enc.inputs = {Sequence{0}};
+  enc.words = {MsgWord{1, 1}};
+  const auto v = find_violation(enc);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, EncodingViolation::Kind::kRepetition);
+}
+
+TEST(Encoding, DetectsOutOfAlphabet) {
+  Encoding enc;
+  enc.alphabet_size = 2;
+  enc.inputs = {Sequence{0}};
+  enc.words = {MsgWord{2}};
+  const auto v = find_violation(enc);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, EncodingViolation::Kind::kOutOfAlphabet);
+}
+
+TEST(Encoding, DetectsDuplicateWord) {
+  Encoding enc;
+  enc.alphabet_size = 3;
+  enc.inputs = {Sequence{0}, Sequence{1}};
+  enc.words = {MsgWord{2}, MsgWord{2}};
+  const auto v = find_violation(enc);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, EncodingViolation::Kind::kDuplicateWord);
+  EXPECT_FALSE(v->describe(enc).empty());
+}
+
+TEST(Encoding, DetectsPrefixConflict) {
+  Encoding enc;
+  enc.alphabet_size = 3;
+  // <1> is not a prefix of <0 2>, yet its word is a prefix of the other's.
+  enc.inputs = {Sequence{1}, Sequence{0, 2}};
+  enc.words = {MsgWord{0}, MsgWord{0, 1}};
+  const auto v = find_violation(enc);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, EncodingViolation::Kind::kPrefixConflict);
+}
+
+TEST(Encoding, BuildsForCanonicalFamilyAtAlpha) {
+  for (int m = 1; m <= 5; ++m) {
+    const Family fam = canonical_repetition_free(m);
+    const auto enc = try_build_encoding(fam, m);
+    ASSERT_TRUE(enc.has_value()) << "m=" << m;
+    EXPECT_FALSE(find_violation(*enc).has_value());
+    EXPECT_EQ(enc->words.size(), alpha_u64(m).value());
+  }
+}
+
+TEST(Encoding, PigeonholeFailsBeyondAlpha) {
+  for (int m = 1; m <= 4; ++m) {
+    EXPECT_FALSE(try_build_encoding(beyond_alpha(m), m).has_value())
+        << "m=" << m;
+  }
+}
+
+TEST(Encoding, BuildsForSmallFamilyWithBiggerAlphabet) {
+  // A family needing only 2 symbols embeds fine in a 5-letter alphabet.
+  Family fam{Domain{2}, {Sequence{}, Sequence{0}, Sequence{1}, Sequence{0, 1}}};
+  const auto enc = try_build_encoding(fam, 5);
+  ASSERT_TRUE(enc.has_value());
+  EXPECT_FALSE(find_violation(*enc).has_value());
+}
+
+TEST(Encoding, FailsWhenBranchingExceedsAlphabet) {
+  // Three children of the root need three distinct first symbols; m=2 cannot.
+  Family fam{Domain{3}, {Sequence{0}, Sequence{1}, Sequence{2}}};
+  EXPECT_FALSE(try_build_encoding(fam, 2).has_value());
+  EXPECT_TRUE(try_build_encoding(fam, 3).has_value());
+}
+
+TEST(Encoding, DeepChainNeedsLongAlphabet) {
+  // A chain of length 4 needs 4 distinct symbols along one path.
+  Family fam{Domain{1},
+             {Sequence{}, Sequence{0}, Sequence{0, 0}, Sequence{0, 0, 0},
+              Sequence{0, 0, 0, 0}}};
+  EXPECT_FALSE(try_build_encoding(fam, 3).has_value());
+  EXPECT_TRUE(try_build_encoding(fam, 4).has_value());
+}
+
+// Property: for random prefix-closed families within alpha(m), the builder
+// either succeeds with a valid encoding, or the family genuinely exceeds the
+// trie capacity (never a false "valid").
+TEST(Encoding, BuilderOutputAlwaysValid_Property) {
+  Rng rng(47);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int m = static_cast<int>(rng.range(1, 4));
+    const auto count = static_cast<std::size_t>(
+        rng.range(1, static_cast<std::int64_t>(alpha_u64(m).value())));
+    Family fam = random_family(m, count, m, rng);
+    const auto enc = try_build_encoding(fam, m);
+    if (enc.has_value()) {
+      EXPECT_FALSE(find_violation(*enc).has_value());
+      EXPECT_EQ(enc->inputs.size(), fam.size());
+    }
+  }
+}
+
+TEST(Encoding, SubfamilyOfFittingFamilyIsEverything) {
+  const seq::Family fam = canonical_repetition_free(3);
+  const auto kept = largest_embeddable_subfamily(fam, 3);
+  EXPECT_EQ(kept.size(), fam.size());
+}
+
+TEST(Encoding, SubfamilyDropsExactlyTheOverflow) {
+  // canonical + <0 0>: the greedy pass keeps the canonical alpha(m) members
+  // (they come first) and drops the straggler.
+  const seq::Family fam = beyond_alpha(2);
+  const auto kept = largest_embeddable_subfamily(fam, 2);
+  EXPECT_EQ(kept.size(), alpha_u64(2).value());
+  // The dropped index is the last (the <0 0> we appended).
+  for (std::size_t idx : kept) EXPECT_LT(idx, fam.size() - 1);
+}
+
+TEST(Encoding, SubfamilyRespectsPriorityOrder) {
+  // Three singletons over m = 2: only two first symbols exist, so the first
+  // two in priority order survive.
+  seq::Family fam{Domain{3}, {Sequence{2}, Sequence{0}, Sequence{1}}};
+  const auto kept = largest_embeddable_subfamily(fam, 2);
+  EXPECT_EQ(kept, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Encoding, SubfamilyNeverExceedsAlpha_Property) {
+  Rng rng(67);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int m = static_cast<int>(rng.range(1, 3));
+    seq::Family fam = random_family(3, 12, 3, rng);
+    const auto kept = largest_embeddable_subfamily(fam, m);
+    EXPECT_LE(kept.size(), alpha_u64(m).value()) << "m=" << m;
+    // The kept subfamily genuinely embeds.
+    seq::Family sub{fam.domain, {}};
+    for (std::size_t idx : kept) sub.members.push_back(fam.members[idx]);
+    EXPECT_TRUE(try_build_encoding(sub, m).has_value());
+  }
+}
+
+// ---------------------------------------------------------------- codec --
+
+TEST(Codec, PositionTagRoundTrip) {
+  const std::vector<int> data{5, 5, 0, 255, 5};
+  const Sequence x = position_tag(data, 256);
+  EXPECT_TRUE(repetition_free(x));
+  EXPECT_TRUE(in_domain(x, Domain{position_tag_domain(data.size(), 256)}));
+  const auto back = position_untag(x, 256);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Codec, PositionTagEmpty) {
+  EXPECT_TRUE(position_tag({}, 10).empty());
+  EXPECT_EQ(position_untag({}, 10), std::vector<int>{});
+}
+
+TEST(Codec, PositionTagValidatesRange) {
+  EXPECT_THROW(position_tag({10}, 10), ContractError);
+  EXPECT_THROW(position_tag({-1}, 10), ContractError);
+}
+
+TEST(Codec, PositionUntagRejectsCorruption) {
+  // Wrong position field.
+  EXPECT_FALSE(position_untag({10}, 10).has_value());  // claims position 1
+  // Out-of-order items.
+  const Sequence swapped{10, 1};  // positions 1, 0
+  EXPECT_FALSE(position_untag(swapped, 10).has_value());
+  EXPECT_FALSE(position_untag({-3}, 10).has_value());
+}
+
+TEST(Codec, PositionTagRoundTripRandom_Property) {
+  Rng rng(59);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int radix = static_cast<int>(rng.range(1, 64));
+    const auto len = static_cast<std::size_t>(rng.range(0, 40));
+    std::vector<int> data(len);
+    for (auto& d : data) d = static_cast<int>(rng.below(static_cast<std::uint64_t>(radix)));
+    const Sequence x = position_tag(data, radix);
+    EXPECT_TRUE(repetition_free(x));
+    EXPECT_EQ(position_untag(x, radix), data);
+  }
+}
+
+TEST(Codec, CounterTagRoundTrip) {
+  const std::vector<int> data{1, 1, 0, 2};
+  const auto x = counter_tag(data, 4);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_TRUE(repetition_free(*x));
+  EXPECT_EQ(counter_untag(*x, 4), data);
+}
+
+TEST(Codec, CounterTagLengthLimit) {
+  EXPECT_FALSE(counter_tag({0, 0, 0}, 2).has_value());  // 3 > radix 2
+  EXPECT_TRUE(counter_tag({0, 0}, 2).has_value());
+}
+
+}  // namespace
+}  // namespace stpx::seq

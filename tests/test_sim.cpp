@@ -1,0 +1,327 @@
+// Tests for the simulation kernel: step semantics (one action per step, no
+// same-step delivery), online safety checking, trace and history recording,
+// determinism/replay, and engine cloning.
+#include <gtest/gtest.h>
+
+#include "channel/del_channel.hpp"
+#include "channel/dup_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "sim/engine.hpp"
+#include "sim/replay.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::sim {
+namespace {
+
+// A deliberately naive test protocol: the sender emits item i as message i
+// (so it needs an unbounded alphabet for long inputs); the receiver writes
+// whatever arrives, in arrival order, and never acknowledges.  Correct only
+// on channels that deliver each message exactly once and in order — which is
+// exactly what makes it useful for exercising the kernel.
+class BlindSender final : public ISender {
+ public:
+  void start(const seq::Sequence& x) override {
+    x_ = x;
+    next_ = 0;
+  }
+  SenderEffect on_step() override {
+    if (next_ < x_.size()) {
+      return SenderEffect{.send = MsgId{x_[next_++]}};
+    }
+    return SenderEffect{};
+  }
+  void on_deliver(MsgId) override {}
+  int alphabet_size() const override { return kUnboundedAlphabet; }
+  std::unique_ptr<ISender> clone() const override {
+    return std::make_unique<BlindSender>(*this);
+  }
+  std::string name() const override { return "blind-sender"; }
+
+ private:
+  seq::Sequence x_;
+  std::size_t next_ = 0;
+};
+
+class BlindReceiver final : public IReceiver {
+ public:
+  void start() override { pending_.clear(); }
+  ReceiverEffect on_step() override {
+    ReceiverEffect eff;
+    eff.writes = std::move(pending_);
+    pending_.clear();
+    return eff;
+  }
+  void on_deliver(MsgId msg) override {
+    pending_.push_back(static_cast<seq::DataItem>(msg));
+  }
+  int alphabet_size() const override { return kUnboundedAlphabet; }
+  std::unique_ptr<IReceiver> clone() const override {
+    return std::make_unique<BlindReceiver>(*this);
+  }
+  std::string name() const override { return "blind-receiver"; }
+
+ private:
+  std::vector<seq::DataItem> pending_;
+};
+
+Engine make_engine(std::unique_ptr<IChannel> ch,
+                   std::unique_ptr<IScheduler> sched,
+                   EngineConfig cfg = {}) {
+  return Engine(std::make_unique<BlindSender>(),
+                std::make_unique<BlindReceiver>(), std::move(ch),
+                std::move(sched), cfg);
+}
+
+TEST(Engine, RequiresBeginBeforeStepping) {
+  auto e = make_engine(std::make_unique<channel::DelChannel>(),
+                       std::make_unique<channel::RoundRobinScheduler>());
+  EXPECT_THROW(e.view(), ContractError);
+  EXPECT_THROW(e.apply(Action{ActionKind::kSenderStep, -1}), ContractError);
+}
+
+TEST(Engine, NoSameStepDelivery) {
+  auto e = make_engine(std::make_unique<channel::DelChannel>(),
+                       std::make_unique<channel::RoundRobinScheduler>());
+  e.begin({7});
+  // Before the sender steps, nothing is deliverable.
+  EXPECT_TRUE(e.view().deliverable_to_receiver.empty());
+  e.apply(Action{ActionKind::kSenderStep, -1});
+  // The send happened *during* that step; only now is it deliverable.
+  ASSERT_EQ(e.view().deliverable_to_receiver.size(), 1u);
+  EXPECT_EQ(e.view().deliverable_to_receiver[0], 7);
+}
+
+TEST(Engine, IllegalDeliveryRejected) {
+  auto e = make_engine(std::make_unique<channel::DelChannel>(),
+                       std::make_unique<channel::RoundRobinScheduler>());
+  e.begin({1});
+  EXPECT_FALSE(e.legal(Action{ActionKind::kDeliverToReceiver, 1}));
+  EXPECT_THROW(e.apply(Action{ActionKind::kDeliverToReceiver, 1}),
+               ContractError);
+}
+
+TEST(Engine, CompletesOnBenignSchedule) {
+  EngineConfig cfg;
+  cfg.max_steps = 1000;
+  auto e = make_engine(std::make_unique<channel::DelChannel>(),
+                       std::make_unique<channel::RoundRobinScheduler>(), cfg);
+  const seq::Sequence x{3, 1, 4, 1, 5};
+  const RunResult r = e.run(x);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.safety_ok);
+  EXPECT_EQ(r.output, x);
+  EXPECT_EQ(r.stats.write_step.size(), x.size());
+  // Write steps are monotonically increasing.
+  for (std::size_t i = 1; i < r.stats.write_step.size(); ++i) {
+    EXPECT_LT(r.stats.write_step[i - 1], r.stats.write_step[i]);
+  }
+}
+
+TEST(Engine, DetectsSafetyViolationOnDupChannel) {
+  // The blind protocol misbehaves on a duplicating channel: a replayed
+  // message makes the receiver write a wrong item.  The kernel must flag it.
+  EngineConfig cfg;
+  cfg.max_steps = 2000;
+  auto e = make_engine(
+      std::make_unique<channel::DupChannel>(),
+      std::make_unique<channel::FairRandomScheduler>(std::uint64_t{123}),
+      cfg);
+  const RunResult r = e.run({0, 1, 2, 3});
+  // With replays happening constantly, safety must eventually break.
+  EXPECT_FALSE(r.safety_ok);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(Engine, DeterministicReplayFromSeed) {
+  EngineConfig cfg;
+  cfg.max_steps = 500;
+  cfg.record_trace = true;
+  const seq::Sequence x{2, 0, 1};
+  auto run_with_seed = [&](std::uint64_t seed) {
+    auto e = make_engine(std::make_unique<channel::DelChannel>(),
+                         std::make_unique<channel::FairRandomScheduler>(seed),
+                         cfg);
+    return e.run(x);
+  };
+  const RunResult a = run_with_seed(99);
+  const RunResult b = run_with_seed(99);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].action, b.trace[i].action) << "step " << i;
+  }
+  EXPECT_EQ(a.output, b.output);
+}
+
+TEST(Engine, ScriptReplayReproducesRun) {
+  EngineConfig cfg;
+  cfg.max_steps = 500;
+  cfg.record_trace = true;
+  const seq::Sequence x{1, 2};
+  auto e1 = make_engine(
+      std::make_unique<channel::DelChannel>(),
+      std::make_unique<channel::FairRandomScheduler>(std::uint64_t{7}), cfg);
+  const RunResult first = e1.run(x);
+  ASSERT_TRUE(first.completed);
+
+  std::vector<Action> script;
+  script.reserve(first.trace.size());
+  for (const auto& ev : first.trace) script.push_back(ev.action);
+
+  auto e2 = make_engine(std::make_unique<channel::DelChannel>(),
+                        std::make_unique<channel::ScriptedScheduler>(script),
+                        cfg);
+  const RunResult second = e2.run(x);
+  EXPECT_EQ(second.output, first.output);
+  EXPECT_EQ(second.stats.steps, first.stats.steps);
+}
+
+TEST(Engine, HistoriesRecordCompleteLocalView) {
+  EngineConfig cfg;
+  cfg.max_steps = 200;
+  cfg.record_histories = true;
+  auto e = make_engine(std::make_unique<channel::DelChannel>(),
+                       std::make_unique<channel::RoundRobinScheduler>(), cfg);
+  const RunResult r = e.run({5});
+  ASSERT_TRUE(r.completed);
+  // The receiver history must contain exactly one receive of message 5 and
+  // one step that wrote item 5.
+  int recvs = 0, writes = 0;
+  for (const auto& ev : r.receiver_history) {
+    if (ev.kind == LocalEvent::Kind::kRecv) {
+      ++recvs;
+      EXPECT_EQ(ev.received, 5);
+    } else if (!ev.writes.empty()) {
+      ++writes;
+      EXPECT_EQ(ev.writes, (std::vector<seq::DataItem>{5}));
+    }
+  }
+  EXPECT_EQ(recvs, 1);
+  EXPECT_EQ(writes, 1);
+  // Sender history: exactly one step sent message 5.
+  int sends = 0;
+  for (const auto& ev : r.sender_history) {
+    if (ev.kind == LocalEvent::Kind::kStep && ev.sent == 5) ++sends;
+  }
+  EXPECT_EQ(sends, 1);
+}
+
+TEST(Engine, HistoryKeyDistinguishesDifferentHistories) {
+  LocalHistory a{LocalEvent{LocalEvent::Kind::kRecv, -1, 3, {}}};
+  LocalHistory b{LocalEvent{LocalEvent::Kind::kRecv, -1, 4, {}}};
+  LocalHistory c{LocalEvent{LocalEvent::Kind::kStep, 3, -1, {}}};
+  EXPECT_NE(history_key(a), history_key(b));
+  EXPECT_NE(history_key(a), history_key(c));
+  EXPECT_EQ(history_key(a), history_key(LocalHistory{a}));
+}
+
+TEST(Engine, CloneBranchesIndependently) {
+  EngineConfig cfg;
+  cfg.max_steps = 100;
+  auto e = make_engine(std::make_unique<channel::DelChannel>(),
+                       std::make_unique<channel::RoundRobinScheduler>(), cfg);
+  e.begin({8, 9});
+  e.apply(Action{ActionKind::kSenderStep, -1});  // sends 8
+
+  auto fork = e.clone();
+  // Advance the fork; the original must be unaffected.
+  fork->apply(Action{ActionKind::kDeliverToReceiver, 8});
+  fork->apply(Action{ActionKind::kReceiverStep, -1});
+  EXPECT_EQ(fork->output().size(), 1u);
+  EXPECT_TRUE(e.output().empty());
+  EXPECT_EQ(e.steps(), 1u);
+  EXPECT_EQ(fork->steps(), 3u);
+}
+
+TEST(Engine, StatsCountSendsAndDeliveries) {
+  EngineConfig cfg;
+  cfg.max_steps = 1000;
+  auto e = make_engine(std::make_unique<channel::DelChannel>(),
+                       std::make_unique<channel::RoundRobinScheduler>(), cfg);
+  const RunResult r = e.run({0, 1, 2});
+  EXPECT_EQ(r.stats.sent[0], 3u);       // three data messages S->R
+  EXPECT_EQ(r.stats.delivered[0], 3u);  // all delivered
+  EXPECT_EQ(r.stats.sent[1], 0u);       // blind receiver never acks
+}
+
+TEST(Engine, MaxStepsCapRespected) {
+  EngineConfig cfg;
+  cfg.max_steps = 10;
+  // Empty input: completes immediately, but run with nonempty input and a
+  // scheduler that never delivers.
+  std::vector<Action> starve(20, Action{ActionKind::kSenderStep, -1});
+  auto e = make_engine(std::make_unique<channel::DelChannel>(),
+                       std::make_unique<channel::ScriptedScheduler>(starve),
+                       cfg);
+  const RunResult r = e.run({1});
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.stats.steps, 10u);
+}
+
+TEST(Replay, ScriptFromTraceMatchesActions) {
+  EngineConfig cfg;
+  cfg.max_steps = 500;
+  cfg.record_trace = true;
+  auto e = make_engine(
+      std::make_unique<channel::DelChannel>(),
+      std::make_unique<channel::FairRandomScheduler>(std::uint64_t{5}), cfg);
+  const RunResult r = e.run({4, 2});
+  const auto script = script_from_trace(r.trace);
+  ASSERT_EQ(script.size(), r.trace.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    EXPECT_EQ(script[i], r.trace[i].action);
+  }
+}
+
+TEST(Replay, TextRoundTrip) {
+  const std::vector<Action> script{
+      {ActionKind::kSenderStep, -1},
+      {ActionKind::kDeliverToReceiver, 7},
+      {ActionKind::kReceiverStep, -1},
+      {ActionKind::kDeliverToSender, 0},
+  };
+  const std::string text = script_to_text(script);
+  EXPECT_EQ(text, "S\nD>R 7\nR\nD>S 0\n");
+  EXPECT_EQ(script_from_text(text), script);
+}
+
+TEST(Replay, TextParserSkipsBlankLinesAndRejectsGarbage) {
+  EXPECT_EQ(script_from_text("S\n\nR\n").size(), 2u);
+  EXPECT_THROW(script_from_text("X\n"), ContractError);
+  EXPECT_THROW(script_from_text("D>R\n"), ContractError);  // missing id
+}
+
+TEST(Replay, FullRoundTripThroughScriptedScheduler) {
+  // Record a random run, serialize to text, parse back, replay — outputs
+  // and step counts must be identical.
+  EngineConfig cfg;
+  cfg.max_steps = 2000;
+  cfg.record_trace = true;
+  const seq::Sequence x{9, 8, 7};
+  auto e1 = make_engine(
+      std::make_unique<channel::DelChannel>(),
+      std::make_unique<channel::FairRandomScheduler>(std::uint64_t{17}),
+      cfg);
+  const RunResult first = e1.run(x);
+  ASSERT_TRUE(first.completed);
+
+  const auto script =
+      script_from_text(script_to_text(script_from_trace(first.trace)));
+  auto e2 = make_engine(std::make_unique<channel::DelChannel>(),
+                        std::make_unique<channel::ScriptedScheduler>(script),
+                        cfg);
+  const RunResult second = e2.run(x);
+  EXPECT_EQ(second.output, first.output);
+  EXPECT_EQ(second.stats.steps, first.stats.steps);
+}
+
+TEST(Engine, EmptyInputCompletesTrivially) {
+  auto e = make_engine(std::make_unique<channel::DelChannel>(),
+                       std::make_unique<channel::RoundRobinScheduler>());
+  const RunResult r = e.run({});
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.safety_ok);
+  EXPECT_EQ(r.stats.steps, 0u);
+}
+
+}  // namespace
+}  // namespace stpx::sim

@@ -1,0 +1,216 @@
+// Tests for the temporal property layer: snapshot reconstruction, every
+// combinator's finite-trace semantics, witness reporting, and the canned
+// formulas on real (and really broken) runs.
+#include <gtest/gtest.h>
+
+#include "channel/del_channel.hpp"
+#include "channel/dup_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "proto/suite.hpp"
+#include "spec/temporal.hpp"
+#include "stp/runner.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::spec {
+namespace {
+
+/// Hand-built snapshot traces for combinator semantics: output length acts
+/// as the observable "value".
+std::vector<Snapshot> trace_of_lengths(const std::vector<int>& lengths,
+                                       const seq::Sequence& input) {
+  std::vector<Snapshot> out;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    Snapshot s;
+    s.step = i;
+    s.input = &input;
+    s.output.assign(static_cast<std::size_t>(lengths[i]), 0);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Formula len_is(int n) {
+  return Formula::atom("len==" + std::to_string(n), [n](const Snapshot& s) {
+    return static_cast<int>(s.output.size()) == n;
+  });
+}
+
+Formula len_ge(int n) {
+  return Formula::atom("len>=" + std::to_string(n), [n](const Snapshot& s) {
+    return static_cast<int>(s.output.size()) >= n;
+  });
+}
+
+const seq::Sequence kInput{0, 0, 0, 0};
+
+TEST(Combinators, AtomAndNegation) {
+  const auto t = trace_of_lengths({1}, kInput);
+  EXPECT_TRUE(len_is(1).holds_at(t, 0));
+  EXPECT_FALSE(len_is(2).holds_at(t, 0));
+  EXPECT_TRUE(Formula::negation(len_is(2)).holds_at(t, 0));
+}
+
+TEST(Combinators, BooleanConnectives) {
+  const auto t = trace_of_lengths({3}, kInput);
+  EXPECT_TRUE(
+      Formula::conjunction(len_ge(1), len_ge(3)).holds_at(t, 0));
+  EXPECT_FALSE(
+      Formula::conjunction(len_ge(1), len_ge(4)).holds_at(t, 0));
+  EXPECT_TRUE(
+      Formula::disjunction(len_ge(4), len_ge(2)).holds_at(t, 0));
+  EXPECT_TRUE(Formula::implies(len_ge(4), len_is(0)).holds_at(t, 0));
+  EXPECT_FALSE(Formula::implies(len_ge(3), len_is(0)).holds_at(t, 0));
+}
+
+TEST(Combinators, AlwaysOverSuffixes) {
+  const auto t = trace_of_lengths({0, 1, 2, 3}, kInput);
+  EXPECT_TRUE(Formula::always(len_ge(0)).holds_at(t, 0));
+  EXPECT_FALSE(Formula::always(len_ge(1)).holds_at(t, 0));
+  EXPECT_TRUE(Formula::always(len_ge(1)).holds_at(t, 1));  // suffix view
+}
+
+TEST(Combinators, EventuallyWithinTrace) {
+  const auto t = trace_of_lengths({0, 0, 2}, kInput);
+  EXPECT_TRUE(Formula::eventually(len_is(2)).holds_at(t, 0));
+  EXPECT_FALSE(Formula::eventually(len_is(5)).holds_at(t, 0));
+  // Not satisfiable from a position after the witness.
+  EXPECT_FALSE(Formula::eventually(len_is(0)).holds_at(t, 2));
+}
+
+TEST(Combinators, NextIsStrong) {
+  const auto t = trace_of_lengths({0, 1}, kInput);
+  EXPECT_TRUE(Formula::next(len_is(1)).holds_at(t, 0));
+  EXPECT_FALSE(Formula::next(len_is(1)).holds_at(t, 1));  // no successor
+}
+
+TEST(Combinators, UntilStrongSemantics) {
+  const auto t = trace_of_lengths({0, 0, 1, 2}, kInput);
+  // len==0 holds until len==1.
+  EXPECT_TRUE(Formula::until(len_is(0), len_is(1)).holds_at(t, 0));
+  // len==0 does NOT hold until len==2 (breaks at index 2 first).
+  EXPECT_FALSE(Formula::until(len_is(0), len_is(2)).holds_at(t, 0));
+  // Strong until: the goal must occur within the trace.
+  EXPECT_FALSE(Formula::until(len_ge(0), len_is(9)).holds_at(t, 0));
+}
+
+TEST(Combinators, StableMeansOnceTrueAlwaysTrue) {
+  const seq::Sequence in{0, 0, 0};
+  const auto good = trace_of_lengths({0, 1, 1, 2}, in);
+  EXPECT_TRUE(Formula::stable(len_ge(1)).check(good).holds);
+  const auto bad = trace_of_lengths({0, 1, 0}, in);  // regresses!
+  const auto r = Formula::stable(len_ge(1)).check(bad);
+  EXPECT_FALSE(r.holds);
+  EXPECT_EQ(r.witness, 1u);  // first position where stability is refuted
+}
+
+TEST(Combinators, CheckReportsWitnessAndLabel) {
+  const auto t = trace_of_lengths({1, 1, 0}, kInput);
+  const auto r = Formula::always(len_ge(1)).check(t);
+  EXPECT_FALSE(r.holds);
+  EXPECT_EQ(r.witness, 2u);
+  EXPECT_NE(r.detail.find("len>=1"), std::string::npos);
+}
+
+TEST(Combinators, DescribeComposes) {
+  const auto f = Formula::always(Formula::implies(len_ge(1), len_ge(0)));
+  EXPECT_NE(f.describe().find("G("), std::string::npos);
+  EXPECT_NE(f.describe().find("len>=1"), std::string::npos);
+}
+
+// ------------------------------------------------------------ snapshots --
+
+stp::SystemSpec traced_spec(bool dup) {
+  stp::SystemSpec spec;
+  if (dup) {
+    spec.protocols = [] { return proto::make_repfree_dup(4); };
+    spec.channel = [](std::uint64_t) {
+      return std::make_unique<channel::DupChannel>();
+    };
+  } else {
+    spec.protocols = [] { return proto::make_repfree_del(4); };
+    spec.channel = [](std::uint64_t seed) {
+      return std::make_unique<channel::DelChannel>(0.2, seed);
+    };
+  }
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 100000;
+  spec.engine.record_trace = true;
+  return spec;
+}
+
+TEST(Snapshots, ReconstructRunExactly) {
+  const sim::RunResult run = stp::run_one(traced_spec(false), {2, 0, 3}, 5);
+  ASSERT_TRUE(run.completed);
+  const auto snaps = snapshots_of(run);
+  ASSERT_EQ(snaps.size(), run.trace.size() + 1);
+  EXPECT_TRUE(snaps.front().output.empty());
+  EXPECT_EQ(snaps.back().output, run.output);
+  EXPECT_EQ(snaps.back().sent[0] + snaps.back().sent[1],
+            run.stats.sent[0] + run.stats.sent[1]);
+  EXPECT_EQ(snaps.back().delivered[0], run.stats.delivered[0]);
+}
+
+TEST(Snapshots, RequireRecordedTrace) {
+  sim::RunResult run;
+  run.stats.steps = 3;  // but no trace
+  EXPECT_THROW(snapshots_of(run), ContractError);
+}
+
+// ---------------------------------------------------- canned on real runs --
+
+TEST(Canned, GoodRunSatisfiesAllRequirements) {
+  const sim::RunResult run = stp::run_one(traced_spec(false), {1, 3, 0, 2}, 7);
+  ASSERT_TRUE(run.completed);
+  const auto snaps = snapshots_of(run);
+  EXPECT_TRUE(prefix_safety().check(snaps).holds);
+  EXPECT_TRUE(eventually_complete().check(snaps).holds);
+  EXPECT_TRUE(output_monotone().check(snaps).holds);
+  EXPECT_TRUE(delivery_conservation().check(snaps).holds);
+  for (std::size_t i = 1; i <= 4; ++i) {
+    EXPECT_TRUE(eventually_delivers(i).check(snaps).holds) << i;
+  }
+  EXPECT_FALSE(eventually_delivers(5).check(snaps).holds);
+}
+
+TEST(Canned, ConservationLegitimatelyFailsOnDupChannel) {
+  // A dup channel over-delivers by design; the formula exists precisely to
+  // distinguish the two channel families.
+  const sim::RunResult run =
+      stp::run_one(traced_spec(true), {0, 1, 2, 3}, 11);
+  ASSERT_TRUE(run.completed);
+  const auto snaps = snapshots_of(run);
+  EXPECT_TRUE(prefix_safety().check(snaps).holds);
+  EXPECT_FALSE(delivery_conservation().check(snaps).holds);
+}
+
+TEST(Canned, SafetyFormulaCatchesViolatingRun) {
+  // mod-2 Stenning under reordering: when the kernel flags a violation, the
+  // temporal formula must agree, with a meaningful witness step.
+  stp::SystemSpec spec;
+  spec.protocols = [] { return proto::make_modk_stenning(2, 2); };
+  spec.channel = [](std::uint64_t) {
+    return std::make_unique<channel::DelChannel>();
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 60000;
+  spec.engine.record_trace = true;
+
+  const seq::Sequence x{0, 1, 1, 0, 0, 1, 1, 0, 1, 1, 0, 0};
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const sim::RunResult run = stp::run_one(spec, x, seed);
+    if (run.safety_ok) continue;
+    const auto snaps = snapshots_of(run);
+    const auto verdict = prefix_safety().check(snaps);
+    EXPECT_FALSE(verdict.holds);
+    EXPECT_EQ(verdict.witness, run.first_violation_step + 1);
+    return;  // one witnessed violation is enough
+  }
+  FAIL() << "no violating seed found (expected at least one)";
+}
+
+}  // namespace
+}  // namespace stpx::spec

@@ -1,0 +1,539 @@
+// Tests for the stp core: sweep runner, fault injection, boundedness
+// metering, and the attack synthesizer (the executable impossibility
+// theorems).
+#include <gtest/gtest.h>
+
+#include "channel/del_channel.hpp"
+#include "channel/dup_channel.hpp"
+#include "channel/dupdel_channel.hpp"
+#include "channel/fifo_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "proto/encoded.hpp"
+#include "stp/attack.hpp"
+#include "stp/boundedness.hpp"
+#include "stp/fairness.hpp"
+#include "stp/fault.hpp"
+#include "stp/runner.hpp"
+#include "stp/validate.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::stp {
+namespace {
+
+SystemSpec repfree_dup_spec(int m) {
+  SystemSpec spec;
+  spec.protocols = [m] { return proto::make_repfree_dup(m); };
+  spec.channel = [](std::uint64_t) {
+    return std::make_unique<channel::DupChannel>();
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 300000;
+  return spec;
+}
+
+SystemSpec repfree_del_spec(int m, double loss) {
+  SystemSpec spec;
+  spec.protocols = [m] { return proto::make_repfree_del(m); };
+  spec.channel = [loss](std::uint64_t seed) {
+    return std::make_unique<channel::DelChannel>(loss, seed);
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 300000;
+  return spec;
+}
+
+SystemSpec hybrid_spec(int m, int timeout) {
+  SystemSpec spec;
+  spec.protocols = [m, timeout] { return proto::make_hybrid(m, timeout); };
+  spec.channel = [](std::uint64_t) {
+    return std::make_unique<channel::FifoChannel>();
+  };
+  spec.scheduler = [](std::uint64_t) {
+    return std::make_unique<channel::RoundRobinScheduler>();
+  };
+  spec.engine.max_steps = 400000;
+  return spec;
+}
+
+SystemSpec encoded_spec(proto::EncodingTable table, bool knowledge_receiver,
+                        bool del_mode) {
+  SystemSpec spec;
+  spec.protocols = [table, knowledge_receiver, del_mode] {
+    proto::ProtocolPair pair;
+    pair.sender = std::make_unique<proto::EncodedSender>(table, del_mode);
+    if (knowledge_receiver) {
+      pair.receiver =
+          std::make_unique<proto::KnowledgeReceiver>(table, del_mode);
+    } else {
+      pair.receiver = std::make_unique<proto::GreedyReceiver>(table, del_mode);
+    }
+    return pair;
+  };
+  if (del_mode) {
+    spec.channel = [](std::uint64_t seed) {
+      return std::make_unique<channel::DelChannel>(0.0, seed);
+    };
+  } else {
+    spec.channel = [](std::uint64_t) {
+      return std::make_unique<channel::DupChannel>();
+    };
+  }
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 100000;
+  return spec;
+}
+
+// ----------------------------------------------------------------- runner --
+
+TEST(Runner, SweepFullCanonicalFamilyPasses) {
+  const int m = 3;
+  const auto result = sweep_family(repfree_dup_spec(m),
+                                   seq::canonical_repetition_free(m),
+                                   {1, 2, 3});
+  EXPECT_TRUE(result.all_ok()) << (result.failures.empty()
+                                       ? ""
+                                       : result.failures.front().detail);
+  EXPECT_EQ(result.trials, 16u * 3u);  // alpha(3) = 16
+  EXPECT_GT(result.avg_steps(), 0.0);
+  EXPECT_GT(result.msgs_per_trial(), 0.0);
+}
+
+TEST(Runner, SweepRecordsFailuresWithDetail) {
+  // ABP on a reordering channel: failures must be captured, not crash.
+  SystemSpec spec;
+  spec.protocols = [] { return proto::make_abp(2); };
+  spec.channel = [](std::uint64_t) {
+    return std::make_unique<channel::DelChannel>();
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 30000;
+
+  seq::Family fam{seq::Domain{2}, {seq::Sequence{0, 1, 0, 1, 0, 1, 0, 1}}};
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 1; s <= 20; ++s) seeds.push_back(s);
+  const auto result = sweep_family(spec, fam, seeds);
+  EXPECT_FALSE(result.all_ok());
+  EXPECT_EQ(result.failures.size(),
+            result.safety_failures + result.incomplete);
+  EXPECT_FALSE(result.failures.front().detail.empty());
+}
+
+TEST(Runner, MissingFactoryThrows) {
+  SystemSpec spec;  // no factories set
+  EXPECT_THROW(make_engine(spec, 0), ContractError);
+}
+
+// ------------------------------------------------------------------ fault --
+
+TEST(Fault, RepFreeDelRecoversQuickly) {
+  const seq::Sequence x{0, 1, 2, 3, 4, 5};
+  const auto rec = measure_fault_recovery(repfree_del_spec(6, 0.0), x,
+                                          {.fault_after_writes = 2}, 7);
+  EXPECT_TRUE(rec.fault_injected);
+  EXPECT_TRUE(rec.recovered);
+  EXPECT_TRUE(rec.completed);
+  // Bounded protocol: recovery within a small constant number of steps
+  // (one retransmission round-trip under the fair scheduler).
+  EXPECT_LT(rec.recovery_steps, 200u);
+}
+
+TEST(Fault, HybridRecoveryDependsOnInputLength) {
+  // The §5 phenomenon: after one fault the hybrid replays the WHOLE
+  // sequence before the receiver can write anything new, so the gap to the
+  // *next write* grows with |X| while the fault position stays fixed.
+  std::vector<std::uint64_t> recoveries;
+  for (std::size_t n : {8u, 16u, 32u}) {
+    seq::Sequence x;
+    for (std::size_t i = 0; i < n; ++i) {
+      x.push_back(static_cast<seq::DataItem>(i % 3));
+    }
+    const auto rec = measure_fault_recovery(hybrid_spec(3, 12), x,
+                                            {.fault_after_writes = 2}, 7);
+    ASSERT_TRUE(rec.fault_injected) << "n=" << n;
+    ASSERT_TRUE(rec.completed) << "n=" << n;
+    recoveries.push_back(rec.recovery_steps);
+  }
+  EXPECT_LT(recoveries[0], recoveries[1]);
+  EXPECT_LT(recoveries[1], recoveries[2]);
+}
+
+TEST(Fault, RepFreeDelRecoveryFlatInInputLength) {
+  std::vector<std::uint64_t> recoveries;
+  for (int n : {4, 8, 16}) {
+    seq::Sequence x;
+    for (int i = 0; i < n; ++i) x.push_back(i);
+    const auto rec = measure_fault_recovery(repfree_del_spec(16, 0.0), x,
+                                            {.fault_after_writes = 2}, 9);
+    ASSERT_TRUE(rec.fault_injected && rec.recovered) << "n=" << n;
+    recoveries.push_back(rec.recovery_steps);
+  }
+  // Flat within noise: the longest should be within a small factor of the
+  // shortest (they are all one retransmission round-trip).
+  EXPECT_LE(recoveries.back(), recoveries.front() * 5 + 50);
+}
+
+TEST(Fault, ThrowsOnDropIncapableChannel) {
+  const auto spec = repfree_dup_spec(3);  // dup channel cannot drop
+  EXPECT_THROW(measure_fault_recovery(spec, {0, 1, 2},
+                                      {.fault_after_writes = 1}, 1),
+               ContractError);
+}
+
+// ------------------------------------------------------------ boundedness --
+
+TEST(Boundedness, WriteGapsExtracted) {
+  sim::RunResult r;
+  r.stats.write_step = {5, 9, 20};
+  EXPECT_EQ(write_gaps(r), (std::vector<std::uint64_t>{5, 4, 11}));
+}
+
+TEST(Boundedness, RepFreeDelGapsConstantBounded) {
+  seq::Sequence x;
+  for (int i = 0; i < 10; ++i) x.push_back(i);
+  const auto profile =
+      measure_gaps(repfree_del_spec(10, 0.0), x, {1, 2, 3, 4, 5});
+  EXPECT_EQ(profile.failed_runs, 0u);
+  EXPECT_EQ(profile.max_gap.size(), x.size());
+  EXPECT_TRUE(constant_bounded(profile, 500));
+  EXPECT_GT(profile.overall_mean, 0.0);
+}
+
+TEST(Boundedness, ConstantBoundedRespectsThreshold) {
+  GapProfile p;
+  p.max_gap = {10, 20, 30};
+  EXPECT_TRUE(constant_bounded(p, 30));
+  EXPECT_FALSE(constant_bounded(p, 29));
+}
+
+// ----------------------------------------------------------------- attack --
+
+proto::EncodingTable canonical_table(int m) {
+  auto enc = seq::try_build_encoding(seq::canonical_repetition_free(m), m);
+  STPX_EXPECT(enc.has_value(), "canonical encoding must exist");
+  return std::make_shared<const seq::Encoding>(std::move(*enc));
+}
+
+/// The canonical encoding plus one colliding extra entry — the only kind of
+/// table that can exist once |𝒳| = alpha(m) + 1 (pigeonhole).
+proto::EncodingTable overfull_table(int m) {
+  auto enc = seq::try_build_encoding(seq::canonical_repetition_free(m), m);
+  STPX_EXPECT(enc.has_value(), "canonical encoding must exist");
+  // The extra allowable sequence <0 0>; any word we pick collides.  Reuse
+  // the word of <0 1>-like entry: find a length-2 input starting with 0.
+  std::size_t donor = SIZE_MAX;
+  for (std::size_t i = 0; i < enc->inputs.size(); ++i) {
+    if (enc->inputs[i].size() == 2 && enc->inputs[i][0] == 0) {
+      donor = i;
+      break;
+    }
+  }
+  STPX_EXPECT(donor != SIZE_MAX, "expected a <0 x> entry");
+  enc->inputs.push_back(seq::Sequence{0, 0});
+  enc->words.push_back(enc->words[donor]);
+  return std::make_shared<const seq::Encoding>(std::move(*enc));
+}
+
+seq::Family family_of(const proto::EncodingTable& table, int m) {
+  return seq::Family{seq::Domain{m}, table->inputs};
+}
+
+TEST(Attack, SkeletonMatchesEncodingWord) {
+  const int m = 3;
+  auto table = canonical_table(m);
+  const auto spec = encoded_spec(table, /*knowledge=*/true, /*del=*/false);
+  for (std::size_t i = 0; i < table->inputs.size(); ++i) {
+    const Skeleton sk = extract_skeleton(spec, table->inputs[i], 50000);
+    EXPECT_TRUE(sk.completed) << seq::to_string(table->inputs[i]);
+    EXPECT_EQ(sk.word, table->words[i]) << seq::to_string(table->inputs[i]);
+  }
+}
+
+TEST(Attack, NoWitnessAgainstValidEncodingPairs) {
+  const int m = 2;
+  auto table = canonical_table(m);
+  const auto spec = encoded_spec(table, true, false);
+  // <0> vs <1>: different words, prefix-incomparable — not a candidate and
+  // not exploitable.
+  const auto r = mirror_attack_pair(spec, {0}, {1},
+                                    {.mirror_rounds = 200, .stall_rounds = 16});
+  EXPECT_EQ(r.kind, AttackResult::Kind::kNone);
+}
+
+TEST(Attack, FindsDecisiveStallAgainstKnowledgeReceiver) {
+  const int m = 2;
+  auto table = overfull_table(m);
+  const auto spec = encoded_spec(table, /*knowledge=*/true, /*del=*/false);
+  const auto r = find_attack(spec, family_of(table, m),
+                             {.skeleton_steps = 50000,
+                              .mirror_rounds = 500,
+                              .stall_rounds = 16});
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.kind, AttackResult::Kind::kDecisiveStall);
+  // The witness pair shares a word but has distinct inputs.
+  EXPECT_NE(r.x_a, r.x_b);
+  EXPECT_EQ(r.y_a, r.y_b);
+}
+
+TEST(Attack, FindsSafetyViolationAgainstGreedyReceiver) {
+  const int m = 2;
+  auto table = overfull_table(m);
+  const auto spec = encoded_spec(table, /*knowledge=*/false, /*del=*/false);
+  const auto r = find_attack(spec, family_of(table, m),
+                             {.skeleton_steps = 50000,
+                              .mirror_rounds = 500,
+                              .stall_rounds = 16});
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.kind, AttackResult::Kind::kSafetyViolation);
+  EXPECT_FALSE(r.detail.empty());
+}
+
+TEST(Attack, DeletionChannelVariantAlsoBroken) {
+  // Theorem 2: same overfull family, deletion channel, retransmitting
+  // (bounded-style) protocol — the mirror construction still produces a
+  // witness.
+  const int m = 2;
+  auto table = overfull_table(m);
+  const auto spec = encoded_spec(table, /*knowledge=*/true, /*del=*/true);
+  const auto r = find_attack(spec, family_of(table, m),
+                             {.skeleton_steps = 50000,
+                              .mirror_rounds = 800,
+                              .stall_rounds = 16});
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.kind, AttackResult::Kind::kDecisiveStall);
+}
+
+TEST(Attack, LargerAlphabetStillBroken) {
+  const int m = 3;
+  auto table = overfull_table(m);
+  const auto spec = encoded_spec(table, /*knowledge=*/false, /*del=*/false);
+  const auto r = find_attack(spec, family_of(table, m),
+                             {.skeleton_steps = 80000,
+                              .mirror_rounds = 800,
+                              .stall_rounds = 16});
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.kind, AttackResult::Kind::kSafetyViolation);
+}
+
+TEST(Attack, MirrorKeepsReceiverViewsIdentical) {
+  // Even for a non-exploitable pair the driver must maintain ~_R equality
+  // (it asserts internally; reaching kNone implies it held throughout).
+  const int m = 2;
+  auto table = canonical_table(m);
+  const auto spec = encoded_spec(table, true, false);
+  const auto r = mirror_attack_pair(spec, {0, 1}, {1, 0},
+                                    {.mirror_rounds = 300, .stall_rounds = 8});
+  EXPECT_EQ(r.kind, AttackResult::Kind::kNone);
+}
+
+// -------------------------------------------------------------- fairness --
+
+TEST(Fairness, LatenciesBoundedUnderFairRandom) {
+  const auto profile = measure_fairness(repfree_del_spec(6, 0.0),
+                                        {0, 1, 2, 3, 4, 5},
+                                        {1, 2, 3, 4, 5});
+  EXPECT_EQ(profile.runs, 5u);
+  // Data-direction latency is measured and sane.
+  EXPECT_GT(profile.delivery_latency[0].n, 0u);
+  EXPECT_GT(profile.delivery_latency[0].mean, 0.0);
+  EXPECT_LT(profile.delivery_latency[0].p95, 200.0);
+}
+
+TEST(Fairness, StarvationCappedByAgingOverride) {
+  // The FairRandomScheduler forces a starving process to run within its
+  // starvation_limit (default 64); measured gaps must respect it with
+  // scheduling slack.
+  const auto profile = measure_fairness(repfree_del_spec(4, 0.2),
+                                        {0, 1, 2, 3}, {7, 8, 9});
+  EXPECT_LE(profile.max_sender_gap, 130u);
+  EXPECT_LE(profile.max_receiver_gap, 130u);
+}
+
+TEST(Fairness, RoundRobinHasTinyGaps) {
+  auto spec = repfree_del_spec(4, 0.0);
+  spec.scheduler = [](std::uint64_t) {
+    return std::make_unique<channel::RoundRobinScheduler>();
+  };
+  const auto profile = measure_fairness(spec, {0, 1, 2, 3}, {1});
+  EXPECT_LE(profile.max_sender_gap, 4u);
+  EXPECT_LE(profile.max_receiver_gap, 4u);
+}
+
+// ------------------------------------------------------ exhaustive mirror --
+
+TEST(ExhaustiveMirror, FindsViolationForOverfullGreedyPair) {
+  // The greedy receiver on the colliding pair: SOME mirrored schedule must
+  // break safety, and the model checker finds it without heuristics.
+  const int m = 2;
+  auto table = overfull_table(m);
+  const auto spec = encoded_spec(table, /*knowledge=*/false, /*del=*/false);
+  const auto r = exhaustive_mirror_search(spec, {0, 1}, {0, 0},
+                                          /*max_depth=*/12,
+                                          /*max_states=*/200000);
+  EXPECT_TRUE(r.violation_found);
+  EXPECT_GT(r.states_explored, 0u);
+}
+
+TEST(ExhaustiveMirror, ProvesKnowledgeReceiverSafeWithinHorizon) {
+  // The knowledge receiver can never be steered into a wrong write: the
+  // search exhausts the mirrored space without finding a violation — a
+  // bounded *proof*, not a sampling verdict.
+  const int m = 2;
+  auto table = overfull_table(m);
+  const auto spec = encoded_spec(table, /*knowledge=*/true, /*del=*/false);
+  const auto r = exhaustive_mirror_search(spec, {0, 1}, {0, 0},
+                                          /*max_depth=*/10,
+                                          /*max_states=*/500000);
+  EXPECT_FALSE(r.violation_found);
+}
+
+TEST(ExhaustiveMirror, ValidEncodingPairsUnexploitable) {
+  const int m = 2;
+  auto table = canonical_table(m);
+  const auto spec = encoded_spec(table, /*knowledge=*/false, /*del=*/false);
+  // Even the committal receiver is safe when the encoding is valid.
+  const auto r = exhaustive_mirror_search(spec, {0}, {1},
+                                          /*max_depth=*/10,
+                                          /*max_states=*/500000);
+  EXPECT_FALSE(r.violation_found);
+}
+
+// -------------------------------------------------------------- validate --
+
+TEST(Validate, CleanRunsPassAllRules) {
+  // Every protocol/channel pairing we ship must produce traces satisfying
+  // the model's conservation laws.
+  struct Case {
+    const char* name;
+    SystemSpec spec;
+    seq::Sequence x;
+    bool dup;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"repfree-dup", repfree_dup_spec(3), {2, 0, 1}, true});
+  cases.push_back({"repfree-del", repfree_del_spec(3, 0.2), {1, 2, 0}, false});
+  {
+    SystemSpec abp;
+    abp.protocols = [] { return proto::make_abp(2); };
+    abp.channel = [](std::uint64_t seed) {
+      return std::make_unique<channel::FifoChannel>(0.2, 0.2, seed);
+    };
+    abp.scheduler = [](std::uint64_t seed) {
+      return std::make_unique<channel::FairRandomScheduler>(seed);
+    };
+    abp.engine.max_steps = 300000;
+    // FIFO with dup policy can over-deliver relative to logical sends.
+    cases.push_back({"abp-fifo", abp, {0, 1, 1, 0}, true});
+  }
+  for (auto& c : cases) {
+    c.spec.engine.record_trace = true;
+    const sim::RunResult run = run_one(c.spec, c.x, 11);
+    ASSERT_TRUE(run.completed) << c.name;
+    const auto report = validate_trace(run, c.dup);
+    EXPECT_TRUE(report.ok()) << c.name << ": "
+                             << (report.issues.empty()
+                                     ? ""
+                                     : report.issues.front().detail);
+  }
+}
+
+TEST(Validate, DetectsFabricatedDelivery) {
+  sim::RunResult run;
+  sim::TraceEvent ev;
+  ev.step = 0;
+  ev.action = {sim::ActionKind::kDeliverToReceiver, 7};
+  run.trace.push_back(ev);
+  const auto report = validate_trace(run, false);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues.front().rule, "V1");
+}
+
+TEST(Validate, DetectsOverDeliveryOnDelSemantics) {
+  sim::RunResult run;
+  sim::TraceEvent send;
+  send.step = 0;
+  send.action = {sim::ActionKind::kSenderStep, -1};
+  send.did_send = true;
+  send.sent = 3;
+  sim::TraceEvent d1;
+  d1.step = 1;
+  d1.action = {sim::ActionKind::kDeliverToReceiver, 3};
+  sim::TraceEvent d2 = d1;
+  d2.step = 2;
+  run.trace = {send, d1, d2};
+  EXPECT_FALSE(validate_trace(run, false).ok());  // del: 2 deliveries > 1 send
+  EXPECT_TRUE(validate_trace(run, true).ok());    // dup: legal
+}
+
+TEST(Validate, DetectsGappedSteps) {
+  sim::RunResult run;
+  sim::TraceEvent a;
+  a.step = 0;
+  a.action = {sim::ActionKind::kSenderStep, -1};
+  sim::TraceEvent b;
+  b.step = 5;  // gap
+  b.action = {sim::ActionKind::kReceiverStep, -1};
+  run.trace = {a, b};
+  const auto report = validate_trace(run, true);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues.front().rule, "V4");
+}
+
+TEST(Validate, DetectsOutputMismatch) {
+  sim::RunResult run;
+  sim::TraceEvent w;
+  w.step = 0;
+  w.action = {sim::ActionKind::kReceiverStep, -1};
+  w.writes = {4};
+  run.trace = {w};
+  run.output = {4, 5};  // tape claims more than the trace wrote
+  const auto report = validate_trace(run, true);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues.back().rule, "V5");
+}
+
+// ----------------------------------------------------- dup+del ablation --
+
+TEST(DupDelAblation, SendOnceStarvesRetransmitSurvives) {
+  // On a channel that can duplicate AND delete, sending a message once is
+  // no longer enough: the one transmission may be suppressed forever.  The
+  // retransmitting variant stays live.
+  const seq::Sequence x{0, 1, 2};
+  auto make_spec = [&](bool retransmit) {
+    SystemSpec spec;
+    spec.protocols = [retransmit] {
+      return retransmit ? proto::make_repfree_del(3)
+                        : proto::make_repfree_dup(3);
+    };
+    spec.channel = [](std::uint64_t seed) {
+      return std::make_unique<channel::DupDelChannel>(0.5, seed);
+    };
+    spec.scheduler = [](std::uint64_t seed) {
+      return std::make_unique<channel::FairRandomScheduler>(seed);
+    };
+    spec.engine.max_steps = 50000;
+    return spec;
+  };
+
+  std::size_t once_failures = 0, retx_failures = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto once = run_one(make_spec(false), x, seed);
+    const auto retx = run_one(make_spec(true), x, seed);
+    EXPECT_TRUE(once.safety_ok);
+    EXPECT_TRUE(retx.safety_ok);
+    if (!once.completed) ++once_failures;
+    if (!retx.completed) ++retx_failures;
+  }
+  EXPECT_GT(once_failures, 0u);   // suppression eventually bites send-once
+  EXPECT_EQ(retx_failures, 0u);   // retransmission always recovers
+}
+
+}  // namespace
+}  // namespace stpx::stp
