@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a1_finite_headers.dir/a1_finite_headers.cpp.o"
+  "CMakeFiles/a1_finite_headers.dir/a1_finite_headers.cpp.o.d"
+  "a1_finite_headers"
+  "a1_finite_headers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1_finite_headers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a2_dupdel.dir/a2_dupdel.cpp.o"
+  "CMakeFiles/a2_dupdel.dir/a2_dupdel.cpp.o.d"
+  "a2_dupdel"
+  "a2_dupdel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a2_dupdel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for a2_dupdel.
+# This may be replaced when dependencies are built.

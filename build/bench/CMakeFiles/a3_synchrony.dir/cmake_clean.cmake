@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3_synchrony.dir/a3_synchrony.cpp.o"
+  "CMakeFiles/a3_synchrony.dir/a3_synchrony.cpp.o.d"
+  "a3_synchrony"
+  "a3_synchrony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3_synchrony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for a3_synchrony.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for a3_synchrony.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_probabilistic.dir/e1_probabilistic.cpp.o"
+  "CMakeFiles/e1_probabilistic.dir/e1_probabilistic.cpp.o.d"
+  "e1_probabilistic"
+  "e1_probabilistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_probabilistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

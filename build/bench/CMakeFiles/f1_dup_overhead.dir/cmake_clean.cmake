@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f1_dup_overhead.dir/f1_dup_overhead.cpp.o"
+  "CMakeFiles/f1_dup_overhead.dir/f1_dup_overhead.cpp.o.d"
+  "f1_dup_overhead"
+  "f1_dup_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f1_dup_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/f2_del_latency.cpp" "bench/CMakeFiles/f2_del_latency.dir/f2_del_latency.cpp.o" "gcc" "bench/CMakeFiles/f2_del_latency.dir/f2_del_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stp/CMakeFiles/stpx_stp.dir/DependInfo.cmake"
+  "/root/repo/build/src/knowledge/CMakeFiles/stpx_knowledge.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/stpx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/stpx_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/stpx_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/stpx_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/stpx_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stpx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

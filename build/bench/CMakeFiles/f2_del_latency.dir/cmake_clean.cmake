@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2_del_latency.dir/f2_del_latency.cpp.o"
+  "CMakeFiles/f2_del_latency.dir/f2_del_latency.cpp.o.d"
+  "f2_del_latency"
+  "f2_del_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2_del_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f3_recovery_curve.dir/f3_recovery_curve.cpp.o"
+  "CMakeFiles/f3_recovery_curve.dir/f3_recovery_curve.cpp.o.d"
+  "f3_recovery_curve"
+  "f3_recovery_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f3_recovery_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f4_knowledge_timeline.dir/f4_knowledge_timeline.cpp.o"
+  "CMakeFiles/f4_knowledge_timeline.dir/f4_knowledge_timeline.cpp.o.d"
+  "f4_knowledge_timeline"
+  "f4_knowledge_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f4_knowledge_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for f4_knowledge_timeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for f4_knowledge_timeline.
+# This may be replaced when dependencies are built.

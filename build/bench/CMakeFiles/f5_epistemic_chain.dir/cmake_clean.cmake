@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f5_epistemic_chain.dir/f5_epistemic_chain.cpp.o"
+  "CMakeFiles/f5_epistemic_chain.dir/f5_epistemic_chain.cpp.o.d"
+  "f5_epistemic_chain"
+  "f5_epistemic_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f5_epistemic_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for f5_epistemic_chain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f6_decisive_ladder.dir/f6_decisive_ladder.cpp.o"
+  "CMakeFiles/f6_decisive_ladder.dir/f6_decisive_ladder.cpp.o.d"
+  "f6_decisive_ladder"
+  "f6_decisive_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f6_decisive_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for f6_decisive_ladder.
+# This may be replaced when dependencies are built.

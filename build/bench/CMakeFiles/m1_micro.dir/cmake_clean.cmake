@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m1_micro.dir/m1_micro.cpp.o"
+  "CMakeFiles/m1_micro.dir/m1_micro.cpp.o.d"
+  "m1_micro"
+  "m1_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m1_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

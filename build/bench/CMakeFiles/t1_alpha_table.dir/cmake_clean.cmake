@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1_alpha_table.dir/t1_alpha_table.cpp.o"
+  "CMakeFiles/t1_alpha_table.dir/t1_alpha_table.cpp.o.d"
+  "t1_alpha_table"
+  "t1_alpha_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1_alpha_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2_dup_achievability.dir/t2_dup_achievability.cpp.o"
+  "CMakeFiles/t2_dup_achievability.dir/t2_dup_achievability.cpp.o.d"
+  "t2_dup_achievability"
+  "t2_dup_achievability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2_dup_achievability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for t2_dup_achievability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t3_dup_impossibility.dir/t3_dup_impossibility.cpp.o"
+  "CMakeFiles/t3_dup_impossibility.dir/t3_dup_impossibility.cpp.o.d"
+  "t3_dup_impossibility"
+  "t3_dup_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t3_dup_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

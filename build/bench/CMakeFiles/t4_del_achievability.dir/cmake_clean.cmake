@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t4_del_achievability.dir/t4_del_achievability.cpp.o"
+  "CMakeFiles/t4_del_achievability.dir/t4_del_achievability.cpp.o.d"
+  "t4_del_achievability"
+  "t4_del_achievability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t4_del_achievability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

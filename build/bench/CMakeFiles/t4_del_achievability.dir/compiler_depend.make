@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for t4_del_achievability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t5_del_impossibility.dir/t5_del_impossibility.cpp.o"
+  "CMakeFiles/t5_del_impossibility.dir/t5_del_impossibility.cpp.o.d"
+  "t5_del_impossibility"
+  "t5_del_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t5_del_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t6_boundedness.dir/t6_boundedness.cpp.o"
+  "CMakeFiles/t6_boundedness.dir/t6_boundedness.cpp.o.d"
+  "t6_boundedness"
+  "t6_boundedness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t6_boundedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

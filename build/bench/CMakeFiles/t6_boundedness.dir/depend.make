@@ -1,0 +1,2 @@
+# Empty dependencies file for t6_boundedness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_attack.dir/adversary_attack.cpp.o"
+  "CMakeFiles/adversary_attack.dir/adversary_attack.cpp.o.d"
+  "adversary_attack"
+  "adversary_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

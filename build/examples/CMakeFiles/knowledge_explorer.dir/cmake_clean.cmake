@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_explorer.dir/knowledge_explorer.cpp.o"
+  "CMakeFiles/knowledge_explorer.dir/knowledge_explorer.cpp.o.d"
+  "knowledge_explorer"
+  "knowledge_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

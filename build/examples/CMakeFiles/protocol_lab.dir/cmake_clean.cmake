@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_lab.dir/protocol_lab.cpp.o"
+  "CMakeFiles/protocol_lab.dir/protocol_lab.cpp.o.d"
+  "protocol_lab"
+  "protocol_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

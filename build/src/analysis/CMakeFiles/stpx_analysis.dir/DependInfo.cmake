@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/explain.cpp" "src/analysis/CMakeFiles/stpx_analysis.dir/explain.cpp.o" "gcc" "src/analysis/CMakeFiles/stpx_analysis.dir/explain.cpp.o.d"
+  "/root/repo/src/analysis/histogram.cpp" "src/analysis/CMakeFiles/stpx_analysis.dir/histogram.cpp.o" "gcc" "src/analysis/CMakeFiles/stpx_analysis.dir/histogram.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/stpx_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/stpx_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/analysis/CMakeFiles/stpx_analysis.dir/table.cpp.o" "gcc" "src/analysis/CMakeFiles/stpx_analysis.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stpx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/stpx_seq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpx_analysis.dir/explain.cpp.o"
+  "CMakeFiles/stpx_analysis.dir/explain.cpp.o.d"
+  "CMakeFiles/stpx_analysis.dir/histogram.cpp.o"
+  "CMakeFiles/stpx_analysis.dir/histogram.cpp.o.d"
+  "CMakeFiles/stpx_analysis.dir/stats.cpp.o"
+  "CMakeFiles/stpx_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/stpx_analysis.dir/table.cpp.o"
+  "CMakeFiles/stpx_analysis.dir/table.cpp.o.d"
+  "libstpx_analysis.a"
+  "libstpx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

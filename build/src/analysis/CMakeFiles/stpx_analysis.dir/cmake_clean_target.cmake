@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstpx_analysis.a"
+)

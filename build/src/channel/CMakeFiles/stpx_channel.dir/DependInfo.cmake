@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/del_channel.cpp" "src/channel/CMakeFiles/stpx_channel.dir/del_channel.cpp.o" "gcc" "src/channel/CMakeFiles/stpx_channel.dir/del_channel.cpp.o.d"
+  "/root/repo/src/channel/dup_channel.cpp" "src/channel/CMakeFiles/stpx_channel.dir/dup_channel.cpp.o" "gcc" "src/channel/CMakeFiles/stpx_channel.dir/dup_channel.cpp.o.d"
+  "/root/repo/src/channel/dupdel_channel.cpp" "src/channel/CMakeFiles/stpx_channel.dir/dupdel_channel.cpp.o" "gcc" "src/channel/CMakeFiles/stpx_channel.dir/dupdel_channel.cpp.o.d"
+  "/root/repo/src/channel/fifo_channel.cpp" "src/channel/CMakeFiles/stpx_channel.dir/fifo_channel.cpp.o" "gcc" "src/channel/CMakeFiles/stpx_channel.dir/fifo_channel.cpp.o.d"
+  "/root/repo/src/channel/schedulers.cpp" "src/channel/CMakeFiles/stpx_channel.dir/schedulers.cpp.o" "gcc" "src/channel/CMakeFiles/stpx_channel.dir/schedulers.cpp.o.d"
+  "/root/repo/src/channel/sync_channel.cpp" "src/channel/CMakeFiles/stpx_channel.dir/sync_channel.cpp.o" "gcc" "src/channel/CMakeFiles/stpx_channel.dir/sync_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/stpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/stpx_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stpx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

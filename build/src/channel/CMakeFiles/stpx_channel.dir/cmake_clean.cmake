@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpx_channel.dir/del_channel.cpp.o"
+  "CMakeFiles/stpx_channel.dir/del_channel.cpp.o.d"
+  "CMakeFiles/stpx_channel.dir/dup_channel.cpp.o"
+  "CMakeFiles/stpx_channel.dir/dup_channel.cpp.o.d"
+  "CMakeFiles/stpx_channel.dir/dupdel_channel.cpp.o"
+  "CMakeFiles/stpx_channel.dir/dupdel_channel.cpp.o.d"
+  "CMakeFiles/stpx_channel.dir/fifo_channel.cpp.o"
+  "CMakeFiles/stpx_channel.dir/fifo_channel.cpp.o.d"
+  "CMakeFiles/stpx_channel.dir/schedulers.cpp.o"
+  "CMakeFiles/stpx_channel.dir/schedulers.cpp.o.d"
+  "CMakeFiles/stpx_channel.dir/sync_channel.cpp.o"
+  "CMakeFiles/stpx_channel.dir/sync_channel.cpp.o.d"
+  "libstpx_channel.a"
+  "libstpx_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpx_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

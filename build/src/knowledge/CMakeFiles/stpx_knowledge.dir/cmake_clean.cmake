@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpx_knowledge.dir/explorer.cpp.o"
+  "CMakeFiles/stpx_knowledge.dir/explorer.cpp.o.d"
+  "libstpx_knowledge.a"
+  "libstpx_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpx_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prob/random_tag.cpp" "src/prob/CMakeFiles/stpx_prob.dir/random_tag.cpp.o" "gcc" "src/prob/CMakeFiles/stpx_prob.dir/random_tag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/stpx_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/stpx_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/stpx_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stpx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpx_prob.dir/random_tag.cpp.o"
+  "CMakeFiles/stpx_prob.dir/random_tag.cpp.o.d"
+  "libstpx_prob.a"
+  "libstpx_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpx_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

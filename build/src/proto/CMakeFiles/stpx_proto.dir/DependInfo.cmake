@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/alternating_bit.cpp" "src/proto/CMakeFiles/stpx_proto.dir/alternating_bit.cpp.o" "gcc" "src/proto/CMakeFiles/stpx_proto.dir/alternating_bit.cpp.o.d"
+  "/root/repo/src/proto/block.cpp" "src/proto/CMakeFiles/stpx_proto.dir/block.cpp.o" "gcc" "src/proto/CMakeFiles/stpx_proto.dir/block.cpp.o.d"
+  "/root/repo/src/proto/encoded.cpp" "src/proto/CMakeFiles/stpx_proto.dir/encoded.cpp.o" "gcc" "src/proto/CMakeFiles/stpx_proto.dir/encoded.cpp.o.d"
+  "/root/repo/src/proto/hybrid.cpp" "src/proto/CMakeFiles/stpx_proto.dir/hybrid.cpp.o" "gcc" "src/proto/CMakeFiles/stpx_proto.dir/hybrid.cpp.o.d"
+  "/root/repo/src/proto/modk_stenning.cpp" "src/proto/CMakeFiles/stpx_proto.dir/modk_stenning.cpp.o" "gcc" "src/proto/CMakeFiles/stpx_proto.dir/modk_stenning.cpp.o.d"
+  "/root/repo/src/proto/repfree.cpp" "src/proto/CMakeFiles/stpx_proto.dir/repfree.cpp.o" "gcc" "src/proto/CMakeFiles/stpx_proto.dir/repfree.cpp.o.d"
+  "/root/repo/src/proto/sliding_window.cpp" "src/proto/CMakeFiles/stpx_proto.dir/sliding_window.cpp.o" "gcc" "src/proto/CMakeFiles/stpx_proto.dir/sliding_window.cpp.o.d"
+  "/root/repo/src/proto/stenning.cpp" "src/proto/CMakeFiles/stpx_proto.dir/stenning.cpp.o" "gcc" "src/proto/CMakeFiles/stpx_proto.dir/stenning.cpp.o.d"
+  "/root/repo/src/proto/suite.cpp" "src/proto/CMakeFiles/stpx_proto.dir/suite.cpp.o" "gcc" "src/proto/CMakeFiles/stpx_proto.dir/suite.cpp.o.d"
+  "/root/repo/src/proto/sync_stop_wait.cpp" "src/proto/CMakeFiles/stpx_proto.dir/sync_stop_wait.cpp.o" "gcc" "src/proto/CMakeFiles/stpx_proto.dir/sync_stop_wait.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/stpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/stpx_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/stpx_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stpx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpx_proto.dir/alternating_bit.cpp.o"
+  "CMakeFiles/stpx_proto.dir/alternating_bit.cpp.o.d"
+  "CMakeFiles/stpx_proto.dir/block.cpp.o"
+  "CMakeFiles/stpx_proto.dir/block.cpp.o.d"
+  "CMakeFiles/stpx_proto.dir/encoded.cpp.o"
+  "CMakeFiles/stpx_proto.dir/encoded.cpp.o.d"
+  "CMakeFiles/stpx_proto.dir/hybrid.cpp.o"
+  "CMakeFiles/stpx_proto.dir/hybrid.cpp.o.d"
+  "CMakeFiles/stpx_proto.dir/modk_stenning.cpp.o"
+  "CMakeFiles/stpx_proto.dir/modk_stenning.cpp.o.d"
+  "CMakeFiles/stpx_proto.dir/repfree.cpp.o"
+  "CMakeFiles/stpx_proto.dir/repfree.cpp.o.d"
+  "CMakeFiles/stpx_proto.dir/sliding_window.cpp.o"
+  "CMakeFiles/stpx_proto.dir/sliding_window.cpp.o.d"
+  "CMakeFiles/stpx_proto.dir/stenning.cpp.o"
+  "CMakeFiles/stpx_proto.dir/stenning.cpp.o.d"
+  "CMakeFiles/stpx_proto.dir/suite.cpp.o"
+  "CMakeFiles/stpx_proto.dir/suite.cpp.o.d"
+  "CMakeFiles/stpx_proto.dir/sync_stop_wait.cpp.o"
+  "CMakeFiles/stpx_proto.dir/sync_stop_wait.cpp.o.d"
+  "libstpx_proto.a"
+  "libstpx_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpx_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/alpha.cpp" "src/seq/CMakeFiles/stpx_seq.dir/alpha.cpp.o" "gcc" "src/seq/CMakeFiles/stpx_seq.dir/alpha.cpp.o.d"
+  "/root/repo/src/seq/codec.cpp" "src/seq/CMakeFiles/stpx_seq.dir/codec.cpp.o" "gcc" "src/seq/CMakeFiles/stpx_seq.dir/codec.cpp.o.d"
+  "/root/repo/src/seq/encoding.cpp" "src/seq/CMakeFiles/stpx_seq.dir/encoding.cpp.o" "gcc" "src/seq/CMakeFiles/stpx_seq.dir/encoding.cpp.o.d"
+  "/root/repo/src/seq/family.cpp" "src/seq/CMakeFiles/stpx_seq.dir/family.cpp.o" "gcc" "src/seq/CMakeFiles/stpx_seq.dir/family.cpp.o.d"
+  "/root/repo/src/seq/repetition_free.cpp" "src/seq/CMakeFiles/stpx_seq.dir/repetition_free.cpp.o" "gcc" "src/seq/CMakeFiles/stpx_seq.dir/repetition_free.cpp.o.d"
+  "/root/repo/src/seq/types.cpp" "src/seq/CMakeFiles/stpx_seq.dir/types.cpp.o" "gcc" "src/seq/CMakeFiles/stpx_seq.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stpx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

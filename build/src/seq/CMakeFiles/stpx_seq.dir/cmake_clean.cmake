@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpx_seq.dir/alpha.cpp.o"
+  "CMakeFiles/stpx_seq.dir/alpha.cpp.o.d"
+  "CMakeFiles/stpx_seq.dir/codec.cpp.o"
+  "CMakeFiles/stpx_seq.dir/codec.cpp.o.d"
+  "CMakeFiles/stpx_seq.dir/encoding.cpp.o"
+  "CMakeFiles/stpx_seq.dir/encoding.cpp.o.d"
+  "CMakeFiles/stpx_seq.dir/family.cpp.o"
+  "CMakeFiles/stpx_seq.dir/family.cpp.o.d"
+  "CMakeFiles/stpx_seq.dir/repetition_free.cpp.o"
+  "CMakeFiles/stpx_seq.dir/repetition_free.cpp.o.d"
+  "CMakeFiles/stpx_seq.dir/types.cpp.o"
+  "CMakeFiles/stpx_seq.dir/types.cpp.o.d"
+  "libstpx_seq.a"
+  "libstpx_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpx_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

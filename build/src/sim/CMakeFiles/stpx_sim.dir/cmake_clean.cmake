@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpx_sim.dir/engine.cpp.o"
+  "CMakeFiles/stpx_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/stpx_sim.dir/replay.cpp.o"
+  "CMakeFiles/stpx_sim.dir/replay.cpp.o.d"
+  "CMakeFiles/stpx_sim.dir/trace.cpp.o"
+  "CMakeFiles/stpx_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/stpx_sim.dir/types.cpp.o"
+  "CMakeFiles/stpx_sim.dir/types.cpp.o.d"
+  "libstpx_sim.a"
+  "libstpx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstpx_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpx_spec.dir/temporal.cpp.o"
+  "CMakeFiles/stpx_spec.dir/temporal.cpp.o.d"
+  "libstpx_spec.a"
+  "libstpx_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpx_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

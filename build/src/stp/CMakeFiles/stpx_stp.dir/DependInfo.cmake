@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stp/attack.cpp" "src/stp/CMakeFiles/stpx_stp.dir/attack.cpp.o" "gcc" "src/stp/CMakeFiles/stpx_stp.dir/attack.cpp.o.d"
+  "/root/repo/src/stp/boundedness.cpp" "src/stp/CMakeFiles/stpx_stp.dir/boundedness.cpp.o" "gcc" "src/stp/CMakeFiles/stpx_stp.dir/boundedness.cpp.o.d"
+  "/root/repo/src/stp/fairness.cpp" "src/stp/CMakeFiles/stpx_stp.dir/fairness.cpp.o" "gcc" "src/stp/CMakeFiles/stpx_stp.dir/fairness.cpp.o.d"
+  "/root/repo/src/stp/fault.cpp" "src/stp/CMakeFiles/stpx_stp.dir/fault.cpp.o" "gcc" "src/stp/CMakeFiles/stpx_stp.dir/fault.cpp.o.d"
+  "/root/repo/src/stp/runner.cpp" "src/stp/CMakeFiles/stpx_stp.dir/runner.cpp.o" "gcc" "src/stp/CMakeFiles/stpx_stp.dir/runner.cpp.o.d"
+  "/root/repo/src/stp/validate.cpp" "src/stp/CMakeFiles/stpx_stp.dir/validate.cpp.o" "gcc" "src/stp/CMakeFiles/stpx_stp.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/stpx_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/stpx_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/stpx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/stpx_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stpx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

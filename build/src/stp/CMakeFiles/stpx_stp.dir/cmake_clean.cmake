@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpx_stp.dir/attack.cpp.o"
+  "CMakeFiles/stpx_stp.dir/attack.cpp.o.d"
+  "CMakeFiles/stpx_stp.dir/boundedness.cpp.o"
+  "CMakeFiles/stpx_stp.dir/boundedness.cpp.o.d"
+  "CMakeFiles/stpx_stp.dir/fairness.cpp.o"
+  "CMakeFiles/stpx_stp.dir/fairness.cpp.o.d"
+  "CMakeFiles/stpx_stp.dir/fault.cpp.o"
+  "CMakeFiles/stpx_stp.dir/fault.cpp.o.d"
+  "CMakeFiles/stpx_stp.dir/runner.cpp.o"
+  "CMakeFiles/stpx_stp.dir/runner.cpp.o.d"
+  "CMakeFiles/stpx_stp.dir/validate.cpp.o"
+  "CMakeFiles/stpx_stp.dir/validate.cpp.o.d"
+  "libstpx_stp.a"
+  "libstpx_stp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpx_stp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpx_util.dir/biguint.cpp.o"
+  "CMakeFiles/stpx_util.dir/biguint.cpp.o.d"
+  "CMakeFiles/stpx_util.dir/expect.cpp.o"
+  "CMakeFiles/stpx_util.dir/expect.cpp.o.d"
+  "CMakeFiles/stpx_util.dir/rng.cpp.o"
+  "CMakeFiles/stpx_util.dir/rng.cpp.o.d"
+  "CMakeFiles/stpx_util.dir/strings.cpp.o"
+  "CMakeFiles/stpx_util.dir/strings.cpp.o.d"
+  "libstpx_util.a"
+  "libstpx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

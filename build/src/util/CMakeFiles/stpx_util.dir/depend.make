@@ -1,0 +1,2 @@
+# Empty dependencies file for stpx_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_conformance.dir/test_channel_conformance.cpp.o"
+  "CMakeFiles/test_channel_conformance.dir/test_channel_conformance.cpp.o.d"
+  "test_channel_conformance"
+  "test_channel_conformance.pdb"
+  "test_channel_conformance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knowledge.dir/test_knowledge.cpp.o"
+  "CMakeFiles/test_knowledge.dir/test_knowledge.cpp.o.d"
+  "test_knowledge"
+  "test_knowledge.pdb"
+  "test_knowledge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prob.dir/test_prob.cpp.o"
+  "CMakeFiles/test_prob.dir/test_prob.cpp.o.d"
+  "test_prob"
+  "test_prob.pdb"
+  "test_prob[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_deep.dir/test_proto_deep.cpp.o"
+  "CMakeFiles/test_proto_deep.dir/test_proto_deep.cpp.o.d"
+  "test_proto_deep"
+  "test_proto_deep.pdb"
+  "test_proto_deep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stp.dir/test_stp.cpp.o"
+  "CMakeFiles/test_stp.dir/test_stp.cpp.o.d"
+  "test_stp"
+  "test_stp.pdb"
+  "test_stp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
