@@ -1,0 +1,176 @@
+#include "fault/chaos_channel.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace stpx::fault {
+
+namespace {
+std::size_t di(sim::Dir d) { return static_cast<std::size_t>(d); }
+}  // namespace
+
+ChaosChannel::ChaosChannel(std::unique_ptr<sim::IChannel> inner,
+                           FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {
+  STPX_EXPECT(inner_ != nullptr, "ChaosChannel: null inner channel");
+  fired_.assign(plan_.actions.size(), false);
+}
+
+ChaosChannel::ChaosChannel(const ChaosChannel& other)
+    : inner_(other.inner_->clone()),
+      plan_(other.plan_),
+      step_(other.step_),
+      sends_seen_(other.sends_seen_),
+      fired_(other.fired_),
+      windows_(other.windows_),
+      cap_{other.cap_[0], other.cap_[1]},
+      stats_(other.stats_) {}
+
+void ChaosChannel::reset() {
+  inner_->reset();
+  step_ = 0;
+  sends_seen_ = 0;
+  fired_.assign(plan_.actions.size(), false);
+  windows_.clear();
+  cap_[0] = cap_[1] = 0;
+  stats_ = ChaosStats{};
+}
+
+bool ChaosChannel::frozen(sim::Dir dir) const {
+  for (const Window& w : windows_) {
+    if (w.kind == FaultKind::kFreeze && w.dir == dir && step_ < w.end_step) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ChaosChannel::blacked_out(sim::Dir dir, sim::MsgId msg) const {
+  for (const Window& w : windows_) {
+    if (w.kind == FaultKind::kBlackout && w.dir == dir &&
+        step_ < w.end_step && (w.match == kAnyMsg || w.match == msg)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t ChaosChannel::deliverable_copies(sim::Dir dir) const {
+  std::uint64_t total = 0;
+  for (sim::MsgId id : inner_->deliverable(dir)) {
+    total += inner_->copies(dir, id);
+  }
+  return total;
+}
+
+void ChaosChannel::fire(const FaultAction& a, sim::TickEffect& fx) {
+  ++stats_.actions_fired;
+  switch (a.kind) {
+    case FaultKind::kDropBurst: {
+      if (!inner_->can_drop()) break;  // dup channels: deletion is forbidden
+      std::uint64_t budget =
+          a.count == 0 ? ~std::uint64_t{0} : a.count;
+      for (sim::MsgId id : inner_->deliverable(a.dir)) {
+        if (a.match != kAnyMsg && a.match != id) continue;
+        while (budget > 0 && inner_->copies(a.dir, id) > 0) {
+          inner_->drop(a.dir, id);
+          ++stats_.copies_dropped;
+          --budget;
+        }
+        if (budget == 0) break;
+      }
+      break;
+    }
+    case FaultKind::kDupBurst: {
+      std::vector<sim::MsgId> ids;
+      for (sim::MsgId id : inner_->deliverable(a.dir)) {
+        if (a.match == kAnyMsg || a.match == id) ids.push_back(id);
+      }
+      if (ids.empty()) break;  // nothing in flight to amplify
+      const std::uint64_t budget = a.count == 0 ? 1 : a.count;
+      for (std::uint64_t i = 0; i < budget; ++i) {
+        inner_->send(a.dir, ids[static_cast<std::size_t>(i % ids.size())]);
+        ++stats_.copies_duplicated;
+      }
+      break;
+    }
+    case FaultKind::kBlackout:
+    case FaultKind::kFreeze:
+      windows_.push_back(
+          Window{a.kind, a.dir, a.match, step_ + std::max<std::uint64_t>(
+                                                     a.duration, 1)});
+      break;
+    case FaultKind::kCapInFlight:
+      cap_[di(a.dir)] = std::max<std::uint64_t>(a.count, 1);
+      break;
+    case FaultKind::kCrashSender:
+      fx.crash_sender = true;
+      ++stats_.crashes_requested;
+      break;
+    case FaultKind::kCrashReceiver:
+      fx.crash_receiver = true;
+      ++stats_.crashes_requested;
+      break;
+  }
+}
+
+sim::TickEffect ChaosChannel::tick(const sim::ChannelTick& t) {
+  step_ = t.step;
+  sim::TickEffect fx = inner_->tick(t);  // stacked decorators compose
+  for (std::size_t i = 0; i < plan_.actions.size(); ++i) {
+    if (fired_[i]) continue;
+    const FaultAction& a = plan_.actions[i];
+    std::uint64_t watched = 0;
+    switch (a.trigger.kind) {
+      case TriggerKind::kStep: watched = t.step; break;
+      case TriggerKind::kWrites: watched = t.items_written; break;
+      case TriggerKind::kSends: watched = sends_seen_; break;
+    }
+    if (watched < a.trigger.at) continue;
+    fired_[i] = true;
+    fire(a, fx);
+  }
+  // Expired windows can be discarded (steps only move forward).
+  std::erase_if(windows_, [&](const Window& w) { return step_ >= w.end_step; });
+  return fx;
+}
+
+void ChaosChannel::send(sim::Dir dir, sim::MsgId msg) {
+  ++sends_seen_;
+  if (blacked_out(dir, msg)) {
+    ++stats_.sends_blacked_out;
+    return;
+  }
+  if (cap_[di(dir)] > 0 && deliverable_copies(dir) >= cap_[di(dir)]) {
+    ++stats_.sends_shed;
+    return;
+  }
+  inner_->send(dir, msg);
+}
+
+std::vector<sim::MsgId> ChaosChannel::deliverable(sim::Dir dir) const {
+  if (frozen(dir)) return {};
+  return inner_->deliverable(dir);
+}
+
+std::uint64_t ChaosChannel::copies(sim::Dir dir, sim::MsgId msg) const {
+  if (frozen(dir)) return 0;
+  return inner_->copies(dir, msg);
+}
+
+void ChaosChannel::deliver(sim::Dir dir, sim::MsgId msg) {
+  STPX_EXPECT(!frozen(dir),
+              "ChaosChannel: deliver during a freeze window");
+  inner_->deliver(dir, msg);
+}
+
+void ChaosChannel::drop(sim::Dir dir, sim::MsgId msg) {
+  inner_->drop(dir, msg);
+}
+
+std::unique_ptr<sim::IChannel> ChaosChannel::clone() const {
+  return std::make_unique<ChaosChannel>(*this);
+}
+
+}  // namespace stpx::fault

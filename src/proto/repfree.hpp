@@ -21,6 +21,16 @@
 // next item — a constant f(i), independent of history.
 //
 // Both modes are finite-state, as the paper notes.
+//
+// Crash-restart behaviour (see docs/FAULTS.md): neither process reliably
+// survives amnesia.  The receiver's `seen_` set is the only defence against
+// replayed messages, so a receiver restart with stale copies in flight
+// re-writes an already-written item — a safety violation.  A sender restart
+// rewinds to item 0, which the receiver (correctly) ignores; unless stale
+// acknowledgements still in flight happen to fast-forward the sender back
+// to the frontier, the run livelocks and the engine watchdog reports it.
+// The paper's model simply has no crash fault; the soak harness exercises
+// repfree only under channel-level chaos, where it is clean by design.
 #pragma once
 
 #include <optional>

@@ -3,7 +3,14 @@
 // Every data message carries its full sequence number, so the protocol works
 // over channels that reorder, duplicate, AND delete — but its message
 // alphabet is infinite, which is exactly the resource the paper's theorems
-// forbid.  Including it makes the trade-off measurable: unbounded headers
+// forbid.
+//
+// Crash-restart behaviour (see docs/FAULTS.md): the *sender* survives
+// amnesia — after a restart it resends from seqno 0, the receiver ignores
+// stale seqnos, and the cumulative ack fast-forwards the sender to the
+// frontier.  A *receiver* crash loses `written_`, after which arriving
+// seqnos never match the reset expectation: safety holds but progress stops
+// (the engine watchdog reports the livelock).  Including it makes the trade-off measurable: unbounded headers
 // buy unrestricted 𝒳 (any sequence over any domain), finite alphabets cap
 // |𝒳| at alpha(m).
 //

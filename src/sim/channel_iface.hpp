@@ -22,12 +22,32 @@
 
 namespace stpx::sim {
 
+/// Engine-visible progress snapshot handed to the channel once per step,
+/// *before* the scheduler chooses the step's action.  Plain channels ignore
+/// it; fault-injecting decorators (fault::ChaosChannel) use it to advance
+/// their scripted timelines.
+struct ChannelTick {
+  std::uint64_t step = 0;
+  std::size_t items_written = 0;
+};
+
+/// What a tick may ask of the engine.  Channels cannot reach the processes
+/// directly, so process-level faults (crash-restart: volatile local state
+/// lost, output tape kept) are requested here and executed by the engine.
+struct TickEffect {
+  bool crash_sender = false;
+  bool crash_receiver = false;
+};
+
 class IChannel {
  public:
   virtual ~IChannel() = default;
 
   /// Reset to the empty initial state.
   virtual void reset() = 0;
+
+  /// Called by the engine at the start of every step.  Default: no-op.
+  virtual TickEffect tick(const ChannelTick&) { return {}; }
 
   /// A message is placed on the channel (counts as "sent" this step).
   virtual void send(Dir dir, MsgId msg) = 0;

@@ -41,6 +41,8 @@ Engine::Engine(const Engine& other)
       x_(other.x_),
       y_(other.y_),
       safety_ok_(other.safety_ok_),
+      stalled_(other.stalled_),
+      last_progress_step_(other.last_progress_step_),
       first_violation_step_(other.first_violation_step_),
       stats_(other.stats_),
       trace_(other.trace_),
@@ -52,6 +54,8 @@ void Engine::begin(const seq::Sequence& x) {
   x_ = x;
   y_.clear();
   safety_ok_ = true;
+  stalled_ = false;
+  last_progress_step_ = 0;
   first_violation_step_ = 0;
   stats_ = RunStats{};
   trace_.clear();
@@ -130,6 +134,7 @@ void Engine::apply(const Action& a) {
         const std::size_t pos = y_.size();
         y_.push_back(d);
         stats_.write_step.push_back(stats_.steps);
+        last_progress_step_ = stats_.steps;
         // Online safety check: Y must stay a prefix of X.
         if (safety_ok_ && (pos >= x_.size() || x_[pos] != d)) {
           safety_ok_ = false;
@@ -176,7 +181,25 @@ void Engine::apply(const Action& a) {
   ++stats_.steps;
 }
 
+void Engine::crash_restart_sender() {
+  STPX_EXPECT(begun_, "Engine: begin() not called");
+  sender_->start(x_);
+  ++stats_.crashes[0];
+}
+
+void Engine::crash_restart_receiver() {
+  STPX_EXPECT(begun_, "Engine: begin() not called");
+  receiver_->start();
+  ++stats_.crashes[1];
+}
+
 Action Engine::step_once() {
+  // Give fault-injecting channels their timeline hook *before* the
+  // scheduler looks at the deliverable sets, so a burst/blackout/freeze
+  // firing this step is visible to (and survivable by) the legality check.
+  const TickEffect fx = channel_->tick({stats_.steps, y_.size()});
+  if (fx.crash_sender) crash_restart_sender();
+  if (fx.crash_receiver) crash_restart_receiver();
   const Action a = scheduler_->choose(view());
   apply(a);
   return a;
@@ -186,6 +209,11 @@ void Engine::run_to_completion() {
   while (stats_.steps < config_.max_steps) {
     if (!safety_ok_) break;
     if (config_.stop_when_complete && completed()) break;
+    if (config_.stall_window > 0 && !completed() &&
+        stats_.steps - last_progress_step_ >= config_.stall_window) {
+      stalled_ = true;
+      break;
+    }
     step_once();
   }
 }
@@ -203,6 +231,11 @@ RunResult Engine::result() const {
   r.safety_ok = safety_ok_;
   r.first_violation_step = first_violation_step_;
   r.completed = completed();
+  r.stalled = stalled_;
+  r.verdict = !safety_ok_          ? RunVerdict::kSafetyViolation
+              : completed()        ? RunVerdict::kCompleted
+              : stalled_           ? RunVerdict::kStalled
+                                   : RunVerdict::kBudgetExhausted;
   r.stats = stats_;
   r.trace = trace_;
   r.receiver_history = receiver_hist_;

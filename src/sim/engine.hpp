@@ -30,15 +30,38 @@ struct EngineConfig {
   bool record_histories = false;
   /// Stop run() as soon as Y == X.
   bool stop_when_complete = true;
+  /// Watchdog: abort run() if the output tape makes no progress for this
+  /// many consecutive steps (livelock / quiescence detection).  0 disables.
+  std::uint64_t stall_window = 0;
 };
 
 struct RunStats {
   std::uint64_t steps = 0;
   std::uint64_t sent[2] = {0, 0};       // indexed by Dir
   std::uint64_t delivered[2] = {0, 0};  // indexed by Dir
+  /// Crash-restarts executed, indexed 0 = sender, 1 = receiver.
+  std::uint64_t crashes[2] = {0, 0};
   /// Step index at which output item i was written.
   std::vector<std::uint64_t> write_step;
 };
+
+/// Structured outcome of a driven run, most severe first.
+enum class RunVerdict : std::uint8_t {
+  kSafetyViolation,   // Y stopped being a prefix of X
+  kStalled,           // watchdog: no write progress within stall_window
+  kBudgetExhausted,   // hit max_steps without completing
+  kCompleted,         // Y == X
+};
+
+constexpr const char* to_cstr(RunVerdict v) {
+  switch (v) {
+    case RunVerdict::kSafetyViolation: return "safety-violation";
+    case RunVerdict::kStalled: return "stalled";
+    case RunVerdict::kBudgetExhausted: return "budget-exhausted";
+    case RunVerdict::kCompleted: return "completed";
+  }
+  return "?";
+}
 
 struct RunResult {
   seq::Sequence input;
@@ -46,6 +69,9 @@ struct RunResult {
   bool safety_ok = true;
   std::uint64_t first_violation_step = 0;
   bool completed = false;  // output == input
+  /// Watchdog verdict (only ever true when stall_window > 0).
+  bool stalled = false;
+  RunVerdict verdict = RunVerdict::kBudgetExhausted;
   RunStats stats;
   std::vector<TraceEvent> trace;            // if record_trace
   LocalHistory receiver_history;            // if record_histories
@@ -74,6 +100,15 @@ class Engine {
   /// Apply one action.  Precondition: legal(a).
   void apply(const Action& a);
 
+  /// Crash-restart a process: its volatile local state is reset to the
+  /// initial state (the sender re-reads X from its code, per the model; the
+  /// receiver forgets everything) while the engine-owned output tape Y and
+  /// the channel contents survive.  This is the self-stabilization /
+  /// amnesia fault; protocols whose progress lives only in volatile state
+  /// must re-earn it — or violate safety trying.
+  void crash_restart_sender();
+  void crash_restart_receiver();
+
   /// Ask the scheduler for an action and apply it.  Returns the action.
   Action step_once();
 
@@ -91,7 +126,10 @@ class Engine {
   const seq::Sequence& output() const { return y_; }
   bool safety_ok() const { return safety_ok_; }
   bool completed() const { return y_ == x_; }
+  bool stalled() const { return stalled_; }
   std::uint64_t steps() const { return stats_.steps; }
+  /// Step at which the output tape last grew (0 if it never has).
+  std::uint64_t last_progress_step() const { return last_progress_step_; }
   const IChannel& channel() const { return *channel_; }
   IChannel& channel() { return *channel_; }
   const LocalHistory& receiver_history() const { return receiver_hist_; }
@@ -114,6 +152,8 @@ class Engine {
   seq::Sequence x_;
   seq::Sequence y_;
   bool safety_ok_ = true;
+  bool stalled_ = false;
+  std::uint64_t last_progress_step_ = 0;
   std::uint64_t first_violation_step_ = 0;
   RunStats stats_;
   std::vector<TraceEvent> trace_;

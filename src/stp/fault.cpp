@@ -1,5 +1,7 @@
 #include "stp/fault.hpp"
 
+#include <algorithm>
+
 #include "channel/del_channel.hpp"
 #include "channel/fifo_channel.hpp"
 #include "util/expect.hpp"
@@ -31,9 +33,12 @@ FaultRecovery measure_fault_recovery(const SystemSpec& spec,
   engine.begin(x);
 
   FaultRecovery out;
+  const std::uint64_t step_cap =
+      fx.max_steps == 0 ? engine.config().max_steps
+                        : std::min(fx.max_steps, engine.config().max_steps);
 
   // Phase 1: run until the trigger point.
-  while (engine.steps() < engine.config().max_steps && !engine.completed()) {
+  while (engine.steps() < step_cap && !engine.completed()) {
     if (engine.output().size() >= fx.fault_after_writes) break;
     engine.step_once();
   }
@@ -50,7 +55,7 @@ FaultRecovery measure_fault_recovery(const SystemSpec& spec,
 
   // Phase 2: run on, watching for the next write and for completion.
   const std::size_t writes_at_fault = engine.output().size();
-  while (engine.steps() < engine.config().max_steps && engine.safety_ok()) {
+  while (engine.steps() < step_cap && engine.safety_ok()) {
     if (!out.recovered && engine.output().size() > writes_at_fault) {
       out.recovered = true;
       out.recovery_steps = engine.steps() - out.fault_step;

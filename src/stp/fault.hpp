@@ -18,7 +18,9 @@ namespace stpx::stp {
 struct FaultExperiment {
   /// Inject the fault when this many items have been written.
   std::size_t fault_after_writes = 1;
-  /// Give up if the run does not finish within engine.max_steps.
+  /// Give up if the run does not finish within this many steps; 0 inherits
+  /// the step budget of the spec's engine config.
+  std::uint64_t max_steps = 0;
 };
 
 struct FaultRecovery {

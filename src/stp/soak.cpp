@@ -1,0 +1,129 @@
+#include "stp/soak.hpp"
+
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace stpx::stp {
+
+namespace {
+
+bool failing(sim::RunVerdict v) { return v != sim::RunVerdict::kCompleted; }
+
+std::string describe(const sim::RunResult& r) {
+  std::ostringstream os;
+  os << to_cstr(r.verdict) << " after " << r.stats.steps << " steps: wrote "
+     << seq::to_string(r.output) << " of " << seq::to_string(r.input);
+  if (!r.safety_ok) os << " (violation at step " << r.first_violation_step
+                       << ")";
+  return os.str();
+}
+
+}  // namespace
+
+SystemSpec with_chaos(const SystemSpec& spec, const fault::FaultPlan& plan) {
+  STPX_EXPECT(static_cast<bool>(spec.channel),
+              "with_chaos: spec has no channel factory");
+  SystemSpec out = spec;
+  auto inner = spec.channel;
+  out.channel = [inner, plan](std::uint64_t seed) {
+    return std::make_unique<fault::ChaosChannel>(inner(seed), plan);
+  };
+  return out;
+}
+
+fault::FaultPlan plan_for_trial(std::uint64_t seed,
+                                const fault::SamplerConfig& sampler) {
+  // Decorrelate from the scheduler, which consumes the raw seed.
+  std::uint64_t mix = seed ^ 0xC7A05C7A05C7A05AULL;
+  Rng rng(splitmix64(mix));
+  return fault::sample_plan(rng, sampler);
+}
+
+SoakReport soak_sweep(const std::string& protocol, const SystemSpec& spec,
+                      const std::vector<seq::Sequence>& inputs,
+                      const SoakConfig& cfg) {
+  SoakReport report;
+  report.protocol = protocol;
+  for (const seq::Sequence& x : inputs) {
+    for (std::uint64_t seed : cfg.seeds) {
+      const fault::FaultPlan plan = plan_for_trial(seed, cfg.sampler);
+      const sim::RunResult r = run_one(with_chaos(spec, plan), x, seed);
+      ++report.trials;
+      switch (r.verdict) {
+        case sim::RunVerdict::kCompleted: ++report.completed; break;
+        case sim::RunVerdict::kSafetyViolation:
+          ++report.safety_violations;
+          break;
+        case sim::RunVerdict::kStalled: ++report.stalled; break;
+        case sim::RunVerdict::kBudgetExhausted: ++report.exhausted; break;
+      }
+      if (failing(r.verdict)) {
+        report.failures.push_back(
+            {protocol, x, seed, plan, r.verdict, describe(r)});
+      }
+    }
+  }
+  return report;
+}
+
+sim::RunResult replay_failure(const SystemSpec& spec, const SoakFailure& f) {
+  return run_one(with_chaos(spec, f.plan), f.input, f.seed);
+}
+
+MinimizedPlan minimize_plan(const SystemSpec& spec, const SoakFailure& f) {
+  MinimizedPlan out;
+  out.plan = f.plan;
+
+  auto probe = [&](const fault::FaultPlan& candidate) {
+    ++out.probe_runs;
+    return run_one(with_chaos(spec, candidate), f.input, f.seed).verdict;
+  };
+  STPX_EXPECT(failing(probe(out.plan)),
+              "minimize_plan: recorded failure does not reproduce");
+
+  // Greedy ddmin to a fixpoint: alternately try deleting whole actions and
+  // halving numeric fields; keep any candidate that still fails.  Runs are
+  // deterministic, so the fixpoint is 1-minimal: removing any remaining
+  // action (or halving any remaining field) yields a passing schedule.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < out.plan.actions.size(); ++i) {
+      fault::FaultPlan candidate = out.plan;
+      candidate.actions.erase(candidate.actions.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      if (failing(probe(candidate))) {
+        out.plan = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    for (std::size_t i = 0; i < out.plan.actions.size() && !changed; ++i) {
+      auto try_field = [&](std::uint64_t fault::FaultAction::* field) {
+        if (changed || out.plan.actions[i].*field <= 1) return;
+        fault::FaultPlan candidate = out.plan;
+        candidate.actions[i].*field /= 2;
+        if (failing(probe(candidate))) {
+          out.plan = std::move(candidate);
+          changed = true;
+        }
+      };
+      try_field(&fault::FaultAction::count);
+      try_field(&fault::FaultAction::duration);
+      if (!changed && out.plan.actions[i].trigger.at > 1) {
+        fault::FaultPlan candidate = out.plan;
+        candidate.actions[i].trigger.at /= 2;
+        if (failing(probe(candidate))) {
+          out.plan = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+  }
+  out.verdict = probe(out.plan);
+  return out;
+}
+
+}  // namespace stpx::stp
