@@ -44,7 +44,12 @@ double failure_rate(const stp::SystemSpec& spec, const seq::Sequence& x,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun bench("a1_finite_headers", argc, argv);
+  bench.param("ks", "2,4,8");
+  bench.param("sizes", "8,24");
+  bench.param("trials_per_cell", 30);
+
   std::cout << analysis::heading(
       "A1 (ablation): mod-K Stenning — finite headers vs reordering");
 
@@ -72,6 +77,7 @@ int main() {
 
       const double fifo_rate = failure_rate(fifo, x, kTrials);
       const double reorder_rate = failure_rate(reorder, x, kTrials);
+      bench.record_trial(0, 0, fifo_rate == 0.0);
       shape = shape && fifo_rate == 0.0;
       if (k == 2 && n == 24) shape = shape && reorder_rate > 0.0;
       table.add_row({std::to_string(k), std::to_string(n),
@@ -109,5 +115,5 @@ int main() {
                "spent.\n"
             << "measured: " << (shape ? "CONFIRMED" : "NOT CONFIRMED")
             << "\n";
-  return shape ? 0 : 1;
+  return bench.finish(shape);
 }

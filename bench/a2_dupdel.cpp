@@ -39,7 +39,12 @@ stp::SystemSpec dupdel_spec(int m, bool retransmit, double suppress) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun bench("a2_dupdel", argc, argv);
+  bench.param("suppress_rates", "0.1,0.3");
+  bench.param("sizes", "2,4,8");
+  bench.param("trials_per_cell", 40);
+
   std::cout << analysis::heading(
       "A2 (ablation): dup+del channel — send-once vs retransmit");
 
@@ -56,6 +61,9 @@ int main() {
       for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
         const auto once = stp::run_one(dupdel_spec(n, false, p), x, seed);
         const auto retx = stp::run_one(dupdel_spec(n, true, p), x, seed);
+        bench.record_trial(retx.stats.steps,
+                           retx.stats.sent[0] + retx.stats.sent[1],
+                           retx.completed);
         shape = shape && once.safety_ok && retx.safety_ok;
         if (once.completed) ++once_ok;
         if (retx.completed) ++retx_ok;
@@ -81,5 +89,5 @@ int main() {
                "way.\n"
             << "measured: " << (shape ? "CONFIRMED" : "NOT CONFIRMED")
             << "\n";
-  return shape ? 0 : 1;
+  return bench.finish(shape);
 }

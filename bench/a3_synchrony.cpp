@@ -19,9 +19,14 @@
 #include "common.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stpx;
   using namespace stpx::bench;
+
+  BenchRun bench("a3_synchrony", argc, argv);
+  bench.param("d", 2);
+  bench.param("channel", "sync_loss");
+  bench.param("loss_rates", "0.0,0.3,0.4");
 
   std::cout << analysis::heading(
       "A3 (ablation): synchronous detectable loss vs the paper's channels");
@@ -47,6 +52,7 @@ int main() {
       };
       spec.engine.max_steps = 200000;
       const auto result = stp::sweep_family(spec, family, seed_range(700, 3));
+      bench.record(result);
       ok = ok && result.all_ok();
       table.add_row({"all words over D, len<=4",
                      std::to_string(family.size()),
@@ -71,6 +77,7 @@ int main() {
     };
     spec.engine.max_steps = 400000;
     const auto result = stp::sweep_input(spec, x, seed_range(710, 5));
+    bench.record(result);
     ok = ok && result.all_ok();
     table.add_row({"0101... x100 over d=3", "1 (length 100)",
                    std::to_string(*seq::alpha_u64(d)), "0.3",
@@ -98,5 +105,5 @@ int main() {
                      "not the alphabet"
                    : "NOT CONFIRMED")
             << "\n";
-  return ok ? 0 : 1;
+  return bench.finish(ok);
 }

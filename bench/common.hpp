@@ -1,22 +1,161 @@
 // Shared helpers for the bench binaries: canonical system specs, the
 // overfull (alpha(m)+1) encoding table the impossibility experiments need,
-// and small formatting conveniences.
+// the --json/--quiet CLI contract every bench main speaks, and small
+// formatting conveniences.
 #pragma once
 
+#include <cstdlib>
+#include <iostream>
 #include <memory>
+#include <streambuf>
+#include <string>
 
 #include "channel/del_channel.hpp"
 #include "channel/dup_channel.hpp"
 #include "channel/fifo_channel.hpp"
 #include "channel/schedulers.hpp"
+#include "obs/report.hpp"
 #include "proto/encoded.hpp"
 #include "proto/suite.hpp"
 #include "seq/alpha.hpp"
 #include "seq/repetition_free.hpp"
 #include "stp/runner.hpp"
+#include "stp/soak.hpp"
 #include "util/expect.hpp"
 
 namespace stpx::bench {
+
+// --- bench CLI: every bench main accepts --json <path> and --quiet --------
+
+struct BenchCli {
+  std::string json_path;  // empty = no report file
+  bool quiet = false;     // suppress the human-readable tables
+};
+
+inline BenchCli parse_bench_cli(int argc, char** argv) {
+  BenchCli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": --json needs a path\n";
+        std::exit(2);
+      }
+      cli.json_path = argv[++i];
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--json <path>] [--quiet]\n"
+                   "  --json <path>  write a machine-readable BENCH report\n"
+                   "  --quiet        suppress the human-readable output\n";
+      std::exit(0);
+    } else {
+      std::cerr << argv[0] << ": unknown flag " << arg
+                << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+/// One bench invocation: parses the CLI, silences std::cout under --quiet,
+/// accumulates sweep/soak results, and emits the BENCH_<name>.json report
+/// from finish().  Intended shape of a main():
+///
+///   int main(int argc, char** argv) {
+///     BenchRun bench("f1_dup_overhead", argc, argv);
+///     ...
+///     bench.record(sweep_result);              // as results arrive
+///     ...
+///     return bench.finish(shape_confirmed);
+///   }
+class BenchRun {
+ public:
+  BenchRun(std::string name, int argc, char** argv)
+      : name_(std::move(name)), cli_(parse_bench_cli(argc, argv)) {
+    if (cli_.quiet) saved_ = std::cout.rdbuf(&null_buf_);
+  }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  ~BenchRun() {
+    if (saved_ != nullptr) std::cout.rdbuf(saved_);
+  }
+
+  const BenchCli& cli() const { return cli_; }
+
+  /// Record a bench parameter for the report (stringly-typed key/value).
+  void param(const std::string& key, const std::string& value) {
+    params_.emplace_back(key, value);
+  }
+  void param(const std::string& key, std::int64_t value) {
+    params_.emplace_back(key, std::to_string(value));
+  }
+
+  /// Fold trial aggregates into the report.
+  void record(const stp::SweepResult& r) { merged_.merge(r); }
+  void record(const stp::SoakReport& r) {
+    stp::SweepResult as_sweep;
+    as_sweep.trials = r.trials;
+    as_sweep.safety_failures = r.safety_violations;
+    as_sweep.stalled = r.stalled;
+    as_sweep.exhausted = r.exhausted;
+    as_sweep.incomplete = r.stalled + r.exhausted;
+    as_sweep.total_steps = r.total_steps;
+    as_sweep.total_msgs_sent = r.total_msgs_sent;
+    as_sweep.write_latencies = r.write_latencies;
+    as_sweep.trial_steps = r.trial_steps;
+    merged_.merge(as_sweep);
+  }
+  /// Manual fold for benches that do not run stp sweeps.
+  void record_trial(std::uint64_t steps, std::uint64_t msgs, bool completed) {
+    ++merged_.trials;
+    merged_.total_steps += steps;
+    merged_.total_msgs_sent += msgs;
+    merged_.trial_steps.push_back(steps);
+    if (!completed) {
+      ++merged_.incomplete;
+      ++merged_.exhausted;
+    }
+  }
+
+  /// Attach a metrics snapshot (MetricsRegistry::to_json()) to the report.
+  void metrics_json(std::string json) { metrics_json_ = std::move(json); }
+
+  /// Write the JSON report if requested; returns the process exit code.
+  int finish(bool ok) {
+    if (!cli_.json_path.empty()) {
+      obs::SweepReport rep = stp::report_of(name_, merged_);
+      rep.params = params_;
+      rep.ok = ok;
+      rep.metrics_json = metrics_json_;
+      rep.write_json_file(cli_.json_path);
+      if (!cli_.quiet) {
+        std::cout << "\nreport: " << cli_.json_path << "\n";
+      }
+    }
+    return ok ? 0 : 1;
+  }
+
+ private:
+  /// Discards everything written to it (backs std::cout under --quiet).
+  struct NullBuf final : std::streambuf {
+    int overflow(int c) override { return c == EOF ? 0 : c; }
+    std::streamsize xsputn(const char*, std::streamsize n) override {
+      return n;
+    }
+  };
+
+  std::string name_;
+  BenchCli cli_;
+  stp::SweepResult merged_;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::string metrics_json_;
+  NullBuf null_buf_;
+  std::streambuf* saved_ = nullptr;
+};
 
 inline stp::SystemSpec repfree_dup_spec(int m, double delivery_weight = 2.0) {
   stp::SystemSpec spec;

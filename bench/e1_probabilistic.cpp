@@ -66,7 +66,13 @@ RateResult failure_rate(int d, int k, std::size_t length,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun bench("e1_probabilistic", argc, argv);
+  bench.param("d", 2);
+  bench.param("length", 16);
+  bench.param("tag_bits", "2..12");
+  bench.param("trials_per_k", 80);
+
   std::cout << analysis::heading(
       "E1 (extension): probabilistic STP — error rate vs tag width (§6)");
 
@@ -92,6 +98,7 @@ int main() {
     // statistically honest version of "within bound".
     const bool within = r.ci.lo <= std::min(1.0, bound);
     ok = ok && within;
+    bench.record_trial(0, 0, within);
     table.add_row({std::to_string(k), std::to_string(d * (1 << k)),
                    fixed(std::min(1.0, bound), 3), fixed(r.rate, 3),
                    "[" + fixed(r.ci.lo, 3) + ", " + fixed(r.ci.hi, 3) + "]",
@@ -133,5 +140,5 @@ int main() {
                      "failure"
                    : "NOT CONFIRMED")
             << "\n";
-  return ok ? 0 : 1;
+  return bench.finish(ok);
 }

@@ -14,9 +14,14 @@
 #include "common.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stpx;
   using namespace stpx::bench;
+
+  BenchRun bench("f1_dup_overhead", argc, argv);
+  bench.param("m", 8);
+  bench.param("seeds", 10);
+  bench.param("delivery_weights", "0.5,1.0,2.0,4.0");
 
   std::cout << analysis::heading(
       "F1: messages per delivered item on the dup channel "
@@ -38,6 +43,8 @@ int main() {
 
     const auto r_once = stp::sweep_input(once, x, seeds);
     const auto r_flood = stp::sweep_input(flood, x, seeds);
+    bench.record(r_once);
+    bench.record(r_flood);
     if (!r_once.all_ok() || !r_flood.all_ok()) shape = false;
 
     const double per_item_once =
@@ -58,5 +65,5 @@ int main() {
                         "ack); flooding strictly worse everywhere"
                       : "NOT CONFIRMED")
             << "\n";
-  return shape ? 0 : 1;
+  return bench.finish(shape);
 }

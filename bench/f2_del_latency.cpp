@@ -13,9 +13,14 @@
 #include "common.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stpx;
   using namespace stpx::bench;
+
+  BenchRun bench("f2_del_latency", argc, argv);
+  bench.param("n", 20);
+  bench.param("seeds", 10);
+  bench.param("loss_rates", "0.0..0.5");
 
   std::cout << analysis::heading(
       "F2: steps per item vs deletion rate (reorder+delete channel)");
@@ -49,6 +54,7 @@ int main() {
       stp::SystemSpec spec = repfree_del_spec(n, loss);
       spec.protocols = c.make;
       const auto r = stp::sweep_input(spec, x, seeds);
+      bench.record(r);
       all_ok = all_ok && r.all_ok();
       const double steps_per_item = r.avg_steps() / n;
       if (c.name.rfind("repfree", 0) == 0) {
@@ -79,5 +85,5 @@ int main() {
                       "ahead of stop-and-wait"
                     : "NOT CONFIRMED")
             << "\n";
-  return all_ok && pipelining_wins ? 0 : 1;
+  return bench.finish(all_ok && pipelining_wins);
 }

@@ -39,7 +39,11 @@ seq::Sequence repeating_sequence(int n, int m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun bench("f3_recovery_curve", argc, argv);
+  bench.param("sizes", "16..128");
+  bench.param("fault_positions", "2,n/2,n-2");
+
   std::cout << analysis::heading(
       "F3: single-fault recovery curve — fault position x input length");
 
@@ -59,6 +63,8 @@ int main() {
           repfree_del_spec(n, 0.0), iota_sequence(n),
           {.fault_after_writes = at}, 1);
       ok = ok && hyb.completed && rep.completed;
+      bench.record_trial(hyb.steps_to_completion, 0, hyb.completed);
+      bench.record_trial(rep.steps_to_completion, 0, rep.completed);
       if (at == 2) {
         lens.push_back(n);
         hybrid_by_len.push_back(static_cast<double>(hyb.recovery_steps));
@@ -85,5 +91,5 @@ int main() {
                "function of |X|, not of the index being learnt.\n"
             << "measured: " << (ok && shape ? "CONFIRMED" : "NOT CONFIRMED")
             << "\n";
-  return ok && shape ? 0 : 1;
+  return bench.finish(ok && shape);
 }

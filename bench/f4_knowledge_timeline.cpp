@@ -34,7 +34,11 @@ std::unique_ptr<sim::IScheduler> delayed_round_robin(int delay) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun bench("f4_knowledge_timeline", argc, argv);
+  bench.param("m", 2);
+  bench.param("delays", "0,2,4,6");
+
   std::cout << analysis::heading(
       "F4: knowledge timeline t_i under increasing delivery starvation");
 
@@ -59,6 +63,8 @@ int main() {
     spec.engine.record_histories = true;
 
     const sim::RunResult run = stp::run_one(spec, x, 0);
+    bench.record_trial(run.stats.steps,
+                       run.stats.sent[0] + run.stats.sent[1], run.completed);
     if (!run.completed) {
       ok = false;
       continue;
@@ -113,6 +119,8 @@ int main() {
 
     const seq::Sequence x{1, 0, 1};
     const sim::RunResult run = stp::run_one(spec, x, 0);
+    bench.record_trial(run.stats.steps,
+                       run.stats.sent[0] + run.stats.sent[1], run.completed);
     if (!run.completed) ok = false;
 
     const seq::Family family = seq::all_words_up_to(d, max_len);
@@ -144,5 +152,5 @@ int main() {
   std::cout << "\npaper: t_i (knowledge) — not receipt or write time — is "
                "the right progress measure; knowledge precedes writes.\n"
             << "measured: " << (ok ? "CONFIRMED" : "NOT CONFIRMED") << "\n";
-  return ok ? 0 : 1;
+  return bench.finish(ok);
 }

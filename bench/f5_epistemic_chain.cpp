@@ -27,7 +27,10 @@ using namespace stpx::bench;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun bench("f5_epistemic_chain", argc, argv);
+  bench.param("m", 2);
+
   std::cout << analysis::heading(
       "F5: the epistemic staircase — K_R, K_S, and K_S K_R along a run");
 
@@ -41,9 +44,11 @@ int main() {
 
   const seq::Sequence x{1, 0};
   const sim::RunResult run = stp::run_one(spec, x, 0);
+  bench.record_trial(run.stats.steps,
+                     run.stats.sent[0] + run.stats.sent[1], run.completed);
   if (!run.completed) {
     std::cout << "run did not complete — cannot evaluate\n";
-    return 1;
+    return bench.finish(false);
   }
 
   const auto ex = knowledge::explore(
@@ -144,5 +149,5 @@ int main() {
                      "monotone, writes <= knowledge)"
                    : "NOT CONFIRMED")
             << "\n";
-  return ok ? 0 : 1;
+  return bench.finish(ok);
 }

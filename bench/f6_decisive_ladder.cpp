@@ -20,9 +20,13 @@
 #include "knowledge/explorer.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stpx;
   using namespace stpx::bench;
+
+  BenchRun bench("f6_decisive_ladder", argc, argv);
+  bench.param("m", 2);
+  bench.param("max_depth", 10);
 
   std::cout << analysis::heading(
       "F6: Lemma 2's ladder of dup-decisive tuples at |X| = alpha(m)+1");
@@ -50,6 +54,8 @@ int main() {
     const auto tuple = knowledge::find_dup_decisive(
         ex, required, static_cast<std::size_t>(l));
     ok = ok && tuple.has_value();
+    bench.record_trial(static_cast<std::uint64_t>(ex.points.size()), 0,
+                       tuple.has_value());
     std::string msgs = "{";
     if (tuple) {
       for (std::size_t i = 0; i < tuple->messages.size(); ++i) {
@@ -88,5 +94,5 @@ int main() {
             << (ok ? "CONFIRMED — every rung of the induction is reachable"
                    : "NOT CONFIRMED")
             << "\n";
-  return ok ? 0 : 1;
+  return bench.finish(ok);
 }

@@ -41,7 +41,12 @@ stp::SystemSpec del_chaos_spec(std::function<proto::ProtocolPair()> protocols) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun bench("r1_soak", argc, argv);
+  bench.param("n", 8);
+  bench.param("channel", "del+chaos");
+  bench.param("protocols", 6);
+
   std::cout << analysis::heading(
       "R1 (robustness): chaos soak, minimization, crash-restart");
 
@@ -68,6 +73,7 @@ int main() {
   for (const Entry& e : suite) {
     const auto spec = del_chaos_spec(e.make);
     const auto rep = stp::soak_sweep(e.name, spec, {x}, cfg);
+    bench.record(rep);
     table.add_row({e.name, std::to_string(rep.trials),
                    std::to_string(rep.completed),
                    std::to_string(rep.safety_violations),
@@ -144,5 +150,5 @@ int main() {
                "survives amnesia while repfree's receiver violates safety.\n"
             << "measured: " << (shape ? "CONFIRMED" : "NOT CONFIRMED")
             << "\n";
-  return shape ? 0 : 1;
+  return bench.finish(shape);
 }

@@ -8,11 +8,16 @@
 #include <iostream>
 
 #include "analysis/table.hpp"
+#include "common.hpp"
 #include "seq/alpha.hpp"
 #include "seq/repetition_free.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stpx;
+
+  bench::BenchRun bench("t1_alpha_table", argc, argv);
+  bench.param("max_m", 24);
+  bench.param("enumeration_max_m", 8);
 
   std::cout << analysis::heading(
       "T1: alpha(m) — closed form vs recurrence vs enumeration");
@@ -39,6 +44,7 @@ int main() {
       agree = agree && closed && count == *closed;
     }
     all_agree = all_agree && agree;
+    bench.record_trial(0, 0, agree);
     table.add_row({std::to_string(m), closed_s, recur_s, enum_s,
                    exact.to_decimal(), agree ? "yes" : "NO"});
   }
@@ -48,5 +54,5 @@ int main() {
                             "of repetition-free sequences confirmed)"
                           : "MISMATCH — investigate")
             << "\n";
-  return all_agree ? 0 : 1;
+  return bench.finish(all_agree);
 }

@@ -14,9 +14,14 @@
 #include "seq/family.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stpx;
   using namespace stpx::bench;
+
+  BenchRun bench("t2_dup_achievability", argc, argv);
+  bench.param("max_m", 5);
+  bench.param("seeds", 3);
+  bench.param("channel", "dup");
 
   std::cout << analysis::heading(
       "T2: repfree protocol solves X-STP(dup) at |X| = alpha(m)");
@@ -29,6 +34,7 @@ int main() {
     const auto seeds = seed_range(100, 3);
     const auto result =
         stp::sweep_family(repfree_dup_spec(m), family, seeds);
+    bench.record(result);
     all_ok = all_ok && result.all_ok();
     table.add_row({std::to_string(m), std::to_string(family.size()),
                    std::to_string(result.trials),
@@ -54,5 +60,5 @@ int main() {
                "safely despite reordering+duplication.\n"
             << "measured: " << (all_ok ? "CONFIRMED (0 failures)" : "FAILED")
             << "\n";
-  return all_ok ? 0 : 1;
+  return bench.finish(all_ok);
 }

@@ -20,9 +20,13 @@
 #include "stp/attack.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stpx;
   using namespace stpx::bench;
+
+  BenchRun bench("t3_dup_impossibility", argc, argv);
+  bench.param("max_m", 3);
+  bench.param("family", "alpha(m)+1");
 
   std::cout << analysis::heading(
       "T3: X-STP(dup) unsolvable at |X| = alpha(m) + 1 (Theorem 1)");
@@ -60,6 +64,7 @@ int main() {
     for (const bool knowledge : {false, true}) {
       const auto r = stp::find_attack(
           encoded_spec(table, knowledge, /*del=*/false), family, budget);
+      bench.record_trial(static_cast<std::uint64_t>(r.rounds), 0, r.found());
       operational_ok = operational_ok && r.found();
       std::string pair = seq::to_string(r.x_a);
       if (r.kind == stp::AttackResult::Kind::kSafetyViolation ||
@@ -109,5 +114,5 @@ int main() {
                      "found a witness"
                    : "NOT CONFIRMED")
             << "\n";
-  return ok ? 0 : 1;
+  return bench.finish(ok);
 }

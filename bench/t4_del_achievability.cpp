@@ -14,9 +14,14 @@
 #include "stp/boundedness.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stpx;
   using namespace stpx::bench;
+
+  BenchRun bench("t4_del_achievability", argc, argv);
+  bench.param("max_m", 4);
+  bench.param("channel", "del");
+  bench.param("loss_rates", "0.0,0.3");
 
   std::cout << analysis::heading(
       "T4: bounded repfree protocol solves X-STP(del) at |X| = alpha(m)");
@@ -29,6 +34,7 @@ int main() {
       const seq::Family family = seq::canonical_repetition_free(m);
       const auto result = stp::sweep_family(repfree_del_spec(m, loss),
                                             family, seed_range(200, 3));
+      bench.record(result);
       all_ok = all_ok && result.all_ok();
       table.add_row({std::to_string(m), fixed(loss, 1),
                      std::to_string(family.size()),
@@ -80,5 +86,5 @@ int main() {
                      "|X| (constant f)"
                    : "NOT CONFIRMED")
             << "\n";
-  return ok ? 0 : 1;
+  return bench.finish(ok);
 }

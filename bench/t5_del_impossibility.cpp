@@ -38,9 +38,13 @@ std::vector<stpx::BigUint> delta_schedule(int m, std::uint64_t c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stpx;
   using namespace stpx::bench;
+
+  BenchRun bench("t5_del_impossibility", argc, argv);
+  bench.param("max_m", 3);
+  bench.param("channel", "del");
 
   std::cout << analysis::heading(
       "T5: no bounded solution to X-STP(del) at |X| = alpha(m)+1 "
@@ -76,6 +80,7 @@ int main() {
     for (const bool knowledge : {false, true}) {
       const auto r = stp::find_attack(
           encoded_spec(table, knowledge, /*del=*/true), family, budget);
+      bench.record_trial(static_cast<std::uint64_t>(r.rounds), 0, r.found());
       all_found = all_found && r.found();
       std::string pair = seq::to_string(r.x_a);
       if (r.kind == stp::AttackResult::Kind::kSafetyViolation ||
@@ -97,5 +102,5 @@ int main() {
                             "safety or liveness witness"
                           : "NOT CONFIRMED")
             << "\n";
-  return all_found ? 0 : 1;
+  return bench.finish(all_found);
 }

@@ -44,7 +44,11 @@ seq::Sequence repeating_sequence(int n, int m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchRun bench("t6_boundedness", argc, argv);
+  bench.param("sizes", "8..128");
+  bench.param("fault_after_writes", 2);
+
   std::cout << analysis::heading(
       "T6: weakly bounded vs bounded — single-fault recovery (§5)");
 
@@ -61,6 +65,8 @@ int main() {
         {.fault_after_writes = 2}, 1);
     ok = ok && hyb.fault_injected && hyb.completed && rep.fault_injected &&
          rep.completed;
+    bench.record_trial(hyb.steps_to_completion, 0, hyb.completed);
+    bench.record_trial(rep.steps_to_completion, 0, rep.completed);
     xs.push_back(n);
     hybrid_next.push_back(static_cast<double>(hyb.recovery_steps));
     repfree_next.push_back(static_cast<double>(rep.recovery_steps));
@@ -91,5 +97,5 @@ int main() {
                               "bounded recovery is constant"
                             : "NOT CONFIRMED")
             << "\n";
-  return ok && shape ? 0 : 1;
+  return bench.finish(ok && shape);
 }

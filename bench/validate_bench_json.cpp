@@ -1,0 +1,52 @@
+// Validator for BENCH_<name>.json reports (the bench_smoke ctest fixture).
+//
+// Reads each file argument, checks it parses as structurally valid JSON,
+// and checks the report schema's required keys are present.  Exit 0 iff
+// every file passes — cheap enough to gate every CI run on.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/sinks.hpp"
+
+namespace {
+
+bool validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  if (!stpx::obs::json_valid(text)) {
+    std::cerr << path << ": not valid JSON\n";
+    return false;
+  }
+  for (const char* key : {"\"name\"", "\"params\"", "\"trials\"", "\"ok\"",
+                          "\"verdicts\"", "\"avg_steps\"",
+                          "\"msgs_per_trial\"", "\"write_latency\"",
+                          "\"trial_steps\""}) {
+    if (text.find(key) == std::string::npos) {
+      std::cerr << path << ": missing required key " << key << "\n";
+      return false;
+    }
+  }
+  std::cout << path << ": ok\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: validate_bench_json <report.json>...\n";
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok = validate(argv[i]) && ok;
+  return ok ? 0 : 1;
+}

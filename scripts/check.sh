@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# One-command verification: the tier-1 build + test gate, then the same
+# suite under ASan+UBSan (STPX_SANITIZE=ON) in a separate build tree.
+#
+#   scripts/check.sh             # tier-1 + sanitizer pass
+#   scripts/check.sh --fast      # tier-1 only
+#
+# Exits nonzero on the first failing stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: configure + build + ctest (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== bench smoke: one bench binary emits a valid JSON report =="
+ctest --test-dir build -L bench_smoke --output-on-failure
+
+if [[ "${FAST}" == "1" ]]; then
+  echo "== check.sh: tier-1 PASS (sanitizer stage skipped via --fast) =="
+  exit 0
+fi
+
+echo "== sanitizers: ASan+UBSan configure + build + ctest (build/asan/) =="
+cmake -B build/asan -S . -DSTPX_SANITIZE=ON >/dev/null
+cmake --build build/asan -j "${JOBS}"
+ctest --test-dir build/asan --output-on-failure -j "${JOBS}"
+
+echo "== check.sh: ALL PASS =="

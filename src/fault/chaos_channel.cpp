@@ -25,7 +25,8 @@ ChaosChannel::ChaosChannel(const ChaosChannel& other)
       fired_(other.fired_),
       windows_(other.windows_),
       cap_{other.cap_[0], other.cap_[1]},
-      stats_(other.stats_) {}
+      stats_(other.stats_),
+      probe_(other.probe_) {}
 
 void ChaosChannel::reset() {
   inner_->reset();
@@ -66,6 +67,21 @@ std::uint64_t ChaosChannel::deliverable_copies(sim::Dir dir) const {
 
 void ChaosChannel::fire(const FaultAction& a, sim::TickEffect& fx) {
   ++stats_.actions_fired;
+  if (probe_) {
+    obs::FaultEvent ev;
+    ev.step = step_;
+    ev.kind = to_cstr(a.kind);
+    ev.dir = a.dir;
+    ev.count = a.count;
+    // Windows report their effective (clamped) span so trace spans match
+    // what the channel actually enforces below.
+    ev.duration = (a.kind == FaultKind::kBlackout ||
+                   a.kind == FaultKind::kFreeze)
+                      ? std::max<std::uint64_t>(a.duration, 1)
+                      : 0;
+    ev.match = a.match;
+    probe_->on_fault(ev);
+  }
   switch (a.kind) {
     case FaultKind::kDropBurst: {
       if (!inner_->can_drop()) break;  // dup channels: deletion is forbidden

@@ -24,6 +24,7 @@
 #include <memory>
 
 #include "fault/plan.hpp"
+#include "obs/probe.hpp"
 #include "sim/channel_iface.hpp"
 
 namespace stpx::fault {
@@ -59,6 +60,12 @@ class ChaosChannel final : public sim::IChannel {
   const ChaosStats& stats() const { return stats_; }
   const sim::IChannel& inner() const { return *inner_; }
 
+  /// Report fired fault actions to `probe` (non-owning; null disables).
+  /// stp::with_chaos() forwards the run's EngineConfig::probe here so fault
+  /// events land in the same stream as the engine's.  clone() shares the
+  /// pointer.
+  void set_probe(obs::IProbe* probe) { probe_ = probe; }
+
  private:
   struct Window {
     FaultKind kind;  // kBlackout or kFreeze
@@ -81,6 +88,7 @@ class ChaosChannel final : public sim::IChannel {
   std::vector<Window> windows_;
   std::uint64_t cap_[2] = {0, 0};  // 0 = no cap active (per Dir)
   ChaosStats stats_;
+  obs::IProbe* probe_ = nullptr;  // non-owning
 };
 
 }  // namespace stpx::fault

@@ -1,0 +1,197 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace stpx::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  STPX_EXPECT(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                  std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                      bounds_.end(),
+              "Histogram: bounds must be strictly increasing");
+}
+
+void Histogram::observe(std::uint64_t sample) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += sample;
+  if (sample > max_seen_) max_seen_ = sample;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= target) return bounds_[i];
+  }
+  return max_seen_;
+}
+
+std::vector<std::uint64_t> pow2_bounds(std::size_t n) {
+  std::vector<std::uint64_t> bounds(n);
+  for (std::size_t i = 0; i < n; ++i) bounds[i] = std::uint64_t{1} << i;
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::uint64_t> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  }
+  return it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << '"' << name << "\":" << c.value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << '"' << name << "\":{\"value\":" << g.value()
+       << ",\"max\":" << g.max() << '}';
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << '"' << name << "\":{\"count\":" << h.count()
+       << ",\"sum\":" << h.sum() << ",\"max\":" << h.max_seen()
+       << ",\"p50\":" << h.quantile(0.50) << ",\"p90\":" << h.quantile(0.90)
+       << ",\"p99\":" << h.quantile(0.99) << '}';
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+namespace {
+
+std::size_t di(sim::Dir d) { return static_cast<std::size_t>(d); }
+
+const char* dir_suffix(sim::Dir d) {
+  return d == sim::Dir::kSenderToReceiver ? "sr" : "rs";
+}
+
+}  // namespace
+
+MetricsProbe::MetricsProbe(MetricsRegistry* registry) : reg_(registry) {
+  STPX_EXPECT(reg_ != nullptr, "MetricsProbe: null registry");
+}
+
+void MetricsProbe::on_run_begin(std::size_t items_total) {
+  (void)items_total;
+  reg_->counter("runs").inc();
+  inflight_[0] = inflight_[1] = 0;
+  seen_[0].clear();
+  seen_[1].clear();
+  pending_sends_.clear();
+  last_write_step_ = 0;
+  reg_->gauge("inflight.sr").set(0);
+  reg_->gauge("inflight.rs").set(0);
+}
+
+void MetricsProbe::on_step(std::uint64_t step, const sim::Action& a) {
+  (void)step;
+  (void)a;
+  reg_->counter("steps").inc();
+  // Occupancy over time: sample the in-flight level once per step.
+  reg_->histogram("occupancy.sr", pow2_bounds(16))
+      .observe(static_cast<std::uint64_t>(std::max<std::int64_t>(
+          inflight_[0], 0)));
+  reg_->histogram("occupancy.rs", pow2_bounds(16))
+      .observe(static_cast<std::uint64_t>(std::max<std::int64_t>(
+          inflight_[1], 0)));
+}
+
+void MetricsProbe::on_send(std::uint64_t step, sim::Dir dir, sim::MsgId msg) {
+  (void)msg;
+  reg_->counter(std::string("sends.") + dir_suffix(dir)).inc();
+  reg_->gauge(std::string("inflight.") + dir_suffix(dir)).add(1);
+  ++inflight_[di(dir)];
+  if (dir == sim::Dir::kSenderToReceiver) {
+    // Bounded pending queue: enough to pair each outstanding data message
+    // with the next ack the sender sees; cap so a flooding sender cannot
+    // grow the probe without bound.
+    if (pending_sends_.size() < 1024) pending_sends_.push_back(step);
+  }
+}
+
+void MetricsProbe::on_deliver(std::uint64_t step, sim::Dir dir,
+                              sim::MsgId msg) {
+  reg_->counter(std::string("delivers.") + dir_suffix(dir)).inc();
+  reg_->gauge(std::string("inflight.") + dir_suffix(dir)).add(-1);
+  --inflight_[di(dir)];
+  if (++seen_[di(dir)][msg] > 1) {
+    reg_->counter(std::string("dup_replays.") + dir_suffix(dir)).inc();
+  }
+  if (dir == sim::Dir::kReceiverToSender && !pending_sends_.empty()) {
+    // Ack round trip: oldest unacknowledged data send -> this delivery to
+    // the sender.  An approximation (ids are protocol-private), but a
+    // faithful one for the stop-and-wait style protocols under study.
+    reg_->histogram("ack_rtt", pow2_bounds(20))
+        .observe(step - pending_sends_.front());
+    pending_sends_.erase(pending_sends_.begin());
+  }
+}
+
+void MetricsProbe::on_write(std::uint64_t step, std::size_t index,
+                            seq::DataItem item) {
+  (void)index;
+  (void)item;
+  reg_->counter("writes").inc();
+  reg_->histogram("write_latency", pow2_bounds(20))
+      .observe(step - last_write_step_);
+  last_write_step_ = step;
+}
+
+void MetricsProbe::on_crash(std::uint64_t step, sim::Proc who) {
+  (void)step;
+  reg_->counter(std::string("crashes.") + sim::to_cstr(who)).inc();
+}
+
+void MetricsProbe::on_stall(std::uint64_t step) {
+  (void)step;
+  reg_->counter("stalls").inc();
+}
+
+void MetricsProbe::on_run_end(std::uint64_t steps, sim::RunVerdict verdict) {
+  (void)steps;
+  reg_->counter(std::string("verdict.") + sim::to_cstr(verdict)).inc();
+}
+
+void MetricsProbe::on_fault(const FaultEvent& ev) {
+  reg_->counter(std::string("faults.") + ev.kind).inc();
+}
+
+}  // namespace stpx::obs

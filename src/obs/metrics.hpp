@@ -1,0 +1,149 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms,
+// plus the MetricsProbe that populates one from engine/chaos hooks.
+//
+// Instruments are owned by the registry and addressed by name; repeated
+// lookups with the same name return the same instrument.  Iteration order
+// (and hence JSON output) is lexicographic, so two identical runs serialize
+// identically — determinism is a repo-wide invariant and metrics must not
+// be the layer that breaks it.
+//
+// Histograms are fixed-bucket: observe() is O(#buckets) worst case with no
+// allocation, which keeps the per-step probe cost bounded.  Percentiles
+// read from a histogram are therefore bucket-upper-bound approximations;
+// the exact-sample percentiles in obs/report.hpp are the tool for offline
+// report generation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/probe.hpp"
+
+namespace stpx::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A signed instantaneous level that also remembers its high-water mark.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void add(std::int64_t delta) { set(value_ + delta); }
+  std::int64_t value() const { return value_; }
+  std::int64_t max() const { return max_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Fixed-bucket histogram over non-negative integer samples.  `bounds` are
+/// inclusive upper bounds of the first N buckets; one implicit overflow
+/// bucket catches everything beyond the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t sample);
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t max_seen() const { return max_seen_; }
+  double mean() const;
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Smallest bucket upper bound b with cumulative(b) >= q * count().
+  /// Samples past the last bound report max_seen().  q in [0, 1].
+  std::uint64_t quantile(double q) const;
+
+ private:
+  std::vector<std::uint64_t> bounds_;  // sorted, strictly increasing
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_seen_ = 0;
+};
+
+/// Exponential bucket bounds 1, 2, 4, ... (n bounds) — the default shape
+/// for step-latency style metrics.
+std::vector<std::uint64_t> pow2_bounds(std::size_t n);
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is used on first creation only; later lookups reuse the
+  /// existing instrument.
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> bounds);
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Counter value, or 0 when absent (convenient in tests/assertions).
+  std::uint64_t counter_value(const std::string& name) const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// The standard engine instrumentation, accumulated across every run the
+/// probe observes (attach a fresh registry per sweep for per-sweep stats).
+///
+/// Metric catalog (see docs/OBSERVABILITY.md):
+///   counters   runs, steps, sends.sr / sends.rs, delivers.sr / delivers.rs,
+///              dup_replays.sr / dup_replays.rs (re-deliveries of an id
+///              already delivered in that direction within the run),
+///              writes, crashes.sender / crashes.receiver, stalls,
+///              faults.<kind>, verdict.<name>
+///   gauges     inflight.sr / inflight.rs (sends minus deliveries; dup
+///              channels can drive these negative — delivery does not
+///              consume), with high-water mark
+///   histograms occupancy.sr / occupancy.rs (in-flight level sampled each
+///              step), write_latency (steps between consecutive writes),
+///              ack_rtt (sender data send -> next delivery to the sender)
+class MetricsProbe final : public IProbe {
+ public:
+  /// `registry` is non-owning and must outlive the probe's use.
+  explicit MetricsProbe(MetricsRegistry* registry);
+
+  void on_run_begin(std::size_t items_total) override;
+  void on_step(std::uint64_t step, const sim::Action& a) override;
+  void on_send(std::uint64_t step, sim::Dir dir, sim::MsgId msg) override;
+  void on_deliver(std::uint64_t step, sim::Dir dir, sim::MsgId msg) override;
+  void on_write(std::uint64_t step, std::size_t index,
+                seq::DataItem item) override;
+  void on_crash(std::uint64_t step, sim::Proc who) override;
+  void on_stall(std::uint64_t step) override;
+  void on_run_end(std::uint64_t steps, sim::RunVerdict verdict) override;
+  void on_fault(const FaultEvent& ev) override;
+
+ private:
+  MetricsRegistry* reg_;
+  // --- per-run state, cleared by on_run_begin ---------------------------
+  std::int64_t inflight_[2] = {0, 0};
+  std::map<sim::MsgId, std::uint64_t> seen_[2];  // deliveries per id per dir
+  std::vector<std::uint64_t> pending_sends_;     // S->R send steps, FIFO
+  std::uint64_t last_write_step_ = 0;
+};
+
+}  // namespace stpx::obs

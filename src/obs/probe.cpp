@@ -1,0 +1,53 @@
+#include "obs/probe.hpp"
+
+#include <algorithm>
+
+namespace stpx::obs {
+
+MultiProbe::MultiProbe(std::vector<IProbe*> probes)
+    : probes_(std::move(probes)) {
+  std::erase(probes_, nullptr);
+}
+
+void MultiProbe::add(IProbe* p) {
+  if (p != nullptr) probes_.push_back(p);
+}
+
+void MultiProbe::on_run_begin(std::size_t items_total) {
+  for (IProbe* p : probes_) p->on_run_begin(items_total);
+}
+
+void MultiProbe::on_step(std::uint64_t step, const sim::Action& a) {
+  for (IProbe* p : probes_) p->on_step(step, a);
+}
+
+void MultiProbe::on_send(std::uint64_t step, sim::Dir dir, sim::MsgId msg) {
+  for (IProbe* p : probes_) p->on_send(step, dir, msg);
+}
+
+void MultiProbe::on_deliver(std::uint64_t step, sim::Dir dir, sim::MsgId msg) {
+  for (IProbe* p : probes_) p->on_deliver(step, dir, msg);
+}
+
+void MultiProbe::on_write(std::uint64_t step, std::size_t index,
+                          seq::DataItem item) {
+  for (IProbe* p : probes_) p->on_write(step, index, item);
+}
+
+void MultiProbe::on_crash(std::uint64_t step, sim::Proc who) {
+  for (IProbe* p : probes_) p->on_crash(step, who);
+}
+
+void MultiProbe::on_stall(std::uint64_t step) {
+  for (IProbe* p : probes_) p->on_stall(step);
+}
+
+void MultiProbe::on_run_end(std::uint64_t steps, sim::RunVerdict verdict) {
+  for (IProbe* p : probes_) p->on_run_end(steps, verdict);
+}
+
+void MultiProbe::on_fault(const FaultEvent& ev) {
+  for (IProbe* p : probes_) p->on_fault(ev);
+}
+
+}  // namespace stpx::obs

@@ -1,0 +1,127 @@
+// Run observatory: the probe interface the engine (and the chaos layer)
+// report into while a run executes.
+//
+// The engine's RunResult is an end-state artifact; the paper's arguments —
+// and any live diagnosis of a sweep or soak — are about what happened
+// *during* the run: which direction carried traffic, how long items waited
+// to be written, when a fault window opened.  An IProbe is a passive
+// observer of exactly those events.  Hooks fire synchronously from
+// Engine::apply() / ChaosChannel::fire(), so implementations must be cheap
+// and must not touch the engine re-entrantly.
+//
+// Wiring: set EngineConfig::probe (a non-owning pointer; the caller keeps
+// the probe alive for the duration of the run).  With no probe attached the
+// engine pays a single null-pointer test per hook site — nothing is
+// recorded and nothing is allocated.  stp::with_chaos() forwards the same
+// probe into its ChaosChannel decorator so fault firings land in the same
+// stream.  Note that Engine::clone() shares the probe pointer: analysis
+// layers that branch runs (knowledge explorer, attack synthesizer) will
+// interleave events from every branch, so attach probes to linear runs.
+//
+// This header is intentionally link-free (pure interface + inline no-op
+// defaults): sim depends on it, while the obs *library* (metrics, sinks,
+// reports) depends on sim.  That keeps the library DAG acyclic:
+//   util <- seq <- sim(+probe.hpp) <- {channel, fault} <- obs <- proto ...
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace stpx::obs {
+
+/// A fault action fired by the chaos layer.  `kind` is the stable text name
+/// (fault::to_cstr of the FaultKind) so the probe layer does not depend on
+/// the fault library; `duration > 0` marks window faults (blackout/freeze),
+/// whose effect spans [step, step + duration).
+struct FaultEvent {
+  std::uint64_t step = 0;
+  const char* kind = "";
+  sim::Dir dir = sim::Dir::kSenderToReceiver;
+  std::uint64_t count = 0;
+  std::uint64_t duration = 0;
+  sim::MsgId match = -1;
+};
+
+class IProbe {
+ public:
+  virtual ~IProbe() = default;
+
+  /// begin(x) was called: a fresh run over `items_total` input items.
+  virtual void on_run_begin(std::size_t items_total) { (void)items_total; }
+
+  /// An action is about to be applied at `step` (fires once per step).
+  virtual void on_step(std::uint64_t step, const sim::Action& a) {
+    (void)step;
+    (void)a;
+  }
+
+  /// A process handed a message to the channel (counted even if a fault
+  /// later swallows it — sends are the process's observable act).
+  virtual void on_send(std::uint64_t step, sim::Dir dir, sim::MsgId msg) {
+    (void)step;
+    (void)dir;
+    (void)msg;
+  }
+
+  /// One copy of `msg` was delivered in `dir`.
+  virtual void on_deliver(std::uint64_t step, sim::Dir dir, sim::MsgId msg) {
+    (void)step;
+    (void)dir;
+    (void)msg;
+  }
+
+  /// The receiver appended output item `index` (0-based) with value `item`.
+  virtual void on_write(std::uint64_t step, std::size_t index,
+                        seq::DataItem item) {
+    (void)step;
+    (void)index;
+    (void)item;
+  }
+
+  /// A process was crash-restarted (volatile state lost).
+  virtual void on_crash(std::uint64_t step, sim::Proc who) {
+    (void)step;
+    (void)who;
+  }
+
+  /// The engine watchdog declared the run stalled.
+  virtual void on_stall(std::uint64_t step) { (void)step; }
+
+  /// run_to_completion() returned (verdict as of that moment).
+  virtual void on_run_end(std::uint64_t steps, sim::RunVerdict verdict) {
+    (void)steps;
+    (void)verdict;
+  }
+
+  /// The chaos layer fired a fault action (see FaultEvent).
+  virtual void on_fault(const FaultEvent& ev) { (void)ev; }
+};
+
+/// Fan-out: forwards every hook to each registered probe, in order.  Lets a
+/// caller attach a MetricsProbe and a trace sink to the same run.
+class MultiProbe final : public IProbe {
+ public:
+  MultiProbe() = default;
+  explicit MultiProbe(std::vector<IProbe*> probes);
+
+  /// Register a probe (non-owning; ignored if null).
+  void add(IProbe* p);
+
+  void on_run_begin(std::size_t items_total) override;
+  void on_step(std::uint64_t step, const sim::Action& a) override;
+  void on_send(std::uint64_t step, sim::Dir dir, sim::MsgId msg) override;
+  void on_deliver(std::uint64_t step, sim::Dir dir, sim::MsgId msg) override;
+  void on_write(std::uint64_t step, std::size_t index,
+                seq::DataItem item) override;
+  void on_crash(std::uint64_t step, sim::Proc who) override;
+  void on_stall(std::uint64_t step) override;
+  void on_run_end(std::uint64_t steps, sim::RunVerdict verdict) override;
+  void on_fault(const FaultEvent& ev) override;
+
+ private:
+  std::vector<IProbe*> probes_;
+};
+
+}  // namespace stpx::obs

@@ -1,0 +1,412 @@
+#include "obs/sinks.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace stpx::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Minimal recursive-descent JSON checker (see header for scope).
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool run() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (depth_ > 256 || pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++depth_;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; --depth_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++depth_;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; --depth_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+const char* dir_name(sim::Dir d) { return sim::to_cstr(d); }
+
+}  // namespace
+
+bool json_valid(const std::string& text) { return JsonChecker(text).run(); }
+
+// --- JsonlSink ------------------------------------------------------------
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+
+void JsonlSink::on_run_begin(std::size_t items_total) {
+  *out_ << "{\"ev\":\"run_begin\",\"items\":" << items_total << "}\n";
+}
+
+void JsonlSink::on_step(std::uint64_t step, const sim::Action& a) {
+  *out_ << "{\"ev\":\"step\",\"step\":" << step << ",\"action\":\""
+        << sim::to_cstr(a.kind) << '"';
+  if (a.kind == sim::ActionKind::kDeliverToReceiver ||
+      a.kind == sim::ActionKind::kDeliverToSender) {
+    *out_ << ",\"msg\":" << a.msg;
+  }
+  *out_ << "}\n";
+}
+
+void JsonlSink::on_send(std::uint64_t step, sim::Dir dir, sim::MsgId msg) {
+  *out_ << "{\"ev\":\"send\",\"step\":" << step << ",\"dir\":\""
+        << dir_name(dir) << "\",\"msg\":" << msg << "}\n";
+}
+
+void JsonlSink::on_deliver(std::uint64_t step, sim::Dir dir, sim::MsgId msg) {
+  *out_ << "{\"ev\":\"deliver\",\"step\":" << step << ",\"dir\":\""
+        << dir_name(dir) << "\",\"msg\":" << msg << "}\n";
+}
+
+void JsonlSink::on_write(std::uint64_t step, std::size_t index,
+                         seq::DataItem item) {
+  *out_ << "{\"ev\":\"write\",\"step\":" << step << ",\"index\":" << index
+        << ",\"item\":" << item << "}\n";
+}
+
+void JsonlSink::on_crash(std::uint64_t step, sim::Proc who) {
+  *out_ << "{\"ev\":\"crash\",\"step\":" << step << ",\"proc\":\""
+        << sim::to_cstr(who) << "\"}\n";
+}
+
+void JsonlSink::on_stall(std::uint64_t step) {
+  *out_ << "{\"ev\":\"stall\",\"step\":" << step << "}\n";
+}
+
+void JsonlSink::on_run_end(std::uint64_t steps, sim::RunVerdict verdict) {
+  *out_ << "{\"ev\":\"run_end\",\"steps\":" << steps << ",\"verdict\":\""
+        << sim::to_cstr(verdict) << "\"}\n";
+}
+
+void JsonlSink::on_fault(const FaultEvent& ev) {
+  *out_ << "{\"ev\":\"fault\",\"step\":" << ev.step << ",\"kind\":\""
+        << json_escape(ev.kind) << "\",\"dir\":\"" << dir_name(ev.dir)
+        << "\",\"count\":" << ev.count << ",\"duration\":" << ev.duration
+        << ",\"match\":" << ev.match << "}\n";
+}
+
+// --- ChromeTraceSink ------------------------------------------------------
+
+namespace {
+
+// Track (tid) layout inside the single trace process.
+constexpr int kTidSender = 1;
+constexpr int kTidReceiver = 2;
+constexpr int kTidChannelSR = 3;
+constexpr int kTidChannelRS = 4;
+constexpr int kTidEngine = 5;
+constexpr int kTidFaultBase = 6;  // fault lanes stack upward from here
+
+int channel_tid(sim::Dir d) {
+  return d == sim::Dir::kSenderToReceiver ? kTidChannelSR : kTidChannelRS;
+}
+
+}  // namespace
+
+void ChromeTraceSink::on_run_begin(std::size_t items_total) {
+  std::ostringstream args;
+  args << "\"items\":" << items_total;
+  instants_.push_back({0, kTidEngine, "run_begin", args.str(), 0});
+}
+
+void ChromeTraceSink::on_step(std::uint64_t step, const sim::Action& a) {
+  // Process steps render as 1-step slices on the process's own track;
+  // delivery actions are already covered by on_deliver instants.
+  if (a.kind == sim::ActionKind::kSenderStep) {
+    instants_.push_back({step, kTidSender, "S-step", "", 1});
+  } else if (a.kind == sim::ActionKind::kReceiverStep) {
+    instants_.push_back({step, kTidReceiver, "R-step", "", 1});
+  }
+}
+
+void ChromeTraceSink::on_send(std::uint64_t step, sim::Dir dir,
+                              sim::MsgId msg) {
+  std::ostringstream args;
+  args << "\"msg\":" << msg;
+  instants_.push_back(
+      {step, channel_tid(dir), "send " + std::to_string(msg), args.str(), 0});
+}
+
+void ChromeTraceSink::on_deliver(std::uint64_t step, sim::Dir dir,
+                                 sim::MsgId msg) {
+  std::ostringstream args;
+  args << "\"msg\":" << msg;
+  instants_.push_back({step, channel_tid(dir),
+                       "deliver " + std::to_string(msg), args.str(), 0});
+}
+
+void ChromeTraceSink::on_write(std::uint64_t step, std::size_t index,
+                               seq::DataItem item) {
+  std::ostringstream args;
+  args << "\"index\":" << index << ",\"item\":" << item;
+  instants_.push_back({step, kTidReceiver,
+                       "write[" + std::to_string(index) + "]", args.str(), 0});
+}
+
+void ChromeTraceSink::on_crash(std::uint64_t step, sim::Proc who) {
+  const int tid = who == sim::Proc::kSender ? kTidSender : kTidReceiver;
+  instants_.push_back({step, tid, "crash-restart", "", 0});
+}
+
+void ChromeTraceSink::on_stall(std::uint64_t step) {
+  instants_.push_back({step, kTidEngine, "stall", "", 0});
+}
+
+void ChromeTraceSink::on_fault(const FaultEvent& ev) {
+  std::ostringstream args;
+  args << "\"kind\":\"" << json_escape(ev.kind) << "\",\"dir\":\""
+       << dir_name(ev.dir) << "\",\"count\":" << ev.count
+       << ",\"match\":" << ev.match;
+  const std::string name = std::string(ev.kind) + " " + dir_name(ev.dir);
+  if (ev.duration > 0) {
+    spans_.push_back({ev.step, ev.step + ev.duration, name, args.str()});
+  } else {
+    instants_.push_back({ev.step, kTidFaultBase, name, args.str(), 0});
+  }
+}
+
+void ChromeTraceSink::write_to(std::ostream& out) const {
+  // Assign each fault window to the first lane where it does not overlap an
+  // earlier window, so every lane carries a properly nested (here: disjoint)
+  // B/E sequence.
+  std::vector<Span> spans = spans_;
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Span& a, const Span& b) {
+                     return a.begin < b.begin;
+                   });
+  std::vector<std::uint64_t> lane_end;  // last end per lane
+  struct TracedSpan {
+    Span span;
+    int tid;
+  };
+  std::vector<TracedSpan> placed;
+  placed.reserve(spans.size());
+  for (const Span& s : spans) {
+    std::size_t lane = 0;
+    while (lane < lane_end.size() && lane_end[lane] > s.begin) ++lane;
+    if (lane == lane_end.size()) lane_end.push_back(0);
+    lane_end[lane] = s.end;
+    placed.push_back({s, kTidFaultBase + static_cast<int>(lane)});
+  }
+
+  struct Record {
+    std::uint64_t ts;
+    int order;  // stable tiebreak: B(0) before instants(1) before E(2)
+    std::string json;
+  };
+  std::vector<Record> records;
+  records.reserve(instants_.size() + 2 * placed.size());
+
+  auto event = [](std::uint64_t ts, int tid, char ph, const std::string& name,
+                  const std::string& args, std::uint64_t dur) {
+    std::ostringstream os;
+    os << "{\"name\":\"" << json_escape(name) << "\",\"ph\":\"" << ph
+       << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << ts;
+    if (ph == 'X') os << ",\"dur\":" << dur;
+    if (ph == 'i') os << ",\"s\":\"t\"";
+    if (!args.empty()) os << ",\"args\":{" << args << '}';
+    os << '}';
+    return os.str();
+  };
+
+  for (const Instant& i : instants_) {
+    const char ph = i.dur > 0 ? 'X' : 'i';
+    records.push_back({i.ts, 1, event(i.ts, i.tid, ph, i.name, i.args, i.dur)});
+  }
+  for (const TracedSpan& t : placed) {
+    records.push_back(
+        {t.span.begin, 0,
+         event(t.span.begin, t.tid, 'B', t.span.name, t.span.args, 0)});
+    records.push_back(
+        {t.span.end, 2, event(t.span.end, t.tid, 'E', t.span.name, "", 0)});
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.ts != b.ts ? a.ts < b.ts : a.order < b.order;
+                   });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto meta = [&](int tid, const char* name) {
+    out << (first ? "" : ",")
+        << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << name << "\"}}";
+    first = false;
+  };
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"stpx run\"}}";
+  first = false;
+  meta(kTidSender, "sender");
+  meta(kTidReceiver, "receiver");
+  meta(kTidChannelSR, "channel S->R");
+  meta(kTidChannelRS, "channel R->S");
+  meta(kTidEngine, "engine");
+  for (std::size_t lane = 0; lane < lane_end.size(); ++lane) {
+    meta(kTidFaultBase + static_cast<int>(lane),
+         lane == 0 ? "faults" : "faults (overflow lane)");
+  }
+  for (const Record& r : records) {
+    out << (first ? "" : ",") << r.json;
+    first = false;
+  }
+  out << "]}";
+}
+
+std::string ChromeTraceSink::to_json() const {
+  std::ostringstream os;
+  write_to(os);
+  return os.str();
+}
+
+void ChromeTraceSink::clear() {
+  instants_.clear();
+  spans_.clear();
+}
+
+}  // namespace stpx::obs

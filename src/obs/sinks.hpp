@@ -1,0 +1,97 @@
+// Trace sinks: probes that serialize the event stream.
+//
+//   * JsonlSink — one JSON object per line, streamed to an ostream as the
+//     run executes; the grep/jq-friendly archival form.
+//   * ChromeTraceSink — buffers the run and exports Chrome trace-event JSON
+//     (the format Perfetto and chrome://tracing load).  Sender, receiver,
+//     and the two channel directions render as threads of one process;
+//     sends/deliveries/writes/crashes are instant events on their track;
+//     process steps are 1-step complete events; chaos fault *windows*
+//     (blackout/freeze) are balanced B/E duration pairs on a dedicated
+//     faults track, so a schedule's blind spots are visible as shaded
+//     spans over the traffic they suppressed.
+//
+// Trace timestamps are engine steps, written as microseconds (1 step =
+// 1 us) — Perfetto needs a time unit and steps are the only clock the
+// model has.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/probe.hpp"
+
+namespace stpx::obs {
+
+/// Escape a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& s);
+
+/// Structural validity check (objects/arrays/strings/numbers/bools/null,
+/// complete input).  Not a full RFC 8259 parser — enough to guarantee a
+/// report or trace round-trips through a real one.
+bool json_valid(const std::string& text);
+
+/// Streams one JSON object per event line:
+///   {"ev":"send","step":12,"dir":"S->R","msg":3}
+class JsonlSink final : public IProbe {
+ public:
+  /// `out` is non-owning and must outlive the sink's use.
+  explicit JsonlSink(std::ostream& out);
+
+  void on_run_begin(std::size_t items_total) override;
+  void on_step(std::uint64_t step, const sim::Action& a) override;
+  void on_send(std::uint64_t step, sim::Dir dir, sim::MsgId msg) override;
+  void on_deliver(std::uint64_t step, sim::Dir dir, sim::MsgId msg) override;
+  void on_write(std::uint64_t step, std::size_t index,
+                seq::DataItem item) override;
+  void on_crash(std::uint64_t step, sim::Proc who) override;
+  void on_stall(std::uint64_t step) override;
+  void on_run_end(std::uint64_t steps, sim::RunVerdict verdict) override;
+  void on_fault(const FaultEvent& ev) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Buffers events and exports a Chrome trace-event JSON document.
+class ChromeTraceSink final : public IProbe {
+ public:
+  void on_run_begin(std::size_t items_total) override;
+  void on_step(std::uint64_t step, const sim::Action& a) override;
+  void on_send(std::uint64_t step, sim::Dir dir, sim::MsgId msg) override;
+  void on_deliver(std::uint64_t step, sim::Dir dir, sim::MsgId msg) override;
+  void on_write(std::uint64_t step, std::size_t index,
+                seq::DataItem item) override;
+  void on_crash(std::uint64_t step, sim::Proc who) override;
+  void on_stall(std::uint64_t step) override;
+  void on_fault(const FaultEvent& ev) override;
+
+  /// Render everything buffered so far as {"traceEvents":[...]}.
+  void write_to(std::ostream& out) const;
+  std::string to_json() const;
+  void clear();
+
+ private:
+  /// One instant ("i") or complete ("X") event on a track.
+  struct Instant {
+    std::uint64_t ts = 0;
+    int tid = 0;
+    std::string name;
+    std::string args;        // pre-rendered JSON object body, may be empty
+    std::uint64_t dur = 0;   // 0 = instant, >0 = complete event
+  };
+  /// One fault window, exported as a balanced B/E pair.
+  struct Span {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::string name;
+    std::string args;
+  };
+
+  std::vector<Instant> instants_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace stpx::obs

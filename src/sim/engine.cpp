@@ -66,6 +66,7 @@ void Engine::begin(const seq::Sequence& x) {
   sender_->start(x);
   receiver_->start();
   begun_ = true;
+  if (config_.probe) config_.probe->on_run_begin(x_.size());
 }
 
 SchedView Engine::view() const {
@@ -95,11 +96,14 @@ bool Engine::legal(const Action& a) const {
 void Engine::note_send(Dir dir, MsgId msg) {
   channel_->send(dir, msg);
   ++stats_.sent[dir_index(dir)];
+  if (config_.probe) config_.probe->on_send(stats_.steps, dir, msg);
 }
 
 void Engine::apply(const Action& a) {
   STPX_EXPECT(begun_, "Engine: begin() not called");
   STPX_EXPECT(legal(a), "Engine: illegal action " + to_string(a));
+
+  if (config_.probe) config_.probe->on_step(stats_.steps, a);
 
   TraceEvent ev;
   ev.step = stats_.steps;
@@ -135,6 +139,7 @@ void Engine::apply(const Action& a) {
         y_.push_back(d);
         stats_.write_step.push_back(stats_.steps);
         last_progress_step_ = stats_.steps;
+        if (config_.probe) config_.probe->on_write(stats_.steps, pos, d);
         // Online safety check: Y must stay a prefix of X.
         if (safety_ok_ && (pos >= x_.size() || x_[pos] != d)) {
           safety_ok_ = false;
@@ -154,6 +159,9 @@ void Engine::apply(const Action& a) {
     case ActionKind::kDeliverToReceiver: {
       channel_->deliver(Dir::kSenderToReceiver, a.msg);
       ++stats_.delivered[dir_index(Dir::kSenderToReceiver)];
+      if (config_.probe) {
+        config_.probe->on_deliver(stats_.steps, Dir::kSenderToReceiver, a.msg);
+      }
       receiver_->on_deliver(a.msg);
       if (config_.record_histories) {
         LocalEvent le;
@@ -166,6 +174,9 @@ void Engine::apply(const Action& a) {
     case ActionKind::kDeliverToSender: {
       channel_->deliver(Dir::kReceiverToSender, a.msg);
       ++stats_.delivered[dir_index(Dir::kReceiverToSender)];
+      if (config_.probe) {
+        config_.probe->on_deliver(stats_.steps, Dir::kReceiverToSender, a.msg);
+      }
       sender_->on_deliver(a.msg);
       if (config_.record_histories) {
         LocalEvent le;
@@ -185,12 +196,14 @@ void Engine::crash_restart_sender() {
   STPX_EXPECT(begun_, "Engine: begin() not called");
   sender_->start(x_);
   ++stats_.crashes[0];
+  if (config_.probe) config_.probe->on_crash(stats_.steps, Proc::kSender);
 }
 
 void Engine::crash_restart_receiver() {
   STPX_EXPECT(begun_, "Engine: begin() not called");
   receiver_->start();
   ++stats_.crashes[1];
+  if (config_.probe) config_.probe->on_crash(stats_.steps, Proc::kReceiver);
 }
 
 Action Engine::step_once() {
@@ -212,10 +225,12 @@ void Engine::run_to_completion() {
     if (config_.stall_window > 0 && !completed() &&
         stats_.steps - last_progress_step_ >= config_.stall_window) {
       stalled_ = true;
+      if (config_.probe) config_.probe->on_stall(stats_.steps);
       break;
     }
     step_once();
   }
+  if (config_.probe) config_.probe->on_run_end(stats_.steps, verdict());
 }
 
 RunResult Engine::run(const seq::Sequence& x) {
@@ -232,10 +247,7 @@ RunResult Engine::result() const {
   r.first_violation_step = first_violation_step_;
   r.completed = completed();
   r.stalled = stalled_;
-  r.verdict = !safety_ok_          ? RunVerdict::kSafetyViolation
-              : completed()        ? RunVerdict::kCompleted
-              : stalled_           ? RunVerdict::kStalled
-                                   : RunVerdict::kBudgetExhausted;
+  r.verdict = verdict();
   r.stats = stats_;
   r.trace = trace_;
   r.receiver_history = receiver_hist_;

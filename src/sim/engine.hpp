@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 
+#include "obs/probe.hpp"
 #include "sim/channel_iface.hpp"
 #include "sim/process.hpp"
 #include "sim/scheduler_iface.hpp"
@@ -33,6 +34,10 @@ struct EngineConfig {
   /// Watchdog: abort run() if the output tape makes no progress for this
   /// many consecutive steps (livelock / quiescence detection).  0 disables.
   std::uint64_t stall_window = 0;
+  /// Optional run observer (non-owning; see obs/probe.hpp).  Null — the
+  /// default — costs one pointer test per hook site and records nothing.
+  /// clone() shares the pointer, so attach probes to linear runs only.
+  obs::IProbe* probe = nullptr;
 };
 
 struct RunStats {
@@ -44,24 +49,6 @@ struct RunStats {
   /// Step index at which output item i was written.
   std::vector<std::uint64_t> write_step;
 };
-
-/// Structured outcome of a driven run, most severe first.
-enum class RunVerdict : std::uint8_t {
-  kSafetyViolation,   // Y stopped being a prefix of X
-  kStalled,           // watchdog: no write progress within stall_window
-  kBudgetExhausted,   // hit max_steps without completing
-  kCompleted,         // Y == X
-};
-
-constexpr const char* to_cstr(RunVerdict v) {
-  switch (v) {
-    case RunVerdict::kSafetyViolation: return "safety-violation";
-    case RunVerdict::kStalled: return "stalled";
-    case RunVerdict::kBudgetExhausted: return "budget-exhausted";
-    case RunVerdict::kCompleted: return "completed";
-  }
-  return "?";
-}
 
 struct RunResult {
   seq::Sequence input;
@@ -127,6 +114,13 @@ class Engine {
   bool safety_ok() const { return safety_ok_; }
   bool completed() const { return y_ == x_; }
   bool stalled() const { return stalled_; }
+  /// Structured verdict of the run so far (same logic result() records).
+  RunVerdict verdict() const {
+    return !safety_ok_   ? RunVerdict::kSafetyViolation
+           : completed() ? RunVerdict::kCompleted
+           : stalled_    ? RunVerdict::kStalled
+                         : RunVerdict::kBudgetExhausted;
+  }
   std::uint64_t steps() const { return stats_.steps; }
   /// Step at which the output tape last grew (0 if it never has).
   std::uint64_t last_progress_step() const { return last_progress_step_; }

@@ -51,6 +51,35 @@ constexpr const char* to_cstr(ActionKind k) {
   return "?";
 }
 
+/// The two processes, by the engine's indexing convention (RunStats,
+/// crash counters, probe hooks all use 0 = sender, 1 = receiver).
+enum class Proc : std::uint8_t {
+  kSender = 0,
+  kReceiver = 1,
+};
+
+constexpr const char* to_cstr(Proc p) {
+  return p == Proc::kSender ? "sender" : "receiver";
+}
+
+/// Structured outcome of a driven run, most severe first.
+enum class RunVerdict : std::uint8_t {
+  kSafetyViolation,   // Y stopped being a prefix of X
+  kStalled,           // watchdog: no write progress within stall_window
+  kBudgetExhausted,   // hit max_steps without completing
+  kCompleted,         // Y == X
+};
+
+constexpr const char* to_cstr(RunVerdict v) {
+  switch (v) {
+    case RunVerdict::kSafetyViolation: return "safety-violation";
+    case RunVerdict::kStalled: return "stalled";
+    case RunVerdict::kBudgetExhausted: return "budget-exhausted";
+    case RunVerdict::kCompleted: return "completed";
+  }
+  return "?";
+}
+
 /// One scheduler decision.  `msg` is meaningful only for deliveries.
 struct Action {
   ActionKind kind = ActionKind::kSenderStep;

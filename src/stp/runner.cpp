@@ -27,22 +27,48 @@ void accumulate(SweepResult& agg, const sim::RunResult& r,
   agg.total_steps += r.stats.steps;
   agg.total_msgs_sent += r.stats.sent[0] + r.stats.sent[1];
   agg.total_msgs_delivered += r.stats.delivered[0] + r.stats.delivered[1];
+  agg.trial_steps.push_back(r.stats.steps);
+  const auto gaps = obs::write_latencies_of(r.stats);
+  agg.write_latencies.insert(agg.write_latencies.end(), gaps.begin(),
+                             gaps.end());
   if (!r.safety_ok) {
     ++agg.safety_failures;
     std::ostringstream os;
     os << "safety violated at step " << r.first_violation_step << ": wrote "
        << seq::to_string(r.output) << " for input " << seq::to_string(x);
-    agg.failures.push_back({x, seed, true, os.str()});
+    agg.failures.push_back({x, seed, true, os.str(), r.verdict});
   } else if (!r.completed) {
     ++agg.incomplete;
+    if (r.verdict == sim::RunVerdict::kStalled) {
+      ++agg.stalled;
+    } else {
+      ++agg.exhausted;
+    }
     std::ostringstream os;
-    os << "incomplete after " << r.stats.steps << " steps: wrote "
+    os << to_cstr(r.verdict) << " after " << r.stats.steps << " steps: wrote "
        << seq::to_string(r.output) << " of " << seq::to_string(x);
-    agg.failures.push_back({x, seed, false, os.str()});
+    agg.failures.push_back({x, seed, false, os.str(), r.verdict});
   }
 }
 
 }  // namespace
+
+void SweepResult::merge(const SweepResult& other) {
+  trials += other.trials;
+  safety_failures += other.safety_failures;
+  incomplete += other.incomplete;
+  stalled += other.stalled;
+  exhausted += other.exhausted;
+  total_steps += other.total_steps;
+  total_msgs_sent += other.total_msgs_sent;
+  total_msgs_delivered += other.total_msgs_delivered;
+  failures.insert(failures.end(), other.failures.begin(),
+                  other.failures.end());
+  write_latencies.insert(write_latencies.end(), other.write_latencies.begin(),
+                         other.write_latencies.end());
+  trial_steps.insert(trial_steps.end(), other.trial_steps.begin(),
+                     other.trial_steps.end());
+}
 
 SweepResult sweep_family(const SystemSpec& spec, const seq::Family& family,
                          const std::vector<std::uint64_t>& seeds) {
@@ -62,6 +88,23 @@ SweepResult sweep_input(const SystemSpec& spec, const seq::Sequence& x,
     accumulate(agg, run_one(spec, x, seed), x, seed);
   }
   return agg;
+}
+
+obs::SweepReport report_of(const std::string& name, const SweepResult& r) {
+  obs::SweepReport rep;
+  rep.name = name;
+  rep.trials = r.trials;
+  rep.ok = r.all_ok();
+  rep.verdicts.completed =
+      r.trials - r.safety_failures - r.stalled - r.exhausted;
+  rep.verdicts.safety_violation = r.safety_failures;
+  rep.verdicts.stalled = r.stalled;
+  rep.verdicts.budget_exhausted = r.exhausted;
+  rep.total_steps = r.total_steps;
+  rep.total_msgs_sent = r.total_msgs_sent;
+  rep.write_latency_samples = r.write_latencies;
+  rep.trial_step_samples = r.trial_steps;
+  return rep;
 }
 
 }  // namespace stpx::stp

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.hpp"
 #include "proto/suite.hpp"
 #include "seq/family.hpp"
 #include "sim/engine.hpp"
@@ -39,17 +40,26 @@ struct TrialFailure {
   std::uint64_t seed = 0;
   bool safety = false;  // true: safety violation; false: incomplete (liveness)
   std::string detail;
+  /// Structured verdict (distinguishes stalled from budget-exhausted, which
+  /// `safety == false` alone conflates).
+  sim::RunVerdict verdict = sim::RunVerdict::kBudgetExhausted;
 };
 
 /// Aggregate verdict over a family sweep.
 struct SweepResult {
   std::size_t trials = 0;
   std::size_t safety_failures = 0;
-  std::size_t incomplete = 0;  // liveness failures within the step budget
+  std::size_t incomplete = 0;  // liveness failures = stalled + exhausted
+  /// Per-verdict breakdown of `incomplete` (watchdog stall vs step budget).
+  std::size_t stalled = 0;
+  std::size_t exhausted = 0;
   std::uint64_t total_steps = 0;
   std::uint64_t total_msgs_sent = 0;
   std::uint64_t total_msgs_delivered = 0;
   std::vector<TrialFailure> failures;
+  /// Raw observability samples (one per write / per trial) for reports.
+  std::vector<std::uint64_t> write_latencies;
+  std::vector<std::uint64_t> trial_steps;
 
   bool all_ok() const { return safety_failures == 0 && incomplete == 0; }
   double avg_steps() const {
@@ -62,6 +72,10 @@ struct SweepResult {
                        : static_cast<double>(total_msgs_sent) /
                              static_cast<double>(trials);
   }
+
+  /// Fold another sweep into this one (bench binaries aggregate the sweeps
+  /// of all their parameter points into one report).
+  void merge(const SweepResult& other);
 };
 
 /// Run every member of `family` once per seed in `seeds`.
@@ -71,5 +85,9 @@ SweepResult sweep_family(const SystemSpec& spec, const seq::Family& family,
 /// Run a single input once per seed (convenience for cost experiments).
 SweepResult sweep_input(const SystemSpec& spec, const seq::Sequence& x,
                         const std::vector<std::uint64_t>& seeds);
+
+/// Condense a sweep into the machine-readable report schema (verdict
+/// breakdown, exact latency percentiles).  `ok` is set from all_ok().
+obs::SweepReport report_of(const std::string& name, const SweepResult& r);
 
 }  // namespace stpx::stp

@@ -26,8 +26,11 @@ SystemSpec with_chaos(const SystemSpec& spec, const fault::FaultPlan& plan) {
               "with_chaos: spec has no channel factory");
   SystemSpec out = spec;
   auto inner = spec.channel;
-  out.channel = [inner, plan](std::uint64_t seed) {
-    return std::make_unique<fault::ChaosChannel>(inner(seed), plan);
+  obs::IProbe* probe = spec.engine.probe;
+  out.channel = [inner, plan, probe](std::uint64_t seed) {
+    auto chaos = std::make_unique<fault::ChaosChannel>(inner(seed), plan);
+    chaos->set_probe(probe);
+    return chaos;
   };
   return out;
 }
@@ -50,6 +53,12 @@ SoakReport soak_sweep(const std::string& protocol, const SystemSpec& spec,
       const fault::FaultPlan plan = plan_for_trial(seed, cfg.sampler);
       const sim::RunResult r = run_one(with_chaos(spec, plan), x, seed);
       ++report.trials;
+      report.total_steps += r.stats.steps;
+      report.total_msgs_sent += r.stats.sent[0] + r.stats.sent[1];
+      report.trial_steps.push_back(r.stats.steps);
+      const auto gaps = obs::write_latencies_of(r.stats);
+      report.write_latencies.insert(report.write_latencies.end(), gaps.begin(),
+                                    gaps.end());
       switch (r.verdict) {
         case sim::RunVerdict::kCompleted: ++report.completed; break;
         case sim::RunVerdict::kSafetyViolation:
@@ -124,6 +133,22 @@ MinimizedPlan minimize_plan(const SystemSpec& spec, const SoakFailure& f) {
   }
   out.verdict = probe(out.plan);
   return out;
+}
+
+obs::SweepReport report_of(const SoakReport& r) {
+  obs::SweepReport rep;
+  rep.name = r.protocol;
+  rep.trials = r.trials;
+  rep.ok = r.clean();
+  rep.verdicts.completed = r.completed;
+  rep.verdicts.safety_violation = r.safety_violations;
+  rep.verdicts.stalled = r.stalled;
+  rep.verdicts.budget_exhausted = r.exhausted;
+  rep.total_steps = r.total_steps;
+  rep.total_msgs_sent = r.total_msgs_sent;
+  rep.write_latency_samples = r.write_latencies;
+  rep.trial_step_samples = r.trial_steps;
+  return rep;
 }
 
 }  // namespace stpx::stp

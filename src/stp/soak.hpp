@@ -47,6 +47,11 @@ struct SoakReport {
   std::size_t stalled = 0;
   std::size_t exhausted = 0;
   std::vector<SoakFailure> failures;
+  /// Cost + observability aggregates across every trial (for report_of).
+  std::uint64_t total_steps = 0;
+  std::uint64_t total_msgs_sent = 0;
+  std::vector<std::uint64_t> write_latencies;
+  std::vector<std::uint64_t> trial_steps;
 
   /// Safety never violated AND the watchdog never fired AND no budget ran
   /// out: the protocol rode out every sampled schedule.
@@ -54,6 +59,8 @@ struct SoakReport {
 };
 
 /// `spec` with its channel factory wrapped in a ChaosChannel running `plan`.
+/// The spec's EngineConfig::probe (if any) is forwarded to the decorator,
+/// so chaos fault firings land in the same probe stream as engine events.
 SystemSpec with_chaos(const SystemSpec& spec, const fault::FaultPlan& plan);
 
 /// The plan a soak trial with this seed uses (deterministic).
@@ -80,5 +87,9 @@ struct MinimizedPlan {
 /// result can be the empty plan when the bare channel already defeats the
 /// protocol (e.g. ABP under reordering needs no injected fault at all).
 MinimizedPlan minimize_plan(const SystemSpec& spec, const SoakFailure& f);
+
+/// Condense a soak into the machine-readable report schema; `ok` is set
+/// from clean().
+obs::SweepReport report_of(const SoakReport& r);
 
 }  // namespace stpx::stp

@@ -205,6 +205,50 @@ TEST(Engine, HistoriesRecordCompleteLocalView) {
   EXPECT_EQ(sends, 1);
 }
 
+TEST(Trace, TraceEventToStringGolden) {
+  // These strings are a stable external format (the JSONL sink and the soak
+  // failure reports embed them) — changes here are format breaks.
+  TraceEvent plain;
+  plain.step = 3;
+  plain.action = {ActionKind::kSenderStep, -1};
+  EXPECT_EQ(to_string(plain), "#3 S-step");
+
+  TraceEvent sent = plain;
+  sent.did_send = true;
+  sent.sent = 7;
+  EXPECT_EQ(to_string(sent), "#3 S-step sent=7");
+
+  TraceEvent deliver;
+  deliver.step = 12;
+  deliver.action = {ActionKind::kDeliverToReceiver, 5};
+  EXPECT_EQ(to_string(deliver), "#12 deliver->R msg=5");
+
+  TraceEvent wrote;
+  wrote.step = 13;
+  wrote.action = {ActionKind::kReceiverStep, -1};
+  wrote.did_send = true;
+  wrote.sent = 2;
+  wrote.writes = {1, 0};
+  EXPECT_EQ(to_string(wrote), "#13 R-step sent=2 wrote=1,0");
+
+  TraceEvent ack;
+  ack.step = 20;
+  ack.action = {ActionKind::kDeliverToSender, 9};
+  EXPECT_EQ(to_string(ack), "#20 deliver->S msg=9");
+}
+
+TEST(Trace, HistoryKeyGolden) {
+  // history_key is the ~_p grouping key used across the knowledge layer;
+  // its exact spelling must stay stable so persisted keys keep matching.
+  EXPECT_EQ(history_key(LocalHistory{}), "");
+
+  LocalHistory h;
+  h.push_back(LocalEvent{LocalEvent::Kind::kStep, 4, -1, {}});
+  h.push_back(LocalEvent{LocalEvent::Kind::kRecv, -1, 6, {}});
+  h.push_back(LocalEvent{LocalEvent::Kind::kStep, -1, -1, {2, 0}});
+  EXPECT_EQ(history_key(h), "s4;r6;s-1w2,0,;");
+}
+
 TEST(Engine, HistoryKeyDistinguishesDifferentHistories) {
   LocalHistory a{LocalEvent{LocalEvent::Kind::kRecv, -1, 3, {}}};
   LocalHistory b{LocalEvent{LocalEvent::Kind::kRecv, -1, 4, {}}};
