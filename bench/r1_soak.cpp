@@ -137,9 +137,12 @@ int main(int argc, char** argv) {
     }
     if (e.name == "repfree-del") {
       // The receiver's replay defence lives in volatile state: a restart
-      // with stale data copies in flight re-writes an item.  (A *sender*
-      // restart can go either way — stale acks sometimes fast-forward it.)
-      shape = shape && rr.verdict == sim::RunVerdict::kSafetyViolation;
+      // with stale data copies in flight re-writes an item.  The bad write
+      // comes after the crash, so the verdict blames the (absent) recovery
+      // layer — see bench/r2_recovery for the durable counterpart.  (A
+      // *sender* restart can go either way — stale acks sometimes
+      // fast-forward it.)
+      shape = shape && rr.verdict == sim::RunVerdict::kRecoveryViolation;
     }
   }
   std::cout << "\n" << crash.to_ascii();
@@ -147,7 +150,8 @@ int main(int argc, char** argv) {
   std::cout << "\nexpected: in-envelope protocols soak clean; ABP fails under "
                "reordering chaos and its failing plan shrinks to a minimal, "
                "deterministically replayable schedule; Stenning's sender "
-               "survives amnesia while repfree's receiver violates safety.\n"
+               "survives amnesia while repfree's receiver violates safety "
+               "(a post-crash, recovery-classified violation).\n"
             << "measured: " << (shape ? "CONFIRMED" : "NOT CONFIRMED")
             << "\n";
   return bench.finish(shape);

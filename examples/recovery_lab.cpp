@@ -1,0 +1,123 @@
+// Recovery lab: watch a crash destroy a protocol, then attach stable
+// storage and watch the same crash become a non-event.
+//
+//   $ ./recovery_lab
+//
+// Three scenes:
+//   1. Amnesia.  repfree-del's receiver crashes while duplicate copies of
+//      an already-written item are in flight.  Its replay defence lives in
+//      volatile state, so the restarted receiver re-writes the item and
+//      prefix-safety breaks — a recovery-violation verdict, because the bad
+//      write happens after the crash.
+//   2. Durability.  The identical schedule with MemStores attached: the
+//      engine checkpoints at every commit point and rehydrates on restart,
+//      so the replay defence survives and the transfer completes.
+//   3. Storage is faulty too.  A FileStore on disk takes a corrupt-record
+//      hit (bit flips in the newest checkpoint) right before a crash.  The
+//      per-record checksum rejects the damaged record, recovery falls back
+//      to the next intact one, and the run still completes — then the store
+//      directory is listed so you can see the layer's on-disk shape.
+//
+// See docs/RECOVERY.md for the record format, commit-point discipline, and
+// the full storage-fault taxonomy.
+#include <filesystem>
+#include <iostream>
+
+#include "channel/del_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "proto/suite.hpp"
+#include "stp/runner.hpp"
+#include "stp/soak.hpp"
+#include "store/stable_store.hpp"
+
+using namespace stpx;
+
+namespace {
+
+stp::SystemSpec lockstep_spec(std::function<proto::ProtocolPair()> protocols) {
+  stp::SystemSpec spec;
+  spec.protocols = std::move(protocols);
+  spec.channel = [](std::uint64_t seed) {
+    return std::make_unique<channel::DelChannel>(0.0, seed);
+  };
+  spec.scheduler = [](std::uint64_t) {
+    return std::make_unique<channel::RoundRobinScheduler>();
+  };
+  spec.engine.max_steps = 60000;
+  spec.engine.stall_window = 6000;
+  return spec;
+}
+
+void report(const char* title, const sim::RunResult& r) {
+  std::cout << title << "\n  verdict          = " << sim::to_cstr(r.verdict)
+            << "\n  output Y         = " << seq::to_string(r.output)
+            << "\n  crashes          = " << r.stats.crashes[0] + r.stats.crashes[1]
+            << "\n  recoveries       = " << r.stats.recoveries
+            << "\n  records replayed = " << r.stats.records_replayed << "\n";
+  if (!r.safety_ok) {
+    std::cout << "  first violation at step " << r.first_violation_step
+              << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const seq::Sequence x{3, 0, 4, 1, 7, 2};
+  std::cout << "Recovery lab: amnesia, rehydration, and faulty storage\n"
+            << "input X = " << seq::to_string(x) << "\n\n";
+
+  // The hostile schedule: flood the channel with duplicates of the first
+  // item, then crash the receiver after its second write.
+  const auto amnesia = fault::plan_from_text(
+      "dup @step 1 dir SR count 6 match *\n"
+      "crash-receiver @writes 2\n");
+
+  // Scene 1: no stores.  The restarted receiver has forgotten which items
+  // it already wrote; a stale duplicate lands and safety breaks.
+  const auto spec = lockstep_spec([] { return proto::make_repfree_del(12); });
+  report("scene 1: repfree-del receiver crash, no stable storage:",
+         stp::run_one(stp::with_chaos(spec, amnesia), x, 1));
+
+  // Scene 2: same schedule, MemStores attached.  The engine persists every
+  // durable-state change and rehydrates the receiver on restart.
+  {
+    store::MemStore sender_store, receiver_store;
+    stp::SystemSpec durable = spec;
+    durable.engine.sender_store = &sender_store;
+    durable.engine.receiver_store = &receiver_store;
+    report("scene 2: the same crash with MemStores attached:",
+           stp::run_one(stp::with_chaos(durable, amnesia), x, 1));
+  }
+
+  // Scene 3: the storage itself misbehaves.  A FileStore-backed receiver
+  // takes a corrupt-record fault (newest checkpoint's bytes flip) and then
+  // crashes; the checksum catches the damage and recovery uses the next
+  // intact record instead.
+  {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "stpx_recovery_lab";
+    std::filesystem::create_directories(dir);
+    store::FileStore sender_store((dir / "sender").string());
+    store::FileStore receiver_store((dir / "receiver").string());
+    stp::SystemSpec durable = spec;
+    durable.engine.sender_store = &sender_store;
+    durable.engine.receiver_store = &receiver_store;
+    const auto faulty = fault::plan_from_text(
+        "dup @step 1 dir SR count 6 match *\n"
+        "corrupt-record @writes 1 proc receiver\n"
+        "crash-receiver @writes 2\n");
+    report("scene 3: FileStore + corrupt-record, checksum to the rescue:",
+           stp::run_one(stp::with_chaos(durable, faulty), x, 1));
+    std::cout << "  on-disk layout under " << dir.string() << ":\n";
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      std::cout << "    " << std::filesystem::relative(entry.path(), dir)
+                       .string()
+                << "  (" << entry.file_size() << " bytes)\n";
+    }
+  }
+  return 0;
+}

@@ -21,6 +21,9 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 echo "== bench smoke: one bench binary emits a valid JSON report =="
 ctest --test-dir build -L bench_smoke --output-on-failure
 
+echo "== recovery smoke: the durable-recovery conformance suite =="
+ctest --test-dir build -L recovery_smoke --output-on-failure -j "${JOBS}"
+
 if [[ "${FAST}" == "1" ]]; then
   echo "== check.sh: tier-1 PASS (sanitizer stage skipped via --fast) =="
   exit 0

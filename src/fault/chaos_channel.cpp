@@ -128,6 +128,26 @@ void ChaosChannel::fire(const FaultAction& a, sim::TickEffect& fx) {
       fx.crash_receiver = true;
       ++stats_.crashes_requested;
       break;
+    case FaultKind::kTornWrite:
+      fx.store_faults.push_back(
+          {a.proc, sim::StoreFaultKind::kTornWrite, 1});
+      ++stats_.store_faults_requested;
+      break;
+    case FaultKind::kLoseTail:
+      fx.store_faults.push_back({a.proc, sim::StoreFaultKind::kLoseTail,
+                                 std::max<std::uint64_t>(a.count, 1)});
+      ++stats_.store_faults_requested;
+      break;
+    case FaultKind::kCorruptRecord:
+      fx.store_faults.push_back(
+          {a.proc, sim::StoreFaultKind::kCorruptRecord, 1});
+      ++stats_.store_faults_requested;
+      break;
+    case FaultKind::kStaleSnapshot:
+      fx.store_faults.push_back(
+          {a.proc, sim::StoreFaultKind::kStaleSnapshot, 1});
+      ++stats_.store_faults_requested;
+      break;
   }
 }
 

@@ -37,6 +37,7 @@ struct ChaosStats {
   std::uint64_t sends_blacked_out = 0;  // swallowed by blackout windows
   std::uint64_t sends_shed = 0;         // swallowed by in-flight caps
   std::uint64_t crashes_requested = 0;
+  std::uint64_t store_faults_requested = 0;
 };
 
 class ChaosChannel final : public sim::IChannel {

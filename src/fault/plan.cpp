@@ -13,8 +13,11 @@ const char* dir_token(sim::Dir d) {
 }
 
 bool uses_dir(FaultKind k) {
-  return k != FaultKind::kCrashSender && k != FaultKind::kCrashReceiver;
+  return k != FaultKind::kCrashSender && k != FaultKind::kCrashReceiver &&
+         !is_store_fault(k);
 }
+
+bool uses_proc(FaultKind k) { return is_store_fault(k); }
 
 bool uses_match(FaultKind k) {
   return k == FaultKind::kDropBurst || k == FaultKind::kDupBurst ||
@@ -23,7 +26,7 @@ bool uses_match(FaultKind k) {
 
 bool uses_count(FaultKind k) {
   return k == FaultKind::kDropBurst || k == FaultKind::kDupBurst ||
-         k == FaultKind::kCapInFlight;
+         k == FaultKind::kCapInFlight || k == FaultKind::kLoseTail;
 }
 
 bool uses_duration(FaultKind k) {
@@ -38,6 +41,7 @@ std::string to_text(const FaultPlan& plan) {
     os << to_cstr(a.kind) << " @" << to_cstr(a.trigger.kind) << " "
        << a.trigger.at;
     if (uses_dir(a.kind)) os << " dir " << dir_token(a.dir);
+    if (uses_proc(a.kind)) os << " proc " << sim::to_cstr(a.proc);
     if (uses_count(a.kind)) os << " count " << a.count;
     if (uses_duration(a.kind)) os << " len " << a.duration;
     if (uses_match(a.kind)) {
@@ -81,6 +85,14 @@ FaultPlan plan_from_text(const std::string& text) {
       a.kind = FaultKind::kCrashSender;
     } else if (op == "crash-receiver") {
       a.kind = FaultKind::kCrashReceiver;
+    } else if (op == "torn-write") {
+      a.kind = FaultKind::kTornWrite;
+    } else if (op == "lose-tail") {
+      a.kind = FaultKind::kLoseTail;
+    } else if (op == "corrupt-record") {
+      a.kind = FaultKind::kCorruptRecord;
+    } else if (op == "stale-snapshot") {
+      a.kind = FaultKind::kStaleSnapshot;
     } else {
       STPX_EXPECT(false, "plan_from_text: unknown fault '" + op + "'" + where);
     }
@@ -111,6 +123,12 @@ FaultPlan plan_from_text(const std::string& text) {
                     "plan_from_text: bad dir '" + d + "'" + where);
         a.dir = d == "SR" ? sim::Dir::kSenderToReceiver
                           : sim::Dir::kReceiverToSender;
+      } else if (tok == "proc") {
+        std::string p;
+        ls >> p;
+        STPX_EXPECT(p == "sender" || p == "receiver",
+                    "plan_from_text: bad proc '" + p + "'" + where);
+        a.proc = p == "sender" ? sim::Proc::kSender : sim::Proc::kReceiver;
       } else if (tok == "count") {
         ls >> a.count;
       } else if (tok == "len") {
@@ -142,6 +160,10 @@ FaultPlan sample_plan(Rng& rng, const SamplerConfig& cfg) {
   if (cfg.allow_cap) menu.push_back(FaultKind::kCapInFlight);
   if (cfg.allow_crash_sender) menu.push_back(FaultKind::kCrashSender);
   if (cfg.allow_crash_receiver) menu.push_back(FaultKind::kCrashReceiver);
+  if (cfg.allow_torn_write) menu.push_back(FaultKind::kTornWrite);
+  if (cfg.allow_lose_tail) menu.push_back(FaultKind::kLoseTail);
+  if (cfg.allow_corrupt_record) menu.push_back(FaultKind::kCorruptRecord);
+  if (cfg.allow_stale_snapshot) menu.push_back(FaultKind::kStaleSnapshot);
   STPX_EXPECT(!menu.empty(), "sample_plan: every fault kind disabled");
 
   FaultPlan plan;
@@ -161,10 +183,13 @@ FaultPlan sample_plan(Rng& rng, const SamplerConfig& cfg) {
     }
     a.dir = rng.chance(0.5) ? sim::Dir::kSenderToReceiver
                             : sim::Dir::kReceiverToSender;
+    if (uses_proc(a.kind)) {
+      a.proc = rng.chance(0.5) ? sim::Proc::kSender : sim::Proc::kReceiver;
+    }
     if (uses_count(a.kind)) {
-      a.count = a.kind == FaultKind::kCapInFlight
-                    ? cfg.min_cap + rng.below(7)
-                    : 1 + rng.below(cfg.max_burst);
+      a.count = a.kind == FaultKind::kCapInFlight ? cfg.min_cap + rng.below(7)
+                : a.kind == FaultKind::kLoseTail  ? 1 + rng.below(cfg.max_lose_tail)
+                                                  : 1 + rng.below(cfg.max_burst);
     }
     if (uses_duration(a.kind)) a.duration = 1 + rng.below(cfg.max_duration);
     plan.actions.push_back(a);

@@ -67,6 +67,10 @@ enum class FaultKind : std::uint8_t {
                     // deliverable copies in `dir` are shed
   kCrashSender,     // crash-restart the sender process
   kCrashReceiver,   // crash-restart the receiver process
+  kTornWrite,       // `proc`'s stable store: next append truncated
+  kLoseTail,        // `proc`'s stable store: newest `count` records vanish
+  kCorruptRecord,   // `proc`'s stable store: newest record's bytes flip
+  kStaleSnapshot,   // `proc`'s stable store: roll back the last compaction
 };
 
 constexpr const char* to_cstr(FaultKind k) {
@@ -78,8 +82,19 @@ constexpr const char* to_cstr(FaultKind k) {
     case FaultKind::kCapInFlight: return "cap";
     case FaultKind::kCrashSender: return "crash-sender";
     case FaultKind::kCrashReceiver: return "crash-receiver";
+    case FaultKind::kTornWrite: return "torn-write";
+    case FaultKind::kLoseTail: return "lose-tail";
+    case FaultKind::kCorruptRecord: return "corrupt-record";
+    case FaultKind::kStaleSnapshot: return "stale-snapshot";
   }
   return "?";
+}
+
+/// True for the storage-fault kinds, which are scoped by `proc` rather
+/// than a channel direction.
+constexpr bool is_store_fault(FaultKind k) {
+  return k == FaultKind::kTornWrite || k == FaultKind::kLoseTail ||
+         k == FaultKind::kCorruptRecord || k == FaultKind::kStaleSnapshot;
 }
 
 /// One scripted fault.  Fields beyond `kind`/`trigger` are meaningful only
@@ -89,7 +104,9 @@ struct FaultAction {
   FaultKind kind = FaultKind::kDropBurst;
   Trigger trigger;
   sim::Dir dir = sim::Dir::kSenderToReceiver;  // channel-scoped kinds only
+  sim::Proc proc = sim::Proc::kSender;         // storage-fault kinds only
   std::uint64_t count = 0;     // burst size / cap value (0 = unlimited burst)
+                               // / lose-tail depth
   std::uint64_t duration = 0;  // window length in steps
   sim::MsgId match = kAnyMsg;  // message predicate for drop/dup/blackout
 
@@ -110,6 +127,7 @@ struct FaultPlan {
 /// One-line-per-action text form, e.g.
 ///   "drop @step 120 dir SR count 3 match *"
 ///   "crash-receiver @writes 2"
+///   "lose-tail @writes 2 proc receiver count 1"
 std::string to_text(const FaultPlan& plan);
 
 /// Inverse of to_text; throws ContractError on malformed input.
@@ -134,6 +152,13 @@ struct SamplerConfig {
   bool allow_cap = false;
   bool allow_crash_sender = false;
   bool allow_crash_receiver = false;
+  /// Storage faults (meaningful only when the run attaches stable stores;
+  /// the engine ignores requests against an absent store).
+  bool allow_torn_write = false;
+  bool allow_lose_tail = false;
+  bool allow_corrupt_record = false;
+  bool allow_stale_snapshot = false;
+  std::uint64_t max_lose_tail = 2;  // lose-tail depths in [1, max]
 };
 
 /// Deterministically sample a plan (same rng state -> same plan).

@@ -117,6 +117,8 @@ void MetricsProbe::on_run_begin(std::size_t items_total) {
   seen_[1].clear();
   pending_sends_.clear();
   last_write_step_ = 0;
+  restart_pending_ = false;
+  last_restart_step_ = 0;
   reg_->gauge("inflight.sr").set(0);
   reg_->gauge("inflight.rs").set(0);
 }
@@ -173,11 +175,30 @@ void MetricsProbe::on_write(std::uint64_t step, std::size_t index,
   reg_->histogram("write_latency", pow2_bounds(20))
       .observe(step - last_write_step_);
   last_write_step_ = step;
+  if (restart_pending_) {
+    // Recovery latency: the most recent restart -> this first write after
+    // it, i.e. how long recovery took to resume visible progress.
+    reg_->histogram("recovery.latency", pow2_bounds(20))
+        .observe(step - last_restart_step_);
+    restart_pending_ = false;
+  }
 }
 
 void MetricsProbe::on_crash(std::uint64_t step, sim::Proc who) {
   (void)step;
   reg_->counter(std::string("crashes.") + sim::to_cstr(who)).inc();
+}
+
+void MetricsProbe::on_restart(std::uint64_t step, sim::Proc who,
+                              bool rehydrated,
+                              std::uint64_t records_replayed) {
+  (void)who;
+  reg_->counter(rehydrated ? "recoveries" : "recoveries.cold").inc();
+  if (records_replayed > 0) {
+    reg_->counter("records_replayed").inc(records_replayed);
+  }
+  restart_pending_ = true;
+  last_restart_step_ = step;
 }
 
 void MetricsProbe::on_stall(std::uint64_t step) {

@@ -114,13 +114,18 @@ class MetricsRegistry {
 ///              dup_replays.sr / dup_replays.rs (re-deliveries of an id
 ///              already delivered in that direction within the run),
 ///              writes, crashes.sender / crashes.receiver, stalls,
+///              recoveries (restarts rehydrated from a stable store),
+///              recoveries.cold (restarts that came back with no state),
+///              records_replayed (store records scanned across recoveries),
 ///              faults.<kind>, verdict.<name>
 ///   gauges     inflight.sr / inflight.rs (sends minus deliveries; dup
 ///              channels can drive these negative — delivery does not
 ///              consume), with high-water mark
 ///   histograms occupancy.sr / occupancy.rs (in-flight level sampled each
 ///              step), write_latency (steps between consecutive writes),
-///              ack_rtt (sender data send -> next delivery to the sender)
+///              ack_rtt (sender data send -> next delivery to the sender),
+///              recovery.latency (restart -> next output write: how long a
+///              recovery takes to resume visible progress)
 class MetricsProbe final : public IProbe {
  public:
   /// `registry` is non-owning and must outlive the probe's use.
@@ -133,6 +138,8 @@ class MetricsProbe final : public IProbe {
   void on_write(std::uint64_t step, std::size_t index,
                 seq::DataItem item) override;
   void on_crash(std::uint64_t step, sim::Proc who) override;
+  void on_restart(std::uint64_t step, sim::Proc who, bool rehydrated,
+                  std::uint64_t records_replayed) override;
   void on_stall(std::uint64_t step) override;
   void on_run_end(std::uint64_t steps, sim::RunVerdict verdict) override;
   void on_fault(const FaultEvent& ev) override;
@@ -144,6 +151,8 @@ class MetricsProbe final : public IProbe {
   std::map<sim::MsgId, std::uint64_t> seen_[2];  // deliveries per id per dir
   std::vector<std::uint64_t> pending_sends_;     // S->R send steps, FIFO
   std::uint64_t last_write_step_ = 0;
+  bool restart_pending_ = false;        // a restart awaits its next write
+  std::uint64_t last_restart_step_ = 0;  // step of that restart
 };
 
 }  // namespace stpx::obs

@@ -38,6 +38,11 @@ void MultiProbe::on_crash(std::uint64_t step, sim::Proc who) {
   for (IProbe* p : probes_) p->on_crash(step, who);
 }
 
+void MultiProbe::on_restart(std::uint64_t step, sim::Proc who, bool rehydrated,
+                            std::uint64_t records_replayed) {
+  for (IProbe* p : probes_) p->on_restart(step, who, rehydrated, records_replayed);
+}
+
 void MultiProbe::on_stall(std::uint64_t step) {
   for (IProbe* p : probes_) p->on_stall(step);
 }

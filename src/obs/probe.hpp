@@ -86,6 +86,19 @@ class IProbe {
     (void)who;
   }
 
+  /// Paired with on_crash: the restarted process came back up.
+  /// `rehydrated` distinguishes a recovery from an attached stable store
+  /// (restore_state succeeded) from a cold start (no store, nothing
+  /// recoverable, or a restore the protocol rejected);
+  /// `records_replayed` is the store records scanned during recovery.
+  virtual void on_restart(std::uint64_t step, sim::Proc who, bool rehydrated,
+                          std::uint64_t records_replayed) {
+    (void)step;
+    (void)who;
+    (void)rehydrated;
+    (void)records_replayed;
+  }
+
   /// The engine watchdog declared the run stalled.
   virtual void on_stall(std::uint64_t step) { (void)step; }
 
@@ -116,6 +129,8 @@ class MultiProbe final : public IProbe {
   void on_write(std::uint64_t step, std::size_t index,
                 seq::DataItem item) override;
   void on_crash(std::uint64_t step, sim::Proc who) override;
+  void on_restart(std::uint64_t step, sim::Proc who, bool rehydrated,
+                  std::uint64_t records_replayed) override;
   void on_stall(std::uint64_t step) override;
   void on_run_end(std::uint64_t steps, sim::RunVerdict verdict) override;
   void on_fault(const FaultEvent& ev) override;

@@ -51,6 +51,7 @@ void VerdictCounts::add(sim::RunVerdict v, std::uint64_t n) {
   switch (v) {
     case sim::RunVerdict::kCompleted: completed += n; break;
     case sim::RunVerdict::kSafetyViolation: safety_violation += n; break;
+    case sim::RunVerdict::kRecoveryViolation: recovery_violation += n; break;
     case sim::RunVerdict::kStalled: stalled += n; break;
     case sim::RunVerdict::kBudgetExhausted: budget_exhausted += n; break;
   }
@@ -60,6 +61,7 @@ std::string VerdictCounts::to_json() const {
   std::ostringstream os;
   os << "{\"completed\":" << completed
      << ",\"safety-violation\":" << safety_violation
+     << ",\"recovery-violation\":" << recovery_violation
      << ",\"stalled\":" << stalled
      << ",\"budget-exhausted\":" << budget_exhausted << '}';
   return os.str();

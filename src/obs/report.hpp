@@ -39,12 +39,14 @@ Percentiles percentiles_u64(std::vector<std::uint64_t> samples);
 struct VerdictCounts {
   std::uint64_t completed = 0;
   std::uint64_t safety_violation = 0;
+  std::uint64_t recovery_violation = 0;
   std::uint64_t stalled = 0;
   std::uint64_t budget_exhausted = 0;
 
   void add(sim::RunVerdict v, std::uint64_t n = 1);
   std::uint64_t total() const {
-    return completed + safety_violation + stalled + budget_exhausted;
+    return completed + safety_violation + recovery_violation + stalled +
+           budget_exhausted;
   }
   std::string to_json() const;
 };

@@ -215,6 +215,14 @@ void JsonlSink::on_crash(std::uint64_t step, sim::Proc who) {
         << sim::to_cstr(who) << "\"}\n";
 }
 
+void JsonlSink::on_restart(std::uint64_t step, sim::Proc who, bool rehydrated,
+                           std::uint64_t records_replayed) {
+  *out_ << "{\"ev\":\"restart\",\"step\":" << step << ",\"proc\":\""
+        << sim::to_cstr(who) << "\",\"rehydrated\":"
+        << (rehydrated ? "true" : "false")
+        << ",\"records_replayed\":" << records_replayed << "}\n";
+}
+
 void JsonlSink::on_stall(std::uint64_t step) {
   *out_ << "{\"ev\":\"stall\",\"step\":" << step << "}\n";
 }
@@ -292,6 +300,18 @@ void ChromeTraceSink::on_write(std::uint64_t step, std::size_t index,
 void ChromeTraceSink::on_crash(std::uint64_t step, sim::Proc who) {
   const int tid = who == sim::Proc::kSender ? kTidSender : kTidReceiver;
   instants_.push_back({step, tid, "crash-restart", "", 0});
+}
+
+void ChromeTraceSink::on_restart(std::uint64_t step, sim::Proc who,
+                                 bool rehydrated,
+                                 std::uint64_t records_replayed) {
+  const int tid = who == sim::Proc::kSender ? kTidSender : kTidReceiver;
+  std::ostringstream args;
+  args << "\"rehydrated\":" << (rehydrated ? "true" : "false")
+       << ",\"records_replayed\":" << records_replayed;
+  instants_.push_back(
+      {step, tid, rehydrated ? "restart (rehydrated)" : "restart (cold)",
+       args.str(), 0});
 }
 
 void ChromeTraceSink::on_stall(std::uint64_t step) {

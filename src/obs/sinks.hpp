@@ -47,6 +47,8 @@ class JsonlSink final : public IProbe {
   void on_write(std::uint64_t step, std::size_t index,
                 seq::DataItem item) override;
   void on_crash(std::uint64_t step, sim::Proc who) override;
+  void on_restart(std::uint64_t step, sim::Proc who, bool rehydrated,
+                  std::uint64_t records_replayed) override;
   void on_stall(std::uint64_t step) override;
   void on_run_end(std::uint64_t steps, sim::RunVerdict verdict) override;
   void on_fault(const FaultEvent& ev) override;
@@ -65,6 +67,8 @@ class ChromeTraceSink final : public IProbe {
   void on_write(std::uint64_t step, std::size_t index,
                 seq::DataItem item) override;
   void on_crash(std::uint64_t step, sim::Proc who) override;
+  void on_restart(std::uint64_t step, sim::Proc who, bool rehydrated,
+                  std::uint64_t records_replayed) override;
   void on_stall(std::uint64_t step) override;
   void on_fault(const FaultEvent& ev) override;
 

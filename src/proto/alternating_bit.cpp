@@ -1,8 +1,14 @@
 #include "proto/alternating_bit.hpp"
 
+#include "proto/durable.hpp"
 #include "util/expect.hpp"
 
 namespace stpx::proto {
+
+namespace {
+constexpr std::int64_t kSenderTag = 111;
+constexpr std::int64_t kReceiverTag = 112;
+}  // namespace
 
 AbpSender::AbpSender(int domain_size) : domain_size_(domain_size) {
   STPX_EXPECT(domain_size >= 1, "AbpSender: domain must be non-empty");
@@ -31,6 +37,27 @@ void AbpSender::on_deliver(sim::MsgId msg) {
   }
 }
 
+std::string AbpSender::save_state() const {
+  util::BlobWriter w;
+  w.i64(kSenderTag);
+  w.u64(next_);
+  return w.str();
+}
+
+bool AbpSender::restore_state(const std::string& blob) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::uint64_t next = 0;
+  if (!r.i64(tag) || tag != kSenderTag || !r.u64(next) || !r.done()) {
+    return false;
+  }
+  if (next > x_.size()) return false;
+  next_ = static_cast<std::size_t>(next);
+  // The bit is derivable: both sides start at 0 and flip once per advance.
+  bit_ = static_cast<int>(next_ % 2);
+  return true;
+}
+
 std::unique_ptr<sim::ISender> AbpSender::clone() const {
   return std::make_unique<AbpSender>(*this);
 }
@@ -42,6 +69,7 @@ AbpReceiver::AbpReceiver(int domain_size) : domain_size_(domain_size) {
 void AbpReceiver::start() {
   expected_bit_ = 0;
   ack_bit_.reset();
+  written_ = 0;
   pending_writes_.clear();
 }
 
@@ -49,6 +77,7 @@ sim::ReceiverEffect AbpReceiver::on_step() {
   sim::ReceiverEffect eff;
   eff.writes = std::move(pending_writes_);
   pending_writes_.clear();
+  written_ += static_cast<std::int64_t>(eff.writes.size());
   if (ack_bit_) eff.send = sim::MsgId{*ack_bit_};
   return eff;
 }
@@ -65,6 +94,38 @@ void AbpReceiver::on_deliver(sim::MsgId msg) {
   // Ack the bit we just saw (a duplicate gets its old bit re-acked, which is
   // exactly what unsticks a sender whose previous ack was lost).
   ack_bit_ = bit;
+}
+
+std::string AbpReceiver::save_state() const {
+  util::BlobWriter w;
+  w.i64(kReceiverTag);
+  w.i64(written_);
+  w.i64(ack_bit_ ? *ack_bit_ : -1);
+  write_items(w, pending_writes_);
+  return w.str();
+}
+
+bool AbpReceiver::restore_state(const std::string& blob,
+                                const seq::Sequence& tape) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::int64_t written = 0;
+  std::int64_t ack = -1;
+  std::vector<seq::DataItem> pending;
+  if (!r.i64(tag) || tag != kReceiverTag || !r.i64(written) || !r.i64(ack) ||
+      !read_items(r, pending) || !r.done() || written < 0 || ack < -1 ||
+      ack > 1) {
+    return false;
+  }
+  written_ = written;
+  ack_bit_ = ack < 0 ? std::nullopt : std::optional<int>(static_cast<int>(ack));
+  pending_writes_ = std::move(pending);
+  reconcile_with_tape(written_, pending_writes_, tape);
+  // The expected bit equals the parity of the accept count — derive it
+  // from the reconciled cursor so even a multi-record rewind re-syncs.
+  expected_bit_ = static_cast<int>(
+      (written_ + static_cast<std::int64_t>(pending_writes_.size())) % 2);
+  return true;
 }
 
 std::unique_ptr<sim::IReceiver> AbpReceiver::clone() const {

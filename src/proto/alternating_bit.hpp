@@ -25,6 +25,8 @@ class AbpSender final : public sim::ISender {
   sim::SenderEffect on_step() override;
   void on_deliver(sim::MsgId msg) override;
   int alphabet_size() const override { return 2 * domain_size_; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob) override;
   std::unique_ptr<sim::ISender> clone() const override;
   std::string name() const override { return "abp-sender"; }
 
@@ -45,6 +47,9 @@ class AbpReceiver final : public sim::IReceiver {
   sim::ReceiverEffect on_step() override;
   void on_deliver(sim::MsgId msg) override;
   int alphabet_size() const override { return 2; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob,
+                     const seq::Sequence& tape) override;
   std::unique_ptr<sim::IReceiver> clone() const override;
   std::string name() const override { return "abp-receiver"; }
 
@@ -52,6 +57,7 @@ class AbpReceiver final : public sim::IReceiver {
   int domain_size_;
   int expected_bit_ = 0;
   std::optional<int> ack_bit_;  // last data bit seen; re-acked every step
+  std::int64_t written_ = 0;    // emitted writes (durable-recovery cursor)
   std::vector<seq::DataItem> pending_writes_;
 };
 

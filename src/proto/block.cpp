@@ -1,10 +1,14 @@
 #include "proto/block.hpp"
 
+#include "proto/durable.hpp"
 #include "util/expect.hpp"
 
 namespace stpx::proto {
 
 namespace {
+
+constexpr std::int64_t kSenderTag = 151;
+constexpr std::int64_t kReceiverTag = 152;
 
 /// d^b, validated small enough to embed in MsgId comfortably.
 std::int64_t power(int d, int b) {
@@ -86,6 +90,29 @@ void BlockSender::on_deliver(sim::MsgId msg) {
   }
 }
 
+std::string BlockSender::save_state() const {
+  util::BlobWriter w;
+  w.i64(kSenderTag);
+  w.boolean(header_acked_);
+  w.u64(next_block_);
+  return w.str();
+}
+
+bool BlockSender::restore_state(const std::string& blob) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  bool header_acked = false;
+  std::uint64_t next_block = 0;
+  if (!r.i64(tag) || tag != kSenderTag || !r.boolean(header_acked) ||
+      !r.u64(next_block) || !r.done()) {
+    return false;
+  }
+  if (next_block > block_count_) return false;
+  header_acked_ = header_acked;
+  next_block_ = static_cast<std::size_t>(next_block);
+  return true;
+}
+
 std::unique_ptr<sim::ISender> BlockSender::clone() const {
   return std::make_unique<BlockSender>(*this);
 }
@@ -149,6 +176,53 @@ void BlockReceiver::on_deliver(sim::MsgId msg) {
     }
   }
   expected_bit_ ^= 1;
+}
+
+std::string BlockReceiver::save_state() const {
+  util::BlobWriter w;
+  w.i64(kReceiverTag);
+  w.i64(expected_len_);
+  w.i64(expected_bit_);
+  w.u64(received_items_);
+  write_items(w, write_queue_);
+  std::vector<std::int64_t> acks(pending_acks_.begin(), pending_acks_.end());
+  w.vec(acks);
+  return w.str();
+}
+
+bool BlockReceiver::restore_state(const std::string& blob,
+                                  const seq::Sequence& tape) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::int64_t expected_len = -1;
+  std::int64_t expected_bit = 0;
+  std::uint64_t received = 0;
+  std::vector<seq::DataItem> queue;
+  std::vector<std::int64_t> acks;
+  if (!r.i64(tag) || tag != kReceiverTag || !r.i64(expected_len) ||
+      !r.i64(expected_bit) || !r.u64(received) || !read_items(r, queue) ||
+      !r.vec(acks) || !r.done() || expected_len < -1 ||
+      expected_len > max_len_ || (expected_bit != 0 && expected_bit != 1) ||
+      received < queue.size()) {
+    return false;
+  }
+  expected_len_ = expected_len;
+  expected_bit_ = static_cast<int>(expected_bit);
+  // The accepted count splits into externalized writes plus the queue; let
+  // the tape arbitrate the externalized part, then restore the invariant
+  // received_items_ == written + |write_queue_|.
+  std::int64_t written =
+      static_cast<std::int64_t>(received) -
+      static_cast<std::int64_t>(queue.size());
+  reconcile_with_tape(written, queue, tape);
+  write_queue_ = std::move(queue);
+  received_items_ = static_cast<std::size_t>(written) + write_queue_.size();
+  pending_acks_.clear();
+  for (std::int64_t a : acks) {
+    if (a < 0 || a > 2) return false;
+    pending_acks_.push_back(static_cast<sim::MsgId>(a));
+  }
+  return true;
 }
 
 std::unique_ptr<sim::IReceiver> BlockReceiver::clone() const {

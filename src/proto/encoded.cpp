@@ -2,11 +2,16 @@
 
 #include <algorithm>
 
+#include "proto/durable.hpp"
 #include "util/expect.hpp"
 
 namespace stpx::proto {
 
 namespace {
+
+constexpr std::int64_t kSenderTag = 161;
+constexpr std::int64_t kKnowledgeTag = 162;
+constexpr std::int64_t kGreedyTag = 163;
 
 /// Index of `x` in the encoding table; throws if absent.
 std::size_t table_index(const seq::Encoding& table, const seq::Sequence& x) {
@@ -21,6 +26,65 @@ std::size_t table_index(const seq::Encoding& table, const seq::Sequence& x) {
 bool word_extends(const seq::MsgWord& prefix, const seq::MsgWord& word) {
   if (prefix.size() > word.size()) return false;
   return std::equal(prefix.begin(), prefix.end(), word.begin());
+}
+
+// Both receivers carry the same durable fields; share the blob layout.
+std::string save_receiver_blob(std::int64_t tag, std::size_t written,
+                               const seq::MsgWord& received,
+                               const std::vector<seq::DataItem>& pending_writes,
+                               const std::vector<sim::MsgId>& pending_acks,
+                               const std::optional<sim::MsgId>& last_ack) {
+  util::BlobWriter w;
+  w.i64(tag);
+  w.u64(written);
+  std::vector<std::int64_t> recv(received.begin(), received.end());
+  w.vec(recv);
+  write_items(w, pending_writes);
+  std::vector<std::int64_t> acks(pending_acks.begin(), pending_acks.end());
+  w.vec(acks);
+  w.i64(last_ack ? static_cast<std::int64_t>(*last_ack) : -1);
+  return w.str();
+}
+
+bool restore_receiver_blob(const std::string& blob, std::int64_t want_tag,
+                           int alphabet, const seq::Sequence& tape,
+                           std::vector<bool>& seen, seq::MsgWord& received,
+                           std::size_t& written,
+                           std::vector<seq::DataItem>& pending_writes,
+                           std::vector<sim::MsgId>& pending_acks,
+                           std::optional<sim::MsgId>& last_ack) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::uint64_t written_raw = 0;
+  std::vector<std::int64_t> recv;
+  std::vector<seq::DataItem> pending;
+  std::vector<std::int64_t> acks;
+  std::int64_t last = -1;
+  if (!r.i64(tag) || tag != want_tag || !r.u64(written_raw) || !r.vec(recv) ||
+      !read_items(r, pending) || !r.vec(acks) || !r.i64(last) || !r.done() ||
+      last < -1 || last >= alphabet) {
+    return false;
+  }
+  // seen_ is exactly the set of symbols in received_ — rebuild, don't store.
+  seen.assign(static_cast<std::size_t>(alphabet), false);
+  received.clear();
+  for (std::int64_t s : recv) {
+    if (s < 0 || s >= alphabet) return false;
+    seen[static_cast<std::size_t>(s)] = true;
+    received.push_back(static_cast<int>(s));
+  }
+  pending_acks.clear();
+  for (std::int64_t a : acks) {
+    if (a < 0 || a >= alphabet) return false;
+    pending_acks.push_back(static_cast<sim::MsgId>(a));
+  }
+  last_ack = last < 0 ? std::nullopt
+                      : std::optional<sim::MsgId>(static_cast<sim::MsgId>(last));
+  std::int64_t written64 = static_cast<std::int64_t>(written_raw);
+  pending_writes = std::move(pending);
+  reconcile_with_tape(written64, pending_writes, tape);
+  written = static_cast<std::size_t>(written64);
+  return true;
 }
 
 }  // namespace
@@ -51,6 +115,26 @@ void EncodedSender::on_deliver(sim::MsgId msg) {
     ++next_;
     sent_current_ = false;
   }
+}
+
+std::string EncodedSender::save_state() const {
+  util::BlobWriter w;
+  w.i64(kSenderTag);
+  w.u64(next_);
+  return w.str();
+}
+
+bool EncodedSender::restore_state(const std::string& blob) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::uint64_t next = 0;
+  if (!r.i64(tag) || tag != kSenderTag || !r.u64(next) || !r.done()) {
+    return false;
+  }
+  if (next > word_.size()) return false;
+  next_ = static_cast<std::size_t>(next);
+  sent_current_ = false;  // treat the in-flight copy as lost; resend once
+  return true;
 }
 
 std::unique_ptr<sim::ISender> EncodedSender::clone() const {
@@ -131,6 +215,24 @@ void KnowledgeReceiver::on_deliver(sim::MsgId msg) {
   recompute_knowledge();
 }
 
+std::string KnowledgeReceiver::save_state() const {
+  return save_receiver_blob(kKnowledgeTag, written_, received_,
+                            pending_writes_, pending_acks_, last_ack_);
+}
+
+bool KnowledgeReceiver::restore_state(const std::string& blob,
+                                      const seq::Sequence& tape) {
+  if (!restore_receiver_blob(blob, kKnowledgeTag, table_->alphabet_size, tape,
+                             seen_, received_, written_, pending_writes_,
+                             pending_acks_, last_ack_)) {
+    return false;
+  }
+  // Knowledge is a function of received_; recomputing can only re-derive
+  // pending writes the reconciled cursor has not yet covered.
+  recompute_knowledge();
+  return true;
+}
+
 std::unique_ptr<sim::IReceiver> KnowledgeReceiver::clone() const {
   return std::make_unique<KnowledgeReceiver>(*this);
 }
@@ -197,6 +299,22 @@ void GreedyReceiver::on_deliver(sim::MsgId msg) {
   pending_acks_.push_back(msg);
   last_ack_ = msg;
   recompute_guess();
+}
+
+std::string GreedyReceiver::save_state() const {
+  return save_receiver_blob(kGreedyTag, written_, received_, pending_writes_,
+                            pending_acks_, last_ack_);
+}
+
+bool GreedyReceiver::restore_state(const std::string& blob,
+                                   const seq::Sequence& tape) {
+  if (!restore_receiver_blob(blob, kGreedyTag, table_->alphabet_size, tape,
+                             seen_, received_, written_, pending_writes_,
+                             pending_acks_, last_ack_)) {
+    return false;
+  }
+  recompute_guess();
+  return true;
 }
 
 std::unique_ptr<sim::IReceiver> GreedyReceiver::clone() const {

@@ -45,6 +45,8 @@ class EncodedSender final : public sim::ISender {
   sim::SenderEffect on_step() override;
   void on_deliver(sim::MsgId msg) override;
   int alphabet_size() const override { return table_->alphabet_size; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob) override;
   std::unique_ptr<sim::ISender> clone() const override;
   std::string name() const override { return "encoded-sender"; }
 
@@ -65,6 +67,9 @@ class KnowledgeReceiver final : public sim::IReceiver {
   sim::ReceiverEffect on_step() override;
   void on_deliver(sim::MsgId msg) override;
   int alphabet_size() const override { return table_->alphabet_size; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob,
+                     const seq::Sequence& tape) override;
   std::unique_ptr<sim::IReceiver> clone() const override;
   std::string name() const override { return "knowledge-receiver"; }
 
@@ -89,6 +94,9 @@ class GreedyReceiver final : public sim::IReceiver {
   sim::ReceiverEffect on_step() override;
   void on_deliver(sim::MsgId msg) override;
   int alphabet_size() const override { return table_->alphabet_size; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob,
+                     const seq::Sequence& tape) override;
   std::unique_ptr<sim::IReceiver> clone() const override;
   std::string name() const override { return "greedy-receiver"; }
 

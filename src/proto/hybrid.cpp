@@ -2,9 +2,15 @@
 
 #include <algorithm>
 
+#include "proto/durable.hpp"
 #include "util/expect.hpp"
 
 namespace stpx::proto {
+
+namespace {
+constexpr std::int64_t kSenderTag = 171;
+constexpr std::int64_t kReceiverTag = 172;
+}  // namespace
 
 // ---------------------------------------------------------------- sender --
 
@@ -96,6 +102,47 @@ void HybridSender::on_deliver(sim::MsgId msg) {
   }
 }
 
+std::string HybridSender::save_state() const {
+  util::BlobWriter w;
+  w.i64(kSenderTag);
+  w.i64(static_cast<std::int64_t>(phase_));
+  w.u64(next_);
+  w.i64(bit_);
+  w.i64(rev_idx_);
+  w.i64(rev_bit_);
+  return w.str();
+}
+
+bool HybridSender::restore_state(const std::string& blob) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::int64_t phase = 0;
+  std::uint64_t next = 0;
+  std::int64_t bit = 0;
+  std::int64_t rev_idx = -1;
+  std::int64_t rev_bit = 0;
+  if (!r.i64(tag) || tag != kSenderTag || !r.i64(phase) || !r.u64(next) ||
+      !r.i64(bit) || !r.i64(rev_idx) || !r.i64(rev_bit) || !r.done()) {
+    return false;
+  }
+  if (phase < 0 || phase > 3 || next > x_.size() || (bit != 0 && bit != 1) ||
+      rev_idx < -1 || rev_idx >= static_cast<std::int64_t>(x_.size()) ||
+      (rev_bit != 0 && rev_bit != 1)) {
+    return false;
+  }
+  phase_ = static_cast<HybridPhase>(phase);
+  next_ = static_cast<std::size_t>(next);
+  bit_ = static_cast<int>(bit);
+  rev_idx_ = rev_idx;
+  rev_bit_ = static_cast<int>(rev_bit);
+  // Progress/scratch counters are volatile: restart the timeout window and
+  // treat any in-flight fast-path copy as lost (worst case the timeout fires
+  // again and recovery re-runs, which is safe).
+  steps_since_progress_ = 0;
+  sent_current_ = false;
+  return true;
+}
+
 std::unique_ptr<sim::ISender> HybridSender::clone() const {
   return std::make_unique<HybridSender>(*this);
 }
@@ -172,6 +219,66 @@ void HybridReceiver::on_deliver(sim::MsgId msg) {
     written_count_ = full.size();
   }
   pending_acks_.push_back(sim::MsgId{4});
+}
+
+std::string HybridReceiver::save_state() const {
+  util::BlobWriter w;
+  w.i64(kReceiverTag);
+  w.i64(static_cast<std::int64_t>(phase_));
+  w.i64(expected_bit_);
+  w.u64(written_count_);
+  w.i64(expected_rev_bit_);
+  write_items(w, rev_buffer_);
+  w.boolean(finalized_);
+  std::vector<std::int64_t> acks(pending_acks_.begin(), pending_acks_.end());
+  w.vec(acks);
+  write_items(w, pending_writes_);
+  return w.str();
+}
+
+bool HybridReceiver::restore_state(const std::string& blob,
+                                   const seq::Sequence& tape) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::int64_t phase = 0;
+  std::int64_t expected_bit = 0;
+  std::uint64_t written_count = 0;
+  std::int64_t expected_rev_bit = 0;
+  seq::Sequence rev_buffer;
+  bool finalized = false;
+  std::vector<std::int64_t> acks;
+  std::vector<seq::DataItem> pending;
+  if (!r.i64(tag) || tag != kReceiverTag || !r.i64(phase) ||
+      !r.i64(expected_bit) || !r.u64(written_count) ||
+      !r.i64(expected_rev_bit) || !read_items(r, rev_buffer) ||
+      !r.boolean(finalized) || !r.vec(acks) || !read_items(r, pending) ||
+      !r.done()) {
+    return false;
+  }
+  if (phase < 0 || phase > 3 || (expected_bit != 0 && expected_bit != 1) ||
+      (expected_rev_bit != 0 && expected_rev_bit != 1) ||
+      written_count < pending.size()) {
+    return false;
+  }
+  phase_ = static_cast<HybridPhase>(phase);
+  expected_bit_ = static_cast<int>(expected_bit);
+  expected_rev_bit_ = static_cast<int>(expected_rev_bit);
+  rev_buffer_ = std::move(rev_buffer);
+  finalized_ = finalized;
+  pending_acks_.clear();
+  for (std::int64_t a : acks) {
+    if (a < 0 || a > 4) return false;
+    pending_acks_.push_back(static_cast<sim::MsgId>(a));
+  }
+  // written_count_ is the ACCEPTED count (externalized writes + pending);
+  // split off the externalized part, let the tape arbitrate it, and restore
+  // the invariant afterwards.
+  std::int64_t written = static_cast<std::int64_t>(written_count) -
+                         static_cast<std::int64_t>(pending.size());
+  reconcile_with_tape(written, pending, tape);
+  pending_writes_ = std::move(pending);
+  written_count_ = static_cast<std::size_t>(written) + pending_writes_.size();
+  return true;
 }
 
 std::unique_ptr<sim::IReceiver> HybridReceiver::clone() const {

@@ -53,6 +53,8 @@ class HybridSender final : public sim::ISender {
   sim::SenderEffect on_step() override;
   void on_deliver(sim::MsgId msg) override;
   int alphabet_size() const override { return 4 * domain_size_ + 1; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob) override;
   std::unique_ptr<sim::ISender> clone() const override;
   std::string name() const override { return "hybrid-sender"; }
 
@@ -81,6 +83,9 @@ class HybridReceiver final : public sim::IReceiver {
   sim::ReceiverEffect on_step() override;
   void on_deliver(sim::MsgId msg) override;
   int alphabet_size() const override { return 5; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob,
+                     const seq::Sequence& tape) override;
   std::unique_ptr<sim::IReceiver> clone() const override;
   std::string name() const override { return "hybrid-receiver"; }
 

@@ -1,8 +1,14 @@
 #include "proto/modk_stenning.hpp"
 
+#include "proto/durable.hpp"
 #include "util/expect.hpp"
 
 namespace stpx::proto {
+
+namespace {
+constexpr std::int64_t kSenderTag = 121;
+constexpr std::int64_t kReceiverTag = 122;
+}  // namespace
 
 ModKStenningSender::ModKStenningSender(int domain_size, int modulus)
     : domain_size_(domain_size), modulus_(modulus) {
@@ -32,6 +38,25 @@ void ModKStenningSender::on_deliver(sim::MsgId msg) {
                                      static_cast<std::size_t>(modulus_))) {
     ++next_;
   }
+}
+
+std::string ModKStenningSender::save_state() const {
+  util::BlobWriter w;
+  w.i64(kSenderTag);
+  w.u64(next_);
+  return w.str();
+}
+
+bool ModKStenningSender::restore_state(const std::string& blob) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::uint64_t next = 0;
+  if (!r.i64(tag) || tag != kSenderTag || !r.u64(next) || !r.done()) {
+    return false;
+  }
+  if (next > x_.size()) return false;
+  next_ = static_cast<std::size_t>(next);
+  return true;
 }
 
 std::unique_ptr<sim::ISender> ModKStenningSender::clone() const {
@@ -68,6 +93,30 @@ void ModKStenningReceiver::on_deliver(sim::MsgId msg) {
   // Accept when the tag matches the expected index mod K — on a reordering
   // channel a stale wrapped message passes this test and corrupts Y.
   if (tag == frontier % modulus_) pending_writes_.push_back(item);
+}
+
+std::string ModKStenningReceiver::save_state() const {
+  util::BlobWriter w;
+  w.i64(kReceiverTag);
+  w.i64(written_);
+  write_items(w, pending_writes_);
+  return w.str();
+}
+
+bool ModKStenningReceiver::restore_state(const std::string& blob,
+                                         const seq::Sequence& tape) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::int64_t written = 0;
+  std::vector<seq::DataItem> pending;
+  if (!r.i64(tag) || tag != kReceiverTag || !r.i64(written) ||
+      !read_items(r, pending) || !r.done() || written < 0) {
+    return false;
+  }
+  written_ = written;
+  pending_writes_ = std::move(pending);
+  reconcile_with_tape(written_, pending_writes_, tape);
+  return true;
 }
 
 std::unique_ptr<sim::IReceiver> ModKStenningReceiver::clone() const {

@@ -1,8 +1,14 @@
 #include "proto/repfree.hpp"
 
+#include "proto/durable.hpp"
 #include "util/expect.hpp"
 
 namespace stpx::proto {
+
+namespace {
+constexpr std::int64_t kSenderTag = 131;
+constexpr std::int64_t kReceiverTag = 132;
+}  // namespace
 
 // ---------------------------------------------------------------- sender --
 
@@ -42,6 +48,28 @@ void RepFreeSender::on_deliver(sim::MsgId msg) {
   }
 }
 
+std::string RepFreeSender::save_state() const {
+  util::BlobWriter w;
+  w.i64(kSenderTag);
+  w.u64(next_);
+  return w.str();
+}
+
+bool RepFreeSender::restore_state(const std::string& blob) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::uint64_t next = 0;
+  if (!r.i64(tag) || tag != kSenderTag || !r.u64(next) || !r.done()) {
+    return false;
+  }
+  if (next > x_.size()) return false;
+  next_ = static_cast<std::size_t>(next);
+  // Treat the in-flight copy as lost; dup mode re-sends once, del mode
+  // retransmits anyway.
+  sent_current_ = false;
+  return true;
+}
+
 std::unique_ptr<sim::ISender> RepFreeSender::clone() const {
   return std::make_unique<RepFreeSender>(*this);
 }
@@ -60,6 +88,7 @@ RepFreeReceiver::RepFreeReceiver(int domain_size, RepFreeMode mode)
 
 void RepFreeReceiver::start() {
   seen_.assign(static_cast<std::size_t>(domain_size_), false);
+  written_ = 0;
   pending_writes_.clear();
   pending_acks_.clear();
   last_ack_.reset();
@@ -69,6 +98,7 @@ sim::ReceiverEffect RepFreeReceiver::on_step() {
   sim::ReceiverEffect eff;
   eff.writes = std::move(pending_writes_);
   pending_writes_.clear();
+  written_ += static_cast<std::int64_t>(eff.writes.size());
   if (!pending_acks_.empty()) {
     eff.send = pending_acks_.front();
     pending_acks_.erase(pending_acks_.begin());
@@ -89,6 +119,63 @@ void RepFreeReceiver::on_deliver(sim::MsgId msg) {
   pending_writes_.push_back(static_cast<seq::DataItem>(msg));
   pending_acks_.push_back(msg);
   last_ack_ = msg;
+}
+
+std::string RepFreeReceiver::save_state() const {
+  util::BlobWriter w;
+  w.i64(kReceiverTag);
+  w.i64(written_);
+  std::vector<std::int64_t> seen;
+  seen.reserve(seen_.size());
+  for (bool b : seen_) seen.push_back(b ? 1 : 0);
+  w.vec(seen);
+  write_items(w, pending_writes_);
+  std::vector<std::int64_t> acks(pending_acks_.begin(), pending_acks_.end());
+  w.vec(acks);
+  w.i64(last_ack_ ? static_cast<std::int64_t>(*last_ack_) : -1);
+  return w.str();
+}
+
+bool RepFreeReceiver::restore_state(const std::string& blob,
+                                    const seq::Sequence& tape) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::int64_t written = 0;
+  std::vector<std::int64_t> seen;
+  std::vector<seq::DataItem> pending;
+  std::vector<std::int64_t> acks;
+  std::int64_t last = -1;
+  if (!r.i64(tag) || tag != kReceiverTag || !r.i64(written) || !r.vec(seen) ||
+      !read_items(r, pending) || !r.vec(acks) || !r.i64(last) || !r.done() ||
+      written < 0 || seen.size() != static_cast<std::size_t>(domain_size_)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i] != 0 && seen[i] != 1) return false;
+    seen_[i] = seen[i] == 1;
+  }
+  written_ = written;
+  pending_writes_ = std::move(pending);
+  pending_acks_.clear();
+  for (std::int64_t a : acks) {
+    if (a < 0 || a >= domain_size_) return false;
+    pending_acks_.push_back(static_cast<sim::MsgId>(a));
+  }
+  if (last < -1 || last >= domain_size_) return false;
+  last_ack_ = last < 0 ? std::nullopt
+                       : std::optional<sim::MsgId>(static_cast<sim::MsgId>(last));
+  reconcile_with_tape(written_, pending_writes_, tape);
+  // The engine-owned tape is ground truth for what was externalized: even if
+  // the recovered record predates some writes, every taped item must stay in
+  // seen_ (the only replay defence) and the re-ack target must cover the
+  // newest taped item so a stalled sender can still be unstuck.
+  for (seq::DataItem item : tape) {
+    if (item >= 0 && item < domain_size_) {
+      seen_[static_cast<std::size_t>(item)] = true;
+    }
+  }
+  if (!tape.empty()) last_ack_ = sim::MsgId{tape.back()};
+  return true;
 }
 
 std::unique_ptr<sim::IReceiver> RepFreeReceiver::clone() const {

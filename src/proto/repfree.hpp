@@ -54,6 +54,8 @@ class RepFreeSender final : public sim::ISender {
   sim::SenderEffect on_step() override;
   void on_deliver(sim::MsgId msg) override;
   int alphabet_size() const override { return domain_size_; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob) override;
   std::unique_ptr<sim::ISender> clone() const override;
   std::string name() const override;
 
@@ -76,6 +78,9 @@ class RepFreeReceiver final : public sim::IReceiver {
   sim::ReceiverEffect on_step() override;
   void on_deliver(sim::MsgId msg) override;
   int alphabet_size() const override { return domain_size_; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob,
+                     const seq::Sequence& tape) override;
   std::unique_ptr<sim::IReceiver> clone() const override;
   std::string name() const override;
 
@@ -83,6 +88,7 @@ class RepFreeReceiver final : public sim::IReceiver {
   int domain_size_;
   RepFreeMode mode_;
   std::vector<bool> seen_;
+  std::int64_t written_ = 0;  // emitted writes (durable-recovery cursor)
   std::vector<seq::DataItem> pending_writes_;
   std::vector<sim::MsgId> pending_acks_;
   std::optional<sim::MsgId> last_ack_;  // del mode: re-ack target

@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "proto/durable.hpp"
 #include "util/expect.hpp"
 
 namespace stpx::proto {
+
+namespace {
+constexpr std::int64_t kGbnSenderTag = 141;
+constexpr std::int64_t kSrSenderTag = 142;
+constexpr std::int64_t kSrReceiverTag = 143;
+}  // namespace
 
 // ------------------------------------------------------------- go-back-n --
 
@@ -39,6 +46,26 @@ void GoBackNSender::on_deliver(sim::MsgId msg) {
     base_ = count;
     rotate_ = 0;
   }
+}
+
+std::string GoBackNSender::save_state() const {
+  util::BlobWriter w;
+  w.i64(kGbnSenderTag);
+  w.u64(base_);
+  return w.str();
+}
+
+bool GoBackNSender::restore_state(const std::string& blob) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::uint64_t base = 0;
+  if (!r.i64(tag) || tag != kGbnSenderTag || !r.u64(base) || !r.done()) {
+    return false;
+  }
+  if (base > x_.size()) return false;
+  base_ = static_cast<std::size_t>(base);
+  rotate_ = 0;  // round-robin cursor is volatile scratch
+  return true;
 }
 
 std::unique_ptr<sim::ISender> GoBackNSender::clone() const {
@@ -81,6 +108,37 @@ void SelectiveRepeatSender::on_deliver(sim::MsgId msg) {
   STPX_EXPECT(msg >= 0, "SelectiveRepeatSender: malformed ack");
   acked_.insert(static_cast<std::size_t>(msg));
   while (base_ < x_.size() && acked_.count(base_)) ++base_;
+}
+
+std::string SelectiveRepeatSender::save_state() const {
+  util::BlobWriter w;
+  w.i64(kSrSenderTag);
+  w.u64(base_);
+  std::vector<std::int64_t> acked(acked_.begin(), acked_.end());
+  w.vec(acked);
+  return w.str();
+}
+
+bool SelectiveRepeatSender::restore_state(const std::string& blob) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::uint64_t base = 0;
+  std::vector<std::int64_t> acked;
+  if (!r.i64(tag) || tag != kSrSenderTag || !r.u64(base) || !r.vec(acked) ||
+      !r.done()) {
+    return false;
+  }
+  if (base > x_.size()) return false;
+  base_ = static_cast<std::size_t>(base);
+  acked_.clear();
+  for (std::int64_t a : acked) {
+    if (a < 0) return false;
+    acked_.insert(static_cast<std::size_t>(a));
+  }
+  // Re-run the cumulative advance in case the record predates it.
+  while (base_ < x_.size() && acked_.count(base_)) ++base_;
+  rotate_ = 0;
+  return true;
 }
 
 std::unique_ptr<sim::ISender> SelectiveRepeatSender::clone() const {
@@ -134,6 +192,54 @@ void SelectiveRepeatReceiver::on_deliver(sim::MsgId msg) {
     it = buffer_.find(written_ +
                       static_cast<std::int64_t>(pending_writes_.size()));
   }
+}
+
+std::string SelectiveRepeatReceiver::save_state() const {
+  util::BlobWriter w;
+  w.i64(kSrReceiverTag);
+  w.i64(written_);
+  std::vector<std::int64_t> buf;
+  buf.reserve(buffer_.size() * 2);
+  for (const auto& [seqno, item] : buffer_) {
+    buf.push_back(seqno);
+    buf.push_back(item);
+  }
+  w.vec(buf);
+  std::vector<std::int64_t> acks(pending_acks_.begin(), pending_acks_.end());
+  w.vec(acks);
+  write_items(w, pending_writes_);
+  return w.str();
+}
+
+bool SelectiveRepeatReceiver::restore_state(const std::string& blob,
+                                            const seq::Sequence& tape) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::int64_t written = 0;
+  std::vector<std::int64_t> buf;
+  std::vector<std::int64_t> acks;
+  std::vector<seq::DataItem> pending;
+  if (!r.i64(tag) || tag != kSrReceiverTag || !r.i64(written) || !r.vec(buf) ||
+      !r.vec(acks) || !read_items(r, pending) || !r.done() || written < 0 ||
+      buf.size() % 2 != 0) {
+    return false;
+  }
+  written_ = written;
+  buffer_.clear();
+  for (std::size_t i = 0; i + 1 < buf.size(); i += 2) {
+    if (buf[i] < 0 || buf[i + 1] < 0) return false;
+    buffer_.emplace(buf[i], static_cast<seq::DataItem>(buf[i + 1]));
+  }
+  pending_acks_.clear();
+  for (std::int64_t a : acks) {
+    if (a < 0) return false;
+    pending_acks_.push_back(static_cast<sim::MsgId>(a));
+  }
+  pending_writes_ = std::move(pending);
+  reconcile_with_tape(written_, pending_writes_, tape);
+  // Anything the tape proves externalized is stale in the reorder buffer.
+  buffer_.erase(buffer_.begin(), buffer_.lower_bound(written_));
+  return true;
 }
 
 std::unique_ptr<sim::IReceiver> SelectiveRepeatReceiver::clone() const {

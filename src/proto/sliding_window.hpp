@@ -28,6 +28,8 @@ class GoBackNSender final : public sim::ISender {
   sim::SenderEffect on_step() override;
   void on_deliver(sim::MsgId msg) override;
   int alphabet_size() const override { return sim::kUnboundedAlphabet; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob) override;
   std::unique_ptr<sim::ISender> clone() const override;
   std::string name() const override { return "go-back-n-sender"; }
 
@@ -49,6 +51,8 @@ class SelectiveRepeatSender final : public sim::ISender {
   sim::SenderEffect on_step() override;
   void on_deliver(sim::MsgId msg) override;
   int alphabet_size() const override { return sim::kUnboundedAlphabet; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob) override;
   std::unique_ptr<sim::ISender> clone() const override;
   std::string name() const override { return "selective-repeat-sender"; }
 
@@ -71,6 +75,9 @@ class SelectiveRepeatReceiver final : public sim::IReceiver {
   sim::ReceiverEffect on_step() override;
   void on_deliver(sim::MsgId msg) override;
   int alphabet_size() const override { return sim::kUnboundedAlphabet; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob,
+                     const seq::Sequence& tape) override;
   std::unique_ptr<sim::IReceiver> clone() const override;
   std::string name() const override { return "selective-repeat-receiver"; }
 

@@ -1,8 +1,14 @@
 #include "proto/stenning.hpp"
 
+#include "proto/durable.hpp"
 #include "util/expect.hpp"
 
 namespace stpx::proto {
+
+namespace {
+constexpr std::int64_t kSenderTag = 101;
+constexpr std::int64_t kReceiverTag = 102;
+}  // namespace
 
 StenningSender::StenningSender(int domain_size) : domain_size_(domain_size) {
   STPX_EXPECT(domain_size >= 1, "StenningSender: domain must be non-empty");
@@ -29,6 +35,25 @@ void StenningSender::on_deliver(sim::MsgId msg) {
   if (static_cast<std::size_t>(written_count) > next_) {
     next_ = static_cast<std::size_t>(written_count);
   }
+}
+
+std::string StenningSender::save_state() const {
+  util::BlobWriter w;
+  w.i64(kSenderTag);
+  w.u64(next_);
+  return w.str();
+}
+
+bool StenningSender::restore_state(const std::string& blob) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::uint64_t next = 0;
+  if (!r.i64(tag) || tag != kSenderTag || !r.u64(next) || !r.done()) {
+    return false;
+  }
+  if (next > x_.size()) return false;
+  next_ = static_cast<std::size_t>(next);
+  return true;
 }
 
 std::unique_ptr<sim::ISender> StenningSender::clone() const {
@@ -65,6 +90,30 @@ void StenningReceiver::on_deliver(sim::MsgId msg) {
   if (seqno == written_ + static_cast<std::int64_t>(pending_writes_.size())) {
     pending_writes_.push_back(item);
   }
+}
+
+std::string StenningReceiver::save_state() const {
+  util::BlobWriter w;
+  w.i64(kReceiverTag);
+  w.i64(written_);
+  write_items(w, pending_writes_);
+  return w.str();
+}
+
+bool StenningReceiver::restore_state(const std::string& blob,
+                                     const seq::Sequence& tape) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::int64_t written = 0;
+  std::vector<seq::DataItem> pending;
+  if (!r.i64(tag) || tag != kReceiverTag || !r.i64(written) ||
+      !read_items(r, pending) || !r.done() || written < 0) {
+    return false;
+  }
+  written_ = written;
+  pending_writes_ = std::move(pending);
+  reconcile_with_tape(written_, pending_writes_, tape);
+  return true;
 }
 
 std::unique_ptr<sim::IReceiver> StenningReceiver::clone() const {

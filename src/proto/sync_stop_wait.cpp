@@ -1,9 +1,15 @@
 #include "proto/sync_stop_wait.hpp"
 
 #include "channel/sync_channel.hpp"
+#include "proto/durable.hpp"
 #include "util/expect.hpp"
 
 namespace stpx::proto {
+
+namespace {
+constexpr std::int64_t kSenderTag = 181;
+constexpr std::int64_t kReceiverTag = 182;
+}  // namespace
 
 SyncStopWaitSender::SyncStopWaitSender(int domain_size)
     : domain_size_(domain_size) {
@@ -16,6 +22,7 @@ void SyncStopWaitSender::start(const seq::Sequence& x) {
   x_ = x;
   next_ = 0;
   awaiting_verdict_ = false;
+  recovered_ = false;
 }
 
 sim::SenderEffect SyncStopWaitSender::on_step() {
@@ -27,10 +34,42 @@ sim::SenderEffect SyncStopWaitSender::on_step() {
 void SyncStopWaitSender::on_deliver(sim::MsgId msg) {
   STPX_EXPECT(msg == channel::kSyncAck || msg == channel::kSyncNack,
               "SyncStopWaitSender: expected an environment verdict token");
+  if (!awaiting_verdict_ && recovered_) {
+    // A verdict for a send the pre-crash incarnation made.  A restored
+    // checkpoint cannot know whether one is still outstanding, so after a
+    // recovery stray verdicts are dropped instead of asserted away; the
+    // next on_step re-sends x_[next_] and the lockstep resumes (or the
+    // rewind hazard plays out — see restore_state).
+    return;
+  }
   STPX_EXPECT(awaiting_verdict_,
               "SyncStopWaitSender: verdict without an outstanding send");
   awaiting_verdict_ = false;
   if (msg == channel::kSyncAck) ++next_;  // NACK: resend on the next step
+}
+
+std::string SyncStopWaitSender::save_state() const {
+  util::BlobWriter w;
+  w.i64(kSenderTag);
+  w.u64(next_);
+  w.boolean(awaiting_verdict_);
+  return w.str();
+}
+
+bool SyncStopWaitSender::restore_state(const std::string& blob) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::uint64_t next = 0;
+  bool awaiting = false;
+  if (!r.i64(tag) || tag != kSenderTag || !r.u64(next) ||
+      !r.boolean(awaiting) || !r.done()) {
+    return false;
+  }
+  if (next > x_.size()) return false;
+  next_ = static_cast<std::size_t>(next);
+  awaiting_verdict_ = awaiting;
+  recovered_ = true;  // tolerate verdicts addressed to the old incarnation
+  return true;
 }
 
 std::unique_ptr<sim::ISender> SyncStopWaitSender::clone() const {
@@ -42,12 +81,16 @@ SyncStopWaitReceiver::SyncStopWaitReceiver(int domain_size)
   STPX_EXPECT(domain_size >= 1, "SyncStopWaitReceiver: empty domain");
 }
 
-void SyncStopWaitReceiver::start() { pending_writes_.clear(); }
+void SyncStopWaitReceiver::start() {
+  written_ = 0;
+  pending_writes_.clear();
+}
 
 sim::ReceiverEffect SyncStopWaitReceiver::on_step() {
   sim::ReceiverEffect eff;
   eff.writes = std::move(pending_writes_);
   pending_writes_.clear();
+  written_ += static_cast<std::int64_t>(eff.writes.size());
   return eff;
 }
 
@@ -57,6 +100,34 @@ void SyncStopWaitReceiver::on_deliver(sim::MsgId msg) {
   // Order + no duplication + verdict-gated sending mean every arrival is
   // exactly the next item.
   pending_writes_.push_back(static_cast<seq::DataItem>(msg));
+}
+
+std::string SyncStopWaitReceiver::save_state() const {
+  util::BlobWriter w;
+  w.i64(kReceiverTag);
+  w.i64(written_);
+  write_items(w, pending_writes_);
+  return w.str();
+}
+
+bool SyncStopWaitReceiver::restore_state(const std::string& blob,
+                                         const seq::Sequence& tape) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  std::int64_t written = 0;
+  std::vector<seq::DataItem> pending;
+  if (!r.i64(tag) || tag != kReceiverTag || !r.i64(written) ||
+      !read_items(r, pending) || !r.done() || written < 0) {
+    return false;
+  }
+  written_ = written;
+  pending_writes_ = std::move(pending);
+  // Without headers there is no way to dedup a rewound stream — exact
+  // restore works, but a stale (lost-tail) record is a documented hazard:
+  // the tape reconciliation below keeps the cursor honest, yet items the
+  // record never saw are gone and the run can only stall or mis-write.
+  reconcile_with_tape(written_, pending_writes_, tape);
+  return true;
 }
 
 std::unique_ptr<sim::IReceiver> SyncStopWaitReceiver::clone() const {

@@ -23,6 +23,8 @@ class SyncStopWaitSender final : public sim::ISender {
   sim::SenderEffect on_step() override;
   void on_deliver(sim::MsgId msg) override;
   int alphabet_size() const override { return domain_size_; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob) override;
   std::unique_ptr<sim::ISender> clone() const override;
   std::string name() const override { return "sync-stopwait-sender"; }
 
@@ -31,6 +33,9 @@ class SyncStopWaitSender final : public sim::ISender {
   seq::Sequence x_;
   std::size_t next_ = 0;
   bool awaiting_verdict_ = false;
+  /// Set by restore_state: verdicts for pre-crash sends may still arrive
+  /// and must be dropped, not asserted against (see on_deliver).
+  bool recovered_ = false;
 };
 
 class SyncStopWaitReceiver final : public sim::IReceiver {
@@ -43,11 +48,15 @@ class SyncStopWaitReceiver final : public sim::IReceiver {
   /// Sends nothing; a 1-message alphabet keeps the engine's send check
   /// trivially satisfied if a future variant ever acks.
   int alphabet_size() const override { return 1; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob,
+                     const seq::Sequence& tape) override;
   std::unique_ptr<sim::IReceiver> clone() const override;
   std::string name() const override { return "sync-stopwait-receiver"; }
 
  private:
   int domain_size_;
+  std::int64_t written_ = 0;  // emitted writes (durable-recovery cursor)
   std::vector<seq::DataItem> pending_writes_;
 };
 

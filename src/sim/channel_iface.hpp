@@ -31,12 +31,24 @@ struct ChannelTick {
   std::size_t items_written = 0;
 };
 
+/// One requested storage fault: damage `proc`'s stable store.  Ignored by
+/// the engine when that process has no store attached.
+struct StoreFaultRequest {
+  Proc proc = Proc::kSender;
+  StoreFaultKind kind = StoreFaultKind::kTornWrite;
+  std::uint64_t count = 1;  // lose-tail depth; unused by the other kinds
+};
+
 /// What a tick may ask of the engine.  Channels cannot reach the processes
 /// directly, so process-level faults (crash-restart: volatile local state
-/// lost, output tape kept) are requested here and executed by the engine.
+/// lost, output tape kept) and storage faults are requested here and
+/// executed by the engine.  Store faults are applied before crashes within
+/// the same tick, so a fault and a crash at the same trigger exercise
+/// recovery from the already-damaged store.
 struct TickEffect {
   bool crash_sender = false;
   bool crash_receiver = false;
+  std::vector<StoreFaultRequest> store_faults;
 };
 
 class IChannel {

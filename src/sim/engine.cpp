@@ -44,6 +44,8 @@ Engine::Engine(const Engine& other)
       stalled_(other.stalled_),
       last_progress_step_(other.last_progress_step_),
       first_violation_step_(other.first_violation_step_),
+      first_crash_step_(other.first_crash_step_),
+      last_saved_{other.last_saved_[0], other.last_saved_[1]},
       stats_(other.stats_),
       trace_(other.trace_),
       receiver_hist_(other.receiver_hist_),
@@ -57,15 +59,24 @@ void Engine::begin(const seq::Sequence& x) {
   stalled_ = false;
   last_progress_step_ = 0;
   first_violation_step_ = 0;
+  first_crash_step_.reset();
+  last_saved_[0].clear();
+  last_saved_[1].clear();
   stats_ = RunStats{};
   trace_.clear();
   receiver_hist_.clear();
   sender_hist_.clear();
   channel_->reset();
   scheduler_->reset();
+  if (config_.sender_store) config_.sender_store->reset();
+  if (config_.receiver_store) config_.receiver_store->reset();
   sender_->start(x);
   receiver_->start();
   begun_ = true;
+  // Baseline checkpoints: a crash before any transition recovers the
+  // initial state rather than falling back to a cold start.
+  persist(Proc::kSender);
+  persist(Proc::kReceiver);
   if (config_.probe) config_.probe->on_run_begin(x_.size());
 }
 
@@ -188,22 +199,86 @@ void Engine::apply(const Action& a) {
     }
   }
 
+  // Commit point: the acting process's durable state may have changed —
+  // checkpoint it before the action's effects can be externalized further.
+  persist(a.kind == ActionKind::kSenderStep ||
+                  a.kind == ActionKind::kDeliverToSender
+              ? Proc::kSender
+              : Proc::kReceiver);
+
   if (config_.record_trace) trace_.push_back(std::move(ev));
   ++stats_.steps;
+}
+
+void Engine::persist(Proc who) {
+  store::IStableStore* st = who == Proc::kSender ? config_.sender_store
+                                                 : config_.receiver_store;
+  if (!st) return;
+  std::string s = who == Proc::kSender ? sender_->save_state()
+                                       : receiver_->save_state();
+  if (s.empty()) return;  // protocol declares no durable state
+  std::string& last = last_saved_[static_cast<std::size_t>(who)];
+  if (s == last) return;
+  st->append(s);
+  last = std::move(s);
+  if (config_.compact_every > 0 && st->appends() % config_.compact_every == 0) {
+    st->compact();
+  }
+}
+
+void Engine::apply_store_fault(const StoreFaultRequest& rq) {
+  store::IStableStore* st = rq.proc == Proc::kSender ? config_.sender_store
+                                                     : config_.receiver_store;
+  if (!st) return;
+  switch (rq.kind) {
+    case StoreFaultKind::kTornWrite: st->fault_torn_next_append(); break;
+    case StoreFaultKind::kLoseTail: st->fault_lose_tail(rq.count); break;
+    case StoreFaultKind::kCorruptRecord: st->fault_corrupt_record(); break;
+    case StoreFaultKind::kStaleSnapshot: st->fault_stale_snapshot(); break;
+  }
+}
+
+void Engine::rehydrate(Proc who) {
+  store::IStableStore* st = who == Proc::kSender ? config_.sender_store
+                                                 : config_.receiver_store;
+  bool rehydrated = false;
+  std::uint64_t replayed = 0;
+  if (st) {
+    const store::RecoveredState rec = st->recover();
+    replayed = rec.records_replayed;
+    stats_.records_replayed += rec.records_replayed;
+    if (rec.found) {
+      rehydrated = who == Proc::kSender
+                       ? sender_->restore_state(rec.state)
+                       : receiver_->restore_state(rec.state, y_);
+    }
+    if (rehydrated) ++stats_.recoveries;
+    // Re-baseline against the restored (or cold) state; the store already
+    // holds every durable transition, so nothing is re-appended here.
+    last_saved_[static_cast<std::size_t>(who)] =
+        who == Proc::kSender ? sender_->save_state() : receiver_->save_state();
+  }
+  if (config_.probe) {
+    config_.probe->on_restart(stats_.steps, who, rehydrated, replayed);
+  }
 }
 
 void Engine::crash_restart_sender() {
   STPX_EXPECT(begun_, "Engine: begin() not called");
   sender_->start(x_);
   ++stats_.crashes[0];
+  if (!first_crash_step_) first_crash_step_ = stats_.steps;
   if (config_.probe) config_.probe->on_crash(stats_.steps, Proc::kSender);
+  rehydrate(Proc::kSender);
 }
 
 void Engine::crash_restart_receiver() {
   STPX_EXPECT(begun_, "Engine: begin() not called");
   receiver_->start();
   ++stats_.crashes[1];
+  if (!first_crash_step_) first_crash_step_ = stats_.steps;
   if (config_.probe) config_.probe->on_crash(stats_.steps, Proc::kReceiver);
+  rehydrate(Proc::kReceiver);
 }
 
 Action Engine::step_once() {
@@ -211,6 +286,9 @@ Action Engine::step_once() {
   // scheduler looks at the deliverable sets, so a burst/blackout/freeze
   // firing this step is visible to (and survivable by) the legality check.
   const TickEffect fx = channel_->tick({stats_.steps, y_.size()});
+  // Storage faults strike before crashes within a tick, so a fault and a
+  // crash at the same trigger make recovery read the damaged store.
+  for (const StoreFaultRequest& rq : fx.store_faults) apply_store_fault(rq);
   if (fx.crash_sender) crash_restart_sender();
   if (fx.crash_receiver) crash_restart_receiver();
   const Action a = scheduler_->choose(view());

@@ -22,6 +22,7 @@
 #include "sim/scheduler_iface.hpp"
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
+#include "store/stable_store.hpp"
 
 namespace stpx::sim {
 
@@ -38,6 +39,16 @@ struct EngineConfig {
   /// default — costs one pointer test per hook site and records nothing.
   /// clone() shares the pointer, so attach probes to linear runs only.
   obs::IProbe* probe = nullptr;
+  /// Optional stable stores (non-owning; see store/stable_store.hpp).
+  /// When attached, the engine appends a checkpoint record after every
+  /// durable state transition of that process (commit point) and
+  /// rehydrates from the store on crash_restart_*.  Null — the default —
+  /// keeps crash-restart the pure amnesia fault.  clone() shares the
+  /// pointers, so attach stores to linear runs only.
+  store::IStableStore* sender_store = nullptr;
+  store::IStableStore* receiver_store = nullptr;
+  /// Fold the log into the snapshot every this-many appends (0 = never).
+  std::uint64_t compact_every = 32;
 };
 
 struct RunStats {
@@ -46,6 +57,10 @@ struct RunStats {
   std::uint64_t delivered[2] = {0, 0};  // indexed by Dir
   /// Crash-restarts executed, indexed 0 = sender, 1 = receiver.
   std::uint64_t crashes[2] = {0, 0};
+  /// Restarts that rehydrated state from a stable store.
+  std::uint64_t recoveries = 0;
+  /// Store records scanned across all recoveries.
+  std::uint64_t records_replayed = 0;
   /// Step index at which output item i was written.
   std::vector<std::uint64_t> write_step;
 };
@@ -115,11 +130,20 @@ class Engine {
   bool completed() const { return y_ == x_; }
   bool stalled() const { return stalled_; }
   /// Structured verdict of the run so far (same logic result() records).
+  /// A safety violation at or after the first crash-restart is classified
+  /// as a recovery violation: the protocol was safe until a restart lost
+  /// (or mis-restored) state, so the blame lies with recovery, not the
+  /// steady-state protocol.
   RunVerdict verdict() const {
-    return !safety_ok_   ? RunVerdict::kSafetyViolation
-           : completed() ? RunVerdict::kCompleted
-           : stalled_    ? RunVerdict::kStalled
-                         : RunVerdict::kBudgetExhausted;
+    if (!safety_ok_) {
+      return (first_crash_step_ &&
+              first_violation_step_ >= *first_crash_step_)
+                 ? RunVerdict::kRecoveryViolation
+                 : RunVerdict::kSafetyViolation;
+    }
+    return completed() ? RunVerdict::kCompleted
+           : stalled_  ? RunVerdict::kStalled
+                       : RunVerdict::kBudgetExhausted;
   }
   std::uint64_t steps() const { return stats_.steps; }
   /// Step at which the output tape last grew (0 if it never has).
@@ -136,6 +160,12 @@ class Engine {
 
  private:
   void note_send(Dir dir, MsgId msg);
+  /// Append a checkpoint when `who`'s durable state changed this action.
+  void persist(Proc who);
+  /// Execute one requested storage fault (no-op without a store).
+  void apply_store_fault(const StoreFaultRequest& rq);
+  /// recover() + restore_state() + probe on_restart for a restarted `who`.
+  void rehydrate(Proc who);
 
   std::unique_ptr<ISender> sender_;
   std::unique_ptr<IReceiver> receiver_;
@@ -149,6 +179,10 @@ class Engine {
   bool stalled_ = false;
   std::uint64_t last_progress_step_ = 0;
   std::uint64_t first_violation_step_ = 0;
+  /// Step of the first crash-restart (recovery-violation classification).
+  std::optional<std::uint64_t> first_crash_step_;
+  /// Last checkpoint appended per process (skip no-op appends).
+  std::string last_saved_[2];
   RunStats stats_;
   std::vector<TraceEvent> trace_;
   LocalHistory receiver_hist_;

@@ -35,6 +35,19 @@ class ISender {
   /// |M^S|, or kUnboundedAlphabet for unbounded-header baselines.
   virtual int alphabet_size() const = 0;
 
+  /// Serialize the durable fields (util::Blob text).  An empty string
+  /// means the protocol declares no durable state; the engine then never
+  /// appends a checkpoint for it.
+  virtual std::string save_state() const { return {}; }
+
+  /// Rehydrate from a checkpoint blob.  Called after start(), so a false
+  /// return (no durable fields, or a malformed blob) leaves a clean cold
+  /// start.  Implementations must validate before mutating.
+  virtual bool restore_state(const std::string& blob) {
+    (void)blob;
+    return false;
+  }
+
   virtual std::unique_ptr<ISender> clone() const = 0;
   virtual std::string name() const = 0;
 };
@@ -55,6 +68,22 @@ class IReceiver {
 
   /// |M^R|, or kUnboundedAlphabet for unbounded-header baselines.
   virtual int alphabet_size() const = 0;
+
+  /// Serialize the durable fields (util::Blob text).  Empty = the
+  /// protocol declares no durable state.
+  virtual std::string save_state() const { return {}; }
+
+  /// Rehydrate from a checkpoint blob.  `tape` is the engine-owned output
+  /// Y at restart time — ground truth that survives the crash.  A restored
+  /// checkpoint may predate the newest writes (lost tail records), so
+  /// implementations reconcile against the tape: writes the tape already
+  /// holds are dropped from pending queues and cursors advance to
+  /// tape.size().  Called after start(); false = cold start.
+  virtual bool restore_state(const std::string& blob, const seq::Sequence& tape) {
+    (void)blob;
+    (void)tape;
+    return false;
+  }
 
   virtual std::unique_ptr<IReceiver> clone() const = 0;
   virtual std::string name() const = 0;

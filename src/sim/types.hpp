@@ -64,18 +64,41 @@ constexpr const char* to_cstr(Proc p) {
 
 /// Structured outcome of a driven run, most severe first.
 enum class RunVerdict : std::uint8_t {
-  kSafetyViolation,   // Y stopped being a prefix of X
-  kStalled,           // watchdog: no write progress within stall_window
-  kBudgetExhausted,   // hit max_steps without completing
-  kCompleted,         // Y == X
+  kSafetyViolation,    // Y stopped being a prefix of X
+  kRecoveryViolation,  // Y stopped being a prefix of X at/after a crash-restart
+  kStalled,            // watchdog: no write progress within stall_window
+  kBudgetExhausted,    // hit max_steps without completing
+  kCompleted,          // Y == X
 };
 
 constexpr const char* to_cstr(RunVerdict v) {
   switch (v) {
     case RunVerdict::kSafetyViolation: return "safety-violation";
+    case RunVerdict::kRecoveryViolation: return "recovery-violation";
     case RunVerdict::kStalled: return "stalled";
     case RunVerdict::kBudgetExhausted: return "budget-exhausted";
     case RunVerdict::kCompleted: return "completed";
+  }
+  return "?";
+}
+
+/// Storage-fault kinds a fault plan can aim at a process's stable store.
+/// Declared here so the sim layer needs no dependency on the fault library;
+/// the damage itself is executed by store::IStableStore's fault entry
+/// points, which the engine invokes when a TickEffect requests one.
+enum class StoreFaultKind : std::uint8_t {
+  kTornWrite,      // the store's next append is truncated mid-record
+  kLoseTail,       // the newest `count` log records vanish
+  kCorruptRecord,  // bytes of the newest record flip (checksum catches it)
+  kStaleSnapshot,  // roll compaction back to the previous snapshot + log
+};
+
+constexpr const char* to_cstr(StoreFaultKind k) {
+  switch (k) {
+    case StoreFaultKind::kTornWrite: return "torn-write";
+    case StoreFaultKind::kLoseTail: return "lose-tail";
+    case StoreFaultKind::kCorruptRecord: return "corrupt-record";
+    case StoreFaultKind::kStaleSnapshot: return "stale-snapshot";
   }
   return "?";
 }

@@ -1,0 +1,153 @@
+#pragma once
+// Stable storage for crash-recoverable processes.
+//
+// An IStableStore is an append-only log of checksummed full-state
+// checkpoint records plus a snapshot area.  The engine appends one record
+// per durable state transition (commit point) and calls recover() when a
+// crashed process restarts; recovery scans the log newest-first and the
+// newest record that passes its checksum wins, falling back to the
+// snapshot and finally to "nothing found" (cold start).
+//
+// The store is itself fault-injectable, with damage bounded to the tail
+// of the log — the failure model of a single machine losing or mangling
+// its most recent unsynced writes:
+//
+//   * torn write       — the next append is truncated mid-record
+//   * lose tail        — the newest n records vanish
+//   * corrupt record   — bytes of the newest record flip (checksum catches)
+//   * stale snapshot   — compaction's snapshot write was not yet durable;
+//                        the previous snapshot and the records it folded
+//                        in reappear (benign by design: records are full
+//                        states, so replay recovers the same state)
+//
+// Record framing, shared by both stores and exposed for tests:
+//   [4-byte magic "SPXR"][u32 payload length][u64 FNV-1a][payload]
+// Payloads are util::Blob text (digits and spaces), so the magic can
+// never occur inside a payload and a damaged region is re-synced by
+// scanning for the next magic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stpx::store {
+
+/// Result of scanning the store after a crash.
+struct RecoveredState {
+  bool found = false;            ///< any valid state recovered
+  std::string state;             ///< newest valid checkpoint payload
+  std::uint64_t records_replayed = 0;  ///< valid records scanned
+  std::uint64_t records_skipped = 0;   ///< damaged records detected + skipped
+};
+
+class IStableStore {
+ public:
+  virtual ~IStableStore() = default;
+
+  /// Wipe everything; called once per run before the first append.
+  virtual void reset() = 0;
+  /// Append one full-state checkpoint record.
+  virtual void append(const std::string& state) = 0;
+  /// Fold the log into the snapshot area and truncate the log.
+  virtual void compact() = 0;
+  /// Scan for the newest valid state (see file header for the rules).
+  virtual RecoveredState recover() = 0;
+  /// Total records appended since reset() (drives periodic compaction).
+  virtual std::uint64_t appends() const = 0;
+
+  // Fault entry points (driven by the engine from FaultPlan actions).
+  virtual void fault_torn_next_append() = 0;
+  virtual void fault_lose_tail(std::uint64_t n) = 0;
+  virtual void fault_corrupt_record() = 0;
+  virtual void fault_stale_snapshot() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Frame one payload as a checksummed record.
+std::string encode_record(const std::string& payload);
+
+/// One parsed region of a record buffer: either a valid record or a
+/// damaged span up to the next re-sync point.
+struct RecordUnit {
+  std::size_t offset = 0;
+  std::size_t size = 0;
+  std::string payload;  ///< empty when !valid
+  bool valid = false;
+};
+
+/// Split a buffer into records, re-syncing past damaged regions.
+std::vector<RecordUnit> parse_records(const std::string& buffer);
+
+/// The logical image both concrete stores operate on: the live log and
+/// snapshot plus the previous compaction's buffers (retained so the
+/// stale-snapshot fault can roll compaction back).
+struct StoreImage {
+  std::string log;
+  std::string snapshot;      ///< at most one framed record
+  std::string snapshot_old;  ///< snapshot before the last compact()
+  std::string log_old;       ///< log records folded in by the last compact()
+  bool torn_next = false;
+
+  void clear();
+  void append(const std::string& state);
+  void compact();
+  RecoveredState recover() const;
+  void lose_tail(std::uint64_t n);
+  void corrupt_record();
+  void stale_snapshot();
+};
+
+/// In-memory stable store — the default for sweeps and soaks.
+class MemStore final : public IStableStore {
+ public:
+  void reset() override;
+  void append(const std::string& state) override;
+  void compact() override;
+  RecoveredState recover() override;
+  std::uint64_t appends() const override { return appends_; }
+
+  void fault_torn_next_append() override;
+  void fault_lose_tail(std::uint64_t n) override;
+  void fault_corrupt_record() override;
+  void fault_stale_snapshot() override;
+
+  std::string name() const override { return "mem"; }
+
+ private:
+  StoreImage img_;
+  std::uint64_t appends_ = 0;
+};
+
+/// File-backed stable store: a directory holding `log`, `snapshot`,
+/// `snapshot.old`, and `log.old`.  Every operation round-trips through
+/// the files, so the bytes on disk are the single source of truth and a
+/// second FileStore opened on the same directory recovers the state.
+class FileStore final : public IStableStore {
+ public:
+  explicit FileStore(std::string dir);
+
+  void reset() override;
+  void append(const std::string& state) override;
+  void compact() override;
+  RecoveredState recover() override;
+  std::uint64_t appends() const override { return appends_; }
+
+  void fault_torn_next_append() override;
+  void fault_lose_tail(std::uint64_t n) override;
+  void fault_corrupt_record() override;
+  void fault_stale_snapshot() override;
+
+  std::string name() const override { return "file"; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  StoreImage load() const;
+  void flush(const StoreImage& img) const;
+
+  std::string dir_;
+  bool torn_next_ = false;
+  std::uint64_t appends_ = 0;
+};
+
+}  // namespace stpx::store

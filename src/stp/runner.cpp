@@ -32,9 +32,15 @@ void accumulate(SweepResult& agg, const sim::RunResult& r,
   agg.write_latencies.insert(agg.write_latencies.end(), gaps.begin(),
                              gaps.end());
   if (!r.safety_ok) {
-    ++agg.safety_failures;
+    const bool recovery = r.verdict == sim::RunVerdict::kRecoveryViolation;
+    if (recovery) {
+      ++agg.recovery_failures;
+    } else {
+      ++agg.safety_failures;
+    }
     std::ostringstream os;
-    os << "safety violated at step " << r.first_violation_step << ": wrote "
+    os << (recovery ? "recovery violated safety" : "safety violated")
+       << " at step " << r.first_violation_step << ": wrote "
        << seq::to_string(r.output) << " for input " << seq::to_string(x);
     agg.failures.push_back({x, seed, true, os.str(), r.verdict});
   } else if (!r.completed) {
@@ -56,6 +62,7 @@ void accumulate(SweepResult& agg, const sim::RunResult& r,
 void SweepResult::merge(const SweepResult& other) {
   trials += other.trials;
   safety_failures += other.safety_failures;
+  recovery_failures += other.recovery_failures;
   incomplete += other.incomplete;
   stalled += other.stalled;
   exhausted += other.exhausted;
@@ -95,9 +102,10 @@ obs::SweepReport report_of(const std::string& name, const SweepResult& r) {
   rep.name = name;
   rep.trials = r.trials;
   rep.ok = r.all_ok();
-  rep.verdicts.completed =
-      r.trials - r.safety_failures - r.stalled - r.exhausted;
+  rep.verdicts.completed = r.trials - r.safety_failures -
+                           r.recovery_failures - r.stalled - r.exhausted;
   rep.verdicts.safety_violation = r.safety_failures;
+  rep.verdicts.recovery_violation = r.recovery_failures;
   rep.verdicts.stalled = r.stalled;
   rep.verdicts.budget_exhausted = r.exhausted;
   rep.total_steps = r.total_steps;

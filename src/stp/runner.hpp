@@ -49,6 +49,9 @@ struct TrialFailure {
 struct SweepResult {
   std::size_t trials = 0;
   std::size_t safety_failures = 0;
+  /// Safety violations whose first bad write came at or after the first
+  /// crash-restart — i.e. the recovery path, not the protocol, is at fault.
+  std::size_t recovery_failures = 0;
   std::size_t incomplete = 0;  // liveness failures = stalled + exhausted
   /// Per-verdict breakdown of `incomplete` (watchdog stall vs step budget).
   std::size_t stalled = 0;
@@ -61,7 +64,9 @@ struct SweepResult {
   std::vector<std::uint64_t> write_latencies;
   std::vector<std::uint64_t> trial_steps;
 
-  bool all_ok() const { return safety_failures == 0 && incomplete == 0; }
+  bool all_ok() const {
+    return safety_failures == 0 && recovery_failures == 0 && incomplete == 0;
+  }
   double avg_steps() const {
     return trials == 0 ? 0.0
                        : static_cast<double>(total_steps) /

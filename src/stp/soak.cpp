@@ -64,6 +64,9 @@ SoakReport soak_sweep(const std::string& protocol, const SystemSpec& spec,
         case sim::RunVerdict::kSafetyViolation:
           ++report.safety_violations;
           break;
+        case sim::RunVerdict::kRecoveryViolation:
+          ++report.recovery_violations;
+          break;
         case sim::RunVerdict::kStalled: ++report.stalled; break;
         case sim::RunVerdict::kBudgetExhausted: ++report.exhausted; break;
       }
@@ -84,12 +87,22 @@ MinimizedPlan minimize_plan(const SystemSpec& spec, const SoakFailure& f) {
   MinimizedPlan out;
   out.plan = f.plan;
 
-  auto probe = [&](const fault::FaultPlan& candidate) {
+  auto run = [&](const fault::FaultPlan& candidate) {
     ++out.probe_runs;
     return run_one(with_chaos(spec, candidate), f.input, f.seed).verdict;
   };
-  STPX_EXPECT(failing(probe(out.plan)),
-              "minimize_plan: recorded failure does not reproduce");
+  const sim::RunVerdict v0 = run(out.plan);
+  STPX_EXPECT(failing(v0), "minimize_plan: recorded failure does not reproduce");
+  // Safety-class failures must stay the SAME kind while shrinking: a
+  // post-crash (recovery) violation that degenerates into a stall — or into
+  // a plain pre-crash violation — is a different bug, and the minimal
+  // schedule would no longer witness the recorded one.
+  const bool safety_class = v0 == sim::RunVerdict::kSafetyViolation ||
+                            v0 == sim::RunVerdict::kRecoveryViolation;
+  auto probe = [&](const fault::FaultPlan& candidate) {
+    const sim::RunVerdict v = run(candidate);
+    return safety_class ? v == v0 : failing(v);
+  };
 
   // Greedy ddmin to a fixpoint: alternately try deleting whole actions and
   // halving numeric fields; keep any candidate that still fails.  Runs are
@@ -102,7 +115,7 @@ MinimizedPlan minimize_plan(const SystemSpec& spec, const SoakFailure& f) {
       fault::FaultPlan candidate = out.plan;
       candidate.actions.erase(candidate.actions.begin() +
                               static_cast<std::ptrdiff_t>(i));
-      if (failing(probe(candidate))) {
+      if (probe(candidate)) {
         out.plan = std::move(candidate);
         changed = true;
         break;
@@ -114,7 +127,7 @@ MinimizedPlan minimize_plan(const SystemSpec& spec, const SoakFailure& f) {
         if (changed || out.plan.actions[i].*field <= 1) return;
         fault::FaultPlan candidate = out.plan;
         candidate.actions[i].*field /= 2;
-        if (failing(probe(candidate))) {
+        if (probe(candidate)) {
           out.plan = std::move(candidate);
           changed = true;
         }
@@ -124,14 +137,14 @@ MinimizedPlan minimize_plan(const SystemSpec& spec, const SoakFailure& f) {
       if (!changed && out.plan.actions[i].trigger.at > 1) {
         fault::FaultPlan candidate = out.plan;
         candidate.actions[i].trigger.at /= 2;
-        if (failing(probe(candidate))) {
+        if (probe(candidate)) {
           out.plan = std::move(candidate);
           changed = true;
         }
       }
     }
   }
-  out.verdict = probe(out.plan);
+  out.verdict = run(out.plan);
   return out;
 }
 
@@ -142,6 +155,7 @@ obs::SweepReport report_of(const SoakReport& r) {
   rep.ok = r.clean();
   rep.verdicts.completed = r.completed;
   rep.verdicts.safety_violation = r.safety_violations;
+  rep.verdicts.recovery_violation = r.recovery_violations;
   rep.verdicts.stalled = r.stalled;
   rep.verdicts.budget_exhausted = r.exhausted;
   rep.total_steps = r.total_steps;

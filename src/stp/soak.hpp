@@ -44,6 +44,9 @@ struct SoakReport {
   std::size_t trials = 0;
   std::size_t completed = 0;
   std::size_t safety_violations = 0;
+  /// Post-crash safety violations (RunVerdict::kRecoveryViolation): the
+  /// recovery path, not the protocol logic, produced the bad write.
+  std::size_t recovery_violations = 0;
   std::size_t stalled = 0;
   std::size_t exhausted = 0;
   std::vector<SoakFailure> failures;

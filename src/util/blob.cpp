@@ -1,0 +1,82 @@
+#include "util/blob.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace stpx::util {
+
+void BlobWriter::i64(std::int64_t v) {
+  if (!out_.empty()) out_.push_back(' ');
+  out_ += std::to_string(v);
+}
+
+void BlobWriter::u64(std::uint64_t v) { i64(static_cast<std::int64_t>(v)); }
+
+void BlobWriter::vec(const std::vector<std::int64_t>& vs) {
+  i64(static_cast<std::int64_t>(vs.size()));
+  for (std::int64_t v : vs) i64(v);
+}
+
+BlobReader::BlobReader(const std::string& blob) {
+  std::size_t i = 0;
+  while (i < blob.size()) {
+    while (i < blob.size() && blob[i] == ' ') ++i;
+    if (i >= blob.size()) break;
+    const std::size_t start = i;
+    while (i < blob.size() && blob[i] != ' ') ++i;
+    const std::string tok = blob.substr(start, i - start);
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (errno != 0 || end == tok.c_str() || *end != '\0') {
+      ok_ = false;
+      tokens_.clear();
+      return;
+    }
+    tokens_.push_back(static_cast<std::int64_t>(v));
+  }
+}
+
+bool BlobReader::i64(std::int64_t& out) {
+  if (!ok_ || pos_ >= tokens_.size()) {
+    ok_ = false;
+    return false;
+  }
+  out = tokens_[pos_++];
+  return true;
+}
+
+bool BlobReader::u64(std::uint64_t& out) {
+  std::int64_t v = 0;
+  if (!i64(v) || v < 0) {
+    ok_ = false;
+    return false;
+  }
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool BlobReader::boolean(bool& out) {
+  std::int64_t v = 0;
+  if (!i64(v) || (v != 0 && v != 1)) {
+    ok_ = false;
+    return false;
+  }
+  out = (v == 1);
+  return true;
+}
+
+bool BlobReader::vec(std::vector<std::int64_t>& out) {
+  std::int64_t n = 0;
+  if (!i64(n) || n < 0 ||
+      static_cast<std::size_t>(n) > tokens_.size() - pos_) {
+    ok_ = false;
+    return false;
+  }
+  out.assign(tokens_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             tokens_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += static_cast<std::size_t>(n);
+  return true;
+}
+
+}  // namespace stpx::util

@@ -16,6 +16,7 @@
 #include "fault/plan.hpp"
 #include "stp/fault.hpp"
 #include "stp/soak.hpp"
+#include "store/stable_store.hpp"
 #include "util/expect.hpp"
 #include "util/rng.hpp"
 
@@ -28,40 +29,44 @@ using sim::Dir;
 
 TEST(FaultPlan, TextRoundTrip) {
   FaultPlan plan;
-  plan.actions.push_back({FaultKind::kDropBurst,
-                          {TriggerKind::kStep, 120},
-                          Dir::kSenderToReceiver,
-                          3,
-                          0,
-                          kAnyMsg});
-  plan.actions.push_back({FaultKind::kDupBurst,
-                          {TriggerKind::kWrites, 2},
-                          Dir::kReceiverToSender,
-                          4,
-                          0,
-                          sim::MsgId{1}});
-  plan.actions.push_back({FaultKind::kBlackout,
-                          {TriggerKind::kSends, 10},
-                          Dir::kSenderToReceiver,
-                          0,
-                          200,
-                          kAnyMsg});
-  plan.actions.push_back({FaultKind::kFreeze,
-                          {TriggerKind::kStep, 50},
-                          Dir::kReceiverToSender,
-                          0,
-                          100,
-                          kAnyMsg});
-  plan.actions.push_back({FaultKind::kCapInFlight,
-                          {TriggerKind::kStep, 0},
-                          Dir::kSenderToReceiver,
-                          2,
-                          0,
-                          kAnyMsg});
+  plan.actions.push_back({.kind = FaultKind::kDropBurst,
+                          .trigger = {TriggerKind::kStep, 120},
+                          .dir = Dir::kSenderToReceiver,
+                          .count = 3});
+  plan.actions.push_back({.kind = FaultKind::kDupBurst,
+                          .trigger = {TriggerKind::kWrites, 2},
+                          .dir = Dir::kReceiverToSender,
+                          .count = 4,
+                          .match = sim::MsgId{1}});
+  plan.actions.push_back({.kind = FaultKind::kBlackout,
+                          .trigger = {TriggerKind::kSends, 10},
+                          .dir = Dir::kSenderToReceiver,
+                          .duration = 200});
+  plan.actions.push_back({.kind = FaultKind::kFreeze,
+                          .trigger = {TriggerKind::kStep, 50},
+                          .dir = Dir::kReceiverToSender,
+                          .duration = 100});
+  plan.actions.push_back({.kind = FaultKind::kCapInFlight,
+                          .trigger = {TriggerKind::kStep, 0},
+                          .dir = Dir::kSenderToReceiver,
+                          .count = 2});
   plan.actions.push_back(
-      {FaultKind::kCrashSender, {TriggerKind::kWrites, 3}});
+      {.kind = FaultKind::kCrashSender, .trigger = {TriggerKind::kWrites, 3}});
   plan.actions.push_back(
-      {FaultKind::kCrashReceiver, {TriggerKind::kStep, 500}});
+      {.kind = FaultKind::kCrashReceiver, .trigger = {TriggerKind::kStep, 500}});
+  plan.actions.push_back({.kind = FaultKind::kTornWrite,
+                          .trigger = {TriggerKind::kWrites, 2},
+                          .proc = sim::Proc::kReceiver});
+  plan.actions.push_back({.kind = FaultKind::kLoseTail,
+                          .trigger = {TriggerKind::kWrites, 3},
+                          .proc = sim::Proc::kSender,
+                          .count = 1});
+  plan.actions.push_back({.kind = FaultKind::kCorruptRecord,
+                          .trigger = {TriggerKind::kStep, 40},
+                          .proc = sim::Proc::kReceiver});
+  plan.actions.push_back({.kind = FaultKind::kStaleSnapshot,
+                          .trigger = {TriggerKind::kSends, 8},
+                          .proc = sim::Proc::kSender});
 
   const std::string text = to_text(plan);
   EXPECT_EQ(plan_from_text(text), plan) << text;
@@ -73,6 +78,7 @@ TEST(FaultPlan, ParserRejectsGarbage) {
   EXPECT_THROW(plan_from_text("drop @sometime 3"), ContractError);
   EXPECT_THROW(plan_from_text("drop @step 3 dir XX"), ContractError);
   EXPECT_THROW(plan_from_text("drop @step 3 wibble 4"), ContractError);
+  EXPECT_THROW(plan_from_text("torn-write @step 3 proc nobody"), ContractError);
 }
 
 TEST(FaultPlan, ParserSkipsCommentsAndBlanks) {
@@ -530,8 +536,48 @@ TEST(CrashRestart, RepFreeReceiverAmnesiaViolatesSafety) {
       "dup @step 1 dir SR count 6 match *\n"
       "crash-receiver @writes 2\n");
   const auto r = run_one(with_chaos(spec, plan), iota(6), 1);
-  EXPECT_EQ(r.verdict, sim::RunVerdict::kSafetyViolation);
+  // The bad write comes after the crash, so the structured verdict blames
+  // the (absent) recovery layer rather than the steady-state protocol.
+  EXPECT_EQ(r.verdict, sim::RunVerdict::kRecoveryViolation);
+  EXPECT_FALSE(r.safety_ok);
   EXPECT_FALSE(seq::is_prefix(r.output, r.input));
+}
+
+TEST(CrashRestart, BothProcessesCrashingSameTickRecoverWithStores) {
+  // Crash storm: sender and receiver both restart at the same write count.
+  // With stable stores attached, both rehydrate and the transfer completes.
+  auto spec = stenning_spec(6);
+  spec.engine.stall_window = 5000;
+  store::MemStore sstore, rstore;
+  spec.engine.sender_store = &sstore;
+  spec.engine.receiver_store = &rstore;
+  const auto plan = fault::plan_from_text(
+      "crash-sender @writes 2\n"
+      "crash-receiver @writes 2\n");
+  const auto r = run_one(with_chaos(spec, plan), iota(6), 11);
+  EXPECT_EQ(r.verdict, sim::RunVerdict::kCompleted);
+  EXPECT_EQ(r.stats.crashes[0], 1u);
+  EXPECT_EQ(r.stats.crashes[1], 1u);
+  EXPECT_EQ(r.stats.recoveries, 2u);
+}
+
+TEST(CrashRestart, BackToBackReceiverRestartsStayDurable) {
+  // Restart the receiver at every other write: each recovery must pick up
+  // exactly where the previous incarnation left off.
+  auto spec = stenning_spec(8);
+  spec.engine.stall_window = 5000;
+  store::MemStore sstore, rstore;
+  spec.engine.sender_store = &sstore;
+  spec.engine.receiver_store = &rstore;
+  const auto plan = fault::plan_from_text(
+      "crash-receiver @writes 2\n"
+      "crash-receiver @writes 3\n"
+      "crash-receiver @writes 4\n"
+      "crash-receiver @writes 6\n");
+  const auto r = run_one(with_chaos(spec, plan), iota(8), 4);
+  EXPECT_EQ(r.verdict, sim::RunVerdict::kCompleted);
+  EXPECT_EQ(r.stats.crashes[1], 4u);
+  EXPECT_EQ(r.stats.recoveries, 4u);
 }
 
 // ------------------------------------------ FaultExperiment.max_steps -----

@@ -1,0 +1,564 @@
+// Tests for the durable recovery layer: blob serialization, the stable
+// stores (record framing, checksums, fault semantics, file persistence),
+// engine rehydration on crash-restart, recovery observability, and the
+// protocol x crash x storage-fault conformance sweep.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "channel/del_channel.hpp"
+#include "channel/fifo_channel.hpp"
+#include "channel/schedulers.hpp"
+#include "channel/sync_channel.hpp"
+#include "fault/plan.hpp"
+#include "obs/metrics.hpp"
+#include "proto/suite.hpp"
+#include "stp/recovery.hpp"
+#include "stp/soak.hpp"
+#include "store/stable_store.hpp"
+#include "util/blob.hpp"
+#include "util/expect.hpp"
+
+// ------------------------------------------------------------------ blobs --
+
+namespace stpx::util {
+namespace {
+
+TEST(Blob, RoundTrip) {
+  BlobWriter w;
+  w.i64(-7);
+  w.u64(1234567890123ULL);
+  w.boolean(true);
+  w.vec({5, -1, 0});
+
+  BlobReader r(w.str());
+  std::int64_t a = 0;
+  std::uint64_t b = 0;
+  bool c = false;
+  std::vector<std::int64_t> v;
+  EXPECT_TRUE(r.i64(a));
+  EXPECT_TRUE(r.u64(b));
+  EXPECT_TRUE(r.boolean(c));
+  EXPECT_TRUE(r.vec(v));
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(a, -7);
+  EXPECT_EQ(b, 1234567890123ULL);
+  EXPECT_TRUE(c);
+  EXPECT_EQ(v, (std::vector<std::int64_t>{5, -1, 0}));
+}
+
+TEST(Blob, ReaderIsDefensive) {
+  // Exhaustion, negative-where-unsigned, and an absurd vec length must all
+  // report failure without throwing (a failed restore, not UB).
+  BlobReader empty("");
+  std::int64_t x = 42;
+  EXPECT_FALSE(empty.i64(x));
+  EXPECT_EQ(x, 42);  // untouched on failure
+
+  BlobReader neg("-3");
+  std::uint64_t u = 0;
+  EXPECT_FALSE(neg.u64(u));
+
+  BlobReader garbage("12 banana");
+  EXPECT_FALSE(garbage.ok());
+
+  BlobReader long_vec("99 1 2");  // claims 99 elements, has 2
+  std::vector<std::int64_t> v;
+  EXPECT_FALSE(long_vec.vec(v));
+  EXPECT_TRUE(v.empty());
+}
+
+}  // namespace
+}  // namespace stpx::util
+
+// ----------------------------------------------------------------- stores --
+
+namespace stpx::store {
+namespace {
+
+TEST(RecordCodec, RoundTripAndResync) {
+  const std::string a = encode_record("1 2 3");
+  const std::string b = encode_record("4 5 6");
+
+  auto units = parse_records(a + b);
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_TRUE(units[0].valid);
+  EXPECT_EQ(units[0].payload, "1 2 3");
+  EXPECT_TRUE(units[1].valid);
+  EXPECT_EQ(units[1].payload, "4 5 6");
+
+  // Damage the first record's payload: the checksum rejects it and the
+  // parser re-syncs to the second record's magic.
+  std::string damaged = a + b;
+  damaged[a.size() - 2] ^= 0x1;
+  units = parse_records(damaged);
+  bool saw_valid_b = false;
+  for (const auto& u : units)
+    if (u.valid) {
+      EXPECT_EQ(u.payload, "4 5 6");
+      saw_valid_b = true;
+    }
+  EXPECT_TRUE(saw_valid_b);
+}
+
+TEST(MemStore, NewestValidRecordWins) {
+  MemStore s;
+  s.reset();
+  EXPECT_FALSE(s.recover().found);  // empty store = cold start
+
+  s.append("10");
+  s.append("20");
+  s.append("30");
+  const auto rec = s.recover();
+  EXPECT_TRUE(rec.found);
+  EXPECT_EQ(rec.state, "30");
+  EXPECT_EQ(rec.records_replayed, 3u);
+  EXPECT_EQ(rec.records_skipped, 0u);
+  EXPECT_EQ(s.appends(), 3u);
+}
+
+TEST(MemStore, TornWriteLosesOnlyTheTornAppend) {
+  MemStore s;
+  s.append("10");
+  s.fault_torn_next_append();
+  s.append("20");  // truncated mid-record
+  auto rec = s.recover();
+  EXPECT_TRUE(rec.found);
+  EXPECT_EQ(rec.state, "10");
+  EXPECT_GE(rec.records_skipped, 1u);
+
+  // A later intact append supersedes the damage entirely.
+  s.append("30");
+  rec = s.recover();
+  EXPECT_EQ(rec.state, "30");
+}
+
+TEST(MemStore, LoseTailRewindsToOlderRecord) {
+  MemStore s;
+  s.append("10");
+  s.append("20");
+  s.fault_lose_tail(1);
+  const auto rec = s.recover();
+  EXPECT_TRUE(rec.found);
+  EXPECT_EQ(rec.state, "10");
+
+  s.fault_lose_tail(5);  // more than remain: store goes empty, not UB
+  EXPECT_FALSE(s.recover().found);
+}
+
+TEST(MemStore, CorruptRecordCaughtByChecksum) {
+  MemStore s;
+  s.append("10");
+  s.append("20");
+  s.fault_corrupt_record();
+  const auto rec = s.recover();
+  EXPECT_TRUE(rec.found);
+  EXPECT_EQ(rec.state, "10");  // damaged newest record is skipped
+  EXPECT_GE(rec.records_skipped, 1u);
+}
+
+TEST(MemStore, StaleSnapshotReplaysMoreButLandsOnSameState) {
+  MemStore s;
+  for (int i = 1; i <= 6; ++i) {
+    s.append(std::to_string(i * 10));
+    if (i == 4) s.compact();
+  }
+  const auto before = s.recover();
+  ASSERT_TRUE(before.found);
+  EXPECT_EQ(before.state, "60");
+
+  // Roll compaction back: the old snapshot and the folded-in records
+  // reappear.  Records are full states, so only the replay count grows.
+  s.fault_stale_snapshot();
+  const auto after = s.recover();
+  EXPECT_TRUE(after.found);
+  EXPECT_EQ(after.state, "60");
+  EXPECT_GT(after.records_replayed, before.records_replayed);
+}
+
+TEST(MemStore, ResetWipesEverything) {
+  MemStore s;
+  s.append("10");
+  s.compact();
+  s.append("20");
+  s.reset();
+  EXPECT_FALSE(s.recover().found);
+  EXPECT_EQ(s.appends(), 0u);
+}
+
+TEST(FileStore, PersistsAcrossInstances) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "stpx_filestore").string();
+  {
+    FileStore a(dir);
+    a.reset();
+    a.append("1 2");
+    a.append("3 4");
+    a.compact();
+    a.append("5 6");
+  }
+  // A second store on the same directory sees the same bytes: the files,
+  // not the object, are the source of truth.
+  FileStore b(dir);
+  const auto rec = b.recover();
+  EXPECT_TRUE(rec.found);
+  EXPECT_EQ(rec.state, "5 6");
+
+  // Faults round-trip through the files too.
+  b.fault_corrupt_record();
+  FileStore c(dir);
+  const auto after = c.recover();
+  EXPECT_TRUE(after.found);
+  EXPECT_EQ(after.state, "3 4");  // snapshot state, newest log record damaged
+  EXPECT_GE(after.records_skipped, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileStore, TornWriteTruncatesOnDisk) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "stpx_filestore_torn")
+          .string();
+  FileStore s(dir);
+  s.reset();
+  s.append("11");
+  s.fault_torn_next_append();
+  s.append("22");
+  const auto rec = s.recover();
+  EXPECT_TRUE(rec.found);
+  EXPECT_EQ(rec.state, "11");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace stpx::store
+
+// ---------------------------------------------------- engine rehydration --
+
+namespace stpx::stp {
+namespace {
+
+SystemSpec stenning_spec(int m) {
+  SystemSpec spec;
+  spec.protocols = [m] { return proto::make_stenning(m); };
+  spec.channel = [](std::uint64_t seed) {
+    return std::make_unique<channel::DelChannel>(0.0, seed);
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 100000;
+  spec.engine.stall_window = 4000;
+  return spec;
+}
+
+SystemSpec repfree_del_spec(int m) {
+  SystemSpec spec;
+  spec.protocols = [m] { return proto::make_repfree_del(m); };
+  spec.channel = [](std::uint64_t seed) {
+    return std::make_unique<channel::DelChannel>(0.0, seed);
+  };
+  spec.scheduler = [](std::uint64_t) {
+    return std::make_unique<channel::RoundRobinScheduler>();
+  };
+  spec.engine.max_steps = 100000;
+  spec.engine.stall_window = 4000;
+  return spec;
+}
+
+seq::Sequence iota(int n) {
+  seq::Sequence x;
+  for (int i = 0; i < n; ++i) x.push_back(i);
+  return x;
+}
+
+TEST(Rehydration, StenningReceiverCrashCompletesWithStore) {
+  // The durable counterpart of CrashRestart.StenningReceiverAmnesiaIsSafe-
+  // ButStalls (test_fault.cpp): the same crash that permanently stalls an
+  // amnesiac receiver is a non-event once its cursor lives in a store.
+  auto spec = stenning_spec(6);
+  store::MemStore sstore, rstore;
+  spec.engine.sender_store = &sstore;
+  spec.engine.receiver_store = &rstore;
+  const auto plan = fault::plan_from_text("crash-receiver @writes 2\n");
+  const auto r = run_one(with_chaos(spec, plan), iota(6), 11);
+  EXPECT_EQ(r.verdict, sim::RunVerdict::kCompleted);
+  EXPECT_EQ(r.stats.crashes[1], 1u);
+  EXPECT_EQ(r.stats.recoveries, 1u);
+  EXPECT_GE(r.stats.records_replayed, 1u);
+}
+
+TEST(Rehydration, RepFreeReceiverStoreDefusesTheAmnesiaHazard) {
+  // The exact schedule of CrashRestart.RepFreeReceiverAmnesiaViolatesSafety
+  // (dup a stale copy into flight, crash the receiver) — but with stable
+  // stores attached, seen_ survives the crash and the stale copy is
+  // correctly ignored instead of re-written.
+  auto spec = repfree_del_spec(6);
+  store::MemStore sstore, rstore;
+  spec.engine.sender_store = &sstore;
+  spec.engine.receiver_store = &rstore;
+  const auto plan = fault::plan_from_text(
+      "dup @step 1 dir SR count 6 match *\n"
+      "crash-receiver @writes 2\n");
+  const auto r = run_one(with_chaos(spec, plan), iota(6), 1);
+  EXPECT_EQ(r.verdict, sim::RunVerdict::kCompleted);
+  EXPECT_TRUE(r.safety_ok);
+  EXPECT_EQ(r.stats.crashes[1], 1u);
+  EXPECT_EQ(r.stats.recoveries, 1u);
+}
+
+// ---------------------------------------------------------- observability --
+
+TEST(RecoveryObs, MetricsFlowOnRehydratedRestart) {
+  auto spec = stenning_spec(6);
+  store::MemStore sstore, rstore;
+  spec.engine.sender_store = &sstore;
+  spec.engine.receiver_store = &rstore;
+  obs::MetricsRegistry reg;
+  obs::MetricsProbe probe(&reg);
+  spec.engine.probe = &probe;
+  const auto plan = fault::plan_from_text("crash-receiver @writes 2\n");
+  const auto r = run_one(with_chaos(spec, plan), iota(6), 11);
+  ASSERT_EQ(r.verdict, sim::RunVerdict::kCompleted);
+
+  EXPECT_EQ(reg.counter_value("crashes.receiver"), 1u);
+  EXPECT_EQ(reg.counter_value("recoveries"), 1u);
+  EXPECT_EQ(reg.counter_value("recoveries.cold"), 0u);
+  EXPECT_GE(reg.counter_value("records_replayed"), 1u);
+  // The restart->next-write latency histogram saw exactly that recovery.
+  const auto& lat = reg.histograms().at("recovery.latency");
+  EXPECT_EQ(lat.count(), 1u);
+}
+
+TEST(RecoveryObs, ColdRestartCountsAsCold) {
+  auto spec = stenning_spec(6);  // no stores attached
+  spec.engine.stall_window = 3000;
+  obs::MetricsRegistry reg;
+  obs::MetricsProbe probe(&reg);
+  spec.engine.probe = &probe;
+  const auto plan = fault::plan_from_text("crash-receiver @writes 2\n");
+  const auto r = run_one(with_chaos(spec, plan), iota(6), 11);
+  EXPECT_EQ(r.verdict, sim::RunVerdict::kStalled);  // amnesia stall, as ever
+
+  EXPECT_EQ(reg.counter_value("recoveries"), 0u);
+  EXPECT_EQ(reg.counter_value("recoveries.cold"), 1u);
+  EXPECT_EQ(reg.counter_value("records_replayed"), 0u);
+}
+
+/// Records crash/restart hook pairs for the probe-contract test.
+struct RestartRecorder final : obs::IProbe {
+  struct Crash {
+    std::uint64_t step;
+    sim::Proc who;
+  };
+  struct Restart {
+    std::uint64_t step;
+    sim::Proc who;
+    bool rehydrated;
+    std::uint64_t records_replayed;
+  };
+  std::vector<Crash> crashes;
+  std::vector<Restart> restarts;
+
+  void on_crash(std::uint64_t step, sim::Proc who) override {
+    crashes.push_back({step, who});
+  }
+  void on_restart(std::uint64_t step, sim::Proc who, bool rehydrated,
+                  std::uint64_t records_replayed) override {
+    restarts.push_back({step, who, rehydrated, records_replayed});
+  }
+};
+
+TEST(RecoveryObs, RestartEventPairsWithCrashAndFlagsRehydration) {
+  const auto plan = fault::plan_from_text("crash-receiver @writes 2\n");
+
+  // With a store: the restart is flagged as a rehydration.
+  auto spec = stenning_spec(6);
+  store::MemStore sstore, rstore;
+  spec.engine.sender_store = &sstore;
+  spec.engine.receiver_store = &rstore;
+  RestartRecorder warm;
+  spec.engine.probe = &warm;
+  ASSERT_EQ(run_one(with_chaos(spec, plan), iota(6), 11).verdict,
+            sim::RunVerdict::kCompleted);
+  ASSERT_EQ(warm.crashes.size(), 1u);
+  ASSERT_EQ(warm.restarts.size(), 1u);
+  EXPECT_EQ(warm.restarts[0].step, warm.crashes[0].step);
+  EXPECT_EQ(warm.restarts[0].who, sim::Proc::kReceiver);
+  EXPECT_TRUE(warm.restarts[0].rehydrated);
+  EXPECT_GE(warm.restarts[0].records_replayed, 1u);
+
+  // Without one: same pairing, but the restart is a cold start.
+  auto bare = stenning_spec(6);
+  bare.engine.stall_window = 3000;
+  RestartRecorder cold;
+  bare.engine.probe = &cold;
+  run_one(with_chaos(bare, plan), iota(6), 11);
+  ASSERT_EQ(cold.restarts.size(), 1u);
+  EXPECT_FALSE(cold.restarts[0].rehydrated);
+  EXPECT_EQ(cold.restarts[0].records_replayed, 0u);
+}
+
+// ------------------------------------------------------------ conformance --
+
+TEST(Conformance, RecoveryPlanShape) {
+  const auto plan =
+      recovery_plan(fault::FaultKind::kLoseTail, sim::Proc::kReceiver,
+                    /*biting=*/true);
+  ASSERT_EQ(plan.actions.size(), 2u);
+  EXPECT_EQ(plan.actions[0].kind, fault::FaultKind::kLoseTail);
+  EXPECT_EQ(plan.actions[0].proc, sim::Proc::kReceiver);
+  EXPECT_EQ(plan.actions[1].kind, fault::FaultKind::kCrashReceiver);
+  // Only storage-fault kinds are accepted.
+  EXPECT_THROW(
+      recovery_plan(fault::FaultKind::kDropBurst, sim::Proc::kSender, true),
+      ContractError);
+}
+
+TEST(Conformance, EveryProtocolSurvivesEveryStorageFault) {
+  // The headline acceptance test: the full matrix — every protocol in the
+  // suite x all four storage-fault kinds x crash of either process — must
+  // complete with at least one real crash and one rehydrated recovery.
+  const auto cases = default_recovery_cases();
+  const RecoveryReport report = recovery_sweep(cases, 2026);
+  EXPECT_EQ(report.trials.size(), cases.size() * 4 * 2);
+  for (const auto& t : report.trials)
+    if (!t.detail.empty()) ADD_FAILURE() << t.detail;
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.completed, report.trials.size());
+}
+
+/// A deliberately broken recovery path: claims restore_state succeeded but
+/// restores nothing.  The conformance machinery must catch the lie as a
+/// recovery-specific verdict, not a plain safety violation.
+class AmnesiacRestoreReceiver final : public sim::IReceiver {
+ public:
+  explicit AmnesiacRestoreReceiver(std::unique_ptr<sim::IReceiver> inner)
+      : inner_(std::move(inner)) {}
+
+  void start() override { inner_->start(); }
+  sim::ReceiverEffect on_step() override { return inner_->on_step(); }
+  void on_deliver(sim::MsgId msg) override { inner_->on_deliver(msg); }
+  int alphabet_size() const override { return inner_->alphabet_size(); }
+  std::string save_state() const override { return inner_->save_state(); }
+  bool restore_state(const std::string&, const seq::Sequence&) override {
+    return true;  // the lie: "restored" with the inner state still blank
+  }
+  std::unique_ptr<sim::IReceiver> clone() const override {
+    return std::make_unique<AmnesiacRestoreReceiver>(inner_->clone());
+  }
+  std::string name() const override {
+    return "amnesiac-restore(" + inner_->name() + ")";
+  }
+
+ private:
+  std::unique_ptr<sim::IReceiver> inner_;
+};
+
+TEST(Conformance, BrokenRestoreIsCaughtAsRecoveryViolation) {
+  auto spec = repfree_del_spec(6);
+  spec.protocols = [] {
+    proto::ProtocolPair pair = proto::make_repfree_del(6);
+    pair.receiver =
+        std::make_unique<AmnesiacRestoreReceiver>(std::move(pair.receiver));
+    return pair;
+  };
+  store::MemStore sstore, rstore;
+  spec.engine.sender_store = &sstore;
+  spec.engine.receiver_store = &rstore;
+  const auto plan = fault::plan_from_text(
+      "dup @step 1 dir SR count 6 match *\n"
+      "crash-receiver @writes 2\n");
+  const auto r = run_one(with_chaos(spec, plan), iota(6), 1);
+  EXPECT_EQ(r.verdict, sim::RunVerdict::kRecoveryViolation);
+  EXPECT_FALSE(r.safety_ok);
+  EXPECT_EQ(r.stats.recoveries, 1u);  // the engine believed the restore
+}
+
+// ----------------------------------------------------------------- hazard --
+// The two (process, protocol) combinations declared rewind-unsafe in
+// default_recovery_cases() get superseded fault placement there; these tests
+// pin down what a *biting* rewind actually does to them, so the exclusions
+// stay honest.
+
+bool post_crash_failure(sim::RunVerdict v) {
+  return v == sim::RunVerdict::kRecoveryViolation ||
+         v == sim::RunVerdict::kStalled;
+}
+
+TEST(Hazard, RepFreeDelSenderCannotTolerateARewoundCheckpoint) {
+  // A lose-tail that bites the sender's newest record rewinds next_ by one;
+  // the re-sent item is one the receiver has already seen and (in del mode)
+  // silently eats, so no ack ever names it: the W = a+1 stall.
+  auto spec = repfree_del_spec(6);
+  store::MemStore sstore, rstore;
+  spec.engine.sender_store = &sstore;
+  spec.engine.receiver_store = &rstore;
+  const auto plan = recovery_plan(fault::FaultKind::kLoseTail,
+                                  sim::Proc::kSender, /*biting=*/true);
+  const auto r = run_one(with_chaos(spec, plan), iota(6), 1);
+  EXPECT_TRUE(post_crash_failure(r.verdict))
+      << sim::to_cstr(r.verdict) << " after " << r.stats.steps << " steps";
+  EXPECT_GE(r.stats.recoveries, 1u);
+}
+
+TEST(Hazard, AbpSenderRewindAliasesHeaderBits) {
+  // A rewound ABP sender re-sends an item whose alternating bit the
+  // receiver has already cycled past; on a FIFO channel the re-sent copy
+  // arrives *behind* newer traffic carrying the bit the receiver now
+  // expects — and is accepted as the next item.  The same aliasing breaks
+  // every bounded-header sender (modk, block, hybrid), which is why they
+  // are declared sender-rewind-unsafe in default_recovery_cases().
+  SystemSpec spec;
+  spec.protocols = [] { return proto::make_abp(6); };
+  spec.channel = [](std::uint64_t seed) {
+    return std::make_unique<channel::FifoChannel>(0.2, 0.1, seed);
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 300000;
+  spec.engine.stall_window = 4000;
+  store::MemStore sstore, rstore;
+  spec.engine.sender_store = &sstore;
+  spec.engine.receiver_store = &rstore;
+  const auto plan = recovery_plan(fault::FaultKind::kLoseTail,
+                                  sim::Proc::kSender, /*biting=*/true);
+  const auto r = run_one(with_chaos(spec, plan), iota(6), 2026);
+  EXPECT_TRUE(post_crash_failure(r.verdict))
+      << sim::to_cstr(r.verdict) << " after " << r.stats.steps << " steps";
+  EXPECT_GE(r.stats.recoveries, 1u);
+}
+
+TEST(Hazard, SyncStopWaitSenderCannotTolerateARewoundCheckpoint) {
+  // No headers means no dedup anywhere: a sender whose checkpoint rewinds
+  // re-sends an item the receiver has already written, and the receiver —
+  // whose whole correctness argument is "every arrival is the next item" —
+  // writes it again.  (The receiver side is mostly healed by tape
+  // reconciliation; only buffered-but-unwritten items are at risk there.)
+  SystemSpec spec;
+  spec.protocols = [] { return proto::make_sync_stop_wait(6); };
+  spec.channel = [](std::uint64_t seed) {
+    return std::make_unique<channel::SyncLossChannel>(0.0, seed);
+  };
+  spec.scheduler = [](std::uint64_t seed) {
+    return std::make_unique<channel::FairRandomScheduler>(seed);
+  };
+  spec.engine.max_steps = 100000;
+  spec.engine.stall_window = 4000;
+  store::MemStore sstore, rstore;
+  spec.engine.sender_store = &sstore;
+  spec.engine.receiver_store = &rstore;
+  const auto plan = recovery_plan(fault::FaultKind::kLoseTail,
+                                  sim::Proc::kSender, /*biting=*/true);
+  const auto r = run_one(with_chaos(spec, plan), iota(6), 3);
+  EXPECT_TRUE(post_crash_failure(r.verdict))
+      << sim::to_cstr(r.verdict) << " after " << r.stats.steps << " steps";
+  EXPECT_GE(r.stats.recoveries, 1u);
+}
+
+}  // namespace
+}  // namespace stpx::stp
