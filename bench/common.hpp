@@ -101,6 +101,7 @@ class BenchRun {
     as_sweep.trials = r.trials;
     as_sweep.safety_failures = r.safety_violations;
     as_sweep.recovery_failures = r.recovery_violations;
+    as_sweep.stabilization_failures = r.stabilization_violations;
     as_sweep.stalled = r.stalled;
     as_sweep.exhausted = r.exhausted;
     as_sweep.incomplete = r.stalled + r.exhausted;

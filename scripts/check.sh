@@ -5,24 +5,35 @@
 #   scripts/check.sh             # tier-1 + sanitizer pass
 #   scripts/check.sh --fast      # tier-1 only
 #
+# Every ctest invocation runs with a per-test timeout so a livelocked
+# schedule fails the stage instead of hanging it.  The bench-smoke stage
+# also leaves a BENCH_smoke.json report at the repo root (CI uploads it as
+# an artifact).
+#
 # Exits nonzero on the first failing stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
+TEST_TIMEOUT=300  # seconds per test
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
 echo "== tier-1: configure + build + ctest (build/) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
-ctest --test-dir build --output-on-failure -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
 
-echo "== bench smoke: one bench binary emits a valid JSON report =="
-ctest --test-dir build -L bench_smoke --output-on-failure
+echo "== bench smoke: a bench binary emits a valid JSON report =="
+ctest --test-dir build -L bench_smoke --output-on-failure --timeout "${TEST_TIMEOUT}"
+./build/bench/t1_alpha_table --quiet --json BENCH_smoke.json
+./build/bench/validate_bench_json BENCH_smoke.json
 
 echo "== recovery smoke: the durable-recovery conformance suite =="
-ctest --test-dir build -L recovery_smoke --output-on-failure -j "${JOBS}"
+ctest --test-dir build -L recovery_smoke --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
+
+echo "== stabilization smoke: the self-stabilization conformance suite =="
+ctest --test-dir build -L stabilization_smoke --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
 
 if [[ "${FAST}" == "1" ]]; then
   echo "== check.sh: tier-1 PASS (sanitizer stage skipped via --fast) =="
@@ -32,6 +43,6 @@ fi
 echo "== sanitizers: ASan+UBSan configure + build + ctest (build/asan/) =="
 cmake -B build/asan -S . -DSTPX_SANITIZE=ON >/dev/null
 cmake --build build/asan -j "${JOBS}"
-ctest --test-dir build/asan --output-on-failure -j "${JOBS}"
+ctest --test-dir build/asan --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
 
 echo "== check.sh: ALL PASS =="

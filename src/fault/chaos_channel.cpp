@@ -65,7 +65,21 @@ std::uint64_t ChaosChannel::deliverable_copies(sim::Dir dir) const {
   return total;
 }
 
-void ChaosChannel::fire(const FaultAction& a, sim::TickEffect& fx) {
+bool ChaosChannel::fire(const FaultAction& a, sim::TickEffect& fx) {
+  // Payload corruption needs a victim: if no matching message is in flight
+  // at this tick, stay armed and strike the first one that appears (a
+  // trigger firing into an empty channel would otherwise be a silent no-op
+  // and the conformance cell would "pass" without its fault ever biting).
+  if (a.kind == FaultKind::kCorruptPayload) {
+    bool victim = false;
+    for (sim::MsgId id : inner_->deliverable(a.dir)) {
+      if (a.match != kAnyMsg && a.match != id) continue;
+      if (inner_->copies(a.dir, id) == 0) continue;
+      victim = true;
+      break;
+    }
+    if (!victim) return false;
+  }
   ++stats_.actions_fired;
   if (probe_) {
     obs::FaultEvent ev;
@@ -148,7 +162,44 @@ void ChaosChannel::fire(const FaultAction& a, sim::TickEffect& fx) {
           {a.proc, sim::StoreFaultKind::kStaleSnapshot, 1});
       ++stats_.store_faults_requested;
       break;
+    case FaultKind::kCorruptPayload: {
+      // Mutate the first matching in-flight id: one copy is replaced by
+      // id ^ mask (mask >= 1, so the twin always differs; XOR of two
+      // non-negative int64s stays non-negative, keeping MsgId invariants).
+      // On channels that forbid deletion (dup) the original copy also
+      // survives — corruption there *adds* a convincing imposter.
+      const sim::MsgId mask =
+          static_cast<sim::MsgId>(std::max<std::uint64_t>(a.count, 1));
+      for (sim::MsgId id : inner_->deliverable(a.dir)) {
+        if (a.match != kAnyMsg && a.match != id) continue;
+        if (inner_->copies(a.dir, id) == 0) continue;
+        if (inner_->can_drop()) inner_->drop(a.dir, id);
+        inner_->send(a.dir, id ^ mask);
+        ++stats_.payloads_corrupted;
+        ++fx.corruptions;
+        break;
+      }
+      break;
+    }
+    case FaultKind::kForgeMessage: {
+      // Inject copies of a message nobody sent.  The forged id is `match`
+      // (kAnyMsg degrades to 0, the smallest alphabet symbol); sends go to
+      // the inner channel directly so blackouts cannot swallow the forgery.
+      const sim::MsgId forged = a.match == kAnyMsg ? 0 : a.match;
+      const std::uint64_t copies = std::max<std::uint64_t>(a.count, 1);
+      for (std::uint64_t i = 0; i < copies; ++i) {
+        inner_->send(a.dir, forged);
+        ++stats_.messages_forged;
+        ++fx.corruptions;
+      }
+      break;
+    }
+    case FaultKind::kScrambleState:
+      fx.scrambles.push_back({a.proc, a.count});
+      ++stats_.scrambles_requested;
+      break;
   }
+  return true;
 }
 
 sim::TickEffect ChaosChannel::tick(const sim::ChannelTick& t) {
@@ -164,8 +215,7 @@ sim::TickEffect ChaosChannel::tick(const sim::ChannelTick& t) {
       case TriggerKind::kSends: watched = sends_seen_; break;
     }
     if (watched < a.trigger.at) continue;
-    fired_[i] = true;
-    fire(a, fx);
+    fired_[i] = fire(a, fx);
   }
   // Expired windows can be discarded (steps only move forward).
   std::erase_if(windows_, [&](const Window& w) { return step_ >= w.end_step; });

@@ -38,6 +38,9 @@ struct ChaosStats {
   std::uint64_t sends_shed = 0;         // swallowed by in-flight caps
   std::uint64_t crashes_requested = 0;
   std::uint64_t store_faults_requested = 0;
+  std::uint64_t payloads_corrupted = 0;   // in-flight ids mutated
+  std::uint64_t messages_forged = 0;      // never-sent copies injected
+  std::uint64_t scrambles_requested = 0;  // state scrambles handed upward
 };
 
 class ChaosChannel final : public sim::IChannel {
@@ -78,7 +81,10 @@ class ChaosChannel final : public sim::IChannel {
   bool frozen(sim::Dir dir) const;
   bool blacked_out(sim::Dir dir, sim::MsgId msg) const;
   std::uint64_t deliverable_copies(sim::Dir dir) const;
-  void fire(const FaultAction& a, sim::TickEffect& fx);
+  /// Execute one triggered action.  Returns true when the action is spent;
+  /// corrupt-payload returns false (stays armed) until a matching message
+  /// is actually in flight to corrupt.
+  bool fire(const FaultAction& a, sim::TickEffect& fx);
 
   std::unique_ptr<sim::IChannel> inner_;
   FaultPlan plan_;

@@ -14,19 +14,24 @@ const char* dir_token(sim::Dir d) {
 
 bool uses_dir(FaultKind k) {
   return k != FaultKind::kCrashSender && k != FaultKind::kCrashReceiver &&
-         !is_store_fault(k);
+         k != FaultKind::kScrambleState && !is_store_fault(k);
 }
 
-bool uses_proc(FaultKind k) { return is_store_fault(k); }
+bool uses_proc(FaultKind k) {
+  return is_store_fault(k) || k == FaultKind::kScrambleState;
+}
 
 bool uses_match(FaultKind k) {
   return k == FaultKind::kDropBurst || k == FaultKind::kDupBurst ||
-         k == FaultKind::kBlackout;
+         k == FaultKind::kBlackout || k == FaultKind::kCorruptPayload ||
+         k == FaultKind::kForgeMessage;
 }
 
 bool uses_count(FaultKind k) {
   return k == FaultKind::kDropBurst || k == FaultKind::kDupBurst ||
-         k == FaultKind::kCapInFlight || k == FaultKind::kLoseTail;
+         k == FaultKind::kCapInFlight || k == FaultKind::kLoseTail ||
+         k == FaultKind::kCorruptPayload || k == FaultKind::kForgeMessage ||
+         k == FaultKind::kScrambleState;
 }
 
 bool uses_duration(FaultKind k) {
@@ -93,6 +98,12 @@ FaultPlan plan_from_text(const std::string& text) {
       a.kind = FaultKind::kCorruptRecord;
     } else if (op == "stale-snapshot") {
       a.kind = FaultKind::kStaleSnapshot;
+    } else if (op == "corrupt-payload") {
+      a.kind = FaultKind::kCorruptPayload;
+    } else if (op == "forge-message") {
+      a.kind = FaultKind::kForgeMessage;
+    } else if (op == "scramble-state") {
+      a.kind = FaultKind::kScrambleState;
     } else {
       STPX_EXPECT(false, "plan_from_text: unknown fault '" + op + "'" + where);
     }
@@ -164,6 +175,9 @@ FaultPlan sample_plan(Rng& rng, const SamplerConfig& cfg) {
   if (cfg.allow_lose_tail) menu.push_back(FaultKind::kLoseTail);
   if (cfg.allow_corrupt_record) menu.push_back(FaultKind::kCorruptRecord);
   if (cfg.allow_stale_snapshot) menu.push_back(FaultKind::kStaleSnapshot);
+  if (cfg.allow_corrupt_payload) menu.push_back(FaultKind::kCorruptPayload);
+  if (cfg.allow_forge_message) menu.push_back(FaultKind::kForgeMessage);
+  if (cfg.allow_scramble_state) menu.push_back(FaultKind::kScrambleState);
   STPX_EXPECT(!menu.empty(), "sample_plan: every fault kind disabled");
 
   FaultPlan plan;
@@ -189,9 +203,17 @@ FaultPlan sample_plan(Rng& rng, const SamplerConfig& cfg) {
     if (uses_count(a.kind)) {
       a.count = a.kind == FaultKind::kCapInFlight ? cfg.min_cap + rng.below(7)
                 : a.kind == FaultKind::kLoseTail  ? 1 + rng.below(cfg.max_lose_tail)
-                                                  : 1 + rng.below(cfg.max_burst);
+                : a.kind == FaultKind::kCorruptPayload
+                    ? 1 + rng.below(cfg.max_xor_mask)
+                : a.kind == FaultKind::kScrambleState ? rng.below(1u << 16)
+                                                      : 1 + rng.below(cfg.max_burst);
     }
     if (uses_duration(a.kind)) a.duration = 1 + rng.below(cfg.max_duration);
+    if (a.kind == FaultKind::kForgeMessage) {
+      // Forged ids come from the finite alphabet, not the wildcard: a forge
+      // must name the lie it injects so plans replay exactly.
+      a.match = static_cast<sim::MsgId>(rng.below(cfg.max_forge_id));
+    }
     plan.actions.push_back(a);
   }
   return plan;

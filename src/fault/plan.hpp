@@ -71,6 +71,10 @@ enum class FaultKind : std::uint8_t {
   kLoseTail,        // `proc`'s stable store: newest `count` records vanish
   kCorruptRecord,   // `proc`'s stable store: newest record's bytes flip
   kStaleSnapshot,   // `proc`'s stable store: roll back the last compaction
+  kCorruptPayload,  // mutate an in-flight message in `dir` (id ^= count)
+  kForgeMessage,    // inject `count` copies of a never-sent id into `dir`
+  kScrambleState,   // overwrite `proc`'s volatile+durable state with
+                    // adversarial bytes derived from `count` (the salt)
 };
 
 constexpr const char* to_cstr(FaultKind k) {
@@ -86,6 +90,9 @@ constexpr const char* to_cstr(FaultKind k) {
     case FaultKind::kLoseTail: return "lose-tail";
     case FaultKind::kCorruptRecord: return "corrupt-record";
     case FaultKind::kStaleSnapshot: return "stale-snapshot";
+    case FaultKind::kCorruptPayload: return "corrupt-payload";
+    case FaultKind::kForgeMessage: return "forge-message";
+    case FaultKind::kScrambleState: return "scramble-state";
   }
   return "?";
 }
@@ -95,6 +102,14 @@ constexpr const char* to_cstr(FaultKind k) {
 constexpr bool is_store_fault(FaultKind k) {
   return k == FaultKind::kTornWrite || k == FaultKind::kLoseTail ||
          k == FaultKind::kCorruptRecord || k == FaultKind::kStaleSnapshot;
+}
+
+/// True for the transient-corruption kinds of the stabilization layer
+/// (PR 4): faults that *lie* — mutate payloads, forge messages, or scramble
+/// process state — rather than merely losing or replaying.
+constexpr bool is_corruption_fault(FaultKind k) {
+  return k == FaultKind::kCorruptPayload || k == FaultKind::kForgeMessage ||
+         k == FaultKind::kScrambleState;
 }
 
 /// One scripted fault.  Fields beyond `kind`/`trigger` are meaningful only
@@ -159,6 +174,14 @@ struct SamplerConfig {
   bool allow_corrupt_record = false;
   bool allow_stale_snapshot = false;
   std::uint64_t max_lose_tail = 2;  // lose-tail depths in [1, max]
+  /// Transient-corruption faults (opt-in: they attack message bytes and
+  /// process state, which only stabilizing protocols are expected to
+  /// survive — see docs/STABILIZATION.md).
+  bool allow_corrupt_payload = false;
+  bool allow_forge_message = false;
+  bool allow_scramble_state = false;
+  std::uint64_t max_forge_id = 8;   // forged ids drawn from [0, max)
+  std::uint64_t max_xor_mask = 64;  // corrupt-payload masks in [1, max]
 };
 
 /// Deterministically sample a plan (same rng state -> same plan).

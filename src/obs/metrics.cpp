@@ -206,6 +206,22 @@ void MetricsProbe::on_stall(std::uint64_t step) {
   reg_->counter("stalls").inc();
 }
 
+void MetricsProbe::on_scramble(std::uint64_t step, sim::Proc who,
+                               bool accepted) {
+  (void)step;
+  (void)who;
+  reg_->counter("stabilization.scrambles").inc();
+  if (!accepted) reg_->counter("stabilization.scrambles.rejected").inc();
+}
+
+void MetricsProbe::on_converge(std::uint64_t step,
+                               std::uint64_t steps_since_corruption) {
+  (void)step;
+  reg_->counter("stabilization.converged").inc();
+  reg_->histogram("stabilization.latency", pow2_bounds(20))
+      .observe(steps_since_corruption);
+}
+
 void MetricsProbe::on_run_end(std::uint64_t steps, sim::RunVerdict verdict) {
   (void)steps;
   reg_->counter(std::string("verdict.") + sim::to_cstr(verdict)).inc();

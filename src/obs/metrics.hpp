@@ -117,7 +117,11 @@ class MetricsRegistry {
 ///              recoveries (restarts rehydrated from a stable store),
 ///              recoveries.cold (restarts that came back with no state),
 ///              records_replayed (store records scanned across recoveries),
-///              faults.<kind>, verdict.<name>
+///              faults.<kind>, verdict.<name>,
+///              stabilization.scrambles / stabilization.scrambles.rejected
+///              (scramble-state strikes, split by whether the process
+///              accepted any mutated blob), stabilization.converged (runs
+///              whose corrupted output re-converged)
 ///   gauges     inflight.sr / inflight.rs (sends minus deliveries; dup
 ///              channels can drive these negative — delivery does not
 ///              consume), with high-water mark
@@ -125,7 +129,9 @@ class MetricsRegistry {
 ///              step), write_latency (steps between consecutive writes),
 ///              ack_rtt (sender data send -> next delivery to the sender),
 ///              recovery.latency (restart -> next output write: how long a
-///              recovery takes to resume visible progress)
+///              recovery takes to resume visible progress),
+///              stabilization.latency (first injected corruption -> the
+///              step convergence was declared)
 class MetricsProbe final : public IProbe {
  public:
   /// `registry` is non-owning and must outlive the probe's use.
@@ -141,6 +147,9 @@ class MetricsProbe final : public IProbe {
   void on_restart(std::uint64_t step, sim::Proc who, bool rehydrated,
                   std::uint64_t records_replayed) override;
   void on_stall(std::uint64_t step) override;
+  void on_scramble(std::uint64_t step, sim::Proc who, bool accepted) override;
+  void on_converge(std::uint64_t step,
+                   std::uint64_t steps_since_corruption) override;
   void on_run_end(std::uint64_t steps, sim::RunVerdict verdict) override;
   void on_fault(const FaultEvent& ev) override;
 

@@ -47,6 +47,16 @@ void MultiProbe::on_stall(std::uint64_t step) {
   for (IProbe* p : probes_) p->on_stall(step);
 }
 
+void MultiProbe::on_scramble(std::uint64_t step, sim::Proc who,
+                             bool accepted) {
+  for (IProbe* p : probes_) p->on_scramble(step, who, accepted);
+}
+
+void MultiProbe::on_converge(std::uint64_t step,
+                             std::uint64_t steps_since_corruption) {
+  for (IProbe* p : probes_) p->on_converge(step, steps_since_corruption);
+}
+
 void MultiProbe::on_run_end(std::uint64_t steps, sim::RunVerdict verdict) {
   for (IProbe* p : probes_) p->on_run_end(steps, verdict);
 }

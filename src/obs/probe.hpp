@@ -102,6 +102,24 @@ class IProbe {
   /// The engine watchdog declared the run stalled.
   virtual void on_stall(std::uint64_t step) { (void)step; }
 
+  /// A scramble-state fault struck `who`.  `accepted` is whether any
+  /// mutated blob survived restore_state() validation — false means the
+  /// process detected and rejected the corruption (hardened protocols).
+  virtual void on_scramble(std::uint64_t step, sim::Proc who, bool accepted) {
+    (void)step;
+    (void)who;
+    (void)accepted;
+  }
+
+  /// A corrupted run satisfied the suffix-safety convergence criterion at
+  /// run end; `steps_since_corruption` is the stabilization latency from
+  /// the first injected corruption.
+  virtual void on_converge(std::uint64_t step,
+                           std::uint64_t steps_since_corruption) {
+    (void)step;
+    (void)steps_since_corruption;
+  }
+
   /// run_to_completion() returned (verdict as of that moment).
   virtual void on_run_end(std::uint64_t steps, sim::RunVerdict verdict) {
     (void)steps;
@@ -132,6 +150,9 @@ class MultiProbe final : public IProbe {
   void on_restart(std::uint64_t step, sim::Proc who, bool rehydrated,
                   std::uint64_t records_replayed) override;
   void on_stall(std::uint64_t step) override;
+  void on_scramble(std::uint64_t step, sim::Proc who, bool accepted) override;
+  void on_converge(std::uint64_t step,
+                   std::uint64_t steps_since_corruption) override;
   void on_run_end(std::uint64_t steps, sim::RunVerdict verdict) override;
   void on_fault(const FaultEvent& ev) override;
 

@@ -52,6 +52,9 @@ void VerdictCounts::add(sim::RunVerdict v, std::uint64_t n) {
     case sim::RunVerdict::kCompleted: completed += n; break;
     case sim::RunVerdict::kSafetyViolation: safety_violation += n; break;
     case sim::RunVerdict::kRecoveryViolation: recovery_violation += n; break;
+    case sim::RunVerdict::kStabilizationViolation:
+      stabilization_violation += n;
+      break;
     case sim::RunVerdict::kStalled: stalled += n; break;
     case sim::RunVerdict::kBudgetExhausted: budget_exhausted += n; break;
   }
@@ -62,6 +65,7 @@ std::string VerdictCounts::to_json() const {
   os << "{\"completed\":" << completed
      << ",\"safety-violation\":" << safety_violation
      << ",\"recovery-violation\":" << recovery_violation
+     << ",\"stabilization-violation\":" << stabilization_violation
      << ",\"stalled\":" << stalled
      << ",\"budget-exhausted\":" << budget_exhausted << '}';
   return os.str();

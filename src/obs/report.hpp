@@ -40,13 +40,14 @@ struct VerdictCounts {
   std::uint64_t completed = 0;
   std::uint64_t safety_violation = 0;
   std::uint64_t recovery_violation = 0;
+  std::uint64_t stabilization_violation = 0;
   std::uint64_t stalled = 0;
   std::uint64_t budget_exhausted = 0;
 
   void add(sim::RunVerdict v, std::uint64_t n = 1);
   std::uint64_t total() const {
-    return completed + safety_violation + recovery_violation + stalled +
-           budget_exhausted;
+    return completed + safety_violation + recovery_violation +
+           stabilization_violation + stalled + budget_exhausted;
   }
   std::string to_json() const;
 };

@@ -204,8 +204,7 @@ sim::ReceiverEffect KnowledgeReceiver::on_step() {
 }
 
 void KnowledgeReceiver::on_deliver(sim::MsgId msg) {
-  STPX_EXPECT(msg >= 0 && msg < table_->alphabet_size,
-              "KnowledgeReceiver: message outside M^S");
+  if (msg < 0 || msg >= table_->alphabet_size) return;  // outside M^S: ignore
   const auto idx = static_cast<std::size_t>(msg);
   if (seen_[idx]) return;
   seen_[idx] = true;
@@ -290,8 +289,7 @@ sim::ReceiverEffect GreedyReceiver::on_step() {
 }
 
 void GreedyReceiver::on_deliver(sim::MsgId msg) {
-  STPX_EXPECT(msg >= 0 && msg < table_->alphabet_size,
-              "GreedyReceiver: message outside M^S");
+  if (msg < 0 || msg >= table_->alphabet_size) return;  // outside M^S: ignore
   const auto idx = static_cast<std::size_t>(msg);
   if (seen_[idx]) return;
   seen_[idx] = true;

@@ -1,0 +1,100 @@
+// Hardened Stenning: a self-stabilizing unbounded-header protocol.
+//
+// Plain Stenning survives loss, duplication, and reordering, but trusts
+// every bit it is handed: a corrupted payload is decoded as a (wrong) data
+// item, a forged ack advances the cursor, and a scrambled checkpoint is
+// rehydrated verbatim.  This variant spends header bits on *integrity* so
+// that transient state corruption — the stabilization fault model of
+// docs/STABILIZATION.md — is detected and shed instead of believed:
+//
+//   1. Checksummed ids.  Every message is  id = (body << 10) | csum  with
+//      csum = mix(body ^ direction_salt) & 0x3FF.  A flipped bit (chaos
+//      `corrupt-payload`) or an id invented without the salt (chaos
+//      `forge-message`) fails validation and is dropped on delivery; the
+//      ordinary retransmission loop replaces the lost copy.
+//   2. Checksummed checkpoints.  save_state() appends a hash of the blob
+//      text, restore_state() recomputes it first, so a scrambled blob
+//      (chaos `scramble-state`) is rejected and the live state survives.
+//   3. Epoch resync.  The receiver stamps every ack with an epoch it bumps
+//      after each successful restore; a sender seeing a *newer* epoch
+//      adopts the receiver's frontier outright — even backwards — and
+//      resends from there.  This closes the receiver-amnesia livelock that
+//      plain Stenning exhibits: after a rewind the receiver's expected
+//      seqno regresses, and without the epoch signal the sender would keep
+//      transmitting from its own (now too-far-ahead) cursor forever.
+//
+// Message bodies (direction disambiguated by distinct csum salts):
+//   S -> R : (epoch << 28) | (seqno << 8) | item
+//   R -> S : (epoch << 28) | (frontier << 8)      frontier = items accepted
+//
+// Limits (checked): |D| <= 256, |X| < 2^20, epochs unbounded.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/process.hpp"
+
+namespace stpx::proto {
+
+class HardenedSender final : public sim::ISender {
+ public:
+  explicit HardenedSender(int domain_size);
+
+  void start(const seq::Sequence& x) override;
+  sim::SenderEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return sim::kUnboundedAlphabet; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob) override;
+  std::unique_ptr<sim::ISender> clone() const override;
+  std::string name() const override { return "hardened-sender"; }
+
+  std::size_t acked() const { return next_; }
+  std::uint64_t epoch() const { return epoch_; }
+  /// Deliveries dropped because the checksum did not validate.
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  int domain_size_;
+  seq::Sequence x_;
+  std::size_t next_ = 0;        // first unacknowledged index
+  std::uint64_t epoch_ = 0;     // newest receiver epoch seen
+  std::uint64_t rejected_ = 0;  // volatile diagnostic, not checkpointed
+};
+
+class HardenedReceiver final : public sim::IReceiver {
+ public:
+  explicit HardenedReceiver(int domain_size);
+
+  void start() override;
+  sim::ReceiverEffect on_step() override;
+  void on_deliver(sim::MsgId msg) override;
+  int alphabet_size() const override { return sim::kUnboundedAlphabet; }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob,
+                     const seq::Sequence& tape) override;
+  std::unique_ptr<sim::IReceiver> clone() const override;
+  std::string name() const override { return "hardened-receiver"; }
+
+  std::uint64_t epoch() const { return epoch_; }
+  /// Deliveries dropped because the checksum did not validate.
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  std::size_t frontier() const {
+    return static_cast<std::size_t>(written_) + pending_writes_.size();
+  }
+
+  int domain_size_;
+  std::uint64_t epoch_ = 0;  // bumped on every successful restore
+  std::int64_t written_ = 0;
+  std::vector<seq::DataItem> pending_writes_;
+  std::uint64_t rejected_ = 0;  // volatile diagnostic, not checkpointed
+};
+
+/// The sealed-blob helpers, exposed for tests (tamper-detection coverage).
+/// make_hardened() lives in proto/suite.hpp with the other factories.
+std::string hardened_seal_blob(const std::string& payload);
+bool hardened_unseal_blob(const std::string& blob, std::string& payload);
+
+}  // namespace stpx::proto

@@ -76,7 +76,7 @@ sim::SenderEffect HybridSender::on_step() {
 }
 
 void HybridSender::on_deliver(sim::MsgId msg) {
-  STPX_EXPECT(msg >= 0 && msg < 5, "HybridSender: ack outside M^R");
+  if (msg < 0 || msg >= 5) return;  // outside M^R: ignore
   switch (phase_) {
     case HybridPhase::kAbp:
       if ((msg == 0 || msg == 1) && next_ < x_.size() && msg == bit_) {
@@ -176,8 +176,7 @@ sim::ReceiverEffect HybridReceiver::on_step() {
 }
 
 void HybridReceiver::on_deliver(sim::MsgId msg) {
-  STPX_EXPECT(msg >= 0 && msg <= 4 * domain_size_,
-              "HybridReceiver: message outside M^S");
+  if (msg < 0 || msg > 4 * domain_size_) return;  // outside M^S: ignore
   if (msg < 2 * domain_size_) {
     // ABP data.  Once we have switched to the recovery path, stale fast-path
     // messages are ignored (the paper's variant resumes ABP here; see the
@@ -208,11 +207,16 @@ void HybridReceiver::on_deliver(sim::MsgId msg) {
   }
   // END marker: the reverse buffer now holds all of X, back to front.
   if (!finalized_) {
+    seq::Sequence full(rev_buffer_.rbegin(), rev_buffer_.rend());
+    if (written_count_ > full.size()) {
+      // A forged/premature END: the buffer is shorter than the prefix we
+      // already wrote, so this marker cannot be genuine.  Ignore it and
+      // keep collecting the reverse transfer.
+      pending_acks_.push_back(sim::MsgId{4});
+      return;
+    }
     finalized_ = true;
     phase_ = HybridPhase::kDone;
-    seq::Sequence full(rev_buffer_.rbegin(), rev_buffer_.rend());
-    STPX_EXPECT(written_count_ <= full.size(),
-                "HybridReceiver: prefix longer than reconstructed sequence");
     for (std::size_t i = written_count_; i < full.size(); ++i) {
       pending_writes_.push_back(full[i]);
     }

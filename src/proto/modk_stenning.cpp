@@ -30,7 +30,7 @@ sim::SenderEffect ModKStenningSender::on_step() {
 }
 
 void ModKStenningSender::on_deliver(sim::MsgId msg) {
-  STPX_EXPECT(msg >= 0 && msg < modulus_, "ModKStenningSender: bad ack");
+  if (msg < 0 || msg >= modulus_) return;  // outside M^R: ignore
   // Ack carries (items written) mod K.  We advance when it names the tag
   // after ours — which is ambiguous once counts wrap: the well-known hole.
   if (next_ < x_.size() &&
@@ -84,8 +84,7 @@ sim::ReceiverEffect ModKStenningReceiver::on_step() {
 }
 
 void ModKStenningReceiver::on_deliver(sim::MsgId msg) {
-  STPX_EXPECT(msg >= 0 && msg < modulus_ * domain_size_,
-              "ModKStenningReceiver: bad message");
+  if (msg < 0 || msg >= modulus_ * domain_size_) return;  // outside M^S
   const std::int64_t tag = msg / domain_size_;
   const auto item = static_cast<seq::DataItem>(msg % domain_size_);
   const std::int64_t frontier =

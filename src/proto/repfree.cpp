@@ -111,8 +111,7 @@ sim::ReceiverEffect RepFreeReceiver::on_step() {
 }
 
 void RepFreeReceiver::on_deliver(sim::MsgId msg) {
-  STPX_EXPECT(msg >= 0 && msg < domain_size_,
-              "RepFreeReceiver: message outside M^S");
+  if (msg < 0 || msg >= domain_size_) return;  // outside M^S: ignore
   const auto idx = static_cast<std::size_t>(msg);
   if (seen_[idx]) return;  // an old message, replayed or reordered: ignore
   seen_[idx] = true;

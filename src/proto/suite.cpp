@@ -59,4 +59,9 @@ ProtocolPair make_hybrid(int domain_size, int timeout) {
           std::make_unique<HybridReceiver>(domain_size)};
 }
 
+ProtocolPair make_hardened(int domain_size) {
+  return {std::make_unique<HardenedSender>(domain_size),
+          std::make_unique<HardenedReceiver>(domain_size)};
+}
+
 }  // namespace stpx::proto

@@ -10,6 +10,7 @@
 
 #include "proto/alternating_bit.hpp"
 #include "proto/block.hpp"
+#include "proto/hardened.hpp"
 #include "proto/hybrid.hpp"
 #include "proto/modk_stenning.hpp"
 #include "proto/repfree.hpp"
@@ -66,5 +67,10 @@ ProtocolPair make_sync_stop_wait(int domain_size);
 /// writes drain one per step — knowledge strictly precedes writing.  FIFO
 /// channels (and loss/duplication); inputs up to max_len items.
 ProtocolPair make_block(int domain_size, int block_size, int max_len);
+
+/// Self-stabilizing Stenning variant: checksummed ids, checksummed
+/// checkpoints, epoch resync (proto/hardened.hpp).  Any channel; survives
+/// the transient-corruption fault model of docs/STABILIZATION.md.
+ProtocolPair make_hardened(int domain_size);
 
 }  // namespace stpx::proto

@@ -32,18 +32,17 @@ sim::SenderEffect SyncStopWaitSender::on_step() {
 }
 
 void SyncStopWaitSender::on_deliver(sim::MsgId msg) {
-  STPX_EXPECT(msg == channel::kSyncAck || msg == channel::kSyncNack,
-              "SyncStopWaitSender: expected an environment verdict token");
-  if (!awaiting_verdict_ && recovered_) {
-    // A verdict for a send the pre-crash incarnation made.  A restored
-    // checkpoint cannot know whether one is still outstanding, so after a
-    // recovery stray verdicts are dropped instead of asserted away; the
-    // next on_step re-sends x_[next_] and the lockstep resumes (or the
-    // rewind hazard plays out — see restore_state).
+  if (msg != channel::kSyncAck && msg != channel::kSyncNack) {
+    return;  // not an environment verdict token: forged/corrupted, ignore
+  }
+  if (!awaiting_verdict_) {
+    // A verdict with no outstanding send: either addressed to a pre-crash
+    // incarnation (a restored checkpoint cannot know whether one is still
+    // outstanding) or injected by the environment.  Drop it; the next
+    // on_step re-sends x_[next_] and the lockstep resumes (or the rewind
+    // hazard plays out — see restore_state).
     return;
   }
-  STPX_EXPECT(awaiting_verdict_,
-              "SyncStopWaitSender: verdict without an outstanding send");
   awaiting_verdict_ = false;
   if (msg == channel::kSyncAck) ++next_;  // NACK: resend on the next step
 }
@@ -95,8 +94,7 @@ sim::ReceiverEffect SyncStopWaitReceiver::on_step() {
 }
 
 void SyncStopWaitReceiver::on_deliver(sim::MsgId msg) {
-  STPX_EXPECT(msg >= 0 && msg < domain_size_,
-              "SyncStopWaitReceiver: message outside M^S");
+  if (msg < 0 || msg >= domain_size_) return;  // outside M^S: ignore
   // Order + no duplication + verdict-gated sending mean every arrival is
   // exactly the next item.
   pending_writes_.push_back(static_cast<seq::DataItem>(msg));

@@ -39,16 +39,31 @@ struct StoreFaultRequest {
   std::uint64_t count = 1;  // lose-tail depth; unused by the other kinds
 };
 
+/// One requested state scramble: overwrite `proc`'s state (via its
+/// save_state()/restore_state() hooks) with adversarial bytes derived
+/// deterministically from `salt`.  Processes without durable state are
+/// immune; processes that *validate* their blobs may reject the scramble.
+struct ScrambleRequest {
+  Proc proc = Proc::kSender;
+  std::uint64_t salt = 0;
+};
+
 /// What a tick may ask of the engine.  Channels cannot reach the processes
 /// directly, so process-level faults (crash-restart: volatile local state
-/// lost, output tape kept) and storage faults are requested here and
-/// executed by the engine.  Store faults are applied before crashes within
-/// the same tick, so a fault and a crash at the same trigger exercise
-/// recovery from the already-damaged store.
+/// lost, output tape kept), storage faults, and state scrambles are
+/// requested here and executed by the engine.  Store faults are applied
+/// before crashes within the same tick, so a fault and a crash at the same
+/// trigger exercise recovery from the already-damaged store; scrambles are
+/// applied after crashes so a same-tick crash cannot erase the corruption.
+/// `corruptions` counts payload corruptions/forgeries the channel already
+/// executed itself this tick — the engine only needs the tally to start its
+/// convergence bookkeeping.
 struct TickEffect {
   bool crash_sender = false;
   bool crash_receiver = false;
   std::vector<StoreFaultRequest> store_faults;
+  std::vector<ScrambleRequest> scrambles;
+  std::uint64_t corruptions = 0;
 };
 
 class IChannel {

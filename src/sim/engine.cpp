@@ -1,8 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "util/expect.hpp"
+#include "util/rng.hpp"
 
 namespace stpx::sim {
 
@@ -45,6 +47,11 @@ Engine::Engine(const Engine& other)
       last_progress_step_(other.last_progress_step_),
       first_violation_step_(other.first_violation_step_),
       first_crash_step_(other.first_crash_step_),
+      corruption_seen_(other.corruption_seen_),
+      first_corruption_step_(other.first_corruption_step_),
+      pre_corruption_len_(other.pre_corruption_len_),
+      corrupt_prefix_c_(other.corrupt_prefix_c_),
+      correct_prefix_(other.correct_prefix_),
       last_saved_{other.last_saved_[0], other.last_saved_[1]},
       stats_(other.stats_),
       trace_(other.trace_),
@@ -60,6 +67,11 @@ void Engine::begin(const seq::Sequence& x) {
   last_progress_step_ = 0;
   first_violation_step_ = 0;
   first_crash_step_.reset();
+  corruption_seen_ = false;
+  first_corruption_step_ = 0;
+  pre_corruption_len_ = 0;
+  corrupt_prefix_c_ = 0;
+  correct_prefix_ = 0;
   last_saved_[0].clear();
   last_saved_[1].clear();
   stats_ = RunStats{};
@@ -151,6 +163,9 @@ void Engine::apply(const Action& a) {
         stats_.write_step.push_back(stats_.steps);
         last_progress_step_ = stats_.steps;
         if (config_.probe) config_.probe->on_write(stats_.steps, pos, d);
+        if (correct_prefix_ == pos && pos < x_.size() && x_[pos] == d) {
+          ++correct_prefix_;
+        }
         // Online safety check: Y must stay a prefix of X.
         if (safety_ok_ && (pos >= x_.size() || x_[pos] != d)) {
           safety_ok_ = false;
@@ -263,6 +278,91 @@ void Engine::rehydrate(Proc who) {
   }
 }
 
+bool Engine::converged() const {
+  if (!corruption_seen_) return completed();
+  const std::size_t k = static_cast<std::size_t>(config_.convergence_window);
+  const std::size_t ny = y_.size();
+  const std::size_t nx = x_.size();
+  if (nx == 0) return true;
+  // Greedy maximal terminal match: the last t items of Y equal X's last t.
+  std::size_t t = 0;
+  while (t < ny && t < nx && y_[ny - 1 - t] == x_[nx - 1 - t]) ++t;
+  if (t == 0) return false;  // Y does not end with X's ending
+  const std::size_t j = nx - t;  // X position where the matched tail begins
+  if (j > corrupt_prefix_c_ + k) return false;  // > k items of X lost
+  const std::size_t post = ny - pre_corruption_len_;
+  const std::size_t garbage = post > t ? post - t : 0;
+  return garbage <= k;
+}
+
+void Engine::note_corruption() {
+  if (!corruption_seen_) {
+    corruption_seen_ = true;
+    first_corruption_step_ = stats_.steps;
+  }
+  pre_corruption_len_ = y_.size();
+  corrupt_prefix_c_ = correct_prefix_;
+}
+
+void Engine::scramble_state(Proc who, std::uint64_t salt) {
+  const std::string blob = who == Proc::kSender ? sender_->save_state()
+                                                : receiver_->save_state();
+  std::vector<std::int64_t> tokens;
+  {
+    std::istringstream is(blob);
+    std::int64_t v = 0;
+    while (is >> v) tokens.push_back(v);
+  }
+  bool accepted = false;
+  // A process without durable state (or an unparseable blob) is immune.
+  if (tokens.size() >= 2) {
+    for (std::uint64_t attempt = 0; attempt < 8 && !accepted; ++attempt) {
+      // Deterministic adversarial bytes: same (salt, attempt) -> same blob,
+      // so scramble runs replay and minimize exactly like channel faults.
+      std::uint64_t seed_state = salt ^ (0x9E3779B97F4A7C15ULL * (attempt + 1));
+      Rng rng(splitmix64(seed_state));
+      std::vector<std::int64_t> mut = tokens;
+      // The leading tag survives: the scramble forges plausible state, not
+      // a blob restore_state() can dismiss by family alone.
+      bool changed = false;
+      for (std::size_t i = 1; i < mut.size(); ++i) {
+        if (!rng.chance(0.6)) continue;
+        mut[i] = static_cast<std::int64_t>(rng.below(9));
+        changed = changed || mut[i] != tokens[i];
+      }
+      if (!changed) {
+        const std::size_t i = 1 + static_cast<std::size_t>(
+                                      rng.below(mut.size() - 1));
+        mut[i] ^= 1;
+      }
+      std::ostringstream os;
+      for (std::size_t i = 0; i < mut.size(); ++i) {
+        if (i > 0) os << ' ';
+        os << mut[i];
+      }
+      const std::string scrambled = os.str();
+      accepted = who == Proc::kSender
+                     ? sender_->restore_state(scrambled)
+                     : receiver_->restore_state(scrambled, y_);
+    }
+  }
+  if (accepted) {
+    ++stats_.scrambles_applied;
+  } else {
+    ++stats_.scrambles_rejected;
+  }
+  // Every attempt counts as a corruption event, accepted or not: a
+  // restore_state() that reports rejection may still have mutated live
+  // state on the way to the failed check (non-atomic restores are a real
+  // protocol defect this layer is meant to surface, not mask).  A truly
+  // clean rejection costs nothing — the run then completes exactly and the
+  // verdict stays kCompleted.
+  if (tokens.size() >= 2) note_corruption();
+  if (config_.probe) {
+    config_.probe->on_scramble(stats_.steps, who, accepted);
+  }
+}
+
 void Engine::crash_restart_sender() {
   STPX_EXPECT(begun_, "Engine: begin() not called");
   sender_->start(x_);
@@ -291,6 +391,16 @@ Action Engine::step_once() {
   for (const StoreFaultRequest& rq : fx.store_faults) apply_store_fault(rq);
   if (fx.crash_sender) crash_restart_sender();
   if (fx.crash_receiver) crash_restart_receiver();
+  // Scrambles strike after crashes so a same-tick restart cannot wash the
+  // corruption away; payload corruptions/forgeries already happened inside
+  // the channel — only the convergence bookkeeping needs the tally.
+  for (const ScrambleRequest& rq : fx.scrambles) {
+    scramble_state(rq.proc, rq.salt);
+  }
+  if (fx.corruptions > 0) {
+    stats_.corruptions += fx.corruptions;
+    note_corruption();
+  }
   const Action a = scheduler_->choose(view());
   apply(a);
   return a;
@@ -298,8 +408,19 @@ Action Engine::step_once() {
 
 void Engine::run_to_completion() {
   while (stats_.steps < config_.max_steps) {
-    if (!safety_ok_) break;
-    if (config_.stop_when_complete && completed()) break;
+    // A post-corruption violation is survivable when a convergence window
+    // is set: the stabilization question is precisely whether the protocol
+    // recovers *after* writing garbage.  Pre-corruption violations (and any
+    // violation under the legacy k = 0 regime) still halt the run.
+    if (!safety_ok_ &&
+        !(config_.convergence_window > 0 && corruption_seen_ &&
+          first_violation_step_ >= first_corruption_step_)) {
+      break;
+    }
+    if (config_.stop_when_complete &&
+        (completed() || (corruption_seen_ && converged()))) {
+      break;
+    }
     if (config_.stall_window > 0 && !completed() &&
         stats_.steps - last_progress_step_ >= config_.stall_window) {
       stalled_ = true;
@@ -307,6 +428,10 @@ void Engine::run_to_completion() {
       break;
     }
     step_once();
+  }
+  if (config_.probe && corruption_seen_ && converged()) {
+    config_.probe->on_converge(stats_.steps,
+                               stats_.steps - first_corruption_step_);
   }
   if (config_.probe) config_.probe->on_run_end(stats_.steps, verdict());
 }
@@ -325,6 +450,7 @@ RunResult Engine::result() const {
   r.first_violation_step = first_violation_step_;
   r.completed = completed();
   r.stalled = stalled_;
+  r.converged = converged();
   r.verdict = verdict();
   r.stats = stats_;
   r.trace = trace_;

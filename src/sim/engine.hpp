@@ -49,6 +49,14 @@ struct EngineConfig {
   store::IStableStore* receiver_store = nullptr;
   /// Fold the log into the snapshot every this-many appends (0 = never).
   std::uint64_t compact_every = 32;
+  /// Suffix-safety slack k for runs with injected transient corruption
+  /// (corrupt-payload / forge-message / scramble-state).  0 — the default —
+  /// keeps the legacy regime: the run halts at the first prefix violation
+  /// and a post-corruption violation is verdicted kStabilizationViolation.
+  /// k > 0 lets the run continue past post-corruption violations and
+  /// declares convergence when the newly written output is a correct
+  /// continuation within k items (see Engine::converged()).
+  std::uint64_t convergence_window = 0;
 };
 
 struct RunStats {
@@ -61,6 +69,13 @@ struct RunStats {
   std::uint64_t recoveries = 0;
   /// Store records scanned across all recoveries.
   std::uint64_t records_replayed = 0;
+  /// Payload corruptions + forgeries executed by the channel layer.
+  std::uint64_t corruptions = 0;
+  /// State scrambles the target process accepted / rejected (a rejection —
+  /// every mutated blob failed restore_state() validation — is the hardened
+  /// protocol's detection-as-defense and counts as *no* corruption).
+  std::uint64_t scrambles_applied = 0;
+  std::uint64_t scrambles_rejected = 0;
   /// Step index at which output item i was written.
   std::vector<std::uint64_t> write_step;
 };
@@ -73,6 +88,9 @@ struct RunResult {
   bool completed = false;  // output == input
   /// Watchdog verdict (only ever true when stall_window > 0).
   bool stalled = false;
+  /// Suffix-safety convergence held at run end (always true for completed
+  /// corruption-free runs; see Engine::converged()).
+  bool converged = false;
   RunVerdict verdict = RunVerdict::kBudgetExhausted;
   RunStats stats;
   std::vector<TraceEvent> trace;            // if record_trace
@@ -129,21 +147,46 @@ class Engine {
   bool safety_ok() const { return safety_ok_; }
   bool completed() const { return y_ == x_; }
   bool stalled() const { return stalled_; }
+  /// Whether a transient corruption (payload / forgery / accepted state
+  /// scramble) has struck this run.
+  bool corruption_seen() const { return corruption_seen_; }
+  /// The suffix-safety convergence criterion of the stabilization layer.
+  /// Without corruption it is plain completion.  After the *last* injected
+  /// corruption — with p = |Y| and c = |correct prefix of Y| recorded at
+  /// that moment — let t be the maximal terminal match (the last t items of
+  /// Y equal the last t items of X).  The run converged iff Y ends with X's
+  /// ending (t >= 1), the continuation reaches back far enough that at most
+  /// k items of X are lost (|X| - t <= c + k), and at most k post-corruption
+  /// garbage items precede the correct tail ((|Y| - p) - t <= k), where
+  /// k = EngineConfig::convergence_window.  Duplicated items inside the
+  /// matched tail are tolerated: re-sending is how protocols re-converge.
+  bool converged() const;
   /// Structured verdict of the run so far (same logic result() records).
-  /// A safety violation at or after the first crash-restart is classified
-  /// as a recovery violation: the protocol was safe until a restart lost
-  /// (or mis-restored) state, so the blame lies with recovery, not the
+  /// A safety violation at or after the first injected corruption is
+  /// classified by the suffix-safety criterion (converged -> kCompleted,
+  /// else kStabilizationViolation) — this outranks the crash-restart
+  /// classification because corruption faults *lie* to the protocol, which
+  /// no recovery layer is expected to absorb.  A safety violation at or
+  /// after the first crash-restart (and before any corruption) is a
+  /// recovery violation: the protocol was safe until a restart lost (or
+  /// mis-restored) state, so the blame lies with recovery, not the
   /// steady-state protocol.
   RunVerdict verdict() const {
     if (!safety_ok_) {
+      if (corruption_seen_ &&
+          first_violation_step_ >= first_corruption_step_) {
+        return converged() ? RunVerdict::kCompleted
+                           : RunVerdict::kStabilizationViolation;
+      }
       return (first_crash_step_ &&
               first_violation_step_ >= *first_crash_step_)
                  ? RunVerdict::kRecoveryViolation
                  : RunVerdict::kSafetyViolation;
     }
-    return completed() ? RunVerdict::kCompleted
-           : stalled_  ? RunVerdict::kStalled
-                       : RunVerdict::kBudgetExhausted;
+    if (completed() || (corruption_seen_ && converged())) {
+      return RunVerdict::kCompleted;
+    }
+    return stalled_ ? RunVerdict::kStalled : RunVerdict::kBudgetExhausted;
   }
   std::uint64_t steps() const { return stats_.steps; }
   /// Step at which the output tape last grew (0 if it never has).
@@ -166,6 +209,14 @@ class Engine {
   void apply_store_fault(const StoreFaultRequest& rq);
   /// recover() + restore_state() + probe on_restart for a restarted `who`.
   void rehydrate(Proc who);
+  /// Execute one requested state scramble: mutate `who`'s save_state() blob
+  /// deterministically from `salt` and force it back through
+  /// restore_state().  Retries a few mutations; a process that rejects all
+  /// of them (blob validation) is counted scrambles_rejected and suffers no
+  /// corruption.
+  void scramble_state(Proc who, std::uint64_t salt);
+  /// Record that a corruption struck *now* (p/c snapshot for converged()).
+  void note_corruption();
 
   std::unique_ptr<ISender> sender_;
   std::unique_ptr<IReceiver> receiver_;
@@ -181,6 +232,12 @@ class Engine {
   std::uint64_t first_violation_step_ = 0;
   /// Step of the first crash-restart (recovery-violation classification).
   std::optional<std::uint64_t> first_crash_step_;
+  // --- stabilization bookkeeping (see converged()) ----------------------
+  bool corruption_seen_ = false;
+  std::uint64_t first_corruption_step_ = 0;
+  std::size_t pre_corruption_len_ = 0;  // |Y| at the last corruption
+  std::size_t corrupt_prefix_c_ = 0;    // correct prefix of Y at that moment
+  std::size_t correct_prefix_ = 0;      // longest correct prefix of Y so far
   /// Last checkpoint appended per process (skip no-op appends).
   std::string last_saved_[2];
   RunStats stats_;

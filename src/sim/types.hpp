@@ -66,15 +66,20 @@ constexpr const char* to_cstr(Proc p) {
 enum class RunVerdict : std::uint8_t {
   kSafetyViolation,    // Y stopped being a prefix of X
   kRecoveryViolation,  // Y stopped being a prefix of X at/after a crash-restart
+  kStabilizationViolation,  // a transient corruption was injected and the
+                            // run failed the suffix-safety convergence
+                            // criterion (EngineConfig::convergence_window)
   kStalled,            // watchdog: no write progress within stall_window
   kBudgetExhausted,    // hit max_steps without completing
-  kCompleted,          // Y == X
+  kCompleted,          // Y == X (or, post-corruption, converged)
 };
 
 constexpr const char* to_cstr(RunVerdict v) {
   switch (v) {
     case RunVerdict::kSafetyViolation: return "safety-violation";
     case RunVerdict::kRecoveryViolation: return "recovery-violation";
+    case RunVerdict::kStabilizationViolation:
+      return "stabilization-violation";
     case RunVerdict::kStalled: return "stalled";
     case RunVerdict::kBudgetExhausted: return "budget-exhausted";
     case RunVerdict::kCompleted: return "completed";

@@ -31,29 +31,49 @@ void accumulate(SweepResult& agg, const sim::RunResult& r,
   const auto gaps = obs::write_latencies_of(r.stats);
   agg.write_latencies.insert(agg.write_latencies.end(), gaps.begin(),
                              gaps.end());
-  if (!r.safety_ok) {
-    const bool recovery = r.verdict == sim::RunVerdict::kRecoveryViolation;
-    if (recovery) {
-      ++agg.recovery_failures;
-    } else {
-      ++agg.safety_failures;
+  // Classify on the structured verdict: a corrupted run can end kCompleted
+  // with safety_ok false (post-corruption garbage followed by suffix-safe
+  // convergence), so safety_ok alone no longer separates pass from fail.
+  switch (r.verdict) {
+    case sim::RunVerdict::kCompleted:
+      break;
+    case sim::RunVerdict::kSafetyViolation:
+    case sim::RunVerdict::kRecoveryViolation:
+    case sim::RunVerdict::kStabilizationViolation: {
+      const char* what =
+          r.verdict == sim::RunVerdict::kRecoveryViolation
+              ? "recovery violated safety"
+          : r.verdict == sim::RunVerdict::kStabilizationViolation
+              ? "corrupted run failed to re-converge"
+              : "safety violated";
+      if (r.verdict == sim::RunVerdict::kRecoveryViolation) {
+        ++agg.recovery_failures;
+      } else if (r.verdict == sim::RunVerdict::kStabilizationViolation) {
+        ++agg.stabilization_failures;
+      } else {
+        ++agg.safety_failures;
+      }
+      std::ostringstream os;
+      os << what << " at step " << r.first_violation_step << ": wrote "
+         << seq::to_string(r.output) << " for input " << seq::to_string(x);
+      agg.failures.push_back({x, seed, true, os.str(), r.verdict});
+      break;
     }
-    std::ostringstream os;
-    os << (recovery ? "recovery violated safety" : "safety violated")
-       << " at step " << r.first_violation_step << ": wrote "
-       << seq::to_string(r.output) << " for input " << seq::to_string(x);
-    agg.failures.push_back({x, seed, true, os.str(), r.verdict});
-  } else if (!r.completed) {
-    ++agg.incomplete;
-    if (r.verdict == sim::RunVerdict::kStalled) {
-      ++agg.stalled;
-    } else {
-      ++agg.exhausted;
+    case sim::RunVerdict::kStalled:
+    case sim::RunVerdict::kBudgetExhausted: {
+      ++agg.incomplete;
+      if (r.verdict == sim::RunVerdict::kStalled) {
+        ++agg.stalled;
+      } else {
+        ++agg.exhausted;
+      }
+      std::ostringstream os;
+      os << to_cstr(r.verdict) << " after " << r.stats.steps
+         << " steps: wrote " << seq::to_string(r.output) << " of "
+         << seq::to_string(x);
+      agg.failures.push_back({x, seed, false, os.str(), r.verdict});
+      break;
     }
-    std::ostringstream os;
-    os << to_cstr(r.verdict) << " after " << r.stats.steps << " steps: wrote "
-       << seq::to_string(r.output) << " of " << seq::to_string(x);
-    agg.failures.push_back({x, seed, false, os.str(), r.verdict});
   }
 }
 
@@ -63,6 +83,7 @@ void SweepResult::merge(const SweepResult& other) {
   trials += other.trials;
   safety_failures += other.safety_failures;
   recovery_failures += other.recovery_failures;
+  stabilization_failures += other.stabilization_failures;
   incomplete += other.incomplete;
   stalled += other.stalled;
   exhausted += other.exhausted;
@@ -103,9 +124,11 @@ obs::SweepReport report_of(const std::string& name, const SweepResult& r) {
   rep.trials = r.trials;
   rep.ok = r.all_ok();
   rep.verdicts.completed = r.trials - r.safety_failures -
-                           r.recovery_failures - r.stalled - r.exhausted;
+                           r.recovery_failures - r.stabilization_failures -
+                           r.stalled - r.exhausted;
   rep.verdicts.safety_violation = r.safety_failures;
   rep.verdicts.recovery_violation = r.recovery_failures;
+  rep.verdicts.stabilization_violation = r.stabilization_failures;
   rep.verdicts.stalled = r.stalled;
   rep.verdicts.budget_exhausted = r.exhausted;
   rep.total_steps = r.total_steps;

@@ -52,6 +52,9 @@ struct SweepResult {
   /// Safety violations whose first bad write came at or after the first
   /// crash-restart — i.e. the recovery path, not the protocol, is at fault.
   std::size_t recovery_failures = 0;
+  /// Runs struck by an injected transient corruption that failed the
+  /// suffix-safety convergence criterion (see docs/STABILIZATION.md).
+  std::size_t stabilization_failures = 0;
   std::size_t incomplete = 0;  // liveness failures = stalled + exhausted
   /// Per-verdict breakdown of `incomplete` (watchdog stall vs step budget).
   std::size_t stalled = 0;
@@ -65,7 +68,8 @@ struct SweepResult {
   std::vector<std::uint64_t> trial_steps;
 
   bool all_ok() const {
-    return safety_failures == 0 && recovery_failures == 0 && incomplete == 0;
+    return safety_failures == 0 && recovery_failures == 0 &&
+           stabilization_failures == 0 && incomplete == 0;
   }
   double avg_steps() const {
     return trials == 0 ? 0.0

@@ -67,6 +67,9 @@ SoakReport soak_sweep(const std::string& protocol, const SystemSpec& spec,
         case sim::RunVerdict::kRecoveryViolation:
           ++report.recovery_violations;
           break;
+        case sim::RunVerdict::kStabilizationViolation:
+          ++report.stabilization_violations;
+          break;
         case sim::RunVerdict::kStalled: ++report.stalled; break;
         case sim::RunVerdict::kBudgetExhausted: ++report.exhausted; break;
       }
@@ -97,8 +100,10 @@ MinimizedPlan minimize_plan(const SystemSpec& spec, const SoakFailure& f) {
   // post-crash (recovery) violation that degenerates into a stall — or into
   // a plain pre-crash violation — is a different bug, and the minimal
   // schedule would no longer witness the recorded one.
-  const bool safety_class = v0 == sim::RunVerdict::kSafetyViolation ||
-                            v0 == sim::RunVerdict::kRecoveryViolation;
+  const bool safety_class =
+      v0 == sim::RunVerdict::kSafetyViolation ||
+      v0 == sim::RunVerdict::kRecoveryViolation ||
+      v0 == sim::RunVerdict::kStabilizationViolation;
   auto probe = [&](const fault::FaultPlan& candidate) {
     const sim::RunVerdict v = run(candidate);
     return safety_class ? v == v0 : failing(v);
@@ -148,6 +153,29 @@ MinimizedPlan minimize_plan(const SystemSpec& spec, const SoakFailure& f) {
   return out;
 }
 
+std::vector<DedupedFailure> dedup_failures(
+    const SystemSpec& spec, const std::vector<SoakFailure>& failures) {
+  std::vector<DedupedFailure> out;
+  for (const SoakFailure& f : failures) {
+    const MinimizedPlan min = minimize_plan(spec, f);
+    const std::string signature =
+        std::string(to_cstr(min.verdict)) + "\n" + fault::to_text(min.plan);
+    bool found = false;
+    for (DedupedFailure& d : out) {
+      if (std::string(to_cstr(d.verdict)) + "\n" + fault::to_text(d.minimized)
+          == signature) {
+        ++d.occurrences;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      out.push_back({f, min.plan, min.verdict, 1});
+    }
+  }
+  return out;
+}
+
 obs::SweepReport report_of(const SoakReport& r) {
   obs::SweepReport rep;
   rep.name = r.protocol;
@@ -156,6 +184,7 @@ obs::SweepReport report_of(const SoakReport& r) {
   rep.verdicts.completed = r.completed;
   rep.verdicts.safety_violation = r.safety_violations;
   rep.verdicts.recovery_violation = r.recovery_violations;
+  rep.verdicts.stabilization_violation = r.stabilization_violations;
   rep.verdicts.stalled = r.stalled;
   rep.verdicts.budget_exhausted = r.exhausted;
   rep.total_steps = r.total_steps;

@@ -47,6 +47,9 @@ struct SoakReport {
   /// Post-crash safety violations (RunVerdict::kRecoveryViolation): the
   /// recovery path, not the protocol logic, produced the bad write.
   std::size_t recovery_violations = 0;
+  /// Corrupted runs that failed the suffix-safety convergence criterion
+  /// (RunVerdict::kStabilizationViolation; see docs/STABILIZATION.md).
+  std::size_t stabilization_violations = 0;
   std::size_t stalled = 0;
   std::size_t exhausted = 0;
   std::vector<SoakFailure> failures;
@@ -90,6 +93,22 @@ struct MinimizedPlan {
 /// result can be the empty plan when the bare channel already defeats the
 /// protocol (e.g. ABP under reordering needs no injected fault at all).
 MinimizedPlan minimize_plan(const SystemSpec& spec, const SoakFailure& f);
+
+/// One minimized counterexample plus every recorded failure it explains.
+struct DedupedFailure {
+  SoakFailure witness;       // the first failure with this signature
+  fault::FaultPlan minimized;
+  sim::RunVerdict verdict = sim::RunVerdict::kCompleted;  // of `minimized`
+  std::size_t occurrences = 0;  // recorded failures sharing the signature
+};
+
+/// Deduplicate soak failures by minimized-plan signature: each failure is
+/// minimized and keyed by (verdict, minimized plan text), so a crash-storm
+/// sweep that trips over the same 1-minimal counterexample dozens of times
+/// reports it once (with its multiplicity) instead of dozens of times.
+/// Order follows first appearance; every witness replays deterministically.
+std::vector<DedupedFailure> dedup_failures(
+    const SystemSpec& spec, const std::vector<SoakFailure>& failures);
 
 /// Condense a soak into the machine-readable report schema; `ok` is set
 /// from clean().

@@ -294,12 +294,19 @@ TEST(SyncStopWait, ResendsExactlyTheLostTransmissions) {
   EXPECT_EQ(r.stats.sent[0], x.size());
 }
 
-TEST(SyncStopWait, SenderRejectsUnexpectedVerdicts) {
+TEST(SyncStopWait, SenderIgnoresUnexpectedVerdicts) {
+  // Stray or forged deliveries must not advance (or corrupt) the lockstep:
+  // a verdict with no outstanding send and a non-verdict token are both
+  // silently dropped, and the protocol still completes normally afterwards.
   SyncStopWaitSender s(2);
   s.start({0});
-  EXPECT_THROW(s.on_deliver(channel::kSyncAck), ContractError);  // no send yet
-  (void)s.on_step();
-  EXPECT_THROW(s.on_deliver(0), ContractError);  // not a verdict token
+  s.on_deliver(channel::kSyncAck);  // no send yet: dropped
+  const auto eff = s.on_step();
+  ASSERT_TRUE(eff.send.has_value());
+  s.on_deliver(0);  // not a verdict token: dropped, send still outstanding
+  EXPECT_FALSE(s.on_step().send.has_value());  // still awaiting the verdict
+  s.on_deliver(channel::kSyncAck);
+  EXPECT_FALSE(s.on_step().send.has_value());  // {0} fully acknowledged
 }
 
 // ---------------------------------------------------------- mod-k stenning --

@@ -97,11 +97,20 @@ TEST(RepFreeDeep, FullDomainLengthSequence) {
   EXPECT_TRUE(r.completed && r.safety_ok);
 }
 
-TEST(RepFreeDeep, ReceiverRejectsOutOfAlphabetMessage) {
+TEST(RepFreeDeep, ReceiverIgnoresOutOfAlphabetMessage) {
+  // Corrupted/forged ids outside M^S are dropped without any state change:
+  // no write, no ack, and in-alphabet traffic still works afterwards.
   RepFreeReceiver r(3, RepFreeMode::kDup);
   r.start();
-  EXPECT_THROW(r.on_deliver(3), ContractError);
-  EXPECT_THROW(r.on_deliver(-1), ContractError);
+  r.on_deliver(3);
+  r.on_deliver(-1);
+  auto eff = r.on_step();
+  EXPECT_TRUE(eff.writes.empty());
+  EXPECT_FALSE(eff.send.has_value());
+  r.on_deliver(2);
+  eff = r.on_step();
+  EXPECT_EQ(eff.writes, (std::vector<seq::DataItem>{2}));
+  EXPECT_EQ(eff.send, sim::MsgId{2});
 }
 
 // ---------------------------------------------------------------- windows --
