@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # One-command verification: the tier-1 build + test gate, then the same
-# suite under ASan+UBSan (STPX_SANITIZE=ON) in a separate build tree.
+# suite under ASan+UBSan (STPX_SANITIZE=ON) and the wire-layer suite under
+# TSan (STPX_SANITIZE_THREAD=ON), each in a separate build tree.
 #
-#   scripts/check.sh             # tier-1 + sanitizer pass
+#   scripts/check.sh             # tier-1 + sanitizer passes
 #   scripts/check.sh --fast      # tier-1 only
 #
 # Every ctest invocation runs with a per-test timeout so a livelocked
-# schedule fails the stage instead of hanging it.  The bench-smoke stage
-# also leaves a BENCH_smoke.json report at the repo root (CI uploads it as
-# an artifact).
+# schedule fails the stage instead of hanging it.  The bench-smoke stages
+# also leave BENCH_smoke.json and BENCH_r4_mux.json reports at the repo
+# root (CI uploads them as artifacts).
 #
 # Exits nonzero on the first failing stage.
 set -euo pipefail
@@ -35,8 +36,13 @@ ctest --test-dir build -L recovery_smoke --output-on-failure -j "${JOBS}" --time
 echo "== stabilization smoke: the self-stabilization conformance suite =="
 ctest --test-dir build -L stabilization_smoke --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
 
+echo "== net smoke: the wire-layer conformance suite + mux bench report =="
+ctest --test-dir build -L net_smoke --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
+./build/bench/r4_mux --quiet --json BENCH_r4_mux.json
+./build/bench/validate_bench_json BENCH_r4_mux.json
+
 if [[ "${FAST}" == "1" ]]; then
-  echo "== check.sh: tier-1 PASS (sanitizer stage skipped via --fast) =="
+  echo "== check.sh: tier-1 PASS (sanitizer stages skipped via --fast) =="
   exit 0
 fi
 
@@ -44,5 +50,10 @@ echo "== sanitizers: ASan+UBSan configure + build + ctest (build/asan/) =="
 cmake -B build/asan -S . -DSTPX_SANITIZE=ON >/dev/null
 cmake --build build/asan -j "${JOBS}"
 ctest --test-dir build/asan --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
+
+echo "== sanitizers: TSan configure + build + net_smoke (build/tsan/) =="
+cmake -B build/tsan -S . -DSTPX_SANITIZE_THREAD=ON >/dev/null
+cmake --build build/tsan -j "${JOBS}" --target test_net r4_mux validate_bench_json
+ctest --test-dir build/tsan -L net_smoke --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
 
 echo "== check.sh: ALL PASS =="

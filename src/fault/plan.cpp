@@ -219,4 +219,20 @@ FaultPlan sample_plan(Rng& rng, const SamplerConfig& cfg) {
   return plan;
 }
 
+FaultPlan periodic_plan(FaultKind kind, sim::Dir dir, std::uint64_t period,
+                        std::uint64_t count, std::uint64_t horizon) {
+  STPX_EXPECT(period >= 1, "periodic_plan: period must be >= 1");
+  FaultPlan plan;
+  plan.actions.reserve(horizon / period);
+  for (std::uint64_t at = period; at <= horizon; at += period) {
+    FaultAction a;
+    a.kind = kind;
+    a.trigger = {TriggerKind::kSends, at};
+    a.dir = dir;
+    a.count = count;
+    plan.actions.push_back(a);
+  }
+  return plan;
+}
+
 }  // namespace stpx::fault

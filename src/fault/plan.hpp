@@ -187,4 +187,13 @@ struct SamplerConfig {
 /// Deterministically sample a plan (same rng state -> same plan).
 FaultPlan sample_plan(Rng& rng, const SamplerConfig& cfg);
 
+/// A sustained-fault timeline: one `kind` action of size `count`, scoped
+/// to `dir`, every `period` sends, for triggers in [period, horizon].
+/// This turns the burst-oriented grammar into steady-state loss or
+/// duplication — e.g. periodic_plan(kDropBurst, SR, 10, 1, 100000) loses
+/// every 10th frame.  The wire transport layer (net::LoopbackTransport)
+/// runs its loss benches on exactly these plans; requires period >= 1.
+FaultPlan periodic_plan(FaultKind kind, sim::Dir dir, std::uint64_t period,
+                        std::uint64_t count, std::uint64_t horizon);
+
 }  // namespace stpx::fault

@@ -1,0 +1,92 @@
+#include "net/frame.hpp"
+
+namespace stpx::net {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+std::string to_string(const Frame& f) {
+  return std::string(to_cstr(f.kind)) + " " + sim::to_cstr(f.dir) +
+         " session " + std::to_string(f.session) + " msg " +
+         std::to_string(f.msg);
+}
+
+std::uint32_t fnv1a32(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t h = 0x811C9DC5u;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> encode(const Frame& f) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameSize);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(f.kind));
+  out.push_back(static_cast<std::uint8_t>(f.dir));
+  put_u32(out, f.session);
+  const auto msg = static_cast<std::uint64_t>(f.msg);
+  put_u32(out, static_cast<std::uint32_t>(msg & 0xFFFFFFFFu));
+  put_u32(out, static_cast<std::uint32_t>(msg >> 32));
+  put_u32(out, fnv1a32(out.data(), out.size()));
+  return out;
+}
+
+std::optional<Frame> decode(const std::uint8_t* data, std::size_t len,
+                            RejectReason* why) {
+  const auto reject = [&](RejectReason r) -> std::optional<Frame> {
+    if (why != nullptr) *why = r;
+    return std::nullopt;
+  };
+  if (data == nullptr || len != kFrameSize) {
+    return reject(RejectReason::kBadSize);
+  }
+  if (data[0] != kMagic0 || data[1] != kMagic1) {
+    return reject(RejectReason::kBadMagic);
+  }
+  if (data[2] != kWireVersion) return reject(RejectReason::kBadVersion);
+  if (data[3] > 1) return reject(RejectReason::kBadKind);
+  if (data[4] > 1) return reject(RejectReason::kBadDir);
+  // Checksum last: a frame must be structurally plausible before we pay
+  // for the hash, and a corrupted header field is the more precise reason.
+  if (get_u32(data + 17) != fnv1a32(data, 17)) {
+    return reject(RejectReason::kBadChecksum);
+  }
+  Frame f;
+  f.kind = static_cast<FrameKind>(data[3]);
+  f.dir = static_cast<sim::Dir>(data[4]);
+  f.session = get_u32(data + 5);
+  f.msg = static_cast<sim::MsgId>(get_u64(data + 9));
+  return f;
+}
+
+std::optional<Frame> decode(const std::vector<std::uint8_t>& bytes,
+                            RejectReason* why) {
+  return decode(bytes.data(), bytes.size(), why);
+}
+
+}  // namespace stpx::net

@@ -1,0 +1,227 @@
+#include "net/loopback.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace stpx::net {
+
+namespace {
+
+/// One fault lane: actions sorted by trigger threshold plus a cursor to the
+/// first not-yet-fired one.  Counters are monotone and actions fire once,
+/// so a cursor makes fire_due O(actions fired this call) — periodic plans
+/// arm hundreds of thousands of actions and a rescan would be quadratic.
+struct Lane {
+  std::vector<fault::FaultAction> actions;
+  std::size_t next = 0;
+};
+
+}  // namespace
+
+/// Shared state behind a loopback pair: one Link per direction, each with
+/// its own mutex, queue, reorder Rng, and fault timeline.  All mutable
+/// state of a link — including its Rng, which is not thread-safe on its
+/// own — is only ever touched under that link's mutex.
+class LoopbackCore {
+ public:
+  LoopbackCore(const LoopbackConfig& cfg) : cfg_(cfg) {
+    Rng seeder(cfg.seed);
+    for (int d = 0; d < 2; ++d) {
+      links_[d].rng = seeder.split();
+      for (const auto& a : cfg.plan.actions) {
+        if (fault::is_store_fault(a.kind) ||
+            fault::is_corruption_fault(a.kind) ||
+            a.kind == fault::FaultKind::kCrashSender ||
+            a.kind == fault::FaultKind::kCrashReceiver) {
+          continue;  // no transport meaning
+        }
+        if (a.dir != static_cast<sim::Dir>(d)) continue;
+        if (a.trigger.kind == fault::TriggerKind::kWrites) continue;
+        auto& lane = a.trigger.kind == fault::TriggerKind::kSends
+                         ? links_[d].by_sends
+                         : links_[d].by_ticks;
+        lane.actions.push_back(a);
+      }
+      const auto by_at = [](const fault::FaultAction& x,
+                            const fault::FaultAction& y) {
+        return x.trigger.at < y.trigger.at;
+      };
+      std::stable_sort(links_[d].by_sends.actions.begin(),
+                       links_[d].by_sends.actions.end(), by_at);
+      std::stable_sort(links_[d].by_ticks.actions.begin(),
+                       links_[d].by_ticks.actions.end(), by_at);
+    }
+  }
+
+  bool send(sim::Dir dir, const std::vector<std::uint8_t>& bytes) {
+    Link& l = link(dir);
+    std::lock_guard<std::mutex> hold(l.mu);
+    ++l.stats.attempted;
+    fire_due(l, l.by_sends, l.stats.attempted);
+    fire_due(l, l.by_ticks, l.ticks);
+    if (l.ticks < l.blackout_until) {
+      ++l.stats.blacked_out;
+      return false;
+    }
+    if (l.pending_drops > 0) {
+      --l.pending_drops;
+      ++l.stats.dropped;
+      return false;
+    }
+    if ((l.cap > 0 && l.queue.size() >= l.cap) ||
+        (cfg_.max_queue > 0 && l.queue.size() >= cfg_.max_queue)) {
+      ++l.stats.shed;
+      return false;
+    }
+    l.queue.push_back(bytes);
+    ++l.stats.queued;
+    if (l.pending_dups > 0) {
+      --l.pending_dups;
+      l.queue.push_back(bytes);
+      ++l.stats.duplicated;
+    }
+    return true;
+  }
+
+  std::optional<std::vector<std::uint8_t>> poll(sim::Dir dir) {
+    Link& l = link(dir);
+    std::lock_guard<std::mutex> hold(l.mu);
+    ++l.ticks;
+    fire_due(l, l.by_ticks, l.ticks);
+    if (l.ticks < l.freeze_until) {
+      ++l.stats.frozen_polls;
+      return std::nullopt;
+    }
+    if (l.queue.empty()) return std::nullopt;
+    std::size_t idx = 0;
+    if (cfg_.reorder_window > 1) {
+      idx = static_cast<std::size_t>(l.rng.below(
+          std::min<std::uint64_t>(cfg_.reorder_window, l.queue.size())));
+    }
+    std::vector<std::uint8_t> out = std::move(l.queue[idx]);
+    l.queue.erase(l.queue.begin() + static_cast<std::ptrdiff_t>(idx));
+    ++l.stats.delivered;
+    return out;
+  }
+
+  LoopbackStats stats(sim::Dir dir) {
+    Link& l = link(dir);
+    std::lock_guard<std::mutex> hold(l.mu);
+    return l.stats;
+  }
+
+ private:
+  struct Link {
+    std::mutex mu;
+    std::deque<std::vector<std::uint8_t>> queue;
+    Rng rng;
+    Lane by_sends;  // sorted by trigger threshold
+    Lane by_ticks;
+    std::uint64_t ticks = 0;  // poll() calls
+    std::uint64_t pending_drops = 0;
+    std::uint64_t pending_dups = 0;
+    std::uint64_t blackout_until = 0;  // active while ticks < this
+    std::uint64_t freeze_until = 0;
+    std::uint64_t cap = 0;  // 0 = uncapped
+    LoopbackStats stats;
+  };
+
+  Link& link(sim::Dir dir) { return links_[static_cast<int>(dir)]; }
+
+  /// Fire every not-yet-fired action in `lane` whose threshold the counter
+  /// has reached.  Caller holds the link mutex.
+  void fire_due(Link& l, Lane& lane, std::uint64_t counter) {
+    while (lane.next < lane.actions.size() &&
+           lane.actions[lane.next].trigger.at <= counter) {
+      apply(l, lane.actions[lane.next++]);
+    }
+  }
+
+  void apply(Link& l, const fault::FaultAction& a) {
+    switch (a.kind) {
+      case fault::FaultKind::kDropBurst:
+        if (a.count == 0) {
+          l.stats.dropped += l.queue.size();
+          l.queue.clear();
+        } else {
+          l.pending_drops += a.count;
+        }
+        break;
+      case fault::FaultKind::kDupBurst:
+        if (a.count == 0) {
+          const std::size_t n = l.queue.size();
+          for (std::size_t i = 0; i < n; ++i) l.queue.push_back(l.queue[i]);
+          l.stats.duplicated += n;
+        } else {
+          l.pending_dups += a.count;
+        }
+        break;
+      case fault::FaultKind::kBlackout:
+        l.blackout_until = std::max(l.blackout_until, l.ticks + a.duration);
+        break;
+      case fault::FaultKind::kFreeze:
+        l.freeze_until = std::max(l.freeze_until, l.ticks + a.duration);
+        break;
+      case fault::FaultKind::kCapInFlight:
+        if (a.count > 0) l.cap = a.count;
+        break;
+      default:
+        break;  // filtered out at construction
+    }
+  }
+
+  LoopbackConfig cfg_;
+  Link links_[2];
+};
+
+namespace {
+
+class LoopbackEnd final : public ITransport {
+ public:
+  LoopbackEnd(std::shared_ptr<LoopbackCore> core, sim::Dir out_link)
+      : core_(std::move(core)), out_(out_link) {}
+
+  bool send(const std::vector<std::uint8_t>& bytes) override {
+    return core_->send(out_, bytes);
+  }
+
+  std::optional<std::vector<std::uint8_t>> poll() override {
+    return core_->poll(in());
+  }
+
+  std::string name() const override {
+    return out_ == sim::Dir::kSenderToReceiver ? "loopback/a" : "loopback/b";
+  }
+
+ private:
+  sim::Dir in() const {
+    return out_ == sim::Dir::kSenderToReceiver ? sim::Dir::kReceiverToSender
+                                               : sim::Dir::kSenderToReceiver;
+  }
+
+  std::shared_ptr<LoopbackCore> core_;
+  sim::Dir out_;
+};
+
+}  // namespace
+
+LoopbackStats LoopbackPair::stats(sim::Dir link) const {
+  return core->stats(link);
+}
+
+LoopbackPair make_loopback(LoopbackConfig cfg) {
+  LoopbackPair pair;
+  pair.core = std::make_shared<LoopbackCore>(cfg);
+  pair.a =
+      std::make_unique<LoopbackEnd>(pair.core, sim::Dir::kSenderToReceiver);
+  pair.b =
+      std::make_unique<LoopbackEnd>(pair.core, sim::Dir::kReceiverToSender);
+  return pair;
+}
+
+}  // namespace stpx::net

@@ -1,0 +1,379 @@
+#include "net/mux.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace stpx::net {
+
+namespace {
+
+/// Cap on the send-timestamp FIFO used for ack-RTT sampling: with heavy
+/// retransmission the FIFO would otherwise grow without bound and skew
+/// samples toward ancient sends.
+constexpr std::size_t kMaxPendingSends = 64;
+/// Cap on stored RTT samples per session.
+constexpr std::size_t kMaxRttSamples = 4096;
+
+std::uint64_t us_between(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+SessionMux::SessionMux(ITransport* transport, MuxConfig cfg)
+    : transport_(transport), cfg_(cfg) {
+  STPX_EXPECT(transport_ != nullptr, "SessionMux: null transport");
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  if (cfg_.steps_per_sweep == 0) cfg_.steps_per_sweep = 1;
+}
+
+SessionMux::~SessionMux() { stop(); }
+
+void SessionMux::add_session(
+    std::uint32_t id, std::unique_ptr<proto::ISessionEndpoint> endpoint,
+    bool is_sender) {
+  STPX_EXPECT(!started_, "SessionMux: add_session after start");
+  STPX_EXPECT(endpoint != nullptr, "SessionMux: null endpoint");
+  for (const auto& [known, idx] : index_) {
+    (void)idx;
+    STPX_EXPECT(known != id, "SessionMux: duplicate session id");
+  }
+  auto s = std::make_unique<Session>();
+  s->id = id;
+  s->is_sender = is_sender;
+  s->endpoint = std::move(endpoint);
+  index_.emplace_back(id, sessions_.size());
+  sessions_.push_back(std::move(s));
+}
+
+void SessionMux::start() {
+  STPX_EXPECT(!started_, "SessionMux: start called twice");
+  started_ = true;
+  std::sort(index_.begin(), index_.end());
+  const std::size_t shard_count =
+      std::max<std::size_t>(1, std::min(cfg_.workers, std::max<std::size_t>(
+                                                          1, sessions_.size())));
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    shards_[i % shard_count]->members.push_back(i);
+  }
+  workers_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    workers_.emplace_back(
+        [this, i](std::stop_token st) { worker_loop(st, i); });
+  }
+  pump_ = std::jthread([this](std::stop_token st) { pump_loop(st); });
+}
+
+bool SessionMux::drain(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!all_terminal() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return all_terminal();
+}
+
+void SessionMux::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  // Retire the pump first so no new inbound frames race the final sweeps.
+  pump_.request_stop();
+  pump_.join();
+  for (auto& w : workers_) w.request_stop();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+void SessionMux::pump_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    bool any = false;
+    // Bounded burst per iteration so a flood cannot starve the stop check.
+    for (int i = 0; i < 256; ++i) {
+      auto bytes = transport_->poll();
+      if (!bytes) break;
+      any = true;
+      RejectReason why = RejectReason::kBadSize;
+      const auto frame = decode(*bytes, &why);
+      if (!frame) {
+        n_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+        if (cfg_.probe != nullptr) cfg_.probe->on_frame_rejected(why);
+        continue;
+      }
+      route(*frame);
+    }
+    if (!any) std::this_thread::sleep_for(cfg_.poll_backoff);
+  }
+}
+
+void SessionMux::route(const Frame& f) {
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), f.session,
+      [](const auto& entry, std::uint32_t id) { return entry.first < id; });
+  if (it == index_.end() || it->first != f.session) {
+    n_.frames_unknown.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::size_t idx = it->second;
+  Session& s = *sessions_[idx];
+  // Direction sanity: sender sessions consume R->S traffic, receiver
+  // sessions S->R.  A frame flowing the wrong way is our own reflection
+  // (or a hostile peer) — reject, don't deliver.
+  const sim::Dir expect = s.is_sender ? sim::Dir::kReceiverToSender
+                                      : sim::Dir::kSenderToReceiver;
+  if (f.dir != expect) {
+    n_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.probe != nullptr) {
+      cfg_.probe->on_frame_rejected(RejectReason::kBadDir);
+    }
+    return;
+  }
+  Shard& shard = *shards_[idx % shards_.size()];
+  {
+    std::lock_guard<std::mutex> hold(shard.mu);
+    if (cfg_.inbox_limit > 0 && s.inbox.size() >= cfg_.inbox_limit) {
+      n_.frames_shed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    s.inbox.push_back(f);
+  }
+  n_.frames_received.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SessionMux::worker_loop(std::stop_token st, std::size_t shard_idx) {
+  Shard& shard = *shards_[shard_idx];
+  while (!st.stop_requested()) {
+    sweep(shard);
+    std::this_thread::sleep_for(cfg_.sweep_interval);
+  }
+  // Graceful drain: one final pass so frames routed before the pump
+  // retired still reach their sessions.
+  sweep(shard);
+}
+
+void SessionMux::sweep(Shard& shard) {
+  for (const std::size_t idx : shard.members) {
+    Session& s = *sessions_[idx];
+    std::deque<Frame> arrived;
+    {
+      std::lock_guard<std::mutex> hold(shard.mu);
+      arrived.swap(s.inbox);
+    }
+    const bool got_inbound = !arrived.empty();
+    for (const Frame& f : arrived) deliver(s, f);
+
+    if (s.state != SessionState::kActive) {
+      // Completed receivers re-FIN when the peer retransmits (FIN loss
+      // healing); at most one per sweep.
+      if (s.refin_pending) {
+        s.refin_pending = false;
+        emit(s, FrameKind::kFin,
+             static_cast<sim::MsgId>(s.endpoint->items_done()));
+      }
+      continue;
+    }
+
+    step_session(s);
+    if (s.state != SessionState::kActive) continue;
+
+    // Keepalive: a quiescent endpoint re-sends its last frame so a lost
+    // FIN or a lost cumulative ack cannot wedge the pair forever.
+    if (cfg_.keepalive_sweeps > 0 &&
+        s.quiet_sweeps >= cfg_.keepalive_sweeps &&
+        !s.last_data_frame.empty()) {
+      s.quiet_sweeps = 0;
+      transport_->send(s.last_data_frame);
+      ++s.frames_out;
+      n_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+      if (s.is_sender) {
+        if (s.pending_sends.size() < kMaxPendingSends) {
+          s.pending_sends.push_back(std::chrono::steady_clock::now());
+        }
+      }
+    }
+
+    if (got_inbound) {
+      s.idle_sweeps = 0;
+    } else if (cfg_.idle_eviction_sweeps > 0 &&
+               ++s.idle_sweeps > cfg_.idle_eviction_sweeps) {
+      finalize(s, SessionState::kEvicted);
+    }
+  }
+}
+
+void SessionMux::deliver(Session& s, const Frame& f) {
+  ++s.frames_in;
+  s.idle_sweeps = 0;
+  if (cfg_.probe != nullptr) cfg_.probe->on_frame_received(s.id, f);
+  if (s.state != SessionState::kActive) {
+    // Terminal receiver still answering retransmits: schedule a re-FIN.
+    if (!s.is_sender && s.state == SessionState::kCompleted &&
+        f.kind == FrameKind::kData) {
+      s.refin_pending = true;
+    }
+    return;
+  }
+  if (s.is_sender) {
+    if (!s.pending_sends.empty()) {
+      const auto sent_at = s.pending_sends.front();
+      s.pending_sends.pop_front();
+      if (s.ack_rtt_us.size() < kMaxRttSamples) {
+        s.ack_rtt_us.push_back(
+            us_between(sent_at, std::chrono::steady_clock::now()));
+      }
+    }
+    if (s.inflight > 0) --s.inflight;
+  }
+  if (f.kind == FrameKind::kFin) {
+    s.endpoint->on_fin();
+    if (s.endpoint->done()) finalize(s, SessionState::kCompleted);
+    return;
+  }
+  s.endpoint->on_deliver(f.msg);
+}
+
+void SessionMux::step_session(Session& s) {
+  const std::uint64_t frames_out_before = s.frames_out;
+  for (std::size_t i = 0; i < cfg_.steps_per_sweep; ++i) {
+    if (s.is_sender && cfg_.max_inflight > 0 &&
+        s.inflight >= cfg_.max_inflight) {
+      break;  // backpressure: wait for acks to decay the credit
+    }
+    const auto out = s.endpoint->step();
+
+    // Surface fresh receiver writes (prefix-checked by the adapter).
+    const std::size_t items = s.endpoint->items_done();
+    if (items > s.items_reported) {
+      n_.items_done.fetch_add(items - s.items_reported,
+                              std::memory_order_relaxed);
+      if (cfg_.probe != nullptr) {
+        for (std::size_t j = s.items_reported; j < items; ++j) {
+          cfg_.probe->on_item(s.id, j);
+        }
+      }
+      s.items_reported = items;
+    }
+
+    if (!s.endpoint->safety_ok()) {
+      finalize(s, SessionState::kSafetyViolation);
+      return;
+    }
+    if (!s.is_sender && s.endpoint->done()) {
+      if (out) emit(s, FrameKind::kData, *out);
+      emit(s, FrameKind::kFin,
+           static_cast<sim::MsgId>(s.endpoint->items_done()));
+      finalize(s, SessionState::kCompleted);
+      return;
+    }
+    if (!out) break;  // quiescent this sweep
+    emit(s, FrameKind::kData, *out);
+  }
+  s.quiet_sweeps = s.frames_out == frames_out_before ? s.quiet_sweeps + 1 : 0;
+}
+
+void SessionMux::emit(Session& s, FrameKind kind, sim::MsgId msg) {
+  Frame f;
+  f.kind = kind;
+  f.dir = s.is_sender ? sim::Dir::kSenderToReceiver
+                      : sim::Dir::kReceiverToSender;
+  f.session = s.id;
+  f.msg = msg;
+  const auto bytes = encode(f);
+  transport_->send(bytes);  // shed == lost; the protocol retransmits
+  ++s.frames_out;
+  n_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  if (kind == FrameKind::kFin) {
+    n_.fins_sent.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    s.last_data_frame = bytes;
+  }
+  if (s.is_sender) {
+    ++s.inflight;
+    if (s.pending_sends.size() < kMaxPendingSends) {
+      s.pending_sends.push_back(std::chrono::steady_clock::now());
+    }
+  }
+  if (cfg_.probe != nullptr) cfg_.probe->on_frame_sent(s.id, f);
+}
+
+void SessionMux::finalize(Session& s, SessionState state) {
+  s.state = state;
+  switch (state) {
+    case SessionState::kCompleted:
+      n_.completed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SessionState::kSafetyViolation:
+      n_.violated.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SessionState::kEvicted:
+      n_.evicted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SessionState::kActive:
+      break;
+  }
+  terminal_.fetch_add(1, std::memory_order_release);
+  if (cfg_.probe != nullptr) cfg_.probe->on_session_state(s.id, state);
+}
+
+NetStats SessionMux::stats() const {
+  NetStats out;
+  out.frames_sent = n_.frames_sent.load(std::memory_order_relaxed);
+  out.frames_received = n_.frames_received.load(std::memory_order_relaxed);
+  out.frames_rejected = n_.frames_rejected.load(std::memory_order_relaxed);
+  out.frames_unknown_session =
+      n_.frames_unknown.load(std::memory_order_relaxed);
+  out.frames_shed = n_.frames_shed.load(std::memory_order_relaxed);
+  out.fins_sent = n_.fins_sent.load(std::memory_order_relaxed);
+  out.items_done = n_.items_done.load(std::memory_order_relaxed);
+  out.sessions_completed = n_.completed.load(std::memory_order_relaxed);
+  out.sessions_violated = n_.violated.load(std::memory_order_relaxed);
+  out.sessions_evicted = n_.evicted.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<SessionReport> SessionMux::reports() const {
+  STPX_EXPECT(!started_ || stopped_,
+              "SessionMux: reports() while workers are live");
+  std::vector<SessionReport> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) {
+    SessionReport r;
+    r.id = s->id;
+    r.is_sender = s->is_sender;
+    r.state = s->state;
+    r.endpoint = s->endpoint->name();
+    r.items = s->endpoint->items_done();
+    r.frames_in = s->frames_in;
+    r.frames_out = s->frames_out;
+    r.ack_rtt_us = s->ack_rtt_us;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void SessionMux::publish_metrics(obs::MetricsRegistry& reg) const {
+  const NetStats st = stats();
+  reg.counter("net.frames.sent").inc(st.frames_sent);
+  reg.counter("net.frames.received").inc(st.frames_received);
+  reg.counter("net.frames.rejected").inc(st.frames_rejected);
+  reg.counter("net.frames.unknown_session").inc(st.frames_unknown_session);
+  reg.counter("net.frames.shed").inc(st.frames_shed);
+  reg.counter("net.fins.sent").inc(st.fins_sent);
+  reg.counter("net.items.done").inc(st.items_done);
+  reg.gauge("net.sessions.active")
+      .set(static_cast<std::int64_t>(active_sessions()));
+  auto& rtt = reg.histogram("net.ack_rtt_us", obs::pow2_bounds(24));
+  for (const auto& s : sessions_) {
+    reg.counter(std::string("net.verdict.") + to_cstr(s->state)).inc();
+    for (const std::uint64_t sample : s->ack_rtt_us) rtt.observe(sample);
+  }
+}
+
+}  // namespace stpx::net

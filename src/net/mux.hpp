@@ -1,0 +1,287 @@
+// SessionMux — N concurrent STP sessions multiplexed over one transport.
+//
+// Architecture (docs/NETWORK.md has the full picture):
+//
+//   * Sessions are registered before start() and partitioned round-robin
+//     into shards.  A shard is owned by exactly one worker thread, so
+//     session state (the protocol endpoint, counters, RTT samples) needs
+//     no per-session locking — only each shard's inbox, which the pump
+//     thread fills, is mutex-guarded.
+//   * The pump (one std::jthread) polls the transport, decodes frames
+//     (rejecting malformed bytes — counted, never thrown), and routes
+//     them to the owning shard's inbox by session id.
+//   * Workers (std::jthread each) sweep their shard on a fixed cadence:
+//     drain the inbox into sessions, then step each active session under
+//     a per-sweep send budget and a bounded in-flight credit
+//     (backpressure), encode outgoing messages, and hand them to the
+//     transport.
+//   * Completion is wire-level: when a receiver session's tape equals its
+//     expected sequence it emits a FIN frame; the sender session marks
+//     itself completed when the FIN arrives.  FIN loss is healed by
+//     re-FIN on retransmission arrival plus a sender-side keepalive that
+//     re-sends the last data frame when the protocol has gone quiescent.
+//   * Idle-session eviction: a session that has received nothing for
+//     `idle_eviction_sweeps` sweeps is evicted (dead peer) — terminal,
+//     like completion, but distinguishable in the verdict.
+//   * stop() drains gracefully: the pump is retired first (no new
+//     inbound), each worker performs a final inbox-drain sweep, then
+//     joins.
+//
+// Thread-safety invariants: session objects are touched only by their
+// shard's worker; NetCounters are atomics; the transport must be
+// thread-safe (both provided implementations are); an attached INetProbe
+// must be thread-safe (hooks fire concurrently from workers and pump).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "proto/session_adapter.hpp"
+
+namespace stpx::net {
+
+/// Terminal (and the one non-terminal) session states.
+enum class SessionState : std::uint8_t {
+  kActive = 0,
+  kCompleted,        // receiver: tape == expected; sender: FIN received
+  kSafetyViolation,  // receiver wrote a non-prefix item
+  kEvicted,          // idle past the eviction threshold
+};
+
+constexpr const char* to_cstr(SessionState s) {
+  switch (s) {
+    case SessionState::kActive: return "active";
+    case SessionState::kCompleted: return "completed";
+    case SessionState::kSafetyViolation: return "safety-violation";
+    case SessionState::kEvicted: return "evicted";
+  }
+  return "?";
+}
+
+/// Thread-safe observer of mux events.  Hooks fire concurrently from the
+/// pump and every worker; implementations must be safe under that (the
+/// engine-side obs::IProbe contract is single-threaded, hence this
+/// separate interface).
+class INetProbe {
+ public:
+  virtual ~INetProbe() = default;
+  virtual void on_frame_sent(std::uint32_t session, const Frame& f) {
+    (void)session;
+    (void)f;
+  }
+  virtual void on_frame_received(std::uint32_t session, const Frame& f) {
+    (void)session;
+    (void)f;
+  }
+  virtual void on_frame_rejected(RejectReason why) { (void)why; }
+  /// A receiver session appended output item `index`, still a correct
+  /// prefix of its expected sequence (fires per write — the wire-level
+  /// analogue of the engine probe's on_write).
+  virtual void on_item(std::uint32_t session, std::size_t index) {
+    (void)session;
+    (void)index;
+  }
+  virtual void on_session_state(std::uint32_t session, SessionState s) {
+    (void)session;
+    (void)s;
+  }
+};
+
+/// A ready-made INetProbe: atomic tallies, enough for tests and demos.
+class CountingNetProbe final : public INetProbe {
+ public:
+  void on_frame_sent(std::uint32_t, const Frame&) override { ++sent_; }
+  void on_frame_received(std::uint32_t, const Frame&) override {
+    ++received_;
+  }
+  void on_frame_rejected(RejectReason) override { ++rejected_; }
+  void on_item(std::uint32_t, std::size_t) override { ++items_; }
+  void on_session_state(std::uint32_t, SessionState s) override {
+    if (s == SessionState::kCompleted) ++completed_;
+    if (s == SessionState::kSafetyViolation) ++violated_;
+    if (s == SessionState::kEvicted) ++evicted_;
+  }
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t received() const { return received_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t items() const { return items_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t violated() const { return violated_; }
+  std::uint64_t evicted() const { return evicted_; }
+
+ private:
+  std::atomic<std::uint64_t> sent_{0}, received_{0}, rejected_{0},
+      items_{0}, completed_{0}, violated_{0}, evicted_{0};
+};
+
+struct MuxConfig {
+  /// Worker threads (= shards).  Sessions are partitioned id-order
+  /// round-robin across shards at start().
+  std::size_t workers = 2;
+  /// Protocol steps granted per active session per sweep.
+  std::size_t steps_per_sweep = 2;
+  /// Bounded in-flight credit per sender session: stepping pauses while
+  /// (frames sent - frames received) >= max_inflight.  Receiver-side
+  /// re-acks decay the credit, so a burst of losses stalls the session
+  /// only until the next keepalive round-trip.
+  std::size_t max_inflight = 32;
+  /// Per-session inbox bound; overflow frames are shed (backpressure —
+  /// indistinguishable from wire loss, which the protocols tolerate).
+  std::size_t inbox_limit = 64;
+  /// Sweeps without any inbound frame before a session is evicted
+  /// (0 = never evict).
+  std::uint64_t idle_eviction_sweeps = 0;
+  /// Quiescent-sender keepalive: after this many consecutive sweeps with
+  /// nothing to send, re-send the last data frame (0 = off).  Receiver
+  /// sessions use the same cadence to refresh their cumulative ack.
+  std::uint64_t keepalive_sweeps = 8;
+  /// Worker sweep cadence and pump idle backoff.
+  std::chrono::microseconds sweep_interval{200};
+  std::chrono::microseconds poll_backoff{50};
+  /// Optional observer (non-owning, must be thread-safe).
+  INetProbe* probe = nullptr;
+};
+
+/// Aggregate mux counters (a consistent-enough snapshot of atomics).
+struct NetStats {
+  std::uint64_t frames_sent = 0;      // handed to the transport
+  std::uint64_t frames_received = 0;  // decoded and routed
+  std::uint64_t frames_rejected = 0;  // malformed bytes or bad direction
+  std::uint64_t frames_unknown_session = 0;
+  std::uint64_t frames_shed = 0;  // inbox backpressure
+  std::uint64_t fins_sent = 0;
+  std::uint64_t items_done = 0;  // receiver-side writes, all sessions
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_violated = 0;
+  std::uint64_t sessions_evicted = 0;
+};
+
+/// Post-run, per-session outcome.
+struct SessionReport {
+  std::uint32_t id = 0;
+  bool is_sender = false;
+  SessionState state = SessionState::kActive;
+  std::string endpoint;
+  std::size_t items = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  /// Send-to-next-inbound round-trip samples, microseconds (sender
+  /// sessions; mirrors the engine metric ack_rtt).
+  std::vector<std::uint64_t> ack_rtt_us;
+};
+
+class SessionMux {
+ public:
+  /// `transport` is non-owning and must outlive the mux.
+  SessionMux(ITransport* transport, MuxConfig cfg);
+  SessionMux(const SessionMux&) = delete;
+  SessionMux& operator=(const SessionMux&) = delete;
+  ~SessionMux();
+
+  /// Register a session (before start() only; ids must be unique).
+  /// Sender sessions emit S->R data frames and accept R->S frames;
+  /// receiver sessions the reverse.
+  void add_session(std::uint32_t id,
+                   std::unique_ptr<proto::ISessionEndpoint> endpoint,
+                   bool is_sender);
+
+  std::size_t session_count() const { return sessions_.size(); }
+
+  /// Spawn the pump and worker threads.
+  void start();
+
+  /// Wait (polling) until every session is terminal or `timeout` elapses.
+  /// Returns true when all sessions reached a terminal state.
+  bool drain(std::chrono::milliseconds timeout);
+
+  /// Graceful shutdown: retire the pump, final-sweep the shards, join.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  bool all_terminal() const {
+    return terminal_.load(std::memory_order_acquire) == sessions_.size();
+  }
+  /// Live gauge: sessions not yet terminal.
+  std::size_t active_sessions() const {
+    return sessions_.size() - terminal_.load(std::memory_order_acquire);
+  }
+
+  NetStats stats() const;
+
+  /// Per-session outcomes.  Call after stop() (or before start()).
+  std::vector<SessionReport> reports() const;
+
+  /// Publish counters, the active-sessions gauge, per-state verdict
+  /// counters, and the ack-RTT histogram into `reg` under the net.*
+  /// namespace (see docs/OBSERVABILITY.md).  Call after stop().
+  void publish_metrics(obs::MetricsRegistry& reg) const;
+
+ private:
+  struct Session {
+    std::uint32_t id = 0;
+    bool is_sender = false;
+    std::unique_ptr<proto::ISessionEndpoint> endpoint;
+    SessionState state = SessionState::kActive;
+    // --- inbox: filled by the pump under the shard mutex ----------------
+    std::deque<Frame> inbox;
+    // --- worker-private state (shard owner only) ------------------------
+    std::uint64_t frames_in = 0;
+    std::uint64_t frames_out = 0;
+    std::size_t inflight = 0;        // sent minus received, floored at 0
+    std::uint64_t idle_sweeps = 0;   // sweeps since last inbound frame
+    std::uint64_t quiet_sweeps = 0;  // sweeps since last outbound frame
+    std::size_t items_reported = 0;  // probe on_item high-water mark
+    bool refin_pending = false;      // completed receiver saw a retransmit
+    std::vector<std::uint8_t> last_data_frame;  // keepalive payload
+    std::deque<std::chrono::steady_clock::time_point> pending_sends;
+    std::vector<std::uint64_t> ack_rtt_us;
+  };
+
+  struct Shard {
+    std::mutex mu;  // guards the inboxes of this shard's sessions
+    std::vector<std::size_t> members;  // indices into sessions_
+  };
+
+  void pump_loop(std::stop_token st);
+  void worker_loop(std::stop_token st, std::size_t shard_idx);
+  /// One pass over a shard: drain inboxes, step sessions, emit frames.
+  void sweep(Shard& shard);
+  void deliver(Session& s, const Frame& f);
+  void step_session(Session& s);
+  void emit(Session& s, FrameKind kind, sim::MsgId msg);
+  void finalize(Session& s, SessionState state);
+  /// Route one decoded frame to its session's inbox.
+  void route(const Frame& f);
+
+  ITransport* transport_;
+  MuxConfig cfg_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // id -> sessions_ index; read-only after start().
+  std::vector<std::pair<std::uint32_t, std::size_t>> index_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::atomic<std::size_t> terminal_{0};
+  struct Counters {
+    std::atomic<std::uint64_t> frames_sent{0}, frames_received{0},
+        frames_rejected{0}, frames_unknown{0}, frames_shed{0}, fins_sent{0},
+        items_done{0}, completed{0}, violated{0}, evicted{0};
+  } n_;
+
+  std::vector<std::jthread> workers_;
+  std::jthread pump_;
+};
+
+}  // namespace stpx::net

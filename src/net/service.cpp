@@ -1,0 +1,25 @@
+#include "net/service.hpp"
+
+namespace stpx::net {
+
+bool run_service_pair(StpClient& client, StpServer& server,
+                      std::chrono::milliseconds timeout) {
+  server.mux().start();
+  client.mux().start();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  bool done = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (client.mux().all_terminal() && server.mux().all_terminal()) {
+      done = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Stop the client first: it stops generating traffic, then the server
+  // drains whatever the pump already routed.
+  client.mux().stop();
+  server.mux().stop();
+  return done;
+}
+
+}  // namespace stpx::net

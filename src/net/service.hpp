@@ -1,0 +1,72 @@
+// Service façade: StpServer / StpClient — a SessionMux pre-wired for one
+// role, plus the pairing helper the tests, example, and load generator
+// share.
+//
+// A *client* hosts sender sessions: each owns an ISender and an input
+// sequence and pushes data frames toward the server.  A *server* hosts
+// receiver sessions: each owns an IReceiver and the expected sequence it
+// must reproduce, acks as its protocol dictates, and FINs on completion.
+// The expected sequence is how the service layer states the transmission
+// problem's spec (Y == X) at the wire level; a deployment that doesn't
+// know X ahead of time would simply skip registering expectations and
+// consume the tape — the mux machinery is identical.
+//
+// run_service_pair() is the in-process harness shape: start both ends
+// over a transport pair, wait for every session to reach a terminal
+// state, stop both gracefully.
+#pragma once
+
+#include <chrono>
+
+#include "net/mux.hpp"
+
+namespace stpx::net {
+
+class StpServer {
+ public:
+  /// `transport` is the server-side endpoint (non-owning, must outlive).
+  StpServer(ITransport* transport, MuxConfig cfg) : mux_(transport, cfg) {}
+
+  void add_session(std::uint32_t id,
+                   std::unique_ptr<sim::IReceiver> receiver,
+                   seq::Sequence expected) {
+    mux_.add_session(id,
+                     std::make_unique<proto::ReceiverSessionEndpoint>(
+                         std::move(receiver), std::move(expected)),
+                     /*is_sender=*/false);
+  }
+
+  SessionMux& mux() { return mux_; }
+  const SessionMux& mux() const { return mux_; }
+
+ private:
+  SessionMux mux_;
+};
+
+class StpClient {
+ public:
+  /// `transport` is the client-side endpoint (non-owning, must outlive).
+  StpClient(ITransport* transport, MuxConfig cfg) : mux_(transport, cfg) {}
+
+  void add_session(std::uint32_t id, std::unique_ptr<sim::ISender> sender,
+                   seq::Sequence x) {
+    mux_.add_session(id,
+                     std::make_unique<proto::SenderSessionEndpoint>(
+                         std::move(sender), std::move(x)),
+                     /*is_sender=*/true);
+  }
+
+  SessionMux& mux() { return mux_; }
+  const SessionMux& mux() const { return mux_; }
+
+ private:
+  SessionMux mux_;
+};
+
+/// Start both ends, drain until every session on both is terminal or
+/// `timeout` elapses, then stop both gracefully.  Returns true iff both
+/// muxes fully drained in time.
+bool run_service_pair(StpClient& client, StpServer& server,
+                      std::chrono::milliseconds timeout);
+
+}  // namespace stpx::net

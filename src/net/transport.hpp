@@ -1,0 +1,47 @@
+// Transport abstraction: how frames move between two mux endpoints.
+//
+// An ITransport is one endpoint of a bidirectional, datagram-oriented,
+// *unreliable* link: send() hands one encoded frame to the wire, poll()
+// retrieves the next frame the peer's sends have made deliverable.  Both
+// are non-blocking and thread-safe — the session mux calls send() from
+// worker threads while its pump thread polls.
+//
+// The contract is deliberately the paper's channel model, not TCP's:
+// frames may be lost, duplicated, and reordered; the only guarantee is
+// that a delivered frame is byte-identical to some sent frame (corruption
+// is the codec's problem — a frame that fails decode is counted and
+// dropped by the mux).  Protocols above the mux already survive exactly
+// this fault model, which is the whole point of pairing them.
+//
+// Implementations:
+//   * make_loopback() — in-process, thread-safe queue pair whose loss /
+//     duplication / reordering knobs are driven by the fault::FaultPlan
+//     grammar (see net/loopback.hpp);
+//   * make_udp_pair() — real non-blocking UDP sockets over 127.0.0.1
+//     (see net/udp.hpp); gated so environments without sockets fall back
+//     to loopback.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stpx::net {
+
+class ITransport {
+ public:
+  virtual ~ITransport() = default;
+
+  /// Hand one datagram to the wire.  Non-blocking; false means the frame
+  /// was shed (full queue, unavailable socket) — senders must treat a shed
+  /// frame exactly like a lost one.
+  virtual bool send(const std::vector<std::uint8_t>& bytes) = 0;
+
+  /// Retrieve the next deliverable datagram, if any.  Non-blocking.
+  virtual std::optional<std::vector<std::uint8_t>> poll() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace stpx::net

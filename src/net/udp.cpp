@@ -1,0 +1,105 @@
+#include "net/udp.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define STPX_HAVE_UDP 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace stpx::net {
+
+#if defined(STPX_HAVE_UDP)
+
+namespace {
+
+/// An ITransport over one connected, non-blocking UDP socket.  The fd is
+/// immutable after construction and kernel datagram syscalls are atomic
+/// per message, so send()/poll() are thread-safe without a user-space
+/// lock.
+class UdpTransport final : public ITransport {
+ public:
+  explicit UdpTransport(int fd) : fd_(fd) {}
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+  ~UdpTransport() override { ::close(fd_); }
+
+  bool send(const std::vector<std::uint8_t>& bytes) override {
+    const ssize_t n =
+        ::send(fd_, bytes.data(), bytes.size(), MSG_DONTWAIT);
+    return n == static_cast<ssize_t>(bytes.size());
+  }
+
+  std::optional<std::vector<std::uint8_t>> poll() override {
+    std::uint8_t buf[512];  // frames are 21 bytes; room for hostile jumbo
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n < 0) return std::nullopt;  // EWOULDBLOCK / transient error
+    return std::vector<std::uint8_t>(buf, buf + n);
+  }
+
+  std::string name() const override { return "udp"; }
+
+ private:
+  int fd_;
+};
+
+/// Bind a non-blocking UDP socket to an ephemeral 127.0.0.1 port.
+/// Returns the fd (>= 0) and fills `addr` with the bound address.
+int bind_ephemeral(sockaddr_in& addr) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return -1;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  socklen_t len = sizeof(addr);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), len) != 0 ||
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+bool udp_supported() { return true; }
+
+std::optional<UdpPair> make_udp_pair() {
+  sockaddr_in addr_a{};
+  sockaddr_in addr_b{};
+  const int fd_a = bind_ephemeral(addr_a);
+  if (fd_a < 0) return std::nullopt;
+  const int fd_b = bind_ephemeral(addr_b);
+  if (fd_b < 0) {
+    ::close(fd_a);
+    return std::nullopt;
+  }
+  if (::connect(fd_a, reinterpret_cast<const sockaddr*>(&addr_b),
+                sizeof(addr_b)) != 0 ||
+      ::connect(fd_b, reinterpret_cast<const sockaddr*>(&addr_a),
+                sizeof(addr_a)) != 0) {
+    ::close(fd_a);
+    ::close(fd_b);
+    return std::nullopt;
+  }
+  UdpPair pair;
+  pair.a = std::make_unique<UdpTransport>(fd_a);
+  pair.b = std::make_unique<UdpTransport>(fd_b);
+  return pair;
+}
+
+#else  // !STPX_HAVE_UDP
+
+bool udp_supported() { return false; }
+
+std::optional<UdpPair> make_udp_pair() { return std::nullopt; }
+
+#endif
+
+}  // namespace stpx::net

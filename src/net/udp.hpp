@@ -1,0 +1,37 @@
+// UdpTransport — real datagram sockets over 127.0.0.1.
+//
+// make_udp_pair() binds two non-blocking IPv4 UDP sockets on ephemeral
+// loopback ports, connects each to the other, and wraps them as ITransport
+// endpoints.  UDP natively provides the transport contract (datagrams may
+// be lost, duplicated, reordered; delivered ones are intact modulo the
+// codec's checksum), so the endpoints are thin syscall wrappers: sendto()
+// that treats EWOULDBLOCK/ENOBUFS as a shed frame, recv() with
+// MSG_DONTWAIT for poll().
+//
+// Availability is environment-dependent: sandboxed CI runners may forbid
+// socket creation.  make_udp_pair() probes at runtime and returns
+// std::nullopt instead of failing, so callers (tests, benches) fall back
+// to the loopback transport — the conformance surface both implementations
+// share is what tests/test_net.cpp pins.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "net/transport.hpp"
+
+namespace stpx::net {
+
+struct UdpPair {
+  std::unique_ptr<ITransport> a;
+  std::unique_ptr<ITransport> b;
+};
+
+/// Build a connected UDP endpoint pair, or std::nullopt when the
+/// environment cannot create/bind loopback sockets.
+std::optional<UdpPair> make_udp_pair();
+
+/// True when this build/platform has UDP support compiled in at all.
+bool udp_supported();
+
+}  // namespace stpx::net

@@ -132,6 +132,15 @@ class MetricsRegistry {
 ///              recovery takes to resume visible progress),
 ///              stabilization.latency (first injected corruption -> the
 ///              step convergence was declared)
+///
+/// The wire layer publishes a parallel net.* family from
+/// net::SessionMux::publish_metrics (post-stop, registry untouched while
+/// workers are live — MetricsRegistry itself is not thread-safe):
+///   counters   net.frames.sent / received / rejected / unknown_session /
+///              shed, net.fins.sent, net.items.done, net.verdict.<state>
+///   gauges     net.sessions.active
+///   histograms net.ack_rtt_us (sender frame send -> next inbound frame,
+///              microseconds — the wire analogue of ack_rtt)
 class MetricsProbe final : public IProbe {
  public:
   /// `registry` is non-owning and must outlive the probe's use.

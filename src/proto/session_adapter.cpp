@@ -1,0 +1,56 @@
+#include "proto/session_adapter.hpp"
+
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace stpx::proto {
+
+SenderSessionEndpoint::SenderSessionEndpoint(
+    std::unique_ptr<sim::ISender> sender, seq::Sequence x)
+    : sender_(std::move(sender)), x_(std::move(x)) {
+  STPX_EXPECT(sender_ != nullptr, "SenderSessionEndpoint: null sender");
+  sender_->start(x_);
+}
+
+void SenderSessionEndpoint::on_deliver(sim::MsgId msg) {
+  // Defensive-ignore at the trust boundary: every stpx protocol uses
+  // non-negative ids; anything else cannot be a well-formed ack.
+  if (msg < 0) return;
+  sender_->on_deliver(msg);
+}
+
+std::optional<sim::MsgId> SenderSessionEndpoint::step() {
+  if (finished_) return std::nullopt;
+  return sender_->on_step().send;
+}
+
+ReceiverSessionEndpoint::ReceiverSessionEndpoint(
+    std::unique_ptr<sim::IReceiver> receiver, seq::Sequence expected)
+    : receiver_(std::move(receiver)), expected_(std::move(expected)) {
+  STPX_EXPECT(receiver_ != nullptr, "ReceiverSessionEndpoint: null receiver");
+  receiver_->start();
+}
+
+void ReceiverSessionEndpoint::on_deliver(sim::MsgId msg) {
+  if (msg < 0) return;
+  if (!safety_ok_) return;  // violated sessions go silent
+  receiver_->on_deliver(msg);
+}
+
+std::optional<sim::MsgId> ReceiverSessionEndpoint::step() {
+  if (!safety_ok_ || done()) return std::nullopt;
+  sim::ReceiverEffect eff = receiver_->on_step();
+  for (const seq::DataItem item : eff.writes) {
+    // The engine's online prefix check, session-local: the write must be
+    // the next item of the expected sequence, every time.
+    if (y_.size() >= expected_.size() || item != expected_[y_.size()]) {
+      safety_ok_ = false;
+      return std::nullopt;
+    }
+    y_.push_back(item);
+  }
+  return eff.send;
+}
+
+}  // namespace stpx::proto

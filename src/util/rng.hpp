@@ -3,6 +3,16 @@
 // All randomness in stpx flows through Rng so that every simulated run is
 // exactly reproducible from a 64-bit seed.  The generator is xoshiro256**,
 // seeded via splitmix64 (the construction recommended by its authors).
+//
+// Thread affinity: Rng is NOT thread-safe — next-state updates are plain
+// writes.  Every Rng instance must be confined to one thread or guarded by
+// the lock that owns the surrounding state.  The single-threaded engine
+// satisfies this trivially; concurrent layers follow the confinement
+// pattern of net::LoopbackCore, which keeps each link's reorder Rng under
+// that link's mutex (split() fresh Rngs per thread/link rather than
+// sharing one — sharing would also destroy seed-reproducibility, since
+// interleaving order would leak into the stream).  The TSan CI stage
+// (STPX_SANITIZE_THREAD) enforces this audit conclusion mechanically.
 #pragma once
 
 #include <cstdint>
