@@ -15,6 +15,10 @@ namespace {
 constexpr std::size_t kMaxPendingSends = 64;
 /// Cap on stored RTT samples per session.
 constexpr std::size_t kMaxRttSamples = 4096;
+/// Cap on durability-gated frames held per session between checkpoint
+/// flushes; overflow drops the oldest (== wire loss, retransmission
+/// heals it).
+constexpr std::size_t kMaxHeldFrames = 8;
 
 std::uint64_t us_between(std::chrono::steady_clock::time_point from,
                          std::chrono::steady_clock::time_point to) {
@@ -30,6 +34,13 @@ SessionMux::SessionMux(ITransport* transport, MuxConfig cfg)
   STPX_EXPECT(transport_ != nullptr, "SessionMux: null transport");
   if (cfg_.workers == 0) cfg_.workers = 1;
   if (cfg_.steps_per_sweep == 0) cfg_.steps_per_sweep = 1;
+  if (cfg_.checkpoint_every_sweeps == 0) cfg_.checkpoint_every_sweeps = 1;
+  for (store::IStableStore* st : cfg_.session_stores) {
+    STPX_EXPECT(st != nullptr, "SessionMux: null session store");
+    auto slot = std::make_unique<StoreSlot>();
+    slot->store = st;
+    slots_.push_back(std::move(slot));
+  }
 }
 
 SessionMux::~SessionMux() { stop(); }
@@ -65,6 +76,9 @@ void SessionMux::start() {
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
     shards_[i % shard_count]->members.push_back(i);
   }
+  for (std::size_t i = 0; i < shard_count && !slots_.empty(); ++i) {
+    shards_[i]->slot = i % slots_.size();
+  }
   workers_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
     workers_.emplace_back(
@@ -78,6 +92,10 @@ bool SessionMux::drain(std::chrono::milliseconds timeout) {
   while (!all_terminal() && std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  // Drain is the graceful path: arm the final-sweep checkpoint flush so
+  // stop() leaves nothing buffered (armed even on timeout — the caller
+  // asked for a graceful shutdown; a crash is modelled by bare stop()).
+  flush_on_stop_.store(true, std::memory_order_release);
   return all_terminal();
 }
 
@@ -90,6 +108,79 @@ void SessionMux::stop() {
   for (auto& w : workers_) w.request_stop();
   for (auto& w : workers_) w.join();
   workers_.clear();
+  if (durable() && flush_on_stop_.load(std::memory_order_acquire) &&
+      !killed_.load(std::memory_order_acquire)) {
+    // Graceful shutdown only: fold each session log down to its newest
+    // record per session.  The rewrite is not crash-atomic, which is
+    // exactly why a crash-shaped stop() never does this.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      bool seen = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        seen = seen || slots_[j]->store == slots_[i]->store;
+      }
+      if (!seen) store::compact_session_log(*slots_[i]->store);
+    }
+  }
+}
+
+void SessionMux::kill() {
+  // A crash never runs a final sweep: skip the drain pass entirely so the
+  // log stays exactly as of the last cadence flush and held frames die
+  // with the process image.
+  killed_.store(true, std::memory_order_release);
+  stop();
+}
+
+RehydrateReport SessionMux::rehydrate(const SessionFactory& factory) {
+  STPX_EXPECT(!started_, "SessionMux: rehydrate after start");
+  STPX_EXPECT(durable(), "SessionMux: rehydrate without session stores");
+  STPX_EXPECT(static_cast<bool>(factory), "SessionMux: null session factory");
+  std::vector<store::IStableStore*> stores;
+  stores.reserve(slots_.size());
+  for (const auto& slot : slots_) stores.push_back(slot->store);
+  const store::SessionLogScan scan = store::scan_session_logs(stores);
+  // Every record this generation writes must supersede the crashed
+  // generation's, even though the per-mux seq counter restarts.
+  epoch_ = scan.max_epoch + 1;
+
+  RehydrateReport rep;
+  rep.records_scanned = scan.records_scanned;
+  rep.records_skipped = scan.records_skipped;
+  for (const auto& [id, m] : scan.newest) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto endpoint = factory(m);
+    if (!endpoint) {
+      ++rep.declined;
+      continue;
+    }
+    const bool restored =
+        !m.endpoint_state.empty() && endpoint->restore_state(m.endpoint_state);
+    if (!restored) ++rep.cold_restores;
+    add_session(id, std::move(endpoint), m.is_sender);
+    Session& s = *sessions_.back();
+    s.rehydrated = true;
+    s.dirty = true;  // re-manifest under the new epoch at the first flush
+    s.items_reported = s.endpoint->items_done();
+    ++rep.sessions;
+    n_.rehydrated.fetch_add(1, std::memory_order_relaxed);
+    if (!s.endpoint->safety_ok()) {
+      // The manifest itself witnessed an inconsistency — loud, terminal,
+      // distinct from a live safety violation.
+      finalize(s, SessionState::kRecoveryViolation);
+      ++rep.violations;
+    } else if (m.completed && restored && s.endpoint->done()) {
+      // FIN state survived: terminal-completed, but still re-FINs when
+      // the peer retransmits (the restart-racing-FIN healing path).
+      finalize(s, SessionState::kCompleted);
+      ++rep.completed;
+    }
+    if (cfg_.probe != nullptr) {
+      cfg_.probe->on_rehydrate(id, s.endpoint->items_done(), s.state);
+    }
+    rep.restore_latency_us.push_back(
+        us_between(t0, std::chrono::steady_clock::now()));
+  }
+  return rep;
 }
 
 void SessionMux::pump_loop(std::stop_token st) {
@@ -153,12 +244,20 @@ void SessionMux::worker_loop(std::stop_token st, std::size_t shard_idx) {
     sweep(shard);
     std::this_thread::sleep_for(cfg_.sweep_interval);
   }
+  // Crash-shaped shutdown: no final pass, no flush — see kill().
+  if (killed_.load(std::memory_order_acquire)) return;
   // Graceful drain: one final pass so frames routed before the pump
   // retired still reach their sessions.
   sweep(shard);
+  // Only a drain()-armed stop flushes buffered checkpoints; a bare
+  // stop() is the crash-shaped shutdown and loses them on purpose.
+  if (durable() && flush_on_stop_.load(std::memory_order_acquire)) {
+    flush_shard(shard, /*force=*/true);
+  }
 }
 
 void SessionMux::sweep(Shard& shard) {
+  ++shard.sweep_no;
   for (const std::size_t idx : shard.members) {
     Session& s = *sessions_[idx];
     std::deque<Frame> arrived;
@@ -184,7 +283,9 @@ void SessionMux::sweep(Shard& shard) {
     if (s.state != SessionState::kActive) continue;
 
     // Keepalive: a quiescent endpoint re-sends its last frame so a lost
-    // FIN or a lost cumulative ack cannot wedge the pair forever.
+    // FIN or a lost cumulative ack cannot wedge the pair forever.  For
+    // durable receivers last_data_frame is only ever a RELEASED (i.e.
+    // checkpoint-covered) ack, so the resend needs no fresh gating.
     if (cfg_.keepalive_sweeps > 0 &&
         s.quiet_sweeps >= cfg_.keepalive_sweeps &&
         !s.last_data_frame.empty()) {
@@ -201,16 +302,30 @@ void SessionMux::sweep(Shard& shard) {
 
     if (got_inbound) {
       s.idle_sweeps = 0;
-    } else if (cfg_.idle_eviction_sweeps > 0 &&
-               ++s.idle_sweeps > cfg_.idle_eviction_sweeps) {
-      finalize(s, SessionState::kEvicted);
+    } else {
+      ++s.idle_sweeps;
+      if (cfg_.rehydrate_idle_violation_sweeps > 0 && s.rehydrated &&
+          s.frames_in == 0 &&
+          s.idle_sweeps > cfg_.rehydrate_idle_violation_sweeps) {
+        // The manifest attests to an unfinished exchange, but the peer
+        // never spoke after the restart: the crash lost progress beyond
+        // what retransmission can heal.  Loud, not a silent wedge.
+        finalize(s, SessionState::kRecoveryViolation);
+      } else if (cfg_.idle_eviction_sweeps > 0 &&
+                 s.idle_sweeps > cfg_.idle_eviction_sweeps) {
+        finalize(s, SessionState::kEvicted);
+      }
     }
+  }
+  if (durable() && shard.sweep_no % cfg_.checkpoint_every_sweeps == 0) {
+    flush_shard(shard, /*force=*/false);
   }
 }
 
 void SessionMux::deliver(Session& s, const Frame& f) {
   ++s.frames_in;
   s.idle_sweeps = 0;
+  s.dirty = true;  // any inbound frame may move durable protocol state
   if (cfg_.probe != nullptr) cfg_.probe->on_frame_received(s.id, f);
   if (s.state != SessionState::kActive) {
     // Terminal receiver still answering retransmits: schedule a re-FIN.
@@ -251,6 +366,7 @@ void SessionMux::step_session(Session& s) {
     // Surface fresh receiver writes (prefix-checked by the adapter).
     const std::size_t items = s.endpoint->items_done();
     if (items > s.items_reported) {
+      s.dirty = true;
       n_.items_done.fetch_add(items - s.items_reported,
                               std::memory_order_relaxed);
       if (cfg_.probe != nullptr) {
@@ -285,11 +401,28 @@ void SessionMux::emit(Session& s, FrameKind kind, sim::MsgId msg) {
                       : sim::Dir::kReceiverToSender;
   f.session = s.id;
   f.msg = msg;
-  const auto bytes = encode(f);
+  auto bytes = encode(f);
+  // Durability gating (the write-ahead rule): a receiver's outbound
+  // frames — cumulative acks and FINs — attest to externalized state, so
+  // they are held until flush_shard commits the covering checkpoint.
+  // Sender data frames carry no commitment (retransmission is always
+  // safe) and go straight out.
+  if (durable() && !s.is_sender) {
+    if (s.held.size() >= kMaxHeldFrames) {
+      s.held.erase(s.held.begin());  // drop-oldest == wire loss
+    }
+    s.held.emplace_back(f, std::move(bytes));
+    return;
+  }
+  send_now(s, f, bytes);
+}
+
+void SessionMux::send_now(Session& s, const Frame& f,
+                          const std::vector<std::uint8_t>& bytes) {
   transport_->send(bytes);  // shed == lost; the protocol retransmits
   ++s.frames_out;
   n_.frames_sent.fetch_add(1, std::memory_order_relaxed);
-  if (kind == FrameKind::kFin) {
+  if (f.kind == FrameKind::kFin) {
     n_.fins_sent.fetch_add(1, std::memory_order_relaxed);
   } else {
     s.last_data_frame = bytes;
@@ -303,8 +436,59 @@ void SessionMux::emit(Session& s, FrameKind kind, sim::MsgId msg) {
   if (cfg_.probe != nullptr) cfg_.probe->on_frame_sent(s.id, f);
 }
 
+void SessionMux::release_held(Session& s) {
+  for (auto& [f, bytes] : s.held) send_now(s, f, bytes);
+  s.held.clear();
+}
+
+void SessionMux::flush_shard(Shard& shard, bool force) {
+  StoreSlot& slot = *slots_[shard.slot];
+  std::vector<std::string> batch;
+  std::uint64_t batch_bytes = 0;
+  for (const std::size_t idx : shard.members) {
+    Session& s = *sessions_[idx];
+    if (!s.dirty && !force) continue;
+    s.dirty = false;
+    store::SessionManifest m;
+    m.session = s.id;
+    m.is_sender = s.is_sender;
+    m.epoch = epoch_;
+    m.seq = 0;  // assigned below, only when the state actually moved
+    m.proto_tag = store::proto_tag_of(s.endpoint->name());
+    m.position = s.endpoint->items_done();
+    m.completed = s.state == SessionState::kCompleted;
+    m.endpoint_state = s.endpoint->save_state();
+    // With seq pinned to 0 the payload is a pure state signature:
+    // identical signature -> nothing moved -> no record (keepalive-only
+    // sweeps cost no log growth).
+    std::string sig = m.to_payload();
+    if (sig == s.last_sig) continue;
+    s.last_sig = std::move(sig);
+    m.seq = ckpt_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::string payload = m.to_payload();
+    batch_bytes += payload.size();
+    batch.push_back(std::move(payload));
+  }
+  if (!batch.empty()) {
+    {
+      // Group commit: one append_batch (== one sync) for the whole shard.
+      std::lock_guard<std::mutex> hold(slot.mu);
+      slot.store->append_batch(batch);
+    }
+    n_.ckpt_flushes.fetch_add(1, std::memory_order_relaxed);
+    n_.ckpt_records.fetch_add(batch.size(), std::memory_order_relaxed);
+    n_.ckpt_bytes.fetch_add(batch_bytes, std::memory_order_relaxed);
+  }
+  // Everything held is now covered by a durable record (this batch, or
+  // an earlier one when the signature never moved): release.
+  for (const std::size_t idx : shard.members) {
+    release_held(*sessions_[idx]);
+  }
+}
+
 void SessionMux::finalize(Session& s, SessionState state) {
   s.state = state;
+  s.dirty = true;  // the terminal state itself is worth a manifest record
   switch (state) {
     case SessionState::kCompleted:
       n_.completed.fetch_add(1, std::memory_order_relaxed);
@@ -314,6 +498,9 @@ void SessionMux::finalize(Session& s, SessionState state) {
       break;
     case SessionState::kEvicted:
       n_.evicted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SessionState::kRecoveryViolation:
+      n_.recovery_violated.fetch_add(1, std::memory_order_relaxed);
       break;
     case SessionState::kActive:
       break;
@@ -335,6 +522,12 @@ NetStats SessionMux::stats() const {
   out.sessions_completed = n_.completed.load(std::memory_order_relaxed);
   out.sessions_violated = n_.violated.load(std::memory_order_relaxed);
   out.sessions_evicted = n_.evicted.load(std::memory_order_relaxed);
+  out.sessions_recovery_violated =
+      n_.recovery_violated.load(std::memory_order_relaxed);
+  out.rehydrated_sessions = n_.rehydrated.load(std::memory_order_relaxed);
+  out.checkpoint_flushes = n_.ckpt_flushes.load(std::memory_order_relaxed);
+  out.checkpoint_records = n_.ckpt_records.load(std::memory_order_relaxed);
+  out.checkpoint_bytes = n_.ckpt_bytes.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -347,6 +540,7 @@ std::vector<SessionReport> SessionMux::reports() const {
     SessionReport r;
     r.id = s->id;
     r.is_sender = s->is_sender;
+    r.rehydrated = s->rehydrated;
     r.state = s->state;
     r.endpoint = s->endpoint->name();
     r.items = s->endpoint->items_done();
@@ -367,6 +561,10 @@ void SessionMux::publish_metrics(obs::MetricsRegistry& reg) const {
   reg.counter("net.frames.shed").inc(st.frames_shed);
   reg.counter("net.fins.sent").inc(st.fins_sent);
   reg.counter("net.items.done").inc(st.items_done);
+  reg.counter("net.rehydrated_sessions").inc(st.rehydrated_sessions);
+  reg.counter("net.checkpoint_flushes").inc(st.checkpoint_flushes);
+  reg.counter("net.checkpoint_records").inc(st.checkpoint_records);
+  reg.counter("net.checkpoint_bytes").inc(st.checkpoint_bytes);
   reg.gauge("net.sessions.active")
       .set(static_cast<std::int64_t>(active_sessions()));
   auto& rtt = reg.histogram("net.ack_rtt_us", obs::pow2_bounds(24));

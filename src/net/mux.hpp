@@ -23,20 +23,38 @@
 //   * Idle-session eviction: a session that has received nothing for
 //     `idle_eviction_sweeps` sweeps is evicted (dead peer) — terminal,
 //     like completion, but distinguishable in the verdict.
+//   * Durability (optional; docs/RECOVERY.md): give MuxConfig one or
+//     more IStableStore session logs and every session is checkpointed
+//     as a manifest record on a sweep cadence, group-committed per shard
+//     (one append_batch per shard flush, so 10k sessions never mean 10k
+//     syncs).  Receiver-side outbound frames (cumulative acks, FINs) are
+//     HELD until the checkpoint covering the acked state is durable —
+//     the write-ahead rule that makes a crash-restart rewind invisible
+//     to the peer.  rehydrate() on a fresh mux re-admits every
+//     manifested session through a caller-supplied endpoint factory and
+//     restores it via save_state()/restore_state().  A restore that
+//     witnesses an inconsistency is kRecoveryViolation — loud, never
+//     silent corruption.
 //   * stop() drains gracefully: the pump is retired first (no new
 //     inbound), each worker performs a final inbox-drain sweep, then
-//     joins.
+//     joins.  drain() additionally arms a final checkpoint flush (and
+//     session-log compaction) on that last sweep; a bare stop() is the
+//     crash-shaped shutdown — buffered checkpoints are lost, the log
+//     still rehydrates cleanly.
 //
 // Thread-safety invariants: session objects are touched only by their
 // shard's worker; NetCounters are atomics; the transport must be
 // thread-safe (both provided implementations are); an attached INetProbe
-// must be thread-safe (hooks fire concurrently from workers and pump).
+// must be thread-safe (hooks fire concurrently from workers and pump);
+// session stores are NOT assumed thread-safe — the mux serializes access
+// per store with its own mutex.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -47,6 +65,7 @@
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "proto/session_adapter.hpp"
+#include "store/session_log.hpp"
 
 namespace stpx::net {
 
@@ -56,6 +75,13 @@ enum class SessionState : std::uint8_t {
   kCompleted,        // receiver: tape == expected; sender: FIN received
   kSafetyViolation,  // receiver wrote a non-prefix item
   kEvicted,          // idle past the eviction threshold
+  // Post-restart safety break, kept distinct from a live kSafetyViolation
+  // (the wire analogue of sim::RunVerdict::kRecoveryViolation): the
+  // durable manifest was inconsistent at restore (e.g. a rehydrated tape
+  // that is not a prefix of the expected sequence), or a rehydrated
+  // session's peer never reappeared (progress the log attests to was
+  // lost beyond what retransmission can heal).
+  kRecoveryViolation,
 };
 
 constexpr const char* to_cstr(SessionState s) {
@@ -64,6 +90,7 @@ constexpr const char* to_cstr(SessionState s) {
     case SessionState::kCompleted: return "completed";
     case SessionState::kSafetyViolation: return "safety-violation";
     case SessionState::kEvicted: return "evicted";
+    case SessionState::kRecoveryViolation: return "recovery-violation";
   }
   return "?";
 }
@@ -95,6 +122,16 @@ class INetProbe {
     (void)session;
     (void)s;
   }
+  /// A manifested session was re-admitted by rehydrate(): `position` is
+  /// the restored items_done() and `s` the state it rehydrated into
+  /// (kActive, kCompleted, or kRecoveryViolation).  Fires before
+  /// start(), single-threaded.
+  virtual void on_rehydrate(std::uint32_t session, std::size_t position,
+                            SessionState s) {
+    (void)session;
+    (void)position;
+    (void)s;
+  }
 };
 
 /// A ready-made INetProbe: atomic tallies, enough for tests and demos.
@@ -110,6 +147,10 @@ class CountingNetProbe final : public INetProbe {
     if (s == SessionState::kCompleted) ++completed_;
     if (s == SessionState::kSafetyViolation) ++violated_;
     if (s == SessionState::kEvicted) ++evicted_;
+    if (s == SessionState::kRecoveryViolation) ++recovery_violated_;
+  }
+  void on_rehydrate(std::uint32_t, std::size_t, SessionState) override {
+    ++rehydrated_;
   }
 
   std::uint64_t sent() const { return sent_; }
@@ -119,10 +160,13 @@ class CountingNetProbe final : public INetProbe {
   std::uint64_t completed() const { return completed_; }
   std::uint64_t violated() const { return violated_; }
   std::uint64_t evicted() const { return evicted_; }
+  std::uint64_t recovery_violated() const { return recovery_violated_; }
+  std::uint64_t rehydrated() const { return rehydrated_; }
 
  private:
   std::atomic<std::uint64_t> sent_{0}, received_{0}, rejected_{0},
-      items_{0}, completed_{0}, violated_{0}, evicted_{0};
+      items_{0}, completed_{0}, violated_{0}, evicted_{0},
+      recovery_violated_{0}, rehydrated_{0};
 };
 
 struct MuxConfig {
@@ -151,6 +195,20 @@ struct MuxConfig {
   std::chrono::microseconds poll_backoff{50};
   /// Optional observer (non-owning, must be thread-safe).
   INetProbe* probe = nullptr;
+  /// Session checkpoint logs (non-owning; empty = volatile sessions).
+  /// Shard i commits to stores[i % size], so giving one store per worker
+  /// removes all cross-shard store contention.  The mux never resets the
+  /// stores — the caller does, once, before the FIRST server generation
+  /// (a restart must find the previous generation's records).
+  std::vector<store::IStableStore*> session_stores;
+  /// Checkpoint (and release held receiver frames) every N sweeps.
+  std::uint64_t checkpoint_every_sweeps = 1;
+  /// A rehydrated session that has seen NO inbound frame for this many
+  /// sweeps is flagged kRecoveryViolation instead of waiting forever
+  /// (0 = off): its manifest attests to an unfinished exchange with a
+  /// live peer, the wire shows none — the crash lost progress (e.g. a
+  /// completion record) beyond what retransmission can heal.
+  std::uint64_t rehydrate_idle_violation_sweeps = 0;
 };
 
 /// Aggregate mux counters (a consistent-enough snapshot of atomics).
@@ -165,12 +223,18 @@ struct NetStats {
   std::uint64_t sessions_completed = 0;
   std::uint64_t sessions_violated = 0;
   std::uint64_t sessions_evicted = 0;
+  std::uint64_t sessions_recovery_violated = 0;
+  std::uint64_t rehydrated_sessions = 0;
+  std::uint64_t checkpoint_flushes = 0;  // non-empty group commits
+  std::uint64_t checkpoint_records = 0;  // manifest records appended
+  std::uint64_t checkpoint_bytes = 0;    // manifest payload bytes appended
 };
 
 /// Post-run, per-session outcome.
 struct SessionReport {
   std::uint32_t id = 0;
   bool is_sender = false;
+  bool rehydrated = false;  // re-admitted from a manifest by rehydrate()
   SessionState state = SessionState::kActive;
   std::string endpoint;
   std::size_t items = 0;
@@ -179,6 +243,18 @@ struct SessionReport {
   /// Send-to-next-inbound round-trip samples, microseconds (sender
   /// sessions; mirrors the engine metric ack_rtt).
   std::vector<std::uint64_t> ack_rtt_us;
+};
+
+/// What rehydrate() found and did (docs/RECOVERY.md).
+struct RehydrateReport {
+  std::size_t sessions = 0;       ///< manifested sessions re-admitted
+  std::size_t completed = 0;      ///< restored directly into kCompleted
+  std::size_t violations = 0;     ///< flagged kRecoveryViolation at restore
+  std::size_t cold_restores = 0;  ///< unusable blobs → cold-started endpoints
+  std::size_t declined = 0;       ///< factory returned nullptr (not re-admitted)
+  std::uint64_t records_scanned = 0;  ///< valid manifest records replayed
+  std::uint64_t records_skipped = 0;  ///< damaged/foreign records skipped
+  std::vector<std::uint64_t> restore_latency_us;  ///< per-session
 };
 
 class SessionMux {
@@ -198,16 +274,43 @@ class SessionMux {
 
   std::size_t session_count() const { return sessions_.size(); }
 
+  /// Builds the endpoint for one manifested session during rehydrate();
+  /// return nullptr to decline (e.g. a proto_tag this host cannot serve).
+  using SessionFactory = std::function<std::unique_ptr<proto::ISessionEndpoint>(
+      const store::SessionManifest&)>;
+
+  /// Restart-time recovery (before start(); requires session_stores):
+  /// replay every session log, fold newest-per-session by (epoch, seq),
+  /// and re-admit each manifested session with an endpoint built by
+  /// `factory` and restored via restore_state().  Completed manifests
+  /// rehydrate straight into kCompleted (still answering retransmits
+  /// with re-FINs); inconsistent ones into kRecoveryViolation; unusable
+  /// blobs cold-start and re-earn their progress.  Bumps the manifest
+  /// epoch past everything seen, so this generation's records supersede
+  /// the crashed one's.
+  RehydrateReport rehydrate(const SessionFactory& factory);
+
   /// Spawn the pump and worker threads.
   void start();
 
   /// Wait (polling) until every session is terminal or `timeout` elapses.
-  /// Returns true when all sessions reached a terminal state.
+  /// Returns true when all sessions reached a terminal state.  Also arms
+  /// the final-sweep checkpoint flush + session-log compaction in
+  /// stop() — drain-then-stop is the graceful, fully-flushed shutdown;
+  /// a bare stop() is the crash-shaped one.
   bool drain(std::chrono::milliseconds timeout);
 
   /// Graceful shutdown: retire the pump, final-sweep the shards, join.
   /// Idempotent; the destructor calls it.
   void stop();
+
+  /// Crash-shaped shutdown for restart drills: retire the threads WITHOUT
+  /// the final drain sweep, checkpoint flush, or log compaction — the
+  /// session log is left exactly as of the last cadence flush and held
+  /// (durability-gated) frames are dropped, which is what a process kill
+  /// leaves behind.  Rehydrate a fresh mux from the same stores to model
+  /// the restart.
+  void kill();
 
   bool all_terminal() const {
     return terminal_.load(std::memory_order_acquire) == sessions_.size();
@@ -231,6 +334,7 @@ class SessionMux {
   struct Session {
     std::uint32_t id = 0;
     bool is_sender = false;
+    bool rehydrated = false;  // re-admitted from a manifest
     std::unique_ptr<proto::ISessionEndpoint> endpoint;
     SessionState state = SessionState::kActive;
     // --- inbox: filled by the pump under the shard mutex ----------------
@@ -243,6 +347,12 @@ class SessionMux {
     std::uint64_t quiet_sweeps = 0;  // sweeps since last outbound frame
     std::size_t items_reported = 0;  // probe on_item high-water mark
     bool refin_pending = false;      // completed receiver saw a retransmit
+    bool dirty = false;              // state may have moved since last flush
+    std::string last_sig;            // last checkpointed state signature
+    // Receiver frames gated on durability: held until the covering
+    // checkpoint commits, released by flush_shard (bounded; overflow
+    // drops the oldest — indistinguishable from wire loss).
+    std::vector<std::pair<Frame, std::vector<std::uint8_t>>> held;
     std::vector<std::uint8_t> last_data_frame;  // keepalive payload
     std::deque<std::chrono::steady_clock::time_point> pending_sends;
     std::vector<std::uint64_t> ack_rtt_us;
@@ -251,6 +361,15 @@ class SessionMux {
   struct Shard {
     std::mutex mu;  // guards the inboxes of this shard's sessions
     std::vector<std::size_t> members;  // indices into sessions_
+    std::uint64_t sweep_no = 0;        // drives the checkpoint cadence
+    std::size_t slot = 0;              // index into slots_
+  };
+
+  /// One session store plus the mutex serializing shard access to it
+  /// (stores are not thread-safe; slots may be shared by shards).
+  struct StoreSlot {
+    store::IStableStore* store = nullptr;
+    std::mutex mu;
   };
 
   void pump_loop(std::stop_token st);
@@ -260,7 +379,15 @@ class SessionMux {
   void deliver(Session& s, const Frame& f);
   void step_session(Session& s);
   void emit(Session& s, FrameKind kind, sim::MsgId msg);
+  /// The unconditional tail of emit(): transport send + accounting.
+  void send_now(Session& s, const Frame& f,
+                const std::vector<std::uint8_t>& bytes);
+  /// Group-commit every dirty session of the shard as one manifest
+  /// batch, then release all held frames (they are now covered).
+  void flush_shard(Shard& shard, bool force);
+  void release_held(Session& s);
   void finalize(Session& s, SessionState state);
+  bool durable() const { return !slots_.empty(); }
   /// Route one decoded frame to its session's inbox.
   void route(const Frame& f);
 
@@ -268,16 +395,23 @@ class SessionMux {
   MuxConfig cfg_;
   std::vector<std::unique_ptr<Session>> sessions_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<StoreSlot>> slots_;
   // id -> sessions_ index; read-only after start().
   std::vector<std::pair<std::uint32_t, std::size_t>> index_;
   bool started_ = false;
   bool stopped_ = false;
+  std::atomic<bool> flush_on_stop_{false};  // armed by drain()
+  std::atomic<bool> killed_{false};         // armed by kill()
+  std::uint64_t epoch_ = 1;                 // manifest generation
+  std::atomic<std::uint64_t> ckpt_seq_{0};  // manifest append order
 
   std::atomic<std::size_t> terminal_{0};
   struct Counters {
     std::atomic<std::uint64_t> frames_sent{0}, frames_received{0},
         frames_rejected{0}, frames_unknown{0}, frames_shed{0}, fins_sent{0},
-        items_done{0}, completed{0}, violated{0}, evicted{0};
+        items_done{0}, completed{0}, violated{0}, evicted{0},
+        recovery_violated{0}, rehydrated{0}, ckpt_flushes{0},
+        ckpt_records{0}, ckpt_bytes{0};
   } n_;
 
   std::vector<std::jthread> workers_;

@@ -15,8 +15,12 @@ bool run_service_pair(StpClient& client, StpServer& server,
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  // Stop the client first: it stops generating traffic, then the server
-  // drains whatever the pump already routed.
+  // This is the graceful path: arm the final checkpoint flush + log
+  // compaction on both ends (drain() arms even when already terminal or
+  // timed out), then stop the client first — it stops generating traffic,
+  // and the server drains whatever the pump already routed.
+  client.mux().drain(std::chrono::milliseconds(0));
+  server.mux().drain(std::chrono::milliseconds(0));
   client.mux().stop();
   server.mux().stop();
   return done;

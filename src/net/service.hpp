@@ -14,9 +14,17 @@
 // run_service_pair() is the in-process harness shape: start both ends
 // over a transport pair, wait for every session to reach a terminal
 // state, stop both gracefully.
+//
+// Crash-restart (docs/RECOVERY.md): construct the mux with session
+// stores and a killed server is rebuilt by constructing a fresh
+// StpServer on the SAME transport endpoint and stores and calling
+// rehydrate() with per-session protocol/expectation providers — every
+// manifested session is re-admitted where its newest durable checkpoint
+// left it.
 #pragma once
 
 #include <chrono>
+#include <functional>
 
 #include "net/mux.hpp"
 
@@ -24,6 +32,14 @@ namespace stpx::net {
 
 class StpServer {
  public:
+  /// Builds the protocol receiver for one manifested session; return
+  /// nullptr to decline.  `proto_tag` is store::proto_tag_of(the saved
+  /// endpoint name) — refuse tags you cannot serve.
+  using ReceiverFactory = std::function<std::unique_ptr<sim::IReceiver>(
+      std::uint32_t id, std::uint64_t proto_tag)>;
+  /// The expected sequence for one manifested session.
+  using ExpectedProvider = std::function<seq::Sequence(std::uint32_t id)>;
+
   /// `transport` is the server-side endpoint (non-owning, must outlive).
   StpServer(ITransport* transport, MuxConfig cfg) : mux_(transport, cfg) {}
 
@@ -36,6 +52,22 @@ class StpServer {
                      /*is_sender=*/false);
   }
 
+  /// Re-admit every receiver session manifested in the session stores
+  /// (before start()).  Sender manifests are declined — a server hosts
+  /// receivers only.
+  RehydrateReport rehydrate(const ReceiverFactory& make_receiver,
+                            const ExpectedProvider& expected_for) {
+    return mux_.rehydrate(
+        [&](const store::SessionManifest& m)
+            -> std::unique_ptr<proto::ISessionEndpoint> {
+          if (m.is_sender) return nullptr;
+          auto receiver = make_receiver(m.session, m.proto_tag);
+          if (!receiver) return nullptr;
+          return std::make_unique<proto::ReceiverSessionEndpoint>(
+              std::move(receiver), expected_for(m.session));
+        });
+  }
+
   SessionMux& mux() { return mux_; }
   const SessionMux& mux() const { return mux_; }
 
@@ -45,6 +77,13 @@ class StpServer {
 
 class StpClient {
  public:
+  /// Builds the protocol sender for one manifested session; nullptr
+  /// declines.
+  using SenderFactory = std::function<std::unique_ptr<sim::ISender>(
+      std::uint32_t id, std::uint64_t proto_tag)>;
+  /// The input sequence for one manifested session.
+  using InputProvider = std::function<seq::Sequence(std::uint32_t id)>;
+
   /// `transport` is the client-side endpoint (non-owning, must outlive).
   StpClient(ITransport* transport, MuxConfig cfg) : mux_(transport, cfg) {}
 
@@ -54,6 +93,21 @@ class StpClient {
                      std::make_unique<proto::SenderSessionEndpoint>(
                          std::move(sender), std::move(x)),
                      /*is_sender=*/true);
+  }
+
+  /// Re-admit every sender session manifested in the session stores
+  /// (before start()).  Receiver manifests are declined.
+  RehydrateReport rehydrate(const SenderFactory& make_sender,
+                            const InputProvider& input_for) {
+    return mux_.rehydrate(
+        [&](const store::SessionManifest& m)
+            -> std::unique_ptr<proto::ISessionEndpoint> {
+          if (!m.is_sender) return nullptr;
+          auto sender = make_sender(m.session, m.proto_tag);
+          if (!sender) return nullptr;
+          return std::make_unique<proto::SenderSessionEndpoint>(
+              std::move(sender), input_for(m.session));
+        });
   }
 
   SessionMux& mux() { return mux_; }

@@ -2,9 +2,24 @@
 
 #include <utility>
 
+#include "proto/durable.hpp"
+#include "util/blob.hpp"
 #include "util/expect.hpp"
 
 namespace stpx::proto {
+
+namespace {
+// Adapter blob tags — distinct from every protocol's own state tag, so a
+// raw protocol blob cannot masquerade as an adapter blob (and vice
+// versa).  The protocol blob nests inside as one length-prefixed vec.
+constexpr std::int64_t kSenderAdapterTag = 201;
+constexpr std::int64_t kReceiverAdapterTag = 202;
+
+std::vector<std::int64_t> nested_tokens(const std::string& blob) {
+  auto toks = util::blob_tokens(blob);
+  return toks ? std::move(*toks) : std::vector<std::int64_t>{};
+}
+}  // namespace
 
 SenderSessionEndpoint::SenderSessionEndpoint(
     std::unique_ptr<sim::ISender> sender, seq::Sequence x)
@@ -23,6 +38,36 @@ void SenderSessionEndpoint::on_deliver(sim::MsgId msg) {
 std::optional<sim::MsgId> SenderSessionEndpoint::step() {
   if (finished_) return std::nullopt;
   return sender_->on_step().send;
+}
+
+std::string SenderSessionEndpoint::save_state() const {
+  util::BlobWriter w;
+  w.i64(kSenderAdapterTag);
+  w.boolean(finished_);
+  w.vec(nested_tokens(sender_->save_state()));
+  return w.str();
+}
+
+bool SenderSessionEndpoint::restore_state(const std::string& blob) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  bool finished = false;
+  std::vector<std::int64_t> inner_toks;
+  if (!r.i64(tag) || tag != kSenderAdapterTag || !r.boolean(finished) ||
+      !r.vec(inner_toks) || !r.done()) {
+    return false;
+  }
+  if (finished) {
+    // The peer durably confirmed full receipt; protocol state is moot.
+    finished_ = true;
+    return true;
+  }
+  const std::string inner = util::blob_join(inner_toks);
+  // No (or unusable) protocol state: the ctor already cold-started the
+  // sender, which for every stpx sender means "resend from the front" —
+  // safe, so report a cold restore and keep running.
+  if (inner.empty()) return false;
+  return sender_->restore_state(inner);
 }
 
 ReceiverSessionEndpoint::ReceiverSessionEndpoint(
@@ -51,6 +96,43 @@ std::optional<sim::MsgId> ReceiverSessionEndpoint::step() {
     y_.push_back(item);
   }
   return eff.send;
+}
+
+std::string ReceiverSessionEndpoint::save_state() const {
+  util::BlobWriter w;
+  w.i64(kReceiverAdapterTag);
+  w.boolean(safety_ok_);
+  write_items(w, y_);
+  w.vec(nested_tokens(receiver_->save_state()));
+  return w.str();
+}
+
+bool ReceiverSessionEndpoint::restore_state(const std::string& blob) {
+  util::BlobReader r(blob);
+  std::int64_t tag = 0;
+  bool saved_ok = true;
+  std::vector<seq::DataItem> tape;
+  std::vector<std::int64_t> inner_toks;
+  if (!r.i64(tag) || tag != kReceiverAdapterTag || !r.boolean(saved_ok) ||
+      !read_items(r, tape) || !r.vec(inner_toks) || !r.done()) {
+    return false;
+  }
+  y_.assign(tape.begin(), tape.end());
+  safety_ok_ = saved_ok;
+  // The tape is externalized state.  A restored tape that is not a prefix
+  // of the expected sequence means the durable log attests to a delivery
+  // this session never should have made — a recovery violation the
+  // caller must surface, never a truncate-and-carry-on.
+  if (!seq::is_prefix(y_, expected_)) safety_ok_ = false;
+  if (!safety_ok_) return true;  // restored, and provably broken
+  const std::string inner = util::blob_join(inner_toks);
+  if (!inner.empty() && receiver_->restore_state(inner, y_)) return true;
+  // Unusable protocol state: fall back to a cold receiver.  The tape
+  // cannot be kept — a cold receiver re-delivers from the front, and
+  // appending that onto a non-empty y_ would double-deliver.
+  y_.clear();
+  receiver_->start();
+  return false;
 }
 
 }  // namespace stpx::proto

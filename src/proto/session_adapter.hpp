@@ -58,6 +58,21 @@ class ISessionEndpoint {
   virtual std::size_t items_done() const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Durable-state plumbing for the session manifest (docs/RECOVERY.md).
+  /// save_state() is an opaque blob (empty = nothing durable yet);
+  /// restore_state() rebuilds a freshly-constructed endpoint from one.
+  /// A false return means the blob was unusable and the endpoint is in
+  /// its cold-started state — safe to run, durable position lost.  A
+  /// true return with safety_ok() == false means the blob itself
+  /// witnessed an inconsistency (e.g. a restored tape that is not a
+  /// prefix of the expected sequence): the caller must surface that as a
+  /// recovery violation, never run the session as if nothing happened.
+  virtual std::string save_state() const { return {}; }
+  virtual bool restore_state(const std::string& blob) {
+    (void)blob;
+    return false;
+  }
 };
 
 /// Wraps an ISender and its input sequence.  done() flips when finish()
@@ -77,6 +92,8 @@ class SenderSessionEndpoint final : public ISessionEndpoint {
     return finished_ ? x_.size() : 0;
   }
   std::string name() const override { return sender_->name(); }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob) override;
 
   /// The peer confirmed full receipt (FIN).
   void finish() { finished_ = true; }
@@ -104,6 +121,8 @@ class ReceiverSessionEndpoint final : public ISessionEndpoint {
   bool safety_ok() const override { return safety_ok_; }
   std::size_t items_done() const override { return y_.size(); }
   std::string name() const override { return receiver_->name(); }
+  std::string save_state() const override;
+  bool restore_state(const std::string& blob) override;
 
   const seq::Sequence& output() const { return y_; }
   const seq::Sequence& expected() const { return expected_; }

@@ -10,7 +10,8 @@ constexpr std::int64_t kSenderTag = 101;
 constexpr std::int64_t kReceiverTag = 102;
 }  // namespace
 
-StenningSender::StenningSender(int domain_size) : domain_size_(domain_size) {
+StenningSender::StenningSender(int domain_size, bool ack_rewind)
+    : domain_size_(domain_size), ack_rewind_(ack_rewind) {
   STPX_EXPECT(domain_size >= 1, "StenningSender: domain must be non-empty");
 }
 
@@ -19,6 +20,8 @@ void StenningSender::start(const seq::Sequence& x) {
               "StenningSender: input outside domain");
   x_ = x;
   next_ = 0;
+  low_ack_ = -1;
+  dup_low_acks_ = 0;
 }
 
 sim::SenderEffect StenningSender::on_step() {
@@ -34,6 +37,21 @@ void StenningSender::on_deliver(sim::MsgId msg) {
   STPX_EXPECT(written_count >= 0, "StenningSender: malformed ack");
   if (static_cast<std::size_t>(written_count) > next_) {
     next_ = static_cast<std::size_t>(written_count);
+    low_ack_ = -1;
+    dup_low_acks_ = 0;
+  } else if (ack_rewind_ && static_cast<std::size_t>(written_count) < next_) {
+    // Dup-ack go-back (see the ctor comment): the receiver keeps acking a
+    // frontier below ours, so it durably rewound — adopt its frontier.
+    if (low_ack_ == written_count) {
+      if (++dup_low_acks_ >= kDupAckRewind) {
+        next_ = static_cast<std::size_t>(written_count);
+        low_ack_ = -1;
+        dup_low_acks_ = 0;
+      }
+    } else {
+      low_ack_ = written_count;
+      dup_low_acks_ = 1;
+    }
   }
 }
 

@@ -29,7 +29,18 @@ namespace stpx::proto {
 
 class StenningSender final : public sim::ISender {
  public:
-  explicit StenningSender(int domain_size);
+  /// ack_rewind arms dup-ack go-back, the wire layer's receiver-amnesia
+  /// healing (off by default; engine runs keep the classic behaviour):
+  /// a cumulative ack strictly below the cursor, repeated kDupAckRewind
+  /// times with the same value, means the receiver durably rewound (its
+  /// newest checkpoints were lost in a storage fault) — the sender
+  /// adopts the receiver's frontier and refills the gap.  Going back is
+  /// always safe: resending delivered items is just retransmission, so a
+  /// spurious rewind triggered by stale reordered acks costs bounded
+  /// retransmission, never safety.
+  explicit StenningSender(int domain_size, bool ack_rewind = false);
+
+  static constexpr int kDupAckRewind = 3;
 
   void start(const seq::Sequence& x) override;
   sim::SenderEffect on_step() override;
@@ -44,8 +55,11 @@ class StenningSender final : public sim::ISender {
 
  private:
   int domain_size_;
+  bool ack_rewind_;
   seq::Sequence x_;
-  std::size_t next_ = 0;  // first unacknowledged index
+  std::size_t next_ = 0;       // first unacknowledged index
+  std::int64_t low_ack_ = -1;  // last ack seen strictly below next_
+  int dup_low_acks_ = 0;       // consecutive repeats of low_ack_
 };
 
 class StenningReceiver final : public sim::IReceiver {

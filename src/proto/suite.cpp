@@ -24,8 +24,8 @@ ProtocolPair make_abp(int domain_size) {
           std::make_unique<AbpReceiver>(domain_size)};
 }
 
-ProtocolPair make_stenning(int domain_size) {
-  return {std::make_unique<StenningSender>(domain_size),
+ProtocolPair make_stenning(int domain_size, bool sender_ack_rewind) {
+  return {std::make_unique<StenningSender>(domain_size, sender_ack_rewind),
           std::make_unique<StenningReceiver>(domain_size)};
 }
 

@@ -39,8 +39,10 @@ ProtocolPair make_repfree_flood(int domain_size);
 /// Alternating Bit Protocol — FIFO channels with loss/duplication only.
 ProtocolPair make_abp(int domain_size);
 
-/// Stenning's protocol — any channel; unbounded headers.
-ProtocolPair make_stenning(int domain_size);
+/// Stenning's protocol — any channel; unbounded headers.  The optional
+/// flag arms the sender's dup-ack go-back (wire-layer receiver-amnesia
+/// healing, see StenningSender); engine runs leave it off.
+ProtocolPair make_stenning(int domain_size, bool sender_ack_rewind = false);
 
 /// Stenning with mod-K tags — finite alphabet (K|D| + K messages); correct
 /// on FIFO channels, provably (and demonstrably) broken under reordering

@@ -56,6 +56,11 @@ std::size_t next_magic(const std::string& buf, std::size_t from) {
 
 }  // namespace
 
+void IStableStore::append_batch(const std::vector<std::string>& states) {
+  for (const std::string& s : states) append(s);
+  sync();
+}
+
 std::string encode_record(const std::string& payload) {
   std::string out;
   out.reserve(kHeaderSize + payload.size());
@@ -142,6 +147,20 @@ RecoveredState StoreImage::recover() const {
   return out;
 }
 
+ReplayResult StoreImage::replay() const {
+  ReplayResult out;
+  for (const std::string* buf : {&snapshot, &log}) {
+    for (auto& u : parse_records(*buf)) {
+      if (u.valid) {
+        out.payloads.push_back(std::move(u.payload));
+      } else {
+        ++out.records_skipped;
+      }
+    }
+  }
+  return out;
+}
+
 void StoreImage::lose_tail(std::uint64_t n) {
   const auto units = parse_records(log);
   const std::uint64_t keep =
@@ -213,9 +232,18 @@ void write_file(const std::filesystem::path& p, const std::string& bytes) {
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
+void append_file(const std::filesystem::path& p, const std::string& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::app);
+  STPX_EXPECT(static_cast<bool>(out), "FileStore: cannot open " + p.string());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
 }  // namespace
 
-FileStore::FileStore(std::string dir) : dir_(std::move(dir)) {
+FileStore::FileStore(std::string dir, FileStoreConfig cfg)
+    : dir_(std::move(dir)),
+      cfg_(cfg),
+      last_sync_(std::chrono::steady_clock::now()) {
   std::filesystem::create_directories(dir_);
 }
 
@@ -226,7 +254,6 @@ StoreImage FileStore::load() const {
   img.snapshot = read_file(d / "snapshot");
   img.snapshot_old = read_file(d / "snapshot.old");
   img.log_old = read_file(d / "log.old");
-  img.torn_next = torn_next_;
   return img;
 }
 
@@ -238,44 +265,94 @@ void FileStore::flush(const StoreImage& img) const {
   write_file(d / "log.old", img.log_old);
 }
 
+std::string FileStore::encode_next(const std::string& state) {
+  std::string rec = encode_record(state);
+  if (torn_next_) {
+    rec.resize(rec.size() / 2);  // truncated mid-write
+    torn_next_ = false;
+  }
+  return rec;
+}
+
 void FileStore::reset() {
   StoreImage img;
   flush(img);
   torn_next_ = false;
   appends_ = 0;
+  syncs_ = 0;
+  pending_.clear();
+  pending_records_ = 0;
+  last_sync_ = std::chrono::steady_clock::now();
 }
 
 void FileStore::append(const std::string& state) {
-  StoreImage img = load();
-  img.append(state);
-  torn_next_ = img.torn_next;
-  flush(img);
+  pending_ += encode_next(state);
+  ++pending_records_;
   ++appends_;
+  const bool by_count =
+      cfg_.sync_every_n > 0 && pending_records_ >= cfg_.sync_every_n;
+  const bool by_time =
+      cfg_.sync_interval.count() > 0 &&
+      std::chrono::steady_clock::now() - last_sync_ >= cfg_.sync_interval;
+  if (by_count || by_time) sync();
+}
+
+void FileStore::append_batch(const std::vector<std::string>& states) {
+  // Group commit: frame everything, then one disk write for the batch.
+  for (const std::string& s : states) {
+    pending_ += encode_next(s);
+    ++pending_records_;
+    ++appends_;
+  }
+  sync();
+}
+
+void FileStore::sync() {
+  last_sync_ = std::chrono::steady_clock::now();
+  if (pending_records_ == 0 && pending_.empty()) return;
+  append_file(std::filesystem::path(dir_) / "log", pending_);
+  pending_.clear();
+  pending_records_ = 0;
+  ++syncs_;
 }
 
 void FileStore::compact() {
+  sync();
   StoreImage img = load();
   img.compact();
   flush(img);
 }
 
-RecoveredState FileStore::recover() { return load().recover(); }
+RecoveredState FileStore::recover() {
+  // Self-recovery sees buffered appends too; only abandoning the object
+  // (a real process death) loses the unsynced tail.
+  sync();
+  return load().recover();
+}
+
+ReplayResult FileStore::replay() {
+  sync();
+  return load().replay();
+}
 
 void FileStore::fault_torn_next_append() { torn_next_ = true; }
 
 void FileStore::fault_lose_tail(std::uint64_t n) {
+  sync();
   StoreImage img = load();
   img.lose_tail(n);
   flush(img);
 }
 
 void FileStore::fault_corrupt_record() {
+  sync();
   StoreImage img = load();
   img.corrupt_record();
   flush(img);
 }
 
 void FileStore::fault_stale_snapshot() {
+  sync();
   StoreImage img = load();
   img.stale_snapshot();
   flush(img);

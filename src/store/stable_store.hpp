@@ -26,6 +26,7 @@
 // never occur inside a payload and a damaged region is re-synced by
 // scanning for the next magic.
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -40,6 +41,16 @@ struct RecoveredState {
   std::uint64_t records_skipped = 0;   ///< damaged records detected + skipped
 };
 
+/// Every valid payload in the store, oldest first (snapshot, then log),
+/// for logs that multiplex records of independent streams (e.g. one
+/// manifest record per network session): recover() collapses to the
+/// newest record, replay() keeps them all so the reader can fold
+/// newest-per-stream itself.
+struct ReplayResult {
+  std::vector<std::string> payloads;
+  std::uint64_t records_skipped = 0;  ///< damaged records detected + skipped
+};
+
 class IStableStore {
  public:
   virtual ~IStableStore() = default;
@@ -48,10 +59,21 @@ class IStableStore {
   virtual void reset() = 0;
   /// Append one full-state checkpoint record.
   virtual void append(const std::string& state) = 0;
+  /// Group commit: append every record, then make the batch durable with
+  /// a single sync — the unit the session mux uses so that 10k sessions
+  /// cost one flush per shard sweep, not 10k.  The default is
+  /// append-per-record + one sync(); stores with real write batching
+  /// (FileStore) override it.
+  virtual void append_batch(const std::vector<std::string>& states);
+  /// Make buffered appends durable now.  No-op for stores that write
+  /// through (MemStore; FileStore with sync_every_n == 1).
+  virtual void sync() {}
   /// Fold the log into the snapshot area and truncate the log.
   virtual void compact() = 0;
   /// Scan for the newest valid state (see file header for the rules).
   virtual RecoveredState recover() = 0;
+  /// Every valid payload oldest-first (see ReplayResult).
+  virtual ReplayResult replay() = 0;
   /// Total records appended since reset() (drives periodic compaction).
   virtual std::uint64_t appends() const = 0;
 
@@ -93,6 +115,7 @@ struct StoreImage {
   void append(const std::string& state);
   void compact();
   RecoveredState recover() const;
+  ReplayResult replay() const;
   void lose_tail(std::uint64_t n);
   void corrupt_record();
   void stale_snapshot();
@@ -105,6 +128,7 @@ class MemStore final : public IStableStore {
   void append(const std::string& state) override;
   void compact() override;
   RecoveredState recover() override;
+  ReplayResult replay() override { return img_.replay(); }
   std::uint64_t appends() const override { return appends_; }
 
   void fault_torn_next_append() override;
@@ -119,18 +143,35 @@ class MemStore final : public IStableStore {
   std::uint64_t appends_ = 0;
 };
 
+/// Sync policy for FileStore.  With the defaults every append writes
+/// through (the pre-batching behaviour).  Raising sync_every_n or setting
+/// sync_interval batches appends in memory until the threshold trips, an
+/// explicit sync()/append_batch() lands, or a non-append operation needs
+/// a consistent on-disk image.  Buffered appends are deliberately lost
+/// when the store object is abandoned — that IS the crash model batching
+/// trades durability latency against (a batched tail loss).
+struct FileStoreConfig {
+  std::uint64_t sync_every_n = 1;            ///< flush after this many appends
+  std::chrono::milliseconds sync_interval{0};  ///< flush when this much time passed (0 = off)
+};
+
 /// File-backed stable store: a directory holding `log`, `snapshot`,
-/// `snapshot.old`, and `log.old`.  Every operation round-trips through
-/// the files, so the bytes on disk are the single source of truth and a
-/// second FileStore opened on the same directory recovers the state.
+/// `snapshot.old`, and `log.old`.  The bytes on disk are the single
+/// source of truth — a second FileStore opened on the same directory
+/// recovers exactly the synced state.  Appends go to the log file in
+/// append mode (records are self-framing); snapshot rewrites happen only
+/// on compaction.
 class FileStore final : public IStableStore {
  public:
-  explicit FileStore(std::string dir);
+  explicit FileStore(std::string dir, FileStoreConfig cfg = {});
 
   void reset() override;
   void append(const std::string& state) override;
+  void append_batch(const std::vector<std::string>& states) override;
+  void sync() override;
   void compact() override;
   RecoveredState recover() override;
+  ReplayResult replay() override;
   std::uint64_t appends() const override { return appends_; }
 
   void fault_torn_next_append() override;
@@ -140,14 +181,24 @@ class FileStore final : public IStableStore {
 
   std::string name() const override { return "file"; }
   const std::string& dir() const { return dir_; }
+  /// Completed flushes of buffered appends (batching observability).
+  std::uint64_t syncs() const { return syncs_; }
+  /// Records buffered in memory, not yet on disk.
+  std::uint64_t pending_records() const { return pending_records_; }
 
  private:
   StoreImage load() const;
   void flush(const StoreImage& img) const;
+  std::string encode_next(const std::string& state);
 
   std::string dir_;
+  FileStoreConfig cfg_;
   bool torn_next_ = false;
   std::uint64_t appends_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::string pending_;                 ///< framed records awaiting sync
+  std::uint64_t pending_records_ = 0;
+  std::chrono::steady_clock::time_point last_sync_{};
 };
 
 }  // namespace stpx::store

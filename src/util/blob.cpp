@@ -5,6 +5,33 @@
 
 namespace stpx::util {
 
+std::optional<std::vector<std::int64_t>> blob_tokens(const std::string& blob) {
+  std::vector<std::int64_t> tokens;
+  std::size_t i = 0;
+  while (i < blob.size()) {
+    while (i < blob.size() && blob[i] == ' ') ++i;
+    if (i >= blob.size()) break;
+    const std::size_t start = i;
+    while (i < blob.size() && blob[i] != ' ') ++i;
+    const std::string tok = blob.substr(start, i - start);
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (errno != 0 || end == tok.c_str() || *end != '\0') return std::nullopt;
+    tokens.push_back(static_cast<std::int64_t>(v));
+  }
+  return tokens;
+}
+
+std::string blob_join(const std::vector<std::int64_t>& values) {
+  std::string out;
+  for (std::int64_t v : values) {
+    if (!out.empty()) out.push_back(' ');
+    out += std::to_string(v);
+  }
+  return out;
+}
+
 void BlobWriter::i64(std::int64_t v) {
   if (!out_.empty()) out_.push_back(' ');
   out_ += std::to_string(v);
@@ -18,23 +45,12 @@ void BlobWriter::vec(const std::vector<std::int64_t>& vs) {
 }
 
 BlobReader::BlobReader(const std::string& blob) {
-  std::size_t i = 0;
-  while (i < blob.size()) {
-    while (i < blob.size() && blob[i] == ' ') ++i;
-    if (i >= blob.size()) break;
-    const std::size_t start = i;
-    while (i < blob.size() && blob[i] != ' ') ++i;
-    const std::string tok = blob.substr(start, i - start);
-    errno = 0;
-    char* end = nullptr;
-    const long long v = std::strtoll(tok.c_str(), &end, 10);
-    if (errno != 0 || end == tok.c_str() || *end != '\0') {
-      ok_ = false;
-      tokens_.clear();
-      return;
-    }
-    tokens_.push_back(static_cast<std::int64_t>(v));
+  auto tokens = blob_tokens(blob);
+  if (!tokens) {
+    ok_ = false;
+    return;
   }
+  tokens_ = std::move(*tokens);
 }
 
 bool BlobReader::i64(std::int64_t& out) {

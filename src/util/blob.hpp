@@ -12,10 +12,19 @@
 // as-is in store dumps and test failure messages.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace stpx::util {
+
+/// Tokenize blob text into its raw values; nullopt on any malformed token.
+/// Exposed so composite records (e.g. session manifests) can nest a whole
+/// inner blob as one length-prefixed vec() and round-trip it losslessly.
+std::optional<std::vector<std::int64_t>> blob_tokens(const std::string& blob);
+
+/// Inverse of blob_tokens: render raw values back into blob text.
+std::string blob_join(const std::vector<std::int64_t>& values);
 
 class BlobWriter {
  public:
