@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # One-command verification: the tier-1 build + test gate, then the same
-# suite under ASan+UBSan (STPX_SANITIZE=ON) and the wire-layer + durable-mux
-# suites under TSan (STPX_SANITIZE_THREAD=ON), each in a separate build tree.
+# suite under ASan+UBSan (STPX_SANITIZE=ON) and the wire-layer, durable-mux,
+# and trace suites under TSan (STPX_SANITIZE_THREAD=ON), each in a separate
+# build tree.
 #
 #   scripts/check.sh             # tier-1 + sanitizer passes
 #   scripts/check.sh --fast      # tier-1 only
 #
 # Every ctest invocation runs with a per-test timeout so a livelocked
 # schedule fails the stage instead of hanging it.  The bench-smoke stages
-# also leave BENCH_smoke.json, BENCH_r4_mux.json, and
-# BENCH_r5_durable_mux.json reports at the repo root (CI uploads them as
+# also leave BENCH_smoke.json, BENCH_r4_mux.json, BENCH_r5_durable_mux.json,
+# and BENCH_r6_trace.json reports at the repo root (CI uploads them as
 # artifacts).
 #
 # Exits nonzero on the first failing stage.
@@ -47,6 +48,11 @@ ctest --test-dir build -L durable_mux_smoke --output-on-failure -j "${JOBS}" --t
 ./build/bench/r5_durable_mux --quiet --json BENCH_r5_durable_mux.json
 ./build/bench/validate_bench_json BENCH_r5_durable_mux.json
 
+echo "== trace smoke: flight recorder + trace-analysis suite + overhead-gated bench report =="
+ctest --test-dir build -L trace_smoke --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
+./build/bench/r6_trace --quiet --json BENCH_r6_trace.json
+./build/bench/validate_bench_json BENCH_r6_trace.json
+
 if [[ "${FAST}" == "1" ]]; then
   echo "== check.sh: tier-1 PASS (sanitizer stages skipped via --fast) =="
   exit 0
@@ -57,9 +63,9 @@ cmake -B build/asan -S . -DSTPX_SANITIZE=ON >/dev/null
 cmake --build build/asan -j "${JOBS}"
 ctest --test-dir build/asan --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
 
-echo "== sanitizers: TSan configure + build + net/durable-mux smoke (build/tsan/) =="
+echo "== sanitizers: TSan configure + build + net/durable-mux/trace smoke (build/tsan/) =="
 cmake -B build/tsan -S . -DSTPX_SANITIZE_THREAD=ON >/dev/null
-cmake --build build/tsan -j "${JOBS}" --target test_net test_durable_mux r4_mux r5_durable_mux validate_bench_json
-ctest --test-dir build/tsan -L "net_smoke|durable_mux_smoke" --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
+cmake --build build/tsan -j "${JOBS}" --target test_net test_durable_mux test_trace r4_mux r5_durable_mux r6_trace validate_bench_json
+ctest --test-dir build/tsan -L "net_smoke|durable_mux_smoke|trace_smoke" --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
 
 echo "== check.sh: ALL PASS =="

@@ -1,0 +1,117 @@
+// FlightRecorder — the wire-level observatory's capture stage.
+//
+// An INetProbe implementation that turns every mux hook into a compact
+// TraceEvent and appends it to a bounded per-shard ring buffer:
+//
+//   * Shards are claimed per *producer thread*: the first event a thread
+//     records binds it to a free ring, so in the common case (threads <=
+//     shards) each ring has exactly one producer and one consumer — a true
+//     SPSC ring needing only acquire/release atomics on head/tail.  When
+//     threads outnumber shards, the surplus threads share rings and a
+//     per-ring producer mutex (uncontended otherwise) serializes them;
+//     correctness never depends on the thread count.
+//   * Rings are BOUNDED (capacity rounded up to a power of two) and never
+//     block the hot path: when a ring is full the incoming event is
+//     dropped and counted — explicit drop accounting, never backpressure
+//     into the mux.  A flight recorder must observe, not perturb.
+//   * drain() consumes everything published so far and merge-sorts the
+//     per-shard streams into one (ts_us, seq)-ordered stream.  It is safe
+//     to call concurrently with live recording (periodic drains bound the
+//     memory of long runs) as long as only one thread drains.
+//
+// Timestamps are steady_clock microseconds relative to the recorder's
+// construction (`epoch()`); to_trace_spans() rebases wall-clock intervals
+// (e.g. LoopbackPair::fault_windows()) onto the same clock so sinks and
+// analyzers can overlay them on the event stream.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/mux.hpp"
+#include "net/trace_event.hpp"
+
+namespace stpx::net {
+
+struct FlightRecorderConfig {
+  /// Producer rings.  Sized for the mux's thread census (workers + pump);
+  /// more threads than shards still works, just with mutex sharing.
+  std::size_t shards = 8;
+  /// Events per ring; rounded up to a power of two (min 8).
+  std::size_t ring_capacity = 1 << 14;
+};
+
+/// Drop/throughput accounting (a consistent-enough snapshot of atomics).
+struct FlightRecorderStats {
+  std::uint64_t recorded = 0;  // events written into a ring
+  std::uint64_t dropped = 0;   // events lost to full rings
+  std::vector<std::uint64_t> dropped_per_shard;
+};
+
+class FlightRecorder final : public INetProbe {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig cfg = {});
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  ~FlightRecorder() override;
+
+  // --- INetProbe hooks (each is one ring append) ------------------------
+  void on_frame_sent(std::uint32_t session, const Frame& f) override;
+  void on_frame_received(std::uint32_t session, const Frame& f) override;
+  void on_frame_rejected(RejectReason why) override;
+  void on_frame_shed(std::uint32_t session) override;
+  void on_item(std::uint32_t session, std::size_t index) override;
+  void on_session_state(std::uint32_t session, SessionState s) override;
+  void on_rehydrate(std::uint32_t session, std::size_t position,
+                    SessionState s) override;
+  void on_checkpoint_flush(std::size_t shard, std::size_t records,
+                           std::uint64_t bytes,
+                           std::uint64_t duration_us) override;
+
+  /// Consume every event published so far, merge-sorted by (ts_us, seq).
+  /// Single consumer; safe against concurrent producers.
+  std::vector<TraceEvent> drain();
+
+  FlightRecorderStats stats() const;
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+  std::size_t shard_count() const { return rings_.size(); }
+  std::size_t ring_capacity() const { return capacity_; }
+
+  /// Publish recorded/dropped counters into `reg` (net.trace.* family).
+  void publish_metrics(obs::MetricsRegistry& reg) const;
+
+ private:
+  /// One bounded ring.  head_ is published by the producer side with
+  /// release order; tail_ by the (single) consumer.  buf_ slots in
+  /// [tail_, head_) are owned by the consumer, the rest by producers.
+  struct Ring {
+    std::vector<TraceEvent> buf;
+    std::mutex producer_mu;  // uncontended while threads <= shards
+    std::atomic<std::uint64_t> head{0};
+    std::atomic<std::uint64_t> tail{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> seq{0};  // per-shard event sequence
+  };
+
+  Ring& ring_for_thread();
+  void record(TraceEvent ev);
+  std::uint64_t now_us() const;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t capacity_ = 0;  // power of two
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::atomic<std::size_t> next_slot_{0};
+};
+
+/// Rebase wall-clock WireWindow intervals (e.g. a loopback transport's
+/// fault_windows()) onto a recorder's epoch clock.  Windows ending before
+/// the epoch vanish; begins before it clamp to 0.
+std::vector<TraceSpan> to_trace_spans(
+    const std::vector<WireWindow>& windows,
+    std::chrono::steady_clock::time_point epoch);
+
+}  // namespace stpx::net

@@ -64,6 +64,7 @@ class LoopbackCore {
     ++l.stats.attempted;
     fire_due(l, l.by_sends, l.stats.attempted);
     fire_due(l, l.by_ticks, l.ticks);
+    note_windows(l, dir);
     if (l.ticks < l.blackout_until) {
       ++l.stats.blacked_out;
       return false;
@@ -93,6 +94,7 @@ class LoopbackCore {
     std::lock_guard<std::mutex> hold(l.mu);
     ++l.ticks;
     fire_due(l, l.by_ticks, l.ticks);
+    note_windows(l, dir);
     if (l.ticks < l.freeze_until) {
       ++l.stats.frozen_polls;
       return std::nullopt;
@@ -115,6 +117,28 @@ class LoopbackCore {
     return l.stats;
   }
 
+  std::vector<WireWindow> fault_windows() {
+    std::vector<WireWindow> out;
+    const auto now = std::chrono::steady_clock::now();
+    for (int d = 0; d < 2; ++d) {
+      Link& l = links_[d];
+      const auto dir = static_cast<sim::Dir>(d);
+      std::lock_guard<std::mutex> hold(l.mu);
+      out.insert(out.end(), l.windows.begin(), l.windows.end());
+      if (l.blackout_open) {
+        out.push_back({window_name("blackout", dir), l.blackout_begin, now});
+      }
+      if (l.freeze_open) {
+        out.push_back({window_name("freeze", dir), l.freeze_begin, now});
+      }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const WireWindow& a, const WireWindow& b) {
+                       return a.begin < b.begin;
+                     });
+    return out;
+  }
+
  private:
   struct Link {
     std::mutex mu;
@@ -129,9 +153,45 @@ class LoopbackCore {
     std::uint64_t freeze_until = 0;
     std::uint64_t cap = 0;  // 0 = uncapped
     LoopbackStats stats;
+    // Wall-clock fault-window bookkeeping (windows themselves are
+    // tick-denominated; these record when they were observed active, for
+    // overlay on wall-clock traces).
+    bool blackout_open = false;
+    bool freeze_open = false;
+    std::chrono::steady_clock::time_point blackout_begin{};
+    std::chrono::steady_clock::time_point freeze_begin{};
+    std::vector<WireWindow> windows;
   };
 
   Link& link(sim::Dir dir) { return links_[static_cast<int>(dir)]; }
+
+  static std::string window_name(const char* kind, sim::Dir dir) {
+    return std::string(kind) + " " + sim::to_cstr(dir);
+  }
+
+  /// Open/close the wall-clock record of tick-denominated fault windows.
+  /// Caller holds the link mutex; transitions are observed on every
+  /// send()/poll(), which is as fine-grained as the windows can act.
+  void note_windows(Link& l, sim::Dir dir) {
+    const auto now = std::chrono::steady_clock::now();
+    const bool blackout = l.ticks < l.blackout_until;
+    if (blackout && !l.blackout_open) {
+      l.blackout_open = true;
+      l.blackout_begin = now;
+    } else if (!blackout && l.blackout_open) {
+      l.blackout_open = false;
+      l.windows.push_back({window_name("blackout", dir), l.blackout_begin,
+                           now});
+    }
+    const bool freeze = l.ticks < l.freeze_until;
+    if (freeze && !l.freeze_open) {
+      l.freeze_open = true;
+      l.freeze_begin = now;
+    } else if (!freeze && l.freeze_open) {
+      l.freeze_open = false;
+      l.windows.push_back({window_name("freeze", dir), l.freeze_begin, now});
+    }
+  }
 
   /// Fire every not-yet-fired action in `lane` whose threshold the counter
   /// has reached.  Caller holds the link mutex.
@@ -212,6 +272,10 @@ class LoopbackEnd final : public ITransport {
 
 LoopbackStats LoopbackPair::stats(sim::Dir link) const {
   return core->stats(link);
+}
+
+std::vector<WireWindow> LoopbackPair::fault_windows() const {
+  return core->fault_windows();
 }
 
 LoopbackPair make_loopback(LoopbackConfig cfg) {

@@ -81,6 +81,12 @@ struct LoopbackPair {
 
   /// Counters of one link (kSenderToReceiver = the a->b link).
   LoopbackStats stats(sim::Dir link) const;
+
+  /// Wall-clock intervals during which a blackout or freeze window was
+  /// active on either link, named "blackout S->R" etc.  Windows still open
+  /// when called are reported as ending now.  Feed through
+  /// to_trace_spans() to overlay them on a FlightRecorder stream.
+  std::vector<WireWindow> fault_windows() const;
 };
 
 LoopbackPair make_loopback(LoopbackConfig cfg = {});

@@ -72,6 +72,7 @@ void SessionMux::start() {
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->idx = i;
   }
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
     shards_[i % shard_count]->members.push_back(i);
@@ -194,8 +195,7 @@ void SessionMux::pump_loop(std::stop_token st) {
       RejectReason why = RejectReason::kBadSize;
       const auto frame = decode(*bytes, &why);
       if (!frame) {
-        n_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
-        if (cfg_.probe != nullptr) cfg_.probe->on_frame_rejected(why);
+        note_reject(why);
         continue;
       }
       route(*frame);
@@ -220,22 +220,32 @@ void SessionMux::route(const Frame& f) {
   const sim::Dir expect = s.is_sender ? sim::Dir::kReceiverToSender
                                       : sim::Dir::kSenderToReceiver;
   if (f.dir != expect) {
-    n_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
-    if (cfg_.probe != nullptr) {
-      cfg_.probe->on_frame_rejected(RejectReason::kBadDir);
-    }
+    note_reject(RejectReason::kBadDir);
     return;
   }
   Shard& shard = *shards_[idx % shards_.size()];
+  bool shed = false;
   {
     std::lock_guard<std::mutex> hold(shard.mu);
     if (cfg_.inbox_limit > 0 && s.inbox.size() >= cfg_.inbox_limit) {
-      n_.frames_shed.fetch_add(1, std::memory_order_relaxed);
-      return;
+      shed = true;
+    } else {
+      s.inbox.push_back(f);
     }
-    s.inbox.push_back(f);
+  }
+  if (shed) {
+    n_.frames_shed.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.probe != nullptr) cfg_.probe->on_frame_shed(f.session);
+    return;
   }
   n_.frames_received.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SessionMux::note_reject(RejectReason why) {
+  n_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+  n_.rejects_by_reason[static_cast<std::size_t>(why) % kRejectReasonCount]
+      .fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.probe != nullptr) cfg_.probe->on_frame_rejected(why);
 }
 
 void SessionMux::worker_loop(std::stop_token st, std::size_t shard_idx) {
@@ -470,6 +480,7 @@ void SessionMux::flush_shard(Shard& shard, bool force) {
     batch.push_back(std::move(payload));
   }
   if (!batch.empty()) {
+    const auto flush_t0 = std::chrono::steady_clock::now();
     {
       // Group commit: one append_batch (== one sync) for the whole shard.
       std::lock_guard<std::mutex> hold(slot.mu);
@@ -478,6 +489,11 @@ void SessionMux::flush_shard(Shard& shard, bool force) {
     n_.ckpt_flushes.fetch_add(1, std::memory_order_relaxed);
     n_.ckpt_records.fetch_add(batch.size(), std::memory_order_relaxed);
     n_.ckpt_bytes.fetch_add(batch_bytes, std::memory_order_relaxed);
+    if (cfg_.probe != nullptr) {
+      cfg_.probe->on_checkpoint_flush(
+          shard.idx, batch.size(), batch_bytes,
+          us_between(flush_t0, std::chrono::steady_clock::now()));
+    }
   }
   // Everything held is now covered by a durable record (this batch, or
   // an earlier one when the signature never moved): release.
@@ -514,6 +530,10 @@ NetStats SessionMux::stats() const {
   out.frames_sent = n_.frames_sent.load(std::memory_order_relaxed);
   out.frames_received = n_.frames_received.load(std::memory_order_relaxed);
   out.frames_rejected = n_.frames_rejected.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kRejectReasonCount; ++i) {
+    out.rejects_by_reason[i] =
+        n_.rejects_by_reason[i].load(std::memory_order_relaxed);
+  }
   out.frames_unknown_session =
       n_.frames_unknown.load(std::memory_order_relaxed);
   out.frames_shed = n_.frames_shed.load(std::memory_order_relaxed);
@@ -557,8 +577,17 @@ void SessionMux::publish_metrics(obs::MetricsRegistry& reg) const {
   reg.counter("net.frames.sent").inc(st.frames_sent);
   reg.counter("net.frames.received").inc(st.frames_received);
   reg.counter("net.frames.rejected").inc(st.frames_rejected);
+  for (std::size_t i = 0; i < kRejectReasonCount; ++i) {
+    reg.counter(std::string("net.rejects.") +
+                to_cstr(static_cast<RejectReason>(i)))
+        .inc(st.rejects_by_reason[i]);
+  }
   reg.counter("net.frames.unknown_session").inc(st.frames_unknown_session);
   reg.counter("net.frames.shed").inc(st.frames_shed);
+  // Backpressure loss under its own name, so dashboards can tell "the mux
+  // chose to drop" apart from frame-accounting noise (`net.frames.shed`
+  // stays as the frame-family spelling of the same counter).
+  reg.counter("net.sheds").inc(st.frames_shed);
   reg.counter("net.fins.sent").inc(st.fins_sent);
   reg.counter("net.items.done").inc(st.items_done);
   reg.counter("net.rehydrated_sessions").inc(st.rehydrated_sessions);

@@ -111,6 +111,10 @@ class INetProbe {
     (void)f;
   }
   virtual void on_frame_rejected(RejectReason why) { (void)why; }
+  /// An inbound frame for `session` was shed by inbox backpressure (the
+  /// session's bounded inbox was full).  Distinct from wire loss: the
+  /// frame made it across the transport and the mux chose to drop it.
+  virtual void on_frame_shed(std::uint32_t session) { (void)session; }
   /// A receiver session appended output item `index`, still a correct
   /// prefix of its expected sequence (fires per write — the wire-level
   /// analogue of the engine probe's on_write).
@@ -132,7 +136,21 @@ class INetProbe {
     (void)position;
     (void)s;
   }
+  /// A shard group-committed `records` manifest records (`bytes` payload
+  /// bytes) in `duration_us` microseconds.  Fires only for non-empty
+  /// commits, from that shard's worker thread.
+  virtual void on_checkpoint_flush(std::size_t shard, std::size_t records,
+                                   std::uint64_t bytes,
+                                   std::uint64_t duration_us) {
+    (void)shard;
+    (void)records;
+    (void)bytes;
+    (void)duration_us;
+  }
 };
+
+/// How many distinct RejectReason values exist (per-reason counter arrays).
+inline constexpr std::size_t kRejectReasonCount = 6;
 
 /// A ready-made INetProbe: atomic tallies, enough for tests and demos.
 class CountingNetProbe final : public INetProbe {
@@ -141,7 +159,11 @@ class CountingNetProbe final : public INetProbe {
   void on_frame_received(std::uint32_t, const Frame&) override {
     ++received_;
   }
-  void on_frame_rejected(RejectReason) override { ++rejected_; }
+  void on_frame_rejected(RejectReason why) override {
+    ++rejected_;
+    ++by_reason_[static_cast<std::size_t>(why) % kRejectReasonCount];
+  }
+  void on_frame_shed(std::uint32_t) override { ++sheds_; }
   void on_item(std::uint32_t, std::size_t) override { ++items_; }
   void on_session_state(std::uint32_t, SessionState s) override {
     if (s == SessionState::kCompleted) ++completed_;
@@ -152,10 +174,19 @@ class CountingNetProbe final : public INetProbe {
   void on_rehydrate(std::uint32_t, std::size_t, SessionState) override {
     ++rehydrated_;
   }
+  void on_checkpoint_flush(std::size_t, std::size_t, std::uint64_t,
+                           std::uint64_t) override {
+    ++flushes_;
+  }
 
   std::uint64_t sent() const { return sent_; }
   std::uint64_t received() const { return received_; }
   std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t rejected(RejectReason why) const {
+    return by_reason_[static_cast<std::size_t>(why) % kRejectReasonCount];
+  }
+  std::uint64_t sheds() const { return sheds_; }
+  std::uint64_t checkpoint_flushes() const { return flushes_; }
   std::uint64_t items() const { return items_; }
   std::uint64_t completed() const { return completed_; }
   std::uint64_t violated() const { return violated_; }
@@ -165,8 +196,9 @@ class CountingNetProbe final : public INetProbe {
 
  private:
   std::atomic<std::uint64_t> sent_{0}, received_{0}, rejected_{0},
-      items_{0}, completed_{0}, violated_{0}, evicted_{0},
-      recovery_violated_{0}, rehydrated_{0};
+      sheds_{0}, flushes_{0}, items_{0}, completed_{0}, violated_{0},
+      evicted_{0}, recovery_violated_{0}, rehydrated_{0};
+  std::atomic<std::uint64_t> by_reason_[kRejectReasonCount] = {};
 };
 
 struct MuxConfig {
@@ -216,6 +248,8 @@ struct NetStats {
   std::uint64_t frames_sent = 0;      // handed to the transport
   std::uint64_t frames_received = 0;  // decoded and routed
   std::uint64_t frames_rejected = 0;  // malformed bytes or bad direction
+  /// frames_rejected split by RejectReason (indexed by the enum value).
+  std::uint64_t rejects_by_reason[kRejectReasonCount] = {};
   std::uint64_t frames_unknown_session = 0;
   std::uint64_t frames_shed = 0;  // inbox backpressure
   std::uint64_t fins_sent = 0;
@@ -363,6 +397,7 @@ class SessionMux {
     std::vector<std::size_t> members;  // indices into sessions_
     std::uint64_t sweep_no = 0;        // drives the checkpoint cadence
     std::size_t slot = 0;              // index into slots_
+    std::size_t idx = 0;               // own index (probe attribution)
   };
 
   /// One session store plus the mutex serializing shard access to it
@@ -412,7 +447,10 @@ class SessionMux {
         items_done{0}, completed{0}, violated{0}, evicted{0},
         recovery_violated{0}, rehydrated{0}, ckpt_flushes{0},
         ckpt_records{0}, ckpt_bytes{0};
+    std::atomic<std::uint64_t> rejects_by_reason[kRejectReasonCount] = {};
   } n_;
+  /// The one reject bottleneck: count (total + per reason) and notify.
+  void note_reject(RejectReason why);
 
   std::vector<std::jthread> workers_;
   std::jthread pump_;

@@ -1,0 +1,222 @@
+#include "net/trace_sinks.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/sinks.hpp"
+
+namespace stpx::net {
+
+void write_trace_jsonl(std::ostream& out,
+                       const std::vector<TraceEvent>& evs) {
+  for (const TraceEvent& ev : evs) out << to_jsonl(ev) << '\n';
+}
+
+std::optional<std::vector<TraceEvent>> read_trace_jsonl(std::istream& in) {
+  std::vector<TraceEvent> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto ev = parse_jsonl(line);
+    if (!ev) return std::nullopt;
+    out.push_back(*ev);
+  }
+  return out;
+}
+
+namespace {
+
+// Track (tid) layout inside the single trace process:
+//   1                      rejects (session-unattributable)
+//   2 .. 2+lanes-1         fault-window lanes (stacked like obs sink)
+//   then one per shard     checkpoint flushes
+//   then one per session   everything session-scoped
+constexpr int kTidRejects = 1;
+constexpr int kTidFaultBase = 2;
+
+std::string instant_name(const TraceEvent& ev) {
+  std::ostringstream os;
+  switch (ev.kind) {
+    case TraceEventKind::kFrameSent:
+      os << "send " << to_cstr(static_cast<FrameKind>(ev.detail)) << ' '
+         << ev.msg;
+      break;
+    case TraceEventKind::kFrameReceived:
+      os << "recv " << to_cstr(static_cast<FrameKind>(ev.detail)) << ' '
+         << ev.msg;
+      break;
+    case TraceEventKind::kFrameShed:
+      os << "shed";
+      break;
+    case TraceEventKind::kItem:
+      os << "item[" << ev.msg << ']';
+      break;
+    case TraceEventKind::kSessionState:
+      os << to_cstr(static_cast<SessionState>(ev.detail));
+      break;
+    case TraceEventKind::kRehydrate:
+      os << "rehydrate@" << ev.msg;
+      break;
+    case TraceEventKind::kFrameRejected:
+      os << "reject " << to_cstr(static_cast<RejectReason>(ev.detail));
+      break;
+    case TraceEventKind::kCheckpointFlush:
+      os << "flush " << ev.msg;
+      break;
+  }
+  return os.str();
+}
+
+std::string instant_args(const TraceEvent& ev) {
+  std::ostringstream os;
+  switch (ev.kind) {
+    case TraceEventKind::kFrameSent:
+    case TraceEventKind::kFrameReceived:
+      os << "\"dir\":\"" << sim::to_cstr(ev.dir) << "\",\"msg\":" << ev.msg;
+      break;
+    case TraceEventKind::kItem:
+      os << "\"index\":" << ev.msg;
+      break;
+    case TraceEventKind::kRehydrate:
+      os << "\"position\":" << ev.msg << ",\"state\":\""
+         << to_cstr(static_cast<SessionState>(ev.detail)) << '"';
+      break;
+    case TraceEventKind::kCheckpointFlush:
+      os << "\"records\":" << ev.msg << ",\"dur_us\":" << ev.aux;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void write_wire_chrome_trace(std::ostream& out,
+                             const std::vector<TraceEvent>& evs,
+                             const std::vector<TraceSpan>& windows) {
+  // Lane-pack the fault windows exactly like obs::ChromeTraceSink: each
+  // window takes the first lane whose previous occupant has ended.
+  std::vector<TraceSpan> spans = windows;
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.begin_us < b.begin_us;
+                   });
+  std::vector<std::uint64_t> lane_end;
+  std::vector<int> span_tid;
+  span_tid.reserve(spans.size());
+  for (const TraceSpan& s : spans) {
+    std::size_t lane = 0;
+    while (lane < lane_end.size() && lane_end[lane] > s.begin_us) ++lane;
+    if (lane == lane_end.size()) lane_end.push_back(0);
+    lane_end[lane] = s.end_us;
+    span_tid.push_back(kTidFaultBase + static_cast<int>(lane));
+  }
+
+  // Census of shards (flush tracks) and sessions.
+  std::set<std::uint32_t> shards;
+  std::set<std::uint32_t> sessions;
+  for (const TraceEvent& ev : evs) {
+    if (ev.kind == TraceEventKind::kCheckpointFlush) {
+      shards.insert(ev.session);
+    } else if (ev.kind != TraceEventKind::kFrameRejected) {
+      sessions.insert(ev.session);
+    }
+  }
+  const int shard_base = kTidFaultBase + static_cast<int>(lane_end.size());
+  std::map<std::uint32_t, int> shard_tid;
+  for (const std::uint32_t s : shards) {
+    shard_tid.emplace(s, shard_base + static_cast<int>(shard_tid.size()));
+  }
+  const int session_base = shard_base + static_cast<int>(shard_tid.size());
+  std::map<std::uint32_t, int> session_tid;
+  for (const std::uint32_t s : sessions) {
+    session_tid.emplace(s, session_base + static_cast<int>(session_tid.size()));
+  }
+
+  struct Record {
+    std::uint64_t ts;
+    int order;  // B(0) before instants(1) before E(2) at equal ts
+    std::string json;
+  };
+  std::vector<Record> records;
+  records.reserve(evs.size() + 2 * spans.size());
+
+  auto event = [](std::uint64_t ts, int tid, char ph, const std::string& name,
+                  const std::string& args, std::uint64_t dur) {
+    std::ostringstream os;
+    os << "{\"name\":\"" << obs::json_escape(name) << "\",\"ph\":\"" << ph
+       << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << ts;
+    if (ph == 'X') os << ",\"dur\":" << dur;
+    if (ph == 'i') os << ",\"s\":\"t\"";
+    if (!args.empty()) os << ",\"args\":{" << args << '}';
+    os << '}';
+    return os.str();
+  };
+
+  for (const TraceEvent& ev : evs) {
+    if (ev.kind == TraceEventKind::kCheckpointFlush) {
+      // Flushes are duration slices; stamp the span at flush *start*.
+      const std::uint64_t begin =
+          ev.ts_us >= ev.aux ? ev.ts_us - ev.aux : 0;
+      records.push_back({begin, 1,
+                         event(begin, shard_tid.at(ev.session), 'X',
+                               instant_name(ev), instant_args(ev),
+                               std::max<std::uint64_t>(ev.aux, 1))});
+      continue;
+    }
+    const int tid = ev.kind == TraceEventKind::kFrameRejected
+                        ? kTidRejects
+                        : session_tid.at(ev.session);
+    records.push_back({ev.ts_us, 1,
+                       event(ev.ts_us, tid, 'i', instant_name(ev),
+                             instant_args(ev), 0)});
+  }
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    records.push_back(
+        {s.begin_us, 0,
+         event(s.begin_us, span_tid[i], 'B', s.name, "", 0)});
+    records.push_back(
+        {s.end_us, 2, event(s.end_us, span_tid[i], 'E', s.name, "", 0)});
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.ts != b.ts ? a.ts < b.ts : a.order < b.order;
+                   });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto meta = [&](int tid, const std::string& name) {
+    out << (first ? "" : ",")
+        << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << obs::json_escape(name) << "\"}}";
+    first = false;
+  };
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"stpx wire\"}}";
+  first = false;
+  meta(kTidRejects, "rejects");
+  for (std::size_t lane = 0; lane < lane_end.size(); ++lane) {
+    meta(kTidFaultBase + static_cast<int>(lane),
+         lane == 0 ? "faults" : "faults (overflow lane)");
+  }
+  for (const auto& [shard, tid] : shard_tid) {
+    meta(tid, "flush shard " + std::to_string(shard));
+  }
+  for (const auto& [session, tid] : session_tid) {
+    meta(tid, "session " + std::to_string(session));
+  }
+  for (const Record& r : records) {
+    out << (first ? "" : ",") << r.json;
+    first = false;
+  }
+  out << "]}";
+}
+
+}  // namespace stpx::net

@@ -22,12 +22,23 @@
 //     to loopback.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace stpx::net {
+
+/// A wall-clock interval during which a transport-level fault window
+/// shaped the link (blackout: sends vanish; freeze: delivery pauses).
+/// Transports that script faults surface these so trace tooling can
+/// overlay them on recorded events (see net/flight_recorder.hpp).
+struct WireWindow {
+  std::string name;  // e.g. "blackout S->R"
+  std::chrono::steady_clock::time_point begin;
+  std::chrono::steady_clock::time_point end;
+};
 
 class ITransport {
  public:

@@ -1,0 +1,761 @@
+// Conformance suite for the wire observability stack (ctest -L
+// trace_smoke):
+//
+//   * TraceEvent JSONL codec — golden lines pinned in BOTH directions
+//     (emit must match the pinned string, the pinned string must parse to
+//     the identical event), plus malformed-line rejection;
+//   * FlightRecorder — bounded rings with explicit drop-newest accounting,
+//     drain-consumes semantics, k-way merged time order, multi-threaded
+//     stress with a concurrent drainer (the TSan stage runs this);
+//   * trace sinks — JSONL stream round-trip and Chrome-trace export
+//     structural validity;
+//   * analysis::TracePipeline — every standard analyzer exercised on
+//     synthetic streams, including attestor violation cases;
+//   * integration — a real mux run with recorders attached: the drained
+//     trace re-derives the acceptance verdict (prefix attestor), survives
+//     an archive round-trip with an identical TraceReport, and the
+//     injected corrupt frame shows up both as a per-reason reject counter
+//     and as a trace event; capped at the 1000-session acceptance run,
+//     attested from the trace alone.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "analysis/trace_pipeline.hpp"
+#include "fault/plan.hpp"
+#include "net/flight_recorder.hpp"
+#include "net/frame.hpp"
+#include "net/loopback.hpp"
+#include "net/mux.hpp"
+#include "net/service.hpp"
+#include "net/trace_event.hpp"
+#include "net/trace_sinks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+#include "proto/suite.hpp"
+
+namespace stpx {
+namespace {
+
+using namespace std::chrono_literals;
+using net::TraceEvent;
+using net::TraceEventKind;
+
+constexpr int kDomain = 8;
+
+seq::Sequence seq_for(std::uint32_t id, std::size_t len) {
+  seq::Sequence x;
+  x.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    x.push_back(static_cast<seq::DataItem>((id + i) % kDomain));
+  }
+  return x;
+}
+
+TraceEvent make_ev(TraceEventKind kind, std::uint64_t ts,
+                   std::uint32_t session = 0, std::int64_t msg = 0,
+                   std::uint8_t detail = 0,
+                   sim::Dir dir = sim::Dir::kSenderToReceiver) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.ts_us = ts;
+  ev.session = session;
+  ev.msg = msg;
+  ev.detail = detail;
+  ev.dir = dir;
+  return ev;
+}
+
+// --------------------------------------------------------------------------
+// JSONL codec: golden lines, both directions.
+// --------------------------------------------------------------------------
+
+struct GoldenCase {
+  TraceEvent ev;
+  const char* line;
+};
+
+std::vector<GoldenCase> golden_cases() {
+  std::vector<GoldenCase> cases;
+  {
+    auto ev = make_ev(TraceEventKind::kFrameSent, 12, 7, 5,
+                      static_cast<std::uint8_t>(net::FrameKind::kData));
+    ev.seq = 3;
+    cases.push_back({ev,
+                     "{\"ts\":12,\"seq\":3,\"ev\":\"frame-sent\",\"session\""
+                     ":7,\"kind\":\"data\",\"dir\":\"S->R\",\"msg\":5}"});
+  }
+  {
+    auto ev = make_ev(TraceEventKind::kFrameReceived, 34, 7, -1,
+                      static_cast<std::uint8_t>(net::FrameKind::kFin),
+                      sim::Dir::kReceiverToSender);
+    cases.push_back({ev,
+                     "{\"ts\":34,\"seq\":0,\"ev\":\"frame-received\","
+                     "\"session\":7,\"kind\":\"fin\",\"dir\":\"R->S\","
+                     "\"msg\":-1}"});
+  }
+  {
+    auto ev = make_ev(
+        TraceEventKind::kFrameRejected, 56, 0, 0,
+        static_cast<std::uint8_t>(net::RejectReason::kBadChecksum));
+    cases.push_back({ev,
+                     "{\"ts\":56,\"seq\":0,\"ev\":\"frame-rejected\","
+                     "\"why\":\"bad-checksum\"}"});
+  }
+  cases.push_back({make_ev(TraceEventKind::kFrameShed, 78, 9),
+                   "{\"ts\":78,\"seq\":0,\"ev\":\"frame-shed\","
+                   "\"session\":9}"});
+  cases.push_back({make_ev(TraceEventKind::kItem, 90, 4, 2),
+                   "{\"ts\":90,\"seq\":0,\"ev\":\"item\",\"session\":4,"
+                   "\"index\":2}"});
+  cases.push_back(
+      {make_ev(TraceEventKind::kSessionState, 101, 4, 0,
+               static_cast<std::uint8_t>(net::SessionState::kCompleted)),
+       "{\"ts\":101,\"seq\":0,\"ev\":\"session-state\",\"session\":4,"
+       "\"state\":\"completed\"}"});
+  cases.push_back(
+      {make_ev(TraceEventKind::kRehydrate, 115, 6, 2,
+               static_cast<std::uint8_t>(net::SessionState::kActive)),
+       "{\"ts\":115,\"seq\":0,\"ev\":\"rehydrate\",\"session\":6,"
+       "\"position\":2,\"state\":\"active\"}"});
+  {
+    auto ev = make_ev(TraceEventKind::kCheckpointFlush, 130, 1, 17);
+    ev.aux = 42;
+    cases.push_back({ev,
+                     "{\"ts\":130,\"seq\":0,\"ev\":\"checkpoint-flush\","
+                     "\"shard\":1,\"records\":17,\"dur_us\":42}"});
+  }
+  return cases;
+}
+
+TEST(TraceEventCodec, GoldenEmit) {
+  for (const auto& c : golden_cases()) {
+    EXPECT_EQ(net::to_jsonl(c.ev), c.line);
+    EXPECT_TRUE(obs::json_valid(c.line));
+  }
+}
+
+TEST(TraceEventCodec, GoldenParse) {
+  for (const auto& c : golden_cases()) {
+    const auto parsed = net::parse_jsonl(c.line);
+    ASSERT_TRUE(parsed.has_value()) << c.line;
+    EXPECT_EQ(*parsed, c.ev) << c.line;
+  }
+}
+
+TEST(TraceEventCodec, RoundTripSweep) {
+  for (const auto& c : golden_cases()) {
+    const auto parsed = net::parse_jsonl(net::to_jsonl(c.ev));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, c.ev);
+  }
+}
+
+TEST(TraceEventCodec, RejectsMalformed) {
+  const char* bad[] = {
+      "",
+      "not json",
+      "{\"ts\":1,\"seq\":0}",                                   // no ev
+      "{\"ts\":1,\"seq\":0,\"ev\":\"no-such-kind\"}",           // bad kind
+      "{\"ts\":-1,\"seq\":0,\"ev\":\"frame-shed\",\"session\":1}",
+      "{\"ts\":1,\"seq\":0,\"ev\":\"frame-shed\"}",             // no session
+      "{\"ts\":1,\"seq\":0,\"ev\":\"item\",\"session\":1}",     // no index
+      "{\"ts\":1,\"seq\":0,\"ev\":\"frame-rejected\",\"why\":\"nope\"}",
+      "{\"ts\":1,\"seq\":0,\"ev\":\"session-state\",\"session\":1,"
+      "\"state\":\"half-done\"}",
+      "{\"ts\":1,\"seq\":0,\"ev\":\"frame-sent\",\"session\":1,"
+      "\"kind\":\"data\",\"dir\":\"up\",\"msg\":0}",
+      "{\"ts\":x,\"seq\":0,\"ev\":\"frame-shed\",\"session\":1}",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(net::parse_jsonl(line).has_value()) << line;
+  }
+}
+
+// --------------------------------------------------------------------------
+// FlightRecorder semantics.
+// --------------------------------------------------------------------------
+
+TEST(FlightRecorder, RecordsAndDrainsInOrder) {
+  net::FlightRecorderConfig cfg;
+  cfg.shards = 2;
+  net::FlightRecorder rec(cfg);
+  for (std::size_t i = 0; i < 10; ++i) rec.on_item(1, i);
+  rec.on_session_state(1, net::SessionState::kCompleted);
+
+  const auto evs = rec.drain();
+  ASSERT_EQ(evs.size(), 11u);
+  for (std::size_t i = 0; i + 1 < evs.size(); ++i) {
+    EXPECT_LE(evs[i].ts_us, evs[i + 1].ts_us);
+  }
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(evs[i].kind, TraceEventKind::kItem);
+    EXPECT_EQ(evs[i].msg, static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(evs[10].kind, TraceEventKind::kSessionState);
+
+  const auto st = rec.stats();
+  EXPECT_EQ(st.recorded, 11u);
+  EXPECT_EQ(st.dropped, 0u);
+  EXPECT_TRUE(rec.drain().empty());  // drain consumes
+}
+
+TEST(FlightRecorder, DrainThenRecordAgain) {
+  net::FlightRecorder rec;
+  rec.on_item(1, 0);
+  EXPECT_EQ(rec.drain().size(), 1u);
+  rec.on_item(1, 1);
+  rec.on_item(1, 2);
+  const auto evs = rec.drain();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].msg, 1);
+  EXPECT_EQ(evs[1].msg, 2);
+}
+
+TEST(FlightRecorder, FullRingDropsNewestAndAccounts) {
+  net::FlightRecorderConfig cfg;
+  cfg.shards = 1;
+  cfg.ring_capacity = 8;  // already a power of two, min is 8
+  net::FlightRecorder rec(cfg);
+  ASSERT_EQ(rec.ring_capacity(), 8u);
+
+  for (std::size_t i = 0; i < 20; ++i) rec.on_item(1, i);
+  const auto st = rec.stats();
+  EXPECT_EQ(st.recorded, 8u);
+  EXPECT_EQ(st.dropped, 12u);
+  ASSERT_EQ(st.dropped_per_shard.size(), 1u);
+  EXPECT_EQ(st.dropped_per_shard[0], 12u);
+
+  // Drop-newest: the survivors are the FIRST 8, and their per-shard seq
+  // runs 0..7 (the 12 dropped events advanced seq past the window, so a
+  // later record would show the hole).
+  const auto evs = rec.drain();
+  ASSERT_EQ(evs.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(evs[i].msg, static_cast<std::int64_t>(i));
+    EXPECT_EQ(evs[i].seq, i);
+  }
+
+  // The ring is drained: recording resumes, with the seq hole visible.
+  rec.on_item(1, 99);
+  const auto more = rec.drain();
+  ASSERT_EQ(more.size(), 1u);
+  EXPECT_EQ(more[0].seq, 20u);
+
+  obs::MetricsRegistry reg;
+  rec.publish_metrics(reg);
+  EXPECT_EQ(reg.counter_value("net.trace.recorded"), 9u);
+  EXPECT_EQ(reg.counter_value("net.trace.dropped"), 12u);
+}
+
+TEST(FlightRecorder, ConcurrentProducersAndDrainerLoseNothing) {
+  net::FlightRecorderConfig cfg;
+  cfg.shards = 2;  // fewer shards than producers: rings are shared
+  cfg.ring_capacity = 1 << 10;
+  net::FlightRecorder rec(cfg);
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 10000;
+  std::vector<TraceEvent> drained;
+  {
+    std::atomic<bool> done{false};
+    std::jthread drainer([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        auto batch = rec.drain();
+        drained.insert(drained.end(), batch.begin(), batch.end());
+        std::this_thread::sleep_for(100us);
+      }
+      auto tail = rec.drain();
+      drained.insert(drained.end(), tail.begin(), tail.end());
+    });
+    {
+      std::vector<std::jthread> producers;
+      for (std::size_t t = 0; t < kThreads; ++t) {
+        producers.emplace_back([&rec, t] {
+          for (std::size_t i = 0; i < kPerThread; ++i) {
+            rec.on_item(static_cast<std::uint32_t>(t), i);
+          }
+        });
+      }
+    }
+    done.store(true, std::memory_order_release);
+  }
+
+  const auto st = rec.stats();
+  EXPECT_EQ(st.recorded + st.dropped, kThreads * kPerThread);
+  EXPECT_EQ(drained.size(), st.recorded);
+
+  // Per (session == producer) the surviving indices are strictly
+  // increasing — drops leave holes, never reorderings.
+  std::size_t next_index[kThreads];
+  std::fill(std::begin(next_index), std::end(next_index), 0);
+  for (const auto& ev : drained) {
+    ASSERT_LT(ev.session, kThreads);
+    EXPECT_GE(static_cast<std::size_t>(ev.msg), next_index[ev.session]);
+    next_index[ev.session] = static_cast<std::size_t>(ev.msg) + 1;
+  }
+}
+
+TEST(FlightRecorder, ToTraceSpansRebasesAndClamps) {
+  const auto epoch = std::chrono::steady_clock::now();
+  std::vector<net::WireWindow> windows;
+  windows.push_back({"blackout S->R", epoch + 100us, epoch + 300us});
+  windows.push_back({"before epoch", epoch - 200us, epoch - 100us});
+  windows.push_back({"straddles", epoch - 50us, epoch + 50us});
+
+  const auto spans = net::to_trace_spans(windows, epoch);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "blackout S->R");
+  EXPECT_EQ(spans[0].begin_us, 100u);
+  EXPECT_EQ(spans[0].end_us, 300u);
+  EXPECT_EQ(spans[1].name, "straddles");
+  EXPECT_EQ(spans[1].begin_us, 0u);  // clamped
+  EXPECT_EQ(spans[1].end_us, 50u);
+}
+
+// --------------------------------------------------------------------------
+// Sinks.
+// --------------------------------------------------------------------------
+
+TEST(TraceSinks, JsonlStreamRoundTrip) {
+  std::vector<TraceEvent> evs;
+  for (const auto& c : golden_cases()) evs.push_back(c.ev);
+
+  std::ostringstream os;
+  net::write_trace_jsonl(os, evs);
+  std::istringstream is(os.str());
+  const auto back = net::read_trace_jsonl(is);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, evs);
+}
+
+TEST(TraceSinks, JsonlReadRejectsCorruptArchive) {
+  std::istringstream is(
+      "{\"ts\":1,\"seq\":0,\"ev\":\"item\",\"session\":1,\"index\":0}\n"
+      "garbage\n");
+  EXPECT_FALSE(net::read_trace_jsonl(is).has_value());
+}
+
+TEST(TraceSinks, ChromeTraceExportIsValidJson) {
+  std::vector<TraceEvent> evs;
+  for (const auto& c : golden_cases()) evs.push_back(c.ev);
+  std::vector<net::TraceSpan> windows;
+  windows.push_back({"blackout S->R", 10, 60});
+  windows.push_back({"freeze R->S", 20, 40});  // overlaps -> second lane
+
+  std::ostringstream os;
+  net::write_wire_chrome_trace(os, evs, windows);
+  const std::string doc = os.str();
+  EXPECT_TRUE(obs::json_valid(doc));
+  EXPECT_NE(doc.find("\"session 7\""), std::string::npos);
+  EXPECT_NE(doc.find("\"rejects\""), std::string::npos);
+  EXPECT_NE(doc.find("\"flush shard 1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"faults\""), std::string::npos);
+  EXPECT_NE(doc.find("faults (overflow lane)"), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// TracePipeline analyzers on synthetic streams.
+// --------------------------------------------------------------------------
+
+TEST(TracePipeline, AckRttPairsSendWithNextInbound) {
+  std::vector<TraceEvent> evs;
+  evs.push_back(make_ev(TraceEventKind::kFrameSent, 100, 1, 0,
+                        static_cast<std::uint8_t>(net::FrameKind::kData)));
+  // A retransmission of the same pending send must not reset the clock.
+  evs.push_back(make_ev(TraceEventKind::kFrameSent, 150, 1, 0,
+                        static_cast<std::uint8_t>(net::FrameKind::kData)));
+  evs.push_back(make_ev(TraceEventKind::kFrameReceived, 400, 1, 0,
+                        static_cast<std::uint8_t>(net::FrameKind::kData),
+                        sim::Dir::kReceiverToSender));
+
+  analysis::TracePipeline p;
+  p.add(analysis::make_ack_rtt_analyzer());
+  const auto rep = p.run(evs, {});
+  EXPECT_EQ(rep.value("ack_rtt.count"), 1);
+  EXPECT_EQ(rep.value("ack_rtt.p50_us"), 300);
+}
+
+TEST(TracePipeline, ItemLatencyMeasuresPerSessionGaps) {
+  std::vector<TraceEvent> evs;
+  evs.push_back(make_ev(TraceEventKind::kItem, 100, 1, 0));
+  evs.push_back(make_ev(TraceEventKind::kItem, 160, 1, 1));
+  evs.push_back(make_ev(TraceEventKind::kItem, 200, 2, 0));  // other session
+  evs.push_back(make_ev(TraceEventKind::kItem, 260, 1, 2));
+
+  analysis::TracePipeline p;
+  p.add(analysis::make_item_latency_analyzer());
+  const auto rep = p.run(evs, {});
+  EXPECT_EQ(rep.value("item_latency.count"), 2);  // 60 and 100, session 1
+  EXPECT_EQ(rep.value("item_latency.p99_us"), 100);
+}
+
+TEST(TracePipeline, GoodputCountsRetransmissions) {
+  std::vector<TraceEvent> evs;
+  for (int i = 0; i < 4; ++i) {
+    evs.push_back(
+        make_ev(TraceEventKind::kFrameSent, 100 + i * 10, 1, i % 2,
+                static_cast<std::uint8_t>(net::FrameKind::kData)));
+  }
+  evs.push_back(make_ev(TraceEventKind::kItem, 150, 1, 0));
+  evs.push_back(make_ev(TraceEventKind::kItem, 200, 1, 1));
+
+  analysis::TracePipeline p;
+  p.add(analysis::make_goodput_analyzer());
+  const auto rep = p.run(evs, {});
+  EXPECT_EQ(rep.value("goodput.items"), 2);
+  EXPECT_EQ(rep.value("goodput.data_frames"), 4);
+  EXPECT_EQ(rep.value("goodput.retx_permille"), 500);
+  EXPECT_EQ(rep.value("goodput.duration_us"), 100);
+}
+
+TEST(TracePipeline, PrefixAttestorAcceptsCleanTrace) {
+  std::vector<TraceEvent> evs;
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    for (std::int64_t i = 0; i < 3; ++i) {
+      evs.push_back(
+          make_ev(TraceEventKind::kItem, 100 + s * 10 + i * 100, s, i));
+    }
+    evs.push_back(
+        make_ev(TraceEventKind::kSessionState, 500 + s, s, 0,
+                static_cast<std::uint8_t>(net::SessionState::kCompleted)));
+  }
+  analysis::TraceContext ctx;
+  ctx.expected_items[0] = 3;
+  ctx.expected_items[1] = 3;
+
+  analysis::TracePipeline p;
+  p.add(analysis::make_prefix_attestor());
+  const auto rep = p.run(evs, ctx);
+  EXPECT_EQ(rep.value("prefix.ok"), 1);
+  EXPECT_EQ(rep.value("prefix.sessions"), 2);
+  EXPECT_EQ(rep.value("prefix.completed"), 2);
+  EXPECT_TRUE(rep.ok);
+}
+
+TEST(TracePipeline, PrefixAttestorFlagsOutOfOrderItem) {
+  std::vector<TraceEvent> evs;
+  evs.push_back(make_ev(TraceEventKind::kItem, 100, 1, 0));
+  evs.push_back(make_ev(TraceEventKind::kItem, 200, 1, 2));  // skipped 1
+
+  analysis::TracePipeline p;
+  p.add(analysis::make_prefix_attestor());
+  const auto rep = p.run(evs, {});
+  EXPECT_EQ(rep.value("prefix.ok"), 0);
+  EXPECT_EQ(rep.value("prefix.item_violations"), 1);
+  EXPECT_FALSE(rep.ok);
+  ASSERT_EQ(rep.notes.count("prefix.first_violation"), 1u);
+  EXPECT_NE(rep.notes.at("prefix.first_violation").find("session 1"),
+            std::string::npos);
+}
+
+TEST(TracePipeline, PrefixAttestorFlagsIncompleteSession) {
+  std::vector<TraceEvent> evs;
+  evs.push_back(make_ev(TraceEventKind::kItem, 100, 1, 0));
+  analysis::TraceContext ctx;
+  ctx.expected_items[1] = 2;  // never completed
+
+  analysis::TracePipeline p;
+  p.add(analysis::make_prefix_attestor());
+  const auto rep = p.run(evs, ctx);
+  EXPECT_EQ(rep.value("prefix.ok"), 0);
+  EXPECT_EQ(rep.value("prefix.incomplete"), 1);
+}
+
+TEST(TracePipeline, PrefixAttestorHonorsRehydrationPosition) {
+  // A crash-restart resumes session 1 at position 2: indices 0 and 1 were
+  // accepted pre-crash and never reappear in this trace.
+  std::vector<TraceEvent> evs;
+  evs.push_back(
+      make_ev(TraceEventKind::kRehydrate, 50, 1, 2,
+              static_cast<std::uint8_t>(net::SessionState::kActive)));
+  evs.push_back(make_ev(TraceEventKind::kItem, 100, 1, 2));
+  evs.push_back(
+      make_ev(TraceEventKind::kSessionState, 200, 1, 0,
+              static_cast<std::uint8_t>(net::SessionState::kCompleted)));
+  analysis::TraceContext ctx;
+  ctx.expected_items[1] = 3;
+
+  analysis::TracePipeline p;
+  p.add(analysis::make_prefix_attestor());
+  const auto rep = p.run(evs, ctx);
+  EXPECT_EQ(rep.value("prefix.ok"), 1);
+}
+
+TEST(TracePipeline, FaultCorrelatorAttributesLossToWindows) {
+  std::vector<TraceEvent> evs;
+  evs.push_back(make_ev(TraceEventKind::kFrameShed, 150, 1));    // inside
+  evs.push_back(make_ev(TraceEventKind::kFrameShed, 500, 1));    // outside
+  evs.push_back(make_ev(
+      TraceEventKind::kFrameRejected, 160, 0, 0,
+      static_cast<std::uint8_t>(net::RejectReason::kBadChecksum)));
+  evs.push_back(make_ev(TraceEventKind::kFrameSent, 170, 1, 0,
+                        static_cast<std::uint8_t>(net::FrameKind::kData)));
+  evs.push_back(make_ev(TraceEventKind::kFrameSent, 600, 1, 1,
+                        static_cast<std::uint8_t>(net::FrameKind::kData)));
+  analysis::TraceContext ctx;
+  ctx.fault_windows.push_back({"blackout S->R", 100, 200});
+
+  analysis::TracePipeline p;
+  p.add(analysis::make_fault_correlator());
+  const auto rep = p.run(evs, ctx);
+  EXPECT_EQ(rep.value("faultcorr.windows"), 1);
+  EXPECT_EQ(rep.value("faultcorr.covered_us"), 100);
+  EXPECT_EQ(rep.value("faultcorr.sheds_in_window"), 1);
+  EXPECT_EQ(rep.value("faultcorr.sheds_outside"), 1);
+  EXPECT_EQ(rep.value("faultcorr.rejects_in_window"), 1);
+  EXPECT_EQ(rep.value("faultcorr.rejects_outside"), 0);
+  EXPECT_EQ(rep.value("faultcorr.sends_in_window"), 1);
+}
+
+TEST(TracePipeline, StallDetectorMeasuresGapsAndLivelock) {
+  std::vector<TraceEvent> evs;
+  evs.push_back(make_ev(TraceEventKind::kItem, 100, 1, 0));
+  // A long silent gap, then frames churn with no further items.
+  for (int i = 0; i < 5; ++i) {
+    evs.push_back(
+        make_ev(TraceEventKind::kFrameSent, 300'000 + i * 10, 1, 1,
+                static_cast<std::uint8_t>(net::FrameKind::kData)));
+  }
+  analysis::TraceContext ctx;
+  ctx.expected_items[1] = 2;  // incomplete: item 1 never accepted
+
+  analysis::TracePipeline p;
+  p.add(analysis::make_stall_detector(/*stall_threshold_us=*/100'000,
+                                      /*livelock_frames=*/5));
+  const auto rep = p.run(evs, ctx);
+  EXPECT_EQ(rep.value("stall.max_gap_us"), 299'900);
+  EXPECT_EQ(rep.value("stall.gaps_over_threshold"), 1);
+  EXPECT_EQ(rep.value("stall.trailing_frames"), 5);
+  EXPECT_EQ(rep.value("stall.livelock"), 1);
+  EXPECT_FALSE(rep.ok);
+
+  // The same trace with every session completed is keepalive churn, not
+  // livelock.
+  analysis::TracePipeline p2;
+  p2.add(analysis::make_stall_detector(100'000, 5));
+  const auto rep2 = p2.run(evs, {});
+  EXPECT_EQ(rep2.value("stall.livelock"), 0);
+  EXPECT_TRUE(rep2.ok);
+}
+
+TEST(TracePipeline, RehydrationLatencyToFirstItem) {
+  std::vector<TraceEvent> evs;
+  evs.push_back(
+      make_ev(TraceEventKind::kRehydrate, 100, 1, 2,
+              static_cast<std::uint8_t>(net::SessionState::kActive)));
+  evs.push_back(make_ev(TraceEventKind::kItem, 350, 1, 2));
+  evs.push_back(make_ev(TraceEventKind::kItem, 500, 1, 3));  // not a sample
+  evs.push_back(
+      make_ev(TraceEventKind::kRehydrate, 600, 2, 0,
+              static_cast<std::uint8_t>(net::SessionState::kActive)));
+
+  analysis::TracePipeline p;
+  p.add(analysis::make_rehydration_analyzer());
+  const auto rep = p.run(evs, {});
+  EXPECT_EQ(rep.value("rehydrate.rehydrations"), 2);
+  EXPECT_EQ(rep.value("rehydrate.latency.count"), 1);
+  EXPECT_EQ(rep.value("rehydrate.latency.p50_us"), 250);
+}
+
+TEST(TracePipeline, ReportJsonAndMetricsPublish) {
+  analysis::TraceReport rep;
+  rep.values["prefix.ok"] = 1;
+  rep.values["goodput.items"] = 42;
+  rep.notes["prefix.first_violation"] = "none";
+  EXPECT_TRUE(obs::json_valid(rep.to_json()));
+  EXPECT_NE(rep.to_json().find("\"goodput.items\":42"), std::string::npos);
+
+  obs::MetricsRegistry reg;
+  analysis::publish_trace_report(rep, reg);
+  EXPECT_EQ(reg.gauges().at("trace.prefix.ok").value(), 1);
+  EXPECT_EQ(reg.gauges().at("trace.goodput.items").value(), 42);
+  EXPECT_EQ(reg.gauges().at("trace.ok").value(), 1);
+
+  analysis::TraceReport same = rep;
+  EXPECT_EQ(same, rep);
+  same.values["goodput.items"] = 41;
+  EXPECT_NE(same, rep);
+}
+
+TEST(TracePipeline, StandardPipelineHasAllSevenAnalyzers) {
+  EXPECT_EQ(analysis::make_standard_pipeline().size(), 7u);
+}
+
+// --------------------------------------------------------------------------
+// Integration: recorder on a live mux; archive round-trip; acceptance.
+// --------------------------------------------------------------------------
+
+struct TracedRun {
+  std::size_t sessions;
+  std::vector<TraceEvent> server_events;
+  analysis::TraceContext ctx;
+  obs::MetricsRegistry server_metrics;
+  bool drained_in_time = false;
+  std::size_t completed = 0;
+};
+
+/// n sessions over a lossy reordering link with a FlightRecorder on the
+/// server mux, drained periodically.  Injects one checksum-corrupted frame
+/// so the reject path is part of every traced run.
+TracedRun traced_run(std::size_t n, std::size_t len) {
+  net::LoopbackConfig wire_cfg;
+  fault::FaultPlan plan = fault::periodic_plan(
+      fault::FaultKind::kDropBurst, sim::Dir::kSenderToReceiver, 9, 1,
+      500'000);
+  const auto rs = fault::periodic_plan(fault::FaultKind::kDropBurst,
+                                       sim::Dir::kReceiverToSender, 11, 1,
+                                       500'000);
+  plan.actions.insert(plan.actions.end(), rs.actions.begin(),
+                      rs.actions.end());
+  wire_cfg.plan = plan;
+  wire_cfg.reorder_window = 4;
+  wire_cfg.seed = 0xACCE55;
+  wire_cfg.max_queue = 16384;
+  auto wire = net::make_loopback(wire_cfg);
+
+  net::FlightRecorder recorder;
+  net::MuxConfig cfg;
+  cfg.workers = 2;
+  cfg.steps_per_sweep = 2;
+  cfg.max_inflight = 8;
+  cfg.inbox_limit = 64;
+  cfg.keepalive_sweeps = 4;
+  cfg.sweep_interval = 500us;
+  net::MuxConfig server_cfg = cfg;
+  server_cfg.probe = &recorder;
+
+  net::StpClient client(wire.a.get(), cfg);
+  net::StpServer server(wire.b.get(), server_cfg);
+  TracedRun run;
+  run.sessions = n;
+  for (std::uint32_t id = 0; id < n; ++id) {
+    auto pair = proto::make_stenning(kDomain);
+    const auto x = seq_for(id, len);
+    client.add_session(id, std::move(pair.sender), x);
+    server.add_session(id, std::move(pair.receiver), x);
+    run.ctx.expected_items[id] = len;
+  }
+
+  // One corrupt frame onto the S->R link: the server pump must reject it
+  // (bad-checksum) and the trace must show it.
+  {
+    net::Frame f;
+    f.session = 0;
+    f.msg = 0;
+    auto bytes = net::encode(f);
+    bytes[net::kFrameSize - 1] ^= 0xFF;
+    wire.a->send(bytes);
+  }
+
+  {
+    std::jthread drainer([&](std::stop_token stop) {
+      while (!stop.stop_requested()) {
+        auto batch = recorder.drain();
+        run.server_events.insert(run.server_events.end(), batch.begin(),
+                                 batch.end());
+        std::this_thread::sleep_for(2ms);
+      }
+    });
+    run.drained_in_time = net::run_service_pair(client, server, 120s);
+  }
+  auto tail = recorder.drain();
+  run.server_events.insert(run.server_events.end(), tail.begin(),
+                           tail.end());
+  std::stable_sort(run.server_events.begin(), run.server_events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  EXPECT_EQ(recorder.stats().dropped, 0u);
+
+  run.ctx.fault_windows =
+      net::to_trace_spans(wire.fault_windows(), recorder.epoch());
+  for (const auto& r : server.mux().reports()) {
+    if (r.state == net::SessionState::kCompleted && r.items == len) {
+      ++run.completed;
+    }
+  }
+  server.mux().publish_metrics(run.server_metrics);
+  recorder.publish_metrics(run.server_metrics);
+  return run;
+}
+
+TEST(TraceIntegration, MuxRunAttestsAndCountsRejects) {
+  const auto run = traced_run(8, 3);
+  ASSERT_TRUE(run.drained_in_time);
+  ASSERT_EQ(run.completed, 8u);
+
+  // The injected corrupt frame: per-reason counter and trace event agree.
+  EXPECT_EQ(run.server_metrics.counter_value("net.rejects.bad-checksum"),
+            1u);
+  EXPECT_EQ(run.server_metrics.counter_value("net.rejects.bad-magic"), 0u);
+  EXPECT_EQ(run.server_metrics.counters().count("net.sheds"), 1u);
+  const auto rejected = std::count_if(
+      run.server_events.begin(), run.server_events.end(),
+      [](const TraceEvent& ev) {
+        return ev.kind == TraceEventKind::kFrameRejected &&
+               static_cast<net::RejectReason>(ev.detail) ==
+                   net::RejectReason::kBadChecksum;
+      });
+  EXPECT_EQ(rejected, 1);
+
+  // The trace alone re-derives the acceptance verdict.
+  auto rep = analysis::make_standard_pipeline().run(run.server_events,
+                                                    run.ctx);
+  EXPECT_EQ(rep.value("prefix.ok"), 1);
+  EXPECT_EQ(rep.value("prefix.completed"), 8);
+  EXPECT_EQ(rep.value("goodput.items"), 24);
+  EXPECT_GT(rep.value("goodput.data_frames"), 0);
+  EXPECT_TRUE(rep.ok);
+}
+
+TEST(TraceIntegration, ArchiveRoundTripYieldsIdenticalReport) {
+  const auto run = traced_run(4, 3);
+  ASSERT_TRUE(run.drained_in_time);
+
+  const auto live = analysis::make_standard_pipeline().run(
+      run.server_events, run.ctx);
+
+  std::ostringstream archive;
+  net::write_trace_jsonl(archive, run.server_events);
+  std::istringstream is(archive.str());
+  const auto parsed = net::read_trace_jsonl(is);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(*parsed, run.server_events);
+
+  const auto offline =
+      analysis::make_standard_pipeline().run(*parsed, run.ctx);
+  EXPECT_EQ(offline, live);
+
+  // And the same stream exports as a loadable Chrome trace.
+  std::ostringstream chrome;
+  net::write_wire_chrome_trace(chrome, *parsed, run.ctx.fault_windows);
+  EXPECT_TRUE(obs::json_valid(chrome.str()));
+}
+
+TEST(TraceAcceptance, ThousandSessionVerdictFromTraceAlone) {
+  const auto run = traced_run(1000, 3);
+  ASSERT_TRUE(run.drained_in_time);
+  EXPECT_EQ(run.completed, 1000u);
+
+  const auto rep = analysis::make_standard_pipeline().run(
+      run.server_events, run.ctx);
+  EXPECT_EQ(rep.value("prefix.ok"), 1) << rep.to_json();
+  EXPECT_EQ(rep.value("prefix.sessions"), 1000);
+  EXPECT_EQ(rep.value("prefix.completed"), 1000);
+  EXPECT_EQ(rep.value("prefix.item_violations"), 0);
+  EXPECT_EQ(rep.value("goodput.items"), 3000);
+  EXPECT_EQ(rep.value("stall.livelock"), 0);
+  EXPECT_TRUE(rep.ok);
+}
+
+}  // namespace
+}  // namespace stpx
