@@ -44,6 +44,22 @@ constexpr std::size_t kSeqLen = 8;
 constexpr std::uint64_t kPlanHorizon = 500000;
 constexpr double kOverheadLimitPct = 5.0;
 
+// Sanitizer instrumentation shadow-checks every ring write, inflating the
+// recorder's cost relative to the uninstrumented baseline — the overhead
+// ceiling is a production claim, so under ASan/TSan it is reported but not
+// enforced (the attestation and drop-accounting gates still are).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
 seq::Sequence seq_for(std::uint32_t id, std::size_t len) {
   seq::Sequence x;
   x.reserve(len);
@@ -228,6 +244,8 @@ int main(int argc, char** argv) {
   bench.param("max_sessions", static_cast<std::int64_t>(points.back()));
   bench.param("ring_capacity", static_cast<std::int64_t>(kDefaultRing));
   bench.param("overhead_limit_pct", "5.0");
+  bench.param("overhead_gate_enforced", kSanitized ? "no (sanitized build)"
+                                                   : "yes");
 
   std::cout << analysis::heading(
       "R6 (observability): flight-recorder overhead and trace attestation");
@@ -251,7 +269,7 @@ int main(int argc, char** argv) {
             ? (off.items_per_sec - on.items_per_sec) / off.items_per_sec *
                   100.0
             : 0.0;
-    if (largest && overhead_pct > kOverheadLimitPct) {
+    if (largest && !kSanitized && overhead_pct > kOverheadLimitPct) {
       // One re-measure: the gate is against a reproduced slowdown, not a
       // single noisy scheduling quantum.
       off = run_point(n, false, kDefaultRing, false, nullptr, false);
@@ -264,7 +282,7 @@ int main(int argc, char** argv) {
     shape = shape && off.completed == n && on.completed == n && on.attested;
     if (largest) {
       worst_overhead_pct = overhead_pct;
-      shape = shape && overhead_pct <= kOverheadLimitPct;
+      shape = shape && (kSanitized || overhead_pct <= kOverheadLimitPct);
     }
     table.add_row({std::to_string(n), "off", std::to_string(off.completed),
                    fmt1(off.wall_ms), fmt1(off.items_per_sec), "-", "-", "-",
@@ -299,7 +317,8 @@ int main(int argc, char** argv) {
   std::cout << "\nshape " << (shape ? "confirmed" : "VIOLATED")
             << ": every session completed at every point, the drained "
                "trace attests prefix safety, recorder overhead "
-            << fmt1(worst_overhead_pct) << "% <= 5% at n="
-            << points.back() << ", drops exactly accounted\n";
+            << fmt1(worst_overhead_pct) << "% "
+            << (kSanitized ? "(reported only: sanitized build)" : "<= 5%")
+            << " at n=" << points.back() << ", drops exactly accounted\n";
   return bench.finish(shape);
 }

@@ -1,0 +1,740 @@
+// R7 (service fabric) — crash re-homing must preserve exact-copy
+// delivery, and the restore path must be fast and attestable offline.
+//
+// Three phases:
+//
+//   1. In-process acceptance: 256 sessions sharded over 3 backend cells,
+//      one backend kill -9'd (mux killed mid-flight) by a scripted
+//      fault plan.  Every client session must complete, the merged
+//      per-backend trace must re-derive per-session prefix safety across
+//      the re-home, and the trace verdict must MATCH the live one.
+//
+//   2. Restore-latency distribution: seeded crash trials; each re-home's
+//      fence -> rehydrate -> serving latency is collected and reported
+//      as p50/p90/max.
+//
+//   3. Process harness: the same topology over real processes — this
+//      binary fork/execs itself as 3 backend processes (--backend mode),
+//      each handshaking with the parent's router over a UDP rendezvous
+//      and journaling its sessions to a FileStore and its FlightRecorder
+//      trace to JSONL (flushed every ~25 ms).  The parent SIGKILLs one
+//      backend mid-run, waits for the heartbeat strike ladder to declare
+//      it dead, re-execs the survivor with BOTH log directories
+//      (--absorb-logs), swaps the router link, and re-homes the dead
+//      sessions.  Acceptance is the same: all sessions complete and the
+//      traces merged across processes (rebased by each recorder's
+//      CLOCK_MONOTONIC epoch) attest every session.  Where the sandbox
+//      forbids sockets or fork, this phase degrades to "skipped" without
+//      failing the bench — phases 1-2 already cover the logic in-process.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "analysis/trace_pipeline.hpp"
+#include "common.hpp"
+#include "fabric/fabric.hpp"
+#include "net/flight_recorder.hpp"
+#include "net/loopback.hpp"
+#include "net/service.hpp"
+#include "net/udp.hpp"
+#include "store/session_log.hpp"
+#include "store/stable_store.hpp"
+#include "stp/fabric_soak.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define R7_HAVE_PROCESS 1
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+using namespace stpx;
+using namespace stpx::bench;
+using namespace std::chrono_literals;
+
+constexpr int kDomain = 8;
+constexpr std::size_t kBackends = 3;
+
+// Sanitizer instrumentation slows the heavily-threaded soak by well over
+// an order of magnitude on a small runner, and can starve any one thread
+// for tens of milliseconds at a stretch.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+// The 256-session acceptance width is an uninstrumented-build claim;
+// instrumented builds run the same crash/re-home shape at reduced width
+// (reported via the acceptance_sessions param so the JSON says which
+// claim was measured).
+constexpr std::size_t kAcceptanceSessions = kSanitized ? 48 : 256;
+
+seq::Sequence seq_for(std::uint32_t id, std::size_t len) {
+  seq::Sequence x;
+  x.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    x.push_back(static_cast<seq::DataItem>((id + i) % kDomain));
+  }
+  return x;
+}
+
+net::StpServer::ReceiverFactory stenning_factory() {
+  return [](std::uint32_t, std::uint64_t tag)
+             -> std::unique_ptr<sim::IReceiver> {
+    if (tag != 0 && tag != store::proto_tag_of("stenning-receiver")) {
+      return nullptr;
+    }
+    return proto::make_stenning(kDomain).receiver;
+  };
+}
+
+/// Round-robin shard, identical in parent and children.
+std::uint32_t owner_of(std::uint32_t sid, std::size_t backends) {
+  return (sid - 1) % static_cast<std::uint32_t>(backends) + 1;
+}
+
+fabric::HealthConfig aggressive_health() {
+  fabric::HealthConfig h;
+  // Instrumented builds widen the ladder: a sanitizer scheduler can
+  // starve a healthy backend past the fast ladder, and a false verdict
+  // on ALL backends wedges the fleet (death is sticky; no survivor
+  // means no re-home).
+  h.probe_interval = kSanitized ? 5ms : 1ms;
+  h.probe_timeout = kSanitized ? 100ms : 5ms;
+  h.max_strikes = 3;
+  h.backoff = 2.0;
+  h.max_timeout = kSanitized ? 1s : 50ms;
+  return h;
+}
+
+net::MuxConfig throttled_mux() {
+  net::MuxConfig m;
+  m.workers = 2;
+  m.steps_per_sweep = 1;
+  m.max_inflight = 2;
+  m.sweep_interval = 1ms;
+  m.keepalive_sweeps = 8;
+  return m;
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+std::string fmt1(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+// ==========================================================================
+// Child mode: one backend process (--backend ...).
+// ==========================================================================
+
+#if defined(R7_HAVE_PROCESS)
+
+volatile std::sig_atomic_t g_term = 0;
+void on_term(int) { g_term = 1; }
+
+struct ChildArgs {
+  std::uint32_t id = 0;
+  std::size_t backends = kBackends;
+  std::size_t sessions = 0;
+  std::size_t seq_len = 0;
+  std::uint16_t port = 0;
+  std::string logs;
+  std::string absorb_logs;  // empty = first generation
+  std::uint32_t absorb_id = 0;
+  std::string trace;
+  std::string meta;
+  std::uint64_t max_run_ms = 60'000;
+};
+
+std::optional<ChildArgs> parse_child_args(int argc, char** argv) {
+  ChildArgs a;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string k = argv[i];
+    const std::string v = argv[i + 1];
+    if (k == "--backend-id") a.id = static_cast<std::uint32_t>(std::stoul(v));
+    else if (k == "--backends") a.backends = std::stoul(v);
+    else if (k == "--sessions") a.sessions = std::stoul(v);
+    else if (k == "--seq-len") a.seq_len = std::stoul(v);
+    else if (k == "--router-port") a.port = static_cast<std::uint16_t>(std::stoul(v));
+    else if (k == "--logs") a.logs = v;
+    else if (k == "--absorb-logs") a.absorb_logs = v;
+    else if (k == "--absorb-id") a.absorb_id = static_cast<std::uint32_t>(std::stoul(v));
+    else if (k == "--trace") a.trace = v;
+    else if (k == "--meta") a.meta = v;
+    else if (k == "--max-run-ms") a.max_run_ms = std::stoull(v);
+    else return std::nullopt;
+  }
+  if (a.id == 0 || a.port == 0 || a.logs.empty() || a.trace.empty() ||
+      a.meta.empty()) {
+    return std::nullopt;
+  }
+  return a;
+}
+
+void flush_trace(net::FlightRecorder& rec, std::ofstream& out) {
+  for (const auto& ev : rec.drain()) out << net::to_jsonl(ev) << '\n';
+  out.flush();
+}
+
+int run_backend(const ChildArgs& a) {
+  std::signal(SIGTERM, on_term);
+
+  std::filesystem::create_directories(a.logs);
+  store::FileStore own(a.logs);
+  net::FlightRecorderConfig rc;
+  rc.backend_id = a.id;
+  net::FlightRecorder rec(rc);
+  std::ofstream trace(a.trace, std::ios::trunc);
+  std::ofstream meta(a.meta, std::ios::trunc);
+  if (!trace || !meta) return 3;
+  // The recorder epoch is the merge key: CLOCK_MONOTONIC is machine-wide,
+  // so the parent rebases every process's events onto one axis.
+  meta << "epoch_us " << rec.epoch_offset_us() << "\n";
+  meta.flush();
+
+  auto dialed = net::make_udp_connected(a.port);
+  if (!dialed) return 4;
+  // Hello: any losable frame; accept_peer() consumes it to learn our addr.
+  {
+    net::Frame hello;
+    hello.kind = net::FrameKind::kData;
+    hello.dir = sim::Dir::kReceiverToSender;
+    hello.session = net::kFabricSession;
+    hello.msg = 0;
+    (*dialed)->send(net::encode(hello));
+  }
+
+  net::MuxConfig cfg;
+  cfg.workers = 2;
+  cfg.steps_per_sweep = 1;
+  cfg.max_inflight = 4;
+  cfg.sweep_interval = 500us;
+  cfg.probe = &rec;
+  cfg.session_stores = {&own};
+  cfg.backend_id = a.id;
+  net::StpServer server(dialed->get(), cfg);
+
+  // Which sessions must live here: this backend's round-robin share, plus
+  // the dead backend's share when absorbing.
+  std::set<std::uint32_t> expected;
+  for (std::uint32_t sid = 1; sid <= a.sessions; ++sid) {
+    const auto o = owner_of(sid, a.backends);
+    if (o == a.id || (!a.absorb_logs.empty() && o == a.absorb_id)) {
+      expected.insert(sid);
+    }
+  }
+  const auto expected_for = [&a](std::uint32_t sid) {
+    return seq_for(sid, a.seq_len);
+  };
+
+  if (a.absorb_logs.empty()) {
+    own.reset();  // first generation: the log starts empty
+  } else {
+    store::FileStore dead(a.absorb_logs);
+    const auto rep =
+        server.rehydrate(stenning_factory(), expected_for, {&dead});
+    meta << "restore_us";
+    for (const auto us : rep.restore_latency_us) meta << ' ' << us;
+    meta << "\nrehydrated " << rep.sessions << "\n";
+    meta.flush();
+  }
+  std::set<std::uint32_t> hosted;
+  for (const auto& r : server.mux().reports()) hosted.insert(r.id);
+  for (const std::uint32_t sid : expected) {
+    if (hosted.count(sid) != 0) continue;
+    server.add_session(sid, proto::make_stenning(kDomain).receiver,
+                       seq_for(sid, a.seq_len));
+  }
+
+  server.mux().start();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(a.max_run_ms);
+  while (g_term == 0 && std::chrono::steady_clock::now() < deadline) {
+    flush_trace(rec, trace);
+    std::this_thread::sleep_for(25ms);
+  }
+  server.mux().stop();
+  flush_trace(rec, trace);
+  meta << "completed " << server.mux().stats().sessions_completed << "\n";
+  meta.flush();
+  return 0;
+}
+
+// ==========================================================================
+// Parent side of the process harness.
+// ==========================================================================
+
+struct ProcResult {
+  bool ran = false;     // false: environment lacks UDP/fork — skipped
+  bool ok = false;
+  std::string why;
+  std::size_t sessions = 0;
+  std::size_t completed = 0;
+  std::int64_t trace_completed = 0;
+  bool attested = false;
+  std::uint64_t detect_us = 0;   // SIGKILL -> death verdict
+  std::uint64_t restore_us = 0;  // death verdict -> survivor re-linked
+  std::vector<std::uint64_t> session_restore_us;
+};
+
+pid_t spawn_backend(const std::string& exe,
+                    const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(exe.c_str()));
+  argv.push_back(const_cast<char*>("--backend"));
+  for (const auto& s : args) argv.push_back(const_cast<char*>(s.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(exe.c_str(), argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+std::vector<std::string> backend_args(const std::filesystem::path& dir,
+                                      std::uint32_t id, std::size_t sessions,
+                                      std::size_t seq_len, std::uint16_t port,
+                                      std::uint32_t gen,
+                                      std::uint32_t absorb_id = 0) {
+  std::vector<std::string> a = {
+      "--backend-id",  std::to_string(id),
+      "--backends",    std::to_string(kBackends),
+      "--sessions",    std::to_string(sessions),
+      "--seq-len",     std::to_string(seq_len),
+      "--router-port", std::to_string(port),
+      "--logs",        (dir / ("logs_b" + std::to_string(id))).string(),
+      "--trace",
+      (dir / ("trace_b" + std::to_string(id) + "_g" + std::to_string(gen) +
+              ".jsonl"))
+          .string(),
+      "--meta",
+      (dir / ("meta_b" + std::to_string(id) + "_g" + std::to_string(gen) +
+              ".txt"))
+          .string(),
+  };
+  if (absorb_id != 0) {
+    a.push_back("--absorb-logs");
+    a.push_back((dir / ("logs_b" + std::to_string(absorb_id))).string());
+    a.push_back("--absorb-id");
+    a.push_back(std::to_string(absorb_id));
+  }
+  return a;
+}
+
+/// Parse one meta file: "epoch_us N", "restore_us a b c...", "completed N".
+struct ChildMeta {
+  std::uint64_t epoch_us = 0;
+  std::vector<std::uint64_t> restore_us;
+};
+
+std::optional<ChildMeta> read_meta(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  if (!in) return std::nullopt;
+  ChildMeta m;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "epoch_us") ls >> m.epoch_us;
+    if (key == "restore_us") {
+      std::uint64_t us = 0;
+      while (ls >> us) m.restore_us.push_back(us);
+    }
+  }
+  return m;
+}
+
+std::vector<net::TraceEvent> read_trace(const std::filesystem::path& p) {
+  std::vector<net::TraceEvent> evs;
+  std::ifstream in(p);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (auto ev = net::parse_jsonl(line)) evs.push_back(*ev);
+  }
+  return evs;
+}
+
+void reap(std::vector<pid_t>& pids) {
+  for (const pid_t pid : pids) {
+    if (pid <= 0) continue;
+    ::kill(pid, SIGTERM);
+  }
+  for (const pid_t pid : pids) {
+    if (pid <= 0) continue;
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  pids.clear();
+}
+
+ProcResult run_process_harness(const std::string& exe, std::size_t sessions,
+                               std::size_t seq_len) {
+  ProcResult res;
+  res.sessions = sessions;
+  if (!net::udp_supported()) {
+    res.why = "UDP not compiled in";
+    return res;
+  }
+
+  char tmpl[] = "/tmp/r7_fabric_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    res.why = "mkdtemp failed";
+    return res;
+  }
+  const std::filesystem::path dir(tmpl);
+  std::vector<pid_t> pids(kBackends + 1, -1);  // [id]; [0] unused
+  std::vector<std::unique_ptr<net::UdpTransport>> links(kBackends + 1);
+  const auto cleanup = [&] {
+    reap(pids);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  };
+
+  // Spawn + handshake each backend over its own rendezvous socket.
+  for (std::uint32_t id = 1; id <= kBackends; ++id) {
+    auto rv = net::make_udp_rendezvous();
+    if (!rv) {
+      res.why = "environment forbids UDP sockets";
+      cleanup();
+      return res;
+    }
+    pids[id] = spawn_backend(
+        exe, backend_args(dir, id, sessions, seq_len, (*rv)->port(), 1));
+    if (pids[id] < 0) {
+      res.why = "fork failed";
+      cleanup();
+      return res;
+    }
+    links[id] = (*rv)->accept_peer(5s);
+    if (!links[id]) {
+      res.why = "backend " + std::to_string(id) + " never dialed in";
+      cleanup();
+      return res;
+    }
+  }
+  res.ran = true;
+
+  // Router + membership + client, all in this process.
+  fabric::MembershipTable membership;
+  auto client_link = net::make_loopback({});
+  fabric::RouterConfig rcfg;
+  // Cross-process ack RTT is real scheduling latency (worse still under
+  // sanitizers), so the heartbeat gets a far laxer ladder than the
+  // in-process cells: ~1.4s of silence to a death verdict, never a false
+  // strike on a merely slow peer.
+  rcfg.health.probe_interval = std::chrono::milliseconds(20);
+  rcfg.health.probe_timeout = std::chrono::milliseconds(200);
+  rcfg.health.max_strikes = 3;
+  rcfg.health.max_timeout = std::chrono::milliseconds(1000);
+  fabric::FabricRouter router(client_link.b.get(), &membership, rcfg);
+  for (std::uint32_t id = 1; id <= kBackends; ++id) {
+    membership.add_backend(id);
+    router.add_backend(id, links[id].get());
+  }
+  net::MuxConfig ccfg = throttled_mux();
+  ccfg.sweep_interval = 2ms;
+  ccfg.max_inflight = 1;
+  net::StpClient client(client_link.a.get(), ccfg);
+  for (std::uint32_t sid = 1; sid <= sessions; ++sid) {
+    membership.assign(sid, owner_of(sid, kBackends));
+    client.add_session(sid, proto::make_stenning(kDomain, true).sender,
+                       seq_for(sid, seq_len));
+  }
+  router.start();
+  client.mux().start();
+
+  // The crash: SIGKILL backend 1 mid-run.  No flush, no goodbye — its
+  // trace tail and any unsynced log batch die with it.
+  std::this_thread::sleep_for(60ms);
+  const std::uint32_t victim = 1;
+  ::kill(pids[victim], SIGKILL);
+  {
+    int status = 0;
+    ::waitpid(pids[victim], &status, 0);
+    pids[victim] = -1;
+  }
+  const auto t_kill = std::chrono::steady_clock::now();
+
+  // Heartbeat silence climbs the strike ladder to a death verdict.
+  std::optional<std::uint32_t> dead;
+  const auto death_deadline = t_kill + 10s;
+  while (!dead && std::chrono::steady_clock::now() < death_deadline) {
+    dead = router.next_dead();
+    if (!dead) std::this_thread::sleep_for(1ms);
+  }
+  const auto t_death = std::chrono::steady_clock::now();
+  if (!dead || *dead != victim) {
+    res.why = "death verdict never arrived";
+    client.mux().stop();
+    router.stop();
+    cleanup();
+    return res;
+  }
+  res.detect_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t_death - t_kill)
+          .count());
+
+  // Re-home: gracefully retire the survivor's first generation (its log
+  // flushes), re-exec it with BOTH log directories, swap the link.  The
+  // health FSM is paused for the survivor across the window so the
+  // maintenance restart cannot be mistaken for a second crash.
+  const auto survivor_opt = membership.pick_survivor(victim);
+  if (!survivor_opt) {
+    res.why = "no survivor";
+    client.mux().stop();
+    router.stop();
+    cleanup();
+    return res;
+  }
+  const std::uint32_t survivor = *survivor_opt;
+  router.set_probes_paused(survivor, true);
+  ::kill(pids[survivor], SIGTERM);
+  {
+    int status = 0;
+    ::waitpid(pids[survivor], &status, 0);
+    pids[survivor] = -1;
+  }
+  auto rv2 = net::make_udp_rendezvous();
+  if (!rv2) {
+    res.why = "re-exec rendezvous failed";
+    client.mux().stop();
+    router.stop();
+    cleanup();
+    return res;
+  }
+  pids[survivor] = spawn_backend(
+      exe, backend_args(dir, survivor, sessions, seq_len, (*rv2)->port(), 2,
+                        victim));
+  auto relinked = (*rv2)->accept_peer(10s);
+  if (!relinked) {
+    res.why = "survivor never dialed back in";
+    client.mux().stop();
+    router.stop();
+    cleanup();
+    return res;
+  }
+  // Keep the old transport alive until set_link returns — it blocks past
+  // the pump's in-flight pass, after which the corpse is safe to free.
+  auto old_link = std::move(links[survivor]);
+  links[survivor] = std::move(relinked);
+  router.set_link(survivor, links[survivor].get());
+  old_link.reset();
+  router.set_probes_paused(survivor, false);
+  membership.rehome(victim, survivor);
+  res.restore_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t_death)
+          .count());
+
+  // Drain: every client session must complete against the healed fleet.
+  const bool drained = client.mux().drain(60s);
+  client.mux().stop();
+  router.stop();
+  res.completed = client.mux().stats().sessions_completed;
+
+  // Retire the children gracefully (final trace flush + meta), then merge
+  // the per-process traces by recorder epoch and attest offline.
+  reap(pids);
+  std::vector<fabric::TracePart> parts;
+  const auto add_part = [&](std::uint32_t id, std::uint32_t gen) {
+    const auto meta = read_meta(
+        dir / ("meta_b" + std::to_string(id) + "_g" + std::to_string(gen) +
+               ".txt"));
+    if (!meta) return;
+    parts.push_back(
+        {meta->epoch_us,
+         read_trace(dir / ("trace_b" + std::to_string(id) + "_g" +
+                           std::to_string(gen) + ".jsonl"))});
+    if (gen == 2) res.session_restore_us = meta->restore_us;
+  };
+  for (std::uint32_t id = 1; id <= kBackends; ++id) add_part(id, 1);
+  add_part(survivor, 2);
+
+  analysis::TraceContext ctx;
+  for (std::uint32_t sid = 1; sid <= sessions; ++sid) {
+    ctx.expected_items[sid] = seq_len;
+  }
+  analysis::TracePipeline pipe;
+  pipe.add(analysis::make_prefix_attestor())
+      .add(analysis::make_rehydration_analyzer());
+  const auto report = pipe.run(fabric::merge_backend_traces(parts), ctx);
+  res.attested = report.ok;
+  res.trace_completed = report.value("prefix.completed");
+
+  res.ok = drained && res.completed == sessions && res.attested &&
+           res.trace_completed == static_cast<std::int64_t>(res.completed);
+  if (!res.ok && res.why.empty()) {
+    res.why = !drained ? "drain timeout"
+                       : (!res.attested ? "merged trace failed attestation"
+                                        : "live/trace verdicts disagree");
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return res;
+}
+
+#endif  // R7_HAVE_PROCESS
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#if defined(R7_HAVE_PROCESS)
+  if (argc > 1 && std::strcmp(argv[1], "--backend") == 0) {
+    const auto child = parse_child_args(argc, argv);
+    if (!child) {
+      std::cerr << "r7_fabric --backend: bad arguments\n";
+      return 2;
+    }
+    return run_backend(*child);
+  }
+#endif
+
+  BenchRun bench("r7_fabric", argc, argv);
+  bench.param("backends", static_cast<std::int64_t>(kBackends));
+  std::cout << analysis::heading(
+      "R7 (service fabric): crash re-homing, restore latency, process "
+      "harness");
+
+  bool shape = true;
+
+  // --- Phase 1: in-process acceptance (256 sessions, one crash) ----------
+  stp::FabricSoakConfig acc;
+  acc.backends = kBackends;
+  acc.sessions = kAcceptanceSessions;
+  acc.seq_len = 8;
+  acc.health = aggressive_health();
+  acc.mux = throttled_mux();
+  // Generous: the throttled mux needs seconds when idle, but a loaded CI
+  // core (sanitizer jobs, parallel ctest) can stretch it far further.
+  acc.drain_timeout = std::chrono::milliseconds(180'000);
+  acc.plan.actions.push_back(
+      {stp::FabricFaultKind::kBackendCrash, 1, 15ms, {}});
+  const auto accepted = stp::run_fabric_soak(acc);
+  for (std::size_t i = 0; i < acc.sessions; ++i) {
+    bench.record_trial(acc.seq_len, acc.seq_len * 2, accepted.ok);
+  }
+  shape = shape && accepted.ok;
+  bench.param("acceptance_sessions", static_cast<std::int64_t>(acc.sessions));
+
+  analysis::Table t1({"sessions", "completed", "rehomes", "trace completed",
+                      "trace ok", "verdict"});
+  t1.add_row({std::to_string(acc.sessions),
+              std::to_string(accepted.completed),
+              std::to_string(accepted.rehomes),
+              std::to_string(accepted.trace.value("prefix.completed")),
+              accepted.trace.ok ? "yes" : "NO",
+              accepted.ok ? "ok" : accepted.failure});
+  std::cout << "\nin-process acceptance (kill backend 1 @15ms):\n"
+            << t1.to_ascii();
+
+  // --- Phase 2: restore-latency distribution over seeded crash trials ----
+  std::vector<std::uint64_t> restore;
+  std::size_t crash_trials = 0;
+  for (std::uint64_t seed = 1; crash_trials < 6 && seed <= 64; ++seed) {
+    stp::FabricSoakConfig cfg = acc;
+    cfg.sessions = 24;
+    cfg.seq_len = 10;
+    cfg.plan = stp::sample_fabric_plan(seed, kBackends);
+    const bool has_crash = std::any_of(
+        cfg.plan.actions.begin(), cfg.plan.actions.end(),
+        [](const stp::FabricFaultAction& a) {
+          return a.kind == stp::FabricFaultKind::kBackendCrash;
+        });
+    if (!has_crash) continue;
+    ++crash_trials;
+    const auto r = stp::run_fabric_soak(cfg);
+    shape = shape && r.ok;
+    restore.insert(restore.end(), r.restore_latency_us.begin(),
+                   r.restore_latency_us.end());
+    if (!r.ok) {
+      std::cout << "\nseed " << seed << " plan [" << stp::to_string(cfg.plan)
+                << "] FAILED: " << r.failure << "\n";
+    }
+  }
+  const auto p50 = percentile(restore, 0.50);
+  const auto p90 = percentile(restore, 0.90);
+  const auto pmax = restore.empty()
+                        ? 0
+                        : *std::max_element(restore.begin(), restore.end());
+  bench.param("restore_p50_us", static_cast<std::int64_t>(p50));
+  bench.param("restore_p90_us", static_cast<std::int64_t>(p90));
+  bench.param("restore_max_us", static_cast<std::int64_t>(pmax));
+  analysis::Table t2({"crash trials", "rehomes", "p50 us", "p90 us",
+                      "max us"});
+  t2.add_row({std::to_string(crash_trials), std::to_string(restore.size()),
+              std::to_string(p50), std::to_string(p90),
+              std::to_string(pmax)});
+  std::cout << "\nrestore latency (fence -> rehydrated -> serving):\n"
+            << t2.to_ascii();
+
+  // --- Phase 3: the process harness ---------------------------------------
+#if defined(R7_HAVE_PROCESS)
+  const auto proc = run_process_harness(argv[0], 24, 10);
+  if (!proc.ran) {
+    std::cout << "\nprocess harness: skipped (" << proc.why
+              << ") — in-process phases cover the logic\n";
+    bench.param("process_harness", "skipped");
+  } else {
+    shape = shape && proc.ok;
+    bench.param("process_harness", proc.ok ? "ok" : proc.why);
+    bench.param("proc_detect_us", static_cast<std::int64_t>(proc.detect_us));
+    bench.param("proc_restore_us",
+                static_cast<std::int64_t>(proc.restore_us));
+    bench.param("proc_session_restore_p50_us",
+                static_cast<std::int64_t>(
+                    percentile(proc.session_restore_us, 0.50)));
+    analysis::Table t3({"sessions", "completed", "trace completed",
+                        "attested", "detect ms", "restore ms", "verdict"});
+    t3.add_row({std::to_string(proc.sessions),
+                std::to_string(proc.completed),
+                std::to_string(proc.trace_completed),
+                proc.attested ? "yes" : "NO",
+                fmt1(static_cast<double>(proc.detect_us) / 1000.0),
+                fmt1(static_cast<double>(proc.restore_us) / 1000.0),
+                proc.ok ? "ok" : proc.why});
+    std::cout << "\nprocess harness (3 backends fork/exec'd, SIGKILL b1, "
+                 "survivor re-exec'd with both logs):\n"
+              << t3.to_ascii();
+  }
+#else
+  std::cout << "\nprocess harness: unavailable on this platform\n";
+  bench.param("process_harness", "unavailable");
+#endif
+
+  std::cout << "\nshape " << (shape ? "confirmed" : "VIOLATED")
+            << ": every session survives the crash with an exact copy, "
+               "re-homed by heartbeat verdict, attested offline from the "
+               "merged per-backend trace\n";
+  return bench.finish(shape);
+}

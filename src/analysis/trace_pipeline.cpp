@@ -239,11 +239,16 @@ class PrefixAttestor final : public ITraceAnalyzer {
         break;
       }
       case TraceEventKind::kRehydrate: {
-        // A rehydration resumes the session at `position`: indices below
-        // it were accepted before the crash and will not reappear.
+        // A rehydration resumes the session at the durable `position` —
+        // assignment, in either direction, exactly like a live probe's
+        // on_rehydrate.  Raising covers indices accepted before the crash
+        // that never reappear; LOWERING is the crash-rewind case: the dead
+        // generation's trace may witness items beyond the last durable
+        // checkpoint, and the surviving generation legitimately re-earns
+        // them (a released ack never outran the durable position, so the
+        // peer replays them — docs/RECOVERY.md).
         Session& s = sessions_[ev.session];
-        const auto pos = static_cast<std::size_t>(ev.msg);
-        if (pos > s.next_index) s.next_index = pos;
+        s.next_index = static_cast<std::size_t>(ev.msg);
         break;
       }
       default:

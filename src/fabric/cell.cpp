@@ -1,0 +1,95 @@
+#include "fabric/cell.hpp"
+
+#include <chrono>
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace stpx::fabric {
+
+BackendCell::BackendCell(net::ITransport* transport, CellConfig cfg)
+    : transport_(transport), cfg_(std::move(cfg)) {
+  STPX_EXPECT(transport_ != nullptr, "BackendCell: null transport");
+  STPX_EXPECT(cfg_.id != 0, "BackendCell: backend id 0 is reserved");
+  STPX_EXPECT(!cfg_.stores.empty(), "BackendCell: a backend needs stores");
+  STPX_EXPECT(static_cast<bool>(cfg_.make_receiver) &&
+                  static_cast<bool>(cfg_.expected_for),
+              "BackendCell: receiver factory and expectation provider "
+              "are required");
+  server_ = make_generation();
+}
+
+std::unique_ptr<net::StpServer> BackendCell::make_generation() {
+  net::MuxConfig mc = cfg_.mux;
+  mc.backend_id = cfg_.id;
+  mc.session_stores = cfg_.stores;
+  return std::make_unique<net::StpServer>(transport_, mc);
+}
+
+void BackendCell::add_session(std::uint32_t sid) {
+  // Cold registration passes proto_tag 0 ("fresh default") — factories
+  // must build a from-scratch receiver for tag 0.
+  auto receiver = cfg_.make_receiver(sid, 0);
+  STPX_EXPECT(receiver != nullptr,
+              "BackendCell: factory declined a cold session");
+  server_->add_session(sid, std::move(receiver), cfg_.expected_for(sid));
+}
+
+void BackendCell::start() {
+  std::lock_guard<std::mutex> hold(mu_);
+  STPX_EXPECT(!killed_, "BackendCell: start on a dead cell");
+  server_->mux().start();
+  started_ = true;
+}
+
+void BackendCell::stop() {
+  std::lock_guard<std::mutex> hold(mu_);
+  if (killed_) return;
+  server_->mux().stop();
+}
+
+void BackendCell::kill() {
+  std::lock_guard<std::mutex> hold(mu_);
+  if (killed_) return;
+  killed_ = true;
+  server_->mux().kill();
+}
+
+AbsorbReport BackendCell::rehome_absorb(
+    const std::vector<store::IStableStore*>& handoff,
+    const std::vector<std::uint32_t>& expected) {
+  std::lock_guard<std::mutex> hold(mu_);
+  STPX_EXPECT(!killed_, "BackendCell: absorb on a dead cell");
+  const auto t0 = std::chrono::steady_clock::now();
+  // Bare stop: the running generation retires without its final flush —
+  // our own sessions restart from their last cadence checkpoint, same as
+  // they would after a real crash.  Held (durability-gated) frames die
+  // here; retransmission heals that.
+  server_->mux().stop();
+  ++generation_;
+  server_ = make_generation();
+  AbsorbReport rep;
+  rep.rehydrate =
+      server_->rehydrate(cfg_.make_receiver, cfg_.expected_for, handoff);
+  // Sessions the membership table expects here but no log manifests
+  // (assigned, never checkpointed before the crash) start cold — they
+  // re-earn everything from the wire.
+  std::set<std::uint32_t> hosted;
+  for (const auto& r : server_->mux().reports()) hosted.insert(r.id);
+  for (const std::uint32_t sid : expected) {
+    if (hosted.count(sid) != 0) continue;
+    auto receiver = cfg_.make_receiver(sid, 0);
+    if (!receiver) continue;
+    server_->add_session(sid, std::move(receiver), cfg_.expected_for(sid));
+    rep.cold_added.push_back(sid);
+  }
+  server_->mux().start();
+  started_ = true;
+  rep.latency_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return rep;
+}
+
+}  // namespace stpx::fabric

@@ -1,0 +1,104 @@
+// BackendCell — one backend of the fabric: an StpServer generation over a
+// fixed transport endpoint, plus the crash / re-home machinery.
+//
+// A cell owns the *role* of backend k, not a single mux: generations of
+// StpServer come and go (crash, absorb-restart) while the transport
+// endpoint and the session stores stay put — exactly the crash-restart
+// shape docs/RECOVERY.md establishes for a single server, lifted to a
+// fleet member.
+//
+//   kill()           crash: the mux dies mid-flight (no drain, no final
+//                    flush), probes go unanswered, the router's health
+//                    loop declares the cell dead.  Idempotent — fencing
+//                    an already-dead cell is a no-op, which is what makes
+//                    FALSE suspicion safe: fence first, ask later.
+//   rehome_absorb()  survivor side of a re-home: bare-stop the running
+//                    generation, build a fresh one on the same transport
+//                    and OWN stores, rehydrate with the dead backend's
+//                    logs as read-only extra sources, cold-add any
+//                    expected session that never manifested (assigned but
+//                    never checkpointed before the crash), restart.
+//
+// The cell's MuxConfig.backend_id is stamped with the cell id, so every
+// manifest record it writes says who owned the session when — provenance
+// that survives the handoff.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/service.hpp"
+
+namespace stpx::fabric {
+
+struct CellConfig {
+  /// Backend id (nonzero; 0 is the "unattributed" sentinel).
+  std::uint32_t id = 1;
+  /// Mux template; backend_id is overwritten with `id`.
+  net::MuxConfig mux;
+  /// This cell's own session logs (non-owning, must outlive the cell).
+  std::vector<store::IStableStore*> stores;
+  /// Builds a receiver endpoint for session `sid` — used both for cold
+  /// add_session() and for rehydrate after a crash/absorb.
+  net::StpServer::ReceiverFactory make_receiver;
+  net::StpServer::ExpectedProvider expected_for;
+};
+
+/// What one rehome_absorb() did (the survivor's view).
+struct AbsorbReport {
+  net::RehydrateReport rehydrate;
+  std::vector<std::uint32_t> cold_added;  // expected but never manifested
+  std::uint64_t latency_us = 0;           // stop -> serving again
+};
+
+class BackendCell {
+ public:
+  /// `transport` is the cell's end of its router link (non-owning; shared
+  /// by every generation).
+  BackendCell(net::ITransport* transport, CellConfig cfg);
+
+  /// Cold-register one session on the current generation (before start()).
+  void add_session(std::uint32_t sid);
+
+  void start();
+
+  /// Graceful shutdown of the current generation (drain is the caller's
+  /// job; this is stop()).  No-op when killed.
+  void stop();
+
+  /// Crash the current generation: threads retired without the final
+  /// flush, held frames dropped, probes unanswered from now on.
+  /// Idempotent — the supervisor fences every suspect through this.
+  void kill();
+
+  bool killed() const { return killed_; }
+  std::uint32_t id() const { return cfg_.id; }
+
+  /// Survivor side of a re-home (see file comment).  `handoff` is the
+  /// dead backend's stores (read-only); `expected` the session ids the
+  /// membership table says must now live here (this cell's own sessions
+  /// need not be listed — its stores already manifest them).
+  AbsorbReport rehome_absorb(
+      const std::vector<store::IStableStore*>& handoff,
+      const std::vector<std::uint32_t>& expected);
+
+  /// The current generation (valid between construction and kill()).
+  net::StpServer& server() { return *server_; }
+  const net::StpServer& server() const { return *server_; }
+  std::uint32_t generation() const { return generation_; }
+
+ private:
+  std::unique_ptr<net::StpServer> make_generation();
+
+  net::ITransport* transport_;
+  CellConfig cfg_;
+  std::unique_ptr<net::StpServer> server_;
+  std::uint32_t generation_ = 1;
+  bool started_ = false;
+  bool killed_ = false;
+  std::mutex mu_;  // serializes kill / absorb / stop
+};
+
+}  // namespace stpx::fabric

@@ -1,0 +1,160 @@
+#include "fabric/fabric.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace stpx::fabric {
+
+Fabric::Fabric(FabricConfig cfg) : cfg_(std::move(cfg)) {
+  STPX_EXPECT(cfg_.backends >= 1, "Fabric: needs at least one backend");
+  STPX_EXPECT(static_cast<bool>(cfg_.stores_for),
+              "Fabric: stores_for is required");
+  client_link_ = net::make_loopback(cfg_.link);
+  router_ = std::make_unique<FabricRouter>(client_link_.b.get(),
+                                           &membership_, cfg_.router);
+  backend_links_.reserve(cfg_.backends);
+  cells_.reserve(cfg_.backends);
+  for (std::size_t i = 0; i < cfg_.backends; ++i) {
+    const std::uint32_t id = static_cast<std::uint32_t>(i + 1);
+    backend_links_.push_back(net::make_loopback(cfg_.link));
+    membership_.add_backend(id);
+    router_->add_backend(id, backend_links_[i].a.get());
+    stores_.push_back(cfg_.stores_for(id));
+    CellConfig cc;
+    cc.id = id;
+    cc.mux = cfg_.mux;
+    if (cfg_.probe_for) cc.mux.probe = cfg_.probe_for(id);
+    cc.stores = stores_[i];
+    cc.make_receiver = cfg_.make_receiver;
+    cc.expected_for = cfg_.expected_for;
+    cells_.push_back(
+        std::make_unique<BackendCell>(backend_links_[i].b.get(), cc));
+  }
+}
+
+Fabric::~Fabric() { stop(); }
+
+void Fabric::add_session(std::uint32_t sid) {
+  STPX_EXPECT(!started_, "Fabric: add_session after start");
+  const std::uint32_t id =
+      static_cast<std::uint32_t>(next_assign_++ % cells_.size()) + 1;
+  membership_.assign(sid, id);
+  cells_[id - 1]->add_session(sid);
+}
+
+void Fabric::start() {
+  STPX_EXPECT(!started_, "Fabric: started twice");
+  started_ = true;
+  for (auto& c : cells_) c->start();
+  router_->start();
+  supervisor_ = std::jthread([this](std::stop_token st) { supervise(st); });
+}
+
+void Fabric::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  supervisor_.request_stop();
+  supervisor_.join();
+  router_->stop();
+  for (auto& c : cells_) c->stop();  // no-op on killed cells
+}
+
+bool Fabric::drain(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool all = true;
+    for (const auto& c : cells_) {
+      if (c->killed()) continue;
+      all = all && c->server().mux().all_terminal();
+    }
+    if (all) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void Fabric::kill_backend(std::uint32_t id) { cell(id).kill(); }
+
+void Fabric::set_probe_blackout(std::uint32_t id, bool on) {
+  router_->set_drop_probes(id, on);
+}
+
+void Fabric::set_data_split(std::uint32_t id, bool on) {
+  router_->set_drop_data(id, on);
+}
+
+BackendCell& Fabric::cell(std::uint32_t id) {
+  STPX_EXPECT(id >= 1 && id <= cells_.size(), "Fabric: unknown backend id");
+  return *cells_[id - 1];
+}
+
+std::vector<RehomeRecord> Fabric::rehomes() const {
+  std::lock_guard<std::mutex> hold(rehome_mu_);
+  return rehomes_;
+}
+
+void Fabric::supervise(std::stop_token st) {
+  while (!st.stop_requested()) {
+    if (const auto dead = router_->next_dead()) {
+      handle_death(*dead);
+    } else {
+      std::this_thread::sleep_for(cfg_.supervise_poll);
+    }
+  }
+}
+
+void Fabric::handle_death(std::uint32_t dead) {
+  RehomeRecord rec;
+  rec.dead = dead;
+  // Fence FIRST: a suspect that is actually alive (probe blackout) must
+  // stop serving before anyone re-reads its logs, or two generations of
+  // the same session could both write.  kill() is idempotent, so fencing
+  // an already-crashed cell costs nothing.
+  cells_[dead - 1]->kill();
+  const auto survivor = membership_.pick_survivor(dead);
+  if (!survivor) {
+    std::lock_guard<std::mutex> hold(rehome_mu_);
+    rehomes_.push_back(std::move(rec));
+    return;
+  }
+  rec.survivor = *survivor;
+  // The survivor goes dark while its mux restarts; pause its heartbeat
+  // so the maintenance window cannot read as a second crash.
+  router_->set_probes_paused(*survivor, true);
+  rec.absorb = cells_[*survivor - 1]->rehome_absorb(
+      stores_[dead - 1], membership_.sessions_of(dead));
+  router_->set_probes_paused(*survivor, false);
+  // Only now flip the routing truth: frames for the moved sessions were
+  // dropped (counted dead_owner) during the absorb, which retransmission
+  // heals; after this line they flow to the survivor.
+  rec.moved = membership_.rehome(dead, *survivor);
+  rec.ok = true;
+  std::lock_guard<std::mutex> hold(rehome_mu_);
+  rehomes_.push_back(std::move(rec));
+}
+
+std::vector<net::TraceEvent> merge_backend_traces(
+    const std::vector<TracePart>& parts) {
+  std::uint64_t min_epoch = 0;
+  bool any = false;
+  for (const TracePart& p : parts) {
+    if (!any || p.epoch_us < min_epoch) min_epoch = p.epoch_us;
+    any = true;
+  }
+  std::vector<net::TraceEvent> merged;
+  for (const TracePart& p : parts) {
+    const std::uint64_t base = p.epoch_us - min_epoch;
+    for (net::TraceEvent ev : p.events) {
+      ev.ts_us += base;
+      merged.push_back(std::move(ev));
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const net::TraceEvent& a, const net::TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return merged;
+}
+
+}  // namespace stpx::fabric

@@ -1,0 +1,150 @@
+// Fabric — the in-process service fabric: N backend cells behind one
+// router, one supervisor closing the crash → fence → re-home loop.
+//
+// Wiring (every link is a loopback pair; the process harness in
+// bench/r7_fabric.cpp builds the same topology over UDP + fork/exec):
+//
+//   client mux ══ client link ══ FabricRouter ══ link k ══ BackendCell k
+//                                     │
+//                                HealthMonitor (kProbe/kProbeAck)
+//                                     │ death verdict
+//                                supervisor thread:
+//                                  fence (kill the suspect — idempotent,
+//                                    so FALSE suspicion is safe)
+//                                  pick survivor (least loaded, alive)
+//                                  absorb (survivor rehydrates its own
+//                                    logs + the dead cell's as handoff)
+//                                  re-home (membership rewrite; the
+//                                    router forwards there from now on)
+//
+// Sessions are assigned round-robin at registration; the membership
+// table is the single routing truth before and after a re-home.  The
+// supervisor records every re-home (survivor, moved sessions, absorb
+// report, latency) for the bench harness and the tests.
+//
+// merge_backend_traces() is the observability counterpart: per-backend
+// FlightRecorder streams, each stamped with its recorder epoch
+// (CLOCK_MONOTONIC is machine-wide), rebased onto one time axis so the
+// trace-analysis pipeline can attest per-session prefix safety ACROSS
+// the crash boundary — the dead generation's events and the survivor's
+// land in one ordered stream (docs/FABRIC.md).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fabric/cell.hpp"
+#include "fabric/router.hpp"
+#include "net/loopback.hpp"
+#include "net/trace_event.hpp"
+
+namespace stpx::fabric {
+
+struct FabricConfig {
+  std::size_t backends = 3;
+  RouterConfig router;
+  /// Mux template for every cell (backend_id/session_stores overwritten
+  /// per cell; `probe` overridden by probe_for when given).
+  net::MuxConfig mux;
+  net::StpServer::ReceiverFactory make_receiver;
+  net::StpServer::ExpectedProvider expected_for;
+  /// Session logs for backend `id` (called once per backend at
+  /// construction and cached; the same pointers serve as the handoff
+  /// source when that backend dies).
+  std::function<std::vector<store::IStableStore*>(std::uint32_t)> stores_for;
+  /// Optional per-backend observer (e.g. one FlightRecorder per cell,
+  /// configured with backend_id = cell id).
+  std::function<net::INetProbe*(std::uint32_t)> probe_for;
+  /// Link template for the client link and every backend link.
+  net::LoopbackConfig link;
+  /// Supervisor poll cadence for death events.
+  std::chrono::microseconds supervise_poll{200};
+};
+
+/// One fence-and-re-home, as the supervisor saw it.
+struct RehomeRecord {
+  std::uint32_t dead = 0;
+  std::uint32_t survivor = 0;  ///< 0: no alive backend was left
+  std::vector<std::uint32_t> moved;
+  AbsorbReport absorb;
+  bool ok = false;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig cfg);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+  ~Fabric();
+
+  /// The client side of the client link — build the StpClient on this.
+  net::ITransport* client_endpoint() { return client_link_.a.get(); }
+
+  /// Register one session (before start()): assigned round-robin to a
+  /// backend, recorded in the membership table, cold-added to its cell.
+  void add_session(std::uint32_t sid);
+
+  void start();
+  /// Supervisor, router, then every still-alive cell. Idempotent.
+  void stop();
+
+  /// Wait until every session hosted by an alive cell is terminal (the
+  /// supervisor keeps re-homing meanwhile).  False on timeout.
+  bool drain(std::chrono::milliseconds timeout);
+
+  // --- fault injection --------------------------------------------------
+  /// Crash backend `id` now (the router discovers it by probe timeout).
+  void kill_backend(std::uint32_t id);
+  /// Sever/restore the heartbeat while data still flows (false-suspicion
+  /// drill).
+  void set_probe_blackout(std::uint32_t id, bool on);
+  /// Sever/restore session traffic while heartbeats still answer.
+  void set_data_split(std::uint32_t id, bool on);
+
+  MembershipTable& membership() { return membership_; }
+  FabricRouter& router() { return *router_; }
+  BackendCell& cell(std::uint32_t id);
+  std::size_t backend_count() const { return cells_.size(); }
+
+  std::vector<RehomeRecord> rehomes() const;
+
+ private:
+  void supervise(std::stop_token st);
+  void handle_death(std::uint32_t dead);
+
+  FabricConfig cfg_;
+  MembershipTable membership_;
+  net::LoopbackPair client_link_;
+  std::vector<net::LoopbackPair> backend_links_;
+  std::vector<std::vector<store::IStableStore*>> stores_;  // per cell
+  std::vector<std::unique_ptr<BackendCell>> cells_;  // cells_[i] has id i+1
+  std::unique_ptr<FabricRouter> router_;
+  std::size_t next_assign_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex rehome_mu_;
+  std::vector<RehomeRecord> rehomes_;
+  std::jthread supervisor_;
+};
+
+/// One backend's recorded trace plus its recorder epoch
+/// (FlightRecorder::epoch_offset_us()).
+struct TracePart {
+  std::uint64_t epoch_us = 0;
+  std::vector<net::TraceEvent> events;
+};
+
+/// Rebase every part onto the earliest epoch and merge into one stream
+/// ordered by the rebased timestamp (stable: ties keep part order, so a
+/// backend's own events never reorder).  Feed the result to the
+/// trace-analysis pipeline to attest sessions across a re-home.
+std::vector<net::TraceEvent> merge_backend_traces(
+    const std::vector<TracePart>& parts);
+
+}  // namespace stpx::fabric

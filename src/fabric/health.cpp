@@ -1,0 +1,103 @@
+#include "fabric/health.hpp"
+
+#include <algorithm>
+
+namespace stpx::fabric {
+
+void HealthMonitor::add_backend(std::uint32_t id, time_point now) {
+  Backend b;
+  b.timeout = cfg_.probe_timeout;
+  b.next_due = now;  // first probe due immediately
+  backends_.emplace(id, b);
+}
+
+void HealthMonitor::advance(std::uint32_t id, Backend& b, time_point now) {
+  (void)id;
+  if (b.health == BackendHealth::kDead || b.paused || !b.outstanding) return;
+  if (now < b.sent_at + b.timeout) return;
+  // The outstanding probe expired: charge a strike, grow the timeout,
+  // and make the retry due immediately (the backoff lives in the grown
+  // timeout, not in extra idle time — a recovering backend is re-probed
+  // promptly but given longer to answer).
+  b.outstanding = false;
+  ++b.strikes;
+  ++stats_.timeouts;
+  const auto grown = std::chrono::microseconds(static_cast<std::int64_t>(
+      static_cast<double>(b.timeout.count()) * cfg_.backoff));
+  b.timeout = std::min(grown, cfg_.max_timeout);
+  b.next_due = now;
+  if (b.strikes >= cfg_.max_strikes) {
+    b.health = BackendHealth::kDead;
+    ++stats_.deaths;
+  } else {
+    b.health = BackendHealth::kSuspect;
+  }
+}
+
+std::optional<std::int64_t> HealthMonitor::next_probe(std::uint32_t id,
+                                                      time_point now) {
+  const auto it = backends_.find(id);
+  if (it == backends_.end()) return std::nullopt;
+  Backend& b = it->second;
+  advance(id, b, now);
+  if (b.health == BackendHealth::kDead || b.paused) return std::nullopt;
+  if (b.outstanding || now < b.next_due) return std::nullopt;
+  b.outstanding = true;
+  b.nonce = next_nonce_++;
+  b.sent_at = now;
+  ++stats_.probes_sent;
+  return b.nonce;
+}
+
+void HealthMonitor::on_ack(std::uint32_t id, std::int64_t nonce,
+                           time_point now) {
+  const auto it = backends_.find(id);
+  if (it == backends_.end()) {
+    ++stats_.late_or_stray_acks;
+    return;
+  }
+  Backend& b = it->second;
+  advance(id, b, now);
+  // Death is sticky; an ack for a stale nonce proves nothing about the
+  // probe we are actually waiting on (it may have been queued for ages).
+  if (b.health == BackendHealth::kDead || !b.outstanding ||
+      nonce != b.nonce) {
+    ++stats_.late_or_stray_acks;
+    return;
+  }
+  b.outstanding = false;
+  b.strikes = 0;
+  b.timeout = cfg_.probe_timeout;
+  b.health = BackendHealth::kAlive;
+  b.next_due = now + cfg_.probe_interval;
+  ++stats_.acks;
+}
+
+void HealthMonitor::set_paused(std::uint32_t id, bool paused,
+                               time_point now) {
+  const auto it = backends_.find(id);
+  if (it == backends_.end()) return;
+  Backend& b = it->second;
+  if (b.paused == paused) return;
+  b.paused = paused;
+  if (b.health == BackendHealth::kDead) return;  // sticky either way
+  b.outstanding = false;
+  b.strikes = 0;
+  b.timeout = cfg_.probe_timeout;
+  b.health = BackendHealth::kAlive;
+  if (!paused) b.next_due = now + cfg_.probe_interval;
+}
+
+BackendHealth HealthMonitor::health(std::uint32_t id, time_point now) {
+  const auto it = backends_.find(id);
+  if (it == backends_.end()) return BackendHealth::kDead;
+  advance(id, it->second, now);
+  return it->second.health;
+}
+
+std::uint32_t HealthMonitor::strikes(std::uint32_t id) const {
+  const auto it = backends_.find(id);
+  return it == backends_.end() ? 0 : it->second.strikes;
+}
+
+}  // namespace stpx::fabric

@@ -1,0 +1,108 @@
+// HealthMonitor — the per-backend heartbeat state machine.
+//
+// Pure FSM, no threads, no clock of its own: the caller (FabricRouter's
+// pump, or a unit test) injects `now` into every call, which makes the
+// timeout/retry/backoff ladder deterministic under test.  Per backend:
+//
+//   idle ── interval elapsed ──▶ probe outstanding (nonce, deadline)
+//     ▲                               │
+//     │ ack(nonce) ── strikes := 0,   │ deadline passed ── strike++,
+//     │   timeout := base ────────────┤   timeout *= backoff (capped),
+//     │                               │   re-probe immediately
+//     └───────────────────────────────┴── strikes == max_strikes ──▶ DEAD
+//
+// Death is sticky — once declared, the backend is fenced by the fabric
+// and never revived (a late ack is counted but changes nothing).  The
+// strike budget with exponential backoff means a single dropped probe
+// datagram costs one quick retry, while a truly dead backend is declared
+// after max_strikes timeouts spanning roughly
+// timeout * (backoff^max_strikes - 1) / (backoff - 1).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "fabric/membership.hpp"
+
+namespace stpx::fabric {
+
+struct HealthConfig {
+  /// Gap between heartbeats while the backend answers promptly.
+  std::chrono::microseconds probe_interval{2'000};
+  /// How long an outstanding probe may go unanswered before a strike.
+  std::chrono::microseconds probe_timeout{10'000};
+  /// Strikes (consecutive timeouts) before the backend is declared dead.
+  std::uint32_t max_strikes = 3;
+  /// Timeout multiplier applied per strike (exponential backoff).
+  double backoff = 2.0;
+  /// Backoff ceiling.
+  std::chrono::microseconds max_timeout{200'000};
+};
+
+/// Per-backend probe accounting snapshot.
+struct HealthStats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t late_or_stray_acks = 0;
+  std::uint64_t timeouts = 0;   // strikes charged
+  std::uint64_t deaths = 0;     // backends declared dead
+};
+
+class HealthMonitor {
+ public:
+  using time_point = std::chrono::steady_clock::time_point;
+
+  explicit HealthMonitor(HealthConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Register a backend; its first probe is due immediately.
+  void add_backend(std::uint32_t id, time_point now);
+
+  /// Advance the FSM for `id`: charge timeouts, then decide whether a
+  /// probe should go out now.  Returns the nonce to send, or nullopt when
+  /// nothing is due (probe outstanding / interval not yet elapsed / dead).
+  std::optional<std::int64_t> next_probe(std::uint32_t id, time_point now);
+
+  /// A kProbeAck carrying `nonce` arrived from `id`.
+  void on_ack(std::uint32_t id, std::int64_t nonce, time_point now);
+
+  /// Maintenance pause: while paused no probes go out and no timeouts are
+  /// charged — a backend the supervisor is deliberately restarting (the
+  /// re-homing absorb window) must not be mistaken for a crash.  Pausing
+  /// forgives the strike ladder; resuming schedules the next probe one
+  /// interval out.  Death stays sticky through both.
+  void set_paused(std::uint32_t id, bool paused, time_point now);
+
+  /// Current verdict (also charges any pending timeout at `now`, so a
+  /// caller that stops probing still observes death).
+  BackendHealth health(std::uint32_t id, time_point now);
+
+  /// Strikes currently charged against `id` (0 when healthy or unknown).
+  std::uint32_t strikes(std::uint32_t id) const;
+
+  HealthStats stats() const { return stats_; }
+  const HealthConfig& config() const { return cfg_; }
+
+ private:
+  struct Backend {
+    BackendHealth health = BackendHealth::kAlive;
+    bool paused = false;
+    std::uint32_t strikes = 0;
+    std::chrono::microseconds timeout{0};  // current, backoff-grown
+    bool outstanding = false;
+    std::int64_t nonce = 0;
+    time_point sent_at{};
+    time_point next_due{};  // when the next probe may go out
+  };
+
+  /// Charge a timeout strike if the outstanding probe expired.
+  void advance(std::uint32_t id, Backend& b, time_point now);
+
+  HealthConfig cfg_;
+  std::map<std::uint32_t, Backend> backends_;
+  std::int64_t next_nonce_ = 1;
+  HealthStats stats_;
+};
+
+}  // namespace stpx::fabric

@@ -1,0 +1,107 @@
+#include "fabric/membership.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::fabric {
+
+void MembershipTable::add_backend(std::uint32_t backend) {
+  std::lock_guard<std::mutex> hold(mu_);
+  backend_health_.try_emplace(backend, BackendHealth::kAlive);
+}
+
+void MembershipTable::assign(std::uint32_t session, std::uint32_t backend) {
+  std::lock_guard<std::mutex> hold(mu_);
+  STPX_EXPECT(backend_health_.count(backend) != 0,
+              "MembershipTable: assign to unknown backend");
+  session_owner_[session] = backend;
+}
+
+std::optional<std::uint32_t> MembershipTable::owner(
+    std::uint32_t session) const {
+  std::lock_guard<std::mutex> hold(mu_);
+  const auto it = session_owner_.find(session);
+  if (it == session_owner_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MembershipTable::set_health(std::uint32_t backend, BackendHealth h) {
+  std::lock_guard<std::mutex> hold(mu_);
+  const auto it = backend_health_.find(backend);
+  STPX_EXPECT(it != backend_health_.end(),
+              "MembershipTable: set_health on unknown backend");
+  // Death is sticky: a fenced backend never routes again, even if a late
+  // probe ack argues otherwise (split-brain prevention — docs/FABRIC.md).
+  if (it->second == BackendHealth::kDead) return;
+  it->second = h;
+}
+
+BackendHealth MembershipTable::health(std::uint32_t backend) const {
+  std::lock_guard<std::mutex> hold(mu_);
+  const auto it = backend_health_.find(backend);
+  return it == backend_health_.end() ? BackendHealth::kDead : it->second;
+}
+
+std::vector<std::uint32_t> MembershipTable::rehome(std::uint32_t from,
+                                                   std::uint32_t to) {
+  std::lock_guard<std::mutex> hold(mu_);
+  STPX_EXPECT(backend_health_.count(to) != 0,
+              "MembershipTable: rehome to unknown backend");
+  auto fh = backend_health_.find(from);
+  if (fh != backend_health_.end()) fh->second = BackendHealth::kDead;
+  std::vector<std::uint32_t> moved;
+  for (auto& [session, owner] : session_owner_) {
+    if (owner == from) {
+      owner = to;
+      moved.push_back(session);
+    }
+  }
+  return moved;
+}
+
+std::vector<std::uint32_t> MembershipTable::sessions_of(
+    std::uint32_t backend) const {
+  std::lock_guard<std::mutex> hold(mu_);
+  std::vector<std::uint32_t> out;
+  for (const auto& [session, owner] : session_owner_) {
+    if (owner == backend) out.push_back(session);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> MembershipTable::backends() const {
+  std::lock_guard<std::mutex> hold(mu_);
+  std::vector<std::uint32_t> out;
+  out.reserve(backend_health_.size());
+  for (const auto& [id, h] : backend_health_) {
+    (void)h;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<std::uint32_t> MembershipTable::pick_survivor(
+    std::uint32_t not_this) const {
+  std::lock_guard<std::mutex> hold(mu_);
+  std::optional<std::uint32_t> best;
+  std::size_t best_load = 0;
+  for (const auto& [id, h] : backend_health_) {
+    if (id == not_this || h != BackendHealth::kAlive) continue;
+    std::size_t load = 0;
+    for (const auto& [session, owner] : session_owner_) {
+      (void)session;
+      if (owner == id) ++load;
+    }
+    if (!best || load < best_load) {
+      best = id;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+std::size_t MembershipTable::session_count() const {
+  std::lock_guard<std::mutex> hold(mu_);
+  return session_owner_.size();
+}
+
+}  // namespace stpx::fabric

@@ -1,0 +1,69 @@
+// MembershipTable — who owns which session, and who is still alive.
+//
+// The fabric's routing ground truth: a session id maps to exactly one
+// backend id at any moment.  The router consults it per forwarded frame;
+// the supervisor rewrites it on re-homing.  All methods are thread-safe
+// (one mutex — the table is small and reads are cheap; the per-frame
+// lookup is a shared map probe, uncontended except during a re-home).
+//
+// Health here is bookkeeping, not detection: the HealthMonitor decides
+// when a backend is suspect or dead (docs/FABRIC.md); the table records
+// the verdict so routing and re-homing agree on it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace stpx::fabric {
+
+enum class BackendHealth : std::uint8_t {
+  kAlive = 0,
+  kSuspect,  // probes timing out, not yet past the strike budget
+  kDead,     // declared dead; fenced and never revived
+};
+
+constexpr const char* to_cstr(BackendHealth h) {
+  switch (h) {
+    case BackendHealth::kAlive: return "alive";
+    case BackendHealth::kSuspect: return "suspect";
+    case BackendHealth::kDead: return "dead";
+  }
+  return "?";
+}
+
+class MembershipTable {
+ public:
+  /// Register a backend (idempotent; starts kAlive).
+  void add_backend(std::uint32_t backend);
+
+  /// Assign (or reassign) one session to a backend.
+  void assign(std::uint32_t session, std::uint32_t backend);
+
+  /// The backend currently owning `session`, or nullopt when unknown.
+  std::optional<std::uint32_t> owner(std::uint32_t session) const;
+
+  void set_health(std::uint32_t backend, BackendHealth h);
+  BackendHealth health(std::uint32_t backend) const;
+
+  /// Move every session owned by `from` onto `to`, mark `from` kDead.
+  /// Returns the session ids that moved (deterministic id order).
+  std::vector<std::uint32_t> rehome(std::uint32_t from, std::uint32_t to);
+
+  std::vector<std::uint32_t> sessions_of(std::uint32_t backend) const;
+  std::vector<std::uint32_t> backends() const;
+  /// Alive backend with the fewest sessions, excluding `not_this`
+  /// (ties broken by lowest id).  nullopt when none is alive.
+  std::optional<std::uint32_t> pick_survivor(std::uint32_t not_this) const;
+
+  std::size_t session_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::uint32_t, std::uint32_t> session_owner_;
+  std::map<std::uint32_t, BackendHealth> backend_health_;
+};
+
+}  // namespace stpx::fabric

@@ -1,0 +1,248 @@
+#include "fabric/router.hpp"
+
+#include "util/expect.hpp"
+
+namespace stpx::fabric {
+
+using net::Frame;
+using net::FrameKind;
+using net::ITransport;
+using net::kFabricSession;
+
+FabricRouter::FabricRouter(ITransport* client_side,
+                           MembershipTable* membership, RouterConfig cfg)
+    : client_(client_side), membership_(membership), cfg_(cfg),
+      health_(cfg.health) {
+  STPX_EXPECT(client_ != nullptr, "FabricRouter: null client transport");
+  STPX_EXPECT(membership_ != nullptr, "FabricRouter: null membership");
+}
+
+FabricRouter::~FabricRouter() { stop(); }
+
+void FabricRouter::add_backend(std::uint32_t id, ITransport* link) {
+  STPX_EXPECT(!started_, "FabricRouter: add_backend after start");
+  STPX_EXPECT(link != nullptr, "FabricRouter: null backend link");
+  auto b = std::make_unique<BackendLink>();
+  b->id = id;
+  b->link.store(link, std::memory_order_release);
+  backends_.push_back(std::move(b));
+  std::lock_guard<std::mutex> hold(health_mu_);
+  health_.add_backend(id, std::chrono::steady_clock::now());
+}
+
+void FabricRouter::set_link(std::uint32_t id, ITransport* link) {
+  for (auto& b : backends_) {
+    if (b->id == id) {
+      b->link.store(link, std::memory_order_release);
+      // The store only stops FUTURE pump passes from using the old
+      // transport — the pump may be inside poll() on it right now.  Wait
+      // out two tick advances (the in-flight pass plus one full pass that
+      // provably loaded the new pointer) so the caller can destroy the
+      // old transport the moment we return.
+      const std::uint64_t seen = pump_ticks_.load(std::memory_order_acquire);
+      while (pump_.joinable() &&
+             !pump_.get_stop_token().stop_requested() &&
+             pump_ticks_.load(std::memory_order_acquire) < seen + 2) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      return;
+    }
+  }
+  STPX_EXPECT(false, "FabricRouter: set_link on unknown backend");
+}
+
+void FabricRouter::start() {
+  STPX_EXPECT(!started_, "FabricRouter: started twice");
+  started_ = true;
+  pump_ = std::jthread([this](std::stop_token st) { pump_loop(st); });
+}
+
+void FabricRouter::stop() {
+  if (pump_.joinable()) {
+    pump_.request_stop();
+    pump_.join();
+  }
+}
+
+void FabricRouter::set_drop_probes(std::uint32_t id, bool on) {
+  for (auto& b : backends_) {
+    if (b->id == id) b->drop_probes.store(on, std::memory_order_release);
+  }
+}
+
+void FabricRouter::set_drop_data(std::uint32_t id, bool on) {
+  for (auto& b : backends_) {
+    if (b->id == id) b->drop_data.store(on, std::memory_order_release);
+  }
+}
+
+void FabricRouter::set_probes_paused(std::uint32_t id, bool on) {
+  for (auto& b : backends_) {
+    if (b->id == id) b->probes_paused.store(on, std::memory_order_release);
+  }
+}
+
+std::optional<std::uint32_t> FabricRouter::next_dead() {
+  std::lock_guard<std::mutex> hold(dead_mu_);
+  if (dead_.empty()) return std::nullopt;
+  const std::uint32_t id = dead_.front();
+  dead_.pop_front();
+  return id;
+}
+
+RouterStats FabricRouter::stats() const {
+  RouterStats s;
+  s.client_to_backend = n_.c2b.load();
+  s.backend_to_client = n_.b2c.load();
+  s.probes_sent = n_.probes_sent.load();
+  s.probe_acks = n_.probe_acks.load();
+  s.probes_suppressed = n_.probes_suppressed.load();
+  s.data_suppressed = n_.data_suppressed.load();
+  s.no_owner = n_.no_owner.load();
+  s.dead_owner = n_.dead_owner.load();
+  s.rejects = n_.rejects.load();
+  return s;
+}
+
+HealthStats FabricRouter::health_stats() const {
+  std::lock_guard<std::mutex> hold(health_mu_);
+  return health_.stats();
+}
+
+void FabricRouter::route_inbound(const Frame& f,
+                                 const std::vector<std::uint8_t>& bytes) {
+  const auto owner = membership_->owner(f.session);
+  if (!owner) {
+    ++n_.no_owner;
+    return;
+  }
+  BackendLink* target = nullptr;
+  for (auto& b : backends_) {
+    if (b->id == *owner) {
+      target = b.get();
+      break;
+    }
+  }
+  if (!target) {
+    ++n_.no_owner;
+    return;
+  }
+  if (membership_->health(*owner) == BackendHealth::kDead) {
+    // Fenced owner, re-home not finished: the frame is dropped like wire
+    // loss and the client's retransmission finds the survivor.
+    ++n_.dead_owner;
+    return;
+  }
+  if (target->drop_data.load(std::memory_order_acquire)) {
+    ++n_.data_suppressed;
+    return;
+  }
+  if (ITransport* link = target->link.load(std::memory_order_acquire)) {
+    link->send(bytes);
+    ++n_.c2b;
+  }
+}
+
+bool FabricRouter::drain_backend(BackendLink& b,
+                                 HealthMonitor::time_point now) {
+  ITransport* link = b.link.load(std::memory_order_acquire);
+  if (!link) return false;
+  bool busy = false;
+  for (std::size_t i = 0; i < cfg_.burst; ++i) {
+    auto bytes = link->poll();
+    if (!bytes) break;
+    busy = true;
+    const auto f = net::decode(*bytes);
+    if (!f) {
+      ++n_.rejects;
+      continue;
+    }
+    if (f->session == kFabricSession) {
+      if (f->kind != FrameKind::kProbeAck) continue;  // stray control frame
+      if (b.drop_probes.load(std::memory_order_acquire)) {
+        // Probe-blackout severs the heartbeat in BOTH directions: the
+        // ack made it back but the router never sees it.
+        ++n_.probes_suppressed;
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> hold(health_mu_);
+        health_.on_ack(b.id, f->msg, now);
+      }
+      ++n_.probe_acks;
+      continue;
+    }
+    if (b.drop_data.load(std::memory_order_acquire)) {
+      ++n_.data_suppressed;
+      continue;
+    }
+    client_->send(*bytes);
+    ++n_.b2c;
+  }
+  return busy;
+}
+
+void FabricRouter::tend_backend(BackendLink& b,
+                                HealthMonitor::time_point now) {
+  // Maintenance pause: apply edge transitions of the atomic flag to the
+  // (pump-private) health FSM.
+  const bool want_paused = b.probes_paused.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> hold(health_mu_);
+  if (want_paused != b.applied_paused) {
+    health_.set_paused(b.id, want_paused, now);
+    b.applied_paused = want_paused;
+  }
+  if (!want_paused) {
+    if (const auto nonce = health_.next_probe(b.id, now)) {
+      if (b.drop_probes.load(std::memory_order_acquire)) {
+        // The FSM believes the probe is on the wire (it charges the
+        // timeout); the blackout ate it.  That asymmetry IS the fault.
+        ++n_.probes_suppressed;
+      } else if (ITransport* link =
+                     b.link.load(std::memory_order_acquire)) {
+        Frame probe;
+        probe.kind = FrameKind::kProbe;
+        probe.dir = sim::Dir::kSenderToReceiver;
+        probe.session = kFabricSession;
+        probe.msg = *nonce;
+        link->send(net::encode(probe));
+        ++n_.probes_sent;
+      }
+    }
+  }
+  const BackendHealth verdict = health_.health(b.id, now);
+  if (membership_->health(b.id) != BackendHealth::kDead) {
+    membership_->set_health(b.id, verdict);
+  }
+  if (verdict == BackendHealth::kDead && !b.reported_dead) {
+    b.reported_dead = true;
+    std::lock_guard<std::mutex> dq(dead_mu_);
+    dead_.push_back(b.id);
+  }
+}
+
+void FabricRouter::pump_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    bool busy = false;
+    for (std::size_t i = 0; i < cfg_.burst; ++i) {
+      auto bytes = client_->poll();
+      if (!bytes) break;
+      busy = true;
+      const auto f = net::decode(*bytes);
+      if (!f) {
+        ++n_.rejects;
+        continue;
+      }
+      route_inbound(*f, *bytes);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& b : backends_) {
+      busy = drain_backend(*b, now) || busy;
+      tend_backend(*b, now);
+    }
+    pump_ticks_.fetch_add(1, std::memory_order_release);
+    if (!busy) std::this_thread::sleep_for(cfg_.poll_backoff);
+  }
+}
+
+}  // namespace stpx::fabric

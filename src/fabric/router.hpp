@@ -1,0 +1,157 @@
+// FabricRouter — the frame-forwarding front of the service fabric.
+//
+// One pump thread sits between a single client-side transport and N
+// backend links, forwarding raw frame bytes by session ownership
+// (MembershipTable) and running the liveness loop (HealthMonitor) over
+// the reserved kFabricSession:
+//
+//   client ──frames──▶ router ──(owner lookup)──▶ backend k
+//   backend k ──acks/FINs──▶ router ──▶ client
+//   router ──kProbe(nonce)──▶ backend k ──kProbeAck(nonce)──▶ router
+//
+// The router is content-light: it decodes only to read (session, kind),
+// then forwards the original bytes — a forwarded frame is byte-identical
+// to the sent one, so the codec's corruption guarantees pass through
+// untouched.  Frames with no owner, a dead owner, or a fault-dropped
+// link are counted and dropped; every protocol above the mux already
+// treats that exactly like wire loss.
+//
+// Fault injection for the fabric-level soak lives here as runtime
+// switches per backend link (set from any thread):
+//   * drop_probes — probe-blackout: heartbeats (and their acks) vanish
+//     while data still flows, so the router falsely suspects a healthy
+//     backend.  Fencing makes that safe (docs/FABRIC.md).
+//   * drop_data — split-router: session traffic to/from the backend is
+//     severed while heartbeats still answer, so the backend looks alive
+//     but owns unreachable sessions.
+//   * probes_paused — maintenance: the supervisor pauses the health FSM
+//     for a backend it is deliberately restarting (re-homing absorb), so
+//     the restart window cannot be mistaken for a crash.
+//
+// Death verdicts flow: HealthMonitor (pump thread) -> MembershipTable
+// (shared) -> dead-event queue -> supervisor (Fabric), which fences and
+// re-homes, then calls rehome() here via the membership table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "fabric/health.hpp"
+#include "fabric/membership.hpp"
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+
+namespace stpx::fabric {
+
+struct RouterConfig {
+  HealthConfig health;
+  /// Pump idle backoff when no link had traffic.
+  std::chrono::microseconds poll_backoff{50};
+  /// Frames forwarded per link per pump pass (fairness bound).
+  std::size_t burst = 64;
+};
+
+/// Aggregate router counters (snapshot of atomics).
+struct RouterStats {
+  std::uint64_t client_to_backend = 0;  // frames forwarded inbound
+  std::uint64_t backend_to_client = 0;  // frames forwarded outbound
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probe_acks = 0;          // consumed by the health FSM
+  std::uint64_t probes_suppressed = 0;   // probe-blackout drops (both ways)
+  std::uint64_t data_suppressed = 0;     // split-router drops (both ways)
+  std::uint64_t no_owner = 0;            // client frame for an unknown session
+  std::uint64_t dead_owner = 0;          // owner fenced, re-home not done yet
+  std::uint64_t rejects = 0;             // undecodable bytes (either side)
+};
+
+class FabricRouter {
+ public:
+  /// `client_side` is the router's end of the client link (non-owning).
+  /// `membership` is shared with the supervisor (non-owning).
+  FabricRouter(net::ITransport* client_side, MembershipTable* membership,
+               RouterConfig cfg = {});
+  FabricRouter(const FabricRouter&) = delete;
+  FabricRouter& operator=(const FabricRouter&) = delete;
+  ~FabricRouter();
+
+  /// Register a backend link (before start()).  Also registers the
+  /// backend with the health monitor; the caller registers it with the
+  /// membership table.
+  void add_backend(std::uint32_t id, net::ITransport* link);
+
+  /// Swap a backend's link (e.g. a re-exec'd process dialed back in on a
+  /// fresh socket).  Thread-safe; frames in flight on the old link are
+  /// lost, which is the crash model anyway.  Blocks until the pump can no
+  /// longer be mid-poll() on the OLD link, so the caller may destroy it
+  /// the moment this returns.
+  void set_link(std::uint32_t id, net::ITransport* link);
+
+  void start();
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  // --- fault switches (thread-safe, runtime-togglable) ------------------
+  void set_drop_probes(std::uint32_t id, bool on);   // probe-blackout
+  void set_drop_data(std::uint32_t id, bool on);     // split-router
+  void set_probes_paused(std::uint32_t id, bool on); // maintenance window
+
+  /// Pop the next backend the health loop declared dead (FIFO), if any.
+  /// Each death is reported exactly once.
+  std::optional<std::uint32_t> next_dead();
+
+  RouterStats stats() const;
+  /// Health FSM counters.  Snapshot taken under the pump's cadence; call
+  /// after stop() for an exact final value.
+  HealthStats health_stats() const;
+
+ private:
+  struct BackendLink {
+    std::uint32_t id = 0;
+    std::atomic<net::ITransport*> link{nullptr};
+    std::atomic<bool> drop_probes{false};
+    std::atomic<bool> drop_data{false};
+    std::atomic<bool> probes_paused{false};
+    bool applied_paused = false;  // pump-private shadow of probes_paused
+    bool reported_dead = false;   // pump-private: death event emitted
+  };
+
+  void pump_loop(std::stop_token st);
+  /// Forward one decoded client frame to its owner's link.
+  void route_inbound(const net::Frame& f,
+                     const std::vector<std::uint8_t>& bytes);
+  /// Drain one backend link: consume probe acks, forward the rest.
+  bool drain_backend(BackendLink& b, HealthMonitor::time_point now);
+  /// Probe emission + death detection for one backend.
+  void tend_backend(BackendLink& b, HealthMonitor::time_point now);
+
+  net::ITransport* client_;
+  MembershipTable* membership_;
+  RouterConfig cfg_;
+  std::vector<std::unique_ptr<BackendLink>> backends_;
+  HealthMonitor health_;  // pump-thread-only after start()
+  mutable std::mutex health_mu_;  // guards health_ around stats snapshots
+  bool started_ = false;
+
+  std::mutex dead_mu_;
+  std::deque<std::uint32_t> dead_;
+
+  struct Counters {
+    std::atomic<std::uint64_t> c2b{0}, b2c{0}, probes_sent{0},
+        probe_acks{0}, probes_suppressed{0}, data_suppressed{0},
+        no_owner{0}, dead_owner{0}, rejects{0};
+  } n_;
+
+  /// Incremented once per pump pass; set_link uses it as a quiescence
+  /// fence before letting the caller free the swapped-out transport.
+  std::atomic<std::uint64_t> pump_ticks_{0};
+
+  std::jthread pump_;
+};
+
+}  // namespace stpx::fabric

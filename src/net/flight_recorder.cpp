@@ -16,7 +16,8 @@ std::size_t round_pow2(std::size_t v) {
 
 FlightRecorder::FlightRecorder(FlightRecorderConfig cfg)
     : epoch_(std::chrono::steady_clock::now()),
-      capacity_(round_pow2(std::max<std::size_t>(cfg.ring_capacity, 8))) {
+      capacity_(round_pow2(std::max<std::size_t>(cfg.ring_capacity, 8))),
+      backend_id_(cfg.backend_id) {
   const std::size_t shards = std::max<std::size_t>(cfg.shards, 1);
   rings_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
@@ -52,6 +53,7 @@ FlightRecorder::Ring& FlightRecorder::ring_for_thread() {
 
 void FlightRecorder::record(TraceEvent ev) {
   Ring& r = ring_for_thread();
+  ev.backend = backend_id_;
   std::lock_guard<std::mutex> hold(r.producer_mu);
   // Stamped under the producer mutex so a shared ring stays ts-ordered
   // even when two threads interleave (drain()'s merge relies on it).
@@ -143,6 +145,13 @@ void FlightRecorder::on_checkpoint_flush(std::size_t shard,
   ev.session = static_cast<std::uint32_t>(shard);
   ev.msg = static_cast<std::int64_t>(records);
   ev.aux = duration_us;
+  record(ev);
+}
+
+void FlightRecorder::on_probe_answered(std::int64_t nonce) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kProbeAnswered;
+  ev.msg = nonce;
   record(ev);
 }
 

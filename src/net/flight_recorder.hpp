@@ -43,6 +43,10 @@ struct FlightRecorderConfig {
   std::size_t shards = 8;
   /// Events per ring; rounded up to a power of two (min 8).
   std::size_t ring_capacity = 1 << 14;
+  /// Stamped into every event's `backend` field (0 = unattributed).  Give
+  /// each fabric backend its own id so traces drained from several
+  /// recorders — or several processes — stay attributable after a merge.
+  std::uint32_t backend_id = 0;
 };
 
 /// Drop/throughput accounting (a consistent-enough snapshot of atomics).
@@ -71,6 +75,7 @@ class FlightRecorder final : public INetProbe {
   void on_checkpoint_flush(std::size_t shard, std::size_t records,
                            std::uint64_t bytes,
                            std::uint64_t duration_us) override;
+  void on_probe_answered(std::int64_t nonce) override;
 
   /// Consume every event published so far, merge-sorted by (ts_us, seq).
   /// Single consumer; safe against concurrent producers.
@@ -78,6 +83,18 @@ class FlightRecorder final : public INetProbe {
 
   FlightRecorderStats stats() const;
   std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+  /// The epoch as absolute steady-clock microseconds.  CLOCK_MONOTONIC is
+  /// machine-wide, so recorders in different processes (or constructed at
+  /// different times in one process) can be merged onto a common clock:
+  /// rebase each stream by (epoch_offset_us - min over streams) — see
+  /// fabric::merge_backend_traces.
+  std::uint64_t epoch_offset_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            epoch_.time_since_epoch())
+            .count());
+  }
+  std::uint32_t backend_id() const { return backend_id_; }
   std::size_t shard_count() const { return rings_.size(); }
   std::size_t ring_capacity() const { return capacity_; }
 
@@ -103,6 +120,7 @@ class FlightRecorder final : public INetProbe {
 
   std::chrono::steady_clock::time_point epoch_;
   std::size_t capacity_ = 0;  // power of two
+  std::uint32_t backend_id_ = 0;
   std::vector<std::unique_ptr<Ring>> rings_;
   std::atomic<std::size_t> next_slot_{0};
 };

@@ -8,7 +8,7 @@
 //   offset  size  field
 //   0       2     magic  0x53 0x54 ("ST")
 //   2       1     version (kWireVersion)
-//   3       1     kind    (0 = data, 1 = fin)
+//   3       1     kind    (0 = data, 1 = fin, 2 = probe, 3 = probe-ack)
 //   4       1     dir     (0 = S->R, 1 = R->S)
 //   5       4     session id, u32 LE
 //   9       8     msg id, i64 LE (two's complement)
@@ -38,15 +38,31 @@ inline constexpr std::uint8_t kMagic1 = 0x54;  // 'T'
 
 /// What a frame carries.  kData frames hold one protocol message; kFin is
 /// the service layer's receipt notice (the receiver-side session observed
-/// its full expected sequence — see docs/NETWORK.md).
+/// its full expected sequence — see docs/NETWORK.md).  kProbe/kProbeAck
+/// are the fabric's liveness heartbeat (docs/FABRIC.md): a router sends a
+/// kProbe carrying a nonce in `msg` on the reserved kFabricSession; a live
+/// mux answers with a kProbeAck echoing the nonce.  Probe frames never
+/// reach a session.
 enum class FrameKind : std::uint8_t {
   kData = 0,
   kFin = 1,
+  kProbe = 2,
+  kProbeAck = 3,
 };
 
 constexpr const char* to_cstr(FrameKind k) {
-  return k == FrameKind::kData ? "data" : "fin";
+  switch (k) {
+    case FrameKind::kData: return "data";
+    case FrameKind::kFin: return "fin";
+    case FrameKind::kProbe: return "probe";
+    case FrameKind::kProbeAck: return "probe-ack";
+  }
+  return "?";
 }
+
+/// Session id reserved for fabric control traffic (probes); never a real
+/// session — the mux refuses to register it.
+inline constexpr std::uint32_t kFabricSession = 0xFFFFFFFFu;
 
 /// Why decode() rejected a byte buffer.
 enum class RejectReason : std::uint8_t {

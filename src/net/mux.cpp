@@ -50,6 +50,8 @@ void SessionMux::add_session(
     bool is_sender) {
   STPX_EXPECT(!started_, "SessionMux: add_session after start");
   STPX_EXPECT(endpoint != nullptr, "SessionMux: null endpoint");
+  STPX_EXPECT(id != kFabricSession,
+              "SessionMux: kFabricSession is reserved for probes");
   for (const auto& [known, idx] : index_) {
     (void)idx;
     STPX_EXPECT(known != id, "SessionMux: duplicate session id");
@@ -132,13 +134,18 @@ void SessionMux::kill() {
   stop();
 }
 
-RehydrateReport SessionMux::rehydrate(const SessionFactory& factory) {
+RehydrateReport SessionMux::rehydrate(
+    const SessionFactory& factory,
+    const std::vector<store::IStableStore*>& extra_sources) {
   STPX_EXPECT(!started_, "SessionMux: rehydrate after start");
   STPX_EXPECT(durable(), "SessionMux: rehydrate without session stores");
   STPX_EXPECT(static_cast<bool>(factory), "SessionMux: null session factory");
   std::vector<store::IStableStore*> stores;
-  stores.reserve(slots_.size());
+  stores.reserve(slots_.size() + extra_sources.size());
   for (const auto& slot : slots_) stores.push_back(slot->store);
+  // Handoff sources are scanned but never written: their sessions
+  // re-manifest into this mux's own stores at the first flush.
+  for (store::IStableStore* st : extra_sources) stores.push_back(st);
   const store::SessionLogScan scan = store::scan_session_logs(stores);
   // Every record this generation writes must supersede the crashed
   // generation's, even though the per-mux seq counter restarts.
@@ -148,6 +155,17 @@ RehydrateReport SessionMux::rehydrate(const SessionFactory& factory) {
   rep.records_scanned = scan.records_scanned;
   rep.records_skipped = scan.records_skipped;
   for (const auto& [id, m] : scan.newest) {
+    bool hosted = false;
+    for (const auto& [known, idx] : index_) {
+      (void)idx;
+      hosted = hosted || known == id;
+    }
+    if (hosted) {
+      // The id is already live here (e.g. a handoff log that still names
+      // a session this mux also manifests): the resident session wins.
+      ++rep.collisions;
+      continue;
+    }
     const auto t0 = std::chrono::steady_clock::now();
     auto endpoint = factory(m);
     if (!endpoint) {
@@ -198,10 +216,36 @@ void SessionMux::pump_loop(std::stop_token st) {
         note_reject(why);
         continue;
       }
+      if (frame->kind == FrameKind::kProbe) {
+        answer_probe(*frame);
+        continue;
+      }
+      if (frame->kind == FrameKind::kProbeAck) {
+        // This mux is not a prober; a stray ack (our own reflection or a
+        // hostile peer) is dropped, never delivered to a session.
+        n_.frames_unknown.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       route(*frame);
     }
     if (!any) std::this_thread::sleep_for(cfg_.poll_backoff);
   }
+}
+
+void SessionMux::answer_probe(const Frame& probe) {
+  // Fabric heartbeat: answered straight from the pump so liveness never
+  // depends on worker sweep cadence, session state, or durability gating
+  // (an ack attests only "this process is pumping frames").
+  Frame ack;
+  ack.kind = FrameKind::kProbeAck;
+  ack.dir = probe.dir == sim::Dir::kSenderToReceiver
+                ? sim::Dir::kReceiverToSender
+                : sim::Dir::kSenderToReceiver;
+  ack.session = probe.session;
+  ack.msg = probe.msg;  // echo the nonce
+  transport_->send(encode(ack));
+  n_.probes_answered.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.probe != nullptr) cfg_.probe->on_probe_answered(probe.msg);
 }
 
 void SessionMux::route(const Frame& f) {
@@ -467,6 +511,7 @@ void SessionMux::flush_shard(Shard& shard, bool force) {
     m.proto_tag = store::proto_tag_of(s.endpoint->name());
     m.position = s.endpoint->items_done();
     m.completed = s.state == SessionState::kCompleted;
+    m.owner = cfg_.backend_id;
     m.endpoint_state = s.endpoint->save_state();
     // With seq pinned to 0 the payload is a pure state signature:
     // identical signature -> nothing moved -> no record (keepalive-only
@@ -537,6 +582,7 @@ NetStats SessionMux::stats() const {
   out.frames_unknown_session =
       n_.frames_unknown.load(std::memory_order_relaxed);
   out.frames_shed = n_.frames_shed.load(std::memory_order_relaxed);
+  out.probes_answered = n_.probes_answered.load(std::memory_order_relaxed);
   out.fins_sent = n_.fins_sent.load(std::memory_order_relaxed);
   out.items_done = n_.items_done.load(std::memory_order_relaxed);
   out.sessions_completed = n_.completed.load(std::memory_order_relaxed);
@@ -588,6 +634,7 @@ void SessionMux::publish_metrics(obs::MetricsRegistry& reg) const {
   // chose to drop" apart from frame-accounting noise (`net.frames.shed`
   // stays as the frame-family spelling of the same counter).
   reg.counter("net.sheds").inc(st.frames_shed);
+  reg.counter("net.probes.answered").inc(st.probes_answered);
   reg.counter("net.fins.sent").inc(st.fins_sent);
   reg.counter("net.items.done").inc(st.items_done);
   reg.counter("net.rehydrated_sessions").inc(st.rehydrated_sessions);

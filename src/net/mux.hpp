@@ -136,6 +136,10 @@ class INetProbe {
     (void)position;
     (void)s;
   }
+  /// The pump answered an inbound fabric heartbeat (kProbe) with a
+  /// kProbeAck echoing `nonce` — the liveness signal a FabricRouter's
+  /// health monitor consumes (docs/FABRIC.md).  Fires from the pump.
+  virtual void on_probe_answered(std::int64_t nonce) { (void)nonce; }
   /// A shard group-committed `records` manifest records (`bytes` payload
   /// bytes) in `duration_us` microseconds.  Fires only for non-empty
   /// commits, from that shard's worker thread.
@@ -178,6 +182,7 @@ class CountingNetProbe final : public INetProbe {
                            std::uint64_t) override {
     ++flushes_;
   }
+  void on_probe_answered(std::int64_t) override { ++probes_answered_; }
 
   std::uint64_t sent() const { return sent_; }
   std::uint64_t received() const { return received_; }
@@ -193,11 +198,13 @@ class CountingNetProbe final : public INetProbe {
   std::uint64_t evicted() const { return evicted_; }
   std::uint64_t recovery_violated() const { return recovery_violated_; }
   std::uint64_t rehydrated() const { return rehydrated_; }
+  std::uint64_t probes_answered() const { return probes_answered_; }
 
  private:
   std::atomic<std::uint64_t> sent_{0}, received_{0}, rejected_{0},
       sheds_{0}, flushes_{0}, items_{0}, completed_{0}, violated_{0},
-      evicted_{0}, recovery_violated_{0}, rehydrated_{0};
+      evicted_{0}, recovery_violated_{0}, rehydrated_{0},
+      probes_answered_{0};
   std::atomic<std::uint64_t> by_reason_[kRejectReasonCount] = {};
 };
 
@@ -235,6 +242,10 @@ struct MuxConfig {
   std::vector<store::IStableStore*> session_stores;
   /// Checkpoint (and release held receiver frames) every N sweeps.
   std::uint64_t checkpoint_every_sweeps = 1;
+  /// Stamped as `owner` into every manifest record this mux writes
+  /// (0 = unattributed).  Fabric backends set their backend id here so a
+  /// handed-off session log stays attributable after re-homing.
+  std::uint32_t backend_id = 0;
   /// A rehydrated session that has seen NO inbound frame for this many
   /// sweeps is flagged kRecoveryViolation instead of waiting forever
   /// (0 = off): its manifest attests to an unfinished exchange with a
@@ -252,6 +263,7 @@ struct NetStats {
   std::uint64_t rejects_by_reason[kRejectReasonCount] = {};
   std::uint64_t frames_unknown_session = 0;
   std::uint64_t frames_shed = 0;  // inbox backpressure
+  std::uint64_t probes_answered = 0;  // fabric heartbeats echoed by the pump
   std::uint64_t fins_sent = 0;
   std::uint64_t items_done = 0;  // receiver-side writes, all sessions
   std::uint64_t sessions_completed = 0;
@@ -286,6 +298,7 @@ struct RehydrateReport {
   std::size_t violations = 0;     ///< flagged kRecoveryViolation at restore
   std::size_t cold_restores = 0;  ///< unusable blobs → cold-started endpoints
   std::size_t declined = 0;       ///< factory returned nullptr (not re-admitted)
+  std::size_t collisions = 0;     ///< manifest id already hosted — skipped
   std::uint64_t records_scanned = 0;  ///< valid manifest records replayed
   std::uint64_t records_skipped = 0;  ///< damaged/foreign records skipped
   std::vector<std::uint64_t> restore_latency_us;  ///< per-session
@@ -322,7 +335,17 @@ class SessionMux {
   /// blobs cold-start and re-earn their progress.  Bumps the manifest
   /// epoch past everything seen, so this generation's records supersede
   /// the crashed one's.
-  RehydrateReport rehydrate(const SessionFactory& factory);
+  ///
+  /// `extra_sources` are additional session logs scanned (read-only) but
+  /// never written — the cross-process handoff surface: a survivor
+  /// absorbing a dead backend passes the dead generation's logs here, so
+  /// the absorbed sessions re-manifest into the survivor's OWN stores
+  /// under the bumped epoch and the handoff logs can be retired.  A
+  /// manifested id the mux already hosts is skipped and counted
+  /// (`collisions`) instead of tripping the duplicate-id contract.
+  RehydrateReport rehydrate(
+      const SessionFactory& factory,
+      const std::vector<store::IStableStore*>& extra_sources = {});
 
   /// Spawn the pump and worker threads.
   void start();
@@ -425,6 +448,8 @@ class SessionMux {
   bool durable() const { return !slots_.empty(); }
   /// Route one decoded frame to its session's inbox.
   void route(const Frame& f);
+  /// Echo a kProbe back as a kProbeAck (pump thread).
+  void answer_probe(const Frame& probe);
 
   ITransport* transport_;
   MuxConfig cfg_;
@@ -446,7 +471,7 @@ class SessionMux {
         frames_rejected{0}, frames_unknown{0}, frames_shed{0}, fins_sent{0},
         items_done{0}, completed{0}, violated{0}, evicted{0},
         recovery_violated{0}, rehydrated{0}, ckpt_flushes{0},
-        ckpt_records{0}, ckpt_bytes{0};
+        ckpt_records{0}, ckpt_bytes{0}, probes_answered{0};
     std::atomic<std::uint64_t> rejects_by_reason[kRejectReasonCount] = {};
   } n_;
   /// The one reject bottleneck: count (total + per reason) and notify.

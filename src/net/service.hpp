@@ -54,9 +54,13 @@ class StpServer {
 
   /// Re-admit every receiver session manifested in the session stores
   /// (before start()).  Sender manifests are declined — a server hosts
-  /// receivers only.
-  RehydrateReport rehydrate(const ReceiverFactory& make_receiver,
-                            const ExpectedProvider& expected_for) {
+  /// receivers only.  `extra_sources` are handoff logs scanned but not
+  /// written (a dead backend's session log, re-homed here — see
+  /// docs/FABRIC.md).
+  RehydrateReport rehydrate(
+      const ReceiverFactory& make_receiver,
+      const ExpectedProvider& expected_for,
+      const std::vector<store::IStableStore*>& extra_sources = {}) {
     return mux_.rehydrate(
         [&](const store::SessionManifest& m)
             -> std::unique_ptr<proto::ISessionEndpoint> {
@@ -65,7 +69,8 @@ class StpServer {
           if (!receiver) return nullptr;
           return std::make_unique<proto::ReceiverSessionEndpoint>(
               std::move(receiver), expected_for(m.session));
-        });
+        },
+        extra_sources);
   }
 
   SessionMux& mux() { return mux_; }
@@ -97,8 +102,9 @@ class StpClient {
 
   /// Re-admit every sender session manifested in the session stores
   /// (before start()).  Receiver manifests are declined.
-  RehydrateReport rehydrate(const SenderFactory& make_sender,
-                            const InputProvider& input_for) {
+  RehydrateReport rehydrate(
+      const SenderFactory& make_sender, const InputProvider& input_for,
+      const std::vector<store::IStableStore*>& extra_sources = {}) {
     return mux_.rehydrate(
         [&](const store::SessionManifest& m)
             -> std::unique_ptr<proto::ISessionEndpoint> {
@@ -107,7 +113,8 @@ class StpClient {
           if (!sender) return nullptr;
           return std::make_unique<proto::SenderSessionEndpoint>(
               std::move(sender), input_for(m.session));
-        });
+        },
+        extra_sources);
   }
 
   SessionMux& mux() { return mux_; }

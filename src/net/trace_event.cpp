@@ -19,10 +19,12 @@ std::optional<E> from_table(const std::array<const char*, N>& names,
   return std::nullopt;
 }
 
-constexpr std::array<const char*, 8> kKindNames = {
-    "frame-sent",    "frame-received", "frame-rejected", "frame-shed",
-    "item",          "session-state",  "rehydrate",      "checkpoint-flush"};
-constexpr std::array<const char*, 2> kFrameKindNames = {"data", "fin"};
+constexpr std::array<const char*, 9> kKindNames = {
+    "frame-sent",       "frame-received", "frame-rejected",
+    "frame-shed",       "item",           "session-state",
+    "rehydrate",        "checkpoint-flush", "probe-answered"};
+constexpr std::array<const char*, 4> kFrameKindNames = {"data", "fin",
+                                                        "probe", "probe-ack"};
 constexpr std::array<const char*, 6> kRejectNames = {
     "bad-size", "bad-magic", "bad-version", "bad-kind", "bad-dir",
     "bad-checksum"};
@@ -99,7 +101,12 @@ std::string to_jsonl(const TraceEvent& ev) {
       os << ",\"shard\":" << ev.session << ",\"records\":" << ev.msg
          << ",\"dur_us\":" << ev.aux;
       break;
+    case TraceEventKind::kProbeAnswered:
+      os << ",\"nonce\":" << ev.msg;
+      break;
   }
+  // Trailing so every pre-fabric (backend 0) line stays byte-identical.
+  if (ev.backend != 0) os << ",\"backend\":" << ev.backend;
   os << '}';
   return os.str();
 }
@@ -196,6 +203,17 @@ std::optional<TraceEvent> parse_jsonl(const std::string& line) {
       ev.aux = static_cast<std::uint64_t>(*dur);
       break;
     }
+    case TraceEventKind::kProbeAnswered: {
+      const auto nonce = int_field(line, "nonce");
+      if (!nonce) return std::nullopt;
+      ev.msg = *nonce;
+      break;
+    }
+  }
+  const auto backend = int_field(line, "backend");
+  if (backend) {
+    if (*backend < 0 || *backend > UINT32_MAX) return std::nullopt;
+    ev.backend = static_cast<std::uint32_t>(*backend);
   }
   return ev;
 }

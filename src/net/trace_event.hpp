@@ -44,6 +44,7 @@ enum class TraceEventKind : std::uint8_t {
   kSessionState,
   kRehydrate,
   kCheckpointFlush,
+  kProbeAnswered,  // fabric heartbeat echoed; msg carries the nonce
 };
 
 constexpr const char* to_cstr(TraceEventKind k) {
@@ -56,6 +57,7 @@ constexpr const char* to_cstr(TraceEventKind k) {
     case TraceEventKind::kSessionState: return "session-state";
     case TraceEventKind::kRehydrate: return "rehydrate";
     case TraceEventKind::kCheckpointFlush: return "checkpoint-flush";
+    case TraceEventKind::kProbeAnswered: return "probe-answered";
   }
   return "?";
 }
@@ -66,6 +68,10 @@ struct TraceEvent {
   std::int64_t msg = 0;
   std::uint64_t aux = 0;
   std::uint32_t session = 0;
+  /// Which fabric backend recorded the event (0 = unattributed /
+  /// single-process).  Stamped by the recorder, so traces drained from
+  /// several backend processes stay attributable after a merge.
+  std::uint32_t backend = 0;
   TraceEventKind kind = TraceEventKind::kFrameSent;
   std::uint8_t detail = 0;
   sim::Dir dir = sim::Dir::kSenderToReceiver;
@@ -88,7 +94,9 @@ struct TraceSpan {
 ///   {"ts":12,"seq":3,"ev":"frame-sent","session":7,"kind":"data",
 ///    "dir":"S->R","msg":5}
 /// Field sets are kind-dependent (see trace_event.cpp); every emitted
-/// line parses back to the identical event.
+/// line parses back to the identical event.  A nonzero `backend` is
+/// appended as a trailing ,"backend":N — zero (the single-process case)
+/// emits nothing, so pre-fabric golden lines stay byte-identical.
 std::string to_jsonl(const TraceEvent& ev);
 
 /// Parse one JSONL line (as emitted by to_jsonl).  Returns std::nullopt on

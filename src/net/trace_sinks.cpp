@@ -68,6 +68,9 @@ std::string instant_name(const TraceEvent& ev) {
     case TraceEventKind::kCheckpointFlush:
       os << "flush " << ev.msg;
       break;
+    case TraceEventKind::kProbeAnswered:
+      os << "probe-ack " << ev.msg;
+      break;
   }
   return os.str();
 }

@@ -32,6 +32,7 @@ std::string SessionManifest::to_payload() const {
   w.u64(proto_tag);
   w.u64(position);
   w.boolean(completed);
+  w.u64(owner);
   const auto inner = util::blob_tokens(endpoint_state);
   // save_state() produces blob text by construction; treat anything else
   // as an empty (cold-start) state rather than corrupting the record.
@@ -45,14 +46,17 @@ std::optional<SessionManifest> SessionManifest::from_payload(
   std::int64_t tag = 0;
   SessionManifest m;
   std::uint64_t session = 0;
+  std::uint64_t owner = 0;
   std::vector<std::int64_t> inner;
   if (!r.i64(tag) || tag != kManifestTag || !r.u64(session) ||
       !r.boolean(m.is_sender) || !r.u64(m.epoch) || !r.u64(m.seq) ||
       !r.u64(m.proto_tag) || !r.u64(m.position) || !r.boolean(m.completed) ||
-      !r.vec(inner) || !r.done() || session > 0xFFFFFFFFULL) {
+      !r.u64(owner) || !r.vec(inner) || !r.done() ||
+      session > 0xFFFFFFFFULL || owner > 0xFFFFFFFFULL) {
     return std::nullopt;
   }
   m.session = static_cast<std::uint32_t>(session);
+  m.owner = static_cast<std::uint32_t>(owner);
   m.endpoint_state = util::blob_join(inner);
   return m;
 }

@@ -18,7 +18,7 @@
 // The manifest payload is ordinary util::Blob text:
 //
 //   [kManifestTag] [session] [is_sender] [epoch] [seq] [proto_tag]
-//   [position] [completed] [vec: endpoint_state tokens]
+//   [position] [completed] [owner] [vec: endpoint_state tokens]
 //
 // proto_tag fingerprints the endpoint's protocol (FNV-1a of its name());
 // rehydration factories use it to refuse to feed a blob saved by one
@@ -47,6 +47,10 @@ struct SessionManifest {
   std::uint64_t proto_tag = 0;   ///< proto_tag_of(endpoint name)
   std::uint64_t position = 0;    ///< endpoint items_done() at checkpoint
   bool completed = false;        ///< FIN state: session was terminal-completed
+  /// Which fabric backend wrote the record (0 = unattributed).  After a
+  /// cross-process re-homing the survivor's records carry its own id, so
+  /// a merged or handed-off log stays attributable (docs/FABRIC.md).
+  std::uint32_t owner = 0;
   std::string endpoint_state;    ///< ISessionEndpoint::save_state() blob
 
   /// True when (epoch, seq) orders this record after `other`.

@@ -1,0 +1,289 @@
+#include "stp/fabric_soak.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "net/flight_recorder.hpp"
+#include "net/service.hpp"
+#include "proto/suite.hpp"
+#include "store/session_log.hpp"
+#include "store/stable_store.hpp"
+#include "util/rng.hpp"
+
+namespace stpx::stp {
+
+namespace {
+
+constexpr std::uint64_t kPlanSalt = 0xFAB51CULL;
+
+seq::Sequence seq_for(std::uint32_t id, std::size_t len, int domain) {
+  seq::Sequence x;
+  x.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    x.push_back(static_cast<seq::DataItem>(
+        (id + i) % static_cast<std::uint32_t>(domain)));
+  }
+  return x;
+}
+
+}  // namespace
+
+std::string to_string(const FabricFaultPlan& plan) {
+  if (plan.actions.empty()) return "-";
+  std::ostringstream os;
+  bool first = true;
+  for (const FabricFaultAction& a : plan.actions) {
+    if (!first) os << "; ";
+    first = false;
+    os << to_cstr(a.kind) << '@' << a.at.count() << "ms";
+    if (a.kind != FabricFaultKind::kBackendCrash) {
+      os << '+' << a.len.count() << "ms";
+    }
+    os << " b" << a.backend;
+  }
+  return os.str();
+}
+
+FabricSoakResult run_fabric_soak(const FabricSoakConfig& cfg) {
+  FabricSoakResult res;
+  const int domain = cfg.domain;
+
+  // One session log and one flight recorder per backend; the stores also
+  // serve as the handoff source when their backend dies.
+  std::vector<std::unique_ptr<store::MemStore>> stores;
+  std::vector<std::unique_ptr<net::FlightRecorder>> recorders;
+  for (std::size_t i = 0; i < cfg.backends; ++i) {
+    stores.push_back(std::make_unique<store::MemStore>());
+    stores.back()->reset();
+    net::FlightRecorderConfig rc;
+    rc.backend_id = static_cast<std::uint32_t>(i + 1);
+    recorders.push_back(std::make_unique<net::FlightRecorder>(rc));
+  }
+
+  fabric::FabricConfig fc;
+  fc.backends = cfg.backends;
+  fc.router.health = cfg.health;
+  fc.mux = cfg.mux;
+  fc.mux.probe = nullptr;
+  fc.mux.session_stores.clear();
+  fc.make_receiver = [domain](std::uint32_t, std::uint64_t tag)
+      -> std::unique_ptr<sim::IReceiver> {
+    // Tag 0 is the cold-add sentinel; anything else must be a receiver
+    // manifest this harness can serve.
+    if (tag != 0 && tag != store::proto_tag_of("stenning-receiver")) {
+      return nullptr;
+    }
+    return proto::make_stenning(domain).receiver;
+  };
+  fc.expected_for = [cfg, domain](std::uint32_t sid) {
+    return seq_for(sid, cfg.seq_len, domain);
+  };
+  fc.stores_for = [&stores](std::uint32_t id) {
+    return std::vector<store::IStableStore*>{stores[id - 1].get()};
+  };
+  fc.probe_for = [&recorders](std::uint32_t id) -> net::INetProbe* {
+    return recorders[id - 1].get();
+  };
+  fabric::Fabric fab(fc);
+
+  net::MuxConfig client_cfg = cfg.mux;
+  client_cfg.probe = nullptr;
+  client_cfg.session_stores.clear();
+  client_cfg.backend_id = 0;
+  net::StpClient client(fab.client_endpoint(), client_cfg);
+  for (std::size_t i = 0; i < cfg.sessions; ++i) {
+    const std::uint32_t sid = static_cast<std::uint32_t>(i + 1);
+    fab.add_session(sid);
+    client.add_session(sid,
+                       proto::make_stenning(domain, true).sender,
+                       seq_for(sid, cfg.seq_len, domain));
+  }
+
+  // Script the plan as an absolute-time switch list (window faults get an
+  // on and an off edge), then fire each on schedule.
+  struct Edge {
+    std::chrono::milliseconds at;
+    FabricFaultKind kind;
+    std::uint32_t backend;
+    bool on;
+  };
+  std::vector<Edge> edges;
+  for (const FabricFaultAction& a : cfg.plan.actions) {
+    if (a.backend < 1 || a.backend > cfg.backends) continue;
+    edges.push_back({a.at, a.kind, a.backend, true});
+    if (a.kind != FabricFaultKind::kBackendCrash) {
+      edges.push_back({a.at + a.len, a.kind, a.backend, false});
+    }
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& a, const Edge& b) { return a.at < b.at; });
+
+  fab.start();
+  client.mux().start();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::uint32_t> crashed;
+  for (const Edge& e : edges) {
+    std::this_thread::sleep_until(t0 + e.at);
+    switch (e.kind) {
+      case FabricFaultKind::kBackendCrash:
+        if (e.on) {
+          fab.kill_backend(e.backend);
+          crashed.push_back(e.backend);
+        }
+        break;
+      case FabricFaultKind::kProbeBlackout:
+        fab.set_probe_blackout(e.backend, e.on);
+        break;
+      case FabricFaultKind::kRouterSplit:
+        fab.set_data_split(e.backend, e.on);
+        break;
+    }
+  }
+
+  // Death rides on heartbeat silence, not traffic: a crash that lands
+  // after the last frame still MUST be detected and re-homed.  Wait for
+  // the supervisor to record every scripted crash (ok or not) before
+  // draining, so `rehomes` is deterministic rather than a race between
+  // session completion and the strike ladder.
+  const auto rehome_deadline =
+      std::chrono::steady_clock::now() + cfg.drain_timeout;
+  for (const std::uint32_t b : crashed) {
+    for (;;) {
+      const auto recs = fab.rehomes();
+      const bool seen = std::any_of(
+          recs.begin(), recs.end(),
+          [b](const fabric::RehomeRecord& r) { return r.dead == b; });
+      if (seen || std::chrono::steady_clock::now() >= rehome_deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  const bool drained = client.mux().drain(cfg.drain_timeout) &&
+                       fab.drain(cfg.drain_timeout);
+  client.mux().stop();
+  fab.stop();
+
+  // --- live verdicts ----------------------------------------------------
+  res.completed = client.mux().stats().sessions_completed;
+  res.live_violations = client.mux().stats().sessions_violated +
+                        client.mux().stats().sessions_recovery_violated;
+  for (std::size_t i = 0; i < cfg.backends; ++i) {
+    const auto id = static_cast<std::uint32_t>(i + 1);
+    if (fab.cell(id).killed()) continue;  // fenced: sessions moved away
+    const auto st = fab.cell(id).server().mux().stats();
+    res.live_violations +=
+        st.sessions_violated + st.sessions_recovery_violated;
+  }
+  std::size_t failed_rehomes = 0;
+  for (const fabric::RehomeRecord& r : fab.rehomes()) {
+    if (!r.ok) {
+      ++failed_rehomes;
+      continue;
+    }
+    ++res.rehomes;
+    res.restore_latency_us.push_back(r.absorb.latency_us);
+  }
+
+  // --- offline attestation over the merged per-backend trace ------------
+  std::vector<fabric::TracePart> parts;
+  for (auto& rec : recorders) {
+    parts.push_back({rec->epoch_offset_us(), rec->drain()});
+  }
+  analysis::TraceContext ctx;
+  for (std::size_t i = 0; i < cfg.sessions; ++i) {
+    ctx.expected_items[static_cast<std::uint32_t>(i + 1)] = cfg.seq_len;
+  }
+  analysis::TracePipeline pipe;
+  pipe.add(analysis::make_prefix_attestor())
+      .add(analysis::make_rehydration_analyzer());
+  res.trace = pipe.run(fabric::merge_backend_traces(parts), ctx);
+
+  if (!drained) {
+    res.failure = "drain timeout: sessions never all completed";
+  } else if (res.completed != cfg.sessions) {
+    res.failure = "client completed " + std::to_string(res.completed) +
+                  " of " + std::to_string(cfg.sessions) + " sessions";
+  } else if (res.live_violations != 0) {
+    res.failure = std::to_string(res.live_violations) +
+                  " live safety/recovery violations";
+  } else if (failed_rehomes != 0) {
+    res.failure = "re-home found no alive survivor";
+  } else if (!res.trace.ok) {
+    res.failure = "merged trace failed prefix attestation";
+  } else {
+    res.ok = true;
+  }
+  return res;
+}
+
+FabricFaultPlan sample_fabric_plan(std::uint64_t seed,
+                                   std::size_t backends) {
+  Rng rng(seed ^ kPlanSalt);
+  FabricFaultPlan plan;
+  const std::size_t n = 1 + rng.below(3);
+  std::size_t crashes = 0;
+  const std::size_t max_crashes = backends > 1 ? backends - 1 : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    FabricFaultAction a;
+    const std::uint64_t pick = rng.below(4);
+    if (pick <= 1 && crashes < max_crashes) {
+      a.kind = FabricFaultKind::kBackendCrash;
+      ++crashes;
+    } else if (pick == 2 || max_crashes == 0) {
+      a.kind = FabricFaultKind::kProbeBlackout;
+    } else {
+      a.kind = FabricFaultKind::kRouterSplit;
+    }
+    a.backend = static_cast<std::uint32_t>(1 + rng.below(backends));
+    a.at = std::chrono::milliseconds(5 + rng.below(60));
+    a.len = std::chrono::milliseconds(30 + rng.below(90));
+    plan.actions.push_back(a);
+  }
+  return plan;
+}
+
+FabricSoakReport fabric_soak_sweep(const FabricSoakConfig& base,
+                                   const std::vector<std::uint64_t>& seeds) {
+  FabricSoakReport rep;
+  for (const std::uint64_t seed : seeds) {
+    FabricSoakConfig cfg = base;
+    cfg.plan = sample_fabric_plan(seed, base.backends);
+    const FabricSoakResult r = run_fabric_soak(cfg);
+    ++rep.trials;
+    rep.total_rehomes += r.rehomes;
+    if (r.ok) {
+      ++rep.completed_trials;
+    } else {
+      rep.failures.push_back({seed, cfg.plan, r.failure});
+    }
+  }
+  return rep;
+}
+
+MinimizedFabricPlan minimize_fabric_plan(const FabricSoakConfig& cfg,
+                                         const FabricFaultPlan& failing) {
+  MinimizedFabricPlan out;
+  out.plan = failing;
+  bool shrunk = true;
+  while (shrunk && !out.plan.actions.empty()) {
+    shrunk = false;
+    for (std::size_t i = 0; i < out.plan.actions.size(); ++i) {
+      FabricFaultPlan cand = out.plan;
+      cand.actions.erase(cand.actions.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      FabricSoakConfig probe = cfg;
+      probe.plan = cand;
+      ++out.probe_runs;
+      if (!run_fabric_soak(probe).ok) {
+        out.plan = std::move(cand);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace stpx::stp

@@ -1,0 +1,128 @@
+// Fabric soak harness: wall-clock fault plans against a live service
+// fabric, with counterexample minimization.
+//
+// The engine-level soak (stp/soak.hpp) scripts faults in *logical* time
+// (channel steps) against one protocol instance; the fabric soak scripts
+// them in *wall-clock* time against the whole fleet, because the faults
+// under test — a backend crash, a probe blackout, a split router — are
+// properties of running threads and heartbeat timeouts, not of a
+// deterministic step function.  What stays deterministic is the
+// acceptance criterion, which is timing-insensitive:
+//
+//   * every client session completes (exact copy, live checks), and
+//   * the merged per-backend trace attests prefix safety per session
+//     ACROSS any re-home (the offline attestor re-derives the paper's
+//     acceptance criterion from the trace alone), and
+//   * no session anywhere ends kSafetyViolation / kRecoveryViolation.
+//
+// A plan that defeats those is a real finding regardless of scheduling
+// jitter.  minimize_fabric_plan() shrinks a failing plan to 1-minimal by
+// action removal (the fabric analogue of stp::minimize_plan), re-running
+// the soak per probe.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_pipeline.hpp"
+#include "fabric/fabric.hpp"
+
+namespace stpx::stp {
+
+enum class FabricFaultKind : std::uint8_t {
+  kBackendCrash = 0,  ///< kill the backend's mux mid-flight
+  kProbeBlackout,     ///< heartbeats vanish, data flows (false suspicion)
+  kRouterSplit,       ///< data severed, heartbeats answer (alive but dark)
+};
+
+constexpr const char* to_cstr(FabricFaultKind k) {
+  switch (k) {
+    case FabricFaultKind::kBackendCrash: return "backend-crash";
+    case FabricFaultKind::kProbeBlackout: return "probe-blackout";
+    case FabricFaultKind::kRouterSplit: return "router-split";
+  }
+  return "?";
+}
+
+struct FabricFaultAction {
+  FabricFaultKind kind = FabricFaultKind::kBackendCrash;
+  std::uint32_t backend = 1;
+  /// When the fault fires, measured from traffic start.
+  std::chrono::milliseconds at{0};
+  /// Window length for blackout/split (a crash is instantaneous).
+  std::chrono::milliseconds len{0};
+};
+
+struct FabricFaultPlan {
+  std::vector<FabricFaultAction> actions;
+};
+
+/// "backend-crash@20ms b2; probe-blackout@5ms+80ms b1" (empty plan: "-").
+std::string to_string(const FabricFaultPlan& plan);
+
+struct FabricSoakConfig {
+  std::size_t backends = 3;
+  std::size_t sessions = 24;
+  std::size_t seq_len = 5;
+  int domain = 8;
+  fabric::HealthConfig health;
+  /// Pacing template for every cell and the client (session_stores /
+  /// backend_id / probe are overwritten per mux).  Throttle it
+  /// (steps_per_sweep, max_inflight, sweep_interval) so scripted faults
+  /// land mid-traffic instead of after a sub-millisecond sprint.
+  net::MuxConfig mux;
+  /// Wait for completion after the last scripted action.
+  std::chrono::milliseconds drain_timeout{60'000};
+  FabricFaultPlan plan;
+};
+
+struct FabricSoakResult {
+  bool ok = false;
+  std::string failure;  ///< first violated criterion; empty when ok
+  std::size_t completed = 0;      ///< client sessions that completed
+  std::size_t live_violations = 0;  ///< safety + recovery, client + cells
+  std::size_t rehomes = 0;          ///< successful fence-and-re-homes
+  std::vector<std::uint64_t> restore_latency_us;  ///< per re-home absorb
+  analysis::TraceReport trace;  ///< merged-trace attestation report
+};
+
+/// One full fabric run under `cfg.plan` (see file comment).
+FabricSoakResult run_fabric_soak(const FabricSoakConfig& cfg);
+
+/// Deterministic small random plan for one sweep trial: 1-3 actions,
+/// crashes capped at backends-1 so a survivor always exists.
+FabricFaultPlan sample_fabric_plan(std::uint64_t seed,
+                                   std::size_t backends);
+
+struct FabricSoakFailure {
+  std::uint64_t seed = 0;
+  FabricFaultPlan plan;
+  std::string failure;
+};
+
+struct FabricSoakReport {
+  std::size_t trials = 0;
+  std::size_t completed_trials = 0;
+  std::size_t total_rehomes = 0;
+  std::vector<FabricSoakFailure> failures;
+  bool clean() const { return failures.empty(); }
+};
+
+/// One run_fabric_soak per seed, plan sampled per seed.
+FabricSoakReport fabric_soak_sweep(const FabricSoakConfig& base,
+                                   const std::vector<std::uint64_t>& seeds);
+
+struct MinimizedFabricPlan {
+  FabricFaultPlan plan;
+  std::size_t probe_runs = 0;  ///< soak runs spent shrinking
+};
+
+/// Shrink `failing` (which makes run_fabric_soak fail under `cfg`) to a
+/// 1-minimal failing plan: removing any single remaining action makes
+/// the soak pass.  Each probe is a full fabric run — budget accordingly.
+MinimizedFabricPlan minimize_fabric_plan(const FabricSoakConfig& cfg,
+                                         const FabricFaultPlan& failing);
+
+}  // namespace stpx::stp

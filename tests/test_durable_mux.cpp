@@ -1086,6 +1086,122 @@ TEST(DurableMux, ClientRehydratesSenderManifestsAndServerDeclinesThem) {
 }
 
 // --------------------------------------------------------------------------
+// rehydrate() edge cases: empty log, completed-only log, id collisions,
+// and the read-only extra-sources handoff (the fabric's re-home path)
+// --------------------------------------------------------------------------
+
+TEST(DurableMuxRehydrate, EmptyLogAdmitsNothing) {
+  store::MemStore st;
+  st.reset();
+  auto wire = net::make_loopback();
+  net::MuxConfig cfg;
+  cfg.session_stores = {&st};
+  net::StpServer server(wire.b.get(), cfg);
+  const auto rep = server.rehydrate(stenning_receiver_factory(),
+                                    [](std::uint32_t) { return seq_for(0, 4); });
+  EXPECT_EQ(rep.sessions, 0u);
+  EXPECT_EQ(rep.completed, 0u);
+  EXPECT_EQ(rep.cold_restores, 0u);
+  EXPECT_EQ(rep.collisions, 0u);
+  EXPECT_EQ(rep.records_scanned, 0u);
+  EXPECT_EQ(rep.records_skipped, 0u);
+  EXPECT_TRUE(server.mux().reports().empty());
+}
+
+TEST(DurableMuxRehydrate, CompletedOnlyLogRestoresStraightToCompleted) {
+  const std::uint32_t kId = 3;
+  const auto x = seq_for(kId, 4);
+  store::MemStore st;
+  st.reset();
+  st.append(receiver_manifest(kId, x, x.size(), 1).to_payload());
+
+  auto wire = net::make_loopback();
+  net::MuxConfig cfg;
+  cfg.session_stores = {&st};
+  net::StpServer server(wire.b.get(), cfg);
+  const auto rep = server.rehydrate(stenning_receiver_factory(),
+                                    [&](std::uint32_t) { return x; });
+  EXPECT_EQ(rep.sessions, 1u);
+  EXPECT_EQ(rep.completed, 1u);
+  EXPECT_EQ(rep.violations, 0u);
+  const auto reports = server.mux().reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].id, kId);
+  EXPECT_TRUE(reports[0].rehydrated);
+  EXPECT_EQ(reports[0].state, net::SessionState::kCompleted);
+  EXPECT_EQ(reports[0].items, x.size());
+}
+
+TEST(DurableMuxRehydrate, CollidingSessionIdIsSkippedAndCounted) {
+  const std::uint32_t kId = 5;
+  const auto x = seq_for(kId, 4);
+  store::MemStore st;
+  st.reset();
+  st.append(receiver_manifest(kId, x, 2, 1).to_payload());
+
+  auto wire = net::make_loopback();
+  net::MuxConfig cfg;
+  cfg.session_stores = {&st};
+  net::StpServer server(wire.b.get(), cfg);
+  // The operator already cold-added kId; the manifest for the same id
+  // must NOT replace or duplicate the hosted session.
+  server.add_session(kId, proto::make_stenning(kDomain).receiver, x);
+  const auto rep = server.rehydrate(stenning_receiver_factory(),
+                                    [&](std::uint32_t) { return x; });
+  EXPECT_EQ(rep.sessions, 0u);
+  EXPECT_EQ(rep.collisions, 1u);
+  const auto reports = server.mux().reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].rehydrated);  // the cold add won
+  EXPECT_EQ(reports[0].items, 0u);      // fresh receiver, not the manifest
+}
+
+TEST(DurableMuxRehydrate, ExtraSourcesAreReadOnlyAndReManifestIntoOwnStores) {
+  const std::uint32_t kId = 7;
+  const auto x = seq_for(kId, 4);
+  // The dead backend's log (stamped owner 2) — handed off read-only.
+  store::MemStore dead_log;
+  dead_log.reset();
+  auto handed = receiver_manifest(kId, x, x.size(), 1);
+  handed.owner = 2;
+  dead_log.append(handed.to_payload());
+  const auto handoff_bytes_before = dead_log.replay().payloads;
+
+  store::MemStore own;
+  own.reset();
+  auto wire = net::make_loopback();
+  net::MuxConfig cfg;
+  cfg.session_stores = {&own};
+  cfg.backend_id = 9;  // the survivor
+  net::StpServer server(wire.b.get(), cfg);
+  const auto rep = server.rehydrate(
+      stenning_receiver_factory(), [&](std::uint32_t) { return x; },
+      {&dead_log});
+  EXPECT_EQ(rep.sessions, 1u);
+  EXPECT_EQ(rep.completed, 1u);
+
+  // The absorbed session re-manifests into the survivor's OWN store at
+  // the first checkpoint flush, stamped with the survivor's id.  Watch
+  // the (atomic) flush counter while running; only inspect the store
+  // after stop() — it is worker-owned while the mux is live.
+  server.mux().start();
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (server.mux().stats().checkpoint_flushes == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  server.mux().stop();
+  bool remanifested = false;
+  for (const auto& payload : own.replay().payloads) {
+    const auto m = store::SessionManifest::from_payload(payload);
+    if (m && m->session == kId && m->owner == 9) remanifested = true;
+  }
+  EXPECT_TRUE(remanifested);
+  // The handoff source was scanned, never written.
+  EXPECT_EQ(dead_log.replay().payloads, handoff_bytes_before);
+}
+
+// --------------------------------------------------------------------------
 // Acceptance: kill + restart under load, >= 1000 sessions
 // --------------------------------------------------------------------------
 

@@ -130,6 +130,26 @@ std::vector<GoldenCase> golden_cases() {
                      "{\"ts\":130,\"seq\":0,\"ev\":\"checkpoint-flush\","
                      "\"shard\":1,\"records\":17,\"dur_us\":42}"});
   }
+  // Fabric heartbeat echo — note: all cases above have backend == 0 and
+  // pin the pre-fabric line shape byte-identically (no "backend" key).
+  cases.push_back({make_ev(TraceEventKind::kProbeAnswered, 140, 0, -7),
+                   "{\"ts\":140,\"seq\":0,\"ev\":\"probe-answered\","
+                   "\"nonce\":-7}"});
+  // A nonzero backend id is appended as the trailing key, on any kind.
+  {
+    auto ev = make_ev(TraceEventKind::kItem, 150, 4, 2);
+    ev.backend = 3;
+    cases.push_back({ev,
+                     "{\"ts\":150,\"seq\":0,\"ev\":\"item\",\"session\":4,"
+                     "\"index\":2,\"backend\":3}"});
+  }
+  {
+    auto ev = make_ev(TraceEventKind::kProbeAnswered, 160, 0, 9);
+    ev.backend = 2;
+    cases.push_back({ev,
+                     "{\"ts\":160,\"seq\":0,\"ev\":\"probe-answered\","
+                     "\"nonce\":9,\"backend\":2}"});
+  }
   return cases;
 }
 
@@ -251,6 +271,37 @@ TEST(FlightRecorder, FullRingDropsNewestAndAccounts) {
   rec.publish_metrics(reg);
   EXPECT_EQ(reg.counter_value("net.trace.recorded"), 9u);
   EXPECT_EQ(reg.counter_value("net.trace.dropped"), 12u);
+}
+
+TEST(FlightRecorder, StampsItsBackendIdIntoEveryEvent) {
+  net::FlightRecorderConfig cfg;
+  cfg.backend_id = 5;
+  net::FlightRecorder rec(cfg);
+  rec.on_item(1, 0);
+  rec.on_probe_answered(42);
+  rec.on_session_state(1, net::SessionState::kCompleted);
+  const auto evs = rec.drain();
+  ASSERT_EQ(evs.size(), 3u);
+  for (const auto& ev : evs) EXPECT_EQ(ev.backend, 5u);
+  // The heartbeat echo carries its nonce through to JSONL.
+  EXPECT_EQ(evs[1].kind, TraceEventKind::kProbeAnswered);
+  EXPECT_EQ(evs[1].msg, 42);
+  EXPECT_NE(net::to_jsonl(evs[1]).find("\"nonce\":42"), std::string::npos);
+  EXPECT_NE(net::to_jsonl(evs[1]).find("\"backend\":5"), std::string::npos);
+}
+
+TEST(FlightRecorder, EpochOffsetAnchorsRecordersOnAMachineWideClock) {
+  // Two recorders born in sequence: the later one's epoch offset is never
+  // smaller (CLOCK_MONOTONIC is machine-wide), which is what lets
+  // per-backend streams be rebased onto one time axis after a merge.
+  net::FlightRecorder first;
+  net::FlightRecorder second;
+  EXPECT_GE(second.epoch_offset_us(), first.epoch_offset_us());
+  first.on_item(1, 0);
+  const auto evs = first.drain();
+  ASSERT_EQ(evs.size(), 1u);
+  // Event timestamps are relative to the recorder's own epoch.
+  EXPECT_LT(evs[0].ts_us, 60'000'000u);
 }
 
 TEST(FlightRecorder, ConcurrentProducersAndDrainerLoseNothing) {
