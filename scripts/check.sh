@@ -74,8 +74,8 @@ stage_trace() {
 }
 
 stage_fabric() {
-  echo "== fabric smoke: multi-backend failover suite + crash re-homing bench report =="
-  ctest --test-dir build -L fabric_smoke --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
+  echo "== fabric smoke: multi-backend failover + rejoin/reclaim suites + crash re-homing bench report =="
+  ctest --test-dir build -L "fabric_smoke|rejoin_smoke" --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
   ./build/bench/r7_fabric --quiet --json BENCH_r7_fabric.json
   ./build/bench/validate_bench_json BENCH_r7_fabric.json
 }
@@ -88,11 +88,11 @@ stage_asan() {
 }
 
 stage_tsan() {
-  echo "== sanitizers: TSan configure + build + net/durable-mux/trace/fabric smoke (build/tsan/) =="
+  echo "== sanitizers: TSan configure + build + net/durable-mux/trace/fabric/rejoin smoke (build/tsan/) =="
   cmake -B build/tsan -S . -DSTPX_SANITIZE_THREAD=ON >/dev/null
   cmake --build build/tsan -j "${JOBS}" --target test_net test_durable_mux test_trace test_fabric \
-        r4_mux r5_durable_mux r6_trace r7_fabric validate_bench_json
-  ctest --test-dir build/tsan -L "net_smoke|durable_mux_smoke|trace_smoke|fabric_smoke" \
+        test_rejoin r4_mux r5_durable_mux r6_trace r7_fabric validate_bench_json
+  ctest --test-dir build/tsan -L "net_smoke|durable_mux_smoke|trace_smoke|fabric_smoke|rejoin_smoke" \
         --output-on-failure -j "${JOBS}" --timeout "${TEST_TIMEOUT}"
 }
 

@@ -18,15 +18,36 @@
 //                    logs as read-only extra sources, cold-add any
 //                    expected session that never manifested (assigned but
 //                    never checkpointed before the crash), restart.
+//   rejoin()         the way back from kill(): announce a fresh
+//                    generation on the reserved fabric session (kJoin,
+//                    msg = generation), wait for the router's epoch-tagged
+//                    kJoinAck, then start a SESSIONLESS generation that
+//                    answers probes through its probation window.  The
+//                    sessions come back later, via the reclaim handoff.
+//   release_absorb() survivor side of a reclaim: hand sessions BACK —
+//                    the same restart-absorb shape as rehome_absorb, but
+//                    the rehydration factory declines the departing
+//                    sessions, so the new generation simply never admits
+//                    them.  Their durable records stay in this cell's
+//                    logs, read-only, for the rejoiner to fold in.
+//
+// Every absorb restricts rehydration to the sessions the membership table
+// says belong here: after a reclaim, a cell's logs manifest sessions it
+// no longer owns (the released ones), and blindly re-admitting whatever a
+// log mentions would be exactly the split-brain the fence exists to
+// prevent.
 //
 // The cell's MuxConfig.backend_id is stamped with the cell id, so every
 // manifest record it writes says who owned the session when — provenance
 // that survives the handoff.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "net/service.hpp"
@@ -51,6 +72,15 @@ struct AbsorbReport {
   net::RehydrateReport rehydrate;
   std::vector<std::uint32_t> cold_added;  // expected but never manifested
   std::uint64_t latency_us = 0;           // stop -> serving again
+};
+
+/// What one rejoin() handshake did.
+struct RejoinReport {
+  bool acked = false;          ///< kJoinAck received; probation is open
+  std::uint32_t attempts = 0;  ///< kJoin announcements sent
+  std::uint32_t generation = 0;  ///< the generation that announced
+  std::uint64_t epoch = 0;     ///< membership epoch from the kJoinAck
+  std::uint64_t latency_us = 0;
 };
 
 class BackendCell {
@@ -78,11 +108,37 @@ class BackendCell {
 
   /// Survivor side of a re-home (see file comment).  `handoff` is the
   /// dead backend's stores (read-only); `expected` the session ids the
-  /// membership table says must now live here (this cell's own sessions
-  /// need not be listed — its stores already manifest them).
+  /// membership table says must now live here.  When `owned` is given it
+  /// names this cell's CURRENT sessions, and rehydration is restricted to
+  /// owned ∪ expected — any other session a log manifests (e.g. one this
+  /// cell released in an earlier reclaim) is declined.  Without `owned`
+  /// every manifested session is admitted (the pre-reclaim behaviour,
+  /// safe only while logs cannot mention foreign sessions).
   AbsorbReport rehome_absorb(
       const std::vector<store::IStableStore*>& handoff,
-      const std::vector<std::uint32_t>& expected);
+      const std::vector<std::uint32_t>& expected,
+      const std::optional<std::vector<std::uint32_t>>& owned = std::nullopt);
+
+  /// Survivor side of a reclaim: restart WITHOUT `victims`, keeping
+  /// exactly `remaining` (cold-adding any of them no log manifests).  The
+  /// victims' durable records stay in this cell's logs for the rejoiner.
+  AbsorbReport release_absorb(const std::vector<std::uint32_t>& victims,
+                              const std::vector<std::uint32_t>& remaining);
+
+  /// The way back from kill(): announce a fresh generation with kJoin on
+  /// the reserved fabric session and wait (bounded retries, `ack_wait`
+  /// per attempt) for the router's kJoinAck.  The ack is authoritative —
+  /// the router sends it only while probation is open, so a kJoin that
+  /// races the strike ladder (backend not condemned yet) goes unanswered
+  /// and the retries carry the handshake across.  Probes arriving during
+  /// the wait are deliberately NOT answered: feeding the ladder healthy
+  /// acks would stall the very condemnation the handshake needs.  On
+  /// success the cell starts a SESSIONLESS generation that rides out
+  /// probation; on failure the cell stays dead and a later rejoin() may
+  /// try again.
+  RejoinReport rejoin(std::uint32_t max_attempts = 5,
+                      std::chrono::microseconds ack_wait =
+                          std::chrono::microseconds(50'000));
 
   /// The current generation (valid between construction and kill()).
   net::StpServer& server() { return *server_; }
@@ -91,6 +147,13 @@ class BackendCell {
 
  private:
   std::unique_ptr<net::StpServer> make_generation();
+  /// Shared restart-absorb core: bare-stop, next generation, rehydrate
+  /// (declining sessions `allowed` rejects, when given), cold-add
+  /// `expected` stragglers, restart.  Caller holds mu_.
+  AbsorbReport absorb_locked(
+      const std::vector<store::IStableStore*>& handoff,
+      const std::vector<std::uint32_t>& expected,
+      const std::function<bool(std::uint32_t)>& allowed);
 
   net::ITransport* transport_;
   CellConfig cfg_;

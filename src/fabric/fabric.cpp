@@ -1,7 +1,9 @@
 #include "fabric/fabric.hpp"
 
 #include <algorithm>
+#include <map>
 
+#include "store/session_log.hpp"
 #include "util/expect.hpp"
 
 namespace stpx::fabric {
@@ -84,6 +86,16 @@ void Fabric::set_data_split(std::uint32_t id, bool on) {
   router_->set_drop_data(id, on);
 }
 
+void Fabric::set_partition(std::uint32_t id, PartitionMode mode) {
+  router_->set_partition(id, mode);
+}
+
+bool Fabric::rejoin_backend(std::uint32_t id) {
+  BackendCell& c = cell(id);
+  if (!c.killed()) return false;
+  return c.rejoin().acked;
+}
+
 BackendCell& Fabric::cell(std::uint32_t id) {
   STPX_EXPECT(id >= 1 && id <= cells_.size(), "Fabric: unknown backend id");
   return *cells_[id - 1];
@@ -94,13 +106,27 @@ std::vector<RehomeRecord> Fabric::rehomes() const {
   return rehomes_;
 }
 
+std::vector<ReclaimRecord> Fabric::reclaims() const {
+  std::lock_guard<std::mutex> hold(rehome_mu_);
+  return reclaims_;
+}
+
+void Fabric::publish_metrics(obs::MetricsRegistry& reg) const {
+  router_->publish_metrics(reg);
+}
+
 void Fabric::supervise(std::stop_token st) {
   while (!st.stop_requested()) {
+    bool busy = false;
     if (const auto dead = router_->next_dead()) {
       handle_death(*dead);
-    } else {
-      std::this_thread::sleep_for(cfg_.supervise_poll);
+      busy = true;
     }
+    if (const auto joined = router_->next_joined()) {
+      handle_join(*joined);
+      busy = true;
+    }
+    if (!busy) std::this_thread::sleep_for(cfg_.supervise_poll);
   }
 }
 
@@ -120,10 +146,15 @@ void Fabric::handle_death(std::uint32_t dead) {
   }
   rec.survivor = *survivor;
   // The survivor goes dark while its mux restarts; pause its heartbeat
-  // so the maintenance window cannot read as a second crash.
+  // so the maintenance window cannot read as a second crash.  Rehydration
+  // is restricted to the survivor's own sessions plus the incoming ones:
+  // after a reclaim its logs can manifest sessions it released, and the
+  // handed-off logs can manifest sessions the dead cell released — none
+  // of which may be resurrected here.
   router_->set_probes_paused(*survivor, true);
   rec.absorb = cells_[*survivor - 1]->rehome_absorb(
-      stores_[dead - 1], membership_.sessions_of(dead));
+      stores_[dead - 1], membership_.sessions_of(dead),
+      membership_.sessions_of(*survivor));
   router_->set_probes_paused(*survivor, false);
   // Only now flip the routing truth: frames for the moved sessions were
   // dropped (counted dead_owner) during the absorb, which retransmission
@@ -132,6 +163,70 @@ void Fabric::handle_death(std::uint32_t dead) {
   rec.ok = true;
   std::lock_guard<std::mutex> hold(rehome_mu_);
   rehomes_.push_back(std::move(rec));
+}
+
+void Fabric::handle_join(std::uint32_t id) {
+  ReclaimRecord rec;
+  rec.backend = id;
+  rec.generation = cells_[id - 1]->generation();
+  // The reclaim set is decided by DURABLE evidence: whatever this
+  // backend's own logs still manifest, judged against the current
+  // membership truth.  Sessions created after its death live elsewhere
+  // and are not touched.
+  const auto manifested = store::manifested_sessions(stores_[id - 1]);
+  std::map<std::uint32_t, std::vector<std::uint32_t>> by_owner;
+  for (const std::uint32_t sid : manifested) {
+    const auto entry = membership_.resolve(sid);
+    if (!entry) continue;  // never registered with this fabric
+    if (entry->backend == id) {
+      // Still nominally ours — typically fenced behind a soon-to-be-stale
+      // entry because nobody survived to re-home it.  No release needed.
+      rec.reclaimed.push_back(sid);
+      continue;
+    }
+    if (membership_.health(entry->backend) == BackendHealth::kDead) {
+      continue;  // that backend's own death flow owns these; don't race it
+    }
+    by_owner[entry->backend].push_back(sid);
+    rec.reclaimed.push_back(sid);
+  }
+  // Each current owner hands its victims back with a release absorb; the
+  // victims' durable records stay in its logs, read-only, as the handoff
+  // source for the rejoiner.
+  std::vector<store::IStableStore*> handoff;
+  for (const auto& [owner, victims] : by_owner) {
+    std::vector<std::uint32_t> remaining;
+    for (const std::uint32_t sid : membership_.sessions_of(owner)) {
+      if (std::find(victims.begin(), victims.end(), sid) == victims.end()) {
+        remaining.push_back(sid);
+      }
+    }
+    router_->set_probes_paused(owner, true);
+    cells_[owner - 1]->release_absorb(victims, remaining);
+    router_->set_probes_paused(owner, false);
+    for (store::IStableStore* s : stores_[owner - 1]) handoff.push_back(s);
+    rec.released_from.push_back(owner);
+  }
+  // The rejoiner folds its own logs plus the released owners' (read-only)
+  // and admits EXACTLY the reclaim set: the (epoch, seq) newest-fold
+  // resumes each session at the releasing owner's durable position, so
+  // the ack-gating write-ahead rule holds across the handback.  An empty
+  // `owned` vector (vs nullopt) is what restricts admission to the
+  // reclaim set alone.
+  router_->set_probes_paused(id, true);
+  rec.absorb = cells_[id - 1]->rehome_absorb(handoff, rec.reclaimed,
+                                             std::vector<std::uint32_t>{});
+  router_->set_probes_paused(id, false);
+  // Only now flip the routing truth: revive bumps the incarnation (owner
+  // entries still stamped with the old one turn stale) and the epoch;
+  // each reclaimed session is then restamped fresh.  Clients holding
+  // pre-revive leases get kNotOwner redirects, re-resolve, and land here.
+  membership_.revive(id);
+  for (const std::uint32_t sid : rec.reclaimed) membership_.assign(sid, id);
+  rec.epoch = membership_.epoch();
+  rec.ok = true;
+  std::lock_guard<std::mutex> hold(rehome_mu_);
+  reclaims_.push_back(std::move(rec));
 }
 
 std::vector<net::TraceEvent> merge_backend_traces(

@@ -17,6 +17,14 @@
 //                                  re-home (membership rewrite; the
 //                                    router forwards there from now on)
 //
+// The rejoin loop (PR 9) runs the same machinery in reverse: a killed
+// cell announces a fresh generation (kJoin), rides out the router's
+// probation window, and the supervisor then RECLAIMS the sessions its
+// durable logs still manifest — each current owner hands them back with
+// a release absorb, the rejoiner folds the released logs in, and only
+// then does revive() + reassignment flip the routing truth (epoch bump;
+// stale leases get redirected).  docs/FABRIC.md has the state machine.
+//
 // Sessions are assigned round-robin at registration; the membership
 // table is the single routing truth before and after a re-home.  The
 // supervisor records every re-home (survivor, moved sessions, absorb
@@ -75,6 +83,21 @@ struct RehomeRecord {
   bool ok = false;
 };
 
+/// One rejoin-and-reclaim, as the supervisor saw it: backend `backend`
+/// passed probation and took back `reclaimed`, released by the backends
+/// in `released_from` (empty when its sessions were never re-homed —
+/// e.g. it died with no survivor and they sat fenced behind stale owner
+/// entries until now).
+struct ReclaimRecord {
+  std::uint32_t backend = 0;
+  std::uint32_t generation = 0;  ///< the generation that serves from now
+  std::vector<std::uint32_t> reclaimed;
+  std::vector<std::uint32_t> released_from;
+  AbsorbReport absorb;           ///< the rejoiner's reclaim absorb
+  std::uint64_t epoch = 0;       ///< membership epoch after revive
+  bool ok = false;
+};
+
 class Fabric {
  public:
   explicit Fabric(FabricConfig cfg);
@@ -105,6 +128,17 @@ class Fabric {
   void set_probe_blackout(std::uint32_t id, bool on);
   /// Sever/restore session traffic while heartbeats still answer.
   void set_data_split(std::uint32_t id, bool on);
+  /// Host-level split between the router side and backend `id`: data AND
+  /// probes severed in the given direction(s).  kNone heals.
+  void set_partition(std::uint32_t id, PartitionMode mode);
+
+  /// Bring a killed backend back: the cell announces a fresh generation
+  /// (kJoin handshake) and, once the router's probation window passes,
+  /// the supervisor reclaims the sessions its durable logs still
+  /// manifest.  Returns false when the handshake failed (e.g. the link
+  /// is partitioned) — the cell stays dead and may try again.  The
+  /// reclaim itself is asynchronous; wait on reclaims().
+  bool rejoin_backend(std::uint32_t id);
 
   MembershipTable& membership() { return membership_; }
   FabricRouter& router() { return *router_; }
@@ -112,10 +146,16 @@ class Fabric {
   std::size_t backend_count() const { return cells_.size(); }
 
   std::vector<RehomeRecord> rehomes() const;
+  std::vector<ReclaimRecord> reclaims() const;
+
+  /// Router + nameserver counters into `reg` under "fabric.*" (call
+  /// after stop(); the registry is not thread-safe).
+  void publish_metrics(obs::MetricsRegistry& reg) const;
 
  private:
   void supervise(std::stop_token st);
   void handle_death(std::uint32_t dead);
+  void handle_join(std::uint32_t id);
 
   FabricConfig cfg_;
   MembershipTable membership_;
@@ -130,6 +170,7 @@ class Fabric {
 
   mutable std::mutex rehome_mu_;
   std::vector<RehomeRecord> rehomes_;
+  std::vector<ReclaimRecord> reclaims_;
   std::jthread supervisor_;
 };
 

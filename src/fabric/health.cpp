@@ -29,6 +29,13 @@ void HealthMonitor::advance(std::uint32_t id, Backend& b, time_point now) {
   if (b.strikes >= cfg_.max_strikes) {
     b.health = BackendHealth::kDead;
     ++stats_.deaths;
+    if (b.probation_owed > 0) {
+      // Striking out mid-probation is a second death; the supervisor
+      // learns of it through the ordinary death event, and a fresh
+      // rejoin() is the only way to try again.
+      b.probation_owed = 0;
+      ++stats_.probation_failures;
+    }
   } else {
     b.health = BackendHealth::kSuspect;
   }
@@ -57,6 +64,12 @@ void HealthMonitor::on_ack(std::uint32_t id, std::int64_t nonce,
     return;
   }
   Backend& b = it->second;
+  // A probe answered during a maintenance pause is neither late nor
+  // stray: set_paused() cleared `outstanding`, so the ack is simply the
+  // in-flight answer to a probe we stopped caring about.  Ignore it
+  // without prejudice — counting it as late_or_stray would make every
+  // planned restart look like probe trouble.
+  if (b.paused) return;
   advance(id, b, now);
   // Death is sticky; an ack for a stale nonce proves nothing about the
   // probe we are actually waiting on (it may have been queued for ages).
@@ -68,9 +81,21 @@ void HealthMonitor::on_ack(std::uint32_t id, std::int64_t nonce,
   b.outstanding = false;
   b.strikes = 0;
   b.timeout = cfg_.probe_timeout;
-  b.health = BackendHealth::kAlive;
   b.next_due = now + cfg_.probe_interval;
   ++stats_.acks;
+  if (b.probation_owed > 0) {
+    // Probation lifts only on consecutive answered probes; a timeout in
+    // between restarts nothing (strikes reset on ack anyway) but the
+    // verdict stays kSuspect until the full run is in.
+    if (--b.probation_owed == 0) {
+      b.health = BackendHealth::kAlive;
+      ++stats_.probation_passes;
+    } else {
+      b.health = BackendHealth::kSuspect;
+    }
+    return;
+  }
+  b.health = BackendHealth::kAlive;
 }
 
 void HealthMonitor::set_paused(std::uint32_t id, bool paused,
@@ -84,8 +109,34 @@ void HealthMonitor::set_paused(std::uint32_t id, bool paused,
   b.outstanding = false;
   b.strikes = 0;
   b.timeout = cfg_.probe_timeout;
+  // A deliberate maintenance window supersedes probation: the supervisor
+  // only pauses a backend it is restarting on purpose, which is as much
+  // of a liveness attestation as a probe run would be.
+  b.probation_owed = 0;
   b.health = BackendHealth::kAlive;
   if (!paused) b.next_due = now + cfg_.probe_interval;
+}
+
+bool HealthMonitor::rejoin(std::uint32_t id, time_point now) {
+  const auto it = backends_.find(id);
+  if (it == backends_.end()) return false;
+  Backend& b = it->second;
+  if (b.health != BackendHealth::kDead) return false;
+  b.health = BackendHealth::kSuspect;
+  b.paused = false;
+  b.probation_owed = cfg_.probation_acks > 0 ? cfg_.probation_acks : 1;
+  b.strikes = 0;
+  b.timeout = cfg_.probe_timeout;
+  b.outstanding = false;
+  b.next_due = now;  // first probation probe due immediately
+  ++stats_.rejoins;
+  return true;
+}
+
+bool HealthMonitor::on_probation(std::uint32_t id) const {
+  const auto it = backends_.find(id);
+  return it != backends_.end() && it->second.probation_owed > 0 &&
+         it->second.health != BackendHealth::kDead;
 }
 
 BackendHealth HealthMonitor::health(std::uint32_t id, time_point now) {

@@ -12,11 +12,19 @@
 //     └───────────────────────────────┴── strikes == max_strikes ──▶ DEAD
 //
 // Death is sticky — once declared, the backend is fenced by the fabric
-// and never revived (a late ack is counted but changes nothing).  The
-// strike budget with exponential backoff means a single dropped probe
-// datagram costs one quick retry, while a truly dead backend is declared
-// after max_strikes timeouts spanning roughly
+// and not revived by traffic (a late ack is counted but changes
+// nothing).  The strike budget with exponential backoff means a single
+// dropped probe datagram costs one quick retry, while a truly dead
+// backend is declared after max_strikes timeouts spanning roughly
 // timeout * (backoff^max_strikes - 1) / (backoff - 1).
+//
+// The one deliberate door back is rejoin() (PR 9): a dead backend that
+// announced itself with a kJoin handshake enters PROBATION — probing
+// resumes with a fresh ladder, and only `probation_acks` consecutive
+// answered probes earn kAlive back.  Probation reports kSuspect
+// throughout (the membership table keeps the backend fenced until the
+// supervisor's reclaim completes), and striking out during probation is
+// a second death, sticky as the first.
 #pragma once
 
 #include <chrono>
@@ -39,6 +47,9 @@ struct HealthConfig {
   double backoff = 2.0;
   /// Backoff ceiling.
   std::chrono::microseconds max_timeout{200'000};
+  /// Consecutive answered probes a rejoining backend must produce before
+  /// probation lifts (see file comment).
+  std::uint32_t probation_acks = 2;
 };
 
 /// Per-backend probe accounting snapshot.
@@ -48,6 +59,9 @@ struct HealthStats {
   std::uint64_t late_or_stray_acks = 0;
   std::uint64_t timeouts = 0;   // strikes charged
   std::uint64_t deaths = 0;     // backends declared dead
+  std::uint64_t rejoins = 0;            // probation windows opened
+  std::uint64_t probation_passes = 0;   // probations that earned kAlive
+  std::uint64_t probation_failures = 0; // probations that struck out
 };
 
 class HealthMonitor {
@@ -70,9 +84,23 @@ class HealthMonitor {
   /// Maintenance pause: while paused no probes go out and no timeouts are
   /// charged — a backend the supervisor is deliberately restarting (the
   /// re-homing absorb window) must not be mistaken for a crash.  Pausing
-  /// forgives the strike ladder; resuming schedules the next probe one
-  /// interval out.  Death stays sticky through both.
+  /// forgives the strike ladder AND resets the backoff-grown timeout to
+  /// base; resuming schedules the next probe one interval out.  An ack
+  /// arriving mid-pause is ignored without prejudice (it is neither late
+  /// nor stray — we simply were not asking).  Death stays sticky through
+  /// both.
   void set_paused(std::uint32_t id, bool paused, time_point now);
+
+  /// Open a probation window for a dead backend (the router calls this
+  /// on a kJoin announcement): health becomes kSuspect, the strike
+  /// ladder and timeout reset, and the next probe is due immediately.
+  /// Only after cfg.probation_acks CONSECUTIVE answered probes does the
+  /// verdict return to kAlive.  No-op unless the backend is dead.
+  /// Returns true when a probation window was opened.
+  bool rejoin(std::uint32_t id, time_point now);
+
+  /// True while `id` is inside an open probation window.
+  bool on_probation(std::uint32_t id) const;
 
   /// Current verdict (also charges any pending timeout at `now`, so a
   /// caller that stops probing still observes death).
@@ -88,6 +116,9 @@ class HealthMonitor {
   struct Backend {
     BackendHealth health = BackendHealth::kAlive;
     bool paused = false;
+    /// Consecutive acks still owed before probation lifts (0 = not on
+    /// probation).
+    std::uint32_t probation_owed = 0;
     std::uint32_t strikes = 0;
     std::chrono::microseconds timeout{0};  // current, backoff-grown
     bool outstanding = false;

@@ -1,0 +1,115 @@
+#include "fabric/resolver.hpp"
+
+#include "fabric/nameserver.hpp"
+#include "util/expect.hpp"
+
+namespace stpx::fabric {
+
+using net::Frame;
+using net::FrameKind;
+
+ResolverTransport::ResolverTransport(net::ITransport* inner,
+                                     ResolverConfig cfg)
+    : inner_(inner), cfg_(cfg) {
+  STPX_EXPECT(inner_ != nullptr, "ResolverTransport: null inner transport");
+}
+
+std::string ResolverTransport::name() const {
+  return "resolver+" + inner_->name();
+}
+
+void ResolverTransport::maybe_resolve(std::uint32_t session,
+                                      clock::time_point now) {
+  const auto it = last_resolve_.find(session);
+  if (it != last_resolve_.end() && now - it->second < cfg_.resolve_retry) {
+    return;
+  }
+  last_resolve_[session] = now;
+  Frame q;
+  q.kind = FrameKind::kResolve;
+  q.dir = sim::Dir::kSenderToReceiver;
+  q.session = session;
+  q.msg = 0;
+  inner_->send(net::encode(q));
+  ++n_.resolves_sent;
+}
+
+void ResolverTransport::on_control(const Frame& f) {
+  if (f.kind == FrameKind::kResolveAck) {
+    const std::uint32_t owner = lease_owner(f.msg);
+    const std::uint64_t epoch = lease_epoch(f.msg);
+    if (owner != 0) {
+      // Grants only move leases forward: a reordered stale ack must not
+      // clobber a newer lease.
+      auto& l = leases_[f.session];
+      if (epoch >= l.epoch) l = Lease{owner, epoch};
+      ++n_.leases_granted;
+    } else {
+      ++n_.unknown_answers;
+    }
+    return;
+  }
+  // kNotOwner: the router dropped a frame for this session and tells us
+  // the current epoch.  A cached lease older than that is fenced off and
+  // re-resolved immediately — redirected, not blackholed.
+  ++n_.redirects_seen;
+  const std::uint64_t epoch = lease_epoch(f.msg);
+  const auto it = leases_.find(f.session);
+  if (it != leases_.end() && it->second.epoch < epoch) {
+    leases_.erase(it);
+    ++n_.lease_invalidations;
+    last_resolve_.erase(f.session);  // stale fence beats the rate limit
+  }
+  maybe_resolve(f.session, clock::now());
+}
+
+bool ResolverTransport::send(const std::vector<std::uint8_t>& bytes) {
+  if (const auto f = net::decode(bytes)) {
+    if ((f->kind == FrameKind::kData || f->kind == FrameKind::kFin) &&
+        f->session != net::kFabricSession) {
+      std::lock_guard<std::mutex> hold(mu_);
+      if (leases_.find(f->session) == leases_.end()) {
+        maybe_resolve(f->session, clock::now());
+      }
+    }
+  }
+  // Leases are advisory: the frame goes out either way, and the router's
+  // own membership table decides where it lands.
+  return inner_->send(bytes);
+}
+
+std::optional<std::vector<std::uint8_t>> ResolverTransport::poll() {
+  for (std::size_t i = 0; i < cfg_.control_burst; ++i) {
+    auto bytes = inner_->poll();
+    if (!bytes) return std::nullopt;
+    const auto f = net::decode(*bytes);
+    if (f && (f->kind == FrameKind::kResolveAck ||
+              f->kind == FrameKind::kNotOwner)) {
+      std::lock_guard<std::mutex> hold(mu_);
+      on_control(*f);
+      continue;
+    }
+    return bytes;
+  }
+  return std::nullopt;
+}
+
+void ResolverTransport::resolve_now(std::uint32_t session) {
+  std::lock_guard<std::mutex> hold(mu_);
+  last_resolve_.erase(session);  // explicit query beats the rate limit
+  maybe_resolve(session, clock::now());
+}
+
+std::optional<Lease> ResolverTransport::lease(std::uint32_t session) const {
+  std::lock_guard<std::mutex> hold(mu_);
+  const auto it = leases_.find(session);
+  if (it == leases_.end()) return std::nullopt;
+  return it->second;
+}
+
+ResolverStats ResolverTransport::stats() const {
+  std::lock_guard<std::mutex> hold(mu_);
+  return n_;
+}
+
+}  // namespace stpx::fabric

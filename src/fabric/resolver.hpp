@@ -1,0 +1,96 @@
+// ResolverTransport — the client's side of the nameserver protocol, as a
+// transport decorator.
+//
+// StpClient stays lease-ignorant: it is constructed over a
+// ResolverTransport wrapping the real client endpoint, and the decorator
+// speaks kResolve/kResolveAck/kNotOwner underneath it (the same shape as
+// fault::ChaosChannel wrapping a channel):
+//
+//   * on connect — resolve_now() issues a kResolve per session before
+//     traffic starts, so the client begins with a fresh lease;
+//   * on send    — a data frame for a session with no cached lease
+//     triggers a (rate-limited) kResolve; the data frame itself still
+//     passes through, because leases are advisory (the router routes by
+//     its own membership table) and holding traffic would add nothing
+//     but latency;
+//   * on poll    — kResolveAck frames are consumed into the lease cache;
+//     kNotOwner frames are consumed and, when they carry an epoch newer
+//     than the cached lease, invalidate it and trigger an immediate
+//     re-resolve.  That is the epoch fence: a stale lease is redirected,
+//     never silently blackholed.
+//
+// Everything else passes through byte-identical, so the codec's
+// corruption guarantees and the mux's accounting are undisturbed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+
+namespace stpx::fabric {
+
+struct ResolverConfig {
+  /// Minimum gap between kResolve re-issues for one session (an
+  /// unanswered resolve is wire loss; retrying too hot would just add
+  /// control noise to a congested link).
+  std::chrono::microseconds resolve_retry{2'000};
+  /// Control frames consumed per poll() before giving the caller an
+  /// empty answer (starvation bound).
+  std::size_t control_burst = 16;
+};
+
+/// One cached ownership lease.
+struct Lease {
+  std::uint32_t owner = 0;
+  std::uint64_t epoch = 0;
+};
+
+struct ResolverStats {
+  std::uint64_t resolves_sent = 0;
+  std::uint64_t leases_granted = 0;       ///< acks naming an owner
+  std::uint64_t unknown_answers = 0;      ///< acks naming no owner
+  std::uint64_t redirects_seen = 0;       ///< kNotOwner consumed
+  std::uint64_t lease_invalidations = 0;  ///< stale leases fenced off
+};
+
+class ResolverTransport final : public net::ITransport {
+ public:
+  /// `inner` is the real client endpoint (non-owning, must outlive).
+  explicit ResolverTransport(net::ITransport* inner, ResolverConfig cfg = {});
+
+  bool send(const std::vector<std::uint8_t>& bytes) override;
+  std::optional<std::vector<std::uint8_t>> poll() override;
+  std::string name() const override;
+
+  /// Connect-time query: issue a kResolve for `session` now, ahead of
+  /// any traffic.
+  void resolve_now(std::uint32_t session);
+
+  /// The cached lease for `session`, if any.
+  std::optional<Lease> lease(std::uint32_t session) const;
+
+  ResolverStats stats() const;
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  /// Issue a kResolve unless one went out within resolve_retry.
+  /// Caller holds mu_.
+  void maybe_resolve(std::uint32_t session, clock::time_point now);
+  /// Consume one control frame.  Caller holds mu_.
+  void on_control(const net::Frame& f);
+
+  net::ITransport* inner_;
+  ResolverConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::uint32_t, Lease> leases_;
+  std::map<std::uint32_t, clock::time_point> last_resolve_;
+  ResolverStats n_;
+};
+
+}  // namespace stpx::fabric

@@ -12,7 +12,7 @@ using net::kFabricSession;
 FabricRouter::FabricRouter(ITransport* client_side,
                            MembershipTable* membership, RouterConfig cfg)
     : client_(client_side), membership_(membership), cfg_(cfg),
-      health_(cfg.health) {
+      health_(cfg.health), nameserver_(membership) {
   STPX_EXPECT(client_ != nullptr, "FabricRouter: null client transport");
   STPX_EXPECT(membership_ != nullptr, "FabricRouter: null membership");
 }
@@ -82,11 +82,28 @@ void FabricRouter::set_probes_paused(std::uint32_t id, bool on) {
   }
 }
 
+void FabricRouter::set_partition(std::uint32_t id, PartitionMode mode) {
+  for (auto& b : backends_) {
+    if (b->id == id) {
+      b->partition.store(static_cast<std::uint8_t>(mode),
+                         std::memory_order_release);
+    }
+  }
+}
+
 std::optional<std::uint32_t> FabricRouter::next_dead() {
   std::lock_guard<std::mutex> hold(dead_mu_);
   if (dead_.empty()) return std::nullopt;
   const std::uint32_t id = dead_.front();
   dead_.pop_front();
+  return id;
+}
+
+std::optional<std::uint32_t> FabricRouter::next_joined() {
+  std::lock_guard<std::mutex> hold(dead_mu_);
+  if (joined_.empty()) return std::nullopt;
+  const std::uint32_t id = joined_.front();
+  joined_.pop_front();
   return id;
 }
 
@@ -100,6 +117,11 @@ RouterStats FabricRouter::stats() const {
   s.data_suppressed = n_.data_suppressed.load();
   s.no_owner = n_.no_owner.load();
   s.dead_owner = n_.dead_owner.load();
+  s.stale_lease = n_.stale_lease.load();
+  s.partition_suppressed = n_.partition_suppressed.load();
+  s.resolves = n_.resolves.load();
+  s.redirects = n_.redirects.load();
+  s.joins = n_.joins.load();
   s.rejects = n_.rejects.load();
   return s;
 }
@@ -109,28 +131,81 @@ HealthStats FabricRouter::health_stats() const {
   return health_.stats();
 }
 
+void FabricRouter::publish_metrics(obs::MetricsRegistry& reg) const {
+  const RouterStats st = stats();
+  reg.counter("fabric.forwarded.client_to_backend").inc(st.client_to_backend);
+  reg.counter("fabric.forwarded.backend_to_client").inc(st.backend_to_client);
+  reg.counter("fabric.probes.sent").inc(st.probes_sent);
+  reg.counter("fabric.probes.acks").inc(st.probe_acks);
+  reg.counter("fabric.probes.suppressed").inc(st.probes_suppressed);
+  // The drop family, split by cause: an unknown session (no_owner) is a
+  // client bug or a pre-assignment race; a fenced owner (dead_owner) is a
+  // re-home in flight; a stale entry (stale_lease) is a blocked
+  // resurrection.  Lumping them would hide exactly the distinction the
+  // fence exists to draw.
+  reg.counter("fabric.drops.no_owner").inc(st.no_owner);
+  reg.counter("fabric.drops.dead_owner").inc(st.dead_owner);
+  reg.counter("fabric.drops.stale_lease").inc(st.stale_lease);
+  reg.counter("fabric.drops.data_suppressed").inc(st.data_suppressed);
+  reg.counter("fabric.drops.partition").inc(st.partition_suppressed);
+  reg.counter("fabric.resolves").inc(st.resolves);
+  reg.counter("fabric.redirects").inc(st.redirects);
+  reg.counter("fabric.joins").inc(st.joins);
+  reg.counter("fabric.rejects").inc(st.rejects);
+  const NameserverStats ns = nameserver_.stats();
+  reg.counter("fabric.nameserver.grants").inc(ns.grants);
+  reg.counter("fabric.nameserver.unknowns").inc(ns.unknowns);
+}
+
+void FabricRouter::redirect_client(std::uint32_t session) {
+  if (!cfg_.redirect_on_drop) return;
+  client_->send(net::encode(nameserver_.redirect(session)));
+  ++n_.redirects;
+}
+
 void FabricRouter::route_inbound(const Frame& f,
                                  const std::vector<std::uint8_t>& bytes) {
-  const auto owner = membership_->owner(f.session);
-  if (!owner) {
+  const auto entry = membership_->resolve(f.session);
+  if (!entry) {
     ++n_.no_owner;
+    redirect_client(f.session);
+    return;
+  }
+  if (entry->stale) {
+    // The owner entry was stamped by a generation that has since been
+    // fenced (e.g. the backend died with no survivor to re-home to, then
+    // revived).  Routing to the revived incarnation would be an automatic
+    // resurrection of a session nobody handed back — dropped, and the
+    // client is redirected to re-resolve.
+    ++n_.stale_lease;
+    redirect_client(f.session);
     return;
   }
   BackendLink* target = nullptr;
   for (auto& b : backends_) {
-    if (b->id == *owner) {
+    if (b->id == entry->backend) {
       target = b.get();
       break;
     }
   }
   if (!target) {
     ++n_.no_owner;
+    redirect_client(f.session);
     return;
   }
-  if (membership_->health(*owner) == BackendHealth::kDead) {
+  if (membership_->health(entry->backend) == BackendHealth::kDead) {
     // Fenced owner, re-home not finished: the frame is dropped like wire
-    // loss and the client's retransmission finds the survivor.
+    // loss and the client's retransmission finds the survivor.  The
+    // redirect carries the epoch the re-home will have bumped past.
     ++n_.dead_owner;
+    redirect_client(f.session);
+    return;
+  }
+  const PartitionMode pm = partition_of(*target);
+  if (pm == PartitionMode::kBoth || pm == PartitionMode::kToBackend) {
+    // Host split: a network fault, not a membership fact — no redirect,
+    // the drop looks exactly like wire loss to the client.
+    ++n_.partition_suppressed;
     return;
   }
   if (target->drop_data.load(std::memory_order_acquire)) {
@@ -140,6 +215,45 @@ void FabricRouter::route_inbound(const Frame& f,
   if (ITransport* link = target->link.load(std::memory_order_acquire)) {
     link->send(bytes);
     ++n_.c2b;
+  }
+}
+
+void FabricRouter::on_join(BackendLink& b, HealthMonitor::time_point now) {
+  bool opened = false;
+  bool in_probation = false;
+  {
+    std::lock_guard<std::mutex> hold(health_mu_);
+    opened = health_.rejoin(b.id, now);
+    in_probation = opened || health_.on_probation(b.id);
+  }
+  if (opened) {
+    // Probation opens; the death stays reported (and the membership entry
+    // stays fenced) until the supervisor finishes the reclaim handoff.
+    b.awaiting_probation = true;
+    ++n_.joins;
+  }
+  if (!in_probation) {
+    // The FSM has not condemned this backend (crash detection is still
+    // mid-ladder) — or it is genuinely alive and this kJoin is noise.
+    // No ack either way: an acked join MEANS "probation is open", and the
+    // announcing cell keeps retrying until the ladder catches up.
+    return;
+  }
+  // Ack a duplicate kJoin too while probation is open (retries after a
+  // lost ack must converge), carrying the current membership epoch so the
+  // announcing generation can date itself.
+  const PartitionMode pm = partition_of(b);
+  if (pm == PartitionMode::kBoth || pm == PartitionMode::kToBackend) {
+    ++n_.partition_suppressed;
+    return;
+  }
+  if (ITransport* link = b.link.load(std::memory_order_acquire)) {
+    Frame ack;
+    ack.kind = FrameKind::kJoinAck;
+    ack.dir = sim::Dir::kReceiverToSender;
+    ack.session = kFabricSession;
+    ack.msg = static_cast<std::int64_t>(membership_->epoch());
+    link->send(net::encode(ack));
   }
 }
 
@@ -157,7 +271,19 @@ bool FabricRouter::drain_backend(BackendLink& b,
       ++n_.rejects;
       continue;
     }
+    const PartitionMode pm = partition_of(b);
+    if (pm == PartitionMode::kBoth || pm == PartitionMode::kFromBackend) {
+      // Host split severs EVERYTHING from the backend — data, probe acks,
+      // joins.  Unanswered probes keep charging the health FSM, so a long
+      // enough partition reads as a crash; that asymmetry IS the fault.
+      ++n_.partition_suppressed;
+      continue;
+    }
     if (f->session == kFabricSession) {
+      if (f->kind == FrameKind::kJoin) {
+        on_join(b, now);
+        continue;
+      }
       if (f->kind != FrameKind::kProbeAck) continue;  // stray control frame
       if (b.drop_probes.load(std::memory_order_acquire)) {
         // Probe-blackout severs the heartbeat in BOTH directions: the
@@ -194,9 +320,13 @@ void FabricRouter::tend_backend(BackendLink& b,
   }
   if (!want_paused) {
     if (const auto nonce = health_.next_probe(b.id, now)) {
-      if (b.drop_probes.load(std::memory_order_acquire)) {
+      const PartitionMode pm = partition_of(b);
+      if (pm == PartitionMode::kBoth || pm == PartitionMode::kToBackend) {
         // The FSM believes the probe is on the wire (it charges the
-        // timeout); the blackout ate it.  That asymmetry IS the fault.
+        // timeout); the split ate it.
+        ++n_.partition_suppressed;
+      } else if (b.drop_probes.load(std::memory_order_acquire)) {
+        // Same asymmetry, probe-blackout flavour.
         ++n_.probes_suppressed;
       } else if (ITransport* link =
                      b.link.load(std::memory_order_acquire)) {
@@ -211,8 +341,26 @@ void FabricRouter::tend_backend(BackendLink& b,
     }
   }
   const BackendHealth verdict = health_.health(b.id, now);
+  // A fenced membership entry stays fenced until the supervisor runs the
+  // reclaim handoff and calls revive() — the router never flips a dead
+  // entry back by itself, even when probation has already passed.
   if (membership_->health(b.id) != BackendHealth::kDead) {
     membership_->set_health(b.id, verdict);
+  }
+  if (b.awaiting_probation) {
+    if (verdict == BackendHealth::kAlive) {
+      // Probation passed: hand the rejoiner to the supervisor.  From here
+      // a fresh death of the revived incarnation is reportable again.
+      b.awaiting_probation = false;
+      b.reported_dead = false;
+      std::lock_guard<std::mutex> dq(dead_mu_);
+      joined_.push_back(b.id);
+    } else if (verdict == BackendHealth::kDead) {
+      // Struck out mid-probation: still fenced, nothing new to report —
+      // the next kJoin may try again.
+      b.awaiting_probation = false;
+    }
+    return;
   }
   if (verdict == BackendHealth::kDead && !b.reported_dead) {
     b.reported_dead = true;
@@ -231,6 +379,11 @@ void FabricRouter::pump_loop(std::stop_token st) {
       const auto f = net::decode(*bytes);
       if (!f) {
         ++n_.rejects;
+        continue;
+      }
+      if (f->kind == FrameKind::kResolve) {
+        client_->send(net::encode(nameserver_.answer(*f)));
+        ++n_.resolves;
         continue;
       }
       route_inbound(*f, *bytes);

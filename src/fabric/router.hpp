@@ -8,13 +8,17 @@
 //   client ──frames──▶ router ──(owner lookup)──▶ backend k
 //   backend k ──acks/FINs──▶ router ──▶ client
 //   router ──kProbe(nonce)──▶ backend k ──kProbeAck(nonce)──▶ router
+//   client ──kResolve──▶ router(nameserver) ──kResolveAck──▶ client
+//   backend k ──kJoin──▶ router ──kJoinAck──▶ backend k (probation opens)
 //
 // The router is content-light: it decodes only to read (session, kind),
 // then forwards the original bytes — a forwarded frame is byte-identical
 // to the sent one, so the codec's corruption guarantees pass through
-// untouched.  Frames with no owner, a dead owner, or a fault-dropped
-// link are counted and dropped; every protocol above the mux already
-// treats that exactly like wire loss.
+// untouched.  Frames with no owner, a fenced owner, a STALE owner entry
+// (stamped by a generation that has since been fenced — see
+// MembershipTable), or a fault-dropped link are counted per cause and
+// dropped; each such drop also bounces an epoch-tagged kNotOwner to the
+// client so a stale lease is redirected, never silently blackholed.
 //
 // Fault injection for the fabric-level soak lives here as runtime
 // switches per backend link (set from any thread):
@@ -24,13 +28,22 @@
 //   * drop_data — split-router: session traffic to/from the backend is
 //     severed while heartbeats still answer, so the backend looks alive
 //     but owns unreachable sessions.
+//   * partition — host-level split between the router/nameserver side
+//     and the backend's host: EVERYTHING (data, probes, acks, control)
+//     is severed in the partitioned direction(s).  kBoth is the
+//     symmetric split; kToBackend / kFromBackend are the asymmetric
+//     one-way variants.  A long enough partition reads exactly like a
+//     crash — which is the point: fencing makes that safe too, and a
+//     healed partition re-converges through strike forgiveness.
 //   * probes_paused — maintenance: the supervisor pauses the health FSM
 //     for a backend it is deliberately restarting (re-homing absorb), so
 //     the restart window cannot be mistaken for a crash.
 //
 // Death verdicts flow: HealthMonitor (pump thread) -> MembershipTable
 // (shared) -> dead-event queue -> supervisor (Fabric), which fences and
-// re-homes, then calls rehome() here via the membership table.
+// re-homes.  Rejoin verdicts flow the mirror path: kJoin (backend) ->
+// HealthMonitor probation -> joined-event queue -> supervisor, which
+// runs the reclaim handoff and only then revives the membership entry.
 #pragma once
 
 #include <atomic>
@@ -44,10 +57,30 @@
 
 #include "fabric/health.hpp"
 #include "fabric/membership.hpp"
+#include "fabric/nameserver.hpp"
 #include "net/frame.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace stpx::fabric {
+
+/// Host-level partition state of one backend link (see file comment).
+enum class PartitionMode : std::uint8_t {
+  kNone = 0,
+  kBoth,         ///< symmetric split: nothing crosses either way
+  kToBackend,    ///< one-way: router/client -> backend severed
+  kFromBackend,  ///< one-way: backend -> router/client severed
+};
+
+constexpr const char* to_cstr(PartitionMode m) {
+  switch (m) {
+    case PartitionMode::kNone: return "none";
+    case PartitionMode::kBoth: return "both";
+    case PartitionMode::kToBackend: return "to-backend";
+    case PartitionMode::kFromBackend: return "from-backend";
+  }
+  return "?";
+}
 
 struct RouterConfig {
   HealthConfig health;
@@ -55,6 +88,9 @@ struct RouterConfig {
   std::chrono::microseconds poll_backoff{50};
   /// Frames forwarded per link per pump pass (fairness bound).
   std::size_t burst = 64;
+  /// Bounce an epoch-tagged kNotOwner to the client for every
+  /// no-owner / dead-owner / stale-entry drop.
+  bool redirect_on_drop = true;
 };
 
 /// Aggregate router counters (snapshot of atomics).
@@ -67,6 +103,11 @@ struct RouterStats {
   std::uint64_t data_suppressed = 0;     // split-router drops (both ways)
   std::uint64_t no_owner = 0;            // client frame for an unknown session
   std::uint64_t dead_owner = 0;          // owner fenced, re-home not done yet
+  std::uint64_t stale_lease = 0;         // owner entry predates its last fence
+  std::uint64_t partition_suppressed = 0;  // host-split drops (any kind)
+  std::uint64_t resolves = 0;            // kResolve queries answered
+  std::uint64_t redirects = 0;           // kNotOwner bounces sent
+  std::uint64_t joins = 0;               // kJoin announcements accepted
   std::uint64_t rejects = 0;             // undecodable bytes (either side)
 };
 
@@ -100,15 +141,28 @@ class FabricRouter {
   void set_drop_probes(std::uint32_t id, bool on);   // probe-blackout
   void set_drop_data(std::uint32_t id, bool on);     // split-router
   void set_probes_paused(std::uint32_t id, bool on); // maintenance window
+  void set_partition(std::uint32_t id, PartitionMode mode);  // host split
 
   /// Pop the next backend the health loop declared dead (FIFO), if any.
-  /// Each death is reported exactly once.
+  /// Each death is reported exactly once per incarnation.
   std::optional<std::uint32_t> next_dead();
+
+  /// Pop the next backend that completed its rejoin probation (FIFO), if
+  /// any.  The supervisor runs the reclaim handoff on it.
+  std::optional<std::uint32_t> next_joined();
 
   RouterStats stats() const;
   /// Health FSM counters.  Snapshot taken under the pump's cadence; call
   /// after stop() for an exact final value.
   HealthStats health_stats() const;
+  NameserverStats nameserver_stats() const { return nameserver_.stats(); }
+
+  /// Router counters into the metrics registry under "fabric.*" — the
+  /// drop family is split by cause (fabric.drops.no_owner /
+  /// fabric.drops.dead_owner / fabric.drops.stale_lease / ...), so
+  /// dashboards can tell an unknown session from a fenced owner from a
+  /// resurrection attempt.
+  void publish_metrics(obs::MetricsRegistry& reg) const;
 
  private:
   struct BackendLink {
@@ -117,18 +171,31 @@ class FabricRouter {
     std::atomic<bool> drop_probes{false};
     std::atomic<bool> drop_data{false};
     std::atomic<bool> probes_paused{false};
+    std::atomic<std::uint8_t> partition{
+        static_cast<std::uint8_t>(PartitionMode::kNone)};
     bool applied_paused = false;  // pump-private shadow of probes_paused
     bool reported_dead = false;   // pump-private: death event emitted
+    bool awaiting_probation = false;  // pump-private: kJoin seen, not yet alive
   };
 
   void pump_loop(std::stop_token st);
   /// Forward one decoded client frame to its owner's link.
   void route_inbound(const net::Frame& f,
                      const std::vector<std::uint8_t>& bytes);
-  /// Drain one backend link: consume probe acks, forward the rest.
+  /// Drain one backend link: consume probe acks and joins, forward the
+  /// rest.
   bool drain_backend(BackendLink& b, HealthMonitor::time_point now);
-  /// Probe emission + death detection for one backend.
+  /// Probe emission + death/probation verdicts for one backend.
   void tend_backend(BackendLink& b, HealthMonitor::time_point now);
+  /// Handle one kJoin announcement from `b` (pump thread).
+  void on_join(BackendLink& b, HealthMonitor::time_point now);
+  /// Bounce an epoch-tagged kNotOwner for a dropped client frame.
+  void redirect_client(std::uint32_t session);
+
+  static PartitionMode partition_of(const BackendLink& b) {
+    return static_cast<PartitionMode>(
+        b.partition.load(std::memory_order_acquire));
+  }
 
   net::ITransport* client_;
   MembershipTable* membership_;
@@ -136,15 +203,18 @@ class FabricRouter {
   std::vector<std::unique_ptr<BackendLink>> backends_;
   HealthMonitor health_;  // pump-thread-only after start()
   mutable std::mutex health_mu_;  // guards health_ around stats snapshots
+  Nameserver nameserver_;
   bool started_ = false;
 
   std::mutex dead_mu_;
   std::deque<std::uint32_t> dead_;
+  std::deque<std::uint32_t> joined_;
 
   struct Counters {
     std::atomic<std::uint64_t> c2b{0}, b2c{0}, probes_sent{0},
         probe_acks{0}, probes_suppressed{0}, data_suppressed{0},
-        no_owner{0}, dead_owner{0}, rejects{0};
+        no_owner{0}, dead_owner{0}, stale_lease{0}, partition_suppressed{0},
+        resolves{0}, redirects{0}, joins{0}, rejects{0};
   } n_;
 
   /// Incremented once per pump pass; set_link uses it as a quiescence

@@ -69,7 +69,7 @@ std::optional<Frame> decode(const std::uint8_t* data, std::size_t len,
     return reject(RejectReason::kBadMagic);
   }
   if (data[2] != kWireVersion) return reject(RejectReason::kBadVersion);
-  if (data[3] > 3) return reject(RejectReason::kBadKind);
+  if (data[3] > kMaxFrameKind) return reject(RejectReason::kBadKind);
   if (data[4] > 1) return reject(RejectReason::kBadDir);
   // Checksum last: a frame must be structurally plausible before we pay
   // for the hash, and a corrupted header field is the more precise reason.

@@ -220,9 +220,11 @@ void SessionMux::pump_loop(std::stop_token st) {
         answer_probe(*frame);
         continue;
       }
-      if (frame->kind == FrameKind::kProbeAck) {
-        // This mux is not a prober; a stray ack (our own reflection or a
-        // hostile peer) is dropped, never delivered to a session.
+      if (frame->kind != FrameKind::kData && frame->kind != FrameKind::kFin) {
+        // This mux is not a prober, a router, or a nameserver; stray
+        // control traffic (a probe ack reflection, a join/resolve frame
+        // from a hostile or confused peer) is dropped, never delivered to
+        // a session — a kNotOwner reaching deliver() would read as an ack.
         n_.frames_unknown.fetch_add(1, std::memory_order_relaxed);
         continue;
       }

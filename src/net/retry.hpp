@@ -1,0 +1,111 @@
+// HandshakeRetry — the rendezvous dialer's pacing brain, as a pure FSM.
+//
+// The cross-process UDP handshake (udp.hpp) is hello -> confirm over a
+// lossy wire: the dialer's hello datagram or the rendezvous side's
+// confirm can vanish, and a single-shot hello then deadlocks the whole
+// fork/exec harness on a once-per-thousand loss.  The fix is the classic
+// one — resend with jittered exponential backoff, bounded attempts — and
+// this class is exactly that policy with the clock injected, so the unit
+// test drives it with fabricated time_points and asserts the schedule
+// instead of sleeping through it (the same pattern as fabric::
+// HealthMonitor).
+//
+// Usage shape:
+//
+//   HandshakeRetry fsm(cfg);
+//   while (!fsm.acked() && !fsm.exhausted(now)) {
+//     if (fsm.should_send(now)) transport.send(hello);
+//     if (transport.poll())     fsm.on_ack();   // any datagram confirms
+//   }
+//
+// Jitter is deterministic (splitmix64 over seed ^ attempt): two dialers
+// given different seeds spread out, while one dialer replays identically
+// — determinism is a repo-wide invariant and retry pacing must not be
+// the layer that breaks it.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace stpx::net {
+
+struct RetryConfig {
+  /// Hello (re)sends before giving up.
+  std::uint32_t max_attempts = 8;
+  /// Delay scheduled after the first send; later ones grow by `backoff`.
+  std::chrono::microseconds base_delay{2'000};
+  double backoff = 2.0;
+  std::chrono::microseconds max_delay{250'000};
+  /// Extra fraction of the delay added as jitter: delay * [1, 1+jitter).
+  double jitter = 0.25;
+  /// Seed for the deterministic jitter stream (vary per dialer).
+  std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ull;
+};
+
+class HandshakeRetry {
+ public:
+  using time_point = std::chrono::steady_clock::time_point;
+
+  explicit HandshakeRetry(RetryConfig cfg = {}) : cfg_(cfg) {}
+
+  /// True when a hello (re)send is due at `now`.  Each true consumes one
+  /// attempt and schedules the next with jittered exponential backoff;
+  /// the first call is always due.  False once acked or out of attempts.
+  bool should_send(time_point now) {
+    if (acked_ || attempts_ >= cfg_.max_attempts) return false;
+    if (attempts_ > 0 && now < next_due_) return false;
+    ++attempts_;
+    last_delay_ = jittered_delay(attempts_);
+    next_due_ = now + last_delay_;
+    return true;
+  }
+
+  /// The peer confirmed (any datagram on a connected socket proves the
+  /// rendezvous side dialed back — only a connected peer can reach us).
+  void on_ack() { acked_ = true; }
+
+  bool acked() const { return acked_; }
+
+  /// Out of attempts AND past the last scheduled deadline, unacked: the
+  /// caller should give up (or fall back).
+  bool exhausted(time_point now) const {
+    return !acked_ && attempts_ >= cfg_.max_attempts && now >= next_due_;
+  }
+
+  std::uint32_t attempts() const { return attempts_; }
+  /// The backoff scheduled by the most recent send (jitter included).
+  std::chrono::microseconds last_delay() const { return last_delay_; }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  /// Delay after send number `attempt` (1-based): base * backoff^(n-1),
+  /// capped, then stretched by the deterministic jitter fraction.
+  std::chrono::microseconds jittered_delay(std::uint32_t attempt) const {
+    double d = static_cast<double>(cfg_.base_delay.count());
+    for (std::uint32_t i = 1; i < attempt; ++i) {
+      d *= cfg_.backoff;
+      if (d >= static_cast<double>(cfg_.max_delay.count())) break;
+    }
+    d = std::min(d, static_cast<double>(cfg_.max_delay.count()));
+    const std::uint64_t r = splitmix64(cfg_.jitter_seed ^ attempt);
+    const double u =
+        static_cast<double>(r >> 11) / static_cast<double>(1ull << 53);
+    d *= 1.0 + cfg_.jitter * u;
+    return std::chrono::microseconds(static_cast<std::int64_t>(d));
+  }
+
+  RetryConfig cfg_;
+  std::uint32_t attempts_ = 0;
+  bool acked_ = false;
+  time_point next_due_{};
+  std::chrono::microseconds last_delay_{0};
+};
+
+}  // namespace stpx::net

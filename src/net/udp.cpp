@@ -1,5 +1,7 @@
 #include "net/udp.hpp"
 
+#include "net/frame.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define STPX_HAVE_UDP 1
 #include <arpa/inet.h>
@@ -63,6 +65,18 @@ std::uint16_t port_of(int fd) {
     return 0;
   }
   return ntohs(addr.sin_port);
+}
+
+/// The handshake confirm/hello payload: a well-formed kProbeAck on the
+/// reserved fabric session, which every consumer already knows to drop
+/// (the mux counts stray control kinds as frames_unknown).
+std::vector<std::uint8_t> handshake_frame() {
+  Frame f;
+  f.kind = FrameKind::kProbeAck;
+  f.dir = sim::Dir::kReceiverToSender;
+  f.session = kFabricSession;
+  f.msg = 0;
+  return encode(f);
 }
 
 }  // namespace
@@ -164,6 +178,10 @@ std::unique_ptr<UdpTransport> UdpRendezvous::accept_peer(
   }
   auto t = std::make_unique<UdpTransport>(fd_);
   fd_ = -1;  // ownership moved to the transport
+  // Confirm the rendezvous: a retrying dialer stops resending hellos the
+  // moment any datagram arrives back.  Plain dialers just see one stray
+  // control frame, which every consumer drops.
+  t->send(handshake_frame());
   return t;
 }
 
@@ -192,6 +210,29 @@ std::optional<std::unique_ptr<UdpTransport>> make_udp_connected(
   return std::make_unique<UdpTransport>(fd);
 }
 
+std::optional<std::unique_ptr<UdpTransport>> make_udp_connected_retry(
+    std::uint16_t port, RetryConfig retry) {
+  auto t = make_udp_connected(port);
+  if (!t) return std::nullopt;
+  const auto hello = handshake_frame();
+  HandshakeRetry fsm(retry);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (fsm.should_send(now)) (*t)->send(hello);
+    if ((*t)->poll()) {
+      // Anything arriving on a connected socket proves the rendezvous
+      // side dialed back.  A real (non-confirm) frame is dropped here —
+      // that is UDP loss, which the protocols already heal.
+      fsm.on_ack();
+      return std::move(*t);
+    }
+    if (fsm.exhausted(std::chrono::steady_clock::now())) {
+      return std::nullopt;  // nobody confirmed; the port is likely dead
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
 #else  // !STPX_HAVE_UDP
 
 UdpTransport::UdpTransport(int fd)
@@ -216,6 +257,10 @@ std::optional<std::unique_ptr<UdpRendezvous>> make_udp_rendezvous() {
 }
 std::optional<std::unique_ptr<UdpTransport>> make_udp_connected(
     std::uint16_t) {
+  return std::nullopt;
+}
+std::optional<std::unique_ptr<UdpTransport>> make_udp_connected_retry(
+    std::uint16_t, RetryConfig) {
   return std::nullopt;
 }
 

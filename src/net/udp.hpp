@@ -20,8 +20,14 @@
 // Cross-process wiring (the fabric's process harness): make_udp_rendezvous
 // binds a socket and exposes its port; the peer process dials it with
 // make_udp_connected and sends any datagram as a hello; accept_peer
-// connects back to the hello's source address.  After the handshake both
-// ends are ordinary connected UdpTransports.
+// connects back to the hello's source address AND answers with a confirm
+// datagram (a kProbeAck frame on the reserved fabric session — every mux
+// drops stray control kinds, so a leaked confirm is harmless).  After the
+// handshake both ends are ordinary connected UdpTransports.
+// make_udp_connected_retry is the loss-hardened dialer: it resends the
+// hello with jittered exponential backoff (net/retry.hpp) until any
+// datagram arrives back, so a dropped hello or confirm costs one backoff
+// step instead of deadlocking the fork/exec harness.
 //
 // Availability is environment-dependent: sandboxed CI runners may forbid
 // socket creation.  Every factory probes at runtime and returns
@@ -36,6 +42,7 @@
 #include <optional>
 #include <string>
 
+#include "net/retry.hpp"
 #include "net/transport.hpp"
 
 namespace stpx::net {
@@ -116,6 +123,15 @@ std::optional<std::unique_ptr<UdpRendezvous>> make_udp_rendezvous();
 /// rendezvous side can learn this endpoint's address.
 std::optional<std::unique_ptr<UdpTransport>> make_udp_connected(
     std::uint16_t port);
+
+/// Dial with the retrying handshake: hello frames go out under
+/// HandshakeRetry's jittered backoff until the rendezvous side's confirm
+/// (or any other datagram) arrives.  The confirming datagram is consumed
+/// — it is handshake plumbing, not traffic (UDP loss semantics anyway).
+/// nullopt when sockets are unavailable OR the attempts are exhausted
+/// unconfirmed (nobody answered `port`).
+std::optional<std::unique_ptr<UdpTransport>> make_udp_connected_retry(
+    std::uint16_t port, RetryConfig retry = {});
 
 /// True when this build/platform has UDP support compiled in at all.
 bool udp_supported();

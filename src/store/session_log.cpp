@@ -86,6 +86,17 @@ SessionLogScan scan_session_logs(const std::vector<IStableStore*>& stores) {
   return scan;
 }
 
+std::vector<std::uint32_t> manifested_sessions(
+    const std::vector<IStableStore*>& stores) {
+  const SessionLogScan scan = scan_session_logs(stores);
+  std::vector<std::uint32_t> out;
+  out.reserve(scan.newest.size());
+  for (const auto& [id, m] : scan.newest) {
+    if (!m.is_sender) out.push_back(id);  // map iteration: already id order
+  }
+  return out;
+}
+
 std::uint64_t compact_session_log(IStableStore& store) {
   const SessionLogScan scan = scan_session_logs({&store});
   std::vector<const SessionManifest*> kept;

@@ -75,6 +75,13 @@ struct SessionLogScan {
 /// Replay every store and fold newest-per-session by (epoch, seq).
 SessionLogScan scan_session_logs(const std::vector<IStableStore*>& stores);
 
+/// Receiver-role session ids manifested across `stores`, in id order —
+/// the set a rejoining backend can claim durable ownership of (its
+/// reclaim set, minus whatever the membership table has since moved for
+/// good).  Sender manifests are skipped: a fabric cell hosts receivers.
+std::vector<std::uint32_t> manifested_sessions(
+    const std::vector<IStableStore*>& stores);
+
 /// Rewrite one store to hold only the newest record per session, in
 /// (epoch, seq) order.  Returns the number of records dropped.  The
 /// rewrite is reset + re-append, which is NOT crash-atomic — callers run

@@ -196,23 +196,53 @@ void StoreImage::stale_snapshot() {
 // MemStore.
 
 void MemStore::reset() {
+  std::lock_guard<std::mutex> hold(mu_);
   img_.clear();
   appends_ = 0;
 }
 
 void MemStore::append(const std::string& state) {
+  std::lock_guard<std::mutex> hold(mu_);
   img_.append(state);
   ++appends_;
 }
 
-void MemStore::compact() { img_.compact(); }
+void MemStore::compact() {
+  std::lock_guard<std::mutex> hold(mu_);
+  img_.compact();
+}
 
-RecoveredState MemStore::recover() { return img_.recover(); }
+RecoveredState MemStore::recover() {
+  std::lock_guard<std::mutex> hold(mu_);
+  return img_.recover();
+}
 
-void MemStore::fault_torn_next_append() { img_.torn_next = true; }
-void MemStore::fault_lose_tail(std::uint64_t n) { img_.lose_tail(n); }
-void MemStore::fault_corrupt_record() { img_.corrupt_record(); }
-void MemStore::fault_stale_snapshot() { img_.stale_snapshot(); }
+ReplayResult MemStore::replay() {
+  std::lock_guard<std::mutex> hold(mu_);
+  return img_.replay();
+}
+
+std::uint64_t MemStore::appends() const {
+  std::lock_guard<std::mutex> hold(mu_);
+  return appends_;
+}
+
+void MemStore::fault_torn_next_append() {
+  std::lock_guard<std::mutex> hold(mu_);
+  img_.torn_next = true;
+}
+void MemStore::fault_lose_tail(std::uint64_t n) {
+  std::lock_guard<std::mutex> hold(mu_);
+  img_.lose_tail(n);
+}
+void MemStore::fault_corrupt_record() {
+  std::lock_guard<std::mutex> hold(mu_);
+  img_.corrupt_record();
+}
+void MemStore::fault_stale_snapshot() {
+  std::lock_guard<std::mutex> hold(mu_);
+  img_.stale_snapshot();
+}
 
 // ---------------------------------------------------------------------------
 // FileStore.

@@ -28,6 +28,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -122,14 +123,19 @@ struct StoreImage {
 };
 
 /// In-memory stable store — the default for sweeps and soaks.
+/// Internally synchronized: the fabric's reclaim path replays a
+/// survivor's store as a handoff source while the survivor's restarted
+/// mux is still appending to it, so every image operation holds the
+/// store mutex (each append lands a whole framed record, so a replay
+/// interleaved mid-batch still parses at record boundaries).
 class MemStore final : public IStableStore {
  public:
   void reset() override;
   void append(const std::string& state) override;
   void compact() override;
   RecoveredState recover() override;
-  ReplayResult replay() override { return img_.replay(); }
-  std::uint64_t appends() const override { return appends_; }
+  ReplayResult replay() override;
+  std::uint64_t appends() const override;
 
   void fault_torn_next_append() override;
   void fault_lose_tail(std::uint64_t n) override;
@@ -139,6 +145,7 @@ class MemStore final : public IStableStore {
   std::string name() const override { return "mem"; }
 
  private:
+  mutable std::mutex mu_;
   StoreImage img_;
   std::uint64_t appends_ = 0;
 };

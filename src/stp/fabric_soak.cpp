@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <sstream>
 #include <thread>
 
 #include "net/flight_recorder.hpp"
@@ -17,6 +16,7 @@ namespace stpx::stp {
 namespace {
 
 constexpr std::uint64_t kPlanSalt = 0xFAB51CULL;
+constexpr std::uint64_t kResilienceSalt = 0x4E501E9CULL;
 
 seq::Sequence seq_for(std::uint32_t id, std::size_t len, int domain) {
   seq::Sequence x;
@@ -28,22 +28,39 @@ seq::Sequence seq_for(std::uint32_t id, std::size_t len, int domain) {
   return x;
 }
 
+bool group_has(const std::vector<std::uint32_t>& g, std::uint32_t h) {
+  return std::find(g.begin(), g.end(), h) != g.end();
+}
+
+/// Apply (or heal) one partition action.  The fabric is a hub: only pairs
+/// that cross the router carry traffic, so the group containing host 0
+/// keeps the router and every backend in the OTHER group is severed.  A
+/// partition naming two router-less groups has no router-crossing pair
+/// and is a no-op.  One-way severs group_a -> group_b traffic only:
+/// kToBackend when the router sits in group_a, kFromBackend when it sits
+/// in group_b.
+void apply_partition(fabric::Fabric& fab, std::size_t backends,
+                     const FabricFaultAction& a, bool on) {
+  const bool router_in_a = group_has(a.group_a, 0);
+  const bool router_in_b = group_has(a.group_b, 0);
+  if (router_in_a == router_in_b) return;
+  fabric::PartitionMode mode = fabric::PartitionMode::kBoth;
+  if (a.kind == FabricFaultKind::kPartitionOneWay) {
+    mode = router_in_a ? fabric::PartitionMode::kToBackend
+                       : fabric::PartitionMode::kFromBackend;
+  }
+  const auto& severed = router_in_a ? a.group_b : a.group_a;
+  for (const std::uint32_t h : severed) {
+    if (h >= 1 && h <= backends) {
+      fab.set_partition(h, on ? mode : fabric::PartitionMode::kNone);
+    }
+  }
+}
+
 }  // namespace
 
 std::string to_string(const FabricFaultPlan& plan) {
-  if (plan.actions.empty()) return "-";
-  std::ostringstream os;
-  bool first = true;
-  for (const FabricFaultAction& a : plan.actions) {
-    if (!first) os << "; ";
-    first = false;
-    os << to_cstr(a.kind) << '@' << a.at.count() << "ms";
-    if (a.kind != FabricFaultKind::kBackendCrash) {
-      os << '+' << a.len.count() << "ms";
-    }
-    os << " b" << a.backend;
-  }
-  return os.str();
+  return fault::to_text(plan);
 }
 
 FabricSoakResult run_fabric_soak(const FabricSoakConfig& cfg) {
@@ -51,7 +68,8 @@ FabricSoakResult run_fabric_soak(const FabricSoakConfig& cfg) {
   const int domain = cfg.domain;
 
   // One session log and one flight recorder per backend; the stores also
-  // serve as the handoff source when their backend dies.
+  // serve as the handoff source when their backend dies — and as the
+  // reclaim manifest when it rejoins.
   std::vector<std::unique_ptr<store::MemStore>> stores;
   std::vector<std::unique_ptr<net::FlightRecorder>> recorders;
   for (std::size_t i = 0; i < cfg.backends; ++i) {
@@ -88,34 +106,41 @@ FabricSoakResult run_fabric_soak(const FabricSoakConfig& cfg) {
   };
   fabric::Fabric fab(fc);
 
+  // The client dials through the resolver, so every soak run doubles as a
+  // nameserver drill: a lease per session up front, epoch-fenced
+  // redirects whenever a re-home or reclaim moves ownership.
+  fabric::ResolverTransport resolver(fab.client_endpoint());
   net::MuxConfig client_cfg = cfg.mux;
   client_cfg.probe = nullptr;
   client_cfg.session_stores.clear();
   client_cfg.backend_id = 0;
-  net::StpClient client(fab.client_endpoint(), client_cfg);
+  net::StpClient client(&resolver, client_cfg);
   for (std::size_t i = 0; i < cfg.sessions; ++i) {
     const std::uint32_t sid = static_cast<std::uint32_t>(i + 1);
     fab.add_session(sid);
     client.add_session(sid,
                        proto::make_stenning(domain, true).sender,
                        seq_for(sid, cfg.seq_len, domain));
+    resolver.resolve_now(sid);
   }
 
   // Script the plan as an absolute-time switch list (window faults get an
   // on and an off edge), then fire each on schedule.
   struct Edge {
     std::chrono::milliseconds at;
-    FabricFaultKind kind;
-    std::uint32_t backend;
+    FabricFaultAction action;
     bool on;
   };
   std::vector<Edge> edges;
   for (const FabricFaultAction& a : cfg.plan.actions) {
-    if (a.backend < 1 || a.backend > cfg.backends) continue;
-    edges.push_back({a.at, a.kind, a.backend, true});
-    if (a.kind != FabricFaultKind::kBackendCrash) {
-      edges.push_back({a.at + a.len, a.kind, a.backend, false});
+    const bool windowed = a.kind != FabricFaultKind::kBackendCrash &&
+                          a.kind != FabricFaultKind::kRejoin;
+    if (!is_partition_fault(a.kind) &&
+        (a.backend < 1 || a.backend > cfg.backends)) {
+      continue;
     }
+    edges.push_back({a.at, a, true});
+    if (windowed) edges.push_back({a.at + a.len, a, false});
   }
   std::stable_sort(edges.begin(), edges.end(),
                    [](const Edge& a, const Edge& b) { return a.at < b.at; });
@@ -124,20 +149,34 @@ FabricSoakResult run_fabric_soak(const FabricSoakConfig& cfg) {
   client.mux().start();
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::uint32_t> crashed;
+  std::vector<std::uint32_t> rejoined;  // handshake acked; reclaim pending
   for (const Edge& e : edges) {
     std::this_thread::sleep_until(t0 + e.at);
-    switch (e.kind) {
+    const FabricFaultAction& a = e.action;
+    switch (a.kind) {
       case FabricFaultKind::kBackendCrash:
         if (e.on) {
-          fab.kill_backend(e.backend);
-          crashed.push_back(e.backend);
+          fab.kill_backend(a.backend);
+          crashed.push_back(a.backend);
         }
         break;
       case FabricFaultKind::kProbeBlackout:
-        fab.set_probe_blackout(e.backend, e.on);
+        fab.set_probe_blackout(a.backend, e.on);
         break;
       case FabricFaultKind::kRouterSplit:
-        fab.set_data_split(e.backend, e.on);
+        fab.set_data_split(a.backend, e.on);
+        break;
+      case FabricFaultKind::kPartition:
+      case FabricFaultKind::kPartitionOneWay:
+        apply_partition(fab, cfg.backends, a, e.on);
+        break;
+      case FabricFaultKind::kRejoin:
+        // A rejoin that cannot be acked (backend alive, link partitioned
+        // for the whole window, ...) just leaves the cell dead; that is
+        // the protocol's answer, not a harness failure.
+        if (e.on && fab.rejoin_backend(a.backend)) {
+          rejoined.push_back(a.backend);
+        }
         break;
     }
   }
@@ -146,16 +185,39 @@ FabricSoakResult run_fabric_soak(const FabricSoakConfig& cfg) {
   // after the last frame still MUST be detected and re-homed.  Wait for
   // the supervisor to record every scripted crash (ok or not) before
   // draining, so `rehomes` is deterministic rather than a race between
-  // session completion and the strike ladder.
-  const auto rehome_deadline =
+  // session completion and the strike ladder.  Likewise every acked
+  // rejoin must produce a reclaim record (the probation window plus the
+  // release/reclaim absorbs run behind the supervisor thread).
+  const auto fence_deadline =
       std::chrono::steady_clock::now() + cfg.drain_timeout;
   for (const std::uint32_t b : crashed) {
+    // A crashed backend that rejoined before the strike ladder condemned
+    // it never produces a rehome record; its reclaim record is the
+    // terminal event instead.
+    const bool came_back = group_has(rejoined, b);
     for (;;) {
       const auto recs = fab.rehomes();
-      const bool seen = std::any_of(
+      bool seen = std::any_of(
           recs.begin(), recs.end(),
           [b](const fabric::RehomeRecord& r) { return r.dead == b; });
-      if (seen || std::chrono::steady_clock::now() >= rehome_deadline) break;
+      if (came_back) {
+        const auto recl = fab.reclaims();
+        seen = seen || std::any_of(recl.begin(), recl.end(),
+                                   [b](const fabric::ReclaimRecord& r) {
+                                     return r.backend == b;
+                                   });
+      }
+      if (seen || std::chrono::steady_clock::now() >= fence_deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  for (const std::uint32_t b : rejoined) {
+    for (;;) {
+      const auto recs = fab.reclaims();
+      const bool seen = std::any_of(
+          recs.begin(), recs.end(),
+          [b](const fabric::ReclaimRecord& r) { return r.backend == b; });
+      if (seen || std::chrono::steady_clock::now() >= fence_deadline) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
@@ -185,6 +247,18 @@ FabricSoakResult run_fabric_soak(const FabricSoakConfig& cfg) {
     ++res.rehomes;
     res.restore_latency_us.push_back(r.absorb.latency_us);
   }
+  res.rejoins = rejoined.size();
+  std::size_t failed_reclaims = 0;
+  for (const fabric::ReclaimRecord& r : fab.reclaims()) {
+    if (!r.ok) {
+      ++failed_reclaims;
+      continue;
+    }
+    ++res.reclaims;
+    res.reclaim_latency_us.push_back(r.absorb.latency_us);
+  }
+  res.router = fab.router().stats();
+  res.resolver = resolver.stats();
 
   // --- offline attestation over the merged per-backend trace ------------
   std::vector<fabric::TracePart> parts;
@@ -198,7 +272,8 @@ FabricSoakResult run_fabric_soak(const FabricSoakConfig& cfg) {
   analysis::TracePipeline pipe;
   pipe.add(analysis::make_prefix_attestor())
       .add(analysis::make_rehydration_analyzer());
-  res.trace = pipe.run(fabric::merge_backend_traces(parts), ctx);
+  res.merged_trace = fabric::merge_backend_traces(parts);
+  res.trace = pipe.run(res.merged_trace, ctx);
 
   if (!drained) {
     res.failure = "drain timeout: sessions never all completed";
@@ -210,6 +285,10 @@ FabricSoakResult run_fabric_soak(const FabricSoakConfig& cfg) {
                   " live safety/recovery violations";
   } else if (failed_rehomes != 0) {
     res.failure = "re-home found no alive survivor";
+  } else if (failed_reclaims != 0) {
+    res.failure = "rejoin reclaim failed to absorb";
+  } else if (res.rejoins != res.reclaims) {
+    res.failure = "acked rejoin never produced a reclaim record";
   } else if (!res.trace.ok) {
     res.failure = "merged trace failed prefix attestation";
   } else {
@@ -244,15 +323,68 @@ FabricFaultPlan sample_fabric_plan(std::uint64_t seed,
   return plan;
 }
 
+FabricFaultPlan sample_resilience_plan(std::uint64_t seed,
+                                       std::size_t backends) {
+  Rng rng(seed ^ kResilienceSalt);
+  FabricFaultPlan plan;
+  if (backends < 2) return sample_fabric_plan(seed, backends);
+
+  // The spine of every trial: one crash, one rejoin of the same backend,
+  // far enough apart that the strike ladder condemns it and a re-home
+  // completes in between — so the reclaim genuinely crosses three
+  // generations of ownership (victim gen-1 -> survivor -> victim gen-2).
+  const auto victim = static_cast<std::uint32_t>(1 + rng.below(backends));
+  FabricFaultAction crash;
+  crash.kind = FabricFaultKind::kBackendCrash;
+  crash.backend = victim;
+  crash.at = std::chrono::milliseconds(5 + rng.below(25));
+  plan.actions.push_back(crash);
+
+  FabricFaultAction rj;
+  rj.kind = FabricFaultKind::kRejoin;
+  rj.backend = victim;
+  rj.at = crash.at + std::chrono::milliseconds(60 + rng.below(60));
+  plan.actions.push_back(rj);
+
+  // Ambient stress, maybe: a partition window pinning a SURVIVOR off the
+  // router side (the nameserver keeps granting its lease; the partition
+  // is a network fact, not a membership fact) ...
+  if (rng.below(2) == 0) {
+    auto other = static_cast<std::uint32_t>(1 + rng.below(backends));
+    if (other == victim) other = victim % backends + 1;
+    FabricFaultAction p;
+    p.kind = rng.below(2) == 0 ? FabricFaultKind::kPartition
+                               : FabricFaultKind::kPartitionOneWay;
+    p.group_a = {0};
+    p.group_b = {other};
+    p.at = std::chrono::milliseconds(10 + rng.below(40));
+    p.len = std::chrono::milliseconds(20 + rng.below(40));
+    plan.actions.push_back(p);
+  }
+  // ... and/or a probe blackout to keep false suspicion in the mix.
+  if (rng.below(2) == 0) {
+    FabricFaultAction bl;
+    bl.kind = FabricFaultKind::kProbeBlackout;
+    bl.backend = static_cast<std::uint32_t>(1 + rng.below(backends));
+    bl.at = std::chrono::milliseconds(5 + rng.below(50));
+    bl.len = std::chrono::milliseconds(20 + rng.below(60));
+    plan.actions.push_back(bl);
+  }
+  return plan;
+}
+
 FabricSoakReport fabric_soak_sweep(const FabricSoakConfig& base,
-                                   const std::vector<std::uint64_t>& seeds) {
+                                   const std::vector<std::uint64_t>& seeds,
+                                   bool resilience) {
   FabricSoakReport rep;
   for (const std::uint64_t seed : seeds) {
     FabricSoakConfig cfg = base;
-    cfg.plan = sample_fabric_plan(seed, base.backends);
+    cfg.plan = resilience ? sample_resilience_plan(seed, base.backends)
+                          : sample_fabric_plan(seed, base.backends);
     const FabricSoakResult r = run_fabric_soak(cfg);
     ++rep.trials;
     rep.total_rehomes += r.rehomes;
+    rep.total_reclaims += r.reclaims;
     if (r.ok) {
       ++rep.completed_trials;
     } else {

@@ -4,21 +4,28 @@
 // The engine-level soak (stp/soak.hpp) scripts faults in *logical* time
 // (channel steps) against one protocol instance; the fabric soak scripts
 // them in *wall-clock* time against the whole fleet, because the faults
-// under test — a backend crash, a probe blackout, a split router — are
-// properties of running threads and heartbeat timeouts, not of a
-// deterministic step function.  What stays deterministic is the
-// acceptance criterion, which is timing-insensitive:
+// under test — a backend crash, a probe blackout, a split router, a host
+// partition, a rejoin — are properties of running threads and heartbeat
+// timeouts, not of a deterministic step function.  What stays
+// deterministic is the acceptance criterion, which is timing-insensitive:
 //
 //   * every client session completes (exact copy, live checks), and
 //   * the merged per-backend trace attests prefix safety per session
-//     ACROSS any re-home (the offline attestor re-derives the paper's
-//     acceptance criterion from the trace alone), and
+//     ACROSS any re-home or reclaim (the offline attestor re-derives the
+//     paper's acceptance criterion from the trace alone), and
 //   * no session anywhere ends kSafetyViolation / kRecoveryViolation.
 //
 // A plan that defeats those is a real finding regardless of scheduling
 // jitter.  minimize_fabric_plan() shrinks a failing plan to 1-minimal by
 // action removal (the fabric analogue of stp::minimize_plan), re-running
 // the soak per probe.
+//
+// The plan vocabulary itself (kinds, scopes, text round-trip) lives in
+// fault/fabric_plan.hpp so a minimized counterexample can be written to a
+// CI artifact and replayed verbatim; this header re-exports the names the
+// existing harnesses use.  The client here runs over a ResolverTransport,
+// so every soak also exercises the nameserver protocol: leases on
+// connect, epoch-fenced redirects on ownership changes.
 #pragma once
 
 #include <chrono>
@@ -28,38 +35,22 @@
 
 #include "analysis/trace_pipeline.hpp"
 #include "fabric/fabric.hpp"
+#include "fabric/resolver.hpp"
+#include "fault/fabric_plan.hpp"
 
 namespace stpx::stp {
 
-enum class FabricFaultKind : std::uint8_t {
-  kBackendCrash = 0,  ///< kill the backend's mux mid-flight
-  kProbeBlackout,     ///< heartbeats vanish, data flows (false suspicion)
-  kRouterSplit,       ///< data severed, heartbeats answer (alive but dark)
-};
-
-constexpr const char* to_cstr(FabricFaultKind k) {
-  switch (k) {
-    case FabricFaultKind::kBackendCrash: return "backend-crash";
-    case FabricFaultKind::kProbeBlackout: return "probe-blackout";
-    case FabricFaultKind::kRouterSplit: return "router-split";
-  }
-  return "?";
-}
-
-struct FabricFaultAction {
-  FabricFaultKind kind = FabricFaultKind::kBackendCrash;
-  std::uint32_t backend = 1;
-  /// When the fault fires, measured from traffic start.
-  std::chrono::milliseconds at{0};
-  /// Window length for blackout/split (a crash is instantaneous).
-  std::chrono::milliseconds len{0};
-};
-
-struct FabricFaultPlan {
-  std::vector<FabricFaultAction> actions;
-};
+// Historical home of the fabric plan grammar; the types moved to
+// fault/fabric_plan.hpp (pure data + text round-trip) and these aliases
+// keep every existing caller compiling unchanged.
+using FabricFaultKind = fault::FabricFaultKind;
+using FabricFaultAction = fault::FabricFaultAction;
+using FabricFaultPlan = fault::FabricFaultPlan;
+using fault::is_partition_fault;
+using fault::to_cstr;
 
 /// "backend-crash@20ms b2; probe-blackout@5ms+80ms b1" (empty plan: "-").
+/// Delegates to fault::to_text; fault::fabric_plan_from_text inverts it.
 std::string to_string(const FabricFaultPlan& plan);
 
 struct FabricSoakConfig {
@@ -84,8 +75,17 @@ struct FabricSoakResult {
   std::size_t completed = 0;      ///< client sessions that completed
   std::size_t live_violations = 0;  ///< safety + recovery, client + cells
   std::size_t rehomes = 0;          ///< successful fence-and-re-homes
+  std::size_t rejoins = 0;          ///< kJoin handshakes acked
+  std::size_t reclaims = 0;         ///< successful rejoin-and-reclaims
   std::vector<std::uint64_t> restore_latency_us;  ///< per re-home absorb
+  std::vector<std::uint64_t> reclaim_latency_us;  ///< per reclaim absorb
+  fabric::RouterStats router;      ///< drop/redirect accounting
+  fabric::ResolverStats resolver;  ///< client-side lease accounting
   analysis::TraceReport trace;  ///< merged-trace attestation report
+  /// The merged per-backend trace the attestation ran over, in merge
+  /// order — what a failing run writes to a CI artifact so the verdict
+  /// can be re-derived offline.
+  std::vector<net::TraceEvent> merged_trace;
 };
 
 /// One full fabric run under `cfg.plan` (see file comment).
@@ -95,6 +95,13 @@ FabricSoakResult run_fabric_soak(const FabricSoakConfig& cfg);
 /// crashes capped at backends-1 so a survivor always exists.
 FabricFaultPlan sample_fabric_plan(std::uint64_t seed,
                                    std::size_t backends);
+
+/// Deterministic resilience plan: a crash → rejoin pair (so every trial
+/// exercises reclaim across three generations of ownership) plus up to
+/// two ambient faults — a router-side partition window and/or a probe
+/// blackout.  Partitions scope host 0 (router side) against one backend.
+FabricFaultPlan sample_resilience_plan(std::uint64_t seed,
+                                       std::size_t backends);
 
 struct FabricSoakFailure {
   std::uint64_t seed = 0;
@@ -106,13 +113,17 @@ struct FabricSoakReport {
   std::size_t trials = 0;
   std::size_t completed_trials = 0;
   std::size_t total_rehomes = 0;
+  std::size_t total_reclaims = 0;
   std::vector<FabricSoakFailure> failures;
   bool clean() const { return failures.empty(); }
 };
 
-/// One run_fabric_soak per seed, plan sampled per seed.
+/// One run_fabric_soak per seed, plan sampled per seed.  `resilience`
+/// switches the sampler from sample_fabric_plan (crash/blackout/split)
+/// to sample_resilience_plan (crash → rejoin under partitions).
 FabricSoakReport fabric_soak_sweep(const FabricSoakConfig& base,
-                                   const std::vector<std::uint64_t>& seeds);
+                                   const std::vector<std::uint64_t>& seeds,
+                                   bool resilience = false);
 
 struct MinimizedFabricPlan {
   FabricFaultPlan plan;

@@ -591,7 +591,7 @@ stp::FabricSoakConfig soak_base(std::size_t sessions, std::size_t len) {
 TEST(FabricSoak, ScriptedCrashPlanRidesOut) {
   auto cfg = soak_base(16, 12);
   cfg.plan.actions.push_back({stp::FabricFaultKind::kBackendCrash, 2,
-                              std::chrono::milliseconds(10), {}});
+                              std::chrono::milliseconds(10), {}, {}, {}});
   const auto res = stp::run_fabric_soak(cfg);
   EXPECT_TRUE(res.ok) << res.failure;
   EXPECT_EQ(res.completed, 16u);
@@ -606,10 +606,10 @@ TEST(FabricSoak, PlanToStringIsReadable) {
   stp::FabricFaultPlan plan;
   EXPECT_EQ(stp::to_string(plan), "-");
   plan.actions.push_back({stp::FabricFaultKind::kBackendCrash, 2,
-                          std::chrono::milliseconds(20), {}});
+                          std::chrono::milliseconds(20), {}, {}, {}});
   plan.actions.push_back({stp::FabricFaultKind::kProbeBlackout, 1,
                           std::chrono::milliseconds(5),
-                          std::chrono::milliseconds(80)});
+                          std::chrono::milliseconds(80), {}, {}});
   EXPECT_EQ(stp::to_string(plan),
             "backend-crash@20ms b2; probe-blackout@5ms+80ms b1");
 }
@@ -655,11 +655,11 @@ TEST(FabricSoak, MinimizeShrinksAFailingPlanToItsCore) {
   stp::FabricFaultPlan failing;
   failing.actions.push_back({stp::FabricFaultKind::kProbeBlackout, 1,
                              std::chrono::milliseconds(2),
-                             std::chrono::milliseconds(20)});
+                             std::chrono::milliseconds(20), {}, {}});
   failing.actions.push_back({stp::FabricFaultKind::kBackendCrash, 1,
-                             std::chrono::milliseconds(8), {}});
+                             std::chrono::milliseconds(8), {}, {}, {}});
   failing.actions.push_back({stp::FabricFaultKind::kBackendCrash, 2,
-                             std::chrono::milliseconds(14), {}});
+                             std::chrono::milliseconds(14), {}, {}, {}});
   cfg.plan = failing;
   ASSERT_FALSE(stp::run_fabric_soak(cfg).ok);
 
@@ -682,7 +682,7 @@ TEST(FabricAcceptance, CrashRehomed256SessionsAttestedAgainstLiveVerdicts) {
   // minute under load on a single-core runner.
   cfg.drain_timeout = std::chrono::milliseconds(240'000);
   cfg.plan.actions.push_back({stp::FabricFaultKind::kBackendCrash, 1,
-                              std::chrono::milliseconds(15), {}});
+                              std::chrono::milliseconds(15), {}, {}, {}});
   const auto res = stp::run_fabric_soak(cfg);
   EXPECT_TRUE(res.ok) << res.failure;
   EXPECT_EQ(res.completed, kAcceptanceSessions);
